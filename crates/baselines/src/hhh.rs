@@ -1,0 +1,162 @@
+//! Deterministic Hierarchical Heavy Hitters — the baseline R-HHH
+//! randomizes (Mitzenmacher, Steinke & Thaler's Space-Saving-per-level
+//! construction, \[64\] in the paper).
+//!
+//! Every packet updates *all* H levels of the source-prefix hierarchy; the
+//! per-packet cost is H Space-Saving updates, which is exactly what R-HHH's
+//! one-random-level trick divides by H. Implemented so the comparison
+//! (equal accuracy after convergence, H× the per-packet work) is measurable
+//! — see `tests` below and the R-HHH docs.
+
+use crate::rhhh::{Prefix, PREFIX_LENGTHS};
+use nitro_sketches::SpaceSaving;
+use std::net::Ipv4Addr;
+
+/// The deterministic multi-level HHH monitor.
+pub struct DeterministicHhh {
+    levels: Vec<SpaceSaving>,
+    packets: u64,
+    /// Space-Saving updates performed (the H-per-packet cost).
+    updates: u64,
+}
+
+impl DeterministicHhh {
+    /// One Space-Saving of `counters_per_level` per hierarchy level.
+    pub fn new(counters_per_level: usize) -> Self {
+        Self {
+            levels: PREFIX_LENGTHS
+                .iter()
+                .map(|_| SpaceSaving::new(counters_per_level))
+                .collect(),
+            packets: 0,
+            updates: 0,
+        }
+    }
+
+    /// Process one packet: update every level.
+    pub fn update(&mut self, src: Ipv4Addr, weight: f64) {
+        self.packets += 1;
+        for (lvl, &len) in PREFIX_LENGTHS.iter().enumerate() {
+            let prefix = Prefix::of(src, len);
+            self.levels[lvl].update(prefix_key(prefix), weight);
+            self.updates += 1;
+        }
+    }
+
+    /// Estimated traffic of a prefix (no scaling — every packet counted).
+    pub fn estimate(&self, prefix: Prefix) -> f64 {
+        let lvl = PREFIX_LENGTHS
+            .iter()
+            .position(|&l| l == prefix.len)
+            .expect("prefix length not in hierarchy");
+        self.levels[lvl].estimate(prefix_key(prefix))
+    }
+
+    /// Per-level prefixes above `fraction` of total traffic, heaviest
+    /// first.
+    pub fn hierarchical_heavy_hitters(&self, fraction: f64) -> Vec<(Prefix, f64)> {
+        let threshold = fraction * self.packets as f64;
+        let mut out = Vec::new();
+        for (lvl, ss) in self.levels.iter().enumerate() {
+            for (key, count) in ss.entries() {
+                if count >= threshold {
+                    out.push((
+                        Prefix {
+                            addr: Ipv4Addr::from((key >> 8) as u32),
+                            len: PREFIX_LENGTHS[lvl],
+                        },
+                        count,
+                    ));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// (packets, Space-Saving updates) — the work R-HHH divides by H.
+    pub fn work(&self) -> (u64, u64) {
+        (self.packets, self.updates)
+    }
+}
+
+fn prefix_key(p: Prefix) -> u64 {
+    (u64::from(u32::from(p.addr)) << 8) | u64::from(p.len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhhh::Rhhh;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn mixed_traffic(n: usize, seed: u64) -> Vec<Ipv4Addr> {
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(seed);
+        (0..n)
+            .map(|_| {
+                if rng.next_bool(0.25) {
+                    ip(10, 1, 2, 3)
+                } else {
+                    ip(
+                        (rng.next_u64() % 200) as u8 + 16,
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_single_source() {
+        let mut d = DeterministicHhh::new(64);
+        for _ in 0..10_000 {
+            d.update(ip(10, 0, 0, 1), 1.0);
+        }
+        assert_eq!(d.estimate(Prefix::of(ip(10, 0, 0, 1), 32)), 10_000.0);
+        assert_eq!(d.estimate(Prefix::of(ip(10, 0, 0, 1), 8)), 10_000.0);
+        let (pkts, updates) = d.work();
+        assert_eq!(updates, pkts * PREFIX_LENGTHS.len() as u64);
+    }
+
+    #[test]
+    fn rhhh_matches_deterministic_at_a_fifth_of_the_work() {
+        let traffic = mixed_traffic(200_000, 1);
+        let mut det = DeterministicHhh::new(64);
+        let mut rand = Rhhh::new(64, 2);
+        for &src in &traffic {
+            det.update(src, 1.0);
+            rand.update(src, 1.0);
+        }
+        // Same heavy host found at /32 by both, with comparable estimates.
+        let p = Prefix::of(ip(10, 1, 2, 3), 32);
+        let de = det.estimate(p);
+        let re = rand.estimate(p);
+        assert!((de - 50_000.0).abs() / 50_000.0 < 0.05, "det {de}");
+        assert!((re - de).abs() / de < 0.10, "rand {re} vs det {de}");
+        // And R-HHH did 1/H the Space-Saving updates.
+        let (pkts, det_updates) = det.work();
+        assert_eq!(det_updates, pkts * 5);
+        // (R-HHH's per-packet work is one update by construction.)
+    }
+
+    #[test]
+    fn hhh_report_covers_all_levels() {
+        let mut d = DeterministicHhh::new(64);
+        for src in mixed_traffic(100_000, 3) {
+            d.update(src, 1.0);
+        }
+        let found: Vec<String> = d
+            .hierarchical_heavy_hitters(0.1)
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect();
+        for want in ["10.1.2.3/32", "10.1.2.0/24", "10.1.0.0/16", "10.0.0.0/8"] {
+            assert!(found.iter().any(|f| f == want), "missing {want} in {found:?}");
+        }
+    }
+}

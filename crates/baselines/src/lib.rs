@@ -1,0 +1,38 @@
+//! Competing systems — everything the paper compares NitroSketch against
+//! (§2, Table 1, §7.4).
+//!
+//! - [`SketchVisor`]: fast-path/normal-path split with a Misra-Gries-style
+//!   fast path and control-plane merge (Huang et al., SIGCOMM 2017).
+//! - [`ElasticSketch`]: heavy-part buckets with vote-based eviction over a
+//!   Count-Min light part (Yang et al., SIGCOMM 2018).
+//! - [`NetFlow`]: classic sampled NetFlow with a flow cache, timeouts and
+//!   export records.
+//! - [`SFlow`]: per-packet header sampling with collector-side estimation.
+//! - [`SmallHashTable`]: the "just use a hash table" baseline
+//!   (Alipourfard et al., HotNets 2015 / SOSR 2018).
+//! - [`Rhhh`]: randomized Hierarchical Heavy Hitters — one random prefix
+//!   level updated per packet (Ben Basat et al., SIGCOMM 2017).
+//! - [`strawman`]: the two §4.1 strawman designs NitroSketch improves on —
+//!   a one-array sketch and uniform packet sampling in front of a sketch.
+
+#![warn(missing_docs)]
+
+pub mod elastic;
+pub mod hashtable;
+pub mod hhh;
+pub mod netflow;
+pub mod rhhh;
+pub mod sampled_entropy;
+pub mod sflow;
+pub mod sketchvisor;
+pub mod strawman;
+
+pub use elastic::ElasticSketch;
+pub use hashtable::SmallHashTable;
+pub use hhh::DeterministicHhh;
+pub use netflow::NetFlow;
+pub use rhhh::Rhhh;
+pub use sampled_entropy::SampledEntropy;
+pub use sflow::SFlow;
+pub use sketchvisor::SketchVisor;
+pub use strawman::{OneArrayCountSketch, UniformSamplingSketch};

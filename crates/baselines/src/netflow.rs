@@ -1,0 +1,281 @@
+//! Sampled NetFlow.
+//!
+//! OVS-DPDK and VPP ship NetFlow/sFlow as their default monitoring tools;
+//! the paper compares against them in §7.4 (Figs. 13b, 15). Our model is
+//! classic sampled NetFlow: each packet is counted with probability `p`
+//! into a flow cache of per-flow records; records are exported on active/
+//! inactive timeouts or at the end of the poll interval; per-flow counts
+//! are scaled back by `p⁻¹` at the collector. Memory = resident cache plus
+//! the export records accumulated in the current poll interval — the
+//! quantity that explodes at higher sampling rates (Fig. 13b).
+
+use nitro_hash::Xoshiro256StarStar;
+use nitro_sketches::FlowKey;
+use std::collections::HashMap;
+
+/// Bytes of one NetFlow v5-style record (flow keys, counters, timestamps).
+pub const RECORD_BYTES: usize = 48;
+
+/// A flow-cache record.
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    packets: f64,
+    bytes: f64,
+    first_ns: u64,
+    last_ns: u64,
+}
+
+/// An exported flow record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExportRecord {
+    /// Flow key.
+    pub key: FlowKey,
+    /// Sampled packet count (unscaled).
+    pub packets: f64,
+    /// Sampled byte count (unscaled).
+    pub bytes: f64,
+}
+
+/// Sampled NetFlow with a flow cache and timeouts.
+pub struct NetFlow {
+    rate: f64,
+    cache: HashMap<FlowKey, CacheEntry>,
+    exported: Vec<ExportRecord>,
+    rng: Xoshiro256StarStar,
+    active_timeout_ns: u64,
+    inactive_timeout_ns: u64,
+    last_sweep_ns: u64,
+    sampled: u64,
+    seen: u64,
+}
+
+impl NetFlow {
+    /// NetFlow sampling `rate ∈ (0, 1]`, default timeouts (60 s active,
+    /// 15 s inactive).
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0,1]");
+        Self {
+            rate,
+            cache: HashMap::new(),
+            exported: Vec::new(),
+            rng: Xoshiro256StarStar::new(seed),
+            active_timeout_ns: 60_000_000_000,
+            inactive_timeout_ns: 15_000_000_000,
+            last_sweep_ns: 0,
+            sampled: 0,
+            seen: 0,
+        }
+    }
+
+    /// Process one packet.
+    pub fn update(&mut self, key: FlowKey, bytes: f64, ts_ns: u64) {
+        self.seen += 1;
+        if !self.rng.next_bool(self.rate) {
+            return;
+        }
+        self.sampled += 1;
+        let e = self.cache.entry(key).or_insert(CacheEntry {
+            packets: 0.0,
+            bytes: 0.0,
+            first_ns: ts_ns,
+            last_ns: ts_ns,
+        });
+        e.packets += 1.0;
+        e.bytes += bytes;
+        e.last_ns = ts_ns;
+
+        // Timeout sweep once per simulated second.
+        if ts_ns.saturating_sub(self.last_sweep_ns) >= 1_000_000_000 {
+            self.sweep(ts_ns);
+            self.last_sweep_ns = ts_ns;
+        }
+    }
+
+    fn sweep(&mut self, now_ns: u64) {
+        let (active, inactive) = (self.active_timeout_ns, self.inactive_timeout_ns);
+        let expired: Vec<FlowKey> = self
+            .cache
+            .iter()
+            .filter(|(_, e)| {
+                now_ns.saturating_sub(e.first_ns) >= active
+                    || now_ns.saturating_sub(e.last_ns) >= inactive
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for k in expired {
+            let e = self.cache.remove(&k).unwrap();
+            self.exported.push(ExportRecord {
+                key: k,
+                packets: e.packets,
+                bytes: e.bytes,
+            });
+        }
+    }
+
+    /// End the poll interval: export everything still cached.
+    pub fn flush(&mut self) {
+        let drained: Vec<(FlowKey, CacheEntry)> = self.cache.drain().collect();
+        for (k, e) in drained {
+            self.exported.push(ExportRecord {
+                key: k,
+                packets: e.packets,
+                bytes: e.bytes,
+            });
+        }
+    }
+
+    /// Collector-side scaled packet-count estimate for a flow (cache +
+    /// exports).
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        let cached = self.cache.get(&key).map_or(0.0, |e| e.packets);
+        let exported: f64 = self
+            .exported
+            .iter()
+            .filter(|r| r.key == key)
+            .map(|r| r.packets)
+            .sum();
+        (cached + exported) / self.rate
+    }
+
+    /// All flows the collector knows about, with scaled estimates,
+    /// heaviest first.
+    pub fn flows(&self) -> Vec<(FlowKey, f64)> {
+        let mut agg: HashMap<FlowKey, f64> = HashMap::new();
+        for (&k, e) in &self.cache {
+            *agg.entry(k).or_insert(0.0) += e.packets;
+        }
+        for r in &self.exported {
+            *agg.entry(r.key).or_insert(0.0) += r.packets;
+        }
+        let mut v: Vec<(FlowKey, f64)> = agg
+            .into_iter()
+            .map(|(k, c)| (k, c / self.rate))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Heavy hitters above an absolute scaled `threshold`.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        self.flows()
+            .into_iter()
+            .take_while(|&(_, c)| c >= threshold)
+            .collect()
+    }
+
+    /// Resident memory: flow cache + this interval's export records.
+    pub fn memory_bytes(&self) -> usize {
+        (self.cache.len() + self.exported.len()) * RECORD_BYTES
+    }
+
+    /// (packets seen, packets sampled).
+    pub fn sample_stats(&self) -> (u64, u64) {
+        (self.seen, self.sampled)
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsampled_netflow_is_exact() {
+        let mut nf = NetFlow::new(1.0, 1);
+        for i in 0..1000u64 {
+            nf.update(i % 10, 64.0, i * 1000);
+        }
+        for f in 0..10u64 {
+            assert_eq!(nf.estimate(f), 100.0);
+        }
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let mut nf = NetFlow::new(0.01, 2);
+        for i in 0..1_000_000u64 {
+            nf.update(i % 100, 64.0, i * 100);
+        }
+        let (seen, sampled) = nf.sample_stats();
+        assert_eq!(seen, 1_000_000);
+        let rate = sampled as f64 / seen as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn scaled_estimates_are_unbiased() {
+        let mut total = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut nf = NetFlow::new(0.05, 100 + seed);
+            for i in 0..20_000u64 {
+                nf.update(7, 64.0, i * 1000);
+            }
+            total += nf.estimate(7);
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 20_000.0).abs() / 20_000.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn small_flows_are_missed_at_low_rates() {
+        // The recall failure of Fig. 15: a 100-packet flow at rate 0.001
+        // is sampled with probability ≈ 0.1.
+        let mut missed = 0;
+        for seed in 0..50u64 {
+            let mut nf = NetFlow::new(0.001, 200 + seed);
+            for i in 0..100u64 {
+                nf.update(9, 64.0, i * 1000);
+            }
+            if nf.estimate(9) == 0.0 {
+                missed += 1;
+            }
+        }
+        assert!(missed >= 40, "only {missed}/50 missed");
+    }
+
+    #[test]
+    fn inactive_timeout_exports() {
+        let mut nf = NetFlow::new(1.0, 3);
+        nf.update(1, 64.0, 0);
+        // 20 s later another flow's packet triggers the sweep.
+        nf.update(2, 64.0, 20_000_000_000);
+        assert_eq!(nf.exported.len(), 1);
+        assert_eq!(nf.exported[0].key, 1);
+        // The estimate still includes exported history.
+        assert_eq!(nf.estimate(1), 1.0);
+    }
+
+    #[test]
+    fn flush_exports_everything() {
+        let mut nf = NetFlow::new(1.0, 4);
+        for f in 0..5u64 {
+            nf.update(f, 64.0, f * 100);
+        }
+        nf.flush();
+        assert_eq!(nf.cache.len(), 0);
+        assert_eq!(nf.exported.len(), 5);
+        assert_eq!(nf.flows().len(), 5);
+    }
+
+    #[test]
+    fn memory_grows_with_sampling_rate() {
+        let run = |rate: f64| {
+            let mut nf = NetFlow::new(rate, 5);
+            for i in 0..500_000u64 {
+                nf.update(i % 50_000, 64.0, i * 100);
+            }
+            nf.memory_bytes()
+        };
+        let low = run(0.001);
+        let high = run(0.01);
+        assert!(
+            high as f64 > 3.0 * low as f64,
+            "memory low {low} vs high {high}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! R-HHH — Randomized Hierarchical Heavy Hitters (Ben Basat et al.,
+//! SIGCOMM 2017).
+//!
+//! The Table 1 competitor that achieves 10 GbE line rate by updating only
+//! *one random prefix level* per packet (O(1) amortized instead of one
+//! update per level). Each level keeps a Space-Saving instance over the
+//! source address generalized to that prefix; queries scale counts by the
+//! number of levels H to compensate for the 1/H sampling. Robust for HHH —
+//! but it answers *only* HHH, which is the generality gap the paper
+//! places it in.
+
+use nitro_hash::Xoshiro256StarStar;
+use nitro_sketches::SpaceSaving;
+use std::net::Ipv4Addr;
+
+/// The byte-granularity source-IP hierarchy: /0, /8, /16, /24, /32.
+pub const PREFIX_LENGTHS: [u8; 5] = [0, 8, 16, 24, 32];
+
+/// A hierarchical prefix: address truncated to `len` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address (host bits zeroed).
+    pub addr: Ipv4Addr,
+    /// Prefix length.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Generalize an address to `len` bits.
+    pub fn of(addr: Ipv4Addr, len: u8) -> Self {
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Self {
+            addr: Ipv4Addr::from(u32::from(addr) & mask),
+            len,
+        }
+    }
+
+    fn key(&self) -> u64 {
+        (u64::from(u32::from(self.addr)) << 8) | u64::from(self.len)
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// The R-HHH monitor.
+pub struct Rhhh {
+    levels: Vec<SpaceSaving>,
+    rng: Xoshiro256StarStar,
+    packets: u64,
+}
+
+impl Rhhh {
+    /// One Space-Saving of `counters_per_level` per hierarchy level.
+    pub fn new(counters_per_level: usize, seed: u64) -> Self {
+        Self {
+            levels: PREFIX_LENGTHS
+                .iter()
+                .map(|_| SpaceSaving::new(counters_per_level))
+                .collect(),
+            rng: Xoshiro256StarStar::new(seed),
+            packets: 0,
+        }
+    }
+
+    /// Process one packet: update exactly one random level (the O(1)
+    /// trick).
+    pub fn update(&mut self, src: Ipv4Addr, weight: f64) {
+        self.packets += 1;
+        let lvl = self.rng.next_range(PREFIX_LENGTHS.len() as u64) as usize;
+        let prefix = Prefix::of(src, PREFIX_LENGTHS[lvl]);
+        self.levels[lvl].update(prefix.key(), weight);
+    }
+
+    /// Estimated traffic of a prefix (scaled by the level count H).
+    pub fn estimate(&self, prefix: Prefix) -> f64 {
+        let lvl = PREFIX_LENGTHS
+            .iter()
+            .position(|&l| l == prefix.len)
+            .expect("prefix length not in hierarchy");
+        self.levels[lvl].estimate(prefix.key()) * PREFIX_LENGTHS.len() as f64
+    }
+
+    /// Hierarchical heavy hitters: per level, prefixes whose scaled
+    /// estimate is ≥ `fraction` of the total traffic, heaviest first.
+    pub fn hierarchical_heavy_hitters(&self, fraction: f64) -> Vec<(Prefix, f64)> {
+        let threshold = fraction * self.packets as f64;
+        let h = PREFIX_LENGTHS.len() as f64;
+        let mut out = Vec::new();
+        for (lvl, ss) in self.levels.iter().enumerate() {
+            for (key, count) in ss.entries() {
+                let scaled = count * h;
+                if scaled >= threshold {
+                    out.push((
+                        Prefix {
+                            addr: Ipv4Addr::from((key >> 8) as u32),
+                            len: PREFIX_LENGTHS[lvl],
+                        },
+                        scaled,
+                    ));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Packets observed.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Resident bytes (Space-Saving entries across levels).
+    pub fn memory_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.len() * 40).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn prefix_generalization() {
+        let p = Prefix::of(ip(10, 1, 2, 3), 16);
+        assert_eq!(p.addr, ip(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert_eq!(Prefix::of(ip(9, 9, 9, 9), 0).addr, ip(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn finds_a_heavy_host_at_every_level() {
+        let mut r = Rhhh::new(64, 1);
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(2);
+        for _ in 0..100_000 {
+            if rng.next_bool(0.3) {
+                r.update(ip(10, 1, 2, 3), 1.0); // 30% from one host
+            } else {
+                r.update(
+                    ip(
+                        (rng.next_u64() % 200) as u8 + 16,
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                        rng.next_u64() as u8,
+                    ),
+                    1.0,
+                );
+            }
+        }
+        let hhh = r.hierarchical_heavy_hitters(0.1);
+        let found: Vec<String> = hhh.iter().map(|(p, _)| p.to_string()).collect();
+        for want in ["10.1.2.3/32", "10.1.2.0/24", "10.1.0.0/16", "10.0.0.0/8"] {
+            assert!(found.iter().any(|f| f == want), "missing {want} in {found:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_scale_to_truth() {
+        let mut r = Rhhh::new(64, 3);
+        for _ in 0..50_000 {
+            r.update(ip(10, 0, 0, 1), 1.0);
+        }
+        let e = r.estimate(Prefix::of(ip(10, 0, 0, 1), 32));
+        assert!((e - 50_000.0).abs() / 50_000.0 < 0.05, "estimate {e}");
+    }
+
+    #[test]
+    fn per_packet_work_is_one_level() {
+        // Indirect check: with L levels, each level's Space-Saving total
+        // should be ≈ packets/L.
+        let mut r = Rhhh::new(64, 4);
+        let n = 50_000;
+        for _ in 0..n {
+            r.update(ip(10, 0, 0, 1), 1.0);
+        }
+        for lvl in &r.levels {
+            let share = lvl.total() / n as f64;
+            assert!((share - 0.2).abs() < 0.02, "level share {share}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in hierarchy")]
+    fn bad_prefix_length_rejected() {
+        let r = Rhhh::new(8, 5);
+        r.estimate(Prefix::of(ip(1, 2, 3, 4), 12));
+    }
+}

@@ -1,0 +1,257 @@
+//! SketchVisor (Huang et al., SIGCOMM 2017).
+//!
+//! Architecture (§2 of the NitroSketch paper): a *normal path* running the
+//! full sketch (UnivMon here, as in the paper's §7.4 comparison) and a
+//! *fast path* — "a hash table of k entries … used for deciding whether to
+//! run an update or a kick-out operation", an improved Misra-Gries that
+//! processes packets when a queue builds up before the normal path. The
+//! control plane later merges both parts. Accuracy degrades as the fast
+//! path absorbs a larger share of the traffic — the effect Figs. 13/14
+//! quantify, with the evaluation "manually injecting 20%, 50%, 100% of
+//! traffic into the fast path", which [`SketchVisor::with_forced_fast_fraction`]
+//! reproduces.
+
+use nitro_hash::Xoshiro256StarStar;
+use nitro_sketches::{FlowKey, MisraGries, UnivMon};
+
+/// Packet-path statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Packets absorbed by the fast path.
+    pub fast: u64,
+    /// Packets processed by the normal path.
+    pub normal: u64,
+}
+
+/// How packets are routed between the two paths.
+enum Dispatch {
+    /// Evaluation mode: Bernoulli split with the given fast-path fraction.
+    Forced(f64, Xoshiro256StarStar),
+    /// Deployment mode: the normal path drains `capacity_pps`; excess
+    /// arrival (by trace timestamps) overflows into the fast path, modeled
+    /// as a token bucket.
+    Adaptive {
+        capacity_pps: f64,
+        tokens: f64,
+        max_tokens: f64,
+        last_ts: Option<u64>,
+    },
+}
+
+/// The SketchVisor two-path pipeline.
+pub struct SketchVisor {
+    fast: MisraGries,
+    normal: UnivMon,
+    dispatch: Dispatch,
+    stats: PathStats,
+}
+
+impl SketchVisor {
+    /// Deployment configuration: `fast_entries` fast-path counters (the
+    /// paper's comparison uses 900), a UnivMon normal path, and a normal-
+    /// path service capacity in packets/second.
+    pub fn new(fast_entries: usize, normal: UnivMon, capacity_pps: f64) -> Self {
+        assert!(capacity_pps > 0.0);
+        Self {
+            fast: MisraGries::new(fast_entries),
+            normal,
+            dispatch: Dispatch::Adaptive {
+                capacity_pps,
+                tokens: 0.0,
+                max_tokens: capacity_pps * 0.01, // 10 ms of buffering
+                last_ts: None,
+            },
+            stats: PathStats::default(),
+        }
+    }
+
+    /// Evaluation configuration: route exactly `fraction` of packets to the
+    /// fast path (the paper's 20%/50%/100% experiments).
+    pub fn with_forced_fast_fraction(
+        fast_entries: usize,
+        normal: UnivMon,
+        fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        Self {
+            fast: MisraGries::new(fast_entries),
+            normal,
+            dispatch: Dispatch::Forced(fraction, Xoshiro256StarStar::new(seed)),
+            stats: PathStats::default(),
+        }
+    }
+
+    /// Process one packet.
+    pub fn update(&mut self, key: FlowKey, weight: f64, ts_ns: u64) {
+        let to_fast = match &mut self.dispatch {
+            Dispatch::Forced(frac, rng) => rng.next_bool(*frac),
+            Dispatch::Adaptive {
+                capacity_pps,
+                tokens,
+                max_tokens,
+                last_ts,
+            } => {
+                if let Some(prev) = *last_ts {
+                    let dt = ts_ns.saturating_sub(prev) as f64 / 1e9;
+                    *tokens = (*tokens + dt * *capacity_pps).min(*max_tokens);
+                }
+                *last_ts = Some(ts_ns);
+                if *tokens >= 1.0 {
+                    *tokens -= 1.0;
+                    false
+                } else {
+                    true
+                }
+            }
+        };
+        if to_fast {
+            self.fast.update(key, weight);
+            self.stats.fast += 1;
+        } else {
+            self.normal.update(key, weight);
+            self.stats.normal += 1;
+        }
+    }
+
+    /// Merged frequency estimate (control-plane view): normal-path sketch
+    /// estimate plus the fast path's lower bound.
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.normal.estimate(key).max(0.0) + self.fast.estimate(key)
+    }
+
+    /// Merged heavy hitters above an absolute `threshold`.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        let mut keys: std::collections::HashSet<FlowKey> =
+            self.normal.candidates().collect();
+        keys.extend(self.fast.entries().iter().map(|&(k, _)| k));
+        let mut out: Vec<(FlowKey, f64)> = keys
+            .into_iter()
+            .map(|k| (k, self.estimate(k)))
+            .filter(|&(_, e)| e >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Total traffic observed across both paths.
+    pub fn total(&self) -> f64 {
+        self.normal.total() + self.fast.total()
+    }
+
+    /// Per-path packet counts.
+    pub fn path_stats(&self) -> PathStats {
+        self.stats
+    }
+
+    /// The normal-path UnivMon (for entropy/distinct queries; note these
+    /// lose the fast path's traffic — SketchVisor's robustness gap).
+    pub fn normal_path(&self) -> &UnivMon {
+        &self.normal
+    }
+
+    /// Resident bytes across both paths.
+    pub fn memory_bytes(&self) -> usize {
+        self.normal.memory_bytes() + self.fast.len() * 3 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_traffic::{keys_of, CaidaLike, GroundTruth};
+
+    fn small_univmon(seed: u64) -> UnivMon {
+        UnivMon::new(12, 5, &[128 << 10, 64 << 10], 256, seed)
+    }
+
+    #[test]
+    fn forced_fraction_routes_accordingly() {
+        let mut sv = SketchVisor::with_forced_fast_fraction(900, small_univmon(1), 0.5, 2);
+        for i in 0..100_000u64 {
+            sv.update(i % 100, 1.0, i * 100);
+        }
+        let s = sv.path_stats();
+        let frac = s.fast as f64 / (s.fast + s.normal) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fast fraction {frac}");
+    }
+
+    #[test]
+    fn all_normal_is_accurate() {
+        let mut sv = SketchVisor::with_forced_fast_fraction(900, small_univmon(3), 0.0, 4);
+        let keys: Vec<u64> = keys_of(CaidaLike::new(5, 10_000)).take(100_000).collect();
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        for (i, &k) in keys.iter().enumerate() {
+            sv.update(k, 1.0, i as u64 * 100);
+        }
+        let top = truth.top_k(5);
+        for &(k, t) in &top {
+            let e = sv.estimate(k);
+            assert!((e - t).abs() / t < 0.15, "key {k}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_with_fast_fraction() {
+        let keys: Vec<u64> = keys_of(CaidaLike::new(7, 50_000)).take(200_000).collect();
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        let top = truth.top_k(20);
+        let err_at = |frac: f64| {
+            let mut sv =
+                SketchVisor::with_forced_fast_fraction(64, small_univmon(8), frac, 9);
+            for (i, &k) in keys.iter().enumerate() {
+                sv.update(k, 1.0, i as u64 * 100);
+            }
+            top.iter()
+                .map(|&(k, t)| (sv.estimate(k) - t).abs() / t)
+                .sum::<f64>()
+                / top.len() as f64
+        };
+        let e0 = err_at(0.0);
+        let e100 = err_at(1.0);
+        assert!(
+            e100 > 2.0 * e0 + 0.01,
+            "fast-path error {e100} should exceed normal-path {e0}"
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_overflows_to_fast_under_load() {
+        // Capacity 1 Mpps, arrivals at 10 Mpps: ~90% must overflow.
+        let mut sv = SketchVisor::new(900, small_univmon(10), 1_000_000.0);
+        for i in 0..100_000u64 {
+            sv.update(i % 50, 1.0, i * 100); // 100 ns spacing = 10 Mpps
+        }
+        let s = sv.path_stats();
+        let frac = s.fast as f64 / (s.fast + s.normal) as f64;
+        assert!(frac > 0.8, "fast fraction {frac}");
+    }
+
+    #[test]
+    fn adaptive_mode_uses_normal_path_when_quiet() {
+        let mut sv = SketchVisor::new(900, small_univmon(11), 1_000_000.0);
+        for i in 0..10_000u64 {
+            sv.update(i % 50, 1.0, i * 10_000); // 100 kpps
+        }
+        let s = sv.path_stats();
+        assert!(
+            s.normal as f64 / (s.fast + s.normal) as f64 > 0.95,
+            "normal share too low: {s:?}"
+        );
+    }
+
+    #[test]
+    fn merged_heavy_hitters_cover_both_paths() {
+        let mut sv = SketchVisor::with_forced_fast_fraction(900, small_univmon(12), 0.5, 13);
+        for i in 0..50_000u64 {
+            sv.update(7, 1.0, i * 100); // single dominant flow
+            if i % 5 == 0 {
+                sv.update(1000 + i % 200, 1.0, i * 100);
+            }
+        }
+        let hh = sv.heavy_hitters(0.2 * sv.total());
+        assert_eq!(hh[0].0, 7);
+        let est = hh[0].1;
+        assert!((est - 50_000.0).abs() / 50_000.0 < 0.1, "merged est {est}");
+    }
+}

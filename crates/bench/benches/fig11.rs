@@ -1,0 +1,206 @@
+//! Figure 11 — UnivMon accuracy vs. epoch size, and AlwaysCorrect
+//! throughput over time.
+//!
+//! (a)/(b): mean relative error of heavy hitters, change detection and
+//! entropy for vanilla UnivMon vs NitroSketch-UnivMon at fixed sampling
+//! rates 0.1 and 0.01, across epoch sizes, at two memory scales.
+//! (c): throughput of AlwaysCorrect NitroSketch over time — slow (vanilla
+//! work) until convergence, then full speed.
+
+use nitro_bench::{mre_top, scaled};
+use nitro_core::univ::nitro_univmon;
+use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::Table;
+use nitro_sketches::{change, CountSketch, FlowKey, UnivMon};
+use nitro_traffic::{keys_of, CaidaLike, GroundTruth};
+use std::time::Instant;
+
+/// One accuracy row: (hh err, change err, entropy err) for an estimator
+/// built per epoch.
+struct Errors {
+    hh: f64,
+    change: f64,
+    entropy: f64,
+}
+
+fn univmon_errors(epoch: usize, scale_mem: f64, p: Option<f64>, seed: u64) -> Errors {
+    // Two consecutive epochs (change detection needs both). Without
+    // intervention, consecutive halves of a stationary trace differ only
+    // by sampling noise and no flow crosses the change threshold; inject
+    // genuine surges (20 mid-rank flows triple their volume in epoch 2),
+    // which is also how change-detection workloads are usually seeded.
+    let all: Vec<FlowKey> = keys_of(CaidaLike::new(seed, 200_000)).take(2 * epoch).collect();
+    let (e1, tail) = all.split_at(epoch);
+    let t1 = GroundTruth::from_keys(e1.iter().copied());
+    let mut e2: Vec<FlowKey> = tail.to_vec();
+    for &(k, c) in t1.top_k(60).iter().skip(40) {
+        // Append 2× the flow's epoch-1 volume → ~3× total in epoch 2.
+        for _ in 0..(2.0 * c) as usize {
+            e2.push(k);
+        }
+    }
+    let e2: &[FlowKey] = &e2;
+    let t2 = GroundTruth::from_keys(e2.iter().copied());
+
+    // Build one instance per epoch.
+    let build = |s: u64| -> Box<dyn UnivLike> {
+        match p {
+            None => Box::new(UnivMon::paper_config(14, 1000, s, scale_mem)),
+            Some(p) => Box::new(nitro_univmon(14, 1000, Mode::Fixed { p }, s, scale_mem)),
+        }
+    };
+    let mut u1 = build(seed ^ 1);
+    let mut u2 = build(seed ^ 2);
+    for &k in e1 {
+        u1.feed(k);
+    }
+    for &k in e2 {
+        u2.feed(k);
+    }
+
+    let hh = mre_top(&t2, 50, |k| u2.est(k));
+
+    // Change detection: score |ê2 − ê1| on the union of candidates, then
+    // MRE against true |Δ| for the true top changes.
+    let candidates: Vec<FlowKey> = u1.cands().into_iter().chain(u2.cands()).collect();
+    let scores = change::change_scores(|k| u1.est(k).max(0.0), |k| u2.est(k).max(0.0), candidates);
+    let true_changes = t2.heavy_changes(&t1, 0.0003);
+    let score_of = |k: FlowKey| {
+        scores
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    };
+    let change_err = nitro_metrics::mean_relative_error(
+        true_changes
+            .iter()
+            .take(30)
+            .map(|&(k, d)| (score_of(k), d.abs())),
+    );
+
+    let entropy_err = {
+        let h_true = t2.entropy_bits();
+        (u2.entropy() - h_true).abs() / h_true.max(1e-9)
+    };
+
+    Errors {
+        hh,
+        change: change_err,
+        entropy: entropy_err,
+    }
+}
+
+/// Object-safe facade over vanilla and Nitro UnivMon.
+trait UnivLike {
+    fn feed(&mut self, k: FlowKey);
+    fn est(&self, k: FlowKey) -> f64;
+    fn cands(&self) -> Vec<FlowKey>;
+    fn entropy(&self) -> f64;
+}
+
+impl UnivLike for UnivMon {
+    fn feed(&mut self, k: FlowKey) {
+        self.update(k, 1.0);
+    }
+    fn est(&self, k: FlowKey) -> f64 {
+        self.estimate(k)
+    }
+    fn cands(&self) -> Vec<FlowKey> {
+        self.candidates().collect()
+    }
+    fn entropy(&self) -> f64 {
+        UnivMon::entropy(self)
+    }
+}
+
+impl UnivLike for nitro_core::NitroUnivMon {
+    fn feed(&mut self, k: FlowKey) {
+        self.update(k, 1.0);
+    }
+    fn est(&self, k: FlowKey) -> f64 {
+        self.estimate(k)
+    }
+    fn cands(&self) -> Vec<FlowKey> {
+        self.candidates().collect()
+    }
+    fn entropy(&self) -> f64 {
+        nitro_core::NitroUnivMon::entropy(self)
+    }
+}
+
+fn main() {
+    let epochs: Vec<usize> = [250_000usize, 1_000_000, 4_000_000]
+        .iter()
+        .map(|&e| scaled(e))
+        .collect();
+
+    // Panels (a) full memory and (b) quarter memory.
+    for (panel, mem_scale) in [("a: 8MB-class", 0.25f64), ("b: 2MB-class", 0.0625)] {
+        let mut table = Table::new(
+            &format!("Figure 11{panel}: UnivMon error (%) vs epoch size"),
+            &[
+                "epoch",
+                "task",
+                "vanilla",
+                "nitro p=0.1",
+                "nitro p=0.01",
+            ],
+        );
+        for &epoch in &epochs {
+            let v = univmon_errors(epoch, mem_scale, None, 42);
+            let n1 = univmon_errors(epoch, mem_scale, Some(0.1), 42);
+            let n2 = univmon_errors(epoch, mem_scale, Some(0.01), 42);
+            for (task, a, b, c) in [
+                ("HH", v.hh, n1.hh, n2.hh),
+                ("Change", v.change, n1.change, n2.change),
+                ("Entropy", v.entropy, n1.entropy, n2.entropy),
+            ] {
+                table.row(&[
+                    format!("{epoch}"),
+                    task.into(),
+                    format!("{:.2}", a * 100.0),
+                    format!("{:.2}", b * 100.0),
+                    format!("{:.2}", c * 100.0),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+
+    // Panel (c): AlwaysCorrect throughput over (packet) time.
+    let mut table = Table::new(
+        "Figure 11c: AlwaysCorrect throughput over time (Count Sketch core)",
+        &["packets seen", "p", "mpps (slice)"],
+    );
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(5, 110_000, 7),
+        Mode::AlwaysCorrect {
+            epsilon: 0.1,
+            q: 1000,
+            p_after: 0.01,
+        },
+        8,
+    );
+    let slice = scaled(200_000);
+    let mut gen = keys_of(CaidaLike::new(17, 500_000));
+    for s in 1..=12 {
+        let keys: Vec<FlowKey> = gen.by_ref().take(slice).collect();
+        let t = Instant::now();
+        for &k in &keys {
+            nitro.process(k, 1.0);
+        }
+        let mpps = slice as f64 / t.elapsed().as_secs_f64() / 1e6;
+        table.row(&[
+            format!("{}", s * slice),
+            format!("{}", nitro.p()),
+            format!("{mpps:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper shape: vanilla and Nitro errors converge at large epochs\n\
+         (p=0.1 earlier than p=0.01); AlwaysCorrect jumps to full speed at\n\
+         the convergence point (paper: ~0.6–0.8 s at 40GbE)."
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 13 — (a) in-memory throughput of SketchVisor vs NitroSketch;
+//! (b) memory consumption of sFlow/NetFlow vs NitroSketch.
+//!
+//! (a) reproduces the paper's in-memory test: SketchVisor with 20%/50%/100%
+//! of traffic forced into its fast path vs NitroSketch's buffered batch
+//! path (paper: 2.1–6.1 Mpps vs 83 Mpps).
+//! (b) reproduces the memory bars: NetFlow/sFlow at sampling rate 0.01 over
+//! a polling interval vs NitroSketch-UnivMon's fixed structure.
+
+use nitro_bench::scaled;
+use nitro_baselines::{NetFlow, SFlow, SketchVisor};
+use nitro_core::univ::nitro_univmon;
+use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::Table;
+use nitro_sketches::{CountSketch, FlowKey, UnivMon};
+use nitro_traffic::{keys_of, CaidaLike};
+use std::time::Instant;
+
+fn main() {
+    let n = scaled(2_000_000);
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(3, 200_000)).take(n).collect();
+
+    // --- (a) in-memory throughput ---------------------------------------
+    let mut table = Table::new(
+        "Figure 13a: in-memory packet rate, SketchVisor vs NitroSketch",
+        &["system", "mpps"],
+    );
+    for frac in [0.2f64, 0.5, 1.0] {
+        // The paper's comparison config: 900 fast-path counters, UnivMon
+        // normal path with a 5% error target.
+        let mut sv = SketchVisor::with_forced_fast_fraction(
+            900,
+            UnivMon::new(14, 5, &[1 << 20, 512 << 10, 256 << 10], 1000, 7),
+            frac,
+            8,
+        );
+        let t = Instant::now();
+        for (i, &k) in keys.iter().enumerate() {
+            sv.update(k, 1.0, i as u64 * 100);
+        }
+        let mpps = keys.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
+        table.row(&[
+            format!("SketchVisor ({:.0}% fast path)", frac * 100.0),
+            format!("{mpps:.2}"),
+        ]);
+    }
+    {
+        let mut nitro = NitroSketch::new(
+            CountSketch::with_memory(2 << 20, 5, 9),
+            Mode::Fixed { p: 0.01 },
+            10,
+        )
+        .with_topk(100);
+        let t = Instant::now();
+        for chunk in keys.chunks(32) {
+            nitro.process_batch(chunk, 1.0);
+        }
+        let mpps = keys.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
+        table.row(&["NitroSketch (batched, p=0.01)".into(), format!("{mpps:.2}")]);
+    }
+    println!("{table}");
+
+    // --- (b) memory consumption ------------------------------------------
+    // The paper's 10 s polling interval at 10–40 GbE carries 10⁸-class
+    // packet counts; stream a (scaled) interval and also report the
+    // linear extrapolation to 100M packets — NetFlow's cache and sFlow's
+    // sample log grow with the interval, the sketch does not.
+    let interval = scaled(20_000_000);
+    let mut nf = NetFlow::new(0.01, 11);
+    let mut sf = SFlow::new(0.01, 12);
+    for (i, k) in keys_of(CaidaLike::new(14, 2_000_000)).take(interval).enumerate() {
+        nf.update(k, 714.0, i as u64 * 100);
+        sf.update(k, 714.0, i as u64 * 100);
+    }
+    let univ = nitro_univmon(14, 1000, Mode::Fixed { p: 0.01 }, 13, 0.25);
+    let mut table = Table::new(
+        &format!("Figure 13b: memory over a {interval}-packet polling interval"),
+        &["system", "measured (MB)", "per 100M packets (MB)"],
+    );
+    let scale_up = 100_000_000.0 / interval as f64;
+    table.row(&[
+        "NetFlow (rate 0.01)".into(),
+        format!("{:.2}", nf.memory_bytes() as f64 / 1e6),
+        format!("{:.1}", nf.memory_bytes() as f64 * scale_up / 1e6),
+    ]);
+    table.row(&[
+        "sFlow (rate 0.01)".into(),
+        format!("{:.2}", sf.memory_bytes() as f64 / 1e6),
+        format!("{:.1}", sf.memory_bytes() as f64 * scale_up / 1e6),
+    ]);
+    table.row(&[
+        "NitroSketch-UnivMon".into(),
+        format!("{:.2}", univ.memory_bytes() as f64 / 1e6),
+        format!("{:.1}", univ.memory_bytes() as f64 / 1e6),
+    ]);
+    println!("{table}");
+    println!(
+        "paper shape: SketchVisor tops out near 6 Mpps even all-fast-path;\n\
+         NitroSketch runs an order of magnitude faster. NetFlow/sFlow\n\
+         memory grows with the interval; the sketch stays fixed."
+    );
+}

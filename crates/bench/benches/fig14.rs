@@ -1,0 +1,83 @@
+//! Figure 14 — heavy-hitter relative error of SketchVisor (20/50/100% fast
+//! path) vs NitroSketch across epochs, on CAIDA-like, DDoS and datacenter
+//! workloads.
+//!
+//! Paper claims reproduced: NitroSketch has larger errors *before*
+//! convergence (small epochs) but beats SketchVisor after; SketchVisor is
+//! inaccurate on CAIDA/DDoS (heavy-tailed) and acceptable on the skewed
+//! datacenter trace; NitroSketch is accurate on all three.
+
+use nitro_bench::{mre_top, scaled};
+use nitro_baselines::SketchVisor;
+use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::Table;
+use nitro_sketches::{CountSketch, FlowKey, UnivMon};
+use nitro_switch::nic::PacketRecord;
+use nitro_traffic::{keys_of, CaidaLike, DatacenterLike, DdosAttack, GroundTruth};
+
+fn univmon(seed: u64) -> UnivMon {
+    UnivMon::new(12, 5, &[512 << 10, 256 << 10], 512, seed)
+}
+
+fn run_trace(name: &str, keys_by_epoch: &[Vec<FlowKey>]) {
+    let mut table = Table::new(
+        &format!("Figure 14 ({name}): HH mean relative error (%)"),
+        &["epoch", "sv 20%", "sv 50%", "sv 100%", "nitro"],
+    );
+    for keys in keys_by_epoch {
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        let sv_err = |frac: f64, seed: u64| {
+            let mut sv = SketchVisor::with_forced_fast_fraction(900, univmon(7), frac, seed);
+            for (i, &k) in keys.iter().enumerate() {
+                sv.update(k, 1.0, i as u64 * 100);
+            }
+            mre_top(&truth, 50, |k| sv.estimate(k))
+        };
+        let nitro_err = {
+            let mut nitro = NitroSketch::new(
+                CountSketch::with_memory(2 << 20, 5, 9),
+                Mode::Fixed { p: 0.01 },
+                10,
+            );
+            for &k in keys {
+                nitro.process(k, 1.0);
+            }
+            mre_top(&truth, 50, |k| nitro.estimate(k))
+        };
+        table.row(&[
+            format!("{}", keys.len()),
+            format!("{:.2}", sv_err(0.2, 11) * 100.0),
+            format!("{:.2}", sv_err(0.5, 12) * 100.0),
+            format!("{:.2}", sv_err(1.0, 13) * 100.0),
+            format!("{:.2}", nitro_err * 100.0),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn epochs_of<I: Iterator<Item = PacketRecord>>(gen: I, sizes: &[usize]) -> Vec<Vec<FlowKey>> {
+    let mut keys = keys_of(gen);
+    sizes
+        .iter()
+        .map(|&n| keys.by_ref().take(n).collect())
+        .collect()
+}
+
+fn main() {
+    let sizes: Vec<usize> = [250_000usize, 1_000_000, 4_000_000]
+        .iter()
+        .map(|&e| scaled(e))
+        .collect();
+
+    run_trace("CAIDA-like", &epochs_of(CaidaLike::new(3, 200_000), &sizes));
+    run_trace("DDoS", &epochs_of(DdosAttack::new(4, 50_000, 0.5), &sizes));
+    run_trace(
+        "datacenter",
+        &epochs_of(DatacenterLike::new(5, 10_000), &sizes),
+    );
+    println!(
+        "paper shape: SketchVisor error grows with its fast-path share and\n\
+         is worst on heavy-tailed traces; NitroSketch converges to low\n\
+         error on all three traces as epochs grow."
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 15 — heavy-hitter recall of NetFlow (sampling 0.001/0.002/0.01)
+//! vs NitroSketch (0.01) across epochs, on CAIDA-like, DDoS and datacenter
+//! workloads.
+//!
+//! Paper claims reproduced: NetFlow's top-100 recall is poor at low rates
+//! on the heavy-tailed CAIDA/DDoS traces and relatively good on the skewed
+//! datacenter trace; NitroSketch's recall is high everywhere.
+
+use nitro_bench::{recall_top, scaled};
+use nitro_baselines::NetFlow;
+use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::Table;
+use nitro_sketches::{CountSketch, FlowKey};
+use nitro_switch::nic::PacketRecord;
+use nitro_traffic::{keys_of, CaidaLike, DatacenterLike, DdosAttack, GroundTruth};
+
+const TOP: usize = 100;
+
+fn run_trace(name: &str, keys_by_epoch: &[Vec<FlowKey>]) {
+    let mut table = Table::new(
+        &format!("Figure 15 ({name}): top-{TOP} HH recall (%)"),
+        &["epoch", "netflow .001", "netflow .002", "netflow .01", "nitro .01"],
+    );
+    for keys in keys_by_epoch {
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        let nf_recall = |rate: f64, seed: u64| {
+            let mut nf = NetFlow::new(rate, seed);
+            for (i, &k) in keys.iter().enumerate() {
+                nf.update(k, 64.0, i as u64 * 100);
+            }
+            let reported: Vec<FlowKey> =
+                nf.flows().iter().take(TOP).map(|&(k, _)| k).collect();
+            recall_top(&truth, TOP, &reported)
+        };
+        let nitro_recall = {
+            let mut nitro = NitroSketch::new(
+                CountSketch::with_memory(2 << 20, 5, 9),
+                Mode::Fixed { p: 0.01 },
+                10,
+            )
+            .with_topk(4 * TOP);
+            for &k in keys {
+                nitro.process(k, 1.0);
+            }
+            let reported: Vec<FlowKey> = nitro
+                .heavy_hitters(0.0)
+                .iter()
+                .take(TOP)
+                .map(|&(k, _)| k)
+                .collect();
+            recall_top(&truth, TOP, &reported)
+        };
+        table.row(&[
+            format!("{}", keys.len()),
+            format!("{:.0}", nf_recall(0.001, 11) * 100.0),
+            format!("{:.0}", nf_recall(0.002, 12) * 100.0),
+            format!("{:.0}", nf_recall(0.01, 13) * 100.0),
+            format!("{:.0}", nitro_recall * 100.0),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn epochs_of<I: Iterator<Item = PacketRecord>>(gen: I, sizes: &[usize]) -> Vec<Vec<FlowKey>> {
+    let mut keys = keys_of(gen);
+    sizes
+        .iter()
+        .map(|&n| keys.by_ref().take(n).collect())
+        .collect()
+}
+
+fn main() {
+    let sizes: Vec<usize> = [250_000usize, 1_000_000, 4_000_000]
+        .iter()
+        .map(|&e| scaled(e))
+        .collect();
+
+    run_trace("CAIDA-like", &epochs_of(CaidaLike::new(3, 200_000), &sizes));
+    run_trace("DDoS", &epochs_of(DdosAttack::new(4, 50_000, 0.5), &sizes));
+    run_trace(
+        "datacenter",
+        &epochs_of(DatacenterLike::new(5, 10_000), &sizes),
+    );
+    println!(
+        "paper shape: NetFlow recall rises with rate and epoch but stays\n\
+         poor at low rates on heavy-tailed traces; the skewed datacenter\n\
+         trace is easy for everyone; NitroSketch is high across the board."
+    );
+}

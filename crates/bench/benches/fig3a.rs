@@ -1,0 +1,82 @@
+//! Figure 3(a) — throughput vs. number of flows on the 1-core OVS-style
+//! datapath: Hashtable, UnivMon (5%), Count-Min (1%), K-ary (5%).
+//!
+//! The paper's point: the hash table is fast while its working set fits in
+//! cache and collapses beyond (≳ 10–20 M flows), while sketches (whose
+//! footprint is fixed) stay flat. Sketch memory follows the paper's
+//! error-target parameterization (UnivMon/K-ary at 5%, CMS at 1%).
+
+use nitro_bench::{ovs_run, scaled};
+use nitro_core::theory;
+use nitro_metrics::Table;
+use nitro_sketches::{CountMin, KarySketch};
+use nitro_switch::ovs::VanillaMeasurement;
+use nitro_traffic::{take_records, UniformFlows};
+
+fn main() {
+    let n = scaled(400_000);
+    // 1K → 32M flows (the paper sweeps to 100M; the working-set effect
+    // appears as soon as tables leave the LLC).
+    let flow_counts: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 8_000_000, 32_000_000];
+
+    let mut table = Table::new(
+        "Figure 3a: throughput vs #flows (Mpps, 1-core OVS-style datapath)",
+        &["flows", "hashtable", "univmon(5%)", "countmin(1%)", "kary(5%)"],
+    );
+
+    for &flows in flow_counts {
+        let records = take_records(UniformFlows::new(3, flows), n);
+
+        // The baseline's premise is a table sized for the workload ("small
+        // hash tables can suffice"): 2 slots per flow. Its working set —
+        // and hence cache behaviour — therefore grows with the sweep.
+        let ht = nitro_baselines::SmallHashTable::new((flows as usize) * 2, 7);
+        let ht_mpps = {
+            // Wrap as a Measurement via a closure-style adapter.
+            struct HtMeas(nitro_baselines::SmallHashTable);
+            impl nitro_switch::ovs::Measurement for HtMeas {
+                fn on_packet(&mut self, key: u64, _ts: u64, w: f64) {
+                    self.0.update(key, w);
+                }
+            }
+            let (r, _) = ovs_run(&records, HtMeas(ht));
+            r.mpps()
+        };
+
+        let um_mpps = {
+            let um = nitro_sketches::UnivMon::new(
+                14,
+                5,
+                &[1 << 20, 512 << 10, 256 << 10],
+                1000,
+                7,
+            );
+            let (r, _) = ovs_run(&records, um);
+            r.mpps()
+        };
+
+        let cm_mpps = {
+            let cm = CountMin::new(5, theory::width_l1(0.01), 7);
+            let (r, _) = ovs_run(&records, VanillaMeasurement::new(cm));
+            r.mpps()
+        };
+
+        let ka_mpps = {
+            let ka = KarySketch::new(5, (4.0f64 / (0.05 * 0.05)).ceil() as usize, 7);
+            let (r, _) = ovs_run(&records, VanillaMeasurement::new(ka));
+            r.mpps()
+        };
+        table.row(&[
+            format!("{flows}"),
+            format!("{ht_mpps:.2}"),
+            format!("{um_mpps:.2}"),
+            format!("{cm_mpps:.2}"),
+            format!("{ka_mpps:.2}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper shape: hashtable leads at small flow counts, collapses once\n\
+         the working set leaves cache; the sketches stay flat."
+    );
+}

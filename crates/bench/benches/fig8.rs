@@ -1,0 +1,130 @@
+//! Figure 8 — throughput of original vs NitroSketch-accelerated sketches
+//! on the three platforms (OVS-DPDK, VPP, BESS) under three workloads
+//! (CAIDA-like, 64 B stress, datacenter).
+//!
+//! Reproduced series: for each (platform, workload), the packet rate of
+//! the switch alone, with each unmodified sketch, and with each
+//! Nitro-wrapped sketch at p = 0.01. The paper's claim is that the Nitro
+//! bars sit at (or within noise of) the switch-alone bar while the
+//! unmodified bars sit far below.
+
+use nitro_bench::scaled;
+use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::Table;
+use nitro_sketches::{CountMin, CountSketch, KarySketch, Sketch, UnivMon};
+use nitro_switch::bess::BessPipeline;
+use nitro_switch::nic::PacketRecord;
+use nitro_switch::ovs::{Measurement, NullMeasurement, OvsDatapath, VanillaMeasurement};
+use nitro_switch::vpp::VppGraph;
+use nitro_traffic::{take_records, CaidaLike, DatacenterLike, MinSized};
+
+const P: f64 = 0.01;
+
+fn run_platform<M: Measurement>(platform: &str, records: &[PacketRecord], m: M) -> f64 {
+    match platform {
+        "OVS" => OvsDatapath::new(m).run_trace(records).mpps(),
+        "VPP" => VppGraph::new(m).run_trace(records).mpps(),
+        "BESS" => BessPipeline::new(m).run_trace(records).mpps(),
+        _ => unreachable!(),
+    }
+}
+
+fn univmon(seed: u64) -> UnivMon {
+    UnivMon::new(
+        14,
+        5,
+        &[4 << 20, 2 << 20, 1 << 20, 500 << 10, 250 << 10],
+        1000,
+        seed,
+    )
+}
+
+fn nitro_univmon(seed: u64) -> nitro_core::NitroUnivMon {
+    nitro_core::univ::nitro_univmon(14, 1000, Mode::Fixed { p: P }, seed, 1.0)
+}
+
+fn vanilla<S: Sketch>(s: S) -> VanillaMeasurement<S> {
+    VanillaMeasurement::with_topk(s, 100)
+}
+
+fn main() {
+    let n = scaled(800_000);
+    let workloads: Vec<(&str, Vec<PacketRecord>)> = vec![
+        ("caida", take_records(CaidaLike::new(5, 200_000), n)),
+        ("64B", take_records(MinSized::new(5, 100_000, 59.53e6), n)),
+        ("datacenter", take_records(DatacenterLike::new(5, 10_000), n)),
+    ];
+
+    for (wname, records) in &workloads {
+        let mut table = Table::new(
+            &format!("Figure 8 ({wname}): original vs NitroSketch (p = {P}), Mpps"),
+            &["platform", "switch only", "sketch", "original", "nitro"],
+        );
+        for platform in ["OVS", "VPP", "BESS"] {
+            let base = run_platform(platform, records, NullMeasurement);
+            let rows: Vec<(&str, f64, f64)> = vec![
+                (
+                    "UnivMon",
+                    run_platform(platform, records, univmon(7)),
+                    run_platform(platform, records, nitro_univmon(7)),
+                ),
+                (
+                    "Count-Min",
+                    run_platform(platform, records, vanilla(CountMin::with_memory(200 << 10, 5, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        NitroSketch::new(
+                            CountMin::with_memory(200 << 10, 5, 7),
+                            Mode::Fixed { p: P },
+                            8,
+                        )
+                        .with_topk(100),
+                    ),
+                ),
+                (
+                    "Count Sketch",
+                    run_platform(platform, records, vanilla(CountSketch::with_memory(2 << 20, 5, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        NitroSketch::new(
+                            CountSketch::with_memory(2 << 20, 5, 7),
+                            Mode::Fixed { p: P },
+                            8,
+                        )
+                        .with_topk(100),
+                    ),
+                ),
+                (
+                    "K-ary",
+                    run_platform(platform, records, vanilla(KarySketch::with_memory(2 << 20, 10, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        NitroSketch::new(
+                            KarySketch::with_memory(2 << 20, 10, 7),
+                            Mode::Fixed { p: P },
+                            8,
+                        )
+                        .with_topk(100),
+                    ),
+                ),
+            ];
+            for (sketch, orig, nitro) in rows {
+                table.row(&[
+                    platform.into(),
+                    format!("{base:.2}"),
+                    sketch.into(),
+                    format!("{orig:.2}"),
+                    format!("{nitro:.2}"),
+                ]);
+            }
+        }
+        println!("{table}");
+    }
+    println!(
+        "paper shape: every 'nitro' column ≈ its 'switch only' column;\n\
+         every 'original' column sits well below, worst for UnivMon."
+    );
+}

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the hot primitives: hash families,
+//! geometric draws, per-packet sketch update paths, the SPSC ring, and
+//! batched vs scalar hashing. These are the per-op costs the cost model
+//! calibrates and the figures build on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nitro_core::{Mode, NitroSketch};
+use nitro_hash::batch::{xxh64_u64_lanes, LANES};
+use nitro_hash::pairwise::{MultiplyShift, PolyHash};
+use nitro_hash::xxhash::{xxh32, xxh64, xxh64_u64};
+use nitro_hash::{GeometricSampler, TabulationHash, Xoshiro256StarStar};
+use nitro_sketches::{CountSketch, Sketch};
+use nitro_switch::SpscRing;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Elements(1));
+    let key = 0xDEADBEEFCAFEBABEu64;
+    let bytes13 = [7u8; 13];
+
+    g.bench_function("xxh64_u64", |b| b.iter(|| xxh64_u64(black_box(key), 7)));
+    g.bench_function("xxh64_13B", |b| b.iter(|| xxh64(black_box(&bytes13), 7)));
+    g.bench_function("xxh32_13B", |b| b.iter(|| xxh32(black_box(&bytes13), 7)));
+    let ms = MultiplyShift::new(1);
+    g.bench_function("multiply_shift", |b| b.iter(|| ms.hash(black_box(key))));
+    let tab = TabulationHash::new(2);
+    g.bench_function("tabulation", |b| b.iter(|| tab.hash(black_box(key))));
+    let poly = PolyHash::pairwise(3);
+    g.bench_function("poly_pairwise", |b| b.iter(|| poly.hash(black_box(key))));
+
+    g.throughput(Throughput::Elements(LANES as u64));
+    let keys = [key; LANES];
+    g.bench_function("xxh64_lanes_x8", |b| b.iter(|| xxh64_u64_lanes(black_box(&keys), 7)));
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.throughput(Throughput::Elements(1));
+    let mut geo = GeometricSampler::new(0.01, 1);
+    g.bench_function("geometric_draw", |b| b.iter(|| geo.next_skip()));
+    let mut rng = Xoshiro256StarStar::new(2);
+    g.bench_function("coin_flip", |b| b.iter(|| rng.next_bool(0.01)));
+    g.finish();
+}
+
+fn bench_sketch_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_packet");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = Xoshiro256StarStar::new(3);
+    let keys: Vec<u64> = (0..4096).map(|_| rng.next_range(100_000)).collect();
+
+    let mut vanilla = CountSketch::with_memory(2 << 20, 5, 7);
+    let mut i = 0usize;
+    g.bench_function("vanilla_count_sketch", |b| {
+        b.iter(|| {
+            vanilla.update(keys[i & 4095], 1.0);
+            i += 1;
+        })
+    });
+
+    let mut nitro = NitroSketch::new(
+        CountSketch::with_memory(2 << 20, 5, 7),
+        Mode::Fixed { p: 0.01 },
+        8,
+    );
+    let mut j = 0usize;
+    g.bench_function("nitro_count_sketch_p01", |b| {
+        b.iter(|| {
+            nitro.process(keys[j & 4095], 1.0);
+            j += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch32");
+    g.throughput(Throughput::Elements(32));
+    let mut rng = Xoshiro256StarStar::new(4);
+    let batch: Vec<u64> = (0..32).map(|_| rng.next_range(100_000)).collect();
+
+    g.bench_function("nitro_scalar", |b| {
+        b.iter_batched(
+            || {
+                NitroSketch::new(
+                    CountSketch::with_memory(256 << 10, 5, 7),
+                    Mode::Fixed { p: 0.05 },
+                    8,
+                )
+            },
+            |mut n| {
+                for &k in &batch {
+                    n.process(k, 1.0);
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nitro_batched", |b| {
+        b.iter_batched(
+            || {
+                NitroSketch::new(
+                    CountSketch::with_memory(256 << 10, 5, 7),
+                    Mode::Fixed { p: 0.05 },
+                    8,
+                )
+            },
+            |mut n| {
+                n.process_batch(&batch, 1.0);
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.throughput(Throughput::Elements(1));
+    let ring: SpscRing<u64> = SpscRing::new(1024);
+    g.bench_function("push_pop", |b| {
+        b.iter(|| {
+            ring.push(black_box(42));
+            ring.pop()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(50);
+    targets = bench_hashes, bench_sampling, bench_sketch_update, bench_batching, bench_spsc
+);
+criterion_main!(micro);

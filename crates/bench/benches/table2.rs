@@ -1,0 +1,95 @@
+//! Table 2 — "CPU hotspots on UnivMon with OVS-DPDK".
+//!
+//! The paper profiles a sketch-laden vswitchd thread with VTune and finds
+//! hashing ≈ 37%, counter updates ≈ 16%, heap operations ≈ 16%, with
+//! switch work (miniflow extract, dpdk recv) in the single digits. We
+//! regenerate the table from (a) measured coarse stage times of the
+//! pipeline and (b) the calibrated per-operation cost model applied to the
+//! sketch's operation counts — see DESIGN.md substitution #3.
+
+use nitro_bench::{scaled, VanillaWithHeap};
+use nitro_metrics::Table;
+use nitro_sketches::{CountSketch, FlowKey};
+use nitro_switch::cost::{CostModel, CostReport, Stage};
+use nitro_switch::ovs::{NullMeasurement, OvsDatapath};
+use nitro_traffic::{take_records, MinSized};
+use std::time::Instant;
+
+fn main() {
+    let n = scaled(1_000_000);
+    let records = take_records(MinSized::new(2, 100_000, 14.88e6), n);
+    let model = CostModel::calibrate();
+    println!(
+        "calibrated per-op costs: hash {:.1} ns, counter {:.1} ns, heap {:.1} ns, \
+         parse {:.1} ns, emc {:.1} ns, geo {:.1} ns\n",
+        model.hash_ns, model.counter_ns, model.heap_ns, model.parse_ns, model.emc_ns, model.geo_ns
+    );
+
+    // Measure the switch-side work (no measurement) for the same trace.
+    let mut plain = OvsDatapath::new(NullMeasurement);
+    plain.run_trace(&records);
+    let switch_cost = plain.cost().clone();
+
+    // Measure the sketch-side work standalone: a UnivMon-class workload is
+    // dominated by its Count Sketch levels; time the vanilla per-packet
+    // path and attribute it with the cost model (each packet = d hashes,
+    // d counter updates, 1 heap query+offer; UnivMon repeats this on ~2
+    // levels on average, which the multiplier accounts for).
+    let keys: Vec<FlowKey> = records.iter().map(|r| r.tuple.flow_key()).collect();
+    let mut univ_like = VanillaWithHeap::new(CountSketch::with_memory(2 << 20, 5, 7), 1000);
+    let t = Instant::now();
+    for &k in &keys {
+        univ_like.process(k, 1.0);
+    }
+    let sketch_wall_ns = t.elapsed().as_nanos() as f64;
+    let levels_avg = 2.0; // E[levels touched] = Σ 2^-j ≈ 2
+
+    let d = 5.0;
+    let pkts = keys.len() as f64;
+    let mut modeled = CostReport::new();
+    modeled.add(Stage::SketchHash, pkts * d * levels_avg * model.hash_ns);
+    modeled.add(Stage::SketchCounter, pkts * d * levels_avg * model.counter_ns);
+    // Heap work: one estimate (d hashes again) + offer per packet/level.
+    modeled.add(
+        Stage::SketchHeap,
+        pkts * levels_avg * (model.heap_ns + d * model.hash_ns),
+    );
+
+    // Rescale the modeled sketch internals so they sum to the *measured*
+    // sketch wall time (the model fixes proportions; the wall clock fixes
+    // the total), then merge with the measured switch stages.
+    let modeled_total = modeled.total_ns();
+    let mut combined = CostReport::new();
+    for (stage, ns, _) in modeled.rows() {
+        combined.add(stage, ns / modeled_total * sketch_wall_ns * levels_avg);
+    }
+    combined.merge(&switch_cost);
+
+    println!("{combined}");
+
+    let mut table = Table::new(
+        "Table 2 (reproduced): CPU hotspots, UnivMon-class sketch on OVS",
+        &["func/call stack", "description", "cpu time"],
+    );
+    let rows = [
+        (Stage::SketchHash, "xxhash", "hash computations"),
+        (Stage::SketchCounter, "__memcpy-class", "counter updates"),
+        (Stage::SketchHeap, "heap_find/heapify", "heap operations"),
+        (Stage::Parse, "miniflow_extract", "retrieve miniflow info"),
+        (Stage::EmcLookup, "emc_lookup", "exact-match cache"),
+        (Stage::Classifier, "dpcls", "tuple space search"),
+        (Stage::Io, "recv_pkts_vecs", "dpdk packet recv"),
+    ];
+    for (stage, func, desc) in rows {
+        table.row(&[
+            func.into(),
+            desc.into(),
+            format!("{:.2}%", combined.share(stage)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "paper: xxhash 37.3%, memcpy/counters 15.9%, heap 15.6%,\n\
+         miniflow 2.9%, dpdk recv 2.7% — the sketch dominates the thread."
+    );
+}

@@ -1,0 +1,220 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every paper table/figure has a bench target under `benches/` (custom
+//! `harness = false` mains). They share, from here:
+//!
+//! - [`scale`]: experiment sizing. Default sizes finish a full
+//!   `cargo bench` in minutes; `NITRO_SCALE=paper` multiplies epoch sizes
+//!   toward the paper's 1M–1B range, `NITRO_SCALE=<float>` picks anything
+//!   in between.
+//! - [`mpps_in_memory`]: single-thread packet-rate measurement of a
+//!   measurement module alone (the paper's "in-memory benchmarks").
+//! - [`ovs_run`]: throughput of an OVS-style datapath with a given
+//!   measurement module over a trace.
+//! - [`mre_top`] / [`recall_top`]: the paper's accuracy metrics.
+//! - [`BernoulliRowSampling`]: the Idea-A-without-Idea-B ablation (counter
+//!   array sampling by per-row coin flips), used by Fig. 9(b).
+
+use nitro_core::{Mode, NitroSketch};
+use nitro_hash::Xoshiro256StarStar;
+use nitro_sketches::{CountSketch, FlowKey, RowSketch, Sketch, TopK};
+use nitro_switch::nic::PacketRecord;
+use nitro_switch::ovs::{Measurement, OvsDatapath, RunReport};
+use nitro_traffic::GroundTruth;
+use std::time::Instant;
+
+/// Experiment scale factor from `NITRO_SCALE` (`paper` = 16, default 1).
+pub fn scale() -> f64 {
+    match std::env::var("NITRO_SCALE").as_deref() {
+        Ok("paper") => 16.0,
+        Ok(s) => s.parse().unwrap_or(1.0),
+        Err(_) => 1.0,
+    }
+}
+
+/// Scale a packet count by [`scale`].
+pub fn scaled(base: usize) -> usize {
+    (base as f64 * scale()) as usize
+}
+
+/// Measure the in-memory single-thread packet rate of a per-key closure.
+pub fn mpps_of(keys: &[FlowKey], mut f: impl FnMut(FlowKey)) -> f64 {
+    let start = Instant::now();
+    for &k in keys {
+        f(k);
+    }
+    keys.len() as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+/// Measure the in-memory packet rate of a [`Measurement`] module fed in
+/// DPDK-size batches (32 keys), the paper's in-memory benchmark shape.
+pub fn mpps_in_memory<M: Measurement>(keys: &[FlowKey], m: &mut M) -> f64 {
+    let start = Instant::now();
+    for chunk in keys.chunks(32) {
+        m.on_batch(chunk, 0, 1.0);
+    }
+    keys.len() as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+/// Run a trace through an OVS-style datapath with the given measurement;
+/// returns the report and the datapath (for stats/queries).
+pub fn ovs_run<M: Measurement>(records: &[PacketRecord], m: M) -> (RunReport, OvsDatapath<M>) {
+    let mut dp = OvsDatapath::new(m);
+    let report = dp.run_trace(records);
+    (report, dp)
+}
+
+/// Mean relative error over the `k` largest true flows.
+pub fn mre_top(truth: &GroundTruth, k: usize, est: impl Fn(FlowKey) -> f64) -> f64 {
+    nitro_metrics::mean_relative_error(truth.top_k(k).iter().map(|&(key, t)| (est(key), t)))
+}
+
+/// Recall of the reported top-`k` keys against the true top-`k`.
+pub fn recall_top(truth: &GroundTruth, k: usize, reported: &[FlowKey]) -> f64 {
+    let true_top: Vec<FlowKey> = truth.top_k(k).iter().map(|&(key, _)| key).collect();
+    nitro_metrics::recall(&reported[..reported.len().min(k)], &true_top)
+}
+
+/// Build the paper's standard Nitro Count Sketch ("2MB for 5 rows of
+/// 102400 counters") at a fixed rate.
+pub fn paper_count_sketch(p: f64, seed: u64) -> NitroSketch<CountSketch> {
+    NitroSketch::new(
+        CountSketch::with_memory(2 << 20, 5, seed),
+        Mode::Fixed { p },
+        seed ^ 0xBEEF,
+    )
+}
+
+/// Idea A *without* Idea B: counter-array sampling implemented with one
+/// Bernoulli coin flip per row per packet. Exists to quantify what the
+/// geometric-skip optimization buys (Fig. 9b's "+Batched Geometric" step).
+pub struct BernoulliRowSampling {
+    sketch: CountSketch,
+    p: f64,
+    rng: Xoshiro256StarStar,
+    topk: Option<TopK>,
+}
+
+impl BernoulliRowSampling {
+    /// Wrap a Count Sketch with per-row coin-flip sampling.
+    pub fn new(sketch: CountSketch, p: f64, seed: u64) -> Self {
+        Self {
+            sketch,
+            p,
+            rng: Xoshiro256StarStar::new(seed),
+            topk: None,
+        }
+    }
+
+    /// Enable heavy-key tracking on sampled packets.
+    pub fn with_topk(mut self, k: usize) -> Self {
+        self.topk = Some(TopK::new(k));
+        self
+    }
+
+    /// Process one packet: `d` coin flips, each sampled row updated by
+    /// `p⁻¹`.
+    pub fn process(&mut self, key: FlowKey, weight: f64) {
+        let mut any = false;
+        for r in 0..self.sketch.depth() {
+            if self.rng.next_bool(self.p) {
+                self.sketch.update_row(r, key, weight / self.p);
+                any = true;
+            }
+        }
+        if any {
+            if let Some(topk) = &mut self.topk {
+                let est = self.sketch.estimate_robust(key);
+                topk.offer(key, est);
+            }
+        }
+    }
+
+    /// Sampling-robust estimate.
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.sketch.estimate_robust(key)
+    }
+}
+
+/// A vanilla Count Sketch with per-packet top-k maintenance — the
+/// "Original" baseline of the throughput figures.
+pub struct VanillaWithHeap {
+    sketch: CountSketch,
+    topk: TopK,
+}
+
+impl VanillaWithHeap {
+    /// Standard construction.
+    pub fn new(sketch: CountSketch, k: usize) -> Self {
+        Self {
+            sketch,
+            topk: TopK::new(k),
+        }
+    }
+
+    /// Full per-packet work: d hashes, d updates, heap query+offer.
+    pub fn process(&mut self, key: FlowKey, weight: f64) {
+        self.sketch.update(key, weight);
+        let est = self.sketch.estimate(key);
+        self.topk.offer(key, est);
+    }
+
+    /// Borrow the sketch.
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Borrow the heap.
+    pub fn topk(&self) -> &TopK {
+        &self.topk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_traffic::{keys_of, CaidaLike};
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1.0 || std::env::var("NITRO_SCALE").is_ok());
+        assert_eq!(scaled(100), (100.0 * scale()) as usize);
+    }
+
+    #[test]
+    fn bernoulli_row_sampling_is_unbiased() {
+        let mut total = 0.0;
+        for seed in 0..20 {
+            let mut b = BernoulliRowSampling::new(CountSketch::new(5, 4096, seed), 0.1, seed);
+            for _ in 0..10_000 {
+                b.process(3, 1.0);
+            }
+            total += b.estimate(3);
+        }
+        let mean = total / 20.0;
+        assert!((mean - 10_000.0).abs() / 10_000.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn helpers_produce_sane_numbers() {
+        let keys: Vec<FlowKey> = keys_of(CaidaLike::new(1, 1000)).take(50_000).collect();
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        let mut nitro = paper_count_sketch(1.0, 2);
+        let rate = mpps_in_memory(&keys, &mut nitro);
+        assert!(rate > 0.1, "rate {rate}");
+        let err = mre_top(&truth, 5, |k| nitro.estimate(k));
+        assert!(err < 0.02, "err {err}");
+        let reported: Vec<FlowKey> = truth.top_k(10).iter().map(|&(k, _)| k).collect();
+        assert_eq!(recall_top(&truth, 10, &reported), 1.0);
+    }
+
+    #[test]
+    fn vanilla_with_heap_tracks() {
+        let mut v = VanillaWithHeap::new(CountSketch::new(5, 1024, 7), 8);
+        for i in 0..1000u64 {
+            v.process(i % 4, 1.0);
+        }
+        assert_eq!(v.sketch().estimate(0), 250.0);
+        assert_eq!(v.topk().len(), 4);
+    }
+}

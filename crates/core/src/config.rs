@@ -1,0 +1,154 @@
+//! High-level configuration: derive sketch dimensions and sampling modes
+//! from `(ε, δ)` accuracy targets, the way §7's "Parameters" section does
+//! ("we select parameters based on a 5% accuracy guarantee").
+
+use crate::mode::Mode;
+use crate::nitro::NitroSketch;
+use crate::theory;
+use nitro_hash::geometric::P_MIN;
+use nitro_sketches::{CountMin, CountSketch, KarySketch};
+
+/// Declarative NitroSketch configuration.
+#[derive(Clone, Debug)]
+pub struct NitroConfig {
+    /// Error target ε (fraction of L1 or L2, depending on the sketch).
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Sampling mode.
+    pub mode: Mode,
+    /// Seed for hashes and the geometric sequence.
+    pub seed: u64,
+    /// Top-k tracker size (0 = none).
+    pub topk: usize,
+}
+
+impl Default for NitroConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            delta: 0.01,
+            mode: Mode::Fixed { p: 0.01 },
+            seed: 0x12_1705_2019, // "Nitro" @ SIGCOMM'19
+            topk: 0,
+        }
+    }
+}
+
+impl NitroConfig {
+    /// The paper's default evaluation setup: 5% guarantee, fixed p = 0.01.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The sampling probability the dimensioning must assume (worst case):
+    /// fixed modes use their p, adaptive modes their minimum grid value.
+    pub fn p_for_sizing(&self) -> f64 {
+        match &self.mode {
+            Mode::Fixed { p } => *p,
+            Mode::AlwaysLineRate { .. } => P_MIN,
+            Mode::AlwaysCorrect { p_after, .. } => *p_after,
+        }
+    }
+
+    /// Row count implied by δ.
+    pub fn depth(&self) -> usize {
+        theory::depth_for(self.delta)
+    }
+
+    /// Build a Nitro Count Sketch sized by Theorem 2/5.
+    pub fn build_count_sketch(&self) -> NitroSketch<CountSketch> {
+        let p = self.p_for_sizing();
+        let width = match self.mode {
+            Mode::AlwaysCorrect { .. } => theory::width_always_correct(self.epsilon, p),
+            _ => theory::width_always_line_rate(self.epsilon, p),
+        };
+        let cs = CountSketch::new(self.depth(), width, self.seed);
+        self.wrap(cs)
+    }
+
+    /// Build a Nitro Count-Min sized by Theorem 1 (εL1).
+    pub fn build_count_min(&self) -> NitroSketch<CountMin> {
+        let cm = CountMin::new(self.depth(), theory::width_l1(self.epsilon), self.seed);
+        self.wrap(cm)
+    }
+
+    /// Build a Nitro K-ary sketch (L2-style sizing).
+    pub fn build_kary(&self) -> NitroSketch<KarySketch> {
+        let p = self.p_for_sizing();
+        let ks = KarySketch::new(
+            self.depth(),
+            theory::width_always_line_rate(self.epsilon, p).max(2),
+            self.seed,
+        );
+        self.wrap(ks)
+    }
+
+    fn wrap<S: nitro_sketches::RowSketch>(&self, sketch: S) -> NitroSketch<S> {
+        let n = NitroSketch::new(sketch, self.mode.clone(), self.seed ^ 0x5EED);
+        if self.topk > 0 {
+            n.with_topk(self.topk)
+        } else {
+            n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sketches::RowSketch;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = NitroConfig::paper_default();
+        assert_eq!(c.epsilon, 0.05);
+        assert_eq!(c.mode, Mode::Fixed { p: 0.01 });
+    }
+
+    #[test]
+    fn count_sketch_dimensions_follow_theorem2() {
+        let c = NitroConfig {
+            epsilon: 0.05,
+            delta: 0.01,
+            mode: Mode::Fixed { p: 0.01 },
+            seed: 1,
+            topk: 0,
+        };
+        let n = c.build_count_sketch();
+        assert_eq!(n.inner().depth(), 7); // ⌈log₂ 100⌉ = 7
+        assert_eq!(n.inner().width(), theory::width_always_line_rate(0.05, 0.01));
+    }
+
+    #[test]
+    fn always_correct_uses_theorem5_width() {
+        let c = NitroConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            mode: Mode::always_correct(0.1),
+            seed: 2,
+            topk: 0,
+        };
+        let n = c.build_count_sketch();
+        assert_eq!(n.inner().width(), theory::width_always_correct(0.1, P_MIN));
+    }
+
+    #[test]
+    fn topk_enabled_when_requested() {
+        let c = NitroConfig {
+            topk: 32,
+            ..NitroConfig::default()
+        };
+        let n = c.build_count_min();
+        assert!(n.topk().is_some());
+    }
+
+    #[test]
+    fn sizing_p_for_line_rate_is_p_min() {
+        let c = NitroConfig {
+            mode: Mode::line_rate(1e6),
+            ..NitroConfig::default()
+        };
+        assert_eq!(c.p_for_sizing(), P_MIN);
+    }
+}

@@ -1,0 +1,324 @@
+//! Sampling-rate control — the paper's Idea C (§4.2, §4.3).
+//!
+//! Three disciplines:
+//!
+//! - [`Mode::Fixed`]: a static geometric probability (used by the accuracy
+//!   sweeps in Figs. 11–12, which fix p = 0.1 / 0.01).
+//! - [`Mode::AlwaysLineRate`]: every `epoch_ns` of *trace time* (default
+//!   100 ms, Alg. 1 line 8), re-estimate the packet arrival rate and pick
+//!   the largest `p` from the grid `{1, 2⁻¹, …, 2⁻⁷}` whose expected row
+//!   updates per second fit the operation budget. Work per unit time stays
+//!   roughly constant regardless of the packet rate.
+//! - [`Mode::AlwaysCorrect`]: run at `p = 1` (exactly the vanilla sketch)
+//!   until the median row Σ C² exceeds `T = 121(1+ε√p)ε⁻⁴p⁻²`, checked once
+//!   every `Q` packets; then drop to the target probability. Guarantees hold
+//!   from the very first packet (Theorem 5).
+
+use nitro_hash::geometric::{P_GRID, P_MIN};
+
+/// The sampling-rate policy for a [`crate::NitroSketch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mode {
+    /// Static sampling probability.
+    Fixed {
+        /// Geometric success probability `p ∈ (0, 1]`.
+        p: f64,
+    },
+    /// Adapt `p` to the packet arrival rate (Alg. 1 `AlwaysLineRate`).
+    AlwaysLineRate {
+        /// Budget of *row updates per second* the operator grants the
+        /// sketch (the knob that makes work per time-unit constant).
+        ops_budget: f64,
+        /// Rate-measurement epoch in nanoseconds of trace time (paper:
+        /// 100 ms).
+        epoch_ns: u64,
+    },
+    /// Run unsampled until convergence is provable, then sample at
+    /// `p_after` (Alg. 1 `AlwaysCorrect`).
+    AlwaysCorrect {
+        /// The error target ε that defines the convergence threshold.
+        epsilon: f64,
+        /// Check cadence in packets (paper: Q = 1000).
+        q: u64,
+        /// Sampling probability adopted after convergence.
+        p_after: f64,
+    },
+}
+
+impl Mode {
+    /// The paper's default line-rate mode: 100 ms epochs.
+    pub fn line_rate(ops_budget: f64) -> Self {
+        Mode::AlwaysLineRate {
+            ops_budget,
+            epoch_ns: 100_000_000,
+        }
+    }
+
+    /// The paper's default always-correct mode: Q = 1000, settle at
+    /// `p_min = 2⁻⁷`.
+    pub fn always_correct(epsilon: f64) -> Self {
+        Mode::AlwaysCorrect {
+            epsilon,
+            q: 1000,
+            p_after: P_MIN,
+        }
+    }
+}
+
+/// Runtime state of the sampling controller.
+#[derive(Clone, Debug)]
+pub struct ModeState {
+    mode: Mode,
+    /// Rows in the wrapped sketch (line-rate budget is in row updates).
+    depth: usize,
+    current_p: f64,
+    /// AlwaysCorrect: have we passed the convergence test yet?
+    converged: bool,
+    /// Line-rate epoch bookkeeping (trace-time ns).
+    epoch_start_ns: Option<u64>,
+    epoch_packets: u64,
+    /// Total packets observed (drives the Q-cadence check).
+    packets: u64,
+}
+
+/// What the controller wants the wrapper to do after seeing a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep going.
+    None,
+    /// `p` changed — reconfigure the geometric sampler.
+    Reconfigure,
+    /// AlwaysCorrect: time to run the convergence test (every Q packets).
+    CheckConvergence,
+}
+
+impl ModeState {
+    /// Create the controller for a sketch with `depth` rows.
+    pub fn new(mode: Mode, depth: usize) -> Self {
+        let current_p = match &mode {
+            Mode::Fixed { p } => {
+                assert!(*p > 0.0 && *p <= 1.0, "fixed p must be in (0,1]");
+                *p
+            }
+            Mode::AlwaysLineRate { .. } => 1.0,
+            Mode::AlwaysCorrect { .. } => 1.0,
+        };
+        Self {
+            mode,
+            depth,
+            current_p,
+            converged: false,
+            epoch_start_ns: None,
+            epoch_packets: 0,
+            packets: 0,
+        }
+    }
+
+    /// Current geometric probability.
+    pub fn p(&self) -> f64 {
+        self.current_p
+    }
+
+    /// The policy in force.
+    pub fn mode(&self) -> &Mode {
+        &self.mode
+    }
+
+    /// Whether AlwaysCorrect has converged (always true for other modes).
+    pub fn converged(&self) -> bool {
+        match self.mode {
+            Mode::AlwaysCorrect { .. } => self.converged,
+            _ => true,
+        }
+    }
+
+    /// Total packets observed.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Observe one packet (with its trace timestamp when available) and
+    /// report what the wrapper must do.
+    pub fn on_packet(&mut self, ts_ns: Option<u64>) -> Decision {
+        self.packets += 1;
+        match self.mode {
+            Mode::Fixed { .. } => Decision::None,
+            Mode::AlwaysLineRate {
+                ops_budget,
+                epoch_ns,
+            } => {
+                self.epoch_packets += 1;
+                let Some(now) = ts_ns else {
+                    return Decision::None;
+                };
+                let start = *self.epoch_start_ns.get_or_insert(now);
+                let elapsed = now.saturating_sub(start);
+                if elapsed < epoch_ns {
+                    return Decision::None;
+                }
+                // Epoch boundary: measure the rate, pick p, reset.
+                let secs = elapsed as f64 / 1e9;
+                let rate = self.epoch_packets as f64 / secs;
+                let new_p = Self::grid_p_for(rate, ops_budget, self.depth);
+                self.epoch_start_ns = Some(now);
+                self.epoch_packets = 0;
+                if (new_p - self.current_p).abs() > f64::EPSILON {
+                    self.current_p = new_p;
+                    Decision::Reconfigure
+                } else {
+                    Decision::None
+                }
+            }
+            Mode::AlwaysCorrect { q, .. } => {
+                if !self.converged && self.packets.is_multiple_of(q) {
+                    Decision::CheckConvergence
+                } else {
+                    Decision::None
+                }
+            }
+        }
+    }
+
+    /// AlwaysCorrect helper: the threshold the median row Σ C² must exceed.
+    pub fn convergence_threshold(&self) -> Option<f64> {
+        match self.mode {
+            Mode::AlwaysCorrect {
+                epsilon, p_after, ..
+            } => Some(crate::theory::convergence_threshold(epsilon, p_after)),
+            _ => None,
+        }
+    }
+
+    /// AlwaysCorrect: record that the convergence test passed; returns the
+    /// new probability.
+    pub fn mark_converged(&mut self) -> f64 {
+        if let Mode::AlwaysCorrect { p_after, .. } = self.mode {
+            self.converged = true;
+            self.current_p = p_after;
+        }
+        self.current_p
+    }
+
+    /// Largest grid probability whose expected row-update load
+    /// (`rate · depth · p`) fits the budget; clamped to `p_min`.
+    fn grid_p_for(rate_pps: f64, ops_budget: f64, depth: usize) -> f64 {
+        let load = |p: f64| rate_pps * depth as f64 * p;
+        for &p in &P_GRID {
+            if load(p) <= ops_budget {
+                return p;
+            }
+        }
+        P_MIN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_mode_never_adapts() {
+        let mut m = ModeState::new(Mode::Fixed { p: 0.01 }, 5);
+        for i in 0..10_000u64 {
+            assert_eq!(m.on_packet(Some(i * 1000)), Decision::None);
+        }
+        assert_eq!(m.p(), 0.01);
+        assert!(m.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed p")]
+    fn fixed_mode_validates_p() {
+        ModeState::new(Mode::Fixed { p: 0.0 }, 5);
+    }
+
+    #[test]
+    fn line_rate_lowers_p_under_load() {
+        // 5-row sketch, budget 1M row-updates/s, packets at 10 Mpps:
+        // need p ≤ 1M/(10M·5) = 0.02 → grid 2⁻⁶ = 0.015625.
+        let mut m = ModeState::new(Mode::line_rate(1_000_000.0), 5);
+        let mut decision = Decision::None;
+        // 100 ms of 10 Mpps = 1M packets at 100 ns spacing.
+        for i in 0..1_100_000u64 {
+            let d = m.on_packet(Some(i * 100));
+            if d == Decision::Reconfigure {
+                decision = d;
+            }
+        }
+        assert_eq!(decision, Decision::Reconfigure);
+        assert!((m.p() - 0.015625).abs() < 1e-12, "p = {}", m.p());
+    }
+
+    #[test]
+    fn line_rate_raises_p_when_quiet() {
+        let mut m = ModeState::new(Mode::line_rate(1_000_000.0), 5);
+        // First epoch: heavy load drops p.
+        for i in 0..1_100_000u64 {
+            m.on_packet(Some(i * 100));
+        }
+        let low_p = m.p();
+        assert!(low_p < 1.0);
+        // Second epoch: 10 kpps → p returns to 1.
+        let base = 1_100_000 * 100;
+        for i in 0..2000u64 {
+            m.on_packet(Some(base + i * 100_000));
+        }
+        assert_eq!(m.p(), 1.0, "should recover to 1.0 from {low_p}");
+    }
+
+    #[test]
+    fn line_rate_clamps_at_p_min() {
+        // Absurd load vs tiny budget → p_min.
+        let mut m = ModeState::new(Mode::line_rate(1.0), 5);
+        // 2M packets at 100 ns spacing = 200 ms → crosses the 100 ms epoch.
+        for i in 0..2_000_000u64 {
+            m.on_packet(Some(i * 100));
+        }
+        assert_eq!(m.p(), P_MIN);
+    }
+
+    #[test]
+    fn always_correct_checks_every_q() {
+        let mut m = ModeState::new(
+            Mode::AlwaysCorrect {
+                epsilon: 0.05,
+                q: 100,
+                p_after: 0.01,
+            },
+            5,
+        );
+        let mut checks = 0;
+        for _ in 0..1000 {
+            if m.on_packet(None) == Decision::CheckConvergence {
+                checks += 1;
+            }
+        }
+        assert_eq!(checks, 10);
+        assert_eq!(m.p(), 1.0);
+        assert!(!m.converged());
+        let p = m.mark_converged();
+        assert_eq!(p, 0.01);
+        assert!(m.converged());
+        // No further checks after convergence.
+        for _ in 0..1000 {
+            assert_eq!(m.on_packet(None), Decision::None);
+        }
+    }
+
+    #[test]
+    fn always_correct_threshold_present() {
+        let m = ModeState::new(Mode::always_correct(0.05), 5);
+        let t = m.convergence_threshold().unwrap();
+        assert!(t > 0.0);
+        let fixed = ModeState::new(Mode::Fixed { p: 0.5 }, 5);
+        assert!(fixed.convergence_threshold().is_none());
+    }
+
+    #[test]
+    fn grid_p_boundaries() {
+        // Exactly at budget → p = 1 kept.
+        assert_eq!(ModeState::grid_p_for(1000.0, 5000.0, 5), 1.0);
+        // Slightly over → halved.
+        assert_eq!(ModeState::grid_p_for(1001.0, 5000.0, 5), 0.5);
+    }
+}

@@ -1,0 +1,594 @@
+//! The generic NitroSketch wrapper — Algorithm 1 of the paper.
+//!
+//! `NitroSketch<S>` owns a [`RowSketch`] and decides, via one geometric skip
+//! sequence, which `(packet, row)` slots update counters. At `p = 1` it is
+//! bit-identical to the vanilla sketch; at `p < 1` each row update carries
+//! weight `p⁻¹·g_r(key)` so every counter remains an unbiased estimator
+//! (Theorem 2). Heavy-key tracking (the `P` bottleneck) only runs on sampled
+//! packets.
+
+use crate::mode::{Decision, Mode, ModeState};
+use nitro_hash::GeometricSampler;
+use nitro_sketches::{FlowKey, RowSketch, TopK};
+
+/// Operation counters — the reproduction's stand-in for VTune's per-function
+/// CPU shares (Table 2) and the basis of the cost model in `nitro-switch`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NitroStats {
+    /// Packets offered to the wrapper.
+    pub packets: u64,
+    /// Packets that performed at least one row update.
+    pub sampled_packets: u64,
+    /// Individual row updates (= hash computations = counter updates).
+    pub row_updates: u64,
+    /// Top-k heap operations performed.
+    pub heap_updates: u64,
+}
+
+/// A sketch accelerated by NitroSketch's counter-array sampling.
+///
+/// ```
+/// use nitro_core::{Mode, NitroSketch};
+/// use nitro_sketches::CountSketch;
+///
+/// let mut nitro = NitroSketch::new(
+///     CountSketch::new(5, 4096, 1),
+///     Mode::Fixed { p: 0.05 },
+///     2,
+/// );
+/// for _ in 0..10_000 {
+///     nitro.process(42, 1.0);
+/// }
+/// // ~5% of (packet, row) slots updated, estimate still on target.
+/// assert!(nitro.stats().row_updates < 4_000);
+/// let est = nitro.estimate(42);
+/// assert!((est - 10_000.0).abs() / 10_000.0 < 0.1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NitroSketch<S: RowSketch> {
+    sketch: S,
+    sampler: GeometricSampler,
+    mode: ModeState,
+    /// Packets to pass untouched before the next sampled packet.
+    skip: u64,
+    /// Row scheduled for the next update.
+    next_row: usize,
+    /// `p⁻¹` captured when the pending skip was drawn, so updates stay
+    /// unbiased across adaptive probability changes.
+    pending_pinv: f64,
+    topk: Option<TopK>,
+    stats: NitroStats,
+    /// Per-row staging buffers for the batched path (Idea D).
+    row_buf: Vec<Vec<FlowKey>>,
+    /// Keys sampled in the current batch (for deferred heap maintenance).
+    sampled_keys: Vec<FlowKey>,
+}
+
+impl<S: RowSketch> NitroSketch<S> {
+    /// Wrap `sketch` under the given sampling `mode`; `seed` drives the
+    /// geometric skip sequence.
+    pub fn new(sketch: S, mode: Mode, seed: u64) -> Self {
+        let depth = sketch.depth();
+        assert!(depth >= 1);
+        let mode = ModeState::new(mode, depth);
+        let mut sampler = GeometricSampler::new(mode.p(), seed);
+        // Algorithm 1 line 4: r ← −1, so the first draw lands on slot
+        // g − 1 in row-major (packet, row) order.
+        let g0 = sampler.next_skip();
+        let pos = g0 - 1;
+        let pending_pinv = 1.0 / sampler.p();
+        Self {
+            skip: pos / depth as u64,
+            next_row: (pos % depth as u64) as usize,
+            sampler,
+            pending_pinv,
+            topk: None,
+            stats: NitroStats::default(),
+            row_buf: (0..depth).map(|_| Vec::new()).collect(),
+            sampled_keys: Vec::new(),
+            sketch,
+            mode,
+        }
+    }
+
+    /// Enable top-k heavy-key tracking with `k` slots.
+    pub fn with_topk(mut self, k: usize) -> Self {
+        self.topk = Some(TopK::new(k));
+        self
+    }
+
+    /// Process one packet (no trace clock — fixed and always-correct modes).
+    /// Returns whether the packet updated any counter.
+    #[inline]
+    pub fn process(&mut self, key: FlowKey, weight: f64) -> bool {
+        self.process_inner(key, weight, None)
+    }
+
+    /// Process one packet with its trace timestamp (nanoseconds) so
+    /// AlwaysLineRate can measure the arrival rate.
+    #[inline]
+    pub fn process_ts(&mut self, key: FlowKey, weight: f64, ts_ns: u64) -> bool {
+        self.process_inner(key, weight, Some(ts_ns))
+    }
+
+    fn handle_decision(&mut self, d: Decision) {
+        match d {
+            Decision::None => {}
+            Decision::Reconfigure => {
+                self.sampler.set_p(self.mode.p());
+            }
+            Decision::CheckConvergence => {
+                let t = self
+                    .mode
+                    .convergence_threshold()
+                    .expect("CheckConvergence only in AlwaysCorrect mode");
+                if self.sketch.l2_squared_estimate() > t {
+                    let p = self.mode.mark_converged();
+                    self.sampler.set_p(p);
+                }
+            }
+        }
+    }
+
+    fn process_inner(&mut self, key: FlowKey, weight: f64, ts_ns: Option<u64>) -> bool {
+        let d = self.mode.on_packet(ts_ns);
+        self.handle_decision(d);
+        self.stats.packets += 1;
+        if self.skip > 0 {
+            self.skip -= 1;
+            return false;
+        }
+        self.apply_updates(key, weight);
+        self.stats.sampled_packets += 1;
+        if let Some(topk) = &mut self.topk {
+            let est = self.sketch.estimate_robust(key);
+            topk.offer(key, est);
+            self.stats.heap_updates += 1;
+        }
+        true
+    }
+
+    /// Apply all scheduled row updates for the current (sampled) packet and
+    /// advance the skip schedule past it.
+    fn apply_updates(&mut self, key: FlowKey, weight: f64) {
+        let depth = self.sketch.depth() as u64;
+        loop {
+            self.sketch
+                .update_row(self.next_row, key, weight * self.pending_pinv);
+            self.stats.row_updates += 1;
+            let g = self.sampler.next_skip();
+            self.pending_pinv = 1.0 / self.sampler.p();
+            let pos = self.next_row as u64 + g;
+            if pos < depth {
+                // Same packet, later row (Fig. 5's "skip three arrays,
+                // update Array 5").
+                self.next_row = pos as usize;
+            } else {
+                self.skip = pos / depth - 1;
+                self.next_row = (pos % depth) as usize;
+                break;
+            }
+        }
+    }
+
+    /// Select the scheduled row updates for the current packet *without*
+    /// touching the sketch; returns them into `out` as row indices.
+    fn select_rows(&mut self, out: &mut Vec<usize>) {
+        let depth = self.sketch.depth() as u64;
+        loop {
+            out.push(self.next_row);
+            let g = self.sampler.next_skip();
+            // Batched path requires a constant p across the batch (callers
+            // flush on reconfiguration), so pending_pinv is stable here.
+            self.pending_pinv = 1.0 / self.sampler.p();
+            let pos = self.next_row as u64 + g;
+            if pos < depth {
+                self.next_row = pos as usize;
+            } else {
+                self.skip = pos / depth - 1;
+                self.next_row = (pos % depth) as usize;
+                break;
+            }
+        }
+    }
+
+    /// Process a batch of packets with buffered, lane-hashed counter updates
+    /// — the paper's Idea D. Counter state is identical to calling
+    /// [`Self::process`] per packet when `p` is constant over the batch
+    /// (always true in `Fixed` mode; adaptive modes flush at boundaries).
+    ///
+    /// Returns the number of sampled packets in the batch.
+    pub fn process_batch(&mut self, keys: &[FlowKey], weight: f64) -> usize {
+        self.process_batch_inner(keys, weight, None)
+    }
+
+    /// Batched processing with a trace timestamp for the whole burst, so
+    /// AlwaysLineRate can measure the arrival rate (batch-granular, which
+    /// is how the DPDK integration observes time anyway).
+    pub fn process_batch_ts(&mut self, keys: &[FlowKey], weight: f64, ts_ns: u64) -> usize {
+        self.process_batch_inner(keys, weight, Some(ts_ns))
+    }
+
+    fn process_batch_inner(&mut self, keys: &[FlowKey], weight: f64, ts_ns: Option<u64>) -> usize {
+        self.sampled_keys.clear();
+        let mut rows_scratch: Vec<usize> = Vec::with_capacity(self.sketch.depth());
+        let mut pinv_in_flight = self.pending_pinv;
+
+        for &key in keys {
+            let d = self.mode.on_packet(ts_ns);
+            if d != Decision::None {
+                // p may change: flush what we buffered under the old p.
+                self.flush_rows(pinv_in_flight, weight);
+                self.handle_decision(d);
+                pinv_in_flight = self.pending_pinv;
+            }
+            self.stats.packets += 1;
+            if self.skip > 0 {
+                self.skip -= 1;
+                continue;
+            }
+            rows_scratch.clear();
+            self.select_rows(&mut rows_scratch);
+            for &r in &rows_scratch {
+                self.row_buf[r].push(key);
+            }
+            self.sampled_keys.push(key);
+        }
+        self.flush_rows(pinv_in_flight, weight);
+
+        // Deferred heap maintenance: one estimate per sampled packet, after
+        // the counters landed (same ordering as the paper's Fig. 7 step 4).
+        let sampled = self.sampled_keys.len();
+        self.stats.sampled_packets += sampled as u64;
+        if let Some(topk) = &mut self.topk {
+            for &key in &self.sampled_keys {
+                let est = self.sketch.estimate_robust(key);
+                topk.offer(key, est);
+                self.stats.heap_updates += 1;
+            }
+        }
+        sampled
+    }
+
+    fn flush_rows(&mut self, pinv: f64, weight: f64) {
+        for r in 0..self.row_buf.len() {
+            if self.row_buf[r].is_empty() {
+                continue;
+            }
+            let buf = std::mem::take(&mut self.row_buf[r]);
+            self.sketch.update_row_batch(r, &buf, weight * pinv);
+            self.stats.row_updates += buf.len() as u64;
+            self.row_buf[r] = buf;
+            self.row_buf[r].clear();
+        }
+    }
+
+    /// Sampling-robust frequency estimate (Alg. 1 `Query`).
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.sketch.estimate_robust(key)
+    }
+
+    /// Tracked heavy hitters with fresh estimates ≥ `threshold`, heaviest
+    /// first. Requires [`Self::with_topk`].
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        let Some(topk) = &self.topk else {
+            return Vec::new();
+        };
+        let mut out: Vec<(FlowKey, f64)> = topk
+            .entries()
+            .map(|(k, _)| (k, self.sketch.estimate_robust(k)))
+            .filter(|&(_, e)| e >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// The wrapped sketch.
+    pub fn inner(&self) -> &S {
+        &self.sketch
+    }
+
+    /// The wrapped sketch, mutable (control-plane operations).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.sketch
+    }
+
+    /// Unwrap into the underlying sketch (e.g. to subtract two epochs'
+    /// K-ary grids in change detection).
+    pub fn into_inner(self) -> S {
+        self.sketch
+    }
+
+    /// Current sampling probability.
+    pub fn p(&self) -> f64 {
+        self.mode.p()
+    }
+
+    /// Whether guarantees currently hold (AlwaysCorrect: always true by
+    /// construction; other modes: true once enough packets arrived — the
+    /// controller's view).
+    pub fn converged(&self) -> bool {
+        self.mode.converged()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NitroStats {
+        self.stats
+    }
+
+    /// The heavy-key tracker, if enabled.
+    pub fn topk(&self) -> Option<&TopK> {
+        self.topk.as_ref()
+    }
+
+    /// Reset counters, heap, statistics, and the skip schedule (the mode
+    /// state persists: an adaptive controller keeps its learned rate).
+    pub fn clear(&mut self) {
+        self.sketch.clear_rows();
+        if let Some(t) = &mut self.topk {
+            t.clear();
+        }
+        self.stats = NitroStats::default();
+        let depth = self.sketch.depth() as u64;
+        let g0 = self.sampler.next_skip();
+        let pos = g0 - 1;
+        self.skip = pos / depth;
+        self.next_row = (pos % depth) as usize;
+        self.pending_pinv = 1.0 / self.sampler.p();
+    }
+
+    /// Resident bytes (sketch + heap).
+    pub fn memory_bytes(&self) -> usize {
+        self.sketch.row_memory_bytes() + self.topk.as_ref().map_or(0, |t| t.memory_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sketches::{CountMin, CountSketch, Sketch};
+    use std::collections::HashMap;
+
+    fn skewed_stream(n: usize, flows: u64, seed: u64) -> Vec<u64> {
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(seed);
+        (0..n)
+            .map(|_| ((flows as f64) * rng.next_f64().powi(4)) as u64)
+            .collect()
+    }
+
+    fn truth_of(stream: &[u64]) -> HashMap<u64, f64> {
+        let mut t = HashMap::new();
+        for &k in stream {
+            *t.entry(k).or_insert(0.0) += 1.0;
+        }
+        t
+    }
+
+    #[test]
+    fn p_one_is_bit_identical_to_vanilla() {
+        let mut vanilla = CountSketch::new(5, 256, 7);
+        let mut nitro = NitroSketch::new(CountSketch::new(5, 256, 7), Mode::Fixed { p: 1.0 }, 1);
+        let stream = skewed_stream(10_000, 500, 2);
+        for &k in &stream {
+            vanilla.update(k, 1.0);
+            nitro.process(k, 1.0);
+        }
+        for k in 0..500u64 {
+            assert_eq!(vanilla.estimate(k), nitro.estimate(k), "key {k}");
+        }
+        let s = nitro.stats();
+        assert_eq!(s.packets, 10_000);
+        assert_eq!(s.sampled_packets, 10_000);
+        assert_eq!(s.row_updates, 50_000);
+    }
+
+    #[test]
+    fn sampling_rate_controls_work() {
+        let p = 0.05;
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(5, 4096, 3), Mode::Fixed { p }, 4);
+        let n = 200_000;
+        for i in 0..n {
+            nitro.process(i % 1000, 1.0);
+        }
+        let s = nitro.stats();
+        let expected_updates = p * (n * 5) as f64;
+        let ratio = s.row_updates as f64 / expected_updates;
+        assert!((0.9..1.1).contains(&ratio), "row updates {}", s.row_updates);
+        // Sampled packets ≤ row updates, and far fewer than total packets.
+        assert!(s.sampled_packets < n / 4);
+    }
+
+    #[test]
+    fn estimates_unbiased_under_sampling() {
+        // Mean estimate over independent seeds ≈ truth for a heavy flow.
+        let mut total = 0.0;
+        let trials = 30;
+        let per_flow = 2000u64;
+        for seed in 0..trials {
+            let mut nitro = NitroSketch::new(
+                CountSketch::new(5, 8192, 100 + seed),
+                Mode::Fixed { p: 0.02 },
+                seed,
+            );
+            for i in 0..per_flow * 10 {
+                nitro.process(i % 10, 1.0); // 10 flows, 2000 packets each
+            }
+            total += nitro.estimate(3);
+        }
+        let mean = total / trials as f64;
+        let rel = (mean - per_flow as f64).abs() / per_flow as f64;
+        assert!(rel < 0.05, "mean estimate {mean} vs {per_flow}");
+    }
+
+    #[test]
+    fn accuracy_close_to_vanilla_after_convergence() {
+        // The paper's headline: sampled accuracy ≈ vanilla accuracy once
+        // enough packets are seen (Fig. 11/12).
+        let stream = skewed_stream(400_000, 2000, 5);
+        let truth = truth_of(&stream);
+        let mut vanilla = CountSketch::new(5, 8192, 9);
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(5, 8192, 9), Mode::Fixed { p: 0.01 }, 6);
+        for &k in &stream {
+            vanilla.update(k, 1.0);
+            nitro.process(k, 1.0);
+        }
+        let mut flows: Vec<(u64, f64)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
+        flows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let top: Vec<(u64, f64)> = flows.into_iter().take(20).collect();
+        let err = |est: &dyn Fn(u64) -> f64| -> f64 {
+            top.iter().map(|&(k, t)| (est(k) - t).abs() / t).sum::<f64>() / top.len() as f64
+        };
+        let vanilla_err = err(&|k| vanilla.estimate(k));
+        let nitro_err = err(&|k| nitro.estimate(k));
+        assert!(vanilla_err < 0.02, "vanilla err {vanilla_err}");
+        assert!(nitro_err < 0.12, "nitro err {nitro_err}");
+    }
+
+    #[test]
+    fn always_correct_starts_vanilla_then_samples() {
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 4096, 11),
+            Mode::AlwaysCorrect {
+                epsilon: 0.1,
+                q: 1000,
+                p_after: 0.01,
+            },
+            7,
+        );
+        assert_eq!(nitro.p(), 1.0);
+        assert!(!nitro.converged());
+        // Threshold: 121·(1+0.1·0.1)·0.1⁻⁴·0.01⁻² ≈ 1.22e10 → needs
+        // L2² > 1.2e10, i.e. e.g. one flow with ~110k packets.
+        let mut i = 0u64;
+        while !nitro.converged() && i < 400_000 {
+            nitro.process(i % 4, 1.0);
+            i += 1;
+        }
+        assert!(nitro.converged(), "did not converge in {i} packets");
+        assert_eq!(nitro.p(), 0.01);
+        // And it keeps sampling from here on.
+        let before = nitro.stats().row_updates;
+        for j in 0..100_000u64 {
+            nitro.process(j % 4, 1.0);
+        }
+        let added = nitro.stats().row_updates - before;
+        assert!(added < 20_000, "post-convergence updates {added}");
+    }
+
+    #[test]
+    fn topk_tracks_heavy_flows_with_few_heap_ops() {
+        let stream = skewed_stream(100_000, 1000, 8);
+        let truth = truth_of(&stream);
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 8192, 13),
+            Mode::Fixed { p: 0.05 },
+            9,
+        )
+        .with_topk(64);
+        for &k in &stream {
+            nitro.process(k, 1.0);
+        }
+        let s = nitro.stats();
+        assert!(s.heap_updates < 30_000, "heap ops {}", s.heap_updates);
+        // Top-5 true flows must all be tracked.
+        let mut flows: Vec<(u64, f64)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
+        flows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let hh = nitro.heavy_hitters(0.0);
+        let reported: Vec<u64> = hh.iter().map(|&(k, _)| k).collect();
+        for &(k, _) in flows.iter().take(5) {
+            assert!(reported.contains(&k), "missing heavy flow {k}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_exactly_in_fixed_mode() {
+        let stream = skewed_stream(50_000, 800, 10);
+        let mut scalar =
+            NitroSketch::new(CountSketch::new(5, 2048, 17), Mode::Fixed { p: 0.05 }, 21);
+        let mut batched =
+            NitroSketch::new(CountSketch::new(5, 2048, 17), Mode::Fixed { p: 0.05 }, 21);
+        for &k in &stream {
+            scalar.process(k, 1.0);
+        }
+        for chunk in stream.chunks(32) {
+            batched.process_batch(chunk, 1.0);
+        }
+        for k in 0..800u64 {
+            assert_eq!(scalar.estimate(k), batched.estimate(k), "key {k}");
+        }
+        assert_eq!(scalar.stats().row_updates, batched.stats().row_updates);
+        assert_eq!(scalar.stats().sampled_packets, batched.stats().sampled_packets);
+    }
+
+    #[test]
+    fn works_with_count_min_too() {
+        let stream = skewed_stream(200_000, 1000, 12);
+        let truth = truth_of(&stream);
+        let mut nitro =
+            NitroSketch::new(CountMin::new(5, 20_000, 19), Mode::Fixed { p: 0.01 }, 23);
+        for &k in &stream {
+            nitro.process(k, 1.0);
+        }
+        let mut flows: Vec<(u64, f64)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
+        flows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for &(k, t) in flows.iter().take(5) {
+            let e = nitro.estimate(k);
+            assert!((e - t).abs() / t < 0.15, "key {k}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_counters_and_stats() {
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(3, 256, 23), Mode::Fixed { p: 0.5 }, 29)
+                .with_topk(8);
+        for i in 0..1000u64 {
+            nitro.process(i % 10, 1.0);
+        }
+        nitro.clear();
+        assert_eq!(nitro.stats(), NitroStats::default());
+        assert_eq!(nitro.estimate(3), 0.0);
+        assert!(nitro.heavy_hitters(0.0).is_empty());
+    }
+
+    #[test]
+    fn line_rate_mode_adapts_with_timestamps() {
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 4096, 31),
+            Mode::line_rate(1_000_000.0),
+            37,
+        );
+        // 10 Mpps for 300 ms: p must fall below 1.
+        for i in 0..3_000_000u64 {
+            nitro.process_ts(i % 100, 1.0, i * 100);
+        }
+        assert!(nitro.p() < 0.1, "p = {}", nitro.p());
+        // Estimates remain sane for the uniform flows (30k each).
+        let e = nitro.estimate(5);
+        assert!((e - 30_000.0).abs() / 30_000.0 < 0.25, "estimate {e}");
+    }
+
+    #[test]
+    fn always_correct_converges_through_batch_path() {
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 4096, 51),
+            Mode::AlwaysCorrect {
+                epsilon: 0.1,
+                q: 1000,
+                p_after: 0.01,
+            },
+            52,
+        );
+        let keys: Vec<u64> = (0..400_000u64).map(|i| i % 4).collect();
+        for chunk in keys.chunks(32) {
+            nitro.process_batch(chunk, 1.0);
+        }
+        assert!(nitro.converged(), "batch path never ran the Q-check");
+        assert_eq!(nitro.p(), 0.01);
+        // Estimates stay sane across the mode switch.
+        let est = nitro.estimate(1);
+        assert!((est - 100_000.0).abs() / 100_000.0 < 0.05, "estimate {est}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Epoch rotation — the operational loop around a NitroSketch.
+//!
+//! Deployments measure in fixed epochs: at each boundary the control plane
+//! queries the data plane, then the structure resets (§6's Estimation
+//! module drives this). [`EpochRotator`] packages that lifecycle for any
+//! Nitro-wrapped sketch: it keeps the *previous* epoch's counters alive so
+//! change detection works across the boundary, tracks candidate keys, and
+//! hands out a consolidated [`EpochSummary`] at rotation.
+
+use crate::nitro::NitroSketch;
+use crate::Mode;
+use nitro_sketches::{FlowKey, RowSketch};
+
+/// What an epoch produced, captured at rotation time.
+#[derive(Clone, Debug)]
+pub struct EpochSummary {
+    /// Epoch sequence number (0-based).
+    pub epoch: u64,
+    /// Packets processed in the epoch.
+    pub packets: u64,
+    /// Heavy hitters above the configured threshold fraction.
+    pub heavy_hitters: Vec<(FlowKey, f64)>,
+    /// Flows whose |change| vs the previous epoch exceeded the threshold
+    /// fraction of the epoch's packets (empty for epoch 0).
+    pub heavy_changes: Vec<(FlowKey, f64)>,
+    /// L2 estimate of the epoch's flow vector.
+    pub l2: f64,
+}
+
+/// A rotating pair of Nitro sketches with cross-epoch change detection.
+pub struct EpochRotator<S: RowSketch + Clone> {
+    current: NitroSketch<S>,
+    previous: Option<NitroSketch<S>>,
+    /// Candidate keys from the previous epoch (for change scoring).
+    prev_candidates: Vec<FlowKey>,
+    template: S,
+    mode: Mode,
+    seed: u64,
+    epoch: u64,
+    hh_fraction: f64,
+    change_fraction: f64,
+}
+
+impl<S: RowSketch + Clone> EpochRotator<S> {
+    /// Build from a sketch template (cloned per epoch so hash seeds stay
+    /// identical — required for cross-epoch comparison), thresholds as
+    /// fractions of epoch traffic.
+    pub fn new(template: S, mode: Mode, seed: u64, topk: usize, hh_fraction: f64, change_fraction: f64) -> Self {
+        let current = NitroSketch::new(template.clone(), mode.clone(), seed).with_topk(topk);
+        Self {
+            current,
+            previous: None,
+            prev_candidates: Vec::new(),
+            template,
+            mode,
+            seed,
+            epoch: 0,
+            hh_fraction,
+            change_fraction,
+        }
+    }
+
+    /// Process one packet in the current epoch.
+    #[inline]
+    pub fn process(&mut self, key: FlowKey, weight: f64) {
+        self.current.process(key, weight);
+    }
+
+    /// Process a burst.
+    pub fn process_batch(&mut self, keys: &[FlowKey], weight: f64) {
+        self.current.process_batch(keys, weight);
+    }
+
+    /// The live sketch (for ad-hoc queries mid-epoch).
+    pub fn current(&self) -> &NitroSketch<S> {
+        &self.current
+    }
+
+    /// Close the epoch: emit its summary and start a fresh sketch, keeping
+    /// the closed one as "previous" for the next epoch's change detection.
+    pub fn rotate(&mut self) -> EpochSummary {
+        let packets = self.current.stats().packets;
+        let threshold = self.hh_fraction * packets as f64;
+        let heavy_hitters = self.current.heavy_hitters(threshold);
+
+        // Change detection against the previous epoch over the union of
+        // both epochs' candidates.
+        let cur_candidates: Vec<FlowKey> = self
+            .current
+            .topk()
+            .map(|t| t.entries().map(|(k, _)| k).collect())
+            .unwrap_or_default();
+        let heavy_changes = match &self.previous {
+            None => Vec::new(),
+            Some(prev) => {
+                let change_threshold = self.change_fraction * packets as f64;
+                let mut seen = std::collections::HashSet::new();
+                let mut out: Vec<(FlowKey, f64)> = cur_candidates
+                    .iter()
+                    .chain(self.prev_candidates.iter())
+                    .copied()
+                    .filter(|k| seen.insert(*k))
+                    .map(|k| (k, self.current.estimate(k) - prev.estimate(k)))
+                    .filter(|&(_, d)| d.abs() >= change_threshold)
+                    .collect();
+                out.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+                out
+            }
+        };
+
+        let l2 = self.current.inner().l2_squared_estimate().max(0.0).sqrt();
+        let summary = EpochSummary {
+            epoch: self.epoch,
+            packets,
+            heavy_hitters,
+            heavy_changes,
+            l2,
+        };
+
+        // Rotate: fresh sketch with the same hashes, new geometric seed.
+        self.epoch += 1;
+        let fresh = NitroSketch::new(
+            self.template.clone(),
+            self.mode.clone(),
+            self.seed ^ self.epoch,
+        )
+        .with_topk(
+            self.current
+                .topk()
+                .map(|t| t.memory_bytes() / 16)
+                .unwrap_or(64)
+                .max(1),
+        );
+        self.previous = Some(std::mem::replace(&mut self.current, fresh));
+        self.prev_candidates = cur_candidates;
+        summary
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sketches::CountSketch;
+
+    fn feed(r: &mut EpochRotator<CountSketch>, heavy: FlowKey, n: usize, seed: u64) {
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(seed);
+        for _ in 0..n {
+            if rng.next_bool(0.3) {
+                r.process(heavy, 1.0);
+            } else {
+                r.process(1000 + rng.next_range(500), 1.0);
+            }
+        }
+    }
+
+    fn rotator() -> EpochRotator<CountSketch> {
+        EpochRotator::new(
+            CountSketch::new(5, 8192, 3),
+            Mode::Fixed { p: 0.05 },
+            4,
+            64,
+            0.05,
+            0.05,
+        )
+    }
+
+    #[test]
+    fn summaries_report_heavy_hitters() {
+        let mut r = rotator();
+        feed(&mut r, 7, 50_000, 1);
+        let s = r.rotate();
+        assert_eq!(s.epoch, 0);
+        assert_eq!(s.packets, 50_000);
+        assert_eq!(s.heavy_hitters[0].0, 7);
+        assert!(s.heavy_changes.is_empty(), "no previous epoch yet");
+        assert!(s.l2 > 0.0);
+    }
+
+    #[test]
+    fn change_detection_across_rotation() {
+        let mut r = rotator();
+        feed(&mut r, 7, 50_000, 1);
+        r.rotate();
+        // Epoch 1: flow 7 disappears, flow 9 surges.
+        feed(&mut r, 9, 50_000, 2);
+        let s = r.rotate();
+        assert_eq!(s.epoch, 1);
+        let keys: Vec<FlowKey> = s.heavy_changes.iter().map(|&(k, _)| k).collect();
+        assert!(keys.contains(&7), "vanished flow not flagged: {keys:?}");
+        assert!(keys.contains(&9), "surging flow not flagged: {keys:?}");
+        // Signs: 9 up, 7 down.
+        for &(k, d) in &s.heavy_changes {
+            if k == 9 {
+                assert!(d > 0.0);
+            }
+            if k == 7 {
+                assert!(d < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_resets_counts() {
+        let mut r = rotator();
+        feed(&mut r, 7, 20_000, 1);
+        r.rotate();
+        assert_eq!(r.current().estimate(7), 0.0);
+        assert_eq!(r.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn steady_traffic_reports_no_changes() {
+        let mut r = rotator();
+        feed(&mut r, 7, 50_000, 1);
+        r.rotate();
+        feed(&mut r, 7, 50_000, 99); // same mix, different arrivals
+        let s = r.rotate();
+        assert!(
+            s.heavy_changes.is_empty(),
+            "false changes: {:?}",
+            s.heavy_changes
+        );
+    }
+}

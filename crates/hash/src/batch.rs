@@ -1,0 +1,246 @@
+//! Multi-lane batched hashing — the portable stand-in for the paper's AVX
+//! path (Idea D).
+//!
+//! The paper buffers sampled `(row, key)` pairs and computes their hashes
+//! with AVX SIMD. We express the same design point as fixed-width lane
+//! batches written so the compiler's auto-vectorizer can emit SIMD: every
+//! lane runs the identical xxHash64 fixed-length-8 schedule with no data
+//! dependence between lanes. The contract — asserted by tests — is that each
+//! lane equals the scalar [`crate::xxhash::xxh64_u64`] result, so batching is
+//! purely a throughput optimization, never a semantic change.
+
+use crate::xxhash::xxh64_u64;
+
+/// Number of lanes per batch; 8×u64 matches one AVX-512 register or two
+/// AVX2 registers, and gives the unroller room on narrower machines.
+pub const LANES: usize = 8;
+
+const P64_1: u64 = 0x9E3779B185EBCA87;
+const P64_2: u64 = 0xC2B2AE3D27D4EB4F;
+const P64_3: u64 = 0x165667B19E3779F9;
+const P64_4: u64 = 0x85EBCA77C2B2AE63;
+const P64_5: u64 = 0x27D4EB2F165667C5;
+
+/// Hash [`LANES`] u64 keys with xxHash64 (fixed 8-byte schedule) in one
+/// lane-parallel pass. Per-lane output is bit-identical to
+/// [`crate::xxhash::xxh64_u64`].
+#[inline]
+#[allow(clippy::needless_range_loop)] // indexed straight-line maps are what the auto-vectorizer wants
+pub fn xxh64_u64_lanes(keys: &[u64; LANES], seed: u64) -> [u64; LANES] {
+    let mut h = [0u64; LANES];
+    let base = seed.wrapping_add(P64_5).wrapping_add(8);
+    // Every statement below is a straight-line map over the lanes; the
+    // absence of cross-lane dependencies is what lets LLVM vectorize it.
+    let mut k = [0u64; LANES];
+    for i in 0..LANES {
+        k[i] = keys[i]
+            .wrapping_mul(P64_2)
+            .rotate_left(31)
+            .wrapping_mul(P64_1);
+    }
+    for i in 0..LANES {
+        h[i] = (base ^ k[i])
+            .rotate_left(27)
+            .wrapping_mul(P64_1)
+            .wrapping_add(P64_4);
+    }
+    for i in 0..LANES {
+        h[i] ^= h[i] >> 33;
+        h[i] = h[i].wrapping_mul(P64_2);
+        h[i] ^= h[i] >> 29;
+        h[i] = h[i].wrapping_mul(P64_3);
+        h[i] ^= h[i] >> 32;
+    }
+    h
+}
+
+/// Hash an arbitrary-length slice of u64 keys, lane-batched with a scalar
+/// tail, appending results to `out`. Uses the AVX2 path when the CPU has
+/// it (checked once), the portable lane code otherwise.
+pub fn xxh64_u64_batch(keys: &[u64], seed: u64, out: &mut Vec<u64>) {
+    out.reserve(keys.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        let mut chunks = keys.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            let lanes: &[u64; LANES] = chunk.try_into().unwrap();
+            // SAFETY: AVX2 presence was verified at runtime.
+            out.extend_from_slice(&unsafe { avx2::xxh64_u64_lanes_avx2(lanes, seed) });
+        }
+        for &k in chunks.remainder() {
+            out.push(xxh64_u64(k, seed));
+        }
+        return;
+    }
+    let mut chunks = keys.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        let lanes: &[u64; LANES] = chunk.try_into().unwrap();
+        out.extend_from_slice(&xxh64_u64_lanes(lanes, seed));
+    }
+    for &k in chunks.remainder() {
+        out.push(xxh64_u64(k, seed));
+    }
+}
+
+/// Whether the AVX2 fast path is in use on this machine.
+#[cfg(target_arch = "x86_64")]
+pub fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Whether the AVX2 fast path is in use on this machine (non-x86: never).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx2_available() -> bool {
+    false
+}
+
+/// The paper's actual Idea-D vehicle: AVX vector hashing. This module
+/// computes the fixed-8-byte xxHash64 schedule on four 64-bit lanes per
+/// 256-bit register (8 keys = 2 registers), bit-identical to the scalar
+/// path. AVX2 has no 64×64-bit multiply, so products are assembled from
+/// three 32×32→64 `vpmuludq`s per multiply — still a large win because
+/// every other step (xor, shift, rotate, add) is one instruction for four
+/// lanes.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{LANES, P64_1, P64_2, P64_3, P64_4, P64_5};
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// 4-lane 64×64→64 multiply by a constant, from 32-bit partial
+    /// products: `a·b = lo(a)·lo(b) + ((lo(a)·hi(b) + hi(a)·lo(b)) << 32)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let lo_lo = _mm256_mul_epu32(a, b);
+        let lo_hi = _mm256_mul_epu32(a, b_hi);
+        let hi_lo = _mm256_mul_epu32(a_hi, b);
+        let cross = _mm256_add_epi64(lo_hi, hi_lo);
+        _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn rotl<const L: i32, const R: i32>(x: __m256i) -> __m256i {
+        _mm256_or_si256(_mm256_slli_epi64(x, L), _mm256_srli_epi64(x, R))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn xxh64_x4(keys: __m256i, seed: u64) -> __m256i {
+        let p1 = _mm256_set1_epi64x(P64_1 as i64);
+        let p2 = _mm256_set1_epi64x(P64_2 as i64);
+        let p3 = _mm256_set1_epi64x(P64_3 as i64);
+        let p4 = _mm256_set1_epi64x(P64_4 as i64);
+        let base = _mm256_set1_epi64x(seed.wrapping_add(P64_5).wrapping_add(8) as i64);
+
+        // round64(0, key): rotl31(key·P2)·P1
+        let k = mul64(rotl::<31, 33>(mul64(keys, p2)), p1);
+        // h = rotl27(base ^ k)·P1 + P4
+        let mut h = _mm256_xor_si256(base, k);
+        h = _mm256_add_epi64(mul64(rotl::<27, 37>(h), p1), p4);
+        // avalanche
+        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+        h = mul64(h, p2);
+        h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 29));
+        h = mul64(h, p3);
+        _mm256_xor_si256(h, _mm256_srli_epi64(h, 32))
+    }
+
+    /// Hash [`LANES`] keys with AVX2; per-lane identical to the scalar
+    /// [`crate::xxhash::xxh64_u64`].
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xxh64_u64_lanes_avx2(keys: &[u64; LANES], seed: u64) -> [u64; LANES] {
+        let mut out = [0u64; LANES];
+        let a = _mm256_loadu_si256(keys.as_ptr() as *const __m256i);
+        let b = _mm256_loadu_si256(keys.as_ptr().add(4) as *const __m256i);
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, xxh64_x4(a, seed));
+        _mm256_storeu_si256(out.as_mut_ptr().add(4) as *mut __m256i, xxh64_x4(b, seed));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn lanes_match_scalar() {
+        let mut sm = SplitMix64::new(21);
+        for _ in 0..100 {
+            let mut keys = [0u64; LANES];
+            for k in &mut keys {
+                *k = sm.next_u64();
+            }
+            let seed = sm.next_u64();
+            let batched = xxh64_u64_lanes(&keys, seed);
+            for i in 0..LANES {
+                assert_eq!(batched[i], xxh64_u64(keys[i], seed));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_ragged_lengths() {
+        let mut sm = SplitMix64::new(22);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 33, 100] {
+            let keys: Vec<u64> = (0..len).map(|_| sm.next_u64()).collect();
+            let mut out = Vec::new();
+            xxh64_u64_batch(&keys, 5, &mut out);
+            assert_eq!(out.len(), len);
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(out[i], xxh64_u64(k, 5));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_appends_rather_than_overwrites() {
+        let mut out = vec![123u64];
+        xxh64_u64_batch(&[1, 2, 3], 0, &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], 123);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_matches_scalar_exactly() {
+        if !avx2_available() {
+            eprintln!("AVX2 unavailable; skipping");
+            return;
+        }
+        let mut sm = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let mut keys = [0u64; LANES];
+            for k in &mut keys {
+                *k = sm.next_u64();
+            }
+            let seed = sm.next_u64();
+            // SAFETY: availability checked above.
+            let vec = unsafe { avx2::xxh64_u64_lanes_avx2(&keys, seed) };
+            for i in 0..LANES {
+                assert_eq!(vec[i], xxh64_u64(keys[i], seed), "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dispatch_is_scalar_equivalent() {
+        // Regardless of which path dispatch picks, results must equal the
+        // scalar reference.
+        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut out = Vec::new();
+        xxh64_u64_batch(&keys, 1234, &mut out);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i], xxh64_u64(k, 1234));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Geometric variate generation — NitroSketch's Idea B.
+//!
+//! Instead of flipping a coin per counter array per packet (d·m Bernoulli
+//! draws for a d-row sketch over m packets), NitroSketch draws one geometric
+//! skip `Geo(p) ∈ {1, 2, …}` per *sampled* array: the value says how many
+//! (packet, row) slots to advance before the next update (Fig. 5). The two
+//! processes are mathematically identical, but the geometric form costs one
+//! logarithm per ~1/p slots instead of one PRNG draw per slot.
+//!
+//! Sampling uses the exact inverse-CDF method: with `U ~ Uniform(0, 1]`,
+//! `1 + ⌊ln U / ln(1 − p)⌋` is Geometric(p) on {1, 2, …} (trials until the
+//! first success, mean 1/p).
+
+use crate::rng::Xoshiro256StarStar;
+
+/// A stateful geometric sampler with an adjustable success probability.
+///
+/// `p = 1` is special-cased to always return 1, which makes a NitroSketch
+/// running at `p = 1` behave *exactly* like the vanilla sketch (every row of
+/// every packet updated) — the property the AlwaysCorrect mode relies on
+/// before convergence.
+#[derive(Clone, Debug)]
+pub struct GeometricSampler {
+    rng: Xoshiro256StarStar,
+    p: f64,
+    /// Precomputed 1 / ln(1 − p); NaN when p == 1.
+    inv_log_q: f64,
+}
+
+impl GeometricSampler {
+    /// Create a sampler with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        let mut s = Self {
+            rng: Xoshiro256StarStar::new(seed),
+            p: 1.0,
+            inv_log_q: f64::NAN,
+        };
+        s.set_p(p);
+        s
+    }
+
+    /// Change the success probability (used by the adaptive modes).
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn set_p(&mut self, p: f64) {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+        self.p = p;
+        self.inv_log_q = if p == 1.0 {
+            f64::NAN
+        } else {
+            1.0 / (1.0 - p).ln()
+        };
+    }
+
+    /// The current success probability.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw the next skip: the number of (packet, row) slots to advance
+    /// until the next sampled update, always ≥ 1.
+    #[inline]
+    pub fn next_skip(&mut self) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u = self.rng.next_f64_open();
+        let k = (u.ln() * self.inv_log_q).floor();
+        // ln U ≤ 0 and inv_log_q < 0, so k ≥ 0; clamp defends against the
+        // astronomically unlikely f64 overflow at tiny p.
+        1 + if k >= u64::MAX as f64 { u64::MAX - 1 } else { k as u64 }
+    }
+
+    /// Fill `out` with skips — the batched form used by the buffered update
+    /// stage so draws happen outside the per-packet loop.
+    pub fn fill_skips(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_skip();
+        }
+    }
+}
+
+/// The paper's AlwaysLineRate probability grid: `p ∈ {1, 2⁻¹, …, 2⁻⁷}`.
+pub const P_GRID: [f64; 8] = [
+    1.0,
+    0.5,
+    0.25,
+    0.125,
+    0.062_5,
+    0.031_25,
+    0.015_625,
+    0.007_812_5,
+];
+
+/// The smallest probability on the grid (2⁻⁷), which sizes the sketch
+/// memory in AlwaysLineRate mode (§4.3).
+pub const P_MIN: f64 = P_GRID[7];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean_var(p: f64, n: usize) -> (f64, f64) {
+        let mut g = GeometricSampler::new(p, 42);
+        let samples: Vec<f64> = (0..n).map(|_| g.next_skip() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn p_one_always_returns_one() {
+        let mut g = GeometricSampler::new(1.0, 1);
+        for _ in 0..1000 {
+            assert_eq!(g.next_skip(), 1);
+        }
+    }
+
+    #[test]
+    fn mean_matches_one_over_p() {
+        for &p in &[0.5, 0.1, 0.01] {
+            let (mean, _) = sample_mean_var(p, 200_000);
+            let expect = 1.0 / p;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "p={p}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_matches_geometric() {
+        // Var = (1 − p) / p².
+        for &p in &[0.5, 0.1] {
+            let (_, var) = sample_mean_var(p, 400_000);
+            let expect = (1.0 - p) / (p * p);
+            assert!(
+                (var - expect).abs() / expect < 0.1,
+                "p={p}: var {var} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_are_at_least_one() {
+        let mut g = GeometricSampler::new(0.001, 3);
+        for _ in 0..10_000 {
+            assert!(g.next_skip() >= 1);
+        }
+    }
+
+    #[test]
+    fn distribution_is_memoryless() {
+        // P(X > a+b | X > a) = P(X > b): compare tail ratios empirically.
+        let mut g = GeometricSampler::new(0.2, 5);
+        let n = 400_000;
+        let samples: Vec<u64> = (0..n).map(|_| g.next_skip()).collect();
+        let tail = |t: u64| samples.iter().filter(|&&x| x > t).count() as f64 / n as f64;
+        let lhs = tail(6) / tail(3);
+        let rhs = tail(3);
+        assert!((lhs - rhs).abs() < 0.02, "memorylessness: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn set_p_takes_effect() {
+        let mut g = GeometricSampler::new(1.0, 7);
+        assert_eq!(g.next_skip(), 1);
+        g.set_p(0.01);
+        let mean: f64 = (0..50_000).map(|_| g.next_skip() as f64).sum::<f64>() / 50_000.0;
+        assert!(mean > 50.0, "mean {mean} should be ≈ 100");
+        assert_eq!(g.p(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric p")]
+    fn zero_p_rejected() {
+        GeometricSampler::new(0.0, 1);
+    }
+
+    #[test]
+    fn fill_skips_matches_sequential_draws() {
+        let mut a = GeometricSampler::new(0.1, 11);
+        let mut b = GeometricSampler::new(0.1, 11);
+        let mut buf = [0u64; 64];
+        a.fill_skips(&mut buf);
+        for &v in &buf {
+            assert_eq!(v, b.next_skip());
+        }
+    }
+
+    #[test]
+    fn p_grid_is_powers_of_two() {
+        for (i, &p) in P_GRID.iter().enumerate() {
+            assert_eq!(p, 2f64.powi(-(i as i32)));
+        }
+        assert_eq!(P_MIN, 2f64.powi(-7));
+    }
+}

@@ -1,0 +1,90 @@
+//! Hashing and randomness substrate for the NitroSketch reproduction.
+//!
+//! Everything a sketch needs from "randomness" lives here, implemented from
+//! scratch so the repository is self-contained and deterministic:
+//!
+//! - [`xxhash`]: the xxHash32/64 functions the paper's C implementation uses
+//!   for flow-key hashing, validated against the reference test vectors.
+//! - [`pairwise`]: pairwise-independent (and k-wise via polynomials over the
+//!   Mersenne prime 2^61 - 1) hash families used by the analysis in §5.
+//! - [`tabulation`]: simple tabulation hashing, a practical alternative with
+//!   strong concentration behaviour.
+//! - [`sign`]: ±1 sign hashes (`g_i` in Algorithm 1) derived from pairwise
+//!   families, as Count Sketch and K-ary require.
+//! - [`rng`]: small, fast, deterministic PRNGs (SplitMix64, xoshiro256**)
+//!   used on the data path where `rand`'s generality would cost cycles.
+//! - [`geometric`]: geometric variate generation — the heart of NitroSketch's
+//!   Idea B (one geometric skip sample replaces per-array coin flips).
+//! - [`batch`]: multi-lane batched hashing used by the buffered update stage
+//!   (Idea D, the paper's AVX path) with a scalar-identical contract.
+//!
+//! All types are `Send` and cheap to clone; none allocate after construction
+//! except the tabulation tables.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod geometric;
+pub mod pairwise;
+pub mod rng;
+pub mod sign;
+pub mod tabulation;
+pub mod xxhash;
+
+pub use geometric::GeometricSampler;
+pub use pairwise::{MultiplyShift, PolyHash};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use sign::SignHash;
+pub use tabulation::TabulationHash;
+pub use xxhash::{xxh32, xxh64, Xxh32Hasher};
+
+/// A hash function from arbitrary byte keys to `u64`.
+///
+/// Implemented by the xxHash and tabulation families. Sketch rows index their
+/// counter arrays by reducing this output modulo the row width.
+pub trait KeyHasher: Send + Sync {
+    /// Hash `key` to a 64-bit value.
+    fn hash_bytes(&self, key: &[u8]) -> u64;
+
+    /// Hash a `u64` key (the common fast path for pre-digested flow keys).
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.hash_bytes(&key.to_le_bytes())
+    }
+}
+
+/// Reduce a 64-bit hash onto `[0, n)` without the modulo bias or latency of
+/// `%` — Lemire's multiply-shift reduction.
+///
+/// `n` must be non-zero.
+#[inline(always)]
+pub fn reduce(hash: u64, n: usize) -> usize {
+    debug_assert!(n > 0, "reduce: empty range");
+    (((hash as u128) * (n as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_stays_in_range() {
+        for n in [1usize, 2, 3, 7, 1000, 1 << 20] {
+            for h in [0u64, 1, u64::MAX, 0x9E3779B97F4A7C15] {
+                assert!(reduce(h, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_roughly_uniform() {
+        let n = 16;
+        let mut counts = [0usize; 16];
+        let mut state = rng::SplitMix64::new(7);
+        for _ in 0..160_000 {
+            counts[reduce(state.next_u64(), n)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+        }
+    }
+}

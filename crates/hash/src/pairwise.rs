@@ -1,0 +1,262 @@
+//! Pairwise- and k-wise-independent hash families.
+//!
+//! The analysis in §5 of the paper needs only *pairwise* independent row
+//! hashes `h_i : [n] → [w]` and two-wise independent sign hashes `g_i`.
+//! [`MultiplyShift`] provides the fastest such family in practice;
+//! [`PolyHash`] provides arbitrary-degree (k-wise) independence via
+//! polynomials over the Mersenne prime field GF(2^61 − 1), used where
+//! four-wise independence is wanted (e.g. the L2 estimator's variance
+//! argument in AMS-style sketches).
+
+use crate::rng::SplitMix64;
+use crate::KeyHasher;
+
+/// Dietzfelbinger's multiply-shift family: `h(x) = (a·x + b) >> (128 − 64)`
+/// computed in 128-bit arithmetic with odd `a`.
+///
+/// Strongly universal (pairwise independent) on 64-bit keys, two multiplies
+/// per hash. This is the family used on the simulator's hot paths when
+/// xxHash-compatibility is not needed.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiplyShift {
+    a: u128,
+    b: u128,
+}
+
+impl MultiplyShift {
+    /// Draw a random function from the family, seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let a = ((sm.next_u64() as u128) << 64 | sm.next_u64() as u128) | 1;
+        let b = (sm.next_u64() as u128) << 64 | sm.next_u64() as u128;
+        Self { a, b }
+    }
+
+    /// Hash a 64-bit key to 64 bits.
+    #[inline(always)]
+    pub fn hash(&self, x: u64) -> u64 {
+        (self.a.wrapping_mul(x as u128).wrapping_add(self.b) >> 64) as u64
+    }
+}
+
+impl KeyHasher for MultiplyShift {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        // Fold arbitrary byte keys into 64 bits first (xxHash64 with seed 0),
+        // then apply the pairwise map; for ≤ 8-byte keys this folding is a
+        // bijection-like cheap load.
+        let folded = if key.len() <= 8 {
+            let mut buf = [0u8; 8];
+            buf[..key.len()].copy_from_slice(key);
+            u64::from_le_bytes(buf)
+        } else {
+            crate::xxhash::xxh64(key, 0)
+        };
+        self.hash(folded)
+    }
+
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.hash(key)
+    }
+}
+
+/// The Mersenne prime 2^61 − 1 used as the field modulus for [`PolyHash`].
+pub const MERSENNE61: u64 = (1 << 61) - 1;
+
+#[inline(always)]
+fn mod_mersenne61(x: u128) -> u64 {
+    // x mod (2^61 - 1): fold the high bits down twice (the first fold can
+    // produce up to ~2^62), then one conditional subtract.
+    let lo = (x & MERSENNE61 as u128) as u64;
+    let hi = (x >> 61) as u64;
+    let s = lo as u128 + hi as u128;
+    let mut s = (s & MERSENNE61 as u128) as u64 + (s >> 61) as u64;
+    if s >= MERSENNE61 {
+        s -= MERSENNE61;
+    }
+    s
+}
+
+#[inline(always)]
+fn mul_mod_mersenne61(a: u64, b: u64) -> u64 {
+    mod_mersenne61((a as u128) * (b as u128))
+}
+
+/// k-wise independent polynomial hashing over GF(2^61 − 1):
+/// `h(x) = (a_{k-1} x^{k-1} + … + a_1 x + a_0) mod (2^61 − 1)`.
+///
+/// A degree-(k−1) polynomial with uniformly random coefficients is exactly
+/// k-wise independent on keys below the modulus. Evaluation is Horner's rule:
+/// k−1 modular multiply-adds.
+#[derive(Clone, Debug)]
+pub struct PolyHash {
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draw a random k-wise independent function (`k` ≥ 1), deterministically
+    /// from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "independence degree must be at least 1");
+        let mut sm = SplitMix64::new(seed);
+        let coeffs = (0..k)
+            .map(|i| {
+                let mut c = sm.next_u64() % MERSENNE61;
+                // Leading coefficient must be non-zero to keep full degree.
+                if i == k - 1 && c == 0 {
+                    c = 1;
+                }
+                c
+            })
+            .collect();
+        Self { coeffs }
+    }
+
+    /// Convenience: a pairwise (2-wise) independent instance.
+    pub fn pairwise(seed: u64) -> Self {
+        Self::new(2, seed)
+    }
+
+    /// Convenience: a four-wise independent instance.
+    pub fn fourwise(seed: u64) -> Self {
+        Self::new(4, seed)
+    }
+
+    /// Evaluate the polynomial at `x` (keys are first reduced mod 2^61 − 1).
+    /// The result is a field element, i.e. strictly below 2^61 − 1.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE61;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = mod_mersenne61(mul_mod_mersenne61(acc, x) as u128 + c as u128);
+        }
+        acc
+    }
+
+    /// Evaluate and spread onto the full 64-bit range so that
+    /// [`crate::reduce`] buckets uniformly: `h << 3` maps the 61-bit field
+    /// element injectively onto 64 bits, and `reduce(h << 3, n)` equals the
+    /// exact `⌊h·n / 2^61⌋` bucketing of the field element.
+    #[inline]
+    pub fn hash_spread(&self, x: u64) -> u64 {
+        self.hash(x) << 3
+    }
+
+    /// The independence degree k of this instance.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+impl KeyHasher for PolyHash {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        let folded = if key.len() <= 8 {
+            let mut buf = [0u8; 8];
+            buf[..key.len()].copy_from_slice(key);
+            u64::from_le_bytes(buf)
+        } else {
+            crate::xxhash::xxh64(key, 0)
+        };
+        self.hash_spread(folded)
+    }
+
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.hash_spread(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+
+    #[test]
+    fn mersenne_mod_matches_naive() {
+        for x in [
+            0u128,
+            1,
+            MERSENNE61 as u128,
+            MERSENNE61 as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX >> 6,
+        ] {
+            assert_eq!(mod_mersenne61(x) as u128, x % MERSENNE61 as u128);
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_naive() {
+        let mut sm = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let a = sm.next_u64() % MERSENNE61;
+            let b = sm.next_u64() % MERSENNE61;
+            let expect = ((a as u128 * b as u128) % MERSENNE61 as u128) as u64;
+            assert_eq!(mul_mod_mersenne61(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_deterministic_and_distinct() {
+        let h1 = MultiplyShift::new(1);
+        let h2 = MultiplyShift::new(2);
+        assert_eq!(h1.hash(12345), h1.hash(12345));
+        assert_ne!(h1.hash(12345), h2.hash(12345));
+    }
+
+    #[test]
+    fn multiply_shift_spreads_buckets() {
+        let h = MultiplyShift::new(3);
+        let w = 64;
+        let mut counts = vec![0usize; w];
+        for x in 0..64_000u64 {
+            counts[reduce(h.hash(x), w)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn poly_hash_is_polynomial() {
+        // Degree-1 polynomial is a constant function of the single coeff.
+        let h = PolyHash::new(1, 4);
+        assert_eq!(h.hash(1), h.hash(999_999));
+    }
+
+    #[test]
+    fn poly_hash_pairwise_collision_rate() {
+        // Empirical collision probability over w buckets should be ≈ 1/w.
+        let w = 128;
+        let trials = 400;
+        let mut collisions = 0usize;
+        for seed in 0..trials {
+            let h = PolyHash::pairwise(seed as u64);
+            if reduce(h.hash_spread(17), w) == reduce(h.hash_spread(9999), w) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        assert!(rate < 4.0 / w as f64, "collision rate {rate} too high");
+    }
+
+    #[test]
+    fn poly_hash_output_below_modulus() {
+        let h = PolyHash::fourwise(5);
+        let mut sm = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            assert!(h.hash(sm.next_u64()) < MERSENNE61);
+        }
+    }
+
+    #[test]
+    fn key_hasher_u64_consistency() {
+        let h = MultiplyShift::new(8);
+        for k in [0u64, 5, u64::MAX] {
+            assert_eq!(h.hash_u64(k), h.hash_bytes(&k.to_le_bytes()));
+        }
+        let p = PolyHash::pairwise(8);
+        for k in [0u64, 5, u64::MAX] {
+            assert_eq!(p.hash_u64(k), p.hash_bytes(&k.to_le_bytes()));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Small deterministic PRNGs for the data path.
+//!
+//! The paper found that even one pseudo-random draw per packet is too
+//! expensive at 40 GbE (§4.1, Strawman 2); the fix is to draw *rarely*
+//! (geometric skips) but each draw still has to be cheap. These generators
+//! are branch-free, allocation-free, and seed-stable across platforms, which
+//! also makes every experiment in this repository reproducible bit-for-bit.
+
+/// SplitMix64 — a tiny 64-bit generator used for seeding and for cheap
+/// statistical randomness in tests and workload generation.
+///
+/// Passes BigCrush when used as specified; period 2^64.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from any 64-bit seed (all seeds are valid).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// xoshiro256** — the main data-path generator.
+///
+/// Fast (one rotate, two shifts, a few xors per draw), period 2^256 − 1,
+/// passes all known statistical batteries. Used by the geometric sampler and
+/// trace generators.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 as recommended by the xoshiro authors, so that
+    /// low-entropy seeds (0, 1, 2, ...) still produce well-mixed states.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 pseudo-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform double in `(0, 1]` — safe as a `ln()` argument.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire reduction (negligible bias for
+    /// the `n` ≪ 2^64 ranges used here).
+    #[inline]
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First output for state 0, as published with the reference code.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220A8397B1DCDAF);
+    }
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256StarStar::new(1);
+        let mut b = Xoshiro256StarStar::new(1);
+        let mut c = Xoshiro256StarStar::new(2);
+        let mut diff = false;
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            diff |= x != c.next_u64();
+        }
+        assert!(diff);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = Xoshiro256StarStar::new(3);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = g.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut g = Xoshiro256StarStar::new(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_and_uniformity() {
+        let mut g = Xoshiro256StarStar::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let v = g.next_range(10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut g = Xoshiro256StarStar::new(6);
+        let hits = (0..100_000).filter(|_| g.next_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+}

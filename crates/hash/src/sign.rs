@@ -1,0 +1,114 @@
+//! ±1 sign hashes (`g_i` in Algorithm 1).
+//!
+//! Count Sketch and K-ary update counters by `g_i(x) ∈ {−1, +1}`; Count-Min
+//! uses the constant `+1` (the paper phrases this as "g_i is either ±1
+//! getting an L2 guarantee or +1 for an L1 guarantee"). This module provides
+//! both behind one enum, so NitroSketch's generic update path does not branch
+//! on the sketch type.
+
+use crate::pairwise::PolyHash;
+
+/// A sign function `g(x) ∈ {−1, +1}` (or constant `+1`).
+#[derive(Clone, Debug)]
+pub enum SignHash {
+    /// Always `+1` — yields the L1 (Count-Min) style guarantee.
+    AlwaysPlus,
+    /// Pairwise-independent random sign — yields the L2 (Count Sketch)
+    /// style guarantee. The low bit of a pairwise hash decides the sign.
+    Pairwise(PolyHash),
+}
+
+impl SignHash {
+    /// Constant `+1` signs.
+    pub fn always_plus() -> Self {
+        SignHash::AlwaysPlus
+    }
+
+    /// Random pairwise-independent signs seeded deterministically.
+    pub fn pairwise(seed: u64) -> Self {
+        SignHash::Pairwise(PolyHash::pairwise(seed))
+    }
+
+    /// Evaluate the sign for a key: `+1` or `−1`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        match self {
+            SignHash::AlwaysPlus => 1,
+            SignHash::Pairwise(h) => {
+                if h.hash(key) & 1 == 0 {
+                    1
+                } else {
+                    -1
+                }
+            }
+        }
+    }
+
+    /// Evaluate as `f64` (the Nitro update path scales by `p⁻¹ · g(x)`).
+    #[inline]
+    pub fn sign_f64(&self, key: u64) -> f64 {
+        self.sign(key) as f64
+    }
+
+    /// Whether this instance can provide an L2-style guarantee (random
+    /// signs) as opposed to only L1 (constant `+1`).
+    pub fn is_l2(&self) -> bool {
+        matches!(self, SignHash::Pairwise(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_plus_is_one() {
+        let g = SignHash::always_plus();
+        for k in 0..100 {
+            assert_eq!(g.sign(k), 1);
+        }
+        assert!(!g.is_l2());
+    }
+
+    #[test]
+    fn pairwise_is_balanced() {
+        let g = SignHash::pairwise(7);
+        assert!(g.is_l2());
+        let plus = (0..100_000u64).filter(|&k| g.sign(k) == 1).count();
+        assert!((45_000..55_000).contains(&plus), "plus {plus}");
+    }
+
+    #[test]
+    fn pairwise_is_deterministic() {
+        let a = SignHash::pairwise(9);
+        let b = SignHash::pairwise(9);
+        for k in 0..1000 {
+            assert_eq!(a.sign(k), b.sign(k));
+            assert!(a.sign(k) == 1 || a.sign(k) == -1);
+        }
+    }
+
+    #[test]
+    fn sign_f64_matches_sign() {
+        let g = SignHash::pairwise(11);
+        for k in 0..1000 {
+            assert_eq!(g.sign_f64(k), g.sign(k) as f64);
+        }
+    }
+
+    #[test]
+    fn empirical_pairwise_independence() {
+        // For two fixed distinct keys, the four sign combinations should be
+        // roughly equally likely across independently seeded instances.
+        let mut quad = [0usize; 4];
+        for seed in 0..4000u64 {
+            let g = SignHash::pairwise(seed);
+            let a = (g.sign(123) == 1) as usize;
+            let b = (g.sign(456) == 1) as usize;
+            quad[a * 2 + b] += 1;
+        }
+        for &q in &quad {
+            assert!((800..1200).contains(&q), "quadrant {q}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! xxHash32 and xxHash64, implemented from the reference specification.
+//!
+//! The paper's C prototype hashes flow keys with the xxHash library; we
+//! reimplement both widths here so the data path has zero external
+//! dependencies. Outputs are validated against the reference test vectors
+//! published with the upstream library, so digests are interchangeable with
+//! any other conforming implementation.
+
+use crate::KeyHasher;
+
+const P32_1: u32 = 0x9E3779B1;
+const P32_2: u32 = 0x85EBCA77;
+const P32_3: u32 = 0xC2B2AE3D;
+const P32_4: u32 = 0x27D4EB2F;
+const P32_5: u32 = 0x165667B1;
+
+const P64_1: u64 = 0x9E3779B185EBCA87;
+const P64_2: u64 = 0xC2B2AE3D27D4EB4F;
+const P64_3: u64 = 0x165667B19E3779F9;
+const P64_4: u64 = 0x85EBCA77C2B2AE63;
+const P64_5: u64 = 0x27D4EB2F165667C5;
+
+#[inline(always)]
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().unwrap())
+}
+
+#[inline(always)]
+fn read_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().unwrap())
+}
+
+#[inline(always)]
+fn round32(acc: u32, lane: u32) -> u32 {
+    acc.wrapping_add(lane.wrapping_mul(P32_2))
+        .rotate_left(13)
+        .wrapping_mul(P32_1)
+}
+
+/// One-shot xxHash32 of `data` with the given `seed`.
+pub fn xxh32(data: &[u8], seed: u32) -> u32 {
+    let len = data.len();
+    let mut at = 0usize;
+
+    let mut h = if len >= 16 {
+        let mut a1 = seed.wrapping_add(P32_1).wrapping_add(P32_2);
+        let mut a2 = seed.wrapping_add(P32_2);
+        let mut a3 = seed;
+        let mut a4 = seed.wrapping_sub(P32_1);
+        while at + 16 <= len {
+            a1 = round32(a1, read_u32(data, at));
+            a2 = round32(a2, read_u32(data, at + 4));
+            a3 = round32(a3, read_u32(data, at + 8));
+            a4 = round32(a4, read_u32(data, at + 12));
+            at += 16;
+        }
+        a1.rotate_left(1)
+            .wrapping_add(a2.rotate_left(7))
+            .wrapping_add(a3.rotate_left(12))
+            .wrapping_add(a4.rotate_left(18))
+    } else {
+        seed.wrapping_add(P32_5)
+    };
+
+    h = h.wrapping_add(len as u32);
+
+    while at + 4 <= len {
+        h = h
+            .wrapping_add(read_u32(data, at).wrapping_mul(P32_3))
+            .rotate_left(17)
+            .wrapping_mul(P32_4);
+        at += 4;
+    }
+    while at < len {
+        h = h
+            .wrapping_add(u32::from(data[at]).wrapping_mul(P32_5))
+            .rotate_left(11)
+            .wrapping_mul(P32_1);
+        at += 1;
+    }
+
+    h ^= h >> 15;
+    h = h.wrapping_mul(P32_2);
+    h ^= h >> 13;
+    h = h.wrapping_mul(P32_3);
+    h ^= h >> 16;
+    h
+}
+
+#[inline(always)]
+fn round64(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(P64_2))
+        .rotate_left(31)
+        .wrapping_mul(P64_1)
+}
+
+#[inline(always)]
+fn merge64(mut h: u64, acc: u64) -> u64 {
+    h ^= round64(0, acc);
+    h.wrapping_mul(P64_1).wrapping_add(P64_4)
+}
+
+/// One-shot xxHash64 of `data` with the given `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut at = 0usize;
+
+    let mut h = if len >= 32 {
+        let mut a1 = seed.wrapping_add(P64_1).wrapping_add(P64_2);
+        let mut a2 = seed.wrapping_add(P64_2);
+        let mut a3 = seed;
+        let mut a4 = seed.wrapping_sub(P64_1);
+        while at + 32 <= len {
+            a1 = round64(a1, read_u64(data, at));
+            a2 = round64(a2, read_u64(data, at + 8));
+            a3 = round64(a3, read_u64(data, at + 16));
+            a4 = round64(a4, read_u64(data, at + 24));
+            at += 32;
+        }
+        let mut acc = a1
+            .rotate_left(1)
+            .wrapping_add(a2.rotate_left(7))
+            .wrapping_add(a3.rotate_left(12))
+            .wrapping_add(a4.rotate_left(18));
+        acc = merge64(acc, a1);
+        acc = merge64(acc, a2);
+        acc = merge64(acc, a3);
+        merge64(acc, a4)
+    } else {
+        seed.wrapping_add(P64_5)
+    };
+
+    h = h.wrapping_add(len as u64);
+
+    while at + 8 <= len {
+        h = (h ^ round64(0, read_u64(data, at)))
+            .rotate_left(27)
+            .wrapping_mul(P64_1)
+            .wrapping_add(P64_4);
+        at += 8;
+    }
+    if at + 4 <= len {
+        h = (h ^ u64::from(read_u32(data, at)).wrapping_mul(P64_1))
+            .rotate_left(23)
+            .wrapping_mul(P64_2)
+            .wrapping_add(P64_3);
+        at += 4;
+    }
+    while at < len {
+        h = (h ^ u64::from(data[at]).wrapping_mul(P64_5))
+            .rotate_left(11)
+            .wrapping_mul(P64_1);
+        at += 1;
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(P64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P64_3);
+    h ^= h >> 32;
+    h
+}
+
+/// Hash a `u64` key with xxHash64 without materialising a byte slice.
+///
+/// This is the hot path used when sketches digest a `FlowKey` down to eight
+/// bytes: it inlines the fixed-length (< 32 bytes) branch of [`xxh64`].
+#[inline]
+pub fn xxh64_u64(key: u64, seed: u64) -> u64 {
+    let mut h = seed.wrapping_add(P64_5).wrapping_add(8);
+    h = (h ^ round64(0, key))
+        .rotate_left(27)
+        .wrapping_mul(P64_1)
+        .wrapping_add(P64_4);
+    h ^= h >> 33;
+    h = h.wrapping_mul(P64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P64_3);
+    h ^= h >> 32;
+    h
+}
+
+/// An xxHash32-based [`KeyHasher`] with a fixed seed, mirroring the per-row
+/// seeded hash functions of the paper's prototype.
+#[derive(Clone, Copy, Debug)]
+pub struct Xxh32Hasher {
+    seed: u32,
+}
+
+impl Xxh32Hasher {
+    /// Create a hasher with the given per-row seed.
+    pub fn new(seed: u32) -> Self {
+        Self { seed }
+    }
+}
+
+impl KeyHasher for Xxh32Hasher {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        u64::from(xxh32(key, self.seed))
+    }
+}
+
+/// An xxHash64-based [`KeyHasher`] with a fixed seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Xxh64Hasher {
+    seed: u64,
+}
+
+impl Xxh64Hasher {
+    /// Create a hasher with the given per-row seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl KeyHasher for Xxh64Hasher {
+    fn hash_bytes(&self, key: &[u8]) -> u64 {
+        xxh64(key, self.seed)
+    }
+
+    fn hash_u64(&self, key: u64) -> u64 {
+        xxh64_u64(key, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the upstream xxHash repository and the
+    // python-xxhash documentation.
+    #[test]
+    fn xxh32_reference_vectors() {
+        assert_eq!(xxh32(b"", 0), 0x02CC5D05);
+        assert_eq!(xxh32(b"a", 0), 0x550D7456);
+        assert_eq!(xxh32(b"abc", 0), 0x32D153FF);
+        assert_eq!(
+            xxh32(b"Nobody inspects the spammish repetition", 0),
+            0xE2293B2F
+        );
+    }
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+    }
+
+    #[test]
+    fn xxh64_seed_changes_output() {
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+        assert_ne!(xxh32(b"abc", 0), xxh32(b"abc", 1));
+    }
+
+    #[test]
+    fn xxh64_u64_matches_slice_path() {
+        for k in [0u64, 1, 42, u64::MAX, 0xDEADBEEFCAFEBABE] {
+            for seed in [0u64, 7, 0x12345678] {
+                assert_eq!(xxh64_u64(k, seed), xxh64(&k.to_le_bytes(), seed));
+            }
+        }
+    }
+
+    #[test]
+    fn long_inputs_cover_stripe_loop() {
+        // > 32 bytes exercises the four-accumulator loop; just check
+        // determinism and seed sensitivity on a 1 KiB buffer.
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 % 251) as u8).collect();
+        let a = xxh64(&data, 0);
+        let b = xxh64(&data, 0);
+        let c = xxh64(&data, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let a32 = xxh32(&data, 0);
+        assert_eq!(a32, xxh32(&data, 0));
+        assert_ne!(a32, xxh32(&data, 99));
+    }
+
+    #[test]
+    fn all_lengths_parse_without_panic() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            seen.insert(xxh64(&data[..len], 0));
+            seen.insert(u64::from(xxh32(&data[..len], 0)));
+        }
+        // Every prefix should hash distinctly (no accidental collisions in
+        // this tiny structured set).
+        assert_eq!(seen.len(), 2 * (data.len() + 1));
+    }
+}

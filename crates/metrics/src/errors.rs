@@ -1,0 +1,183 @@
+//! Accuracy metrics.
+
+use nitro_sketches::FlowKey;
+use std::collections::HashSet;
+
+/// Relative error `|est − truth| / truth`; 0 when both are 0, ∞ when only
+/// the truth is 0 (a pure false positive has no meaningful relative error,
+/// so callers typically filter to true flows first).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth
+    }
+}
+
+/// Mean relative error over `(estimate, truth)` pairs — the paper's
+/// headline accuracy metric ("we estimate the mean relative errors on the
+/// detected heavy flows").
+pub fn mean_relative_error<I: IntoIterator<Item = (f64, f64)>>(pairs: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (e, t) in pairs {
+        sum += relative_error(e, t);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Recall: fraction of true instances that were reported.
+pub fn recall(reported: &[FlowKey], truth: &[FlowKey]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let reported: HashSet<_> = reported.iter().collect();
+    truth.iter().filter(|k| reported.contains(k)).count() as f64 / truth.len() as f64
+}
+
+/// Precision: fraction of reported instances that are true.
+pub fn precision(reported: &[FlowKey], truth: &[FlowKey]) -> f64 {
+    if reported.is_empty() {
+        return 1.0;
+    }
+    let truth: HashSet<_> = truth.iter().collect();
+    reported.iter().filter(|k| truth.contains(k)).count() as f64 / reported.len() as f64
+}
+
+/// Summary statistics over one metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Summarize a non-empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            mean,
+            median: sorted[(sorted.len() - 1) / 2],
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Collects one metric across independent runs and reports the median ±
+/// standard deviation, as the paper does ("we run 10 times independently
+/// and report the median and the standard deviation").
+#[derive(Clone, Debug, Default)]
+pub struct MultiRun {
+    values: Vec<f64>,
+}
+
+impl MultiRun {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one run's value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no runs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// `(median, std_dev)` of the recorded runs.
+    pub fn median_std(&self) -> (f64, f64) {
+        let s = ErrorSummary::of(&self.values);
+        (s.median, s.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn mre_averages() {
+        let m = mean_relative_error([(110.0, 100.0), (100.0, 100.0)]);
+        assert!((m - 0.05).abs() < 1e-12);
+        assert_eq!(mean_relative_error(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let truth = vec![1u64, 2, 3, 4];
+        let reported = vec![2u64, 3, 9];
+        assert_eq!(recall(&reported, &truth), 0.5);
+        assert!((precision(&reported, &truth) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall(&[], &truth), 0.0);
+        assert_eq!(recall(&reported, &[]), 1.0);
+        assert_eq!(precision(&[], &truth), 1.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = ErrorSummary::of(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert!((s.std_dev - (10.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        ErrorSummary::of(&[]);
+    }
+
+    #[test]
+    fn multirun_median_std() {
+        let mut m = MultiRun::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.push(v);
+        }
+        let (median, std) = m.median_std();
+        assert_eq!(median, 2.0);
+        assert!(std > 0.0);
+        assert_eq!(m.len(), 3);
+    }
+}

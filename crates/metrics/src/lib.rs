@@ -1,0 +1,17 @@
+//! Error metrics and result reporting (§7 "Sketches and metrics").
+//!
+//! The paper reports: *relative error* `|t − t_real| / t_real` (mean over
+//! detected heavy flows, with median-of-10-runs plots), *recall* (true
+//! instances found), and throughput/memory series. This crate computes the
+//! metrics ([`errors`]) and renders aligned text tables and CSV rows
+//! ([`table`]) that the bench harness prints for every figure.
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod table;
+
+pub use errors::{
+    mean_relative_error, precision, recall, relative_error, ErrorSummary, MultiRun,
+};
+pub use table::Table;

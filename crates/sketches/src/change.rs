@@ -1,0 +1,192 @@
+//! Epoch-over-epoch change detection (Krishnamurthy et al., IMC 2003).
+//!
+//! A "change" flow contributes more than a threshold of the total traffic
+//! *difference* across two consecutive intervals. Because K-ary sketches are
+//! linear, the canonical driver keeps the previous epoch's sketch, subtracts
+//! it from the current one, and queries the difference for candidate keys.
+//! The same candidate-scoring helper serves UnivMon-based change detection
+//! (Fig. 11's "Change (UnivMon)" task), where the two epochs are two
+//! UnivMon instances.
+
+use crate::kary::KarySketch;
+use crate::traits::{FlowKey, RowSketch, Sketch};
+
+/// Rotating two-epoch change detector over K-ary sketches.
+#[derive(Clone, Debug)]
+pub struct ChangeDetector {
+    prev: Option<KarySketch>,
+    cur: KarySketch,
+    /// Constructor parameters, to build fresh epochs.
+    depth: usize,
+    width: usize,
+    seed: u64,
+}
+
+impl ChangeDetector {
+    /// Create a detector whose per-epoch sketches are `depth × width`.
+    ///
+    /// Both epochs share hash seeds (required for subtraction).
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        Self {
+            prev: None,
+            cur: KarySketch::new(depth, width, seed),
+            depth,
+            width,
+            seed,
+        }
+    }
+
+    /// Record a packet in the current epoch.
+    pub fn update(&mut self, key: FlowKey, weight: f64) {
+        self.cur.update(key, weight);
+    }
+
+    /// Direct row access for Nitro-style sampled updates.
+    pub fn update_row(&mut self, row: usize, key: FlowKey, delta: f64) {
+        self.cur.update_row(row, key, delta);
+    }
+
+    /// The current epoch's sketch (for L2 introspection etc.).
+    pub fn current(&self) -> &KarySketch {
+        &self.cur
+    }
+
+    /// Close the current epoch: it becomes "previous", a fresh sketch
+    /// starts accumulating.
+    pub fn rotate(&mut self) {
+        let fresh = KarySketch::new(self.depth, self.width, self.seed);
+        self.prev = Some(std::mem::replace(&mut self.cur, fresh));
+    }
+
+    /// Estimated signed traffic change for `key` between the previous and
+    /// current epoch (0 until two epochs exist).
+    pub fn change_estimate(&self, key: FlowKey) -> f64 {
+        match &self.prev {
+            Some(prev) => self.cur.subtract(prev).estimate(key),
+            None => 0.0,
+        }
+    }
+
+    /// Score `candidates` and return those whose |change| ≥ `threshold`,
+    /// ordered by descending magnitude.
+    pub fn detect<I: IntoIterator<Item = FlowKey>>(
+        &self,
+        candidates: I,
+        threshold: f64,
+    ) -> Vec<(FlowKey, f64)> {
+        let diff = match &self.prev {
+            Some(prev) => self.cur.subtract(prev),
+            None => return Vec::new(),
+        };
+        let mut out: Vec<(FlowKey, f64)> = candidates
+            .into_iter()
+            .map(|k| (k, diff.estimate(k)))
+            .filter(|&(_, c)| c.abs() >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+        out.dedup_by_key(|e| e.0);
+        out
+    }
+
+    /// Total absolute traffic difference estimate `|L1_cur − L1_prev|`.
+    pub fn total_change(&self) -> f64 {
+        match &self.prev {
+            Some(prev) => (self.cur.total_estimate() - prev.total_estimate()).abs(),
+            None => 0.0,
+        }
+    }
+}
+
+/// Score change magnitude for candidates given two arbitrary per-epoch
+/// estimators (e.g. two UnivMon instances): `|ê_cur(k) − ê_prev(k)|`.
+pub fn change_scores<F, G, I>(est_prev: F, est_cur: G, candidates: I) -> Vec<(FlowKey, f64)>
+where
+    F: Fn(FlowKey) -> f64,
+    G: Fn(FlowKey) -> f64,
+    I: IntoIterator<Item = FlowKey>,
+{
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<(FlowKey, f64)> = candidates
+        .into_iter()
+        .filter(|k| seen.insert(*k))
+        .map(|k| (k, (est_cur(k) - est_prev(k)).abs()))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_change_without_two_epochs() {
+        let mut cd = ChangeDetector::new(5, 1024, 1);
+        cd.update(1, 100.0);
+        assert_eq!(cd.change_estimate(1), 0.0);
+        assert!(cd.detect([1u64], 0.0).is_empty());
+    }
+
+    #[test]
+    fn detects_a_surge() {
+        let mut cd = ChangeDetector::new(5, 2048, 2);
+        for k in 0..100u64 {
+            cd.update(k, 10.0);
+        }
+        cd.rotate();
+        for k in 0..100u64 {
+            cd.update(k, 10.0);
+        }
+        cd.update(42, 700.0); // surge
+        let hits = cd.detect(0..100u64, 300.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 42);
+        assert!((hits[0].1 - 700.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn detects_a_disappearance() {
+        let mut cd = ChangeDetector::new(5, 2048, 3);
+        cd.update(7, 500.0);
+        for k in 100..200u64 {
+            cd.update(k, 5.0);
+        }
+        cd.rotate();
+        for k in 100..200u64 {
+            cd.update(k, 5.0);
+        }
+        // key 7 sends nothing this epoch.
+        let change = cd.change_estimate(7);
+        assert!((change + 500.0).abs() < 50.0, "change {change}");
+        let hits = cd.detect(std::iter::once(7u64).chain(100..200), 250.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 7);
+    }
+
+    #[test]
+    fn total_change_tracks_volume() {
+        let mut cd = ChangeDetector::new(5, 512, 4);
+        cd.update(1, 1000.0);
+        cd.rotate();
+        cd.update(1, 400.0);
+        assert!((cd.total_change() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotate_starts_fresh_epoch() {
+        let mut cd = ChangeDetector::new(3, 256, 5);
+        cd.update(9, 50.0);
+        cd.rotate();
+        assert_eq!(cd.current().total_estimate(), 0.0);
+    }
+
+    #[test]
+    fn change_scores_orders_and_dedups() {
+        let prev = |k: FlowKey| if k == 1 { 100.0 } else { 10.0 };
+        let cur = |k: FlowKey| if k == 2 { 100.0 } else { 10.0 };
+        let scores = change_scores(prev, cur, [1u64, 2, 3, 2, 1]);
+        assert_eq!(scores.len(), 3);
+        assert_eq!(scores[0].1, 90.0);
+        assert_eq!(scores[2], (3, 0.0));
+    }
+}

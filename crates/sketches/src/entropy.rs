@@ -1,0 +1,106 @@
+//! Entropy helpers shared by ground truth and estimators.
+//!
+//! The paper evaluates "Entropy Estimation" as one of the three headline
+//! tasks (Figs. 3b, 11): the empirical Shannon entropy of the flow-size
+//! distribution, `H = −Σ (fᵢ/m)·log₂(fᵢ/m)`. Estimators work with the
+//! equivalent "entropy norm" form `H = log₂ m − (1/m)·Σ fᵢ·log₂ fᵢ`, so both
+//! shapes live here with exact-arithmetic tests tying them together.
+
+/// Empirical Shannon entropy (bits) of a frequency multiset.
+///
+/// Zero and negative frequencies are ignored (estimates can dip below zero;
+/// a flow with no traffic contributes nothing).
+pub fn entropy_bits<I: IntoIterator<Item = f64>>(freqs: I) -> f64 {
+    let freqs: Vec<f64> = freqs.into_iter().filter(|&f| f > 0.0).collect();
+    let m: f64 = freqs.iter().sum();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    freqs
+        .iter()
+        .map(|&f| {
+            let p = f / m;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The "entropy norm" `Σ fᵢ·log₂ fᵢ` of a frequency multiset.
+pub fn entropy_norm<I: IntoIterator<Item = f64>>(freqs: I) -> f64 {
+    freqs
+        .into_iter()
+        .filter(|&f| f >= 1.0)
+        .map(|f| f * f.log2())
+        .sum()
+}
+
+/// Convert an entropy-norm estimate (with total weight `m`) to bits:
+/// `H = log₂ m − S/m`.
+pub fn entropy_from_norm(norm: f64, m: f64) -> f64 {
+    if m <= 0.0 {
+        return 0.0;
+    }
+    (m.log2() - norm / m).max(0.0)
+}
+
+/// Normalized entropy in `[0, 1]`: `H / log₂(n)` for `n` distinct flows —
+/// the form anomaly-detection applications threshold on.
+pub fn normalized_entropy(h_bits: f64, distinct: f64) -> f64 {
+    if distinct <= 1.0 {
+        return 0.0;
+    }
+    (h_bits / distinct.log2()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_maximal() {
+        let h = entropy_bits((0..8).map(|_| 10.0));
+        assert!((h - 3.0).abs() < 1e-12, "uniform over 8 → 3 bits, got {h}");
+    }
+
+    #[test]
+    fn single_flow_zero_entropy() {
+        assert_eq!(entropy_bits([100.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(entropy_bits(std::iter::empty()), 0.0);
+        assert_eq!(entropy_from_norm(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn norm_and_bits_agree() {
+        let freqs = vec![5.0, 3.0, 2.0, 7.0, 1.0, 12.0];
+        let m: f64 = freqs.iter().sum();
+        let via_norm = entropy_from_norm(entropy_norm(freqs.clone()), m);
+        let direct = entropy_bits(freqs);
+        assert!((via_norm - direct).abs() < 1e-12, "{via_norm} vs {direct}");
+    }
+
+    #[test]
+    fn skewed_less_than_uniform() {
+        let skewed = entropy_bits([97.0, 1.0, 1.0, 1.0]);
+        let uniform = entropy_bits([25.0, 25.0, 25.0, 25.0]);
+        assert!(skewed < uniform);
+    }
+
+    #[test]
+    fn negative_and_zero_freqs_ignored() {
+        let h1 = entropy_bits([10.0, 20.0]);
+        let h2 = entropy_bits([10.0, 20.0, 0.0, -5.0]);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn normalized_entropy_bounds() {
+        assert_eq!(normalized_entropy(3.0, 8.0), 1.0);
+        assert_eq!(normalized_entropy(0.0, 8.0), 0.0);
+        assert_eq!(normalized_entropy(5.0, 1.0), 0.0);
+        assert_eq!(normalized_entropy(99.0, 4.0), 1.0); // clamped
+    }
+}

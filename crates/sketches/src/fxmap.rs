@@ -1,0 +1,102 @@
+//! Fast hashing for `FlowKey`-keyed maps.
+//!
+//! Flow keys are already uniform 64-bit digests (xxHash64 of the 5-tuple),
+//! so the std `HashMap`'s SipHash — designed to protect *untrusted* keys —
+//! only burns cycles on the data path. [`FlowKeyMap`] swaps in a
+//! multiply-mix finalizer (Fibonacci hashing), which Table 2's heap costs
+//! are sensitive to: the top-k index sits on the per-sampled-packet path.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A one-shot multiplicative hasher for already-mixed 64-bit keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowKeyHasher {
+    state: u64,
+}
+
+impl Hasher for FlowKeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (rare): fold bytes into the state 8 at a time.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut x = self.state ^ n;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        self.state = x;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Build-hasher for [`FlowKeyHasher`].
+pub type FlowKeyBuildHasher = BuildHasherDefault<FlowKeyHasher>;
+
+/// A `HashMap` keyed by flow keys with the fast hasher.
+pub type FlowKeyMap<V> = HashMap<crate::FlowKey, V, FlowKeyBuildHasher>;
+
+/// A `HashSet` of flow keys with the fast hasher.
+pub type FlowKeySet = HashSet<crate::FlowKey, FlowKeyBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FlowKeyMap<u32> = FlowKeyMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k, (k * 3) as u32);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(&k), Some(&((k * 3) as u32)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        // Sequential keys must not collide in the low bits (what HashMap
+        // buckets use).
+        let mut low = std::collections::HashSet::new();
+        for k in 0..4096u64 {
+            let mut h = FlowKeyHasher::default();
+            h.write_u64(k);
+            low.insert(h.finish() & 0xFFF);
+        }
+        assert!(low.len() > 2500, "only {} distinct low-12 bits", low.len());
+    }
+
+    #[test]
+    fn set_works() {
+        let mut s: FlowKeySet = FlowKeySet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn byte_writes_fold() {
+        let mut a = FlowKeyHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FlowKeyHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

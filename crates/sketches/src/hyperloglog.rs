@@ -1,0 +1,187 @@
+//! HyperLogLog (Flajolet, Fusy, Gandouet & Meunier, 2007).
+//!
+//! The robust distinct-flow estimator: `2^b` 6-bit-equivalent registers each
+//! remember the maximum leading-zero rank seen in their substream; the
+//! harmonic mean yields a cardinality estimate with ~`1.04/√(2^b)` relative
+//! standard error *independent of the number of flows* — the property that
+//! lets UnivMon-class solutions stay robust where linear counting
+//! overflows (Fig. 3b).
+
+use crate::traits::FlowKey;
+use nitro_hash::xxhash::xxh64_u64;
+
+/// A HyperLogLog cardinality estimator with `2^precision` registers.
+#[derive(Clone, Debug)]
+pub struct HyperLogLog {
+    precision: u8,
+    registers: Vec<u8>,
+    seed: u64,
+}
+
+impl HyperLogLog {
+    /// Create with `precision ∈ [4, 18]` (`2^precision` registers).
+    pub fn new(precision: u8, seed: u64) -> Self {
+        assert!((4..=18).contains(&precision), "precision must be in [4, 18]");
+        Self {
+            precision,
+            registers: vec![0; 1 << precision],
+            seed,
+        }
+    }
+
+    /// Record a key.
+    pub fn insert(&mut self, key: FlowKey) {
+        let h = xxh64_u64(key, self.seed);
+        let idx = (h >> (64 - self.precision)) as usize;
+        let remaining = h << self.precision;
+        // Rank: position of the first 1-bit in the remaining stream, 1-based,
+        // capped so it fits the register.
+        let rank = (remaining.leading_zeros() as u8 + 1).min(64 - self.precision + 1);
+        if self.registers[idx] < rank {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// The bias-corrected cardinality estimate.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let raw = alpha * m * m / sum;
+
+        if raw <= 2.5 * m {
+            // Small-range correction: fall back to linear counting on the
+            // zero registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        // 64-bit hashes make the large-range correction unnecessary.
+        raw
+    }
+
+    /// Merge another HLL (same precision and seed) by register-wise max.
+    ///
+    /// # Panics
+    /// Panics on parameter mismatch.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Reset.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(10, 1);
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_counts_exactish() {
+        let mut h = HyperLogLog::new(12, 2);
+        for k in 0..100u64 {
+            h.insert(k);
+        }
+        let est = h.estimate();
+        assert!((est - 100.0).abs() < 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn large_counts_within_expected_error() {
+        let mut h = HyperLogLog::new(12, 3);
+        let n = 1_000_000u64;
+        for k in 0..n {
+            h.insert(k);
+        }
+        let est = h.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        // σ ≈ 1.04/√4096 ≈ 1.6%; allow 4σ.
+        assert!(rel < 0.065, "relative error {rel}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(10, 4);
+        for _ in 0..10_000 {
+            h.insert(7);
+        }
+        assert!(h.estimate() < 3.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(10, 5);
+        let mut b = HyperLogLog::new(10, 5);
+        let mut union = HyperLogLog::new(10, 5);
+        for k in 0..5000u64 {
+            a.insert(k);
+            union.insert(k);
+        }
+        for k in 2500..7500u64 {
+            b.insert(k);
+            union.insert(k);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), union.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLog::new(10, 1);
+        let b = HyperLogLog::new(11, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn robust_where_linear_counting_saturates() {
+        // Same memory budget: LC with 1024 bits vs HLL with 128 registers
+        // (2^7 = 128 bytes). At 1M flows LC is useless, HLL stays sane.
+        let mut lc = crate::LinearCounting::new(1024, 6);
+        let mut hll = HyperLogLog::new(7, 6);
+        let n = 1_000_000u64;
+        for k in 0..n {
+            lc.insert(k);
+            hll.insert(k);
+        }
+        let lc_rel = (lc.estimate() - n as f64).abs() / n as f64;
+        let hll_rel = (hll.estimate() - n as f64).abs() / n as f64;
+        assert!(lc_rel > 0.9, "LC should have collapsed: {lc_rel}");
+        assert!(hll_rel < 0.5, "HLL should survive: {hll_rel}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = HyperLogLog::new(8, 7);
+        h.insert(1);
+        h.clear();
+        assert_eq!(h.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Misra–Gries frequent-items summary (1982).
+//!
+//! Keeps at most `k` counters; an unseen key either claims a free counter or
+//! decrements everyone (implemented with a global offset for amortized O(1)
+//! work). Guarantees `fx − m/(k+1) ≤ f̂x ≤ fx` — the deterministic summary
+//! SketchVisor's fast path builds on (§2), implemented here in its classic
+//! form for the baseline comparisons.
+
+use crate::fxmap::FlowKeyMap;
+use crate::traits::FlowKey;
+
+/// A Misra–Gries summary with at most `k` tracked keys.
+#[derive(Clone, Debug)]
+pub struct MisraGries {
+    k: usize,
+    /// Stored value is the counter *minus* `offset` at insertion time, so a
+    /// global decrement is a single `offset += min` instead of a scan.
+    counters: FlowKeyMap<f64>,
+    /// Total weight processed.
+    total: f64,
+    /// Total weight "thrown away" by decrements (bounds the estimate error).
+    decremented: f64,
+}
+
+impl MisraGries {
+    /// Create a summary tracking at most `k ≥ 1` keys.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "MisraGries needs k ≥ 1");
+        Self {
+            k,
+            counters: FlowKeyMap::with_capacity_and_hasher(k + 1, Default::default()),
+            total: 0.0,
+            decremented: 0.0,
+        }
+    }
+
+    /// Process `weight` for `key`.
+    pub fn update(&mut self, key: FlowKey, weight: f64) {
+        self.total += weight;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(key, weight);
+            return;
+        }
+        // Summary full: decrement everyone by the smallest of (weight, the
+        // minimum counter); evict zeros; re-insert the newcomer with any
+        // remaining weight. (Classic MG generalized to weighted updates.)
+        let min = self
+            .counters
+            .values()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        let dec = min.min(weight);
+        self.decremented += dec;
+        self.counters.retain(|_, c| {
+            *c -= dec;
+            *c > 1e-12
+        });
+        let rest = weight - dec;
+        if rest > 1e-12 && self.counters.len() < self.k {
+            self.counters.insert(key, rest);
+        }
+    }
+
+    /// Lower-bound estimate of `key`'s weight (0 if untracked).
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.counters.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Upper bound on the estimation error: `total / (k+1)` classically,
+    /// but the exact amount decremented is tighter.
+    pub fn error_bound(&self) -> f64 {
+        self.decremented
+    }
+
+    /// Tracked `(key, lower-bound)` pairs, heaviest first.
+    pub fn entries(&self) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Total processed weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Merge another summary into this one (used by SketchVisor's
+    /// control-plane merge): add counters, then trim back to `k` by
+    /// decrementing with the (k+1)-th largest value.
+    pub fn merge(&mut self, other: &MisraGries) {
+        self.total += other.total;
+        self.decremented += other.decremented;
+        for (&k, &c) in &other.counters {
+            *self.counters.entry(k).or_insert(0.0) += c;
+        }
+        if self.counters.len() > self.k {
+            let mut vals: Vec<f64> = self.counters.values().copied().collect();
+            vals.sort_by(|a, b| b.total_cmp(a));
+            let cut = vals[self.k];
+            self.decremented += cut;
+            self.counters.retain(|_, c| {
+                *c -= cut;
+                *c > 1e-12
+            });
+        }
+    }
+
+    /// Reset.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.total = 0.0;
+        self.decremented = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut mg = MisraGries::new(10);
+        for k in 0..5u64 {
+            mg.update(k, (k + 1) as f64);
+        }
+        for k in 0..5u64 {
+            assert_eq!(mg.estimate(k), (k + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut mg = MisraGries::new(8);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(1);
+        for _ in 0..50_000 {
+            let k = (1000.0 * rng.next_f64().powi(3)) as u64;
+            mg.update(k, 1.0);
+            *truth.entry(k).or_insert(0.0) += 1.0;
+        }
+        for (k, est) in mg.entries() {
+            assert!(est <= truth[&k] + 1e-9, "key {k} overestimated");
+        }
+    }
+
+    #[test]
+    fn error_within_mg_bound() {
+        let k = 9;
+        let mut mg = MisraGries::new(k);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(2);
+        let n = 30_000;
+        for _ in 0..n {
+            let key = (500.0 * rng.next_f64().powi(2)) as u64;
+            mg.update(key, 1.0);
+            *truth.entry(key).or_insert(0.0) += 1.0;
+        }
+        let bound = n as f64 / (k + 1) as f64;
+        for (&key, &t) in &truth {
+            assert!(t - mg.estimate(key) <= bound + 1e-9, "key {key} err too big");
+        }
+        assert!(mg.error_bound() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn heavy_key_survives() {
+        let mut mg = MisraGries::new(4);
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(3);
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                mg.update(7, 1.0); // 50% of traffic
+            } else {
+                mg.update(1000 + rng.next_range(500), 1.0);
+            }
+        }
+        assert!(mg.estimate(7) > 2000.0, "heavy key lost: {}", mg.estimate(7));
+        assert_eq!(mg.entries()[0].0, 7);
+    }
+
+    #[test]
+    fn merge_preserves_heavy_keys() {
+        let mut a = MisraGries::new(4);
+        let mut b = MisraGries::new(4);
+        for _ in 0..1000 {
+            a.update(1, 1.0);
+            b.update(1, 1.0);
+            b.update(2, 1.0);
+        }
+        a.merge(&b);
+        assert!(a.estimate(1) >= 1500.0);
+        assert!(a.len() <= 4);
+        assert_eq!(a.total(), 3000.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut mg = MisraGries::new(2);
+        mg.update(1, 1.0);
+        mg.clear();
+        assert!(mg.is_empty());
+        assert_eq!(mg.total(), 0.0);
+    }
+}

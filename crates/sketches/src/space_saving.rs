@@ -1,0 +1,234 @@
+//! Space-Saving (Metwally, Agrawal & El Abbadi, 2005).
+//!
+//! Keeps exactly `k` counters; an unseen key *replaces* the minimum counter
+//! and inherits its value (recording that value as the new key's maximum
+//! possible overestimation). Guarantees `fx ≤ f̂x ≤ fx + m/k`. Unlike
+//! Misra–Gries it never throws mass away, which is why R-HHH builds on it —
+//! our R-HHH baseline instantiates one instance per hierarchy level.
+//!
+//! Backed by the same indexed min-heap as [`crate::TopK`] semantics but with
+//! replace-min insertion and per-key error tracking.
+
+use crate::fxmap::FlowKeyMap;
+use crate::traits::FlowKey;
+
+/// A Space-Saving summary with exactly `k` counters once warm.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    k: usize,
+    /// Min-heap of (key, count, err) ordered by count.
+    heap: Vec<(FlowKey, f64, f64)>,
+    index: FlowKeyMap<usize>,
+    total: f64,
+}
+
+impl SpaceSaving {
+    /// Create a summary with `k ≥ 1` counters.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "SpaceSaving needs k ≥ 1");
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+            index: FlowKeyMap::with_capacity_and_hasher(2 * k, Default::default()),
+            total: 0.0,
+        }
+    }
+
+    /// Process `weight` for `key`.
+    pub fn update(&mut self, key: FlowKey, weight: f64) {
+        self.total += weight;
+        if let Some(&slot) = self.index.get(&key) {
+            self.heap[slot].1 += weight;
+            self.sift_down(slot);
+        } else if self.heap.len() < self.k {
+            let slot = self.heap.len();
+            self.heap.push((key, weight, 0.0));
+            self.index.insert(key, slot);
+            self.sift_up(slot);
+        } else {
+            // Replace the minimum: newcomer inherits min count as error.
+            let (old_key, old_count, _) = self.heap[0];
+            self.index.remove(&old_key);
+            self.heap[0] = (key, old_count + weight, old_count);
+            self.index.insert(key, 0);
+            self.sift_down(0);
+        }
+    }
+
+    /// Upper-bound estimate for `key` (0 if untracked).
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.index.get(&key).map(|&s| self.heap[s].1).unwrap_or(0.0)
+    }
+
+    /// Guaranteed lower bound for `key` (count − inherited error).
+    pub fn lower_bound(&self, key: FlowKey) -> f64 {
+        self.index
+            .get(&key)
+            .map(|&s| self.heap[s].1 - self.heap[s].2)
+            .unwrap_or(0.0)
+    }
+
+    /// Tracked `(key, estimate)` pairs, heaviest first.
+    pub fn entries(&self) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<_> = self.heap.iter().map(|&(k, c, _)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Keys whose *lower bound* exceeds `threshold` — guaranteed heavy
+    /// hitters.
+    pub fn guaranteed_heavy(&self, threshold: f64) -> Vec<FlowKey> {
+        let mut v: Vec<FlowKey> = self
+            .heap
+            .iter()
+            .filter(|&&(_, c, e)| c - e >= threshold)
+            .map(|&(k, _, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total processed weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Reset.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.index.clear();
+        self.total = 0.0;
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.heap[slot].1 < self.heap[parent].1 {
+                self.swap_slots(slot, parent);
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let (l, r) = (2 * slot + 1, 2 * slot + 2);
+            let mut smallest = slot;
+            if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
+                smallest = r;
+            }
+            if smallest == slot {
+                break;
+            }
+            self.swap_slots(slot, smallest);
+            slot = smallest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.index.insert(self.heap[a].0, a);
+        self.index.insert(self.heap[b].0, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for k in 0..5u64 {
+            ss.update(k, (k + 1) as f64);
+        }
+        for k in 0..5u64 {
+            assert_eq!(ss.estimate(k), (k + 1) as f64);
+            assert_eq!(ss.lower_bound(k), (k + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut ss = SpaceSaving::new(16);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(1);
+        for _ in 0..50_000 {
+            let k = (2000.0 * rng.next_f64().powi(3)) as u64;
+            ss.update(k, 1.0);
+            *truth.entry(k).or_insert(0.0) += 1.0;
+        }
+        for (k, est) in ss.entries() {
+            assert!(est >= truth[&k] - 1e-9, "key {k} underestimated");
+        }
+    }
+
+    #[test]
+    fn error_within_m_over_k() {
+        let k = 20;
+        let mut ss = SpaceSaving::new(k);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(2);
+        let n = 40_000;
+        for _ in 0..n {
+            let key = (1000.0 * rng.next_f64().powi(2)) as u64;
+            ss.update(key, 1.0);
+            *truth.entry(key).or_insert(0.0) += 1.0;
+        }
+        let bound = n as f64 / k as f64;
+        for (key, est) in ss.entries() {
+            let t = truth[&key];
+            assert!(est - t <= bound + 1e-9, "key {key}: est {est} truth {t}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_heavy_has_no_false_positives() {
+        let mut ss = SpaceSaving::new(8);
+        let mut truth = std::collections::HashMap::new();
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(3);
+        for i in 0..20_000u64 {
+            let key = if i % 4 == 0 { 1 } else { 100 + rng.next_range(300) };
+            ss.update(key, 1.0);
+            *truth.entry(key).or_insert(0.0) += 1.0;
+        }
+        let threshold = 1000.0;
+        for k in ss.guaranteed_heavy(threshold) {
+            assert!(truth[&k] >= threshold, "false positive {k}");
+        }
+        assert!(ss.guaranteed_heavy(threshold).contains(&1));
+    }
+
+    #[test]
+    fn maintains_exactly_k_when_warm() {
+        let mut ss = SpaceSaving::new(5);
+        for k in 0..100u64 {
+            ss.update(k, 1.0);
+        }
+        assert_eq!(ss.len(), 5);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ss = SpaceSaving::new(3);
+        ss.update(1, 1.0);
+        ss.clear();
+        assert!(ss.is_empty());
+        assert_eq!(ss.total(), 0.0);
+    }
+}

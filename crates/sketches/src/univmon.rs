@@ -1,0 +1,407 @@
+//! UnivMon — universal sketching (Liu, Manousis, Vorsanger, Sekar &
+//! Braverman, SIGCOMM 2016).
+//!
+//! One structure answers many measurement tasks: the stream is recursively
+//! half-sampled into `L` levels (a key belongs to levels `0..=z(key)` where
+//! `P[z ≥ j] = 2⁻ʲ`, decided by hash bits); each level runs a frequency
+//! oracle (vanilla: a Count Sketch) plus a top-k heap. Any "G-sum"
+//! statistic `Σ_x g(f_x)` is then estimated bottom-up with the recursion
+//!
+//! ```text
+//! Y_L   = Σ_{x ∈ Q_L} g(f̂_L(x))
+//! Y_j   = 2·Y_{j+1} + Σ_{x ∈ Q_j} (1 − 2·[x ∈ level j+1]) · g(f̂_j(x))
+//! G-sum ≈ Y_0
+//! ```
+//!
+//! which yields heavy hitters (from level 0), entropy (`g(x) = x·log₂x`),
+//! distinct flows (`g(x) = 1`), and L2 (`g(x) = x²`).
+//!
+//! The frequency oracle is abstracted as [`UnivLayer`] so that `nitro-core`
+//! can instantiate UnivMon over `NitroSketch<CountSketch>` — the paper's §8
+//! "replace each Count Sketch instance with AlwaysCorrect NitroSketch".
+
+use crate::topk::TopK;
+use crate::traits::{FlowKey, UnivLayer};
+use crate::CountSketch;
+use nitro_hash::xxhash::xxh64_u64;
+
+/// Default number of levels — covers streams up to ~2³² flows.
+pub const DEFAULT_LEVELS: usize = 16;
+
+/// A universal sketch over a pluggable per-level frequency oracle.
+///
+/// ```
+/// use nitro_sketches::UnivMon;
+///
+/// let mut u = UnivMon::new(8, 5, &[64 << 10], 128, 7);
+/// for i in 0..50_000u64 {
+///     u.update(i % 100, 1.0); // 100 flows, 500 packets each
+/// }
+/// assert_eq!(u.total(), 50_000.0);
+/// let d = u.distinct();
+/// assert!((d - 100.0).abs() < 40.0, "distinct ≈ 100, got {d}");
+/// assert!(!u.heavy_hitters(400.0).is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnivMon<S: UnivLayer = CountSketch> {
+    levels: Vec<S>,
+    heaps: Vec<TopK>,
+    level_seed: u64,
+    /// Exact total weight seen (every packet reaches level 0).
+    total: f64,
+}
+
+impl UnivMon<CountSketch> {
+    /// Build a vanilla UnivMon with the paper's memory schedule: per-level
+    /// Count Sketches sized from `level_bytes` (paper default: 4MB, 2MB,
+    /// 1MB, 500KB, then 250KB each), `depth` rows, and `k`-entry heaps.
+    pub fn new(levels: usize, depth: usize, level_bytes: &[usize], k: usize, seed: u64) -> Self {
+        assert!(levels >= 1, "UnivMon needs at least one level");
+        assert!(!level_bytes.is_empty(), "need at least one level size");
+        let layers = (0..levels)
+            .map(|j| {
+                let bytes = *level_bytes.get(j).unwrap_or(level_bytes.last().unwrap());
+                CountSketch::with_memory(bytes, depth, seed.wrapping_add(j as u64 * 0x9E37))
+            })
+            .collect();
+        Self::from_layers(layers, k, seed ^ 0xD1B54A32D192ED03)
+    }
+
+    /// The paper's evaluation configuration: 4MB/2MB/1MB/500KB for the first
+    /// heavy-hitter sketches, 250KB for the rest (§7 "Parameters"), scaled
+    /// by `scale` so the 2MB total-variant of Fig. 11(b) is one call away.
+    pub fn paper_config(levels: usize, k: usize, seed: u64, scale: f64) -> Self {
+        let base: [usize; 5] = [4 << 20, 2 << 20, 1 << 20, 500 << 10, 250 << 10];
+        let bytes: Vec<usize> = (0..levels)
+            .map(|j| {
+                let b = base[j.min(4)];
+                ((b as f64 * scale) as usize).max(4096)
+            })
+            .collect();
+        Self::new(levels, 5, &bytes, k, seed)
+    }
+}
+
+impl<S: UnivLayer> UnivMon<S> {
+    /// Assemble a UnivMon from pre-built per-level oracles.
+    pub fn from_layers(layers: Vec<S>, k: usize, level_seed: u64) -> Self {
+        assert!(!layers.is_empty(), "UnivMon needs at least one level");
+        let heaps = (0..layers.len()).map(|_| TopK::new(k)).collect();
+        Self {
+            levels: layers,
+            heaps,
+            level_seed,
+            total: 0.0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The deepest level `key` belongs to: `P[level ≥ j] = 2⁻ʲ`.
+    #[inline]
+    fn sample_level(&self, key: FlowKey) -> usize {
+        let h = xxh64_u64(key, self.level_seed);
+        (h.trailing_ones() as usize).min(self.levels.len() - 1)
+    }
+
+    /// Process one packet of `weight` for `key`.
+    pub fn update(&mut self, key: FlowKey, weight: f64) {
+        self.total += weight;
+        let z = self.sample_level(key);
+        for j in 0..=z {
+            // The oracle reports whether it actually touched its counters —
+            // a Nitro layer skips most packets, and then the heap (the `P`
+            // cost of §3) must be skipped too.
+            if self.levels[j].layer_update(key, weight) {
+                let est = self.levels[j].layer_estimate(key);
+                self.heaps[j].offer(key, est);
+            }
+        }
+    }
+
+    /// Exact total stream weight seen (the L1 of the epoch).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Frequency estimate for one key (level-0 oracle).
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.levels[0].layer_estimate(key)
+    }
+
+    /// Heavy hitters: tracked keys whose fresh level-0 estimate is at least
+    /// `threshold` (absolute weight). Returns `(key, estimate)` heaviest
+    /// first.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        let mut out: Vec<(FlowKey, f64)> = self
+            .heaps[0]
+            .entries()
+            .map(|(k, _)| (k, self.levels[0].layer_estimate(k)))
+            .filter(|&(_, e)| e >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Estimate the G-sum `Σ_x g(f_x)` by the UnivMon recursion. `g` must
+    /// satisfy `g(0) = 0`; estimates are clamped to ≥ 0 before applying `g`.
+    pub fn g_sum(&self, g: impl Fn(f64) -> f64) -> f64 {
+        let last = self.levels.len() - 1;
+        let mut y: f64 = self
+            .heaps[last]
+            .entries()
+            .map(|(k, _)| g(self.levels[last].layer_estimate(k).max(0.0)))
+            .sum();
+        for j in (0..last).rev() {
+            let correction: f64 = self
+                .heaps[j]
+                .entries()
+                .map(|(k, _)| {
+                    let in_next = self.sample_level(k) > j;
+                    let sign = if in_next { -1.0 } else { 1.0 };
+                    sign * g(self.levels[j].layer_estimate(k).max(0.0))
+                })
+                .sum();
+            y = 2.0 * y + correction;
+        }
+        y
+    }
+
+    /// Estimated number of distinct flows (`g(x) = 1[x > 0]`).
+    pub fn distinct(&self) -> f64 {
+        self.g_sum(|x| if x >= 0.5 { 1.0 } else { 0.0 }).max(0.0)
+    }
+
+    /// Estimated empirical entropy of the flow-size distribution, in bits:
+    /// `H = log₂(m) − (1/m)·Σ f·log₂ f`.
+    pub fn entropy(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        let s = self.g_sum(|x| if x >= 1.0 { x * x.log2() } else { 0.0 });
+        (self.total.log2() - s / self.total).max(0.0)
+    }
+
+    /// Estimated L2 norm of the flow-size vector (`g(x) = x²`).
+    pub fn l2(&self) -> f64 {
+        self.g_sum(|x| x * x).max(0.0).sqrt()
+    }
+
+    /// Estimated k-th frequency moment `F_k = Σ fᵢᵏ` (`g(x) = xᵏ`) — the
+    /// moment-estimation task from the universal-sketching line of work
+    /// (\[5\] in the paper). `F_0` is [`Self::distinct`], `F_1` the exact
+    /// total, `F_2` the squared L2.
+    pub fn frequency_moment(&self, k: f64) -> f64 {
+        assert!(k >= 0.0, "moment order must be non-negative");
+        if k == 0.0 {
+            return self.distinct();
+        }
+        if (k - 1.0).abs() < 1e-12 {
+            return self.total();
+        }
+        self.g_sum(|x| x.powf(k)).max(0.0)
+    }
+
+    /// The tracked heavy-hitter candidates at level 0 (for change
+    /// detection and external consumers).
+    pub fn candidates(&self) -> impl Iterator<Item = FlowKey> + '_ {
+        self.heaps[0].entries().map(|(k, _)| k)
+    }
+
+    /// Reset all levels and heaps for a new epoch.
+    pub fn clear(&mut self) {
+        for l in &mut self.levels {
+            l.layer_clear();
+        }
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.total = 0.0;
+    }
+
+    /// Total resident bytes across levels and heaps.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.layer_memory_bytes()).sum::<usize>()
+            + self.heaps.iter().map(|h| h.memory_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn skewed_stream(n: usize, flows: u64, seed: u64) -> Vec<u64> {
+        // Zipf-ish: flow id drawn as floor(flows * u^4) — strong skew.
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(seed);
+        (0..n)
+            .map(|_| ((flows as f64) * rng.next_f64().powi(4)) as u64)
+            .collect()
+    }
+
+    fn truth_of(stream: &[u64]) -> HashMap<u64, f64> {
+        let mut t = HashMap::new();
+        for &k in stream {
+            *t.entry(k).or_insert(0.0) += 1.0;
+        }
+        t
+    }
+
+    fn small_univmon(seed: u64) -> UnivMon<CountSketch> {
+        // 12 levels, 5 rows, modest widths — plenty for 100k-packet tests.
+        UnivMon::new(12, 5, &[256 << 10, 128 << 10, 64 << 10], 512, seed)
+    }
+
+    #[test]
+    fn level_sampling_halves_mass() {
+        let u = small_univmon(1);
+        let n = 200_000u64;
+        let mut at_least: Vec<usize> = vec![0; 6];
+        for k in 0..n {
+            let z = u.sample_level(k);
+            for (j, slot) in at_least.iter_mut().enumerate() {
+                if z >= j {
+                    *slot += 1;
+                }
+            }
+        }
+        for j in 1..6 {
+            let ratio = at_least[j] as f64 / at_least[j - 1] as f64;
+            assert!((ratio - 0.5).abs() < 0.05, "level {j} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_found() {
+        let mut u = small_univmon(2);
+        let stream = skewed_stream(100_000, 10_000, 3);
+        for &k in &stream {
+            u.update(k, 1.0);
+        }
+        let truth = truth_of(&stream);
+        let threshold = 0.005 * u.total();
+        let true_hh: Vec<u64> = truth
+            .iter()
+            .filter(|&(_, &v)| v >= threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        let reported: Vec<u64> = u.heavy_hitters(threshold).iter().map(|&(k, _)| k).collect();
+        // Recall must be high.
+        let found = true_hh.iter().filter(|k| reported.contains(k)).count();
+        assert!(
+            found as f64 / true_hh.len() as f64 > 0.9,
+            "recall {found}/{}",
+            true_hh.len()
+        );
+        // Reported estimates close to truth.
+        for &(k, e) in u.heavy_hitters(threshold).iter().take(5) {
+            let t = truth[&k];
+            assert!((e - t).abs() / t < 0.15, "key {k}: {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn entropy_estimate_tracks_truth() {
+        let mut u = small_univmon(4);
+        let stream = skewed_stream(100_000, 5_000, 5);
+        for &k in &stream {
+            u.update(k, 1.0);
+        }
+        let truth = truth_of(&stream);
+        let m: f64 = truth.values().sum();
+        let h_true = truth
+            .values()
+            .map(|&f| {
+                let p = f / m;
+                -p * p.log2()
+            })
+            .sum::<f64>();
+        let h_est = u.entropy();
+        assert!(
+            (h_est - h_true).abs() / h_true < 0.15,
+            "entropy {h_est} vs {h_true}"
+        );
+    }
+
+    #[test]
+    fn distinct_estimate_tracks_truth() {
+        let mut u = small_univmon(6);
+        let stream = skewed_stream(100_000, 20_000, 7);
+        for &k in &stream {
+            u.update(k, 1.0);
+        }
+        let d_true = truth_of(&stream).len() as f64;
+        let d_est = u.distinct();
+        assert!(
+            (d_est - d_true).abs() / d_true < 0.35,
+            "distinct {d_est} vs {d_true}"
+        );
+    }
+
+    #[test]
+    fn l2_estimate_tracks_truth() {
+        let mut u = small_univmon(8);
+        let stream = skewed_stream(80_000, 5_000, 9);
+        for &k in &stream {
+            u.update(k, 1.0);
+        }
+        let l2_true = truth_of(&stream)
+            .values()
+            .map(|f| f * f)
+            .sum::<f64>()
+            .sqrt();
+        let l2_est = u.l2();
+        assert!(
+            (l2_est - l2_true).abs() / l2_true < 0.15,
+            "L2 {l2_est} vs {l2_true}"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut u = small_univmon(10);
+        u.update(1, 1.0);
+        u.clear();
+        assert_eq!(u.total(), 0.0);
+        assert_eq!(u.distinct(), 0.0);
+        assert!(u.heavy_hitters(0.0).is_empty());
+    }
+
+    #[test]
+    fn paper_config_allocates_descending() {
+        let u = UnivMon::paper_config(8, 100, 11, 1.0);
+        assert_eq!(u.num_levels(), 8);
+        assert!(u.memory_bytes() > 0);
+        let l0 = u.levels[0].layer_memory_bytes();
+        let l5 = u.levels[5].layer_memory_bytes();
+        assert!(l0 > l5, "level 0 should be largest: {l0} vs {l5}");
+    }
+
+    #[test]
+    fn total_counts_weights() {
+        let mut u = small_univmon(12);
+        u.update(1, 2.0);
+        u.update(2, 3.0);
+        assert_eq!(u.total(), 5.0);
+    }
+
+    #[test]
+    fn frequency_moments_track_truth() {
+        let mut u = small_univmon(14);
+        let stream = skewed_stream(100_000, 3_000, 15);
+        for &k in &stream {
+            u.update(k, 1.0);
+        }
+        let truth = truth_of(&stream);
+        let f2_true: f64 = truth.values().map(|f| f * f).sum();
+        let f3_true: f64 = truth.values().map(|f| f * f * f).sum();
+        let f2 = u.frequency_moment(2.0);
+        let f3 = u.frequency_moment(3.0);
+        assert!((f2 - f2_true).abs() / f2_true < 0.2, "F2 {f2} vs {f2_true}");
+        assert!((f3 - f3_true).abs() / f3_true < 0.3, "F3 {f3} vs {f3_true}");
+        assert_eq!(u.frequency_moment(1.0), u.total());
+    }
+}

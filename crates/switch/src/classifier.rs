@@ -1,0 +1,253 @@
+//! Tuple-Space-Search classifier — OVS-DPDK's second-level lookup.
+//!
+//! Rules with the same wildcard pattern share a hash-indexed subtable; a
+//! lookup masks the packet's 5-tuple with each subtable's mask and probes
+//! its hash map, taking the highest-priority match. This is the "dpcls"
+//! stage a packet visits on an EMC miss; a miss here counts as an upcall to
+//! the (OpenFlow) slow path, which we model as installing a default rule.
+
+use crate::five_tuple::FiveTuple;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Forwarding decision attached to a matched flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Emit on the given port.
+    Forward(u16),
+    /// Discard.
+    Drop,
+}
+
+/// A wildcard pattern over the 5-tuple: prefix masks on the IPs, exact-or-
+/// wildcard on ports and protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TupleMask {
+    /// Source-IP prefix length (0–32).
+    pub src_prefix: u8,
+    /// Destination-IP prefix length (0–32).
+    pub dst_prefix: u8,
+    /// Match the source port exactly.
+    pub match_src_port: bool,
+    /// Match the destination port exactly.
+    pub match_dst_port: bool,
+    /// Match the protocol exactly.
+    pub match_proto: bool,
+}
+
+impl TupleMask {
+    /// The fully exact mask.
+    pub fn exact() -> Self {
+        Self {
+            src_prefix: 32,
+            dst_prefix: 32,
+            match_src_port: true,
+            match_dst_port: true,
+            match_proto: true,
+        }
+    }
+
+    /// Match everything (a default/table-miss rule's mask).
+    pub fn wildcard() -> Self {
+        Self {
+            src_prefix: 0,
+            dst_prefix: 0,
+            match_src_port: false,
+            match_dst_port: false,
+            match_proto: false,
+        }
+    }
+
+    fn prefix_mask(bits: u8) -> u32 {
+        if bits == 0 {
+            0
+        } else {
+            u32::MAX << (32 - bits.min(32))
+        }
+    }
+
+    /// Project a tuple onto this mask (wildcarded fields zeroed).
+    pub fn apply(&self, t: &FiveTuple) -> FiveTuple {
+        FiveTuple {
+            src_ip: Ipv4Addr::from(
+                u32::from(t.src_ip) & Self::prefix_mask(self.src_prefix),
+            ),
+            dst_ip: Ipv4Addr::from(
+                u32::from(t.dst_ip) & Self::prefix_mask(self.dst_prefix),
+            ),
+            src_port: if self.match_src_port { t.src_port } else { 0 },
+            dst_port: if self.match_dst_port { t.dst_port } else { 0 },
+            proto: if self.match_proto { t.proto } else { 0 },
+        }
+    }
+}
+
+struct Subtable {
+    mask: TupleMask,
+    priority: i32,
+    rules: HashMap<FiveTuple, Action>,
+}
+
+/// The TSS classifier: one subtable per distinct mask, probed in priority
+/// order.
+pub struct TupleSpaceClassifier {
+    subtables: Vec<Subtable>,
+    lookups: u64,
+    subtable_probes: u64,
+}
+
+impl TupleSpaceClassifier {
+    /// An empty classifier.
+    pub fn new() -> Self {
+        Self {
+            subtables: Vec::new(),
+            lookups: 0,
+            subtable_probes: 0,
+        }
+    }
+
+    /// Install a rule: `pattern` is matched under `mask` with `priority`
+    /// (higher wins).
+    pub fn insert(&mut self, mask: TupleMask, pattern: FiveTuple, priority: i32, action: Action) {
+        let masked = mask.apply(&pattern);
+        if let Some(st) = self
+            .subtables
+            .iter_mut()
+            .find(|st| st.mask == mask && st.priority == priority)
+        {
+            st.rules.insert(masked, action);
+            return;
+        }
+        let mut st = Subtable {
+            mask,
+            priority,
+            rules: HashMap::new(),
+        };
+        st.rules.insert(masked, action);
+        self.subtables.push(st);
+        self.subtables.sort_by_key(|s| std::cmp::Reverse(s.priority));
+    }
+
+    /// Find the highest-priority matching rule.
+    pub fn lookup(&mut self, tuple: &FiveTuple) -> Option<Action> {
+        self.lookups += 1;
+        for st in &self.subtables {
+            self.subtable_probes += 1;
+            if let Some(&a) = st.rules.get(&st.mask.apply(tuple)) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Number of subtables (distinct mask/priority pairs).
+    pub fn num_subtables(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// Total rules across subtables.
+    pub fn num_rules(&self) -> usize {
+        self.subtables.iter().map(|s| s.rules.len()).sum()
+    }
+
+    /// (lookups, subtable probes) — probes/lookups is the classifier's
+    /// average work factor.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.lookups, self.subtable_probes)
+    }
+}
+
+impl Default for TupleSpaceClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> FiveTuple {
+        FiveTuple::synthetic(i)
+    }
+
+    #[test]
+    fn exact_rule_matches_only_its_flow() {
+        let mut c = TupleSpaceClassifier::new();
+        c.insert(TupleMask::exact(), t(1), 10, Action::Forward(1));
+        assert_eq!(c.lookup(&t(1)), Some(Action::Forward(1)));
+        assert_eq!(c.lookup(&t(2)), None);
+    }
+
+    #[test]
+    fn wildcard_rule_matches_everything() {
+        let mut c = TupleSpaceClassifier::new();
+        c.insert(TupleMask::wildcard(), t(0), 0, Action::Forward(9));
+        for i in 0..50 {
+            assert_eq!(c.lookup(&t(i)), Some(Action::Forward(9)));
+        }
+    }
+
+    #[test]
+    fn priority_orders_subtables() {
+        let mut c = TupleSpaceClassifier::new();
+        c.insert(TupleMask::wildcard(), t(0), 0, Action::Drop);
+        c.insert(TupleMask::exact(), t(7), 100, Action::Forward(7));
+        assert_eq!(c.lookup(&t(7)), Some(Action::Forward(7)));
+        assert_eq!(c.lookup(&t(8)), Some(Action::Drop));
+    }
+
+    #[test]
+    fn prefix_mask_matches_subnet() {
+        let mut c = TupleSpaceClassifier::new();
+        let mask = TupleMask {
+            src_prefix: 24,
+            dst_prefix: 0,
+            match_src_port: false,
+            match_dst_port: false,
+            match_proto: false,
+        };
+        let pattern = FiveTuple::tcp(
+            std::net::Ipv4Addr::new(10, 0, 1, 0),
+            0,
+            std::net::Ipv4Addr::new(0, 0, 0, 0),
+            0,
+        );
+        c.insert(mask, pattern, 5, Action::Forward(2));
+        let inside = FiveTuple::udp(
+            std::net::Ipv4Addr::new(10, 0, 1, 200),
+            9999,
+            std::net::Ipv4Addr::new(8, 8, 8, 8),
+            53,
+        );
+        let outside = FiveTuple::udp(
+            std::net::Ipv4Addr::new(10, 0, 2, 200),
+            9999,
+            std::net::Ipv4Addr::new(8, 8, 8, 8),
+            53,
+        );
+        assert_eq!(c.lookup(&inside), Some(Action::Forward(2)));
+        assert_eq!(c.lookup(&outside), None);
+    }
+
+    #[test]
+    fn same_mask_rules_share_a_subtable() {
+        let mut c = TupleSpaceClassifier::new();
+        c.insert(TupleMask::exact(), t(1), 10, Action::Forward(1));
+        c.insert(TupleMask::exact(), t(2), 10, Action::Forward(2));
+        assert_eq!(c.num_subtables(), 1);
+        assert_eq!(c.num_rules(), 2);
+    }
+
+    #[test]
+    fn probe_stats_count_work() {
+        let mut c = TupleSpaceClassifier::new();
+        c.insert(TupleMask::exact(), t(1), 10, Action::Forward(1));
+        c.insert(TupleMask::wildcard(), t(0), 0, Action::Drop);
+        c.lookup(&t(1)); // 1 probe (hits first subtable)
+        c.lookup(&t(5)); // 2 probes (falls through to wildcard)
+        let (lookups, probes) = c.probe_stats();
+        assert_eq!(lookups, 2);
+        assert_eq!(probes, 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Control-plane module (§6 "Control Plane Module").
+//!
+//! The paper's control plane "periodically (at the end of each epoch)
+//! receives sketching data from the data plane module through a 1GbE link"
+//! and computes the measurement results. This module provides:
+//!
+//! - [`EpochReport`]: the per-epoch result record a data plane exports
+//!   (heavy hitters, entropy, distinct, L2, resident bytes). `serde`-derived
+//!   for downstream consumers, plus a compact self-contained binary wire
+//!   format for the simulated control link.
+//! - [`ControlLink`]: bandwidth accounting for the 1 GbE control channel —
+//!   how long each report occupies the link.
+//! - [`Collector`]: controller-side aggregation across switches and epochs
+//!   (merging heavy-hitter lists, tracking totals).
+
+use nitro_sketches::FlowKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One data-plane epoch's exported results.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Which switch produced this (operator-assigned).
+    pub switch_id: u32,
+    /// Epoch sequence number.
+    pub epoch: u64,
+    /// Packets observed in the epoch.
+    pub packets: u64,
+    /// `(flow key, estimated packets)` for flows above the HH threshold.
+    pub heavy_hitters: Vec<(FlowKey, f64)>,
+    /// Entropy estimate in bits (NaN encoded as missing → use `f64::NAN`).
+    pub entropy_bits: f64,
+    /// Distinct-flow estimate.
+    pub distinct: f64,
+    /// L2-norm estimate.
+    pub l2: f64,
+    /// Resident bytes of the data-plane structure.
+    pub memory_bytes: u64,
+}
+
+const MAGIC: u32 = 0x4E495452; // "NITR"
+
+impl EpochReport {
+    /// Encode to the compact little-endian wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.heavy_hitters.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.switch_id.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.packets.to_le_bytes());
+        out.extend_from_slice(&self.entropy_bits.to_le_bytes());
+        out.extend_from_slice(&self.distinct.to_le_bytes());
+        out.extend_from_slice(&self.l2.to_le_bytes());
+        out.extend_from_slice(&self.memory_bytes.to_le_bytes());
+        out.extend_from_slice(&(self.heavy_hitters.len() as u32).to_le_bytes());
+        for &(k, e) in &self.heavy_hitters {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode from the wire format.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        let need = |n: usize| -> Result<(), String> {
+            if data.len() < n {
+                Err(format!("report truncated: {} < {n}", data.len()))
+            } else {
+                Ok(())
+            }
+        };
+        need(60)?;
+        let u32_at = |i: usize| u32::from_le_bytes(data[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+        let f64_at = |i: usize| f64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+        if u32_at(0) != MAGIC {
+            return Err("bad report magic".into());
+        }
+        let count = u32_at(56) as usize;
+        need(60 + count * 16)?;
+        let mut heavy_hitters = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 60 + i * 16;
+            heavy_hitters.push((u64_at(at), f64_at(at + 8)));
+        }
+        Ok(Self {
+            switch_id: u32_at(4),
+            epoch: u64_at(8),
+            packets: u64_at(16),
+            entropy_bits: f64_at(24),
+            distinct: f64_at(32),
+            l2: f64_at(40),
+            memory_bytes: u64_at(48),
+            heavy_hitters,
+        })
+    }
+}
+
+/// The 1 GbE control channel: accounts transfer time per report.
+#[derive(Clone, Debug)]
+pub struct ControlLink {
+    /// Usable bandwidth in bits per second (default: 1 GbE).
+    pub bps: f64,
+    bytes_sent: u64,
+    reports_sent: u64,
+}
+
+impl ControlLink {
+    /// A 1 GbE link.
+    pub fn gigabit() -> Self {
+        Self {
+            bps: 1e9,
+            bytes_sent: 0,
+            reports_sent: 0,
+        }
+    }
+
+    /// "Send" a report: returns the wire bytes and the transfer time in
+    /// nanoseconds the link was occupied.
+    pub fn send(&mut self, report: &EpochReport) -> (Vec<u8>, u64) {
+        let bytes = report.to_bytes();
+        let ns = (bytes.len() as f64 * 8.0 / self.bps * 1e9) as u64;
+        self.bytes_sent += bytes.len() as u64;
+        self.reports_sent += 1;
+        (bytes, ns)
+    }
+
+    /// (bytes, reports) transferred so far.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.bytes_sent, self.reports_sent)
+    }
+}
+
+/// Controller-side aggregation across switches and epochs.
+#[derive(Clone, Debug, Default)]
+pub struct Collector {
+    /// Latest report per switch.
+    latest: HashMap<u32, EpochReport>,
+    /// Total packets across all received reports.
+    total_packets: u64,
+    reports: u64,
+}
+
+impl Collector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a report (decoded off the control link).
+    pub fn ingest(&mut self, report: EpochReport) {
+        self.total_packets += report.packets;
+        self.reports += 1;
+        self.latest.insert(report.switch_id, report);
+    }
+
+    /// Ingest raw wire bytes.
+    pub fn ingest_bytes(&mut self, data: &[u8]) -> Result<(), String> {
+        self.ingest(EpochReport::from_bytes(data)?);
+        Ok(())
+    }
+
+    /// Network-wide heavy hitters: per-flow sums of the latest per-switch
+    /// estimates, heaviest first (a flow crossing two monitored links is
+    /// reported by both — the operator's dedup policy applies upstream).
+    pub fn network_heavy_hitters(&self) -> Vec<(FlowKey, f64)> {
+        let mut agg: HashMap<FlowKey, f64> = HashMap::new();
+        for report in self.latest.values() {
+            for &(k, e) in &report.heavy_hitters {
+                *agg.entry(k).or_insert(0.0) += e;
+            }
+        }
+        let mut v: Vec<(FlowKey, f64)> = agg.into_iter().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of switches currently reporting.
+    pub fn switches(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// (reports ingested, packets covered).
+    pub fn totals(&self) -> (u64, u64) {
+        (self.reports, self.total_packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(switch_id: u32, epoch: u64) -> EpochReport {
+        EpochReport {
+            switch_id,
+            epoch,
+            packets: 1_000_000,
+            heavy_hitters: vec![(0xDEAD, 5000.0), (0xBEEF, 2500.5)],
+            entropy_bits: 11.25,
+            distinct: 78_000.0,
+            l2: 12_345.6,
+            memory_bytes: 2 << 20,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = sample(3, 7);
+        let bytes = r.to_bytes();
+        assert_eq!(EpochReport::from_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(EpochReport::from_bytes(&[0u8; 10]).is_err());
+        assert!(EpochReport::from_bytes(&[0u8; 100]).is_err()); // bad magic
+        let mut ok = sample(1, 1).to_bytes();
+        ok.truncate(ok.len() - 1); // truncated HH list
+        assert!(EpochReport::from_bytes(&ok).is_err());
+    }
+
+    #[test]
+    fn empty_heavy_hitter_list_roundtrips() {
+        let mut r = sample(1, 1);
+        r.heavy_hitters.clear();
+        assert_eq!(EpochReport::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn link_accounts_transfer_time() {
+        let mut link = ControlLink::gigabit();
+        let (bytes, ns) = link.send(&sample(1, 1));
+        // 92 bytes over 1 Gbps ≈ 736 ns.
+        assert_eq!(bytes.len(), 60 + 2 * 16);
+        assert_eq!(ns, (bytes.len() as f64 * 8.0) as u64);
+        assert_eq!(link.totals(), (bytes.len() as u64, 1));
+    }
+
+    #[test]
+    fn collector_aggregates_across_switches() {
+        let mut c = Collector::new();
+        let mut r1 = sample(1, 5);
+        r1.heavy_hitters = vec![(10, 100.0), (20, 50.0)];
+        let mut r2 = sample(2, 5);
+        r2.heavy_hitters = vec![(10, 70.0), (30, 40.0)];
+        c.ingest(r1);
+        c.ingest(r2);
+        assert_eq!(c.switches(), 2);
+        let hh = c.network_heavy_hitters();
+        assert_eq!(hh[0], (10, 170.0));
+        assert_eq!(c.totals(), (2, 2_000_000));
+    }
+
+    #[test]
+    fn newer_epoch_replaces_older() {
+        let mut c = Collector::new();
+        c.ingest(sample(1, 1));
+        let mut newer = sample(1, 2);
+        newer.heavy_hitters = vec![(42, 1.0)];
+        c.ingest(newer);
+        assert_eq!(c.switches(), 1);
+        assert_eq!(c.network_heavy_hitters()[0].0, 42);
+    }
+
+    #[test]
+    fn ingest_bytes_end_to_end() {
+        let mut link = ControlLink::gigabit();
+        let mut c = Collector::new();
+        let (bytes, _) = link.send(&sample(9, 1));
+        c.ingest_bytes(&bytes).unwrap();
+        assert_eq!(c.switches(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! Calibrated cost accounting — the reproduction's VTune (Table 2, Fig. 10).
+//!
+//! Two complementary mechanisms:
+//!
+//! 1. **Measured stage timing**: the pipelines wrap coarse stages (I/O,
+//!    parse+lookup, measurement) in wall-clock timers per batch and
+//!    accumulate nanoseconds into a [`CostReport`].
+//! 2. **Modeled op costs**: inside a sketch we cannot time each hash
+//!    without distorting it, so [`CostModel::calibrate`] measures the
+//!    machine's per-operation costs once (hash, counter update, heap
+//!    offer, parse, EMC probe) and converts operation *counts* (e.g.
+//!    `NitroStats`) into nanoseconds. Table 2's per-function CPU shares are
+//!    regenerated this way.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A named pipeline stage / cost center.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// NIC/PMD receive and transmit.
+    Io,
+    /// Miniflow extraction (header parsing).
+    Parse,
+    /// Exact-match cache probes.
+    EmcLookup,
+    /// Tuple-space-search classification.
+    Classifier,
+    /// Sketch hash computations (`H` in §3).
+    SketchHash,
+    /// Sketch counter updates (`C` in §3).
+    SketchCounter,
+    /// Heavy-key heap maintenance (`P` in §3).
+    SketchHeap,
+    /// Geometric sampling / pre-processing stage.
+    Sampling,
+    /// Everything else (switch bookkeeping).
+    Other,
+}
+
+impl Stage {
+    /// Human-readable label matching the paper's Table 2 vocabulary.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Io => "dpdk packet recv/xmit",
+            Stage::Parse => "miniflow_extract",
+            Stage::EmcLookup => "emc_lookup",
+            Stage::Classifier => "dpcls (tuple-space search)",
+            Stage::SketchHash => "hash computations",
+            Stage::SketchCounter => "counter updates / memcpy",
+            Stage::SketchHeap => "heap find/maintain",
+            Stage::Sampling => "geometric sampling",
+            Stage::Other => "other",
+        }
+    }
+}
+
+/// Accumulated nanoseconds per stage.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    ns: BTreeMap<Stage, f64>,
+}
+
+impl CostReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `ns` nanoseconds to a stage.
+    pub fn add(&mut self, stage: Stage, ns: f64) {
+        *self.ns.entry(stage).or_insert(0.0) += ns;
+    }
+
+    /// Time a closure into a stage.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(stage, start.elapsed().as_nanos() as f64);
+        out
+    }
+
+    /// Total nanoseconds across stages.
+    pub fn total_ns(&self) -> f64 {
+        self.ns.values().sum()
+    }
+
+    /// Nanoseconds attributed to a stage.
+    pub fn ns(&self, stage: Stage) -> f64 {
+        self.ns.get(&stage).copied().unwrap_or(0.0)
+    }
+
+    /// Percentage share of a stage (0 when empty).
+    pub fn share(&self, stage: Stage) -> f64 {
+        let total = self.total_ns();
+        if total <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.ns(stage) / total
+        }
+    }
+
+    /// `(stage, ns, share%)` rows, largest first — Table 2's shape.
+    pub fn rows(&self) -> Vec<(Stage, f64, f64)> {
+        let total = self.total_ns().max(f64::MIN_POSITIVE);
+        let mut rows: Vec<(Stage, f64, f64)> = self
+            .ns
+            .iter()
+            .map(|(&s, &n)| (s, n, 100.0 * n / total))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &CostReport) {
+        for (&s, &n) in &other.ns {
+            self.add(s, n);
+        }
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<32} {:>14} {:>8}", "stage", "time (ms)", "share")?;
+        for (stage, ns, share) in self.rows() {
+            writeln!(
+                f,
+                "{:<32} {:>14.3} {:>7.2}%",
+                stage.label(),
+                ns / 1e6,
+                share
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Machine-calibrated per-operation costs in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One xxHash64 of a u64 key.
+    pub hash_ns: f64,
+    /// One random-index counter add on an LLC-resident array.
+    pub counter_ns: f64,
+    /// One top-k heap offer.
+    pub heap_ns: f64,
+    /// One miniflow extraction (parse).
+    pub parse_ns: f64,
+    /// One EMC probe.
+    pub emc_ns: f64,
+    /// One geometric draw.
+    pub geo_ns: f64,
+}
+
+impl CostModel {
+    /// Measure the host's per-op costs (takes a few milliseconds).
+    pub fn calibrate() -> Self {
+        use nitro_hash::xxhash::xxh64_u64;
+        let n = 200_000u64;
+
+        // Hash.
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(xxh64_u64(i, 7));
+        }
+        let hash_ns = t.elapsed().as_nanos() as f64 / n as f64;
+        std::hint::black_box(acc);
+
+        // Counter update on a 1 MB array with hashed indices.
+        let mut counters = vec![0.0f64; 128 * 1024];
+        let t = Instant::now();
+        for i in 0..n {
+            let idx = (xxh64_u64(i, 9) as usize) & (counters.len() - 1);
+            counters[idx] += 1.0;
+        }
+        let hashed_add_ns = t.elapsed().as_nanos() as f64 / n as f64;
+        let counter_ns = (hashed_add_ns - hash_ns).max(0.1);
+        std::hint::black_box(&counters);
+
+        // Heap offer.
+        let mut topk = nitro_sketches::TopK::new(128);
+        let t = Instant::now();
+        for i in 0..n {
+            topk.offer(i % 1000, (i % 7919) as f64);
+        }
+        let heap_ns = t.elapsed().as_nanos() as f64 / n as f64;
+
+        // Parse.
+        let pkt = crate::packet::build_packet(&crate::five_tuple::FiveTuple::synthetic(1), 64, 0);
+        let t = Instant::now();
+        let mut ok = 0u64;
+        for _ in 0..n {
+            if crate::parse::parse_five_tuple(std::hint::black_box(&pkt.data)).is_ok() {
+                ok += 1;
+            }
+        }
+        let parse_ns = t.elapsed().as_nanos() as f64 / n as f64;
+        std::hint::black_box(ok);
+
+        // EMC probe.
+        let mut emc = crate::emc::Emc::new(8192);
+        let tuples: Vec<_> = (0..256).map(crate::five_tuple::FiveTuple::synthetic).collect();
+        for tu in &tuples {
+            emc.insert(*tu, tu.flow_key(), crate::classifier::Action::Forward(0));
+        }
+        let t = Instant::now();
+        for i in 0..n {
+            let tu = &tuples[(i as usize) & 255];
+            std::hint::black_box(emc.lookup(tu, tu.flow_key()));
+        }
+        let emc_ns = t.elapsed().as_nanos() as f64 / n as f64;
+
+        // Geometric draw.
+        let mut geo = nitro_hash::GeometricSampler::new(0.01, 3);
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..n {
+            acc = acc.wrapping_add(geo.next_skip());
+        }
+        let geo_ns = t.elapsed().as_nanos() as f64 / n as f64;
+        std::hint::black_box(acc);
+
+        Self {
+            hash_ns,
+            counter_ns,
+            heap_ns,
+            parse_ns,
+            emc_ns,
+            geo_ns,
+        }
+    }
+
+    /// Convert NitroSketch operation counts into modeled stage costs.
+    pub fn model_sketch(&self, stats: &nitro_core::nitro::NitroStats) -> CostReport {
+        let mut r = CostReport::new();
+        r.add(Stage::SketchHash, stats.row_updates as f64 * self.hash_ns);
+        r.add(
+            Stage::SketchCounter,
+            stats.row_updates as f64 * self.counter_ns,
+        );
+        r.add(Stage::SketchHeap, stats.heap_updates as f64 * self.heap_ns);
+        r.add(
+            Stage::Sampling,
+            stats.sampled_packets as f64 * self.geo_ns,
+        );
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_shares_sum_to_100() {
+        let mut r = CostReport::new();
+        r.add(Stage::Io, 100.0);
+        r.add(Stage::Parse, 300.0);
+        r.add(Stage::Io, 100.0);
+        assert_eq!(r.total_ns(), 500.0);
+        assert_eq!(r.ns(Stage::Io), 200.0);
+        assert!((r.share(Stage::Io) - 40.0).abs() < 1e-9);
+        let total_share: f64 = r.rows().iter().map(|&(_, _, s)| s).sum();
+        assert!((total_share - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_are_sorted_descending() {
+        let mut r = CostReport::new();
+        r.add(Stage::SketchHash, 50.0);
+        r.add(Stage::SketchHeap, 500.0);
+        r.add(Stage::Parse, 5.0);
+        let rows = r.rows();
+        assert_eq!(rows[0].0, Stage::SketchHeap);
+        assert_eq!(rows[2].0, Stage::Parse);
+    }
+
+    #[test]
+    fn time_closure_attributes_something() {
+        let mut r = CostReport::new();
+        let v = r.time(Stage::Other, || (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(r.ns(Stage::Other) > 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CostReport::new();
+        a.add(Stage::Io, 1.0);
+        let mut b = CostReport::new();
+        b.add(Stage::Io, 2.0);
+        b.add(Stage::Parse, 3.0);
+        a.merge(&b);
+        assert_eq!(a.ns(Stage::Io), 3.0);
+        assert_eq!(a.ns(Stage::Parse), 3.0);
+    }
+
+    #[test]
+    fn calibration_yields_sane_costs() {
+        let m = CostModel::calibrate();
+        for (name, v) in [
+            ("hash", m.hash_ns),
+            ("counter", m.counter_ns),
+            ("heap", m.heap_ns),
+            ("parse", m.parse_ns),
+            ("emc", m.emc_ns),
+            ("geo", m.geo_ns),
+        ] {
+            assert!(v > 0.0 && v < 10_000.0, "{name} = {v} ns implausible");
+        }
+    }
+
+    #[test]
+    fn model_sketch_scales_with_ops() {
+        let m = CostModel {
+            hash_ns: 10.0,
+            counter_ns: 5.0,
+            heap_ns: 50.0,
+            parse_ns: 8.0,
+            emc_ns: 12.0,
+            geo_ns: 15.0,
+        };
+        let stats = nitro_core::nitro::NitroStats {
+            packets: 1000,
+            sampled_packets: 10,
+            row_updates: 20,
+            heap_updates: 10,
+        };
+        let r = m.model_sketch(&stats);
+        assert_eq!(r.ns(Stage::SketchHash), 200.0);
+        assert_eq!(r.ns(Stage::SketchCounter), 100.0);
+        assert_eq!(r.ns(Stage::SketchHeap), 500.0);
+        assert_eq!(r.ns(Stage::Sampling), 150.0);
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let mut r = CostReport::new();
+        r.add(Stage::SketchHash, 1e6);
+        let s = format!("{r}");
+        assert!(s.contains("hash computations"));
+        assert!(s.contains("share"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Separate-thread measurement daemon (§6, "Separate-thread version").
+//!
+//! The PMD thread's extended EMC logic pushes flow keys into a shared SPSC
+//! ring; a dedicated NitroSketch thread concurrently drains it and updates
+//! the sketch. The switching core's measurement cost collapses to one ring
+//! push per packet; the sketch core runs independently (Fig. 10b).
+
+use crate::ovs::Measurement;
+use crate::spsc::SpscRing;
+use nitro_sketches::FlowKey;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A queued observation: flow key + trace timestamp.
+#[derive(Clone, Copy, Debug)]
+pub struct Observation {
+    /// Flow key.
+    pub key: FlowKey,
+    /// Trace timestamp (ns).
+    pub ts_ns: u64,
+}
+
+/// Producer-side handle: lives in the switching thread.
+pub struct MeasurementTap {
+    ring: Arc<SpscRing<Observation>>,
+    dropped: u64,
+}
+
+impl MeasurementTap {
+    /// Offer a packet to the measurement thread. A full ring counts the
+    /// packet as an unmeasured drop (the paper sizes the buffer to avoid
+    /// this; we report it instead of stalling the datapath).
+    #[inline]
+    pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
+        if !self.ring.push(Observation { key, ts_ns }) {
+            self.dropped += 1;
+        }
+    }
+
+    /// Offer a whole burst.
+    pub fn offer_batch(&mut self, keys: &[FlowKey], ts_ns: u64) {
+        for &key in keys {
+            self.offer(key, ts_ns);
+        }
+    }
+
+    /// Observations lost to a full ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Measurement for MeasurementTap {
+    #[inline]
+    fn on_packet(&mut self, key: FlowKey, ts_ns: u64, _weight: f64) {
+        self.offer(key, ts_ns);
+    }
+}
+
+/// The running daemon: owns the consumer thread.
+pub struct MeasurementDaemon<M: Measurement + Send + 'static> {
+    handle: JoinHandle<M>,
+    stop: Arc<AtomicBool>,
+    processed: Arc<AtomicU64>,
+}
+
+/// Spawn a measurement daemon around `measurement` with a ring of
+/// `capacity` observations. Returns the switch-side tap and the daemon
+/// handle.
+pub fn spawn<M: Measurement + Send + 'static>(
+    mut measurement: M,
+    capacity: usize,
+) -> (MeasurementTap, MeasurementDaemon<M>) {
+    let ring = Arc::new(SpscRing::<Observation>::new(capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+    let processed = Arc::new(AtomicU64::new(0));
+
+    let handle = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        let processed = Arc::clone(&processed);
+        std::thread::spawn(move || {
+            let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
+            let mut idle_spins = 0u32;
+            loop {
+                let n = ring.pop_batch(&mut buf);
+                if n == 0 {
+                    if stop.load(Ordering::Acquire) && ring.is_empty() {
+                        break;
+                    }
+                    idle_spins += 1;
+                    if idle_spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                    continue;
+                }
+                idle_spins = 0;
+                for obs in &buf[..n] {
+                    measurement.on_packet(obs.key, obs.ts_ns, 1.0);
+                }
+                processed.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            measurement
+        })
+    };
+
+    (
+        MeasurementTap { ring, dropped: 0 },
+        MeasurementDaemon {
+            handle,
+            stop,
+            processed,
+        },
+    )
+}
+
+impl<M: Measurement + Send + 'static> MeasurementDaemon<M> {
+    /// Observations consumed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Signal stop, drain the ring, and return the measurement state.
+    pub fn finish(self) -> M {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("measurement daemon panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{Mode, NitroSketch};
+    use nitro_sketches::CountSketch;
+
+    #[test]
+    fn daemon_processes_everything_offered() {
+        let nitro = NitroSketch::new(CountSketch::new(5, 2048, 1), Mode::Fixed { p: 1.0 }, 2);
+        let (mut tap, daemon) = spawn(nitro, 1 << 16);
+        for i in 0..50_000u64 {
+            tap.offer(i % 10, i);
+            if i % 4096 == 0 {
+                // Give the consumer air on slow CI machines.
+                std::thread::yield_now();
+            }
+        }
+        let nitro = daemon.finish();
+        assert_eq!(tap.dropped(), 0);
+        for f in 0..10u64 {
+            assert_eq!(nitro.estimate(f), 5000.0, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn full_ring_counts_drops_without_blocking() {
+        // A deliberately tiny ring and a daemon that cannot keep up (we
+        // stop it from draining by flooding before it is scheduled).
+        struct Slow;
+        impl Measurement for Slow {
+            fn on_packet(&mut self, _k: FlowKey, _t: u64, _w: f64) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        let (mut tap, daemon) = spawn(Slow, 8);
+        for i in 0..10_000u64 {
+            tap.offer(i, i);
+        }
+        assert!(tap.dropped() > 0, "expected drops on a tiny ring");
+        daemon.finish();
+    }
+
+    #[test]
+    fn processed_counter_advances() {
+        let nitro = NitroSketch::new(CountSketch::new(3, 512, 3), Mode::Fixed { p: 1.0 }, 4);
+        let (mut tap, daemon) = spawn(nitro, 1024);
+        for i in 0..1000u64 {
+            tap.offer(i, i);
+        }
+        let n = daemon.finish();
+        assert_eq!(n.stats().packets, 1000);
+    }
+}

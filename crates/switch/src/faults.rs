@@ -1,0 +1,232 @@
+//! Fault injection for the simulated link.
+//!
+//! Borrowed from smoltcp's example discipline: to demonstrate behaviour
+//! under adverse conditions, the receive path can randomly drop packets,
+//! corrupt one octet per packet, and rate-limit with a token bucket. The
+//! measurement stack must stay *sane* under all of these (malformed frames
+//! rejected by the parser, estimates degrading gracefully with loss) —
+//! asserted by the integration tests.
+
+use crate::packet::Packet;
+use nitro_hash::Xoshiro256StarStar;
+
+/// Token-bucket rate limiter over packets.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_pps: f64,
+    burst: f64,
+    tokens: f64,
+    last_ns: Option<u64>,
+}
+
+impl TokenBucket {
+    /// Allow `rate_pps` packets per second with a burst of `burst` packets.
+    pub fn new(rate_pps: f64, burst: f64) -> Self {
+        assert!(rate_pps > 0.0 && burst >= 1.0);
+        Self {
+            rate_pps,
+            burst,
+            tokens: burst,
+            last_ns: None,
+        }
+    }
+
+    /// Whether a packet arriving at `now_ns` passes.
+    pub fn admit(&mut self, now_ns: u64) -> bool {
+        if let Some(prev) = self.last_ns {
+            let dt = now_ns.saturating_sub(prev) as f64 / 1e9;
+            self.tokens = (self.tokens + dt * self.rate_pps).min(self.burst);
+        }
+        self.last_ns = Some(now_ns);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Counters of what the injector did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets randomly dropped.
+    pub dropped: u64,
+    /// Packets with one octet mutated.
+    pub corrupted: u64,
+    /// Packets discarded by the rate limiter.
+    pub shaped: u64,
+    /// Packets passed through untouched.
+    pub passed: u64,
+}
+
+/// A configurable link fault injector.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    drop_chance: f64,
+    corrupt_chance: f64,
+    limiter: Option<TokenBucket>,
+    rng: Xoshiro256StarStar,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// A transparent injector (no faults).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            limiter: None,
+            rng: Xoshiro256StarStar::new(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Randomly drop packets with this probability.
+    pub fn with_drop_chance(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_chance = p;
+        self
+    }
+
+    /// Randomly mutate one octet with this probability.
+    pub fn with_corrupt_chance(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.corrupt_chance = p;
+        self
+    }
+
+    /// Apply token-bucket shaping.
+    pub fn with_rate_limit(mut self, rate_pps: f64, burst: f64) -> Self {
+        self.limiter = Some(TokenBucket::new(rate_pps, burst));
+        self
+    }
+
+    /// Filter a received burst in place.
+    pub fn apply(&mut self, batch: &mut Vec<Packet>) {
+        let mut out = Vec::with_capacity(batch.len());
+        for mut p in batch.drain(..) {
+            if let Some(l) = &mut self.limiter {
+                if !l.admit(p.ts_ns) {
+                    self.stats.shaped += 1;
+                    continue;
+                }
+            }
+            if self.drop_chance > 0.0 && self.rng.next_bool(self.drop_chance) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.corrupt_chance > 0.0 && self.rng.next_bool(self.corrupt_chance) {
+                let mut bytes = p.data.to_vec();
+                let at = self.rng.next_range(bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << self.rng.next_range(8);
+                p = Packet {
+                    data: bytes.into(),
+                    ts_ns: p.ts_ns,
+                };
+                self.stats.corrupted += 1;
+            } else {
+                self.stats.passed += 1;
+            }
+            out.push(p);
+        }
+        *batch = out;
+    }
+
+    /// What happened so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::FiveTuple;
+    use crate::packet::build_packet;
+
+    fn burst(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| build_packet(&FiveTuple::synthetic(i as u64 % 7), 64, i as u64 * 100))
+            .collect()
+    }
+
+    #[test]
+    fn transparent_by_default() {
+        let mut fi = FaultInjector::new(1);
+        let mut b = burst(100);
+        fi.apply(&mut b);
+        assert_eq!(b.len(), 100);
+        assert_eq!(fi.stats().passed, 100);
+    }
+
+    #[test]
+    fn drop_rate_respected() {
+        let mut fi = FaultInjector::new(2).with_drop_chance(0.15);
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let mut b = burst(100);
+            fi.apply(&mut b);
+            total += b.len();
+        }
+        let kept = total as f64 / 20_000.0;
+        assert!((kept - 0.85).abs() < 0.02, "kept {kept}");
+    }
+
+    #[test]
+    fn corruption_mutates_exactly_one_bit() {
+        let mut fi = FaultInjector::new(3).with_corrupt_chance(1.0);
+        let orig = burst(50);
+        let mut b = orig.clone();
+        fi.apply(&mut b);
+        assert_eq!(b.len(), 50);
+        for (o, c) in orig.iter().zip(&b) {
+            let diff: u32 = o
+                .data
+                .iter()
+                .zip(c.data.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(diff, 1, "exactly one bit must differ");
+        }
+        assert_eq!(fi.stats().corrupted, 50);
+    }
+
+    #[test]
+    fn rate_limiter_shapes_bursts() {
+        // 1 Mpps limit, packets arriving at 10 Mpps → ~90% shaped.
+        let mut fi = FaultInjector::new(4).with_rate_limit(1e6, 32.0);
+        let mut kept = 0usize;
+        for i in 0..100 {
+            let mut b: Vec<Packet> = (0..100)
+                .map(|j| {
+                    build_packet(
+                        &FiveTuple::synthetic(3),
+                        64,
+                        (i * 100 + j) as u64 * 100, // 100 ns spacing
+                    )
+                })
+                .collect();
+            fi.apply(&mut b);
+            kept += b.len();
+        }
+        let frac = kept as f64 / 10_000.0;
+        assert!((0.08..0.15).contains(&frac), "kept {frac}");
+        assert!(fi.stats().shaped > 8_000);
+    }
+
+    #[test]
+    fn corrupted_frames_mostly_fail_downstream_checks() {
+        // A single flipped bit lands in the payload sometimes, but header
+        // corruption must be caught by parse or change the tuple; the
+        // pipeline-level test is in tests/pipeline_integration.rs — here
+        // check the injector leaves length intact.
+        let mut fi = FaultInjector::new(5).with_corrupt_chance(1.0);
+        let mut b = burst(20);
+        let lens: Vec<usize> = b.iter().map(|p| p.len()).collect();
+        fi.apply(&mut b);
+        for (p, l) in b.iter().zip(lens) {
+            assert_eq!(p.len(), l);
+        }
+    }
+}

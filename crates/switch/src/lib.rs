@@ -1,0 +1,50 @@
+//! Software-switch substrate — the testbed stand-in (§6, §7).
+//!
+//! The paper integrates NitroSketch with three virtual switches (OVS-DPDK,
+//! FD.io-VPP, BESS) on a 40 GbE testbed. This crate reproduces the packet
+//! path of each integration style in Rust, end to end, over real packet
+//! bytes:
+//!
+//! - [`five_tuple`] / [`packet`] / [`parse`]: byte-level Ethernet/IPv4/
+//!   TCP/UDP synthesis and zero-copy header parsing ("miniflow extract").
+//! - [`emc`]: OVS's first-level Exact-Match Cache.
+//! - [`classifier`]: the second-level Tuple-Space-Search classifier.
+//! - [`ovs`]: the OVS-DPDK-style datapath with AIO (inline) measurement —
+//!   the paper's "all-in-one" integration.
+//! - [`vpp`]: a VPP-style packet-processing graph with a measurement node.
+//! - [`bess`]: a BESS-style module pipeline.
+//! - [`spsc`] / [`daemon`]: the lock-free single-producer/single-consumer
+//!   ring and measurement thread of the "separate-thread" integration.
+//! - [`nic`]: the simulated PMD/NIC feeding 32-packet batches from traces.
+//! - [`cost`]: calibrated per-operation cost accounting — the stand-in for
+//!   VTune's per-function CPU shares (Table 2, Fig. 10).
+//!
+//! Throughput numbers from these pipelines are *measured wall-clock* Mpps
+//! on the build machine; the paper's claims are about relative costs, which
+//! survive the hardware substitution (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod bess;
+pub mod classifier;
+pub mod control;
+pub mod cost;
+pub mod daemon;
+pub mod emc;
+pub mod faults;
+pub mod five_tuple;
+pub mod nic;
+pub mod ovs;
+pub mod packet;
+pub mod parse;
+pub mod spsc;
+pub mod vpp;
+
+pub use control::{Collector, ControlLink, EpochReport};
+pub use cost::{CostModel, CostReport, Stage};
+pub use faults::{FaultInjector, FaultStats};
+pub use five_tuple::FiveTuple;
+pub use ovs::{Measurement, NullMeasurement, OvsDatapath};
+pub use packet::{build_packet, Packet};
+pub use parse::{parse_five_tuple, ParseError};
+pub use spsc::SpscRing;

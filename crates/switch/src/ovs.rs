@@ -1,0 +1,427 @@
+//! OVS-DPDK-style userspace datapath with inline (AIO) measurement.
+//!
+//! Packet walk (§6): PMD burst → miniflow extract → EMC lookup → on miss,
+//! tuple-space search → on miss, "upcall" (we install a default forward
+//! rule, as the evaluation testbed's two static bidirectional rules would)
+//! → actions. The measurement hook runs inside the EMC stage — the paper's
+//! all-in-one integration, where NitroSketch steals cycles from the same
+//! core that switches packets.
+
+use crate::classifier::{Action, TupleMask, TupleSpaceClassifier};
+use crate::cost::{CostReport, Stage};
+use crate::emc::Emc;
+use crate::nic::{NicSim, PacketRecord};
+use crate::packet::Packet;
+use crate::parse::parse_five_tuple;
+use nitro_core::NitroSketch;
+use nitro_sketches::{FlowKey, RowSketch, Sketch, TopK};
+use std::time::Instant;
+
+/// A data-plane measurement module (the Sketching module of §6).
+pub trait Measurement {
+    /// Observe one packet's flow key at `ts_ns` with `weight` (1.0 for
+    /// packet counting; the wire length for byte counting).
+    fn on_packet(&mut self, key: FlowKey, ts_ns: u64, weight: f64);
+
+    /// Observe a whole burst (override when a buffered path exists).
+    fn on_batch(&mut self, keys: &[FlowKey], ts_ns: u64, weight: f64) {
+        for &k in keys {
+            self.on_packet(k, ts_ns, weight);
+        }
+    }
+}
+
+/// No measurement — the plain-switch baseline of Figs. 2 and 8.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullMeasurement;
+
+impl Measurement for NullMeasurement {
+    #[inline]
+    fn on_packet(&mut self, _key: FlowKey, _ts_ns: u64, _weight: f64) {}
+    #[inline]
+    fn on_batch(&mut self, _keys: &[FlowKey], _ts_ns: u64, _weight: f64) {}
+}
+
+impl<S: RowSketch> Measurement for NitroSketch<S> {
+    #[inline]
+    fn on_packet(&mut self, key: FlowKey, ts_ns: u64, weight: f64) {
+        self.process_ts(key, weight, ts_ns);
+    }
+
+    fn on_batch(&mut self, keys: &[FlowKey], ts_ns: u64, weight: f64) {
+        self.process_batch_ts(keys, weight, ts_ns);
+    }
+}
+
+impl<S: nitro_sketches::UnivLayer> Measurement for nitro_sketches::UnivMon<S> {
+    #[inline]
+    fn on_packet(&mut self, key: FlowKey, _ts_ns: u64, weight: f64) {
+        self.update(key, weight);
+    }
+}
+
+/// A vanilla (unsampled) sketch with the conventional per-packet top-k
+/// maintenance — the "Original" bars in Figs. 2 and 8.
+pub struct VanillaMeasurement<S: Sketch> {
+    sketch: S,
+    topk: Option<TopK>,
+}
+
+impl<S: Sketch> VanillaMeasurement<S> {
+    /// Wrap a sketch without heavy-key tracking.
+    pub fn new(sketch: S) -> Self {
+        Self { sketch, topk: None }
+    }
+
+    /// Wrap with a `k`-entry heavy-key heap (queried on every packet, as
+    /// the unmodified implementations do — the `P` bottleneck).
+    pub fn with_topk(sketch: S, k: usize) -> Self {
+        Self {
+            sketch,
+            topk: Some(TopK::new(k)),
+        }
+    }
+
+    /// The wrapped sketch.
+    pub fn inner(&self) -> &S {
+        &self.sketch
+    }
+
+    /// The heavy-key heap, if enabled.
+    pub fn topk(&self) -> Option<&TopK> {
+        self.topk.as_ref()
+    }
+}
+
+impl<S: Sketch> Measurement for VanillaMeasurement<S> {
+    fn on_packet(&mut self, key: FlowKey, _ts_ns: u64, weight: f64) {
+        self.sketch.update(key, weight);
+        if let Some(topk) = &mut self.topk {
+            let est = self.sketch.estimate(key);
+            topk.offer(key, est);
+        }
+    }
+}
+
+/// Counters for one datapath run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets received from the NIC.
+    pub rx: u64,
+    /// Packets forwarded.
+    pub tx: u64,
+    /// Packets dropped (parse failures or drop rules).
+    pub dropped: u64,
+    /// EMC hits.
+    pub emc_hits: u64,
+    /// EMC misses (went to the classifier).
+    pub emc_misses: u64,
+    /// Classifier misses (triggered a slow-path rule install).
+    pub upcalls: u64,
+    /// Total bytes received.
+    pub rx_bytes: u64,
+}
+
+/// Result of replaying a trace through a pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    /// Packets processed.
+    pub packets: u64,
+    /// Bytes processed.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds spent in the pipeline.
+    pub wall_ns: u64,
+}
+
+impl RunReport {
+    /// Throughput in million packets per second.
+    pub fn mpps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.packets as f64 / (self.wall_ns as f64 / 1e9) / 1e6
+        }
+    }
+
+    /// Throughput in gigabits per second (frame bytes, no preamble/IFG).
+    pub fn gbps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / (self.wall_ns as f64 / 1e9) / 1e9
+        }
+    }
+}
+
+/// The OVS-DPDK-like datapath.
+pub struct OvsDatapath<M: Measurement> {
+    emc: Emc,
+    classifier: TupleSpaceClassifier,
+    measurement: M,
+    stats: SwitchStats,
+    cost: CostReport,
+    default_port: u16,
+    /// Count bytes instead of packets (weight = frame length).
+    count_bytes: bool,
+}
+
+impl<M: Measurement> OvsDatapath<M> {
+    /// Build a datapath with the evaluation testbed's configuration: an
+    /// empty EMC and a classifier holding two static forwarding rules
+    /// (handled here as a wildcard default to `default_port`).
+    pub fn new(measurement: M) -> Self {
+        let mut classifier = TupleSpaceClassifier::new();
+        classifier.insert(
+            TupleMask::wildcard(),
+            crate::five_tuple::FiveTuple::synthetic(0),
+            0,
+            Action::Forward(1),
+        );
+        Self {
+            emc: Emc::default(),
+            classifier,
+            measurement,
+            stats: SwitchStats::default(),
+            cost: CostReport::new(),
+            default_port: 1,
+            count_bytes: false,
+        }
+    }
+
+    /// Switch the measurement weight from packets (1.0 each) to bytes
+    /// (frame length each) — the paper's HH task supports both ("based on
+    /// the packet or byte counts").
+    pub fn set_count_bytes(&mut self, on: bool) {
+        self.count_bytes = on;
+    }
+
+    /// Install an extra classifier rule (tests and richer scenarios).
+    pub fn add_rule(&mut self, mask: TupleMask, pattern: crate::five_tuple::FiveTuple, priority: i32, action: Action) {
+        self.classifier.insert(mask, pattern, priority, action);
+    }
+
+    /// Process one received burst.
+    pub fn process_batch(&mut self, batch: &[Packet], keys_scratch: &mut Vec<FlowKey>) {
+        keys_scratch.clear();
+        let t0 = Instant::now();
+        let mut batch_ts = 0;
+        for pkt in batch {
+            self.stats.rx += 1;
+            self.stats.rx_bytes += pkt.len() as u64;
+            batch_ts = pkt.ts_ns;
+            let tuple = match parse_five_tuple(&pkt.data) {
+                Ok(t) => t,
+                Err(_) => {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+            };
+            let key = tuple.flow_key();
+            let action = match self.emc.lookup(&tuple, key) {
+                Some(a) => {
+                    self.stats.emc_hits += 1;
+                    a
+                }
+                None => {
+                    self.stats.emc_misses += 1;
+                    let a = match self.classifier.lookup(&tuple) {
+                        Some(a) => a,
+                        None => {
+                            // Slow-path upcall: install default forward.
+                            self.stats.upcalls += 1;
+                            Action::Forward(self.default_port)
+                        }
+                    };
+                    self.emc.insert(tuple, key, a);
+                    a
+                }
+            };
+            match action {
+                Action::Forward(_) => self.stats.tx += 1,
+                Action::Drop => self.stats.dropped += 1,
+            }
+            keys_scratch.push(key);
+        }
+        let switch_ns = t0.elapsed().as_nanos() as f64;
+        self.cost.add(Stage::Parse, switch_ns * 0.4);
+        self.cost.add(Stage::EmcLookup, switch_ns * 0.4);
+        self.cost.add(Stage::Classifier, switch_ns * 0.2);
+
+        // AIO measurement: inline, same thread (Fig. 8a's configuration).
+        let t1 = Instant::now();
+        if self.count_bytes {
+            // Per-packet weights require the per-packet path.
+            let mut i = 0;
+            for pkt in batch {
+                if parse_five_tuple(&pkt.data).is_ok() {
+                    self.measurement
+                        .on_packet(keys_scratch[i], pkt.ts_ns, pkt.len() as f64);
+                    i += 1;
+                }
+            }
+        } else {
+            self.measurement.on_batch(keys_scratch, batch_ts, 1.0);
+        }
+        self.cost
+            .add(Stage::SketchHash, t1.elapsed().as_nanos() as f64);
+    }
+
+    /// Replay an entire trace; returns the throughput report.
+    pub fn run_trace(&mut self, records: &[PacketRecord]) -> RunReport {
+        let mut nic = NicSim::new(records);
+        let mut batch = Vec::with_capacity(crate::nic::BATCH_SIZE);
+        let mut keys = Vec::with_capacity(crate::nic::BATCH_SIZE);
+        let start = Instant::now();
+        let mut packets = 0u64;
+        let mut bytes = 0u64;
+        loop {
+            let t_io = Instant::now();
+            let n = nic.rx_burst(&mut batch);
+            self.cost.add(Stage::Io, t_io.elapsed().as_nanos() as f64);
+            if n == 0 {
+                break;
+            }
+            packets += n as u64;
+            bytes += batch.iter().map(|p| p.len() as u64).sum::<u64>();
+            self.process_batch(&batch, &mut keys);
+        }
+        RunReport {
+            packets,
+            bytes,
+            wall_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Switch counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Accumulated coarse stage costs.
+    pub fn cost(&self) -> &CostReport {
+        &self.cost
+    }
+
+    /// Access the measurement module (to query results).
+    pub fn measurement(&self) -> &M {
+        &self.measurement
+    }
+
+    /// Mutable access to the measurement module.
+    pub fn measurement_mut(&mut self) -> &mut M {
+        &mut self.measurement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::FiveTuple;
+    use nitro_core::Mode;
+    use nitro_sketches::CountSketch;
+
+    fn trace(flows: u64, packets: u64) -> Vec<PacketRecord> {
+        (0..packets)
+            .map(|i| PacketRecord::new(FiveTuple::synthetic(i % flows), 64, i * 100))
+            .collect()
+    }
+
+    #[test]
+    fn forwards_everything_with_default_rule() {
+        let mut dp = OvsDatapath::new(NullMeasurement);
+        let report = dp.run_trace(&trace(10, 1000));
+        assert_eq!(report.packets, 1000);
+        let s = dp.stats();
+        assert_eq!(s.rx, 1000);
+        assert_eq!(s.tx, 1000);
+        assert_eq!(s.dropped, 0);
+        assert!(report.mpps() > 0.0);
+        assert!(report.gbps() > 0.0);
+    }
+
+    #[test]
+    fn emc_absorbs_repeated_flows() {
+        let mut dp = OvsDatapath::new(NullMeasurement);
+        dp.run_trace(&trace(10, 1000));
+        let s = dp.stats();
+        // First packet of each flow misses, the rest hit.
+        assert_eq!(s.emc_misses, 10);
+        assert_eq!(s.emc_hits, 990);
+        assert_eq!(s.upcalls, 0); // wildcard default rule catches them
+    }
+
+    #[test]
+    fn drop_rule_drops() {
+        let mut dp = OvsDatapath::new(NullMeasurement);
+        let victim = FiveTuple::synthetic(3);
+        dp.add_rule(TupleMask::exact(), victim, 100, Action::Drop);
+        dp.run_trace(&trace(10, 1000));
+        let s = dp.stats();
+        assert_eq!(s.dropped, 100);
+        assert_eq!(s.tx, 900);
+    }
+
+    #[test]
+    fn inline_nitro_measurement_sees_all_flows() {
+        let nitro = NitroSketch::new(CountSketch::new(5, 4096, 1), Mode::Fixed { p: 1.0 }, 2);
+        let mut dp = OvsDatapath::new(nitro);
+        dp.run_trace(&trace(10, 5000));
+        // Each of the 10 flows sent 500 packets; at p=1 estimates are exact.
+        for f in 0..10u64 {
+            let key = FiveTuple::synthetic(f).flow_key();
+            assert_eq!(dp.measurement().estimate(key), 500.0, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn sampled_nitro_measurement_is_close() {
+        let nitro = NitroSketch::new(CountSketch::new(5, 8192, 3), Mode::Fixed { p: 0.05 }, 4);
+        let mut dp = OvsDatapath::new(nitro);
+        dp.run_trace(&trace(5, 50_000));
+        for f in 0..5u64 {
+            let key = FiveTuple::synthetic(f).flow_key();
+            let est = dp.measurement().estimate(key);
+            assert!((est - 10_000.0).abs() / 10_000.0 < 0.2, "flow {f}: {est}");
+        }
+    }
+
+    #[test]
+    fn vanilla_measurement_counts_exactly() {
+        let v = VanillaMeasurement::with_topk(CountSketch::new(5, 4096, 5), 16);
+        let mut dp = OvsDatapath::new(v);
+        dp.run_trace(&trace(4, 4000));
+        for f in 0..4u64 {
+            let key = FiveTuple::synthetic(f).flow_key();
+            assert_eq!(dp.measurement().inner().estimate(key), 1000.0);
+        }
+        assert_eq!(dp.measurement().topk().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn cost_report_collects_stages() {
+        let mut dp = OvsDatapath::new(NullMeasurement);
+        dp.run_trace(&trace(10, 2000));
+        let cost = dp.cost();
+        assert!(cost.ns(Stage::Io) > 0.0);
+        assert!(cost.ns(Stage::Parse) > 0.0);
+        assert!(cost.total_ns() > 0.0);
+    }
+
+    #[test]
+    fn byte_counting_mode_tracks_volumes() {
+        let nitro = NitroSketch::new(CountSketch::new(5, 4096, 31), Mode::Fixed { p: 1.0 }, 32);
+        let mut dp = OvsDatapath::new(nitro);
+        dp.set_count_bytes(true);
+        // Flow 0 sends 100 small frames, flow 1 sends 100 MTU frames.
+        let mut recs = Vec::new();
+        for i in 0..100u64 {
+            recs.push(PacketRecord::new(FiveTuple::synthetic(0), 64, i * 100));
+            recs.push(PacketRecord::new(FiveTuple::synthetic(1), 1500, i * 100 + 50));
+        }
+        dp.run_trace(&recs);
+        let k0 = FiveTuple::synthetic(0).flow_key();
+        let k1 = FiveTuple::synthetic(1).flow_key();
+        assert_eq!(dp.measurement().estimate(k0), 6_400.0);
+        assert_eq!(dp.measurement().estimate(k1), 150_000.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Lock-free single-producer/single-consumer ring buffer.
+//!
+//! The separate-thread integration (§6, "modified from \[16\]" — the
+//! `readerwriterqueue` FIFO) has the vswitchd PMD thread push sampled flow
+//! keys into a shared buffer while the NitroSketch thread drains it. This is
+//! a classic bounded SPSC ring: one atomic head, one atomic tail, power-of-
+//! two capacity, acquire/release ordering, no locks on either side.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded wait-free SPSC ring for `Copy` items.
+///
+/// Exactly one thread may call [`SpscRing::push`]/[`SpscRing::push_batch`]
+/// and exactly one (other) thread [`SpscRing::pop`]/[`SpscRing::pop_batch`].
+pub struct SpscRing<T: Copy> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer writes (only the producer mutates).
+    head: AtomicUsize,
+    /// Next slot the consumer reads (only the consumer mutates).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the SPSC discipline (one producer thread, one consumer thread)
+// combined with acquire/release on head/tail guarantees each slot is
+// accessed exclusively: the producer only writes slots in [head, tail+cap),
+// the consumer only reads slots in [tail, head).
+unsafe impl<T: Copy + Send> Sync for SpscRing<T> {}
+unsafe impl<T: Copy + Send> Send for SpscRing<T> {}
+
+impl<T: Copy> SpscRing<T> {
+    /// Create a ring with at least `capacity` slots (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> =
+            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Self {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// True when nothing is queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer: enqueue one item; `false` when the ring is full (the
+    /// caller counts it as a drop, as the paper's buffer would).
+    #[inline]
+    pub fn push(&self, item: T) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) == self.buf.len() {
+            return false;
+        }
+        // SAFETY: slot `head` is past every index the consumer may read
+        // (tail..head) and the producer is single-threaded.
+        unsafe {
+            (*self.buf[head & self.mask].get()).write(item);
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Producer: enqueue as many of `items` as fit; returns how many.
+    pub fn push_batch(&self, items: &[T]) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let free = self.buf.len() - head.wrapping_sub(tail);
+        let n = items.len().min(free);
+        for (i, &item) in items[..n].iter().enumerate() {
+            // SAFETY: as in `push`; all n slots are free.
+            unsafe {
+                (*self.buf[(head + i) & self.mask].get()).write(item);
+            }
+        }
+        self.head.store(head.wrapping_add(n), Ordering::Release);
+        n
+    }
+
+    /// Consumer: dequeue one item.
+    #[inline]
+    pub fn pop(&self) -> Option<T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        // SAFETY: slot `tail` was published by the producer's release store.
+        let item = unsafe { (*self.buf[tail & self.mask].get()).assume_init() };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Consumer: dequeue up to `out.len()` items; returns how many were
+    /// written to the front of `out`.
+    pub fn pop_batch(&self, out: &mut [T]) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let avail = head.wrapping_sub(tail);
+        let n = out.len().min(avail);
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            // SAFETY: slots tail..tail+n were published by the producer.
+            *slot = unsafe { (*self.buf[(tail + i) & self.mask].get()).assume_init() };
+        }
+        self.tail.store(tail.wrapping_add(n), Ordering::Release);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let r = SpscRing::new(8);
+        for i in 0..8 {
+            assert!(r.push(i));
+        }
+        assert!(!r.push(99), "ring should be full");
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_works() {
+        let r = SpscRing::new(4);
+        for round in 0..100u64 {
+            assert!(r.push(round));
+            assert_eq!(r.pop(), Some(round));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn batch_push_and_pop() {
+        let r = SpscRing::new(16);
+        let wrote = r.push_batch(&(0..20u64).collect::<Vec<_>>());
+        assert_eq!(wrote, 16);
+        let mut out = [0u64; 10];
+        assert_eq!(r.pop_batch(&mut out), 10);
+        assert_eq!(out, [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let r: SpscRing<u64> = SpscRing::new(100);
+        assert_eq!(r.capacity(), 128);
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        let r = Arc::new(SpscRing::<u64>::new(1024));
+        let n = 1_000_000u64;
+        let prod = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                while pushed < n {
+                    if r.push(pushed) {
+                        pushed += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let cons = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut expect = 0u64;
+                let mut buf = [0u64; 64];
+                while expect < n {
+                    let got = r.pop_batch(&mut buf);
+                    for &v in &buf[..got] {
+                        assert_eq!(v, expect, "out of order");
+                        expect += 1;
+                    }
+                    if got == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        prod.join().unwrap();
+        cons.join().unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn full_ring_reports_drops() {
+        let r = SpscRing::new(4);
+        let mut dropped = 0;
+        for i in 0..10 {
+            if !r.push(i) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 6);
+        assert_eq!(r.len(), 4);
+    }
+}

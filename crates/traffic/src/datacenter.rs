@@ -1,0 +1,107 @@
+//! Datacenter workload (UNI1/UNI2-like): strongly skewed, few flows.
+//!
+//! The paper notes "UNI2 is quite skewed while CAIDA and DDoS are heavy
+//! tailed" — the property that makes NetFlow's recall *good* on DC traffic
+//! (Fig. 15c) and hash-table baselines viable (Fig. 3a's low-flow regime).
+
+use crate::sizes::PacketSizeMix;
+use crate::zipf::Zipf;
+use nitro_switch::five_tuple::FiveTuple;
+use nitro_switch::nic::PacketRecord;
+
+/// Default flow population (datacenter racks carry orders of magnitude
+/// fewer concurrent 5-tuples than a backbone link).
+pub const DEFAULT_FLOWS: u64 = 10_000;
+
+/// Zipf exponent for datacenter traffic (strong skew).
+pub const DC_SKEW: f64 = 1.5;
+
+/// Offset so DC flow identities never collide with CAIDA-like ones.
+const FLOW_NAMESPACE: u64 = 1 << 40;
+
+/// An infinite datacenter-like packet stream.
+#[derive(Clone, Debug)]
+pub struct DatacenterLike {
+    zipf: Zipf,
+    sizes: PacketSizeMix,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+impl DatacenterLike {
+    /// A stream over `flows` 5-tuples at 10 Mpps pacing.
+    pub fn new(seed: u64, flows: u64) -> Self {
+        Self {
+            zipf: Zipf::new(flows, DC_SKEW, seed),
+            sizes: PacketSizeMix::datacenter(seed ^ 0xDC),
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// Override the packet rate.
+    pub fn with_rate(mut self, pps: f64) -> Self {
+        assert!(pps > 0.0);
+        self.gap_ns = (1e9 / pps).max(1.0) as u64;
+        self
+    }
+}
+
+impl Iterator for DatacenterLike {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let rank = self.zipf.sample();
+        let rec = PacketRecord::new(
+            FiveTuple::synthetic(FLOW_NAMESPACE + rank - 1),
+            self.sizes.sample(),
+            self.ts_ns,
+        );
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::GroundTruth;
+
+    #[test]
+    fn is_much_more_skewed_than_caida() {
+        let dc = GroundTruth::from_records(
+            crate::take_records(DatacenterLike::new(1, 10_000), 100_000).as_slice(),
+        );
+        let caida = GroundTruth::from_records(
+            crate::take_records(crate::CaidaLike::new(1, 10_000), 100_000).as_slice(),
+        );
+        let share = |gt: &GroundTruth| {
+            gt.top_k(10).iter().map(|&(_, c)| c).sum::<f64>() / gt.l1()
+        };
+        let dc_share = share(&dc);
+        let caida_share = share(&caida);
+        assert!(
+            dc_share > 2.0 * caida_share,
+            "dc {dc_share} vs caida {caida_share}"
+        );
+        assert!(dc_share > 0.5, "dc top-10 share {dc_share}");
+    }
+
+    #[test]
+    fn flow_namespace_disjoint_from_caida() {
+        let dc = crate::take_records(DatacenterLike::new(2, 1000), 1000);
+        let ca = crate::take_records(crate::CaidaLike::new(2, 1000), 1000);
+        let dc_keys: std::collections::HashSet<_> =
+            dc.iter().map(|r| r.tuple.flow_key()).collect();
+        for r in &ca {
+            assert!(!dc_keys.contains(&r.tuple.flow_key()));
+        }
+    }
+
+    #[test]
+    fn mean_size_is_paper_dc() {
+        let recs = crate::take_records(DatacenterLike::new(3, 1000), 100_000);
+        let mean: f64 = recs.iter().map(|r| r.wire_len as f64).sum::<f64>() / recs.len() as f64;
+        assert!((mean - 747.0).abs() < 40.0, "mean {mean}");
+    }
+}

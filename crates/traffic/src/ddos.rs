@@ -1,0 +1,146 @@
+//! DDoS attack workload (MACCDC-like): background traffic plus a
+//! many-source flood at one victim.
+//!
+//! The attack component gives the trace its characteristic statistics —
+//! small frames (mean ≈ 272 B), an explosion of distinct sources, a heavy
+//! tail — which stress exactly the tasks the paper evaluates on this trace
+//! (heavy hitters under churn in Fig. 14b, recall in Fig. 15b, and the
+//! entropy/distinct anomaly signals the examples showcase).
+
+use crate::sizes::PacketSizeMix;
+use crate::zipf::Zipf;
+use nitro_hash::Xoshiro256StarStar;
+use nitro_switch::five_tuple::FiveTuple;
+use nitro_switch::nic::PacketRecord;
+use std::net::Ipv4Addr;
+
+/// Offset so background flows don't collide with other namespaces.
+const FLOW_NAMESPACE: u64 = 1 << 41;
+
+/// An infinite DDoS-attack packet stream.
+#[derive(Clone, Debug)]
+pub struct DdosAttack {
+    background: Zipf,
+    sizes: PacketSizeMix,
+    rng: Xoshiro256StarStar,
+    /// Fraction of packets that belong to the attack.
+    attack_frac: f64,
+    victim_ip: Ipv4Addr,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+impl DdosAttack {
+    /// A stream where `attack_frac` of packets flood the victim from
+    /// ever-fresh spoofed sources, over `bg_flows` background flows.
+    pub fn new(seed: u64, bg_flows: u64, attack_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&attack_frac));
+        Self {
+            background: Zipf::new(bg_flows, 1.05, seed),
+            sizes: PacketSizeMix::ddos(seed ^ 0xDD05),
+            rng: Xoshiro256StarStar::new(seed ^ 0xA77AC4),
+            attack_frac,
+            victim_ip: Ipv4Addr::new(203, 0, 113, 7),
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// Override the packet rate.
+    pub fn with_rate(mut self, pps: f64) -> Self {
+        assert!(pps > 0.0);
+        self.gap_ns = (1e9 / pps).max(1.0) as u64;
+        self
+    }
+
+    /// The flooded destination address.
+    pub fn victim(&self) -> Ipv4Addr {
+        self.victim_ip
+    }
+
+    fn attack_packet(&mut self) -> FiveTuple {
+        // Spoofed source: fresh address + port per packet.
+        let src = Ipv4Addr::from(self.rng.next_u64() as u32 | 0x0100_0000);
+        let sport = 1024 + (self.rng.next_u64() % 60_000) as u16;
+        FiveTuple::udp(src, sport, self.victim_ip, 53)
+    }
+}
+
+impl Iterator for DdosAttack {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let tuple = if self.rng.next_bool(self.attack_frac) {
+            self.attack_packet()
+        } else {
+            let rank = self.background.sample();
+            FiveTuple::synthetic(FLOW_NAMESPACE + rank - 1)
+        };
+        let rec = PacketRecord::new(tuple, self.sizes.sample(), self.ts_ns);
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::GroundTruth;
+
+    #[test]
+    fn attack_explodes_distinct_count() {
+        let quiet = GroundTruth::from_records(
+            crate::take_records(DdosAttack::new(1, 10_000, 0.0), 100_000).as_slice(),
+        );
+        let attack = GroundTruth::from_records(
+            crate::take_records(DdosAttack::new(1, 10_000, 0.5), 100_000).as_slice(),
+        );
+        assert!(
+            attack.distinct() as f64 > 3.0 * quiet.distinct() as f64,
+            "distinct {} vs {}",
+            attack.distinct(),
+            quiet.distinct()
+        );
+    }
+
+    #[test]
+    fn attack_targets_single_destination() {
+        let recs = crate::take_records(DdosAttack::new(2, 1000, 0.6), 10_000);
+        let victim = DdosAttack::new(2, 1000, 0.6).victim();
+        let to_victim = recs.iter().filter(|r| r.tuple.dst_ip == victim).count();
+        assert!(
+            (5_000..7_000).contains(&to_victim),
+            "{to_victim} packets at the victim"
+        );
+    }
+
+    #[test]
+    fn attack_sources_are_spoofed_fresh() {
+        let recs = crate::take_records(DdosAttack::new(3, 1000, 1.0), 10_000);
+        let srcs: std::collections::HashSet<_> = recs.iter().map(|r| r.tuple.src_ip).collect();
+        assert!(srcs.len() > 9_900, "only {} distinct sources", srcs.len());
+    }
+
+    #[test]
+    fn mean_size_is_paper_attack() {
+        let recs = crate::take_records(DdosAttack::new(4, 1000, 0.5), 100_000);
+        let mean: f64 = recs.iter().map(|r| r.wire_len as f64).sum::<f64>() / recs.len() as f64;
+        assert!((mean - 272.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn entropy_rises_under_attack() {
+        let quiet = GroundTruth::from_records(
+            crate::take_records(DdosAttack::new(5, 5_000, 0.0), 80_000).as_slice(),
+        );
+        let attack = GroundTruth::from_records(
+            crate::take_records(DdosAttack::new(5, 5_000, 0.7), 80_000).as_slice(),
+        );
+        assert!(
+            attack.entropy_bits() > quiet.entropy_bits(),
+            "attack {} vs quiet {}",
+            attack.entropy_bits(),
+            quiet.entropy_bits()
+        );
+    }
+}

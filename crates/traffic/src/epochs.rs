@@ -1,0 +1,94 @@
+//! Epoch segmentation.
+//!
+//! The paper's accuracy figures sweep the *epoch size* — the number of
+//! packets a sketch observes before being queried and reset (Figs. 11, 12,
+//! 14, 15 use 1M…1B-packet epochs). [`Epochs`] slices any generator into
+//! consecutive fixed-size epochs, yielding the keys of each epoch together
+//! with its exact [`GroundTruth`].
+
+use crate::ground_truth::GroundTruth;
+use nitro_sketches::FlowKey;
+use nitro_switch::nic::PacketRecord;
+
+/// One measurement epoch: the flow keys in arrival order plus their truth.
+pub struct Epoch {
+    /// Flow keys in arrival order.
+    pub keys: Vec<FlowKey>,
+    /// Arrival timestamps (parallel to `keys`).
+    pub ts_ns: Vec<u64>,
+    /// Exact statistics of this epoch.
+    pub truth: GroundTruth,
+}
+
+/// Iterator of consecutive epochs over a packet generator.
+pub struct Epochs<I: Iterator<Item = PacketRecord>> {
+    source: I,
+    epoch_packets: usize,
+}
+
+impl<I: Iterator<Item = PacketRecord>> Epochs<I> {
+    /// Slice `source` into epochs of `epoch_packets` packets.
+    pub fn new(source: I, epoch_packets: usize) -> Self {
+        assert!(epoch_packets >= 1);
+        Self {
+            source,
+            epoch_packets,
+        }
+    }
+}
+
+impl<I: Iterator<Item = PacketRecord>> Iterator for Epochs<I> {
+    type Item = Epoch;
+
+    fn next(&mut self) -> Option<Epoch> {
+        let mut keys = Vec::with_capacity(self.epoch_packets);
+        let mut ts_ns = Vec::with_capacity(self.epoch_packets);
+        let mut truth = GroundTruth::new();
+        for rec in self.source.by_ref().take(self.epoch_packets) {
+            let k = rec.tuple.flow_key();
+            keys.push(k);
+            ts_ns.push(rec.ts_ns);
+            truth.push(k);
+        }
+        if keys.is_empty() {
+            None
+        } else {
+            Some(Epoch { keys, ts_ns, truth })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CaidaLike;
+
+    #[test]
+    fn epochs_have_requested_size() {
+        let mut e = Epochs::new(CaidaLike::new(1, 1000), 5000);
+        let first = e.next().unwrap();
+        assert_eq!(first.keys.len(), 5000);
+        assert_eq!(first.ts_ns.len(), 5000);
+        assert_eq!(first.truth.l1(), 5000.0);
+        let second = e.next().unwrap();
+        assert_eq!(second.keys.len(), 5000);
+    }
+
+    #[test]
+    fn finite_source_yields_partial_tail_then_none() {
+        let recs = crate::take_records(CaidaLike::new(2, 100), 120);
+        let mut e = Epochs::new(recs.into_iter(), 50);
+        assert_eq!(e.next().unwrap().keys.len(), 50);
+        assert_eq!(e.next().unwrap().keys.len(), 50);
+        assert_eq!(e.next().unwrap().keys.len(), 20);
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn truth_matches_keys() {
+        let epoch = Epochs::new(CaidaLike::new(3, 50), 2000).next().unwrap();
+        let rebuilt = GroundTruth::from_keys(epoch.keys.iter().copied());
+        assert_eq!(rebuilt.l1(), epoch.truth.l1());
+        assert_eq!(rebuilt.distinct(), epoch.truth.distinct());
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact ground truth for error metrics.
+//!
+//! Every accuracy figure in the paper compares an estimate against the true
+//! value ("relative error = |t − t_real| / t_real"); this module computes
+//! the true values exactly: per-flow counts, heavy-hitter sets, entropy,
+//! distinct flows, L1/L2 norms, and epoch-over-epoch change.
+
+use nitro_sketches::entropy::entropy_bits;
+use nitro_sketches::FlowKey;
+use nitro_switch::nic::PacketRecord;
+use std::collections::HashMap;
+
+/// Exact per-flow statistics of a trace segment.
+///
+/// ```
+/// use nitro_traffic::GroundTruth;
+///
+/// let gt = GroundTruth::from_keys([1u64, 1, 1, 2, 3]);
+/// assert_eq!(gt.count(1), 3.0);
+/// assert_eq!(gt.l1(), 5.0);
+/// assert_eq!(gt.distinct(), 3);
+/// assert_eq!(gt.top_k(1), vec![(1, 3.0)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    counts: HashMap<FlowKey, f64>,
+    total: f64,
+}
+
+impl GroundTruth {
+    /// Empty truth (accumulate with [`GroundTruth::push`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one packet of `key`.
+    pub fn push(&mut self, key: FlowKey) {
+        self.push_weighted(key, 1.0);
+    }
+
+    /// Count `weight` for `key`.
+    pub fn push_weighted(&mut self, key: FlowKey, weight: f64) {
+        *self.counts.entry(key).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Build from packet records (one count per packet).
+    pub fn from_records(records: &[PacketRecord]) -> Self {
+        let mut gt = Self::new();
+        for r in records {
+            gt.push(r.tuple.flow_key());
+        }
+        gt
+    }
+
+    /// Build from bare keys.
+    pub fn from_keys<I: IntoIterator<Item = FlowKey>>(keys: I) -> Self {
+        let mut gt = Self::new();
+        for k in keys {
+            gt.push(k);
+        }
+        gt
+    }
+
+    /// True count of a flow.
+    pub fn count(&self, key: FlowKey) -> f64 {
+        self.counts.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Total packets (L1).
+    pub fn l1(&self) -> f64 {
+        self.total
+    }
+
+    /// L2 norm of the flow-size vector.
+    pub fn l2(&self) -> f64 {
+        self.counts.values().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Number of distinct flows.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Empirical entropy in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        entropy_bits(self.counts.values().copied())
+    }
+
+    /// Flows with count ≥ `fraction · L1`, heaviest first.
+    pub fn heavy_hitters(&self, fraction: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = fraction * self.total;
+        let mut v: Vec<(FlowKey, f64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The `k` largest flows, heaviest first.
+    pub fn top_k(&self, k: usize) -> Vec<(FlowKey, f64)> {
+        let mut v: Vec<(FlowKey, f64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Per-flow signed change versus a previous epoch (flows present in
+    /// either epoch).
+    pub fn change_from(&self, prev: &GroundTruth) -> HashMap<FlowKey, f64> {
+        let mut out: HashMap<FlowKey, f64> = HashMap::new();
+        for (&k, &c) in &self.counts {
+            out.insert(k, c - prev.count(k));
+        }
+        for (&k, &c) in &prev.counts {
+            out.entry(k).or_insert(-c);
+        }
+        out
+    }
+
+    /// Flows whose |change| vs `prev` is ≥ `fraction` of the combined
+    /// traffic (the paper's change-detection task), largest first.
+    pub fn heavy_changes(&self, prev: &GroundTruth, fraction: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = fraction * (self.total + prev.total);
+        let mut v: Vec<(FlowKey, f64)> = self
+            .change_from(prev)
+            .into_iter()
+            .filter(|&(_, c)| c.abs() >= threshold)
+            .collect();
+        v.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Iterate `(key, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowKey, f64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(pairs: &[(u64, usize)]) -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        for &(k, n) in pairs {
+            for _ in 0..n {
+                gt.push(k);
+            }
+        }
+        gt
+    }
+
+    #[test]
+    fn counts_and_norms() {
+        let gt = truth(&[(1, 3), (2, 4)]);
+        assert_eq!(gt.count(1), 3.0);
+        assert_eq!(gt.count(99), 0.0);
+        assert_eq!(gt.l1(), 7.0);
+        assert_eq!(gt.l2(), 25f64.sqrt());
+        assert_eq!(gt.distinct(), 2);
+    }
+
+    #[test]
+    fn heavy_hitters_respect_threshold() {
+        let gt = truth(&[(1, 90), (2, 9), (3, 1)]);
+        let hh = gt.heavy_hitters(0.05);
+        assert_eq!(hh, vec![(1, 90.0), (2, 9.0)]);
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let gt = truth(&[(1, 5), (2, 50), (3, 20)]);
+        assert_eq!(gt.top_k(2), vec![(2, 50.0), (3, 20.0)]);
+    }
+
+    #[test]
+    fn entropy_matches_manual() {
+        let gt = truth(&[(1, 50), (2, 50)]);
+        assert!((gt.entropy_bits() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn change_detects_appearance_and_disappearance() {
+        let prev = truth(&[(1, 100), (2, 50)]);
+        let cur = truth(&[(1, 100), (3, 80)]);
+        let ch = cur.change_from(&prev);
+        assert_eq!(ch[&1], 0.0);
+        assert_eq!(ch[&2], -50.0);
+        assert_eq!(ch[&3], 80.0);
+        let heavy = cur.heavy_changes(&prev, 0.2);
+        // threshold = 0.2 × 330 = 66 → only flow 3.
+        assert_eq!(heavy, vec![(3, 80.0)]);
+    }
+
+    #[test]
+    fn weighted_pushes() {
+        let mut gt = GroundTruth::new();
+        gt.push_weighted(7, 2.5);
+        gt.push_weighted(7, 2.5);
+        assert_eq!(gt.count(7), 5.0);
+        assert_eq!(gt.l1(), 5.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Workload substrate — synthetic statistical stand-ins for the paper's
+//! traces (§7 "Workloads").
+//!
+//! The evaluation uses four workload families; each gets a generator here
+//! with the same distributional knobs the paper's accuracy and throughput
+//! results depend on:
+//!
+//! | Paper trace | Generator | Shape |
+//! |---|---|---|
+//! | CAIDA 2016/2018 backbone | [`CaidaLike`] | Zipf(≈1.02) over ~1M flows, heavy-tailed, mean 714 B frames |
+//! | UNI1/UNI2 datacenter \[11\] | [`DatacenterLike`] | strong skew (Zipf ≈ 1.4) over few flows, mean 747 B |
+//! | MACCDC DDoS \[58\] | [`DdosAttack`] | background CAIDA mix + high-rate many-source attack to one destination, mean 272 B |
+//! | MoonGen 64 B stress | [`MinSized`] | uniform random flows, all frames 64 B |
+//!
+//! All generators are infinite, deterministic iterators of
+//! [`nitro_switch::nic::PacketRecord`]; [`take_records`] materializes a
+//! prefix, [`keys_of`] streams bare flow keys for large accuracy sweeps
+//! without storing packets. [`GroundTruth`] computes exact per-flow counts,
+//! heavy-hitter sets, entropy, distinct counts and epoch-to-epoch changes —
+//! the reference every error metric compares against.
+
+#![warn(missing_docs)]
+
+pub mod caida;
+pub mod datacenter;
+pub mod ddos;
+pub mod epochs;
+pub mod ground_truth;
+pub mod minsize;
+pub mod pcap;
+pub mod sizes;
+pub mod sweep;
+pub mod zipf;
+
+pub use caida::CaidaLike;
+pub use datacenter::DatacenterLike;
+pub use ddos::DdosAttack;
+pub use epochs::Epochs;
+pub use ground_truth::GroundTruth;
+pub use minsize::MinSized;
+pub use sizes::PacketSizeMix;
+pub use sweep::UniformFlows;
+pub use zipf::Zipf;
+
+use nitro_sketches::FlowKey;
+use nitro_switch::nic::PacketRecord;
+
+/// Materialize the first `n` records of a generator.
+pub fn take_records<I: Iterator<Item = PacketRecord>>(gen: I, n: usize) -> Vec<PacketRecord> {
+    gen.take(n).collect()
+}
+
+/// Stream only the flow keys of a generator (no packet storage).
+pub fn keys_of<I: Iterator<Item = PacketRecord>>(gen: I) -> impl Iterator<Item = FlowKey> {
+    gen.map(|r| r.tuple.flow_key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_records_takes_exactly_n() {
+        let recs = take_records(MinSized::new(1, 100, 10_000_000.0), 500);
+        assert_eq!(recs.len(), 500);
+    }
+
+    #[test]
+    fn keys_of_matches_records() {
+        let recs = take_records(CaidaLike::new(2, 1000), 100);
+        let keys: Vec<_> = keys_of(CaidaLike::new(2, 1000)).take(100).collect();
+        for (r, k) in recs.iter().zip(&keys) {
+            assert_eq!(r.tuple.flow_key(), *k);
+        }
+    }
+}

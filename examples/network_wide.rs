@@ -1,0 +1,87 @@
+//! Network-wide monitoring: several switches each run a Nitro-accelerated
+//! Count Sketch over their own traffic slice; at the epoch boundary each
+//! exports (a) a compact heavy-hitter report over the simulated 1 GbE
+//! control link and (b) its sketch counters for controller-side *merging* —
+//! sketches built with the same seeds are linear, so the merged structure
+//! answers queries over the union of all links' traffic.
+//!
+//! Run with: `cargo run --release --example network_wide`
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::switch::{Collector, ControlLink, EpochReport};
+use nitrosketch::traffic::keys_of;
+
+const SWITCHES: usize = 4;
+const PACKETS_PER_SWITCH: usize = 400_000;
+
+fn main() {
+    // One shared sketch template: identical hash seeds across switches is
+    // what makes controller-side merging valid.
+    let template = || CountSketch::new(5, 1 << 15, 1234);
+
+    let mut link = ControlLink::gigabit();
+    let mut collector = Collector::new();
+    let mut merged = template();
+    let mut union_truth = GroundTruth::new();
+
+    for sw in 0..SWITCHES {
+        // Each switch sees a different slice of the network's flows (some
+        // flows — the "cross-rack elephants" — appear at every switch).
+        let keys: Vec<FlowKey> = keys_of(CaidaLike::new(50 + sw as u64, 50_000))
+            .take(PACKETS_PER_SWITCH)
+            .collect();
+
+        let mut nitro = NitroSketch::new(template(), Mode::Fixed { p: 0.01 }, 60 + sw as u64)
+            .with_topk(128);
+        for &k in &keys {
+            nitro.process(k, 1.0);
+            union_truth.push(k);
+        }
+
+        // (a) compact report over the control link…
+        let hh = nitro.heavy_hitters(0.002 * PACKETS_PER_SWITCH as f64);
+        let report = EpochReport {
+            switch_id: sw as u32,
+            epoch: 0,
+            packets: PACKETS_PER_SWITCH as u64,
+            heavy_hitters: hh,
+            entropy_bits: f64::NAN,
+            distinct: f64::NAN,
+            l2: nitro.inner().l2_estimate(),
+            memory_bytes: nitro.memory_bytes() as u64,
+        };
+        let (bytes, ns) = link.send(&report);
+        collector.ingest_bytes(&bytes).unwrap();
+        println!(
+            "switch {sw}: {} HH reported, {} B on the control link ({} µs)",
+            report.heavy_hitters.len(),
+            bytes.len(),
+            ns / 1000
+        );
+
+        // (b) …and the full sketch for merging (in deployment this is the
+        // periodic sketch pull; here an in-process move).
+        merged.merge(nitro.inner());
+    }
+
+    let (bytes, reports) = link.totals();
+    println!("\ncontrol link total: {reports} reports, {bytes} bytes");
+
+    // Controller view 1: union of compact reports.
+    println!("\nnetwork-wide heavy hitters (report union):");
+    for (k, e) in collector.network_heavy_hitters().iter().take(5) {
+        println!("  {k:>18x}  ~{e:.0} packets (true {})", union_truth.count(*k));
+    }
+
+    // Controller view 2: the merged sketch answers *any* flow, including
+    // flows that were heavy network-wide but below threshold per switch.
+    println!("\nmerged-sketch estimates for the true network-wide top flows:");
+    for &(k, t) in union_truth.top_k(5).iter() {
+        let e = merged.estimate(k);
+        println!(
+            "  {k:>18x}  est {e:>9.0}  true {t:>9.0}  err {:>5.2}%",
+            100.0 * (e - t).abs() / t
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: accelerate a Count Sketch with NitroSketch and compare its
+//! heavy-hitter report against exact ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nitrosketch::prelude::*;
+use nitrosketch::traffic::keys_of;
+
+fn main() {
+    // 1M packets of CAIDA-like (heavy-tailed) traffic over 100k flows.
+    let packets = 1_000_000usize;
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(1, 100_000)).take(packets).collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+
+    // A 5×8192 Count Sketch behind NitroSketch at a fixed 1% geometric
+    // sampling rate, tracking the top 128 keys.
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(5, 8192, 42),
+        Mode::Fixed { p: 0.01 },
+        7,
+    )
+    .with_topk(128);
+
+    let start = std::time::Instant::now();
+    for &k in &keys {
+        nitro.process(k, 1.0);
+    }
+    let elapsed = start.elapsed();
+
+    let stats = nitro.stats();
+    println!("processed {packets} packets in {elapsed:?}");
+    println!(
+        "  rate          : {:.1} Mpps (single thread, in-memory)",
+        packets as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "  row updates   : {} ({:.2}% of the vanilla {}),",
+        stats.row_updates,
+        100.0 * stats.row_updates as f64 / (packets * 5) as f64,
+        packets * 5
+    );
+    println!("  heap updates  : {}", stats.heap_updates);
+
+    // Report the 0.5% heavy hitters and their errors.
+    let threshold = 0.005 * truth.l1();
+    let reported = nitro.heavy_hitters(threshold);
+    let true_hh = truth.heavy_hitters(0.005);
+    println!(
+        "\nheavy hitters ≥ 0.5% of traffic: {} true, {} reported",
+        true_hh.len(),
+        reported.len()
+    );
+    println!("{:>20} {:>12} {:>12} {:>9}", "flow key", "true", "estimate", "error");
+    for &(k, t) in true_hh.iter().take(10) {
+        let e = nitro.estimate(k);
+        println!(
+            "{k:>20x} {t:>12.0} {e:>12.0} {:>8.2}%",
+            100.0 * (e - t).abs() / t
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! `nitro` — command-line front end for the NitroSketch reproduction.
+//!
+//! ```text
+//! nitro gen       --workload caida --packets 1000000 --out trace.pcap
+//! nitro run       --workload caida --packets 1000000 --sketch countsketch --p 0.01
+//! nitro monitor   --epochs 3 --epoch-packets 500000 --workload ddos
+//! nitro calibrate
+//! ```
+//!
+//! Arguments are `--key value` pairs; unknown keys are rejected. Every
+//! run is deterministic for a given `--seed` (default 42).
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::sketches::{KarySketch, RowSketch};
+use nitrosketch::switch::cost::CostModel;
+use nitrosketch::switch::faults::FaultInjector;
+use nitrosketch::switch::nic::{NicSim, PacketRecord};
+use nitrosketch::switch::ovs::RunReport;
+use nitrosketch::switch::{Collector, ControlLink, EpochReport};
+use nitrosketch::traffic::{pcap, take_records, UniformFlows};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         nitro gen       --workload <caida|dc|ddos|minsize|uniform> --packets N --out FILE.pcap [--seed S] [--flows F]\n  \
+         nitro run       --workload ... --packets N [--sketch <countsketch|countmin|kary>] [--p P] [--topk K]\n                  [--drop-chance X] [--corrupt-chance X] [--seed S] [--flows F]\n  \
+         nitro monitor   --epochs K --epoch-packets N [--workload ...] [--p P] [--seed S] [--flows F]\n  \
+         nitro calibrate"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--key value` parser.
+struct Args(HashMap<String, String>);
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --key, got {k}"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Self(map))
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.0
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+}
+
+fn workload(name: &str, seed: u64, flows: u64, n: usize) -> Result<Vec<PacketRecord>, String> {
+    Ok(match name {
+        "caida" => take_records(CaidaLike::new(seed, flows.max(1)), n),
+        "dc" => take_records(DatacenterLike::new(seed, flows.max(1)), n),
+        "ddos" => take_records(DdosAttack::new(seed, flows.max(1), 0.5), n),
+        "minsize" => take_records(MinSized::new(seed, flows.max(1), 14.88e6), n),
+        "uniform" => take_records(UniformFlows::new(seed, flows.max(1)), n),
+        other => return Err(format!("unknown workload {other}")),
+    })
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("packets", 100_000)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let flows: u64 = args.get("flows", 100_000)?;
+    let out = args.require("out")?;
+    let records = workload(args.require("workload")?, seed, flows, n)?;
+    let mut file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    pcap::dump_records(&mut file, &records).map_err(|e| e.to_string())?;
+    println!("wrote {n} packets to {out}");
+    Ok(())
+}
+
+fn print_report(report: &RunReport) {
+    println!(
+        "processed {} packets ({} MB) in {:.3} s — {:.2} Mpps / {:.2} Gbps",
+        report.packets,
+        report.bytes / 1_000_000,
+        report.wall_ns as f64 / 1e9,
+        report.mpps(),
+        report.gbps()
+    );
+}
+
+fn run_with_sketch<S: RowSketch>(
+    records: &[PacketRecord],
+    sketch: S,
+    p: f64,
+    topk: usize,
+    faults: Option<FaultInjector>,
+) -> Result<(), String> {
+    let nitro = NitroSketch::new(sketch, Mode::Fixed { p }, 777).with_topk(topk.max(1));
+    let mut dp = OvsDatapath::new(nitro);
+
+    let report = match faults {
+        None => dp.run_trace(records),
+        Some(mut fi) => {
+            // Manual loop so the injector sits between NIC and switch.
+            let mut nic = NicSim::new(records);
+            let mut batch = Vec::new();
+            let mut keys = Vec::new();
+            let start = std::time::Instant::now();
+            let (mut packets, mut bytes) = (0u64, 0u64);
+            while nic.rx_burst(&mut batch) > 0 {
+                fi.apply(&mut batch);
+                packets += batch.len() as u64;
+                bytes += batch.iter().map(|p| p.len() as u64).sum::<u64>();
+                dp.process_batch(&batch, &mut keys);
+            }
+            let r = RunReport {
+                packets,
+                bytes,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            };
+            let fs = fi.stats();
+            println!(
+                "faults: dropped {} corrupted {} shaped {} passed {}",
+                fs.dropped, fs.corrupted, fs.shaped, fs.passed
+            );
+            r
+        }
+    };
+    print_report(&report);
+    let s = dp.stats();
+    println!(
+        "switch: rx {} tx {} drop {} emc-hit {:.1}% upcalls {}",
+        s.rx,
+        s.tx,
+        s.dropped,
+        100.0 * s.emc_hits as f64 / (s.emc_hits + s.emc_misses).max(1) as f64,
+        s.upcalls
+    );
+    let m = dp.measurement();
+    let st = m.stats();
+    println!(
+        "sketch: p {} | sampled {} / {} packets, {} row updates, {} heap ops",
+        m.p(),
+        st.sampled_packets,
+        st.packets,
+        st.row_updates,
+        st.heap_updates
+    );
+    println!("top flows:");
+    for (k, e) in m.heavy_hitters(0.0).iter().take(10) {
+        println!("  {k:>18x}  ~{e:.0} packets");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("packets", 1_000_000)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let flows: u64 = args.get("flows", 100_000)?;
+    let p: f64 = args.get("p", 0.01)?;
+    let topk: usize = args.get("topk", 64)?;
+    let records = workload(args.require("workload")?, seed, flows, n)?;
+
+    let drop: f64 = args.get("drop-chance", 0.0)?;
+    let corrupt: f64 = args.get("corrupt-chance", 0.0)?;
+    let faults = if drop > 0.0 || corrupt > 0.0 {
+        Some(
+            FaultInjector::new(seed ^ 0xFA)
+                .with_drop_chance(drop)
+                .with_corrupt_chance(corrupt),
+        )
+    } else {
+        None
+    };
+
+    let sketch_name: String = args.get("sketch", "countsketch".to_string())?;
+    match sketch_name.as_str() {
+        "countsketch" => run_with_sketch(&records, CountSketch::with_memory(2 << 20, 5, seed), p, topk, faults),
+        "countmin" => run_with_sketch(&records, CountMin::with_memory(200 << 10, 5, seed), p, topk, faults),
+        "kary" => run_with_sketch(&records, KarySketch::with_memory(2 << 20, 10, seed), p, topk, faults),
+        other => Err(format!("unknown sketch {other}")),
+    }
+}
+
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    let epochs: u64 = args.get("epochs", 3)?;
+    let epoch_packets: usize = args.get("epoch-packets", 500_000)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let flows: u64 = args.get("flows", 100_000)?;
+    let p: f64 = args.get("p", 0.01)?;
+    let wname: String = args.get("workload", "caida".to_string())?;
+
+    let mut link = ControlLink::gigabit();
+    let mut collector = Collector::new();
+    let mut nitro = NitroSketch::new(
+        CountSketch::with_memory(2 << 20, 5, seed),
+        Mode::Fixed { p },
+        seed ^ 1,
+    )
+    .with_topk(256);
+
+    for epoch in 0..epochs {
+        let records = workload(&wname, seed + epoch, flows, epoch_packets)?;
+        let mut dp_keys = Vec::new();
+        let mut nic = NicSim::new(&records);
+        let mut batch = Vec::new();
+        while nic.rx_burst(&mut batch) > 0 {
+            dp_keys.clear();
+            for pkt in &batch {
+                if let Ok(t) = nitrosketch::switch::parse_five_tuple(&pkt.data) {
+                    dp_keys.push(t.flow_key());
+                }
+            }
+            nitro.process_batch(&dp_keys, 1.0);
+        }
+        let hh = nitro.heavy_hitters(0.001 * epoch_packets as f64);
+        let report = EpochReport {
+            switch_id: 1,
+            epoch,
+            packets: epoch_packets as u64,
+            heavy_hitters: hh.clone(),
+            entropy_bits: f64::NAN,
+            distinct: f64::NAN,
+            l2: nitro.inner().l2_estimate(),
+            memory_bytes: nitro.memory_bytes() as u64,
+        };
+        let (bytes, ns) = link.send(&report);
+        collector.ingest_bytes(&bytes)?;
+        println!(
+            "epoch {epoch}: {} heavy hitters, report {} B ({} ns on the control link)",
+            hh.len(),
+            bytes.len(),
+            ns
+        );
+        nitro.clear();
+    }
+    let (bytes, reports) = link.totals();
+    println!("\ncontrol link: {reports} reports, {bytes} bytes total");
+    println!("network-wide top flows (controller view):");
+    for (k, e) in collector.network_heavy_hitters().iter().take(10) {
+        println!("  {k:>18x}  ~{e:.0} packets");
+    }
+    Ok(())
+}
+
+fn cmd_calibrate() -> Result<(), String> {
+    let m = CostModel::calibrate();
+    println!("per-operation costs on this machine:");
+    println!("  xxh64(u64)          {:>7.2} ns", m.hash_ns);
+    println!("  counter update      {:>7.2} ns", m.counter_ns);
+    println!("  top-k heap offer    {:>7.2} ns", m.heap_ns);
+    println!("  miniflow extract    {:>7.2} ns", m.parse_ns);
+    println!("  EMC probe           {:>7.2} ns", m.emc_ns);
+    println!("  geometric draw      {:>7.2} ns", m.geo_ns);
+    println!(
+        "  AVX2 batch hashing  {}",
+        if nitrosketch::hash::batch::avx2_available() {
+            "available"
+        } else {
+            "not available (portable lanes in use)"
+        }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "run" => cmd_run(&args),
+        "monitor" => cmd_monitor(&args),
+        "calibrate" => cmd_calibrate(),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # nitrosketch
+//!
+//! A from-scratch Rust reproduction of **NitroSketch: Robust and General
+//! Sketch-based Monitoring in Software Switches** (Liu et al., SIGCOMM
+//! 2019) — the full system, not just the algorithm: the sketch zoo it
+//! wraps, the software-switch pipelines it integrates with, the workloads
+//! it is evaluated on, and the competing systems it is compared against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nitrosketch::prelude::*;
+//!
+//! // A Count Sketch accelerated by NitroSketch at a fixed 1% sampling
+//! // rate, with top-16 heavy-key tracking.
+//! let cs = CountSketch::new(5, 8192, 42);
+//! let mut nitro = NitroSketch::new(cs, Mode::Fixed { p: 0.01 }, 7).with_topk(16);
+//!
+//! // Feed a skewed packet stream (flow 3 sends half the traffic).
+//! for i in 0..200_000u64 {
+//!     let flow = if i % 2 == 0 { 3 } else { i % 1000 };
+//!     nitro.process(flow, 1.0);
+//! }
+//!
+//! // Only ~1% of (packet, row) slots were updated — about 10k row
+//! // updates instead of the vanilla 1M — yet flow 3 is estimated well.
+//! assert!(nitro.stats().row_updates < 12_000);
+//! let est = nitro.estimate(3);
+//! assert!((est - 100_000.0).abs() / 100_000.0 < 0.1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] (`nitro-core`) | the NitroSketch wrapper, modes, theory |
+//! | [`sketches`] | Count-Min, Count Sketch, K-ary, UnivMon, TopK, … |
+//! | [`switch`] | OVS/VPP/BESS-style pipelines, packets, EMC, SPSC ring |
+//! | [`traffic`] | CAIDA/DC/DDoS/min-sized generators, ground truth |
+//! | [`baselines`] | SketchVisor, ElasticSketch, NetFlow/sFlow, R-HHH, … |
+//! | [`hash`] | xxHash, pairwise families, PRNGs, geometric sampling |
+//! | [`metrics`] | relative error, recall, result tables |
+//!
+//! See `DESIGN.md` for the paper-to-module inventory and `EXPERIMENTS.md`
+//! for reproduced-figure results.
+
+#![warn(missing_docs)]
+
+pub use nitro_baselines as baselines;
+pub use nitro_core as core;
+pub use nitro_hash as hash;
+pub use nitro_metrics as metrics;
+pub use nitro_sketches as sketches;
+pub use nitro_switch as switch;
+pub use nitro_traffic as traffic;
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use nitro_core::{Mode, NitroConfig, NitroSketch, NitroUnivMon};
+    pub use nitro_sketches::{
+        ChangeDetector, CountMin, CountSketch, FlowKey, KarySketch, RowSketch, Sketch, TopK,
+        UnivMon,
+    };
+    pub use nitro_switch::{FiveTuple, Measurement, OvsDatapath};
+    pub use nitro_traffic::{CaidaLike, DatacenterLike, DdosAttack, GroundTruth, MinSized};
+}

@@ -1,0 +1,186 @@
+//! Cross-system shape checks: the qualitative relationships the paper's
+//! comparison figures rest on must hold in this reproduction.
+
+use nitrosketch::baselines::{ElasticSketch, NetFlow, SketchVisor, SmallHashTable};
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::metrics::recall;
+use nitrosketch::traffic::keys_of;
+
+/// Shared workload: heavy-tailed CAIDA-like keys.
+fn workload(n: usize, flows: u64, seed: u64) -> (Vec<FlowKey>, GroundTruth) {
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(seed, flows)).take(n).collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+    (keys, truth)
+}
+
+#[test]
+fn netflow_recall_degrades_with_rate_nitro_holds() {
+    // Fig. 15's shape: NetFlow's top-100 recall collapses at the lower
+    // sampling rates on heavy-tailed traffic, while NitroSketch at 0.01
+    // stays high — better than NetFlow at 0.002 and 0.001.
+    let (keys, truth) = workload(1_000_000, 200_000, 51);
+    let true_top: Vec<FlowKey> = truth.top_k(100).iter().map(|&(k, _)| k).collect();
+
+    let netflow_recall = |rate: f64, seed: u64| {
+        let mut nf = NetFlow::new(rate, seed);
+        for (i, &k) in keys.iter().enumerate() {
+            nf.update(k, 64.0, i as u64 * 100);
+        }
+        let reported: Vec<FlowKey> = nf.flows().iter().take(100).map(|&(k, _)| k).collect();
+        recall(&reported, &true_top)
+    };
+    let r_001 = netflow_recall(0.001, 52);
+    let r_002 = netflow_recall(0.002, 53);
+    let r_010 = netflow_recall(0.01, 54);
+    assert!(r_001 < r_002 + 0.02 && r_002 < r_010 + 0.02,
+        "recall not monotone in rate: {r_001} {r_002} {r_010}");
+
+    let mut nitro = NitroSketch::new(CountSketch::new(5, 1 << 16, 55), Mode::Fixed { p: 0.01 }, 56)
+        .with_topk(256);
+    for &k in &keys {
+        nitro.process(k, 1.0);
+    }
+    let reported: Vec<FlowKey> = nitro
+        .heavy_hitters(0.0)
+        .iter()
+        .take(100)
+        .map(|&(k, _)| k)
+        .collect();
+    let r_nitro = recall(&reported, &true_top);
+    assert!(
+        r_nitro > r_002 + 0.05,
+        "nitro recall {r_nitro} vs netflow@0.002 {r_002}"
+    );
+}
+
+#[test]
+fn netflow_and_sflow_memory_scale_nitro_memory_is_fixed() {
+    // Fig. 13(b)'s mechanism: NetFlow's cache grows with the number of
+    // sampled flows and sFlow's collector log with the number of sampled
+    // packets, while the sketch's footprint is fixed at configuration
+    // time regardless of workload.
+    use nitrosketch::baselines::SFlow;
+    let run_nf = |keys: &[FlowKey], seed: u64| {
+        let mut nf = NetFlow::new(0.05, seed ^ 1);
+        for (i, &k) in keys.iter().enumerate() {
+            nf.update(k, 64.0, i as u64 * 100);
+        }
+        nf.memory_bytes()
+    };
+    // Few concurrent flows (skewed) vs millions of flows (port-scan-like).
+    let (small_keys, _) = workload(2_000_000, 10_000, 55);
+    let big_keys: Vec<FlowKey> =
+        keys_of(nitrosketch::traffic::UniformFlows::new(56, 5_000_000))
+            .take(2_000_000)
+            .collect();
+    let nf_small = run_nf(&small_keys, 55);
+    let nf_big = run_nf(&big_keys, 56);
+    assert!(
+        nf_big as f64 > 4.0 * nf_small as f64,
+        "netflow should scale with flows: {nf_small} -> {nf_big}"
+    );
+
+    let run_sf = |packets: usize, seed: u64| {
+        let (keys, _) = workload(packets, 100_000, seed);
+        let mut sf = SFlow::new(0.01, seed ^ 2);
+        for (i, &k) in keys.iter().enumerate() {
+            sf.update(k, 64.0, i as u64 * 100);
+        }
+        sf.memory_bytes()
+    };
+    let sf_short = run_sf(500_000, 57);
+    let sf_long = run_sf(2_000_000, 58);
+    assert!(
+        sf_long as f64 > 3.0 * sf_short as f64,
+        "sflow should scale with packets: {sf_short} -> {sf_long}"
+    );
+
+    // The sketch's memory is workload-independent by construction.
+    let nitro = NitroSketch::new(CountSketch::new(5, 1 << 16, 59), Mode::Fixed { p: 0.01 }, 60);
+    assert_eq!(nitro.memory_bytes(), 5 * (1 << 16) * 8);
+}
+
+#[test]
+fn sketchvisor_error_grows_with_fast_path_share_nitro_does_not() {
+    // Fig. 14: SketchVisor degrades as the fast path absorbs traffic;
+    // NitroSketch's (converged) error is independent of any such split.
+    let (keys, truth) = workload(400_000, 100_000, 61);
+    let top = truth.top_k(20);
+
+    let univmon = || UnivMon::new(12, 5, &[256 << 10, 128 << 10], 512, 62);
+    let err_of = |est: &dyn Fn(FlowKey) -> f64| {
+        nitrosketch::metrics::mean_relative_error(top.iter().map(|&(k, t)| (est(k), t)))
+    };
+
+    let mut sv20 = SketchVisor::with_forced_fast_fraction(64, univmon(), 0.2, 63);
+    let mut sv100 = SketchVisor::with_forced_fast_fraction(64, univmon(), 1.0, 64);
+    let mut nitro =
+        NitroSketch::new(CountSketch::new(5, 1 << 15, 65), Mode::Fixed { p: 0.01 }, 66);
+    for (i, &k) in keys.iter().enumerate() {
+        sv20.update(k, 1.0, i as u64 * 100);
+        sv100.update(k, 1.0, i as u64 * 100);
+        nitro.process(k, 1.0);
+    }
+    let e20 = err_of(&|k| sv20.estimate(k));
+    let e100 = err_of(&|k| sv100.estimate(k));
+    let en = err_of(&|k| nitro.estimate(k));
+    assert!(e100 > e20, "sv error should grow: 20% {e20} vs 100% {e100}");
+    assert!(en < e100, "nitro {en} should beat all-fast-path {e100}");
+}
+
+#[test]
+fn elastic_distinct_fails_where_hll_survives() {
+    // Fig. 3(b): ElasticSketch's linear-counting distinct overflows with
+    // many flows; a same-order-memory HLL (as UnivMon-class solutions use)
+    // does not.
+    use nitrosketch::sketches::HyperLogLog;
+    let keys: Vec<FlowKey> = keys_of(nitrosketch::traffic::UniformFlows::new(67, 3_000_000))
+        .take(1_500_000)
+        .collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+
+    let mut elastic = ElasticSketch::new(1024, 3, 32_768, 68);
+    let mut hll = HyperLogLog::new(14, 69);
+    for &k in &keys {
+        elastic.update(k, 1.0);
+        hll.insert(k);
+    }
+    let d_true = truth.distinct() as f64;
+    let e_err = (elastic.distinct() - d_true).abs() / d_true;
+    let h_err = (hll.estimate() - d_true).abs() / d_true;
+    assert!(e_err > 0.5, "elastic should fail: err {e_err}");
+    assert!(h_err < 0.1, "hll should survive: err {h_err}");
+}
+
+
+
+#[test]
+fn hashtable_fast_when_fitting_lossy_when_not() {
+    // Fig. 3(a)'s robustness half: mass loss appears once flows outgrow
+    // the table.
+    let small = {
+        let (keys, truth) = workload(300_000, 2_000, 71);
+        let mut ht = SmallHashTable::new(16_384, 72);
+        for &k in &keys {
+            ht.update(k, 1.0);
+        }
+        let top = truth.top_k(10);
+        let err = nitrosketch::metrics::mean_relative_error(
+            top.iter().map(|&(k, t)| (ht.estimate(k), t)),
+        );
+        (err, ht.evicted_mass())
+    };
+    assert!(small.0 < 0.01, "small-pop error {}", small.0);
+    assert_eq!(small.1, 0.0);
+
+    let big = {
+        let (keys, _) = workload(300_000, 2_000_000, 73);
+        let mut ht = SmallHashTable::new(16_384, 74);
+        for &k in &keys {
+            ht.update(k, 1.0);
+        }
+        ht.evicted_mass() / ht.total()
+    };
+    assert!(big > 0.3, "big-pop loss only {big}");
+}

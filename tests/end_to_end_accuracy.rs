@@ -1,0 +1,136 @@
+//! End-to-end accuracy: the paper's central claims, asserted across crates.
+//!
+//! - NitroSketch's accuracy converges to the vanilla sketch's once enough
+//!   packets are seen (Figs. 11–12).
+//! - Error shrinks as the epoch grows.
+//! - At `p = 1` the wrapper is exactly the vanilla sketch, all the way
+//!   through the byte-level switch pipeline.
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::sketches::RowSketch;
+use nitrosketch::traffic::{keys_of, take_records};
+
+fn mre_top(
+    truth: &GroundTruth,
+    k: usize,
+    est: impl Fn(FlowKey) -> f64,
+) -> f64 {
+    let top = truth.top_k(k);
+    nitrosketch::metrics::mean_relative_error(top.iter().map(|&(key, t)| (est(key), t)))
+}
+
+#[test]
+fn nitro_matches_vanilla_error_after_convergence() {
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(11, 50_000)).take(1_000_000).collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+
+    let mut vanilla = CountSketch::new(5, 16_384, 3);
+    let mut nitro = NitroSketch::new(CountSketch::new(5, 16_384, 3), Mode::Fixed { p: 0.01 }, 4);
+    for &k in &keys {
+        vanilla.update(k, 1.0);
+        nitro.process(k, 1.0);
+    }
+    let vanilla_err = mre_top(&truth, 30, |k| vanilla.estimate(k));
+    let nitro_err = mre_top(&truth, 30, |k| nitro.estimate(k));
+    assert!(vanilla_err < 0.05, "vanilla err {vanilla_err}");
+    assert!(nitro_err < 0.08, "nitro err {nitro_err}");
+    // And Nitro did ~1% of the counter work.
+    let work = nitro.stats().row_updates as f64 / (keys.len() * 5) as f64;
+    assert!((0.008..0.012).contains(&work), "work fraction {work}");
+}
+
+#[test]
+fn error_shrinks_with_epoch_size() {
+    // The Fig. 11/12 x-axis behaviour: larger epochs → smaller relative
+    // error for the sampled sketch.
+    let mut errs = Vec::new();
+    for &epoch in &[50_000usize, 200_000, 800_000] {
+        let keys: Vec<FlowKey> = keys_of(CaidaLike::new(13, 50_000)).take(epoch).collect();
+        let truth = GroundTruth::from_keys(keys.iter().copied());
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(5, 16_384, 5), Mode::Fixed { p: 0.01 }, 6);
+        for &k in &keys {
+            nitro.process(k, 1.0);
+        }
+        errs.push(mre_top(&truth, 20, |k| nitro.estimate(k)));
+    }
+    assert!(
+        errs[2] < errs[0],
+        "error did not shrink with epoch size: {errs:?}"
+    );
+}
+
+#[test]
+fn p_one_equals_vanilla_through_the_switch() {
+    use nitrosketch::switch::ovs::VanillaMeasurement;
+    let records = take_records(DatacenterLike::new(17, 5_000), 100_000);
+
+    let mut nitro_dp = OvsDatapath::new(NitroSketch::new(
+        CountSketch::new(5, 8192, 7),
+        Mode::Fixed { p: 1.0 },
+        8,
+    ));
+    let mut vanilla_dp = OvsDatapath::new(VanillaMeasurement::new(CountSketch::new(5, 8192, 7)));
+    nitro_dp.run_trace(&records);
+    vanilla_dp.run_trace(&records);
+
+    let truth = GroundTruth::from_records(&records);
+    for &(k, _) in truth.top_k(50).iter() {
+        assert_eq!(
+            nitro_dp.measurement().estimate(k),
+            vanilla_dp.measurement().inner().estimate_robust(k),
+            "key {k} diverged"
+        );
+    }
+}
+
+#[test]
+fn count_min_kary_and_count_sketch_all_benefit() {
+    // Generality (§5 "Supported sketches"): all three sketches stay
+    // accurate under 1% sampling on a heavy-tailed workload.
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(19, 20_000)).take(500_000).collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+
+    let mut cm = NitroSketch::new(CountMin::new(5, 40_000, 9), Mode::Fixed { p: 0.01 }, 10);
+    let mut cs = NitroSketch::new(CountSketch::new(5, 40_000, 9), Mode::Fixed { p: 0.01 }, 10);
+    let mut ka = NitroSketch::new(KarySketch::new(5, 40_000, 9), Mode::Fixed { p: 0.01 }, 10);
+    for &k in &keys {
+        cm.process(k, 1.0);
+        cs.process(k, 1.0);
+        ka.process(k, 1.0);
+    }
+    assert!(mre_top(&truth, 10, |k| cm.estimate(k)) < 0.1, "count-min");
+    assert!(mre_top(&truth, 10, |k| cs.estimate(k)) < 0.1, "count sketch");
+    assert!(mre_top(&truth, 10, |k| ka.estimate(k)) < 0.1, "k-ary");
+}
+
+#[test]
+fn change_detection_through_nitro_kary() {
+    // Two epochs; one flow triples its volume. The Nitro-wrapped K-ary
+    // change detector must rank it first.
+    let epoch1: Vec<FlowKey> = keys_of(CaidaLike::new(23, 10_000)).take(300_000).collect();
+    let truth1 = GroundTruth::from_keys(epoch1.iter().copied());
+    let surge_key = truth1.top_k(20)[19].0; // a mid-size flow
+
+    let mut prev = NitroSketch::new(KarySketch::new(5, 1 << 15, 11), Mode::Fixed { p: 0.05 }, 12);
+    let mut cur = NitroSketch::new(KarySketch::new(5, 1 << 15, 11), Mode::Fixed { p: 0.05 }, 13);
+    for &k in &epoch1 {
+        prev.process(k, 1.0);
+    }
+    for &k in &epoch1 {
+        cur.process(k, 1.0);
+        if k == surge_key {
+            cur.process(k, 1.0);
+            cur.process(k, 1.0); // tripled
+        }
+    }
+    let diff = cur.inner().subtract(prev.inner());
+    let candidates: Vec<FlowKey> = truth1.top_k(100).iter().map(|&(k, _)| k).collect();
+    let mut scored: Vec<(FlowKey, f64)> = candidates
+        .iter()
+        .map(|&k| (k, diff.estimate(k).abs()))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    assert_eq!(scored[0].0, surge_key, "surge not ranked first: {:?}", &scored[..3]);
+}

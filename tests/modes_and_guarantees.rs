@@ -1,0 +1,142 @@
+//! Mode semantics and theoretical guarantees under stress.
+
+use nitrosketch::core::{theory, Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::traffic::keys_of;
+
+#[test]
+fn always_correct_error_bounded_before_and_after_convergence() {
+    // Theorem 5's promise: |f̂ − f| ≤ εL2 with high probability at *any*
+    // point of the stream, including mid-convergence. Probe periodically.
+    let epsilon = 0.1;
+    let mode = Mode::AlwaysCorrect {
+        epsilon,
+        q: 500,
+        p_after: 0.02,
+    };
+    let width = theory::width_always_correct(epsilon, 0.02);
+    let mut nitro = NitroSketch::new(CountSketch::new(7, width, 81), mode, 82);
+
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(83, 30_000)).take(600_000).collect();
+    let mut truth = GroundTruth::new();
+    let mut violations = 0usize;
+    let mut probes = 0usize;
+    for (i, &k) in keys.iter().enumerate() {
+        nitro.process(k, 1.0);
+        truth.push(k);
+        if (i + 1) % 50_000 == 0 {
+            let l2 = truth.l2();
+            for &(key, t) in truth.top_k(10).iter() {
+                probes += 1;
+                if (nitro.estimate(key) - t).abs() > epsilon * l2 {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    assert!(probes >= 100);
+    assert!(
+        (violations as f64) < 0.05 * probes as f64,
+        "{violations}/{probes} εL2 violations"
+    );
+    assert!(nitro.converged(), "should have converged over 600k packets");
+}
+
+#[test]
+fn line_rate_mode_bounds_work_per_unit_time() {
+    // Alg. 1's AlwaysLineRate promise: "performs on average the same
+    // number of operations within a time unit regardless of the packet
+    // rate". Run two rates; compare row updates per simulated second.
+    let budget = 1_000_000.0;
+    let run = |pps: f64, n: u64| {
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 1 << 15, 84),
+            Mode::AlwaysLineRate {
+                ops_budget: budget,
+                epoch_ns: 10_000_000,
+            },
+            85,
+        );
+        let gap = (1e9 / pps) as u64;
+        for i in 0..n {
+            nitro.process_ts(i % 1000, 1.0, i * gap);
+        }
+        let secs = (n * gap) as f64 / 1e9;
+        nitro.stats().row_updates as f64 / secs
+    };
+    // Skip each run's first (p=1) warm-up epoch by running long.
+    let ops_slow = run(2e6, 2_000_000);
+    let ops_fast = run(20e6, 20_000_000);
+    // Both should be within ~3x of the budget (warm-up inflates a little),
+    // and crucially within ~4x of each other despite a 10x rate gap.
+    assert!(ops_slow < 4.0 * budget, "slow {ops_slow}");
+    assert!(ops_fast < 4.0 * budget, "fast {ops_fast}");
+    let ratio = ops_fast / ops_slow;
+    assert!(ratio < 4.0, "ops scaled with rate: ratio {ratio}");
+}
+
+#[test]
+fn fixed_mode_weighted_updates_stay_unbiased() {
+    // Byte counting: weights = frame sizes. The scaled estimates must
+    // track true byte volumes.
+    let mut nitro =
+        NitroSketch::new(CountSketch::new(5, 1 << 14, 86), Mode::Fixed { p: 0.05 }, 87);
+    let mut truth = 0.0;
+    for i in 0..200_000u64 {
+        let bytes = if i % 3 == 0 { 1500.0 } else { 64.0 };
+        if i % 2 == 0 {
+            nitro.process(42, bytes);
+            truth += bytes;
+        } else {
+            nitro.process(i % 500, bytes);
+        }
+    }
+    let est = nitro.estimate(42);
+    assert!(
+        (est - truth).abs() / truth < 0.1,
+        "byte estimate {est} vs {truth}"
+    );
+}
+
+#[test]
+fn theory_sizing_delivers_target_error() {
+    // Dimension by NitroConfig for (ε=5%, δ=1%) at p=0.01 and verify the
+    // measured error on big flows is far below εL2 (the bound is loose).
+    let cfg = nitrosketch::core::NitroConfig {
+        epsilon: 0.05,
+        delta: 0.01,
+        mode: Mode::Fixed { p: 0.01 },
+        seed: 88,
+        topk: 0,
+    };
+    let mut nitro = cfg.build_count_sketch();
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(89, 50_000)).take(400_000).collect();
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+    for &k in &keys {
+        nitro.process(k, 1.0);
+    }
+    let bound = 0.05 * truth.l2();
+    for &(k, t) in truth.top_k(20).iter() {
+        let err = (nitro.estimate(k) - t).abs();
+        assert!(err <= bound, "key {k}: err {err} > εL2 {bound}");
+    }
+}
+
+#[test]
+fn clear_supports_epoch_rotation() {
+    let mut nitro = NitroSketch::new(CountSketch::new(5, 4096, 90), Mode::Fixed { p: 0.1 }, 91)
+        .with_topk(16);
+    for round in 0..3 {
+        for i in 0..50_000u64 {
+            nitro.process(i % 100 + round * 1000, 1.0);
+        }
+        let est = nitro.estimate(round * 1000 + 5);
+        assert!(
+            (est - 500.0).abs() / 500.0 < 0.3,
+            "round {round}: {est}"
+        );
+        // Old epoch's flows are gone after clear.
+        nitro.clear();
+        assert_eq!(nitro.estimate(round * 1000 + 5), 0.0);
+    }
+}

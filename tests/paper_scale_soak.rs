@@ -1,0 +1,93 @@
+//! Paper-scale soak tests — `#[ignore]`d by default; run with
+//! `cargo test --release -- --ignored` (tens of seconds each).
+//!
+//! These push the structures through epoch sizes near the paper's actual
+//! evaluation range and assert the converged-error claims at full scale.
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::traffic::keys_of;
+
+#[test]
+#[ignore = "paper-scale: ~64M packets, run with --ignored"]
+fn nitro_error_converges_at_64m_packets() {
+    // Fig. 12(a)'s 64M-epoch point: Nitro p=0.01 at 2MB must be within a
+    // couple of percent on the top-50 flows.
+    let mut nitro = NitroSketch::new(
+        CountSketch::with_memory(2 << 20, 5, 7),
+        Mode::Fixed { p: 0.01 },
+        8,
+    );
+    let mut truth = GroundTruth::new();
+    for k in keys_of(CaidaLike::new(42, 1_000_000)).take(64_000_000) {
+        nitro.process(k, 1.0);
+        truth.push(k);
+    }
+    let err = nitrosketch::metrics::mean_relative_error(
+        truth.top_k(50).iter().map(|&(k, t)| (nitro.estimate(k), t)),
+    );
+    assert!(err < 0.02, "top-50 MRE at 64M packets: {err}");
+}
+
+#[test]
+#[ignore = "paper-scale: ~30M packets through the full pipeline"]
+fn pipeline_soak_with_adaptive_mode() {
+    use nitrosketch::switch::ovs::OvsDatapath;
+    use nitrosketch::traffic::take_records;
+    let records = take_records(CaidaLike::new(17, 500_000).with_rate(20e6), 30_000_000);
+    let nitro = NitroSketch::new(
+        CountSketch::with_memory(2 << 20, 5, 9),
+        Mode::AlwaysLineRate {
+            ops_budget: 5_000_000.0,
+            epoch_ns: 100_000_000,
+        },
+        10,
+    )
+    .with_topk(256);
+    let mut dp = OvsDatapath::new(nitro);
+    let report = dp.run_trace(&records);
+    assert_eq!(report.packets, 30_000_000);
+    // The controller adapted below 1 under 20 Mpps of trace-time load.
+    assert!(dp.measurement().p() < 1.0, "p = {}", dp.measurement().p());
+    // Heavy hitters survive a long adaptive run.
+    let truth = GroundTruth::from_records(&records[..4_000_000]);
+    let top = truth.top_k(1)[0].0;
+    assert!(dp.measurement().estimate(top) > 0.0);
+}
+
+#[test]
+#[ignore = "paper-scale: AlwaysCorrect over 20M packets with periodic probes"]
+fn always_correct_guarantee_holds_over_20m_packets() {
+    let epsilon = 0.05;
+    let width = nitrosketch::core::theory::width_always_correct(epsilon, 0.01);
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(7, width, 31),
+        Mode::AlwaysCorrect {
+            epsilon,
+            q: 1000,
+            p_after: 0.01,
+        },
+        32,
+    );
+    let mut truth = GroundTruth::new();
+    let mut violations = 0usize;
+    let mut probes = 0usize;
+    for (i, k) in keys_of(CaidaLike::new(83, 300_000)).take(20_000_000).enumerate() {
+        nitro.process(k, 1.0);
+        truth.push(k);
+        if (i + 1) % 2_000_000 == 0 {
+            let bound = epsilon * truth.l2();
+            for &(key, t) in truth.top_k(20).iter() {
+                probes += 1;
+                if (nitro.estimate(key) - t).abs() > bound {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    assert!(nitro.converged());
+    assert!(
+        (violations as f64) < 0.02 * probes as f64,
+        "{violations}/{probes} εL2 violations"
+    );
+}
