@@ -9,8 +9,8 @@
 //! plus a one-flow-per-counter reading of the light part, which fails the
 //! same way.
 
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 use nitro_sketches::entropy::entropy_bits;
 use nitro_sketches::{CountMin, FlowKey, Sketch};
 

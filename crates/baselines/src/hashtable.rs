@@ -9,8 +9,8 @@
 //! Fig. 3a throughput collapse at large flow counts comes for free from
 //! real cache behaviour: the table stops fitting in LLC.
 
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 use nitro_sketches::FlowKey;
 
 /// Linear-probe window.
@@ -146,7 +146,9 @@ mod tests {
     #[test]
     fn accurate_on_skewed_dc_traffic() {
         let mut ht = SmallHashTable::new(16_384, 2);
-        let keys: Vec<u64> = keys_of(DatacenterLike::new(3, 10_000)).take(200_000).collect();
+        let keys: Vec<u64> = keys_of(DatacenterLike::new(3, 10_000))
+            .take(200_000)
+            .collect();
         let truth = GroundTruth::from_keys(keys.iter().copied());
         for &k in &keys {
             ht.update(k, 1.0);
@@ -160,7 +162,9 @@ mod tests {
     #[test]
     fn loses_mass_on_heavy_tailed_traffic() {
         let mut ht = SmallHashTable::new(1024, 4);
-        let keys: Vec<u64> = keys_of(CaidaLike::new(5, 1_000_000)).take(300_000).collect();
+        let keys: Vec<u64> = keys_of(CaidaLike::new(5, 1_000_000))
+            .take(300_000)
+            .collect();
         for &k in &keys {
             ht.update(k, 1.0);
         }
@@ -171,7 +175,7 @@ mod tests {
     #[test]
     fn eviction_prefers_weakest() {
         let mut ht = SmallHashTable::new(PROBE_LIMIT, 6); // one window
-        // Fill the window with ascending counts.
+                                                          // Fill the window with ascending counts.
         for f in 0..PROBE_LIMIT as u64 {
             for _ in 0..=f {
                 ht.update(f, 1.0);

@@ -156,7 +156,10 @@ mod tests {
             .map(|(p, _)| p.to_string())
             .collect();
         for want in ["10.1.2.3/32", "10.1.2.0/24", "10.1.0.0/16", "10.0.0.0/8"] {
-            assert!(found.iter().any(|f| f == want), "missing {want} in {found:?}");
+            assert!(
+                found.iter().any(|f| f == want),
+                "missing {want} in {found:?}"
+            );
         }
     }
 }

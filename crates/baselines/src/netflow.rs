@@ -147,10 +147,7 @@ impl NetFlow {
         for r in &self.exported {
             *agg.entry(r.key).or_insert(0.0) += r.packets;
         }
-        let mut v: Vec<(FlowKey, f64)> = agg
-            .into_iter()
-            .map(|(k, c)| (k, c / self.rate))
-            .collect();
+        let mut v: Vec<(FlowKey, f64)> = agg.into_iter().map(|(k, c)| (k, c / self.rate)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }

@@ -122,8 +122,7 @@ impl SketchVisor {
 
     /// Merged heavy hitters above an absolute `threshold`.
     pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
-        let mut keys: std::collections::HashSet<FlowKey> =
-            self.normal.candidates().collect();
+        let mut keys: std::collections::HashSet<FlowKey> = self.normal.candidates().collect();
         keys.extend(self.fast.entries().iter().map(|&(k, _)| k));
         let mut out: Vec<(FlowKey, f64)> = keys
             .into_iter()
@@ -197,8 +196,7 @@ mod tests {
         let truth = GroundTruth::from_keys(keys.iter().copied());
         let top = truth.top_k(20);
         let err_at = |frac: f64| {
-            let mut sv =
-                SketchVisor::with_forced_fast_fraction(64, small_univmon(8), frac, 9);
+            let mut sv = SketchVisor::with_forced_fast_fraction(64, small_univmon(8), frac, 9);
             for (i, &k) in keys.iter().enumerate() {
                 sv.update(k, 1.0, i as u64 * 100);
             }

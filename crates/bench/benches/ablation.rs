@@ -11,8 +11,8 @@
 //! 3. **Per-row coin flips** (Idea A without Idea B): quantifies the
 //!    geometric-skip saving in isolation.
 
-use nitro_bench::{mpps_of, scaled, BernoulliRowSampling};
 use nitro_baselines::{OneArrayCountSketch, UniformSamplingSketch};
+use nitro_bench::{mpps_of, scaled, BernoulliRowSampling};
 use nitro_core::{Mode, NitroSketch};
 use nitro_metrics::Table;
 use nitro_sketches::{CountSketch, FlowKey, Sketch};
@@ -20,7 +20,9 @@ use nitro_traffic::{keys_of, CaidaLike, GroundTruth, MinSized};
 
 fn main() {
     let n = scaled(2_000_000);
-    let stress: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6)).take(n).collect();
+    let stress: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6))
+        .take(n)
+        .collect();
 
     // --- 1. one-array vs multi-row at guarantee-equivalent sizes ---------
     // A tight target (ε=1%, δ=0.1%) makes the δ⁻¹ memory factor bite: the
@@ -35,7 +37,11 @@ fn main() {
         let mut one = OneArrayCountSketch::with_error(0.01, 0.001, 7);
         let mem = one.memory_bytes() as f64 / 1e6;
         let mpps = mpps_of(&stress, |k| one.update(k, 1.0));
-        table.row(&["one-array (1 hash/pkt)".into(), format!("{mem:.2}"), format!("{mpps:.2}")]);
+        table.row(&[
+            "one-array (1 hash/pkt)".into(),
+            format!("{mem:.2}"),
+            format!("{mpps:.2}"),
+        ]);
     }
     {
         let mut multi = CountSketch::with_error(0.01, 0.001, 7);
@@ -83,9 +89,8 @@ fn main() {
         for &k in &accuracy_keys {
             uni2.update(k, 1.0);
         }
-        let err = nitro_metrics::mean_relative_error(
-            top.iter().map(|&(k, t)| (uni2.estimate(k), t)),
-        );
+        let err =
+            nitro_metrics::mean_relative_error(top.iter().map(|&(k, t)| (uni2.estimate(k), t)));
         table.row(&[
             "uniform packet sampling (coin/pkt)".into(),
             format!("{mpps:.2}"),
@@ -93,18 +98,21 @@ fn main() {
         ]);
     }
     {
-        let mut nitro = NitroSketch::new(CountSketch::new(5, 102_400, 9), Mode::Fixed { p: 0.01 }, 11);
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(5, 102_400, 9), Mode::Fixed { p: 0.01 }, 11);
         let mpps = mpps_of(&stress, |k| {
             nitro.process(k, 1.0);
         });
-        let mut nitro2 =
-            NitroSketch::new(CountSketch::new(5, 102_400, 10), Mode::Fixed { p: 0.01 }, 12);
+        let mut nitro2 = NitroSketch::new(
+            CountSketch::new(5, 102_400, 10),
+            Mode::Fixed { p: 0.01 },
+            12,
+        );
         for &k in &accuracy_keys {
             nitro2.process(k, 1.0);
         }
-        let err = nitro_metrics::mean_relative_error(
-            top.iter().map(|&(k, t)| (nitro2.estimate(k), t)),
-        );
+        let err =
+            nitro_metrics::mean_relative_error(top.iter().map(|&(k, t)| (nitro2.estimate(k), t)));
         table.row(&[
             "nitro row sampling (geometric)".into(),
             format!("{mpps:.2}"),
@@ -124,8 +132,11 @@ fn main() {
         table.row(&["per-row coin flips".into(), format!("{mpps:.2}")]);
     }
     {
-        let mut nitro =
-            NitroSketch::new(CountSketch::new(5, 102_400, 13), Mode::Fixed { p: 0.01 }, 15);
+        let mut nitro = NitroSketch::new(
+            CountSketch::new(5, 102_400, 13),
+            Mode::Fixed { p: 0.01 },
+            15,
+        );
         let mpps = mpps_of(&stress, |k| {
             nitro.process(k, 1.0);
         });

@@ -20,7 +20,10 @@ use std::time::Instant;
 
 const P: f64 = 0.01;
 
-fn aio_measure_share<M: Measurement>(records: &[nitro_switch::nic::PacketRecord], m: M) -> (f64, f64) {
+fn aio_measure_share<M: Measurement>(
+    records: &[nitro_switch::nic::PacketRecord],
+    m: M,
+) -> (f64, f64) {
     let mut dp = OvsDatapath::new(m);
     let report = dp.run_trace(records);
     let cost = dp.cost();
@@ -38,7 +41,13 @@ fn main() {
     // --- Fig 10(a): AIO CPU share of measurement -------------------------
     let mut table = Table::new(
         "Figure 10a: AIO — measurement share of the switching core",
-        &["sketch", "vanilla share %", "vanilla mpps", "nitro share %", "nitro mpps"],
+        &[
+            "sketch",
+            "vanilla share %",
+            "vanilla mpps",
+            "nitro share %",
+            "nitro mpps",
+        ],
     );
     #[allow(clippy::type_complexity)]
     let rows: Vec<(&str, (f64, f64), (f64, f64))> = vec![
@@ -50,8 +59,12 @@ fn main() {
             ),
             aio_measure_share(
                 &records,
-                NitroSketch::new(CountMin::with_memory(200 << 10, 5, 7), Mode::Fixed { p: P }, 8)
-                    .with_topk(100),
+                NitroSketch::new(
+                    CountMin::with_memory(200 << 10, 5, 7),
+                    Mode::Fixed { p: P },
+                    8,
+                )
+                .with_topk(100),
             ),
         ),
         (
@@ -62,8 +75,12 @@ fn main() {
             ),
             aio_measure_share(
                 &records,
-                NitroSketch::new(CountSketch::with_memory(2 << 20, 5, 7), Mode::Fixed { p: P }, 8)
-                    .with_topk(100),
+                NitroSketch::new(
+                    CountSketch::with_memory(2 << 20, 5, 7),
+                    Mode::Fixed { p: P },
+                    8,
+                )
+                .with_topk(100),
             ),
         ),
         (
@@ -74,8 +91,12 @@ fn main() {
             ),
             aio_measure_share(
                 &records,
-                NitroSketch::new(KarySketch::with_memory(2 << 20, 10, 7), Mode::Fixed { p: P }, 8)
-                    .with_topk(100),
+                NitroSketch::new(
+                    KarySketch::with_memory(2 << 20, 10, 7),
+                    Mode::Fixed { p: P },
+                    8,
+                )
+                .with_topk(100),
             ),
         ),
     ];
@@ -114,7 +135,7 @@ fn main() {
             tap.offer(k, i as u64 * 100);
         }
         let produce_mpps = keys.len() as f64 / t.elapsed().as_secs_f64() / 1e6;
-        d.finish();
+        d.finish().expect("daemon exited cleanly");
         let busy = (100.0 * produce_mpps / solo_mpps).min(100.0);
         table.row(&[
             name.into(),
@@ -130,13 +151,25 @@ fn main() {
     );
     let keys: Vec<u64> = records.iter().map(|r| r.tuple.flow_key()).collect();
     separate_thread_row(&mut table, "Count-Min", &keys, || {
-        NitroSketch::new(CountMin::with_memory(200 << 10, 5, 7), Mode::Fixed { p: P }, 9)
+        NitroSketch::new(
+            CountMin::with_memory(200 << 10, 5, 7),
+            Mode::Fixed { p: P },
+            9,
+        )
     });
     separate_thread_row(&mut table, "Count Sketch", &keys, || {
-        NitroSketch::new(CountSketch::with_memory(2 << 20, 5, 7), Mode::Fixed { p: P }, 9)
+        NitroSketch::new(
+            CountSketch::with_memory(2 << 20, 5, 7),
+            Mode::Fixed { p: P },
+            9,
+        )
     });
     separate_thread_row(&mut table, "K-ary", &keys, || {
-        NitroSketch::new(KarySketch::with_memory(2 << 20, 10, 7), Mode::Fixed { p: P }, 9)
+        NitroSketch::new(
+            KarySketch::with_memory(2 << 20, 10, 7),
+            Mode::Fixed { p: P },
+            9,
+        )
     });
     println!("{table}");
     println!(

@@ -29,7 +29,9 @@ fn univmon_errors(epoch: usize, scale_mem: f64, p: Option<f64>, seed: u64) -> Er
     // by sampling noise and no flow crosses the change threshold; inject
     // genuine surges (20 mid-rank flows triple their volume in epoch 2),
     // which is also how change-detection workloads are usually seeded.
-    let all: Vec<FlowKey> = keys_of(CaidaLike::new(seed, 200_000)).take(2 * epoch).collect();
+    let all: Vec<FlowKey> = keys_of(CaidaLike::new(seed, 200_000))
+        .take(2 * epoch)
+        .collect();
     let (e1, tail) = all.split_at(epoch);
     let t1 = GroundTruth::from_keys(e1.iter().copied());
     let mut e2: Vec<FlowKey> = tail.to_vec();
@@ -139,13 +141,7 @@ fn main() {
     for (panel, mem_scale) in [("a: 8MB-class", 0.25f64), ("b: 2MB-class", 0.0625)] {
         let mut table = Table::new(
             &format!("Figure 11{panel}: UnivMon error (%) vs epoch size"),
-            &[
-                "epoch",
-                "task",
-                "vanilla",
-                "nitro p=0.1",
-                "nitro p=0.01",
-            ],
+            &["epoch", "task", "vanilla", "nitro p=0.1", "nitro p=0.01"],
         );
         for &epoch in &epochs {
             let v = univmon_errors(epoch, mem_scale, None, 42);

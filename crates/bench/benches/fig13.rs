@@ -7,8 +7,8 @@
 //! (b) reproduces the memory bars: NetFlow/sFlow at sampling rate 0.01 over
 //! a polling interval vs NitroSketch-UnivMon's fixed structure.
 
-use nitro_bench::scaled;
 use nitro_baselines::{NetFlow, SFlow, SketchVisor};
+use nitro_bench::scaled;
 use nitro_core::univ::nitro_univmon;
 use nitro_core::{Mode, NitroSketch};
 use nitro_metrics::Table;
@@ -68,7 +68,10 @@ fn main() {
     let interval = scaled(20_000_000);
     let mut nf = NetFlow::new(0.01, 11);
     let mut sf = SFlow::new(0.01, 12);
-    for (i, k) in keys_of(CaidaLike::new(14, 2_000_000)).take(interval).enumerate() {
+    for (i, k) in keys_of(CaidaLike::new(14, 2_000_000))
+        .take(interval)
+        .enumerate()
+    {
         nf.update(k, 714.0, i as u64 * 100);
         sf.update(k, 714.0, i as u64 * 100);
     }

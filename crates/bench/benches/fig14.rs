@@ -7,8 +7,8 @@
 //! inaccurate on CAIDA/DDoS (heavy-tailed) and acceptable on the skewed
 //! datacenter trace; NitroSketch is accurate on all three.
 
-use nitro_bench::{mre_top, scaled};
 use nitro_baselines::SketchVisor;
+use nitro_bench::{mre_top, scaled};
 use nitro_core::{Mode, NitroSketch};
 use nitro_metrics::Table;
 use nitro_sketches::{CountSketch, FlowKey, UnivMon};

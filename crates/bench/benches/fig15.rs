@@ -6,8 +6,8 @@
 //! on the heavy-tailed CAIDA/DDoS traces and relatively good on the skewed
 //! datacenter trace; NitroSketch's recall is high everywhere.
 
-use nitro_bench::{recall_top, scaled};
 use nitro_baselines::NetFlow;
+use nitro_bench::{recall_top, scaled};
 use nitro_core::{Mode, NitroSketch};
 use nitro_metrics::Table;
 use nitro_sketches::{CountSketch, FlowKey};
@@ -19,7 +19,13 @@ const TOP: usize = 100;
 fn run_trace(name: &str, keys_by_epoch: &[Vec<FlowKey>]) {
     let mut table = Table::new(
         &format!("Figure 15 ({name}): top-{TOP} HH recall (%)"),
-        &["epoch", "netflow .001", "netflow .002", "netflow .01", "nitro .01"],
+        &[
+            "epoch",
+            "netflow .001",
+            "netflow .002",
+            "netflow .01",
+            "nitro .01",
+        ],
     );
     for keys in keys_by_epoch {
         let truth = GroundTruth::from_keys(keys.iter().copied());
@@ -28,8 +34,7 @@ fn run_trace(name: &str, keys_by_epoch: &[Vec<FlowKey>]) {
             for (i, &k) in keys.iter().enumerate() {
                 nf.update(k, 64.0, i as u64 * 100);
             }
-            let reported: Vec<FlowKey> =
-                nf.flows().iter().take(TOP).map(|&(k, _)| k).collect();
+            let reported: Vec<FlowKey> = nf.flows().iter().take(TOP).map(|&(k, _)| k).collect();
             recall_top(&truth, TOP, &reported)
         };
         let nitro_recall = {

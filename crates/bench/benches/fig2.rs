@@ -59,7 +59,11 @@ fn main() {
 
     // OVS datapath, no measurement.
     let (r, _) = ovs_run(&records, NullMeasurement);
-    table.row(&["OVS-DPDK".into(), format!("{:.2}", r.mpps()), line(r.mpps())]);
+    table.row(&[
+        "OVS-DPDK".into(),
+        format!("{:.2}", r.mpps()),
+        line(r.mpps()),
+    ]);
 
     // Unmodified sketches inline, per the paper's configurations.
     let (r, _) = ovs_run(

@@ -21,7 +21,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 3a: throughput vs #flows (Mpps, 1-core OVS-style datapath)",
-        &["flows", "hashtable", "univmon(5%)", "countmin(1%)", "kary(5%)"],
+        &[
+            "flows",
+            "hashtable",
+            "univmon(5%)",
+            "countmin(1%)",
+            "kary(5%)",
+        ],
     );
 
     for &flows in flow_counts {
@@ -44,13 +50,7 @@ fn main() {
         };
 
         let um_mpps = {
-            let um = nitro_sketches::UnivMon::new(
-                14,
-                5,
-                &[1 << 20, 512 << 10, 256 << 10],
-                1000,
-                7,
-            );
+            let um = nitro_sketches::UnivMon::new(14, 5, &[1 << 20, 512 << 10, 256 << 10], 1000, 7);
             let (r, _) = ovs_run(&records, um);
             r.mpps()
         };

@@ -6,8 +6,8 @@
 //! count on a malware-trace-like workload (uniform flows, as a scan
 //! produces) and report both relative errors.
 
-use nitro_bench::{scale, scaled};
 use nitro_baselines::ElasticSketch;
+use nitro_bench::{scale, scaled};
 use nitro_metrics::Table;
 use nitro_traffic::{keys_of, GroundTruth, UniformFlows};
 
@@ -19,7 +19,12 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 3b: ElasticSketch (2.7MB) relative error vs #flows",
-        &["flows (population)", "distinct seen", "entropy err %", "distinct err %"],
+        &[
+            "flows (population)",
+            "distinct seen",
+            "entropy err %",
+            "distinct err %",
+        ],
     );
 
     for &flows in flow_counts {

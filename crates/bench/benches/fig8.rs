@@ -52,7 +52,10 @@ fn main() {
     let workloads: Vec<(&str, Vec<PacketRecord>)> = vec![
         ("caida", take_records(CaidaLike::new(5, 200_000), n)),
         ("64B", take_records(MinSized::new(5, 100_000, 59.53e6), n)),
-        ("datacenter", take_records(DatacenterLike::new(5, 10_000), n)),
+        (
+            "datacenter",
+            take_records(DatacenterLike::new(5, 10_000), n),
+        ),
     ];
 
     for (wname, records) in &workloads {
@@ -70,7 +73,11 @@ fn main() {
                 ),
                 (
                     "Count-Min",
-                    run_platform(platform, records, vanilla(CountMin::with_memory(200 << 10, 5, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        vanilla(CountMin::with_memory(200 << 10, 5, 7)),
+                    ),
                     run_platform(
                         platform,
                         records,
@@ -84,7 +91,11 @@ fn main() {
                 ),
                 (
                     "Count Sketch",
-                    run_platform(platform, records, vanilla(CountSketch::with_memory(2 << 20, 5, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        vanilla(CountSketch::with_memory(2 << 20, 5, 7)),
+                    ),
                     run_platform(
                         platform,
                         records,
@@ -98,7 +109,11 @@ fn main() {
                 ),
                 (
                     "K-ary",
-                    run_platform(platform, records, vanilla(KarySketch::with_memory(2 << 20, 10, 7))),
+                    run_platform(
+                        platform,
+                        records,
+                        vanilla(KarySketch::with_memory(2 << 20, 10, 7)),
+                    ),
                     run_platform(
                         platform,
                         records,

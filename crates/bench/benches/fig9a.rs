@@ -14,7 +14,9 @@ use nitro_traffic::{keys_of, MinSized};
 
 fn main() {
     let n = scaled(2_000_000);
-    let keys: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6)).take(n).collect();
+    let keys: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6))
+        .take(n)
+        .collect();
 
     let mut table = Table::new(
         "Figure 9a: throughput vs memory (Theorem-2 sizing, in-memory)",

@@ -29,7 +29,9 @@ fn sketch(seed: u64) -> CountSketch {
 
 fn main() {
     let n = scaled(2_000_000);
-    let keys: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6)).take(n).collect();
+    let keys: Vec<FlowKey> = keys_of(MinSized::new(2, 100_000, 59.53e6))
+        .take(n)
+        .collect();
 
     let mut table = Table::new(
         "Figure 9b: speedup breakdown (in-memory, Count Sketch core)",
@@ -69,16 +71,14 @@ fn main() {
     push(&mut table, "+ counter-array sampling (coin flips)", mpps);
 
     // 3. + geometric skips (Idea B) with heap on sampled packets.
-    let mut nitro =
-        NitroSketch::new(sketch(7), Mode::Fixed { p: P }, 10).with_topk(1000);
+    let mut nitro = NitroSketch::new(sketch(7), Mode::Fixed { p: P }, 10).with_topk(1000);
     let mpps = mpps_of(&keys, |k| {
         nitro.process(k, 1.0);
     });
     push(&mut table, "+ batched geometric + reduced heap", mpps);
 
     // 4. + buffered batch processing (Idea D).
-    let mut nitro2 =
-        NitroSketch::new(sketch(7), Mode::Fixed { p: P }, 10).with_topk(1000);
+    let mut nitro2 = NitroSketch::new(sketch(7), Mode::Fixed { p: P }, 10).with_topk(1000);
     let start = Instant::now();
     for chunk in keys.chunks(32) {
         nitro2.process_batch(chunk, 1.0);

@@ -31,7 +31,9 @@ fn bench_hashes(c: &mut Criterion) {
 
     g.throughput(Throughput::Elements(LANES as u64));
     let keys = [key; LANES];
-    g.bench_function("xxh64_lanes_x8", |b| b.iter(|| xxh64_u64_lanes(black_box(&keys), 7)));
+    g.bench_function("xxh64_lanes_x8", |b| {
+        b.iter(|| xxh64_u64_lanes(black_box(&keys), 7))
+    });
     g.finish();
 }
 

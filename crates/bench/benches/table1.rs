@@ -6,8 +6,8 @@
 //! column on our OVS-style datapath with min-sized stress traffic and
 //! restate the robustness/generality verdicts, which are design facts.
 
-use nitro_bench::{ovs_run, scaled};
 use nitro_baselines::{Rhhh, SketchVisor, SmallHashTable};
+use nitro_bench::{ovs_run, scaled};
 use nitro_core::{Mode, NitroSketch};
 use nitro_metrics::Table;
 use nitro_sketches::{CountSketch, FlowKey, UnivMon};
@@ -50,12 +50,23 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1 (measured): existing solutions on the OVS-style datapath",
-        &["solution", "category", "ovs packet rate", "robust?", "general?"],
+        &[
+            "solution",
+            "category",
+            "ovs packet rate",
+            "robust?",
+            "general?",
+        ],
     );
 
     let (r, _) = ovs_run(
         &records,
-        SvMeas(SketchVisor::with_forced_fast_fraction(900, univmon(), 1.0, 8)),
+        SvMeas(SketchVisor::with_forced_fast_fraction(
+            900,
+            univmon(),
+            1.0,
+            8,
+        )),
     );
     table.row(&[
         "SketchVisor (fast path)".into(),
@@ -74,7 +85,10 @@ fn main() {
         "no (HHH only)".into(),
     ]);
 
-    let (r, _) = ovs_run(&records, ElasticMeas(nitro_baselines::ElasticSketch::paper_2_7mb(10)));
+    let (r, _) = ovs_run(
+        &records,
+        ElasticMeas(nitro_baselines::ElasticSketch::paper_2_7mb(10)),
+    );
     table.row(&[
         "ElasticSketch".into(),
         "sketch".into(),
@@ -94,8 +108,12 @@ fn main() {
 
     let (r, _) = ovs_run(
         &records,
-        NitroSketch::new(CountSketch::with_memory(2 << 20, 5, 12), Mode::Fixed { p: 0.01 }, 13)
-            .with_topk(100),
+        NitroSketch::new(
+            CountSketch::with_memory(2 << 20, 5, 12),
+            Mode::Fixed { p: 0.01 },
+            13,
+        )
+        .with_topk(100),
     );
     table.row(&[
         "NitroSketch (this work)".into(),

@@ -48,7 +48,10 @@ fn main() {
     let pkts = keys.len() as f64;
     let mut modeled = CostReport::new();
     modeled.add(Stage::SketchHash, pkts * d * levels_avg * model.hash_ns);
-    modeled.add(Stage::SketchCounter, pkts * d * levels_avg * model.counter_ns);
+    modeled.add(
+        Stage::SketchCounter,
+        pkts * d * levels_avg * model.counter_ns,
+    );
     // Heap work: one estimate (d hashes again) + offer per packet/level.
     modeled.add(
         Stage::SketchHeap,

@@ -117,7 +117,10 @@ mod tests {
         };
         let n = c.build_count_sketch();
         assert_eq!(n.inner().depth(), 7); // ⌈log₂ 100⌉ = 7
-        assert_eq!(n.inner().width(), theory::width_always_line_rate(0.05, 0.01));
+        assert_eq!(
+            n.inner().width(),
+            theory::width_always_line_rate(0.05, 0.01)
+        );
     }
 
     #[test]

@@ -38,10 +38,7 @@ impl L2Growth {
         }
         samples.sort_by_key(|&(n, _)| n);
         for w in samples.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1,
-                "prefix L2 must be non-decreasing: {w:?}"
-            );
+            assert!(w[1].1 >= w[0].1, "prefix L2 must be non-decreasing: {w:?}");
         }
         Self { samples }
     }

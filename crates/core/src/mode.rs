@@ -79,6 +79,26 @@ pub struct ModeState {
     epoch_packets: u64,
     /// Total packets observed (drives the Q-cadence check).
     packets: u64,
+    /// Highest trace timestamp seen — backwards timestamps are clamped to
+    /// this so a reordered burst cannot corrupt the rate estimate (a
+    /// negative elapsed time would wedge the epoch logic).
+    last_ts_ns: Option<u64>,
+    /// How many timestamps were clamped forward.
+    ts_clamped: u64,
+}
+
+/// The serializable slice of [`ModeState`] a supervisor checkpoint carries.
+/// Epoch bookkeeping (rate window, last timestamp) is deliberately *not*
+/// included: after a restore the controller re-measures the live rate
+/// rather than trusting a pre-crash window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModeCheckpoint {
+    /// Sampling probability in force at snapshot time.
+    pub p: f64,
+    /// AlwaysCorrect convergence flag.
+    pub converged: bool,
+    /// Total packets observed (keeps the Q-cadence aligned).
+    pub packets: u64,
 }
 
 /// What the controller wants the wrapper to do after seeing a packet.
@@ -111,6 +131,8 @@ impl ModeState {
             epoch_start_ns: None,
             epoch_packets: 0,
             packets: 0,
+            last_ts_ns: None,
+            ts_clamped: 0,
         }
     }
 
@@ -137,9 +159,26 @@ impl ModeState {
         self.packets
     }
 
+    /// Timestamps clamped forward because they ran backwards.
+    pub fn ts_clamped(&self) -> u64 {
+        self.ts_clamped
+    }
+
     /// Observe one packet (with its trace timestamp when available) and
     /// report what the wrapper must do.
     pub fn on_packet(&mut self, ts_ns: Option<u64>) -> Decision {
+        // Clamp non-monotonic timestamps to the high-water mark before any
+        // rate arithmetic sees them.
+        let ts_ns = ts_ns.map(|ts| match self.last_ts_ns {
+            Some(last) if ts < last => {
+                self.ts_clamped += 1;
+                last
+            }
+            _ => {
+                self.last_ts_ns = Some(ts);
+                ts
+            }
+        });
         self.packets += 1;
         match self.mode {
             Mode::Fixed { .. } => Decision::None,
@@ -197,6 +236,49 @@ impl ModeState {
             self.current_p = p_after;
         }
         self.current_p
+    }
+
+    /// Backpressure downshift: step the probability to the next smaller
+    /// grid entry (graceful degradation when the consumer cannot keep up —
+    /// losing resolution beats silently dropping packets). Returns the new
+    /// `p` if it changed, `None` if already at the floor.
+    ///
+    /// This overrides the policy's own choice, including `Fixed` mode: an
+    /// overloaded consumer has no better option. Adaptive modes will
+    /// re-raise `p` at their next epoch if the load subsides.
+    pub fn downshift(&mut self) -> Option<f64> {
+        let next = P_GRID
+            .iter()
+            .copied()
+            .find(|&p| p < self.current_p)
+            .unwrap_or(P_MIN);
+        if next < self.current_p {
+            self.current_p = next;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Export the serializable controller state for a supervisor
+    /// checkpoint.
+    pub fn export(&self) -> ModeCheckpoint {
+        ModeCheckpoint {
+            p: self.current_p,
+            converged: self.converged,
+            packets: self.packets,
+        }
+    }
+
+    /// Import controller state from a checkpoint. Epoch bookkeeping resets:
+    /// the restarted controller re-measures the rate from live traffic.
+    pub fn import(&mut self, cp: ModeCheckpoint) {
+        self.current_p = cp.p;
+        self.converged = cp.converged;
+        self.packets = cp.packets;
+        self.epoch_start_ns = None;
+        self.epoch_packets = 0;
+        self.last_ts_ns = None;
     }
 
     /// Largest grid probability whose expected row-update load
@@ -312,6 +394,86 @@ mod tests {
         assert!(t > 0.0);
         let fixed = ModeState::new(Mode::Fixed { p: 0.5 }, 5);
         assert!(fixed.convergence_threshold().is_none());
+    }
+
+    #[test]
+    fn downshift_walks_the_grid_to_the_floor() {
+        let mut m = ModeState::new(Mode::Fixed { p: 1.0 }, 5);
+        let mut seen = vec![m.p()];
+        while let Some(p) = m.downshift() {
+            assert!(p < *seen.last().unwrap(), "must strictly decrease");
+            seen.push(p);
+        }
+        assert_eq!(m.p(), P_MIN);
+        assert_eq!(m.downshift(), None, "floor reached, no further change");
+        // Every step landed on a grid entry.
+        for p in &seen[1..] {
+            assert!(P_GRID.contains(p));
+        }
+    }
+
+    #[test]
+    fn downshift_from_off_grid_p_snaps_to_next_grid_entry() {
+        let mut m = ModeState::new(Mode::Fixed { p: 0.3 }, 5);
+        assert_eq!(m.downshift(), Some(0.25));
+    }
+
+    #[test]
+    fn backwards_timestamps_clamped_not_trusted() {
+        let mut m = ModeState::new(Mode::line_rate(1_000_000.0), 5);
+        m.on_packet(Some(1_000_000));
+        // A reordered packet from the past must not rewind the clock.
+        m.on_packet(Some(500));
+        assert_eq!(m.ts_clamped(), 1);
+        // The epoch window still ends where the forward clock says: 100 ms
+        // of 10 Mpps load still triggers the downshift despite reordering.
+        for i in 0..1_100_000u64 {
+            let ts = if i % 100 == 7 { 0 } else { 1_000_000 + i * 100 };
+            m.on_packet(Some(ts));
+        }
+        assert!(m.p() < 1.0, "rate measurement survived reordering");
+        assert_eq!(m.ts_clamped(), 1 + 11_000);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_policy_state() {
+        let mut m = ModeState::new(
+            Mode::AlwaysCorrect {
+                epsilon: 0.05,
+                q: 100,
+                p_after: 0.01,
+            },
+            5,
+        );
+        for _ in 0..250 {
+            m.on_packet(None);
+        }
+        m.mark_converged();
+        let cp = m.export();
+        assert_eq!(
+            cp,
+            ModeCheckpoint {
+                p: 0.01,
+                converged: true,
+                packets: 250
+            }
+        );
+        let mut fresh = ModeState::new(
+            Mode::AlwaysCorrect {
+                epsilon: 0.05,
+                q: 100,
+                p_after: 0.01,
+            },
+            5,
+        );
+        fresh.import(cp);
+        assert_eq!(fresh.p(), 0.01);
+        assert!(fresh.converged());
+        assert_eq!(fresh.packets(), 250);
+        // No spurious convergence checks after restore.
+        for _ in 0..1000 {
+            assert_eq!(fresh.on_packet(None), Decision::None);
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::mode::{Decision, Mode, ModeState};
 use nitro_hash::GeometricSampler;
-use nitro_sketches::{FlowKey, RowSketch, TopK};
+use nitro_sketches::checkpoint::{Decoder, Encoder};
+use nitro_sketches::{Checkpoint, CheckpointError, FlowKey, RowSketch, TopK};
 
 /// Operation counters — the reproduction's stand-in for VTune's per-function
 /// CPU shares (Table 2) and the basis of the cost model in `nitro-switch`.
@@ -23,6 +24,11 @@ pub struct NitroStats {
     pub row_updates: u64,
     /// Top-k heap operations performed.
     pub heap_updates: u64,
+    /// Packets rejected before any counter was touched (non-finite weight —
+    /// a NaN multiplied into a counter would poison every later estimate).
+    pub rejected: u64,
+    /// Backpressure downshifts applied ([`NitroSketch::downshift`]).
+    pub downshifts: u64,
 }
 
 /// A sketch accelerated by NitroSketch's counter-array sampling.
@@ -131,6 +137,10 @@ impl<S: RowSketch> NitroSketch<S> {
     }
 
     fn process_inner(&mut self, key: FlowKey, weight: f64, ts_ns: Option<u64>) -> bool {
+        if !weight.is_finite() {
+            self.stats.rejected += 1;
+            return false;
+        }
         let d = self.mode.on_packet(ts_ns);
         self.handle_decision(d);
         self.stats.packets += 1;
@@ -210,6 +220,10 @@ impl<S: RowSketch> NitroSketch<S> {
     }
 
     fn process_batch_inner(&mut self, keys: &[FlowKey], weight: f64, ts_ns: Option<u64>) -> usize {
+        if !weight.is_finite() {
+            self.stats.rejected += keys.len() as u64;
+            return 0;
+        }
         self.sampled_keys.clear();
         let mut rows_scratch: Vec<usize> = Vec::with_capacity(self.sketch.depth());
         let mut pinv_in_flight = self.pending_pinv;
@@ -341,6 +355,127 @@ impl<S: RowSketch> NitroSketch<S> {
     pub fn memory_bytes(&self) -> usize {
         self.sketch.row_memory_bytes() + self.topk.as_ref().map_or(0, |t| t.memory_bytes())
     }
+
+    /// Backpressure downshift: drop the sampling probability one grid step
+    /// (see [`ModeState::downshift`]) so an overloaded consumer sheds work
+    /// instead of dropping packets. Returns the new `p` if it changed.
+    pub fn downshift(&mut self) -> Option<f64> {
+        let new_p = self.mode.downshift()?;
+        self.sampler.set_p(new_p);
+        self.stats.downshifts += 1;
+        Some(new_p)
+    }
+
+    /// Timestamps clamped forward because they ran backwards (see
+    /// [`ModeState::ts_clamped`]).
+    pub fn ts_clamped(&self) -> u64 {
+        self.mode.ts_clamped()
+    }
+}
+
+/// "NSCK" — NitroSketch wrapper checkpoint magic.
+const NITRO_MAGIC: u32 = 0x4E53_434B;
+
+impl<S: RowSketch + Checkpoint> NitroSketch<S> {
+    /// Serialize the full measurement state — controller, statistics,
+    /// heavy-key tracker, and the wrapped sketch — for supervisor
+    /// checkpointing. Restoring on a parameter-compatible instance resumes
+    /// measurement with at most the traffic since the snapshot missing.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let inner = self.sketch.snapshot();
+        let topk_entries: Vec<(FlowKey, f64)> = self
+            .topk
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.entries().collect());
+        let mut e = Encoder::new(NITRO_MAGIC, 80 + topk_entries.len() * 16 + inner.len());
+        let mode = self.mode.export();
+        e.f64(mode.p).u8(mode.converged as u8).u64(mode.packets);
+        e.u64(self.stats.packets)
+            .u64(self.stats.sampled_packets)
+            .u64(self.stats.row_updates)
+            .u64(self.stats.heap_updates)
+            .u64(self.stats.rejected)
+            .u64(self.stats.downshifts);
+        e.u8(self.topk.is_some() as u8);
+        e.u32(topk_entries.len() as u32);
+        for (k, est) in topk_entries {
+            e.u64(k).f64(est);
+        }
+        e.bytes(&inner);
+        e.finish()
+    }
+
+    /// Restore a [`Self::snapshot`] into this instance. The receiver must
+    /// wrap a parameter-compatible sketch (the inner restore verifies
+    /// geometry and seeds). The skip schedule is redrawn under the restored
+    /// `p` — the schedule is sampling state, not measurement state, so a
+    /// fresh draw preserves unbiasedness.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut d = Decoder::new(bytes, NITRO_MAGIC)?;
+        let mode = crate::mode::ModeCheckpoint {
+            p: d.f64()?,
+            converged: d.u8()? != 0,
+            packets: d.u64()?,
+        };
+        let stats = NitroStats {
+            packets: d.u64()?,
+            sampled_packets: d.u64()?,
+            row_updates: d.u64()?,
+            heap_updates: d.u64()?,
+            rejected: d.u64()?,
+            downshifts: d.u64()?,
+        };
+        let had_topk = d.u8()? != 0;
+        let n_topk = d.u32()? as usize;
+        let mut topk_entries = Vec::with_capacity(n_topk);
+        for _ in 0..n_topk {
+            topk_entries.push((d.u64()?, d.f64()?));
+        }
+        // Inner sketch last: its restore validates compatibility, so a
+        // mismatched snapshot fails before we commit anything above.
+        self.sketch.restore(d.bytes()?)?;
+        self.mode.import(mode);
+        self.stats = stats;
+        if let Some(t) = &mut self.topk {
+            t.clear();
+            for (k, est) in topk_entries {
+                t.offer(k, est);
+            }
+        } else if had_topk {
+            return Err(CheckpointError::Mismatch("top-k tracker"));
+        }
+        self.sampler.set_p(mode.p);
+        let depth = self.sketch.depth() as u64;
+        let g0 = self.sampler.next_skip();
+        let pos = g0 - 1;
+        self.skip = pos / depth;
+        self.next_row = (pos % depth) as usize;
+        self.pending_pinv = 1.0 / self.sampler.p();
+        Ok(())
+    }
+
+    /// Fold another instance's measurement into this one: counters merge by
+    /// linearity, statistics add, and the heavy-key tracker re-offers the
+    /// other's tracked keys under merged estimates.
+    ///
+    /// # Panics
+    /// Panics if the wrapped sketches are parameter-incompatible.
+    pub fn merge_from(&mut self, other: &Self) {
+        self.sketch.merge_from(&other.sketch);
+        self.stats.packets += other.stats.packets;
+        self.stats.sampled_packets += other.stats.sampled_packets;
+        self.stats.row_updates += other.stats.row_updates;
+        self.stats.heap_updates += other.stats.heap_updates;
+        self.stats.rejected += other.stats.rejected;
+        self.stats.downshifts += other.stats.downshifts;
+        if let (Some(mine), Some(theirs)) = (&mut self.topk, other.topk.as_ref()) {
+            let keys: Vec<FlowKey> = theirs.entries().map(|(k, _)| k).collect();
+            for k in keys {
+                let est = self.sketch.estimate_robust(k);
+                mine.offer(k, est);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -385,8 +520,7 @@ mod tests {
     #[test]
     fn sampling_rate_controls_work() {
         let p = 0.05;
-        let mut nitro =
-            NitroSketch::new(CountSketch::new(5, 4096, 3), Mode::Fixed { p }, 4);
+        let mut nitro = NitroSketch::new(CountSketch::new(5, 4096, 3), Mode::Fixed { p }, 4);
         let n = 200_000;
         for i in 0..n {
             nitro.process(i % 1000, 1.0);
@@ -428,8 +562,7 @@ mod tests {
         let stream = skewed_stream(400_000, 2000, 5);
         let truth = truth_of(&stream);
         let mut vanilla = CountSketch::new(5, 8192, 9);
-        let mut nitro =
-            NitroSketch::new(CountSketch::new(5, 8192, 9), Mode::Fixed { p: 0.01 }, 6);
+        let mut nitro = NitroSketch::new(CountSketch::new(5, 8192, 9), Mode::Fixed { p: 0.01 }, 6);
         for &k in &stream {
             vanilla.update(k, 1.0);
             nitro.process(k, 1.0);
@@ -438,7 +571,10 @@ mod tests {
         flows.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<(u64, f64)> = flows.into_iter().take(20).collect();
         let err = |est: &dyn Fn(u64) -> f64| -> f64 {
-            top.iter().map(|&(k, t)| (est(k) - t).abs() / t).sum::<f64>() / top.len() as f64
+            top.iter()
+                .map(|&(k, t)| (est(k) - t).abs() / t)
+                .sum::<f64>()
+                / top.len() as f64
         };
         let vanilla_err = err(&|k| vanilla.estimate(k));
         let nitro_err = err(&|k| nitro.estimate(k));
@@ -481,12 +617,8 @@ mod tests {
     fn topk_tracks_heavy_flows_with_few_heap_ops() {
         let stream = skewed_stream(100_000, 1000, 8);
         let truth = truth_of(&stream);
-        let mut nitro = NitroSketch::new(
-            CountSketch::new(5, 8192, 13),
-            Mode::Fixed { p: 0.05 },
-            9,
-        )
-        .with_topk(64);
+        let mut nitro = NitroSketch::new(CountSketch::new(5, 8192, 13), Mode::Fixed { p: 0.05 }, 9)
+            .with_topk(64);
         for &k in &stream {
             nitro.process(k, 1.0);
         }
@@ -519,15 +651,17 @@ mod tests {
             assert_eq!(scalar.estimate(k), batched.estimate(k), "key {k}");
         }
         assert_eq!(scalar.stats().row_updates, batched.stats().row_updates);
-        assert_eq!(scalar.stats().sampled_packets, batched.stats().sampled_packets);
+        assert_eq!(
+            scalar.stats().sampled_packets,
+            batched.stats().sampled_packets
+        );
     }
 
     #[test]
     fn works_with_count_min_too() {
         let stream = skewed_stream(200_000, 1000, 12);
         let truth = truth_of(&stream);
-        let mut nitro =
-            NitroSketch::new(CountMin::new(5, 20_000, 19), Mode::Fixed { p: 0.01 }, 23);
+        let mut nitro = NitroSketch::new(CountMin::new(5, 20_000, 19), Mode::Fixed { p: 0.01 }, 23);
         for &k in &stream {
             nitro.process(k, 1.0);
         }
@@ -542,8 +676,7 @@ mod tests {
     #[test]
     fn clear_resets_counters_and_stats() {
         let mut nitro =
-            NitroSketch::new(CountSketch::new(3, 256, 23), Mode::Fixed { p: 0.5 }, 29)
-                .with_topk(8);
+            NitroSketch::new(CountSketch::new(3, 256, 23), Mode::Fixed { p: 0.5 }, 29).with_topk(8);
         for i in 0..1000u64 {
             nitro.process(i % 10, 1.0);
         }
@@ -568,6 +701,125 @@ mod tests {
         // Estimates remain sane for the uniform flows (30k each).
         let e = nitro.estimate(5);
         assert!((e - 30_000.0).abs() / 30_000.0 < 0.25, "estimate {e}");
+    }
+
+    #[test]
+    fn non_finite_weights_rejected_before_counters() {
+        let mut nitro = NitroSketch::new(CountSketch::new(3, 256, 61), Mode::Fixed { p: 1.0 }, 62);
+        nitro.process(1, 5.0);
+        assert!(!nitro.process(1, f64::NAN));
+        assert!(!nitro.process(1, f64::INFINITY));
+        assert!(!nitro.process_ts(1, f64::NEG_INFINITY, 100));
+        assert_eq!(nitro.process_batch(&[1, 2, 3], f64::NAN), 0);
+        let s = nitro.stats();
+        assert_eq!(s.rejected, 6);
+        assert_eq!(s.packets, 1, "rejected packets never reach the mode");
+        assert_eq!(nitro.estimate(1), 5.0, "counters untouched by NaN");
+        assert!(nitro.inner().l2_squared_estimate().is_finite());
+    }
+
+    #[test]
+    fn downshift_lowers_p_and_counts() {
+        let mut nitro = NitroSketch::new(CountSketch::new(3, 256, 63), Mode::Fixed { p: 1.0 }, 64);
+        assert_eq!(nitro.downshift(), Some(0.5));
+        assert_eq!(nitro.downshift(), Some(0.25));
+        assert_eq!(nitro.p(), 0.25);
+        assert_eq!(nitro.stats().downshifts, 2);
+        // Sampling actually thins out after the downshift.
+        for i in 0..40_000u64 {
+            nitro.process(i % 10, 1.0);
+        }
+        let s = nitro.stats();
+        let ratio = s.row_updates as f64 / (40_000.0 * 3.0);
+        assert!((0.2..0.3).contains(&ratio), "row-update ratio {ratio}");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_measurement() {
+        let stream = skewed_stream(80_000, 600, 65);
+        let mut nitro =
+            NitroSketch::new(CountSketch::new(5, 4096, 66), Mode::Fixed { p: 0.05 }, 67)
+                .with_topk(32);
+        for &k in &stream {
+            nitro.process(k, 1.0);
+        }
+        let snap = nitro.snapshot();
+        let mut fresh = NitroSketch::new(
+            CountSketch::new(5, 4096, 66),
+            Mode::Fixed { p: 0.05 },
+            99, // different skip seed: schedule is redrawn anyway
+        )
+        .with_topk(32);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.stats(), nitro.stats());
+        assert_eq!(fresh.p(), nitro.p());
+        for k in 0..600u64 {
+            assert_eq!(fresh.estimate(k), nitro.estimate(k), "key {k}");
+        }
+        let a = nitro.heavy_hitters(0.0);
+        let b = fresh.heavy_hitters(0.0);
+        assert_eq!(a, b, "tracked heavy-hitter sets must survive restore");
+        // The restored instance keeps measuring correctly.
+        for &k in &stream {
+            fresh.process(k, 1.0);
+        }
+        assert!(fresh.stats().packets == 2 * nitro.stats().packets);
+    }
+
+    #[test]
+    fn restore_rejects_incompatible_sketch() {
+        use nitro_sketches::CheckpointError;
+        let nitro = NitroSketch::new(CountSketch::new(5, 4096, 1), Mode::Fixed { p: 0.5 }, 2);
+        let snap = nitro.snapshot();
+        let mut wrong = NitroSketch::new(CountSketch::new(5, 4096, 7), Mode::Fixed { p: 0.5 }, 2);
+        assert_eq!(
+            wrong.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+        // Failed restore leaves the receiver's own state intact.
+        assert_eq!(wrong.p(), 0.5);
+        assert_eq!(wrong.stats(), NitroStats::default());
+    }
+
+    #[test]
+    fn restore_resumes_always_correct_where_it_left_off() {
+        let mode = Mode::AlwaysCorrect {
+            epsilon: 0.1,
+            q: 1000,
+            p_after: 0.01,
+        };
+        let mut nitro = NitroSketch::new(CountSketch::new(5, 4096, 70), mode.clone(), 71);
+        let mut i = 0u64;
+        while !nitro.converged() && i < 400_000 {
+            nitro.process(i % 4, 1.0);
+            i += 1;
+        }
+        assert!(nitro.converged());
+        let snap = nitro.snapshot();
+        let mut fresh = NitroSketch::new(CountSketch::new(5, 4096, 70), mode, 72);
+        assert_eq!(fresh.p(), 1.0);
+        fresh.restore(&snap).unwrap();
+        // Convergence is not forgotten across a restart.
+        assert!(fresh.converged());
+        assert_eq!(fresh.p(), 0.01);
+    }
+
+    #[test]
+    fn merge_from_combines_measurements() {
+        let mut a = NitroSketch::new(CountSketch::new(5, 4096, 73), Mode::Fixed { p: 1.0 }, 74)
+            .with_topk(16);
+        let mut b = NitroSketch::new(CountSketch::new(5, 4096, 73), Mode::Fixed { p: 1.0 }, 75)
+            .with_topk(16);
+        for _ in 0..1000 {
+            a.process(11, 1.0);
+            b.process(22, 1.0);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate(11), 1000.0);
+        assert_eq!(a.estimate(22), 1000.0);
+        assert_eq!(a.stats().packets, 2000);
+        let hh: Vec<u64> = a.heavy_hitters(500.0).iter().map(|&(k, _)| k).collect();
+        assert!(hh.contains(&11) && hh.contains(&22));
     }
 
     #[test]

@@ -45,7 +45,14 @@ impl<S: RowSketch + Clone> EpochRotator<S> {
     /// Build from a sketch template (cloned per epoch so hash seeds stay
     /// identical — required for cross-epoch comparison), thresholds as
     /// fractions of epoch traffic.
-    pub fn new(template: S, mode: Mode, seed: u64, topk: usize, hh_fraction: f64, change_fraction: f64) -> Self {
+    pub fn new(
+        template: S,
+        mode: Mode,
+        seed: u64,
+        topk: usize,
+        hh_fraction: f64,
+        change_fraction: f64,
+    ) -> Self {
         let current = NitroSketch::new(template.clone(), mode.clone(), seed).with_topk(topk);
         Self {
             current,

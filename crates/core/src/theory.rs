@@ -124,8 +124,10 @@ mod tests {
         let eps = 0.05;
         let delta = 0.01;
         let ratio = one_array_counters(eps, delta) as f64 / multi_row_counters(eps, delta) as f64;
-        assert!((10.0..20.0).contains(&ratio) || (ratio - 100.0 / 6.64).abs() < 2.0,
-            "ratio {ratio}");
+        assert!(
+            (10.0..20.0).contains(&ratio) || (ratio - 100.0 / 6.64).abs() < 2.0,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ mod tests {
             .filter(|&(_, &v)| v >= threshold)
             .map(|(&k, _)| k)
             .collect();
-        let reported: Vec<u64> = nu.heavy_hitters(threshold).iter().map(|&(k, _)| k).collect();
+        let reported: Vec<u64> = nu
+            .heavy_hitters(threshold)
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         let found = true_hh.iter().filter(|k| reported.contains(k)).count();
         assert!(
             found as f64 / true_hh.len() as f64 > 0.8,

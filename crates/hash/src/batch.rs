@@ -236,7 +236,9 @@ mod tests {
     fn batch_dispatch_is_scalar_equivalent() {
         // Regardless of which path dispatch picks, results must equal the
         // scalar reference.
-        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let mut out = Vec::new();
         xxh64_u64_batch(&keys, 1234, &mut out);
         for (i, &k) in keys.iter().enumerate() {

@@ -47,7 +47,10 @@ impl GeometricSampler {
     /// # Panics
     /// Panics if `p` is not in `(0, 1]`.
     pub fn set_p(&mut self, p: f64) {
-        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric p must be in (0, 1], got {p}"
+        );
         self.p = p;
         self.inv_log_q = if p == 1.0 {
             f64::NAN
@@ -73,7 +76,11 @@ impl GeometricSampler {
         let k = (u.ln() * self.inv_log_q).floor();
         // ln U ≤ 0 and inv_log_q < 0, so k ≥ 0; clamp defends against the
         // astronomically unlikely f64 overflow at tiny p.
-        1 + if k >= u64::MAX as f64 { u64::MAX - 1 } else { k as u64 }
+        1 + if k >= u64::MAX as f64 {
+            u64::MAX - 1
+        } else {
+            k as u64
+        }
     }
 
     /// Fill `out` with skips — the batched form used by the buffered update

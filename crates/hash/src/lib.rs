@@ -84,7 +84,10 @@ mod tests {
             counts[reduce(state.next_u64(), n)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
         }
     }
 }

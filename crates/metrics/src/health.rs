@@ -1,0 +1,182 @@
+//! Operational health counters for the supervised measurement daemon.
+//!
+//! The robustness layer (supervisor, checkpointing, backpressure) reports
+//! what happened to every observation the switch offered: consumed into the
+//! sketch, dropped at a full ring, or lost to a crash window. The invariant
+//! `offered == processed + dropped + lost` makes silent loss impossible —
+//! any unaccounted observation shows up in [`DaemonHealth::unaccounted`].
+
+use crate::table::Table;
+
+/// Counters describing one supervised daemon run.
+///
+/// All counters are cumulative over the daemon's lifetime, across restarts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonHealth {
+    /// Observations the switch thread offered to the ring.
+    pub offered: u64,
+    /// Observations consumed into the sketch (across all worker incarnations).
+    pub processed: u64,
+    /// Observations rejected at a full ring (counted, never blocking).
+    pub dropped: u64,
+    /// Observations popped from the ring but lost when a worker crashed
+    /// before its progress counter covered them (bounded by one batch).
+    pub lost_in_crash: u64,
+    /// Worker thread restarts after a panic.
+    pub restarts: u64,
+    /// Watchdog-detected stalls (no progress within the stall timeout).
+    pub stalls: u64,
+    /// Checkpoints taken by the worker.
+    pub checkpoints: u64,
+    /// Checkpoints restored into a replacement worker.
+    pub restores: u64,
+    /// Sampling-probability downshifts applied under backpressure.
+    pub downshifts: u64,
+}
+
+impl DaemonHealth {
+    /// Fresh all-zero health record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observations with no recorded fate: `offered − processed − dropped −
+    /// lost_in_crash`. Zero in a correct run; saturates rather than
+    /// underflowing when counters are read mid-flight.
+    pub fn unaccounted(&self) -> u64 {
+        self.offered
+            .saturating_sub(self.processed)
+            .saturating_sub(self.dropped)
+            .saturating_sub(self.lost_in_crash)
+    }
+
+    /// Fraction of offered observations that reached the sketch (1.0 when
+    /// nothing was offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.processed as f64 / self.offered as f64
+        }
+    }
+
+    /// True when the run needed no recovery action: no restarts, stalls,
+    /// drops, or crash losses.
+    pub fn is_clean(&self) -> bool {
+        self.restarts == 0 && self.stalls == 0 && self.dropped == 0 && self.lost_in_crash == 0
+    }
+
+    /// Render as a two-column counter table for the experiment harness.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new("daemon health", &["counter", "value"]);
+        for (name, v) in [
+            ("offered", self.offered),
+            ("processed", self.processed),
+            ("dropped", self.dropped),
+            ("lost_in_crash", self.lost_in_crash),
+            ("unaccounted", self.unaccounted()),
+            ("restarts", self.restarts),
+            ("stalls", self.stalls),
+            ("checkpoints", self.checkpoints),
+            ("restores", self.restores),
+            ("downshifts", self.downshifts),
+        ] {
+            t.row(&[name.to_string(), v.to_string()]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for DaemonHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity() {
+        let h = DaemonHealth {
+            offered: 100,
+            processed: 80,
+            dropped: 15,
+            lost_in_crash: 5,
+            ..Default::default()
+        };
+        assert_eq!(h.unaccounted(), 0);
+        assert!((h.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unaccounted_surfaces_silent_loss() {
+        let h = DaemonHealth {
+            offered: 100,
+            processed: 90,
+            ..Default::default()
+        };
+        assert_eq!(h.unaccounted(), 10);
+        assert!(
+            h.is_clean(),
+            "loss without a recorded cause is still clean-flagged only by unaccounted"
+        );
+    }
+
+    #[test]
+    fn unaccounted_never_underflows_mid_flight() {
+        // A mid-flight read can observe `processed` ahead of `offered`
+        // (producer counter not yet flushed); this must not wrap.
+        let h = DaemonHealth {
+            offered: 10,
+            processed: 12,
+            ..Default::default()
+        };
+        assert_eq!(h.unaccounted(), 0);
+    }
+
+    #[test]
+    fn clean_run_detection() {
+        let mut h = DaemonHealth {
+            offered: 5,
+            processed: 5,
+            checkpoints: 3,
+            downshifts: 1,
+            ..Default::default()
+        };
+        assert!(h.is_clean(), "checkpoints and downshifts are not failures");
+        h.restarts = 1;
+        assert!(!h.is_clean());
+    }
+
+    #[test]
+    fn empty_run_has_perfect_delivery() {
+        assert_eq!(DaemonHealth::new().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn table_lists_every_counter() {
+        let h = DaemonHealth {
+            offered: 7,
+            restarts: 2,
+            ..Default::default()
+        };
+        let s = h.to_table().render();
+        for name in [
+            "offered",
+            "processed",
+            "dropped",
+            "lost_in_crash",
+            "unaccounted",
+            "restarts",
+            "stalls",
+            "checkpoints",
+            "restores",
+            "downshifts",
+        ] {
+            assert!(s.contains(name), "missing counter {name} in\n{s}");
+        }
+        assert_eq!(h.to_table().len(), 10);
+    }
+}

@@ -119,10 +119,7 @@ mod tests {
     #[test]
     fn csv_output() {
         let csv = sample().to_csv();
-        assert_eq!(
-            csv,
-            "# Fig X\nsketch,mpps\nUnivMon,2.1\nCount-Min,5.5\n"
-        );
+        assert_eq!(csv, "# Fig X\nsketch,mpps\nUnivMon,2.1\nCount-Min,5.5\n");
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Sketch checkpoint/restore — the state-transfer layer behind the
+//! supervised measurement daemon's crash recovery.
+//!
+//! *Distributed Recoverable Sketches* (Cohen, Friedman & Shahout) observes
+//! that counter-array sketches are cheap to checkpoint and merge: the
+//! counters are the whole running state, and linearity means a restored
+//! snapshot plus the traffic replayed since is exactly the sketch of the
+//! union stream. This module defines the [`Checkpoint`] trait the
+//! supervisor uses; `CountMin`, `CountSketch` and `KarySketch` implement it
+//! in their own modules.
+//!
+//! The wire format follows the `control.rs` byte-codec conventions from
+//! `nitro-switch`: a little-endian, self-describing layout with a per-type
+//! magic word and explicit length checks — no external serialization
+//! dependency, every byte accounted for.
+//!
+//! A snapshot embeds the sketch geometry (depth, width, per-row hash
+//! seeds); [`Checkpoint::restore`] verifies them against the receiving
+//! instance so a checkpoint can never be loaded into an incompatible
+//! sketch (which would silently answer garbage).
+
+use std::fmt;
+
+/// Why a snapshot could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Fewer bytes than the format requires.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The magic word does not match this sketch type.
+    BadMagic,
+    /// The snapshot's geometry or hash seeds differ from the receiver's.
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated { need, got } => {
+                write!(f, "checkpoint truncated: need {need} bytes, got {got}")
+            }
+            CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CheckpointError::Mismatch(what) => {
+                write!(f, "checkpoint incompatible with receiver: {what} differs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// State snapshot, restore, and merge for crash recovery and distributed
+/// aggregation.
+///
+/// Contract: `restore` after `snapshot` reproduces counter state exactly
+/// (estimates are bit-identical); `merge_from` of two sketches over
+/// disjoint streams equals the sketch of the concatenated stream
+/// (linearity).
+pub trait Checkpoint: Sized {
+    /// Serialize the full counter state to the checkpoint wire format.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Load a snapshot into this instance. The receiver must have been
+    /// built with the same parameters (depth, width, seed); geometry and
+    /// hash seeds are verified before any state is touched.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
+
+    /// Fold another instance's counters into this one (linearity). The
+    /// other instance must be parameter-compatible.
+    fn merge_from(&mut self, other: &Self);
+}
+
+/// Little-endian checkpoint encoder (the `control.rs` codec idiom).
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Start a snapshot with a type magic word.
+    pub fn new(magic: u32, capacity_hint: usize) -> Self {
+        let mut buf = Vec::with_capacity(8 + capacity_hint);
+        buf.extend_from_slice(&magic.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an f64.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u64 slice.
+    pub fn u64s(&mut self, vs: &[u64]) -> &mut Self {
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append an f64 slice.
+    pub fn f64s(&mut self, vs: &[f64]) -> &mut Self {
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a length-prefixed nested byte blob.
+    pub fn bytes(&mut self, vs: &[u8]) -> &mut Self {
+        self.u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+        self
+    }
+
+    /// Finish and take the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian checkpoint decoder with explicit bounds checks.
+#[derive(Clone, Copy, Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Open a snapshot, verifying the type magic word first.
+    pub fn new(data: &'a [u8], magic: u32) -> Result<Self, CheckpointError> {
+        let mut d = Self { data, at: 0 };
+        if d.u32()? != magic {
+            return Err(CheckpointError::BadMagic);
+        }
+        Ok(d)
+    }
+
+    fn need(&self, n: usize) -> Result<(), CheckpointError> {
+        if self.data.len() - self.at < n {
+            Err(CheckpointError::Truncated {
+                need: self.at + n,
+                got: self.data.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        self.need(1)?;
+        let v = self.data[self.at];
+        self.at += 1;
+        Ok(v)
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.data[self.at..self.at + 4].try_into().unwrap());
+        self.at += 4;
+        Ok(v)
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(self.data[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        Ok(v)
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read `n` u64 values.
+    pub fn u64s(&mut self, n: usize) -> Result<Vec<u64>, CheckpointError> {
+        self.need(n * 8)?;
+        Ok((0..n).map(|_| self.u64().unwrap()).collect())
+    }
+
+    /// Read `n` f64 values into `out` (checked to hold exactly `n`).
+    pub fn f64s_into(&mut self, out: &mut [f64]) -> Result<(), CheckpointError> {
+        self.need(out.len() * 8)?;
+        for slot in out.iter_mut() {
+            *slot = self.f64().unwrap();
+        }
+        Ok(())
+    }
+
+    /// Read a length-prefixed nested byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let n = self.u64()? as usize;
+        self.need(n)?;
+        let v = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(v)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_decoder_roundtrip() {
+        let mut e = Encoder::new(0xABCD_1234, 0);
+        e.u8(7).u32(42).u64(1 << 50).f64(-2.5);
+        e.u64s(&[1, 2, 3]).f64s(&[0.5, 1.5]).bytes(b"nested");
+        let buf = e.finish();
+
+        let mut d = Decoder::new(&buf, 0xABCD_1234).unwrap();
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 42);
+        assert_eq!(d.u64().unwrap(), 1 << 50);
+        assert_eq!(d.f64().unwrap(), -2.5);
+        assert_eq!(d.u64s(3).unwrap(), vec![1, 2, 3]);
+        let mut fs = [0.0; 2];
+        d.f64s_into(&mut fs).unwrap();
+        assert_eq!(fs, [0.5, 1.5]);
+        assert_eq!(d.bytes().unwrap(), b"nested");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = Encoder::new(1, 0);
+        let buf = e.finish();
+        assert_eq!(
+            Decoder::new(&buf, 2).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_reported_not_panicked() {
+        let mut e = Encoder::new(9, 0);
+        e.u64(5);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..8], 9).unwrap();
+        assert!(matches!(d.u64(), Err(CheckpointError::Truncated { .. })));
+        // NaN round-trips bit-exactly through the f64 codec.
+        let mut e = Encoder::new(9, 0);
+        e.f64(f64::NAN);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf, 9).unwrap();
+        assert!(d.f64().unwrap().is_nan());
+    }
+}

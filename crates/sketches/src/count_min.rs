@@ -12,8 +12,8 @@
 //!   would collapse to the unluckiest row under sampling).
 
 use crate::traits::{FlowKey, RowSketch, Sketch, COUNTER_BYTES};
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 
 /// A Count-Min Sketch with `f64` counters.
 #[derive(Clone, Debug)]
@@ -224,6 +224,57 @@ impl RowSketch for CountMin {
     }
 }
 
+/// "CMSK" — Count-Min checkpoint magic.
+const CM_MAGIC: u32 = 0x434D_534B;
+
+impl crate::checkpoint::Checkpoint for CountMin {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = crate::checkpoint::Encoder::new(
+            CM_MAGIC,
+            16 + self.seeds.len() * 8 + self.counters.len() * 8 + 16,
+        );
+        e.u32(self.depth as u32).u32(self.width as u32);
+        e.u64s(&self.seeds);
+        e.u8(self.conservative as u8);
+        e.f64(self.total);
+        e.f64s(&self.counters);
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointError, Decoder};
+        let mut d = Decoder::new(bytes, CM_MAGIC)?;
+        if d.u32()? as usize != self.depth {
+            return Err(CheckpointError::Mismatch("depth"));
+        }
+        if d.u32()? as usize != self.width {
+            return Err(CheckpointError::Mismatch("width"));
+        }
+        if d.u64s(self.depth)? != self.seeds {
+            return Err(CheckpointError::Mismatch("hash seeds"));
+        }
+        let conservative = d.u8()? != 0;
+        let total = d.f64()?;
+        let mut counters = vec![0.0; self.depth * self.width];
+        d.f64s_into(&mut counters)?;
+        // All reads succeeded — commit, then recompute the derived Σ C².
+        self.conservative = conservative;
+        self.total = total;
+        self.counters = counters;
+        for r in 0..self.depth {
+            self.row_ss[r] = self.counters[r * self.width..(r + 1) * self.width]
+                .iter()
+                .map(|c| c * c)
+                .sum();
+        }
+        Ok(())
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,7 +420,10 @@ mod tests {
                     .map(|c| c * c)
                     .sum();
                 let inc = s.row_sum_squares(r);
-                assert!((scan - inc).abs() < 1e-6 * scan.max(1.0), "row {r}: {inc} vs {scan}");
+                assert!(
+                    (scan - inc).abs() < 1e-6 * scan.max(1.0),
+                    "row {r}: {inc} vs {scan}"
+                );
             }
         }
     }
@@ -416,5 +470,52 @@ mod tests {
         let mut a = CountMin::new(4, 512, 1);
         let b = CountMin::new(4, 512, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        use crate::checkpoint::Checkpoint;
+        let mut cm = CountMin::new(4, 256, 55);
+        cm.set_conservative(true);
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(56);
+        for _ in 0..10_000 {
+            cm.update(rng.next_range(800), 1.5);
+        }
+        let snap = cm.snapshot();
+        let mut fresh = CountMin::new(4, 256, 55);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.counters, cm.counters);
+        assert_eq!(fresh.total(), cm.total());
+        assert!(fresh.conservative);
+        for r in 0..4 {
+            assert!((fresh.row_sum_squares(r) - cm.row_sum_squares(r)).abs() < 1e-6);
+        }
+        for k in 0..800u64 {
+            assert_eq!(fresh.estimate(k), cm.estimate(k));
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_incompatible_receiver() {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let cm = CountMin::new(4, 256, 1);
+        let snap = cm.snapshot();
+        let mut wrong_seed = CountMin::new(4, 256, 2);
+        assert_eq!(
+            wrong_seed.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+        let mut wrong_width = CountMin::new(4, 128, 1);
+        assert_eq!(
+            wrong_width.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("width")
+        );
+        let mut truncated = CountMin::new(4, 256, 1);
+        assert!(matches!(
+            truncated.restore(&snap[..snap.len() - 4]).unwrap_err(),
+            CheckpointError::Truncated { .. }
+        ));
+        // A failed restore must leave the receiver untouched.
+        assert!(truncated.counters.iter().all(|&c| c == 0.0));
     }
 }

@@ -12,9 +12,9 @@
 //! line 14).
 
 use crate::traits::{FlowKey, RowSketch, Sketch, COUNTER_BYTES};
+use nitro_hash::reduce;
 use nitro_hash::sign::SignHash;
 use nitro_hash::xxhash::xxh64_u64;
-use nitro_hash::reduce;
 
 /// A Count Sketch with `f64` counters.
 #[derive(Clone, Debug)]
@@ -31,10 +31,15 @@ pub struct CountSketch {
 impl CountSketch {
     /// Create a `depth × width` sketch; `seed` derives row and sign hashes.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
-        assert!(depth >= 1 && width >= 1, "CountSketch dimensions must be ≥ 1");
+        assert!(
+            depth >= 1 && width >= 1,
+            "CountSketch dimensions must be ≥ 1"
+        );
         let mut sm = nitro_hash::SplitMix64::new(seed);
         let seeds: Vec<u64> = (0..depth).map(|_| sm.next_u64()).collect();
-        let signs: Vec<SignHash> = (0..depth).map(|_| SignHash::pairwise(sm.next_u64())).collect();
+        let signs: Vec<SignHash> = (0..depth)
+            .map(|_| SignHash::pairwise(sm.next_u64()))
+            .collect();
         Self {
             depth,
             width,
@@ -201,6 +206,53 @@ impl crate::traits::UnivLayer for CountSketch {
     }
 }
 
+/// "CSSK" — Count Sketch checkpoint magic.
+const CS_MAGIC: u32 = 0x4353_534B;
+
+impl crate::checkpoint::Checkpoint for CountSketch {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = crate::checkpoint::Encoder::new(
+            CS_MAGIC,
+            8 + self.seeds.len() * 8 + self.counters.len() * 8,
+        );
+        e.u32(self.depth as u32).u32(self.width as u32);
+        // Sign hashes derive from the same seed chain as the row seeds, so
+        // seed equality implies sign-hash equality — no need to serialize
+        // the sign functions themselves.
+        e.u64s(&self.seeds);
+        e.f64s(&self.counters);
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointError, Decoder};
+        let mut d = Decoder::new(bytes, CS_MAGIC)?;
+        if d.u32()? as usize != self.depth {
+            return Err(CheckpointError::Mismatch("depth"));
+        }
+        if d.u32()? as usize != self.width {
+            return Err(CheckpointError::Mismatch("width"));
+        }
+        if d.u64s(self.depth)? != self.seeds {
+            return Err(CheckpointError::Mismatch("hash seeds"));
+        }
+        let mut counters = vec![0.0; self.depth * self.width];
+        d.f64s_into(&mut counters)?;
+        self.counters = counters;
+        for r in 0..self.depth {
+            self.row_ss[r] = self.counters[r * self.width..(r + 1) * self.width]
+                .iter()
+                .map(|c| c * c)
+                .sum();
+        }
+        Ok(())
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,7 +386,10 @@ mod tests {
                 .map(|c| c * c)
                 .sum();
             let inc = cs.row_sum_squares(r);
-            assert!((scan - inc).abs() < 1e-6 * scan.max(1.0), "row {r}: {inc} vs {scan}");
+            assert!(
+                (scan - inc).abs() < 1e-6 * scan.max(1.0),
+                "row {r}: {inc} vs {scan}"
+            );
         }
     }
 
@@ -368,5 +423,39 @@ mod tests {
             assert_eq!(a.estimate(k), union.estimate(k), "key {k}");
         }
         assert!((a.l2_estimate() - union.l2_estimate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        use crate::checkpoint::Checkpoint;
+        let mut cs = CountSketch::new(5, 512, 60);
+        let stream = zipf_stream(20_000, 500, 61);
+        for &k in &stream {
+            cs.update(k, 1.0);
+        }
+        let snap = cs.snapshot();
+        let mut fresh = CountSketch::new(5, 512, 60);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.counters, cs.counters);
+        assert!((fresh.l2_estimate() - cs.l2_estimate()).abs() < 1e-9);
+        for k in 0..500u64 {
+            assert_eq!(fresh.estimate(k), cs.estimate(k));
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_incompatible_receiver() {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let snap = CountSketch::new(5, 512, 1).snapshot();
+        let mut wrong = CountSketch::new(5, 512, 2);
+        assert_eq!(
+            wrong.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+        let mut wrong_depth = CountSketch::new(3, 512, 1);
+        assert_eq!(
+            wrong_depth.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("depth")
+        );
     }
 }

@@ -12,8 +12,8 @@
 //! mass of expected 2-flow collisions.
 
 use crate::traits::FlowKey;
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 use std::collections::BTreeMap;
 
 /// A single-hash counter array for flow-size distribution recovery.

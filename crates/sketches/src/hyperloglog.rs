@@ -21,7 +21,10 @@ pub struct HyperLogLog {
 impl HyperLogLog {
     /// Create with `precision ∈ [4, 18]` (`2^precision` registers).
     pub fn new(precision: u8, seed: u64) -> Self {
-        assert!((4..=18).contains(&precision), "precision must be in [4, 18]");
+        assert!(
+            (4..=18).contains(&precision),
+            "precision must be in [4, 18]"
+        );
         Self {
             precision,
             registers: vec![0; 1 << precision],
@@ -51,11 +54,7 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let raw = alpha * m * m / sum;
 
         if raw <= 2.5 * m {

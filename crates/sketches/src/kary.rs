@@ -11,8 +11,8 @@
 //! per-flow traffic change estimates (see [`crate::change`]).
 
 use crate::traits::{FlowKey, RowSketch, Sketch, COUNTER_BYTES};
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 
 /// A K-ary sketch with `f64` counters.
 #[derive(Clone, Debug)]
@@ -71,7 +71,10 @@ impl KarySketch {
     pub fn subtract(&self, other: &KarySketch) -> KarySketch {
         assert_eq!(self.depth, other.depth, "depth mismatch");
         assert_eq!(self.width, other.width, "width mismatch");
-        assert_eq!(self.seeds, other.seeds, "hash seeds mismatch — sketches not compatible");
+        assert_eq!(
+            self.seeds, other.seeds,
+            "hash seeds mismatch — sketches not compatible"
+        );
         let mut out = self.clone();
         for (o, b) in out.counters.iter_mut().zip(&other.counters) {
             *o -= b;
@@ -197,8 +200,7 @@ impl RowSketch for KarySketch {
             }
             crate::median_in_place(&mut buf[..self.depth])
         } else {
-            let mut vals: Vec<f64> =
-                (0..self.depth).map(|r| self.row_estimate(r, key)).collect();
+            let mut vals: Vec<f64> = (0..self.depth).map(|r| self.row_estimate(r, key)).collect();
             crate::median_in_place(&mut vals)
         }
     }
@@ -213,6 +215,50 @@ impl RowSketch for KarySketch {
 
     fn row_memory_bytes(&self) -> usize {
         self.memory_bytes()
+    }
+}
+
+/// "KASK" — K-ary checkpoint magic.
+const KA_MAGIC: u32 = 0x4B41_534B;
+
+impl crate::checkpoint::Checkpoint for KarySketch {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut e = crate::checkpoint::Encoder::new(
+            KA_MAGIC,
+            8 + self.seeds.len() * 8 + self.counters.len() * 8,
+        );
+        e.u32(self.depth as u32).u32(self.width as u32);
+        e.u64s(&self.seeds);
+        e.f64s(&self.counters);
+        e.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointError, Decoder};
+        let mut d = Decoder::new(bytes, KA_MAGIC)?;
+        if d.u32()? as usize != self.depth {
+            return Err(CheckpointError::Mismatch("depth"));
+        }
+        if d.u32()? as usize != self.width {
+            return Err(CheckpointError::Mismatch("width"));
+        }
+        if d.u64s(self.depth)? != self.seeds {
+            return Err(CheckpointError::Mismatch("hash seeds"));
+        }
+        let mut counters = vec![0.0; self.depth * self.width];
+        d.f64s_into(&mut counters)?;
+        self.counters = counters;
+        // Row sums and Σ C² are derived state — recompute by scan.
+        for r in 0..self.depth {
+            let row = &self.counters[r * self.width..(r + 1) * self.width];
+            self.row_sums[r] = row.iter().sum();
+            self.row_ss[r] = row.iter().map(|c| c * c).sum();
+        }
+        Ok(())
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
     }
 }
 
@@ -252,7 +298,10 @@ mod tests {
         ka_bias /= truth.len() as f64;
         cm_bias /= truth.len() as f64;
         assert!(ka_bias.abs() < 3.0, "K-ary bias {ka_bias}");
-        assert!(cm_bias > 10.0 * ka_bias.abs(), "CM bias {cm_bias} vs K-ary {ka_bias}");
+        assert!(
+            cm_bias > 10.0 * ka_bias.abs(),
+            "CM bias {cm_bias} vs K-ary {ka_bias}"
+        );
     }
 
     #[test]
@@ -345,7 +394,10 @@ mod tests {
                 .map(|c| c * c)
                 .sum();
             let inc = ks.row_sum_squares(r);
-            assert!((scan - inc).abs() < 1e-6 * scan.max(1.0), "row {r}: {inc} vs {scan}");
+            assert!(
+                (scan - inc).abs() < 1e-6 * scan.max(1.0),
+                "row {r}: {inc} vs {scan}"
+            );
         }
     }
 
@@ -380,5 +432,41 @@ mod tests {
             assert_eq!(a.estimate(k), union.estimate(k), "key {k}");
         }
         assert_eq!(a.total_estimate(), union.total_estimate());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        use crate::checkpoint::Checkpoint;
+        let mut ks = KarySketch::new(5, 256, 70);
+        let mut rng = nitro_hash::Xoshiro256StarStar::new(71);
+        for _ in 0..10_000 {
+            ks.update(rng.next_range(600), 1.0);
+        }
+        let snap = ks.snapshot();
+        let mut fresh = KarySketch::new(5, 256, 70);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.counters, ks.counters);
+        assert_eq!(fresh.total_estimate(), ks.total_estimate());
+        for r in 0..5 {
+            assert!((fresh.row_sum_squares(r) - ks.row_sum_squares(r)).abs() < 1e-6);
+        }
+        for k in 0..600u64 {
+            assert_eq!(fresh.estimate(k), ks.estimate(k));
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_incompatible_receiver() {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let snap = KarySketch::new(5, 256, 1).snapshot();
+        let mut wrong = KarySketch::new(5, 256, 2);
+        assert_eq!(
+            wrong.restore(&snap).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+        assert_eq!(
+            KarySketch::new(5, 256, 1).restore(&snap[..4]).unwrap_err(),
+            CheckpointError::Truncated { need: 8, got: 4 }
+        );
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod change;
+pub mod checkpoint;
 pub mod count_min;
 pub mod count_sketch;
 pub mod entropy;
@@ -44,6 +45,7 @@ pub mod traits;
 pub mod univmon;
 
 pub use change::ChangeDetector;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use count_min::CountMin;
 pub use count_sketch::CountSketch;
 pub use fsd::FlowSizeArray;

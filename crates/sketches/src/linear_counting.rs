@@ -8,8 +8,8 @@
 //! this baseline matters to the reproduction.
 
 use crate::traits::FlowKey;
-use nitro_hash::xxhash::xxh64_u64;
 use nitro_hash::reduce;
+use nitro_hash::xxhash::xxh64_u64;
 
 /// A linear-counting distinct estimator over an `m`-bit bitmap.
 #[derive(Clone, Debug)]

@@ -48,10 +48,7 @@ impl MisraGries {
         // Summary full: decrement everyone by the smallest of (weight, the
         // minimum counter); evict zeros; re-insert the newcomer with any
         // remaining weight. (Classic MG generalized to weighted updates.)
-        let min = self
-            .counters
-            .values()
-            .fold(f64::INFINITY, |a, &b| a.min(b));
+        let min = self.counters.values().fold(f64::INFINITY, |a, &b| a.min(b));
         let dec = min.min(weight);
         self.decremented += dec;
         self.counters.retain(|_, c| {
@@ -170,7 +167,10 @@ mod tests {
         }
         let bound = n as f64 / (k + 1) as f64;
         for (&key, &t) in &truth {
-            assert!(t - mg.estimate(key) <= bound + 1e-9, "key {key} err too big");
+            assert!(
+                t - mg.estimate(key) <= bound + 1e-9,
+                "key {key} err too big"
+            );
         }
         assert!(mg.error_bound() <= bound + 1e-9);
     }
@@ -186,7 +186,11 @@ mod tests {
                 mg.update(1000 + rng.next_range(500), 1.0);
             }
         }
-        assert!(mg.estimate(7) > 2000.0, "heavy key lost: {}", mg.estimate(7));
+        assert!(
+            mg.estimate(7) > 2000.0,
+            "heavy key lost: {}",
+            mg.estimate(7)
+        );
         assert_eq!(mg.entries()[0].0, 7);
     }
 

@@ -203,7 +203,11 @@ mod tests {
         let mut truth = std::collections::HashMap::new();
         let mut rng = nitro_hash::Xoshiro256StarStar::new(3);
         for i in 0..20_000u64 {
-            let key = if i % 4 == 0 { 1 } else { 100 + rng.next_range(300) };
+            let key = if i % 4 == 0 {
+                1
+            } else {
+                100 + rng.next_range(300)
+            };
             ss.update(key, 1.0);
             *truth.entry(key).or_insert(0.0) += 1.0;
         }

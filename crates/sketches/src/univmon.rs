@@ -136,8 +136,7 @@ impl<S: UnivLayer> UnivMon<S> {
     /// `threshold` (absolute weight). Returns `(key, estimate)` heaviest
     /// first.
     pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
-        let mut out: Vec<(FlowKey, f64)> = self
-            .heaps[0]
+        let mut out: Vec<(FlowKey, f64)> = self.heaps[0]
             .entries()
             .map(|(k, _)| (k, self.levels[0].layer_estimate(k)))
             .filter(|&(_, e)| e >= threshold)
@@ -150,14 +149,12 @@ impl<S: UnivLayer> UnivMon<S> {
     /// satisfy `g(0) = 0`; estimates are clamped to ≥ 0 before applying `g`.
     pub fn g_sum(&self, g: impl Fn(f64) -> f64) -> f64 {
         let last = self.levels.len() - 1;
-        let mut y: f64 = self
-            .heaps[last]
+        let mut y: f64 = self.heaps[last]
             .entries()
             .map(|(k, _)| g(self.levels[last].layer_estimate(k).max(0.0)))
             .sum();
         for j in (0..last).rev() {
-            let correction: f64 = self
-                .heaps[j]
+            let correction: f64 = self.heaps[j]
                 .entries()
                 .map(|(k, _)| {
                     let in_next = self.sample_level(k) > j;
@@ -224,7 +221,10 @@ impl<S: UnivLayer> UnivMon<S> {
 
     /// Total resident bytes across levels and heaps.
     pub fn memory_bytes(&self) -> usize {
-        self.levels.iter().map(|l| l.layer_memory_bytes()).sum::<usize>()
+        self.levels
+            .iter()
+            .map(|l| l.layer_memory_bytes())
+            .sum::<usize>()
             + self.heaps.iter().map(|h| h.memory_bytes()).sum::<usize>()
     }
 }

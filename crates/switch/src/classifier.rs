@@ -69,12 +69,8 @@ impl TupleMask {
     /// Project a tuple onto this mask (wildcarded fields zeroed).
     pub fn apply(&self, t: &FiveTuple) -> FiveTuple {
         FiveTuple {
-            src_ip: Ipv4Addr::from(
-                u32::from(t.src_ip) & Self::prefix_mask(self.src_prefix),
-            ),
-            dst_ip: Ipv4Addr::from(
-                u32::from(t.dst_ip) & Self::prefix_mask(self.dst_prefix),
-            ),
+            src_ip: Ipv4Addr::from(u32::from(t.src_ip) & Self::prefix_mask(self.src_prefix)),
+            dst_ip: Ipv4Addr::from(u32::from(t.dst_ip) & Self::prefix_mask(self.dst_prefix)),
             src_port: if self.match_src_port { t.src_port } else { 0 },
             dst_port: if self.match_dst_port { t.dst_port } else { 0 },
             proto: if self.match_proto { t.proto } else { 0 },
@@ -125,7 +121,8 @@ impl TupleSpaceClassifier {
         };
         st.rules.insert(masked, action);
         self.subtables.push(st);
-        self.subtables.sort_by_key(|s| std::cmp::Reverse(s.priority));
+        self.subtables
+            .sort_by_key(|s| std::cmp::Reverse(s.priority));
     }
 
     /// Find the highest-priority matching rule.

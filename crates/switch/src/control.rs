@@ -5,20 +5,21 @@
 //! and computes the measurement results. This module provides:
 //!
 //! - [`EpochReport`]: the per-epoch result record a data plane exports
-//!   (heavy hitters, entropy, distinct, L2, resident bytes). `serde`-derived
-//!   for downstream consumers, plus a compact self-contained binary wire
-//!   format for the simulated control link.
+//!   (heavy hitters, entropy, distinct, L2, resident bytes), with a compact
+//!   self-contained little-endian binary wire format for the simulated
+//!   control link. The same codec conventions (magic word, explicit length
+//!   checks, LE fields) are reused by the sketch checkpoint format in
+//!   `nitro-sketches`.
 //! - [`ControlLink`]: bandwidth accounting for the 1 GbE control channel —
 //!   how long each report occupies the link.
 //! - [`Collector`]: controller-side aggregation across switches and epochs
 //!   (merging heavy-hitter lists, tracking totals).
 
 use nitro_sketches::FlowKey;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One data-plane epoch's exported results.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochReport {
     /// Which switch produced this (operator-assigned).
     pub switch_id: u32,

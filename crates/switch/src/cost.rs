@@ -201,7 +201,9 @@ impl CostModel {
 
         // EMC probe.
         let mut emc = crate::emc::Emc::new(8192);
-        let tuples: Vec<_> = (0..256).map(crate::five_tuple::FiveTuple::synthetic).collect();
+        let tuples: Vec<_> = (0..256)
+            .map(crate::five_tuple::FiveTuple::synthetic)
+            .collect();
         for tu in &tuples {
             emc.insert(*tu, tu.flow_key(), crate::classifier::Action::Forward(0));
         }
@@ -241,10 +243,7 @@ impl CostModel {
             stats.row_updates as f64 * self.counter_ns,
         );
         r.add(Stage::SketchHeap, stats.heap_updates as f64 * self.heap_ns);
-        r.add(
-            Stage::Sampling,
-            stats.sampled_packets as f64 * self.geo_ns,
-        );
+        r.add(Stage::Sampling, stats.sampled_packets as f64 * self.geo_ns);
         r
     }
 }
@@ -327,6 +326,7 @@ mod tests {
             sampled_packets: 10,
             row_updates: 20,
             heap_updates: 10,
+            ..Default::default()
         };
         let r = m.model_sketch(&stats);
         assert_eq!(r.ns(Stage::SketchHash), 200.0);

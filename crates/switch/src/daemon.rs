@@ -8,9 +8,40 @@
 use crate::ovs::Measurement;
 use crate::spsc::SpscRing;
 use nitro_sketches::FlowKey;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Why a daemon could not hand its measurement back.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// The consumer thread panicked; the measurement state is lost. The
+    /// payload is the panic message when one was a string.
+    ConsumerPanicked(Option<String>),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::ConsumerPanicked(Some(msg)) => {
+                write!(f, "measurement daemon panicked: {msg}")
+            }
+            DaemonError::ConsumerPanicked(None) => write!(f, "measurement daemon panicked"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+/// Extract the human-readable message from a `JoinHandle::join` panic
+/// payload, when it is one of the two string types `panic!` produces.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+}
 
 /// A queued observation: flow key + trace timestamp.
 #[derive(Clone, Copy, Debug)]
@@ -123,10 +154,14 @@ impl<M: Measurement + Send + 'static> MeasurementDaemon<M> {
         self.processed.load(Ordering::Relaxed)
     }
 
-    /// Signal stop, drain the ring, and return the measurement state.
-    pub fn finish(self) -> M {
+    /// Signal stop, drain the ring, and return the measurement state. A
+    /// panicked consumer is reported as [`DaemonError`] instead of
+    /// poisoning the caller's thread.
+    pub fn finish(self) -> Result<M, DaemonError> {
         self.stop.store(true, Ordering::Release);
-        self.handle.join().expect("measurement daemon panicked")
+        self.handle
+            .join()
+            .map_err(|e| DaemonError::ConsumerPanicked(panic_message(e.as_ref())))
     }
 }
 
@@ -147,7 +182,7 @@ mod tests {
                 std::thread::yield_now();
             }
         }
-        let nitro = daemon.finish();
+        let nitro = daemon.finish().unwrap();
         assert_eq!(tap.dropped(), 0);
         for f in 0..10u64 {
             assert_eq!(nitro.estimate(f), 5000.0, "flow {f}");
@@ -169,7 +204,7 @@ mod tests {
             tap.offer(i, i);
         }
         assert!(tap.dropped() > 0, "expected drops on a tiny ring");
-        daemon.finish();
+        daemon.finish().unwrap();
     }
 
     #[test]
@@ -179,7 +214,27 @@ mod tests {
         for i in 0..1000u64 {
             tap.offer(i, i);
         }
-        let n = daemon.finish();
+        let n = daemon.finish().unwrap();
         assert_eq!(n.stats().packets, 1000);
+    }
+
+    #[test]
+    fn panicked_consumer_reported_as_error_not_abort() {
+        #[derive(Debug)]
+        struct Explosive;
+        impl Measurement for Explosive {
+            fn on_packet(&mut self, key: FlowKey, _t: u64, _w: f64) {
+                if key == 13 {
+                    panic!("injected consumer fault");
+                }
+            }
+        }
+        let (mut tap, daemon) = spawn(Explosive, 1024);
+        for i in 0..100u64 {
+            tap.offer(i, i);
+        }
+        let err = daemon.finish().unwrap_err();
+        let DaemonError::ConsumerPanicked(msg) = err;
+        assert_eq!(msg.as_deref(), Some("injected consumer fault"));
     }
 }

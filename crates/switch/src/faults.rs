@@ -9,6 +9,8 @@
 
 use crate::packet::Packet;
 use nitro_hash::Xoshiro256StarStar;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Token-bucket rate limiter over packets.
 #[derive(Clone, Debug)]
@@ -58,6 +60,10 @@ pub struct FaultStats {
     pub shaped: u64,
     /// Packets passed through untouched.
     pub passed: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Adjacent pairs swapped by reordering.
+    pub reordered: u64,
 }
 
 /// A configurable link fault injector.
@@ -65,6 +71,8 @@ pub struct FaultStats {
 pub struct FaultInjector {
     drop_chance: f64,
     corrupt_chance: f64,
+    duplicate_chance: f64,
+    reorder_chance: f64,
     limiter: Option<TokenBucket>,
     rng: Xoshiro256StarStar,
     stats: FaultStats,
@@ -76,6 +84,8 @@ impl FaultInjector {
         Self {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
+            duplicate_chance: 0.0,
+            reorder_chance: 0.0,
             limiter: None,
             rng: Xoshiro256StarStar::new(seed),
             stats: FaultStats::default(),
@@ -93,6 +103,24 @@ impl FaultInjector {
     pub fn with_corrupt_chance(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         self.corrupt_chance = p;
+        self
+    }
+
+    /// Randomly deliver a packet twice with this probability (a retransmit
+    /// or a switch-level mirror — sketches double-count it; trackers must
+    /// not crash).
+    pub fn with_duplicate_chance(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.duplicate_chance = p;
+        self
+    }
+
+    /// Randomly swap a packet with its successor with this probability —
+    /// the resulting non-monotonic timestamps exercise the measurement
+    /// stack's clock-clamp path.
+    pub fn with_reorder_chance(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.reorder_chance = p;
         self
     }
 
@@ -128,7 +156,25 @@ impl FaultInjector {
             } else {
                 self.stats.passed += 1;
             }
+            if self.duplicate_chance > 0.0 && self.rng.next_bool(self.duplicate_chance) {
+                out.push(p.clone());
+                self.stats.duplicated += 1;
+            }
             out.push(p);
+        }
+        if self.reorder_chance > 0.0 {
+            // Swap adjacent survivors: keys and timestamps travel together,
+            // so downstream sees genuinely out-of-order arrivals.
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if self.rng.next_bool(self.reorder_chance) {
+                    out.swap(i, i + 1);
+                    self.stats.reordered += 1;
+                    i += 2; // don't re-swap the displaced packet
+                } else {
+                    i += 1;
+                }
+            }
         }
         *batch = out;
     }
@@ -136,6 +182,68 @@ impl FaultInjector {
     /// What happened so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+}
+
+/// Thread-level fault plan: inject a consumer-thread panic after a chosen
+/// number of processed observations. Shared (`Arc`-cloneable) so a test
+/// arms it from outside while the supervised worker calls [`check`]
+/// (`ThreadFaultPlan::check`) on its hot path.
+///
+/// The countdown is one-shot per arming: the panic fires exactly once when
+/// the counter crosses the trigger, then the plan goes quiet until armed
+/// again — so a supervisor's *restarted* thread is not immediately killed
+/// by the same plan.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadFaultPlan {
+    /// Observations remaining until the next injected panic; `u64::MAX`
+    /// means disarmed.
+    remaining: Arc<AtomicU64>,
+    /// Panics fired so far.
+    fired: Arc<AtomicU64>,
+}
+
+/// The panic message [`ThreadFaultPlan::check`] fires with.
+pub const INJECTED_PANIC_MSG: &str = "injected consumer fault";
+
+impl ThreadFaultPlan {
+    /// A disarmed plan (checks are free of panics until armed).
+    pub fn new() -> Self {
+        Self {
+            remaining: Arc::new(AtomicU64::new(u64::MAX)),
+            fired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Arm: panic after `n` more observations pass through [`check`]
+    /// (`ThreadFaultPlan::check`).
+    pub fn panic_after(&self, n: u64) {
+        self.remaining.store(n, Ordering::Release);
+    }
+
+    /// Disarm without firing.
+    pub fn disarm(&self) {
+        self.remaining.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Injected panics fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Account `n` observations; panics when the armed countdown crosses
+    /// zero. Called by the supervised worker on its consume path.
+    pub fn check(&self, n: u64) {
+        let before = self.remaining.load(Ordering::Acquire);
+        if before == u64::MAX {
+            return;
+        }
+        if before <= n {
+            self.remaining.store(u64::MAX, Ordering::Release);
+            self.fired.fetch_add(1, Ordering::AcqRel);
+            panic!("{INJECTED_PANIC_MSG}");
+        }
+        self.remaining.store(before - n, Ordering::Release);
     }
 }
 
@@ -213,6 +321,72 @@ mod tests {
         let frac = kept as f64 / 10_000.0;
         assert!((0.08..0.15).contains(&frac), "kept {frac}");
         assert!(fi.stats().shaped > 8_000);
+    }
+
+    #[test]
+    fn duplication_injects_identical_copies() {
+        let mut fi = FaultInjector::new(6).with_duplicate_chance(1.0);
+        let mut b = burst(50);
+        fi.apply(&mut b);
+        assert_eq!(b.len(), 100);
+        assert_eq!(fi.stats().duplicated, 50);
+        for pair in b.chunks(2) {
+            assert_eq!(pair[0].data, pair[1].data);
+            assert_eq!(pair[0].ts_ns, pair[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn duplication_rate_respected() {
+        let mut fi = FaultInjector::new(7).with_duplicate_chance(0.2);
+        let mut total = 0usize;
+        for _ in 0..100 {
+            let mut b = burst(100);
+            fi.apply(&mut b);
+            total += b.len();
+        }
+        let factor = total as f64 / 10_000.0;
+        assert!((factor - 1.2).abs() < 0.02, "duplication factor {factor}");
+    }
+
+    #[test]
+    fn reordering_permutes_but_never_loses() {
+        let mut fi = FaultInjector::new(8).with_reorder_chance(0.5);
+        let mut b = burst(200);
+        let before: Vec<u64> = b.iter().map(|p| p.ts_ns).collect();
+        fi.apply(&mut b);
+        assert_eq!(b.len(), 200, "reordering must not drop packets");
+        let mut after: Vec<u64> = b.iter().map(|p| p.ts_ns).collect();
+        assert!(
+            after.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one inversion"
+        );
+        after.sort_unstable();
+        assert_eq!(after, before, "same multiset of packets");
+        assert!(fi.stats().reordered > 30);
+    }
+
+    #[test]
+    fn thread_fault_plan_fires_once_per_arming() {
+        let plan = ThreadFaultPlan::new();
+        plan.check(1000); // disarmed: no panic
+        plan.panic_after(100);
+        let shared = plan.clone();
+        let err = std::thread::spawn(move || {
+            for _ in 0..100 {
+                shared.check(64);
+            }
+        })
+        .join()
+        .unwrap_err();
+        assert_eq!(
+            crate::daemon::panic_message(err.as_ref()).as_deref(),
+            Some(INJECTED_PANIC_MSG)
+        );
+        assert_eq!(plan.fired(), 1);
+        // Quiet after firing — a restarted worker survives.
+        plan.check(u64::MAX - 1);
+        assert_eq!(plan.fired(), 1);
     }
 
     #[test]

@@ -112,11 +112,12 @@ impl std::fmt::Display for FiveTuple {
             match self.proto {
                 PROTO_TCP => "tcp",
                 PROTO_UDP => "udp",
-                p => return write!(
-                    f,
-                    "{}:{} -> {}:{} (proto {p})",
-                    self.src_ip, self.src_port, self.dst_ip, self.dst_port
-                ),
+                p =>
+                    return write!(
+                        f,
+                        "{}:{} -> {}:{} (proto {p})",
+                        self.src_ip, self.src_port, self.dst_ip, self.dst_port
+                    ),
             }
         )
     }

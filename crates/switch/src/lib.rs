@@ -15,6 +15,9 @@
 //! - [`bess`]: a BESS-style module pipeline.
 //! - [`spsc`] / [`daemon`]: the lock-free single-producer/single-consumer
 //!   ring and measurement thread of the "separate-thread" integration.
+//! - [`supervisor`]: the robustness layer over the daemon — panic
+//!   recovery with checkpoint/restore, stall watchdog, and
+//!   backpressure-driven sampling downshift.
 //! - [`nic`]: the simulated PMD/NIC feeding 32-packet batches from traces.
 //! - [`cost`]: calibrated per-operation cost accounting — the stand-in for
 //!   VTune's per-function CPU shares (Table 2, Fig. 10).
@@ -38,13 +41,19 @@ pub mod ovs;
 pub mod packet;
 pub mod parse;
 pub mod spsc;
+pub mod supervisor;
 pub mod vpp;
 
 pub use control::{Collector, ControlLink, EpochReport};
 pub use cost::{CostModel, CostReport, Stage};
-pub use faults::{FaultInjector, FaultStats};
+pub use daemon::{DaemonError, MeasurementDaemon, MeasurementTap, Observation};
+pub use faults::{FaultInjector, FaultStats, ThreadFaultPlan, TokenBucket};
 pub use five_tuple::FiveTuple;
 pub use ovs::{Measurement, NullMeasurement, OvsDatapath};
 pub use packet::{build_packet, Packet};
 pub use parse::{parse_five_tuple, ParseError};
 pub use spsc::SpscRing;
+pub use supervisor::{
+    spawn_supervised, Recoverable, SupervisedDaemon, SupervisedTap, SupervisorConfig,
+    SupervisorError,
+};

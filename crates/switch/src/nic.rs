@@ -123,7 +123,13 @@ mod tests {
 
     fn records(n: u64) -> Vec<PacketRecord> {
         (0..n)
-            .map(|i| PacketRecord::new(FiveTuple::synthetic(i % 10), 64 + (i % 3) as u32 * 100, i * 1000))
+            .map(|i| {
+                PacketRecord::new(
+                    FiveTuple::synthetic(i % 10),
+                    64 + (i % 3) as u32 * 100,
+                    i * 1000,
+                )
+            })
             .collect()
     }
 

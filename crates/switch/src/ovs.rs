@@ -196,7 +196,13 @@ impl<M: Measurement> OvsDatapath<M> {
     }
 
     /// Install an extra classifier rule (tests and richer scenarios).
-    pub fn add_rule(&mut self, mask: TupleMask, pattern: crate::five_tuple::FiveTuple, priority: i32, action: Action) {
+    pub fn add_rule(
+        &mut self,
+        mask: TupleMask,
+        pattern: crate::five_tuple::FiveTuple,
+        priority: i32,
+        action: Action,
+    ) {
         self.classifier.insert(mask, pattern, priority, action);
     }
 
@@ -416,7 +422,11 @@ mod tests {
         let mut recs = Vec::new();
         for i in 0..100u64 {
             recs.push(PacketRecord::new(FiveTuple::synthetic(0), 64, i * 100));
-            recs.push(PacketRecord::new(FiveTuple::synthetic(1), 1500, i * 100 + 50));
+            recs.push(PacketRecord::new(
+                FiveTuple::synthetic(1),
+                1500,
+                i * 100 + 50,
+            ));
         }
         dp.run_trace(&recs);
         let k0 = FiveTuple::synthetic(0).flow_key();

@@ -124,7 +124,7 @@ mod tests {
         let p = build_packet(&t, 128, 0);
         let mut v = p.data.to_vec();
         v[14] = 0x46; // IHL 6
-        // Insert 4 zero bytes after the 20-byte header (shifting L4 up).
+                      // Insert 4 zero bytes after the 20-byte header (shifting L4 up).
         v.splice(34..34, [0u8; 4]);
         let parsed = parse_five_tuple(&v).unwrap();
         assert_eq!(parsed.src_port, t.src_port);

@@ -35,8 +35,9 @@ impl<T: Copy> SpscRing<T> {
     /// of two, minimum 2).
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.next_power_of_two().max(2);
-        let buf: Vec<UnsafeCell<MaybeUninit<T>>> =
-            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
         Self {
             buf: buf.into_boxed_slice(),
             mask: cap - 1,
@@ -60,6 +61,13 @@ impl<T: Copy> SpscRing<T> {
     /// True when nothing is queued (approximate under concurrency).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Fill fraction in `[0, 1]` (approximate under concurrency) — the
+    /// backpressure signal the supervised tap samples to decide when to
+    /// request a sampling downshift instead of dropping.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.buf.len() as f64
     }
 
     /// Producer: enqueue one item; `false` when the ring is full (the
@@ -221,5 +229,144 @@ mod tests {
         }
         assert_eq!(dropped, 6);
         assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn occupancy_tracks_fill_level() {
+        let r = SpscRing::new(8);
+        assert_eq!(r.occupancy(), 0.0);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.occupancy(), 0.5);
+        for i in 4..8 {
+            r.push(i);
+        }
+        assert_eq!(r.occupancy(), 1.0);
+        r.pop();
+        assert_eq!(r.occupancy(), 7.0 / 8.0);
+        // Occupancy stays in [0, 1] across index wraparound.
+        for round in 0..100u64 {
+            r.push(round);
+            r.pop();
+            let o = r.occupancy();
+            assert!((0.0..=1.0).contains(&o), "occupancy {o}");
+        }
+    }
+
+    #[test]
+    fn batch_transfer_stress_across_capacities() {
+        // Multi-thread stress: batched producer vs batched consumer at
+        // several capacities (including tiny rings that wrap every few
+        // pushes). Every item must arrive exactly once, in order. Blocked
+        // sides yield rather than spin: on a single-core machine a spinning
+        // peer would starve the other thread for whole scheduler quanta.
+        for capacity in [2usize, 8, 64, 1024] {
+            let r = Arc::new(SpscRing::<u64>::new(capacity));
+            let n = if capacity < 64 { 20_000u64 } else { 200_000u64 };
+            let prod = {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let items: Vec<u64> = (0..n).collect();
+                    let mut at = 0usize;
+                    // Vary batch size so pushes land on every alignment
+                    // relative to the ring boundary.
+                    let mut size = 1usize;
+                    while at < items.len() {
+                        let end = (at + size).min(items.len());
+                        let wrote = r.push_batch(&items[at..end]);
+                        at += wrote;
+                        if wrote == 0 {
+                            std::thread::yield_now();
+                        }
+                        size = size % 7 + 1;
+                    }
+                })
+            };
+            let cons = {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut expect = 0u64;
+                    let mut buf = [0u64; 13];
+                    while expect < n {
+                        let got = r.pop_batch(&mut buf);
+                        for &v in &buf[..got] {
+                            assert_eq!(v, expect, "capacity {capacity}: out of order");
+                            expect += 1;
+                        }
+                        if got == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            };
+            prod.join().unwrap();
+            cons.join().unwrap();
+            assert!(r.is_empty(), "capacity {capacity}: residue left");
+        }
+    }
+
+    #[test]
+    fn mixed_scalar_and_batch_stress() {
+        // Producer alternates push/push_batch while the consumer alternates
+        // pop/pop_batch — the four entry points must compose safely.
+        let r = Arc::new(SpscRing::<u64>::new(32));
+        let n = 50_000u64;
+        let prod = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut next = 0u64;
+                while next < n {
+                    let progressed = if next.is_multiple_of(3) {
+                        if r.push(next) {
+                            next += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        let end = (next + 5).min(n);
+                        let batch: Vec<u64> = (next..end).collect();
+                        let wrote = r.push_batch(&batch) as u64;
+                        next += wrote;
+                        wrote > 0
+                    };
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let cons = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut expect = 0u64;
+                let mut buf = [0u64; 7];
+                while expect < n {
+                    let progressed = if expect.is_multiple_of(2) {
+                        if let Some(v) = r.pop() {
+                            assert_eq!(v, expect);
+                            expect += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        let got = r.pop_batch(&mut buf);
+                        for &v in &buf[..got] {
+                            assert_eq!(v, expect);
+                            expect += 1;
+                        }
+                        got > 0
+                    };
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        prod.join().unwrap();
+        cons.join().unwrap();
+        assert!(r.is_empty());
     }
 }

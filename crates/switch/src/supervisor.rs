@@ -1,0 +1,707 @@
+//! Supervised measurement daemon: panic recovery, checkpoint/restore, and
+//! backpressure-driven graceful degradation.
+//!
+//! The plain separate-thread daemon ([`crate::daemon`]) reproduces the
+//! paper's §6 integration but inherits its fragility: a panic in the sketch
+//! thread loses the whole measurement epoch, and a consumer that cannot
+//! keep up silently sheds load at the ring. Production software switches
+//! (the deployment target of §1) need the monitoring plane to degrade
+//! gracefully instead. This module wraps the consumer in a supervisor
+//! thread that:
+//!
+//! 1. **Recovers from panics.** The worker thread runs the sketch; the
+//!    supervisor polls its liveness and, on a panic, rebuilds a fresh
+//!    measurement from the caller's factory, restores the most recent
+//!    checkpoint, and re-attaches the *same* ring — the producer-side tap
+//!    never blocks and never reconnects. Recovery error is bounded by one
+//!    checkpoint interval plus one in-flight batch.
+//! 2. **Checkpoints periodically.** Every `checkpoint_every` consumed
+//!    observations the worker serialises the measurement (via
+//!    [`Recoverable::checkpoint_bytes`], the byte codec from
+//!    `nitro_sketches::checkpoint`) into a shared slot.
+//! 3. **Detects stalls.** A watchdog observes the consumed-observation
+//!    counter; if the ring is non-empty but consumption has not advanced
+//!    within `stall_timeout`, the supervisor bumps a generation counter
+//!    that asks the worker to exit at its next loop iteration, then
+//!    respawns it. (A worker wedged *inside* the measurement callback can
+//!    only be recovered cooperatively — the SPSC discipline forbids
+//!    attaching a second consumer while the first may still touch the
+//!    ring.)
+//! 4. **Degrades instead of dropping.** The tap samples ring occupancy;
+//!    above `high_water` it requests a sampling-probability downshift
+//!    ([`Recoverable::downshift`] walks the paper's geometric grid
+//!    toward `P_MIN`), trading accuracy for throughput instead of
+//!    silently discarding observations.
+//!
+//! Every observation's fate is accounted: consumed, dropped at the ring,
+//! or lost in a crash window — [`nitro_metrics::DaemonHealth::unaccounted`]
+//! is zero after a clean shutdown.
+
+use crate::daemon::{panic_message, Observation};
+use crate::faults::ThreadFaultPlan;
+use crate::ovs::Measurement;
+use crate::spsc::SpscRing;
+use nitro_core::NitroSketch;
+use nitro_metrics::DaemonHealth;
+use nitro_sketches::checkpoint::CheckpointError;
+use nitro_sketches::{Checkpoint, FlowKey, RowSketch};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A measurement that can be checkpointed, restored, and downshifted —
+/// everything the supervisor needs for crash recovery and graceful
+/// degradation.
+pub trait Recoverable: Measurement {
+    /// Serialise the full measurement state (geometry + counters) into a
+    /// self-describing byte checkpoint.
+    fn checkpoint_bytes(&self) -> Vec<u8>;
+
+    /// Replace this measurement's state with a checkpoint taken from a
+    /// compatible instance. Must leave `self` untouched on error.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
+
+    /// Reduce the sampling probability one step under backpressure.
+    /// Returns the new probability, or `None` when already at the floor
+    /// (or when the measurement has no sampling knob).
+    fn downshift(&mut self) -> Option<f64> {
+        None
+    }
+}
+
+impl<S: RowSketch + Checkpoint> Recoverable for NitroSketch<S> {
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        self.snapshot()
+    }
+
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        self.restore(bytes)
+    }
+
+    fn downshift(&mut self) -> Option<f64> {
+        NitroSketch::downshift(self)
+    }
+}
+
+/// Tuning for [`spawn_supervised`].
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// SPSC ring slots between the switch thread and the worker.
+    pub ring_capacity: usize,
+    /// Consumed observations between checkpoints.
+    pub checkpoint_every: u64,
+    /// Ring occupancy in `[0, 1]` above which the tap requests a sampling
+    /// downshift instead of waiting for drops.
+    pub high_water: f64,
+    /// Supervisor poll cadence (liveness + stall watchdog).
+    pub check_interval: Duration,
+    /// No consumption progress while the ring is non-empty for this long
+    /// counts as a stall and forces a cooperative worker restart.
+    pub stall_timeout: Duration,
+    /// Panic restarts beyond this budget abort the run with
+    /// [`SupervisorError::RestartBudgetExhausted`].
+    pub max_restarts: u64,
+    /// Optional fault-injection plan armed into every worker incarnation
+    /// (test hook; shares its one-shot trigger across incarnations).
+    pub fault_plan: Option<ThreadFaultPlan>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 1 << 14,
+            checkpoint_every: 10_000,
+            high_water: 0.75,
+            check_interval: Duration::from_millis(1),
+            stall_timeout: Duration::from_millis(500),
+            max_restarts: 8,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a supervised run could not hand its measurement back.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// The worker panicked more times than `max_restarts` allows.
+    RestartBudgetExhausted {
+        /// Panic restarts attempted (including the one that exceeded the
+        /// budget).
+        restarts: u64,
+        /// Message of the final panic, when it was a string.
+        last_panic: Option<String>,
+        /// Health counters at the moment the supervisor gave up.
+        health: DaemonHealth,
+    },
+    /// The supervisor thread itself panicked — a bug, not a recoverable
+    /// condition.
+    SupervisorPanicked(Option<String>),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::RestartBudgetExhausted {
+                restarts,
+                last_panic,
+                ..
+            } => {
+                write!(f, "restart budget exhausted after {restarts} panics")?;
+                if let Some(msg) = last_panic {
+                    write!(f, " (last: {msg})")?;
+                }
+                Ok(())
+            }
+            SupervisorError::SupervisorPanicked(Some(msg)) => {
+                write!(f, "supervisor thread panicked: {msg}")
+            }
+            SupervisorError::SupervisorPanicked(None) => write!(f, "supervisor thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// State shared between the tap, the worker, and the supervisor.
+struct Shared {
+    ring: SpscRing<Observation>,
+    stop: AtomicBool,
+    /// Bumped by the stall watchdog; the worker exits when it no longer
+    /// matches the generation it was spawned with.
+    generation: AtomicU64,
+    offered: AtomicU64,
+    dropped: AtomicU64,
+    /// Observations taken off the ring (pre-processing).
+    popped: AtomicU64,
+    /// Observations applied to the measurement (post-processing).
+    processed: AtomicU64,
+    checkpoints: AtomicU64,
+    restores: AtomicU64,
+    restarts: AtomicU64,
+    stalls: AtomicU64,
+    downshifts: AtomicU64,
+    /// Tap-side requests; the worker acknowledges via `downshift_acks`
+    /// whether or not a lower probability was available.
+    downshift_requests: AtomicU64,
+    downshift_acks: AtomicU64,
+    checkpoint: Mutex<Option<Vec<u8>>>,
+    high_water: f64,
+}
+
+impl Shared {
+    fn new(ring_capacity: usize, high_water: f64) -> Self {
+        Self {
+            ring: SpscRing::new(ring_capacity),
+            stop: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            downshifts: AtomicU64::new(0),
+            downshift_requests: AtomicU64::new(0),
+            downshift_acks: AtomicU64::new(0),
+            checkpoint: Mutex::new(None),
+            high_water,
+        }
+    }
+
+    fn store_checkpoint(&self, bytes: Vec<u8>) {
+        let mut slot = self
+            .checkpoint
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(bytes);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn load_checkpoint(&self) -> Option<Vec<u8>> {
+        self.checkpoint
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    fn health(&self) -> DaemonHealth {
+        let popped = self.popped.load(Ordering::Relaxed);
+        let processed = self.processed.load(Ordering::Relaxed);
+        DaemonHealth {
+            offered: self.offered.load(Ordering::Relaxed),
+            processed,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            lost_in_crash: popped.saturating_sub(processed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            downshifts: self.downshifts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Producer-side handle of the supervised daemon: lives in the switching
+/// thread, never blocks, and signals backpressure instead of silently
+/// shedding load.
+pub struct SupervisedTap {
+    shared: Arc<Shared>,
+    offers: u64,
+}
+
+impl SupervisedTap {
+    /// Offer one observation. A full ring counts a drop (the datapath is
+    /// never stalled); every 64 offers the tap samples occupancy and,
+    /// above the high-water mark, requests a sampling downshift from the
+    /// worker.
+    #[inline]
+    pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
+        self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        if !self.shared.ring.push(Observation { key, ts_ns }) {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        self.offers += 1;
+        if self.offers & 63 == 0 {
+            self.maybe_request_downshift();
+        }
+    }
+
+    /// Offer a whole burst at one timestamp.
+    pub fn offer_batch(&mut self, keys: &[FlowKey], ts_ns: u64) {
+        for &key in keys {
+            self.offer(key, ts_ns);
+        }
+    }
+
+    /// Observations lost to a full ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Current ring fill fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.shared.ring.occupancy()
+    }
+
+    fn maybe_request_downshift(&self) {
+        if self.shared.ring.occupancy() < self.shared.high_water {
+            return;
+        }
+        // Only one request may be in flight: wait for the worker's ack
+        // before asking again, so a long queue cannot slam the sampler
+        // straight to the floor.
+        let requests = self.shared.downshift_requests.load(Ordering::Acquire);
+        let acks = self.shared.downshift_acks.load(Ordering::Acquire);
+        if requests == acks {
+            self.shared
+                .downshift_requests
+                .fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+impl Measurement for SupervisedTap {
+    #[inline]
+    fn on_packet(&mut self, key: FlowKey, ts_ns: u64, _weight: f64) {
+        self.offer(key, ts_ns);
+    }
+}
+
+/// The running supervised daemon: owns the supervisor thread, which in
+/// turn owns the current worker incarnation.
+pub struct SupervisedDaemon<M: Recoverable + Send + 'static> {
+    handle: JoinHandle<Result<M, (u64, Option<String>)>>,
+    shared: Arc<Shared>,
+}
+
+impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
+    /// Observations applied to the measurement so far (across restarts).
+    pub fn processed(&self) -> u64 {
+        self.shared.processed.load(Ordering::Relaxed)
+    }
+
+    /// Live snapshot of the health counters.
+    pub fn health(&self) -> DaemonHealth {
+        self.shared.health()
+    }
+
+    /// Signal stop, let the worker drain the ring, and return the final
+    /// measurement together with the run's health record.
+    pub fn finish(self) -> Result<(M, DaemonHealth), SupervisorError> {
+        self.shared.stop.store(true, Ordering::Release);
+        match self.handle.join() {
+            Ok(Ok(m)) => Ok((m, self.shared.health())),
+            Ok(Err((restarts, last_panic))) => Err(SupervisorError::RestartBudgetExhausted {
+                restarts,
+                last_panic,
+                health: self.shared.health(),
+            }),
+            Err(payload) => Err(SupervisorError::SupervisorPanicked(panic_message(
+                payload.as_ref(),
+            ))),
+        }
+    }
+}
+
+/// One worker incarnation: drain the ring into `m` until asked to stop
+/// (clean shutdown) or until the supervisor bumps the generation (stall
+/// restart). Returns the measurement so the supervisor can hand it to the
+/// next incarnation or to the caller.
+fn run_worker<M: Recoverable>(
+    mut m: M,
+    shared: &Shared,
+    my_generation: u64,
+    plan: Option<&ThreadFaultPlan>,
+    checkpoint_every: u64,
+) -> M {
+    let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
+    let mut idle_spins = 0u32;
+    let mut since_checkpoint = 0u64;
+    loop {
+        if shared.generation.load(Ordering::Acquire) != my_generation {
+            break;
+        }
+        let requests = shared.downshift_requests.load(Ordering::Acquire);
+        let acks = shared.downshift_acks.load(Ordering::Acquire);
+        if requests > acks {
+            if m.downshift().is_some() {
+                shared.downshifts.fetch_add(1, Ordering::Relaxed);
+            }
+            // Acknowledge even at the probability floor so the tap's
+            // request slot frees up instead of wedging.
+            shared.downshift_acks.fetch_add(1, Ordering::Release);
+        }
+        let n = shared.ring.pop_batch(&mut buf);
+        if n == 0 {
+            if shared.stop.load(Ordering::Acquire) && shared.ring.is_empty() {
+                break;
+            }
+            idle_spins += 1;
+            if idle_spins > 16 {
+                // On a single-core host a spinning consumer starves the
+                // producer for a whole scheduler quantum; always yield.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        idle_spins = 0;
+        shared.popped.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(plan) = plan {
+            // Fault-injection point: a panic here models a crash after the
+            // batch left the ring but before it reached the sketch — the
+            // worst window for accounting, covered by `lost_in_crash`.
+            plan.check(n as u64);
+        }
+        for obs in &buf[..n] {
+            m.on_packet(obs.key, obs.ts_ns, 1.0);
+        }
+        shared.processed.fetch_add(n as u64, Ordering::Relaxed);
+        since_checkpoint += n as u64;
+        if since_checkpoint >= checkpoint_every {
+            since_checkpoint = 0;
+            shared.store_checkpoint(m.checkpoint_bytes());
+        }
+    }
+    m
+}
+
+/// Spawn a supervised measurement daemon around `measurement`.
+///
+/// `factory` builds a blank, geometry-compatible replacement when a worker
+/// incarnation panics; the supervisor restores the latest checkpoint into
+/// it and re-attaches the existing ring, so the producer-side
+/// [`SupervisedTap`] is oblivious to the crash. Returns the tap and the
+/// daemon handle.
+pub fn spawn_supervised<M, F>(
+    measurement: M,
+    factory: F,
+    config: SupervisorConfig,
+) -> (SupervisedTap, SupervisedDaemon<M>)
+where
+    M: Recoverable + Send + 'static,
+    F: FnMut() -> M + Send + 'static,
+{
+    let shared = Arc::new(Shared::new(config.ring_capacity, config.high_water));
+    // Checkpoint the pristine state up front: a panic before the first
+    // periodic checkpoint restores to "empty but correctly configured"
+    // rather than to nothing.
+    shared.store_checkpoint(measurement.checkpoint_bytes());
+
+    let handle = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || supervise(measurement, factory, config, &shared))
+    };
+
+    (
+        SupervisedTap {
+            shared: Arc::clone(&shared),
+            offers: 0,
+        },
+        SupervisedDaemon { handle, shared },
+    )
+}
+
+/// Supervisor thread body: spawn worker incarnations, poll their liveness,
+/// restart on panic (restoring the latest checkpoint) or on stall (bumping
+/// the generation), and return the final measurement after a clean drain.
+fn supervise<M, F>(
+    measurement: M,
+    mut factory: F,
+    config: SupervisorConfig,
+    shared: &Arc<Shared>,
+) -> Result<M, (u64, Option<String>)>
+where
+    M: Recoverable + Send + 'static,
+    F: FnMut() -> M + Send + 'static,
+{
+    let spawn_worker = |m: M, generation: u64| -> JoinHandle<M> {
+        let shared = Arc::clone(shared);
+        let plan = config.fault_plan.clone();
+        let checkpoint_every = config.checkpoint_every;
+        std::thread::spawn(move || {
+            run_worker(m, &shared, generation, plan.as_ref(), checkpoint_every)
+        })
+    };
+
+    let mut worker = spawn_worker(measurement, 0);
+    let mut last_popped = 0u64;
+    let mut last_progress = Instant::now();
+    loop {
+        if worker.is_finished() {
+            match worker.join() {
+                Ok(m) => {
+                    if shared.stop.load(Ordering::Acquire) && shared.ring.is_empty() {
+                        return Ok(m);
+                    }
+                    // Cooperative stall exit: the measurement survived, so
+                    // re-attach it directly under the current generation.
+                    let generation = shared.generation.load(Ordering::Acquire);
+                    worker = spawn_worker(m, generation);
+                }
+                Err(payload) => {
+                    let last_panic = panic_message(payload.as_ref());
+                    let restarts = shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                    if restarts > config.max_restarts {
+                        return Err((restarts, last_panic));
+                    }
+                    let mut replacement = factory();
+                    if let Some(bytes) = shared.load_checkpoint() {
+                        if replacement.restore_bytes(&bytes).is_ok() {
+                            shared.restores.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // The panicked worker is dead, so attaching the
+                    // replacement to the same ring preserves the
+                    // single-consumer discipline.
+                    let generation = shared.generation.load(Ordering::Acquire);
+                    worker = spawn_worker(replacement, generation);
+                }
+            }
+            last_progress = Instant::now();
+            last_popped = shared.popped.load(Ordering::Relaxed);
+            continue;
+        }
+
+        let popped = shared.popped.load(Ordering::Relaxed);
+        if popped != last_popped {
+            last_popped = popped;
+            last_progress = Instant::now();
+        } else if !shared.ring.is_empty() && last_progress.elapsed() >= config.stall_timeout {
+            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            shared.generation.fetch_add(1, Ordering::AcqRel);
+            last_progress = Instant::now();
+        }
+        std::thread::sleep(config.check_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::INJECTED_PANIC_MSG;
+    use nitro_core::Mode;
+    use nitro_sketches::CountMin;
+
+    fn small_nitro() -> NitroSketch<CountMin> {
+        NitroSketch::new(CountMin::new(4, 1024, 7), Mode::Fixed { p: 1.0 }, 5)
+    }
+
+    fn offer_all(tap: &mut SupervisedTap, keys: impl Iterator<Item = u64>) {
+        for (i, k) in keys.enumerate() {
+            tap.offer(k, i as u64);
+            if i % 512 == 0 {
+                // Single-core host: give the worker air.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_accounts_for_everything() {
+        let (mut tap, daemon) = spawn_supervised(
+            small_nitro(),
+            small_nitro,
+            SupervisorConfig {
+                checkpoint_every: 5_000,
+                ..Default::default()
+            },
+        );
+        offer_all(&mut tap, (0..20_000u64).map(|i| i % 10));
+        let (nitro, health) = daemon.finish().unwrap();
+        assert_eq!(health.offered, 20_000);
+        assert_eq!(health.unaccounted(), 0);
+        assert_eq!(health.restarts, 0);
+        assert_eq!(health.lost_in_crash, 0);
+        assert!(health.checkpoints >= 1, "initial checkpoint at minimum");
+        assert_eq!(health.dropped, 0);
+        for f in 0..10u64 {
+            assert_eq!(nitro.estimate(f), 2_000.0, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn panic_mid_stream_restarts_and_restores() {
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(4_000);
+        let (mut tap, daemon) = spawn_supervised(
+            small_nitro(),
+            small_nitro,
+            SupervisorConfig {
+                checkpoint_every: 1_000,
+                fault_plan: Some(plan.clone()),
+                ..Default::default()
+            },
+        );
+        offer_all(&mut tap, (0..30_000u64).map(|i| i % 8));
+        let (nitro, health) = daemon.finish().unwrap();
+        assert_eq!(plan.fired(), 1, "fault fired exactly once");
+        assert_eq!(health.restarts, 1);
+        assert_eq!(health.restores, 1, "restored from a checkpoint");
+        assert_eq!(health.stalls, 0);
+        assert_eq!(health.unaccounted(), 0);
+        // At most one checkpoint interval + one in-flight batch of updates
+        // is missing; everything processed after the restore is present.
+        let total: f64 = (0..8u64).map(|f| nitro.estimate(f)).sum();
+        let lost_bound = 1_000.0 + 64.0;
+        assert!(
+            total >= 30_000.0 - health.lost_in_crash as f64 - lost_bound,
+            "recovered total {total} lost more than a checkpoint interval"
+        );
+        assert!(total <= 30_000.0, "Count-Min total cannot exceed offered");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_an_error_with_health() {
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(100);
+        let (mut tap, daemon) = spawn_supervised(
+            small_nitro(),
+            small_nitro,
+            SupervisorConfig {
+                max_restarts: 0,
+                fault_plan: Some(plan),
+                ..Default::default()
+            },
+        );
+        offer_all(&mut tap, 0..2_000u64);
+        let err = daemon.finish().unwrap_err();
+        match err {
+            SupervisorError::RestartBudgetExhausted {
+                restarts,
+                last_panic,
+                health,
+            } => {
+                assert_eq!(restarts, 1);
+                assert_eq!(last_panic.as_deref(), Some(INJECTED_PANIC_MSG));
+                assert!(health.restarts >= 1);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn stall_watchdog_forces_cooperative_restart() {
+        /// A measurement that takes a scheduler-visible pause per packet,
+        /// long enough for the watchdog to declare a stall while the ring
+        /// still holds a backlog.
+        struct Molasses {
+            seen: u64,
+        }
+        impl Measurement for Molasses {
+            fn on_packet(&mut self, _key: FlowKey, _ts: u64, _w: f64) {
+                self.seen += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        impl Recoverable for Molasses {
+            fn checkpoint_bytes(&self) -> Vec<u8> {
+                self.seen.to_le_bytes().to_vec()
+            }
+            fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(bytes);
+                self.seen = u64::from_le_bytes(raw);
+                Ok(())
+            }
+        }
+        let (mut tap, daemon) = spawn_supervised(
+            Molasses { seen: 0 },
+            || Molasses { seen: 0 },
+            SupervisorConfig {
+                ring_capacity: 1 << 10,
+                stall_timeout: Duration::from_millis(40),
+                check_interval: Duration::from_millis(2),
+                ..Default::default()
+            },
+        );
+        // A backlog of 150 keeps the ring non-empty across the first
+        // 64-observation batch (~128 ms of processing), so the watchdog
+        // sees a non-empty ring with a frozen progress counter.
+        for i in 0..150u64 {
+            tap.offer(i, i);
+        }
+        let (m, health) = daemon.finish().unwrap();
+        assert!(health.stalls >= 1, "watchdog never fired: {health}");
+        assert_eq!(health.restarts, 0, "a stall is not a panic restart");
+        assert_eq!(m.seen, 150, "cooperative restart keeps the measurement");
+        assert_eq!(health.unaccounted(), 0);
+    }
+
+    #[test]
+    fn backpressure_requests_downshift_instead_of_only_dropping() {
+        // Tiny ring + Fixed mode: the tap must cross the high-water mark
+        // and the worker must honour the request by lowering p.
+        let nitro = || NitroSketch::new(CountMin::new(4, 1024, 7), Mode::Fixed { p: 1.0 }, 5);
+        let (mut tap, daemon) = spawn_supervised(
+            nitro(),
+            nitro,
+            SupervisorConfig {
+                ring_capacity: 1 << 7,
+                high_water: 0.5,
+                ..Default::default()
+            },
+        );
+        // Flood without yielding: the ring saturates, occupancy crosses
+        // the mark, and the 64-offer cadence observes it.
+        for i in 0..50_000u64 {
+            tap.offer(i % 16, i);
+        }
+        let (nitro, health) = daemon.finish().unwrap();
+        assert!(
+            health.downshifts >= 1,
+            "no downshift under sustained overload: {health}"
+        );
+        assert!(nitro.p() < 1.0, "sampling probability did not drop");
+        assert_eq!(health.unaccounted(), 0, "every observation accounted");
+        assert_eq!(
+            health.offered,
+            health.processed + health.dropped + health.lost_in_crash
+        );
+    }
+}

@@ -332,8 +332,7 @@ mod tests {
         g.eth.process(&mut batch);
         g.ip4.process(&mut batch);
         g.lookup.process(&mut batch);
-        let ports: std::collections::HashSet<_> =
-            batch.iter().filter_map(|m| m.out_port).collect();
+        let ports: std::collections::HashSet<_> = batch.iter().filter_map(|m| m.out_port).collect();
         assert!(!ports.is_empty());
         assert!(ports.iter().all(|&p| p < 2));
     }

@@ -68,7 +68,9 @@ mod tests {
 
     #[test]
     fn is_heavy_tailed_not_dominated() {
-        let gt = GroundTruth::from_records(crate::take_records(CaidaLike::new(1, 100_000), 200_000).as_slice());
+        let gt = GroundTruth::from_records(
+            crate::take_records(CaidaLike::new(1, 100_000), 200_000).as_slice(),
+        );
         let top = gt.top_k(10);
         let top_share: f64 = top.iter().map(|&(_, c)| c).sum::<f64>() / gt.l1();
         // Zipf 1.02 over 100k flows: top-10 carries a real but modest share.

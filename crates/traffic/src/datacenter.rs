@@ -75,9 +75,7 @@ mod tests {
         let caida = GroundTruth::from_records(
             crate::take_records(crate::CaidaLike::new(1, 10_000), 100_000).as_slice(),
         );
-        let share = |gt: &GroundTruth| {
-            gt.top_k(10).iter().map(|&(_, c)| c).sum::<f64>() / gt.l1()
-        };
+        let share = |gt: &GroundTruth| gt.top_k(10).iter().map(|&(_, c)| c).sum::<f64>() / gt.l1();
         let dc_share = share(&dc);
         let caida_share = share(&caida);
         assert!(
@@ -91,8 +89,7 @@ mod tests {
     fn flow_namespace_disjoint_from_caida() {
         let dc = crate::take_records(DatacenterLike::new(2, 1000), 1000);
         let ca = crate::take_records(crate::CaidaLike::new(2, 1000), 1000);
-        let dc_keys: std::collections::HashSet<_> =
-            dc.iter().map(|r| r.tuple.flow_key()).collect();
+        let dc_keys: std::collections::HashSet<_> = dc.iter().map(|r| r.tuple.flow_key()).collect();
         for r in &ca {
             assert!(!dc_keys.contains(&r.tuple.flow_key()));
         }

@@ -50,11 +50,7 @@ impl Iterator for MinSized {
 
     fn next(&mut self) -> Option<PacketRecord> {
         let f = self.rng.next_range(self.flows);
-        let rec = PacketRecord::new(
-            FiveTuple::synthetic(FLOW_NAMESPACE + f),
-            64,
-            self.ts_ns,
-        );
+        let rec = PacketRecord::new(FiveTuple::synthetic(FLOW_NAMESPACE + f), 64, self.ts_ns);
         self.ts_ns += self.gap_ns;
         Some(rec)
     }

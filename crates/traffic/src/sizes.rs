@@ -67,11 +67,7 @@ impl PacketSizeMix {
 
     /// Analytic mean of the mixture.
     pub fn mean(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|&(s, w)| s as f64 * w)
-            .sum::<f64>()
-            / self.total_weight
+        self.points.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / self.total_weight
     }
 }
 

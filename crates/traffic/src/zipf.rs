@@ -27,7 +27,8 @@ impl Zipf {
         assert!(s > 0.0, "Zipf exponent must be positive");
         let h_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_n = Self::h_integral(n as f64 + 0.5, s);
-        let threshold = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        let threshold =
+            2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
         Self {
             n,
             s,

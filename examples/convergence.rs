@@ -36,7 +36,10 @@ fn main() {
     // processing rate and the convergence moment.
     let mut gen = keys_of(CaidaLike::new(17, 500_000));
     let slice = 100_000;
-    println!("{:>10} {:>10} {:>12} {:>12}  converged?", "packets", "p", "Mpps", "updates/pkt");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}  converged?",
+        "packets", "p", "Mpps", "updates/pkt"
+    );
     let mut was_converged = false;
     for s in 1..=40 {
         let keys: Vec<FlowKey> = gen.by_ref().take(slice).collect();

@@ -66,7 +66,10 @@ fn main() {
             100.0 * nitrosketch::metrics::recall(&reported, &truth_keys)
         );
         for &(k, est) in hh.iter().take(5) {
-            println!("    flow {k:>18x}: est {est:>9.0}  true {:>9.0}", truth.count(k));
+            println!(
+                "    flow {k:>18x}: est {est:>9.0}  true {:>9.0}",
+                truth.count(k)
+            );
         }
 
         // Close the epoch: reset data-plane state (control plane already

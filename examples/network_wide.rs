@@ -32,8 +32,8 @@ fn main() {
             .take(PACKETS_PER_SWITCH)
             .collect();
 
-        let mut nitro = NitroSketch::new(template(), Mode::Fixed { p: 0.01 }, 60 + sw as u64)
-            .with_topk(128);
+        let mut nitro =
+            NitroSketch::new(template(), Mode::Fixed { p: 0.01 }, 60 + sw as u64).with_topk(128);
         for &k in &keys {
             nitro.process(k, 1.0);
             union_truth.push(k);
@@ -71,7 +71,10 @@ fn main() {
     // Controller view 1: union of compact reports.
     println!("\nnetwork-wide heavy hitters (report union):");
     for (k, e) in collector.network_heavy_hitters().iter().take(5) {
-        println!("  {k:>18x}  ~{e:.0} packets (true {})", union_truth.count(*k));
+        println!(
+            "  {k:>18x}  ~{e:.0} packets (true {})",
+            union_truth.count(*k)
+        );
     }
 
     // Controller view 2: the merged sketch answers *any* flow, including

@@ -14,12 +14,8 @@ fn main() {
 
     // A 5×8192 Count Sketch behind NitroSketch at a fixed 1% geometric
     // sampling rate, tracking the top 128 keys.
-    let mut nitro = NitroSketch::new(
-        CountSketch::new(5, 8192, 42),
-        Mode::Fixed { p: 0.01 },
-        7,
-    )
-    .with_topk(128);
+    let mut nitro =
+        NitroSketch::new(CountSketch::new(5, 8192, 42), Mode::Fixed { p: 0.01 }, 7).with_topk(128);
 
     let start = std::time::Instant::now();
     for &k in &keys {
@@ -50,7 +46,10 @@ fn main() {
         true_hh.len(),
         reported.len()
     );
-    println!("{:>20} {:>12} {:>12} {:>9}", "flow key", "true", "estimate", "error");
+    println!(
+        "{:>20} {:>12} {:>12} {:>9}",
+        "flow key", "true", "estimate", "error"
+    );
     for &(k, t) in true_hh.iter().take(10) {
         let e = nitro.estimate(k);
         println!(

@@ -8,8 +8,8 @@
 use nitrosketch::core::{Mode, NitroSketch};
 use nitrosketch::prelude::*;
 use nitrosketch::switch::daemon;
-use nitrosketch::switch::parse::parse_five_tuple;
 use nitrosketch::switch::nic::NicSim;
+use nitrosketch::switch::parse::parse_five_tuple;
 use nitrosketch::traffic::take_records;
 
 fn main() {
@@ -54,7 +54,7 @@ fn main() {
     println!("ring drops      : {}", tap.dropped());
 
     // Tear down: the daemon drains the residue and hands the sketch back.
-    let nitro = daemon.finish();
+    let nitro = daemon.finish().expect("daemon exited cleanly");
     let s = nitro.stats();
     println!(
         "daemon          : {} observations, {} row updates (p ended at {})",
@@ -67,6 +67,9 @@ fn main() {
     println!("\n{:>20} {:>10} {:>10} {:>8}", "flow", "true", "est", "err");
     for &(k, t) in truth.top_k(5).iter() {
         let e = nitro.estimate(k);
-        println!("{k:>20x} {t:>10.0} {e:>10.0} {:>7.2}%", 100.0 * (e - t).abs() / t);
+        println!(
+            "{k:>20x} {t:>10.0} {e:>10.0} {:>7.2}%",
+            100.0 * (e - t).abs() / t
+        );
     }
 }

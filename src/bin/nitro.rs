@@ -186,9 +186,27 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
     let sketch_name: String = args.get("sketch", "countsketch".to_string())?;
     match sketch_name.as_str() {
-        "countsketch" => run_with_sketch(&records, CountSketch::with_memory(2 << 20, 5, seed), p, topk, faults),
-        "countmin" => run_with_sketch(&records, CountMin::with_memory(200 << 10, 5, seed), p, topk, faults),
-        "kary" => run_with_sketch(&records, KarySketch::with_memory(2 << 20, 10, seed), p, topk, faults),
+        "countsketch" => run_with_sketch(
+            &records,
+            CountSketch::with_memory(2 << 20, 5, seed),
+            p,
+            topk,
+            faults,
+        ),
+        "countmin" => run_with_sketch(
+            &records,
+            CountMin::with_memory(200 << 10, 5, seed),
+            p,
+            topk,
+            faults,
+        ),
+        "kary" => run_with_sketch(
+            &records,
+            KarySketch::with_memory(2 << 20, 10, seed),
+            p,
+            topk,
+            faults,
+        ),
         other => Err(format!("unknown sketch {other}")),
     }
 }

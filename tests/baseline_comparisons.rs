@@ -3,8 +3,8 @@
 
 use nitrosketch::baselines::{ElasticSketch, NetFlow, SketchVisor, SmallHashTable};
 use nitrosketch::core::{Mode, NitroSketch};
-use nitrosketch::prelude::*;
 use nitrosketch::metrics::recall;
+use nitrosketch::prelude::*;
 use nitrosketch::traffic::keys_of;
 
 /// Shared workload: heavy-tailed CAIDA-like keys.
@@ -33,11 +33,17 @@ fn netflow_recall_degrades_with_rate_nitro_holds() {
     let r_001 = netflow_recall(0.001, 52);
     let r_002 = netflow_recall(0.002, 53);
     let r_010 = netflow_recall(0.01, 54);
-    assert!(r_001 < r_002 + 0.02 && r_002 < r_010 + 0.02,
-        "recall not monotone in rate: {r_001} {r_002} {r_010}");
+    assert!(
+        r_001 < r_002 + 0.02 && r_002 < r_010 + 0.02,
+        "recall not monotone in rate: {r_001} {r_002} {r_010}"
+    );
 
-    let mut nitro = NitroSketch::new(CountSketch::new(5, 1 << 16, 55), Mode::Fixed { p: 0.01 }, 56)
-        .with_topk(256);
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(5, 1 << 16, 55),
+        Mode::Fixed { p: 0.01 },
+        56,
+    )
+    .with_topk(256);
     for &k in &keys {
         nitro.process(k, 1.0);
     }
@@ -70,10 +76,9 @@ fn netflow_and_sflow_memory_scale_nitro_memory_is_fixed() {
     };
     // Few concurrent flows (skewed) vs millions of flows (port-scan-like).
     let (small_keys, _) = workload(2_000_000, 10_000, 55);
-    let big_keys: Vec<FlowKey> =
-        keys_of(nitrosketch::traffic::UniformFlows::new(56, 5_000_000))
-            .take(2_000_000)
-            .collect();
+    let big_keys: Vec<FlowKey> = keys_of(nitrosketch::traffic::UniformFlows::new(56, 5_000_000))
+        .take(2_000_000)
+        .collect();
     let nf_small = run_nf(&small_keys, 55);
     let nf_big = run_nf(&big_keys, 56);
     assert!(
@@ -97,7 +102,11 @@ fn netflow_and_sflow_memory_scale_nitro_memory_is_fixed() {
     );
 
     // The sketch's memory is workload-independent by construction.
-    let nitro = NitroSketch::new(CountSketch::new(5, 1 << 16, 59), Mode::Fixed { p: 0.01 }, 60);
+    let nitro = NitroSketch::new(
+        CountSketch::new(5, 1 << 16, 59),
+        Mode::Fixed { p: 0.01 },
+        60,
+    );
     assert_eq!(nitro.memory_bytes(), 5 * (1 << 16) * 8);
 }
 
@@ -115,8 +124,11 @@ fn sketchvisor_error_grows_with_fast_path_share_nitro_does_not() {
 
     let mut sv20 = SketchVisor::with_forced_fast_fraction(64, univmon(), 0.2, 63);
     let mut sv100 = SketchVisor::with_forced_fast_fraction(64, univmon(), 1.0, 64);
-    let mut nitro =
-        NitroSketch::new(CountSketch::new(5, 1 << 15, 65), Mode::Fixed { p: 0.01 }, 66);
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(5, 1 << 15, 65),
+        Mode::Fixed { p: 0.01 },
+        66,
+    );
     for (i, &k) in keys.iter().enumerate() {
         sv20.update(k, 1.0, i as u64 * 100);
         sv100.update(k, 1.0, i as u64 * 100);
@@ -152,8 +164,6 @@ fn elastic_distinct_fails_where_hll_survives() {
     assert!(e_err > 0.5, "elastic should fail: err {e_err}");
     assert!(h_err < 0.1, "hll should survive: err {h_err}");
 }
-
-
 
 #[test]
 fn hashtable_fast_when_fitting_lossy_when_not() {

@@ -11,18 +11,16 @@ use nitrosketch::prelude::*;
 use nitrosketch::sketches::RowSketch;
 use nitrosketch::traffic::{keys_of, take_records};
 
-fn mre_top(
-    truth: &GroundTruth,
-    k: usize,
-    est: impl Fn(FlowKey) -> f64,
-) -> f64 {
+fn mre_top(truth: &GroundTruth, k: usize, est: impl Fn(FlowKey) -> f64) -> f64 {
     let top = truth.top_k(k);
     nitrosketch::metrics::mean_relative_error(top.iter().map(|&(key, t)| (est(key), t)))
 }
 
 #[test]
 fn nitro_matches_vanilla_error_after_convergence() {
-    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(11, 50_000)).take(1_000_000).collect();
+    let keys: Vec<FlowKey> = keys_of(CaidaLike::new(11, 50_000))
+        .take(1_000_000)
+        .collect();
     let truth = GroundTruth::from_keys(keys.iter().copied());
 
     let mut vanilla = CountSketch::new(5, 16_384, 3);
@@ -101,7 +99,10 @@ fn count_min_kary_and_count_sketch_all_benefit() {
         ka.process(k, 1.0);
     }
     assert!(mre_top(&truth, 10, |k| cm.estimate(k)) < 0.1, "count-min");
-    assert!(mre_top(&truth, 10, |k| cs.estimate(k)) < 0.1, "count sketch");
+    assert!(
+        mre_top(&truth, 10, |k| cs.estimate(k)) < 0.1,
+        "count sketch"
+    );
     assert!(mre_top(&truth, 10, |k| ka.estimate(k)) < 0.1, "k-ary");
 }
 
@@ -132,5 +133,10 @@ fn change_detection_through_nitro_kary() {
         .map(|&k| (k, diff.estimate(k).abs()))
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-    assert_eq!(scored[0].0, surge_key, "surge not ranked first: {:?}", &scored[..3]);
+    assert_eq!(
+        scored[0].0,
+        surge_key,
+        "surge not ranked first: {:?}",
+        &scored[..3]
+    );
 }

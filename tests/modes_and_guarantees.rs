@@ -79,8 +79,11 @@ fn line_rate_mode_bounds_work_per_unit_time() {
 fn fixed_mode_weighted_updates_stay_unbiased() {
     // Byte counting: weights = frame sizes. The scaled estimates must
     // track true byte volumes.
-    let mut nitro =
-        NitroSketch::new(CountSketch::new(5, 1 << 14, 86), Mode::Fixed { p: 0.05 }, 87);
+    let mut nitro = NitroSketch::new(
+        CountSketch::new(5, 1 << 14, 86),
+        Mode::Fixed { p: 0.05 },
+        87,
+    );
     let mut truth = 0.0;
     for i in 0..200_000u64 {
         let bytes = if i % 3 == 0 { 1500.0 } else { 64.0 };
@@ -124,17 +127,14 @@ fn theory_sizing_delivers_target_error() {
 
 #[test]
 fn clear_supports_epoch_rotation() {
-    let mut nitro = NitroSketch::new(CountSketch::new(5, 4096, 90), Mode::Fixed { p: 0.1 }, 91)
-        .with_topk(16);
+    let mut nitro =
+        NitroSketch::new(CountSketch::new(5, 4096, 90), Mode::Fixed { p: 0.1 }, 91).with_topk(16);
     for round in 0..3 {
         for i in 0..50_000u64 {
             nitro.process(i % 100 + round * 1000, 1.0);
         }
         let est = nitro.estimate(round * 1000 + 5);
-        assert!(
-            (est - 500.0).abs() / 500.0 < 0.3,
-            "round {round}: {est}"
-        );
+        assert!((est - 500.0).abs() / 500.0 < 0.3, "round {round}: {est}");
         // Old epoch's flows are gone after clear.
         nitro.clear();
         assert_eq!(nitro.estimate(round * 1000 + 5), 0.0);

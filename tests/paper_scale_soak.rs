@@ -72,7 +72,10 @@ fn always_correct_guarantee_holds_over_20m_packets() {
     let mut truth = GroundTruth::new();
     let mut violations = 0usize;
     let mut probes = 0usize;
-    for (i, k) in keys_of(CaidaLike::new(83, 300_000)).take(20_000_000).enumerate() {
+    for (i, k) in keys_of(CaidaLike::new(83, 300_000))
+        .take(20_000_000)
+        .enumerate()
+    {
         nitro.process(k, 1.0);
         truth.push(k);
         if (i + 1) % 2_000_000 == 0 {

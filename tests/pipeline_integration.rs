@@ -55,7 +55,7 @@ fn separate_thread_agrees_with_inline_at_p1() {
         tap.offer(r.tuple.flow_key(), r.ts_ns);
     }
     assert_eq!(tap.dropped(), 0);
-    let threaded = daemon.finish();
+    let threaded = daemon.finish().unwrap();
 
     for &(k, _) in truth.top_k(20).iter() {
         assert_eq!(

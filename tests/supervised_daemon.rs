@@ -1,0 +1,180 @@
+//! End-to-end tests of the supervised measurement daemon: crash recovery
+//! from checkpoints, and backpressure-driven graceful degradation.
+//!
+//! Both tests run the real separate-thread topology — a producer offering
+//! observations through a [`SupervisedTap`] into the SPSC ring, a worker
+//! thread draining into a `NitroSketch` — with faults injected via the
+//! switch crate's own [`ThreadFaultPlan`] hook.
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::switch::{spawn_supervised, SupervisedTap, SupervisorConfig, ThreadFaultPlan};
+
+const HEAVY_FLOWS: u64 = 10;
+const STREAM_LEN: u64 = 500_000;
+
+/// A deterministic skewed stream: 2 of every 5 packets go to one of ten
+/// heavy flows (20 000 packets each), the rest to a ~100 000-key tail.
+/// Consecutive packets of one heavy flow are 50 apart, so any contiguous
+/// crash window of W packets costs a heavy flow at most W/50 + 1 counts.
+fn stream_key(i: u64) -> u64 {
+    if i % 5 < 2 {
+        (i / 5) % HEAVY_FLOWS
+    } else {
+        1_000 + (i.wrapping_mul(2_654_435_761) % 100_000)
+    }
+}
+
+fn heavy_truth() -> f64 {
+    (STREAM_LEN / 5 * 2 / HEAVY_FLOWS) as f64 // 20_000 per heavy flow
+}
+
+fn offer_stream(tap: &mut SupervisedTap, n: u64) {
+    for i in 0..n {
+        tap.offer(stream_key(i), i);
+        if i % 512 == 0 {
+            // Single-core host: the consumer only runs when the producer
+            // yields its quantum.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Mid-stream consumer panic: the supervisor must restart the worker,
+/// restore the latest checkpoint, keep the producer-side tap non-blocking
+/// throughout, and end within one checkpoint interval of the fault-free
+/// answer — with every observation's fate accounted.
+#[test]
+fn panic_recovery_restores_checkpoint_and_keeps_heavy_hitters() {
+    const CHECKPOINT_EVERY: u64 = 20_000;
+    let fresh = || {
+        NitroSketch::new(CountSketch::new(5, 8192, 71), Mode::Fixed { p: 1.0 }, 73).with_topk(64)
+    };
+    let plan = ThreadFaultPlan::new();
+    plan.panic_after(120_000);
+    let (mut tap, daemon) = spawn_supervised(
+        fresh(),
+        fresh,
+        SupervisorConfig {
+            ring_capacity: 1 << 15,
+            checkpoint_every: CHECKPOINT_EVERY,
+            fault_plan: Some(plan.clone()),
+            ..Default::default()
+        },
+    );
+
+    offer_stream(&mut tap, STREAM_LEN);
+    let (nitro, health) = daemon.finish().expect("supervisor must recover, not fail");
+
+    // The fault fired and was recovered exactly once.
+    assert_eq!(plan.fired(), 1, "fault plan should fire exactly once");
+    assert_eq!(health.restarts, 1, "one panic, one restart: {health}");
+    assert_eq!(health.restores, 1, "restart must restore a checkpoint");
+    assert!(
+        health.checkpoints >= 2,
+        "initial + periodic checkpoints expected: {health}"
+    );
+
+    // Accounting: nothing vanished silently. Offers either reached the
+    // sketch, were counted as ring drops, or fell in the crash window.
+    assert_eq!(health.offered, STREAM_LEN);
+    assert_eq!(health.unaccounted(), 0, "silent loss: {health}");
+    assert!(
+        health.lost_in_crash <= 64,
+        "crash loss is bounded by one in-flight batch: {health}"
+    );
+
+    // Heavy-hitter recall after recovery: at least 9 of the 10 heavy
+    // flows are still in the tracked top 10.
+    let topk = nitro.topk().expect("top-k tracking configured");
+    let tracked: Vec<u64> = topk
+        .sorted_desc()
+        .into_iter()
+        .take(HEAVY_FLOWS as usize)
+        .map(|(k, _)| k)
+        .collect();
+    let recalled = (0..HEAVY_FLOWS).filter(|f| tracked.contains(f)).count();
+    assert!(
+        recalled >= 9,
+        "heavy-hitter recall {recalled}/10 after recovery; tracked {tracked:?}"
+    );
+
+    // Estimates are within one checkpoint interval (plus sketch noise and
+    // ring drops) of the truth. A contiguous loss window of
+    // `checkpoint_every + batch` stream slots contains at most
+    // window/50 + 1 packets of any single heavy flow.
+    let truth = heavy_truth();
+    let window = (CHECKPOINT_EVERY + 64) as f64;
+    let per_flow_window_loss = window / 50.0 + 1.0;
+    let noise = 3_000.0; // >> observed CountSketch error at 5x8192
+    for f in 0..HEAVY_FLOWS {
+        let est = nitro.estimate(f);
+        assert!(
+            est >= truth - per_flow_window_loss - health.dropped as f64 - noise,
+            "flow {f}: estimate {est} fell more than a checkpoint interval below {truth}"
+        );
+        assert!(
+            est <= truth + noise,
+            "flow {f}: estimate {est} overshoots truth {truth}"
+        );
+    }
+}
+
+/// Sustained overload on a tiny ring: the tap must cross the high-water
+/// mark and request sampling downshifts, the worker must apply them (and
+/// the probability drop must be visible in both the health record and
+/// `NitroStats`), and the accounting identity must still hold exactly —
+/// drops are counted, never silent.
+#[test]
+fn sustained_overload_downshifts_sampling_and_accounts_every_drop() {
+    let fresh = || NitroSketch::new(CountSketch::new(4, 4096, 11), Mode::Fixed { p: 1.0 }, 13);
+    let (mut tap, daemon) = spawn_supervised(
+        fresh(),
+        fresh,
+        SupervisorConfig {
+            ring_capacity: 1 << 8,
+            high_water: 0.5,
+            ..Default::default()
+        },
+    );
+
+    // Flood without yielding: on this topology the ring saturates long
+    // before the worker's next scheduler quantum.
+    for i in 0..200_000u64 {
+        tap.offer(i % 64, i);
+    }
+    assert!(
+        tap.occupancy() <= 1.0,
+        "occupancy is a fraction, got {}",
+        tap.occupancy()
+    );
+    let (nitro, health) = daemon.finish().unwrap();
+
+    // Degradation engaged: sampling probability stepped down the grid.
+    assert!(
+        health.downshifts >= 1,
+        "no downshift under sustained overload: {health}"
+    );
+    assert_eq!(
+        nitro.stats().downshifts,
+        health.downshifts,
+        "NitroStats and DaemonHealth must agree on downshifts"
+    );
+    assert!(
+        nitro.p() < 1.0,
+        "sampling probability still {} after overload",
+        nitro.p()
+    );
+
+    // Exact accounting: offered == processed + dropped (+ crash loss,
+    // which is zero here — no faults were injected).
+    assert_eq!(health.offered, 200_000);
+    assert_eq!(health.lost_in_crash, 0);
+    assert_eq!(health.restarts, 0);
+    assert_eq!(
+        health.offered,
+        health.processed + health.dropped,
+        "unaccounted observations: {health}"
+    );
+    assert_eq!(health.unaccounted(), 0);
+}

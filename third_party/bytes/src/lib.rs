@@ -1,0 +1,194 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! narrow API subset it actually uses: cheaply-cloneable immutable byte
+//! buffers ([`Bytes`]), a growable builder ([`BytesMut`]), and the
+//! big-endian `put_*` writers ([`BufMut`]). Semantics match the real crate
+//! for this subset (big-endian integer encoding, `freeze` handoff,
+//! zero-copy clones via reference counting).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap a static slice (copied here; the real crate borrows, but the
+    /// observable behaviour is identical for readers).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Grow or shrink to `len`, filling new bytes with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.data.resize(len, value);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Big-endian append writers (the subset of the real trait in use).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_is_big_endian() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(0x01);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn freeze_and_clone_share_contents() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello");
+        b.resize(7, 0);
+        let frozen = b.freeze();
+        let copy = frozen.clone();
+        assert_eq!(&frozen[..5], b"hello");
+        assert_eq!(frozen.len(), 7);
+        assert_eq!(copy, frozen);
+    }
+
+    #[test]
+    fn from_static_and_vec() {
+        let s = Bytes::from_static(&[9, 9]);
+        let v = Bytes::from(vec![9, 9]);
+        assert_eq!(s, v);
+        assert_eq!(s.iter().count(), 2);
+    }
+}

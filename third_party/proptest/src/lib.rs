@@ -1,0 +1,332 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal property-testing harness with the same surface syntax as the
+//! real crate for the subset in use: the [`proptest!`] macro, numeric and
+//! boolean strategies, ranges, tuples, and `prop::collection::vec`.
+//!
+//! Differences from the real crate (documented, deliberate):
+//!
+//! - Inputs are drawn from a deterministic SplitMix64 stream seeded by the
+//!   test's name, so every run explores the same cases (reproducible CI).
+//! - There is no shrinking: a failing case panics immediately with the
+//!   case number; re-running the test reproduces it exactly.
+//! - `prop_assert!`/`prop_assert_eq!` panic instead of returning `Err`,
+//!   which is indistinguishable at the `cargo test` level.
+
+use std::ops::Range;
+
+/// Deterministic RNG (SplitMix64) driving case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from raw state.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Seed deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a, then one splitmix round to spread it.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut rng = Self(h);
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run configuration; mirrors the real crate's field of the same name.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. The real crate's trait is far richer; tests here
+/// only need `generate`.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Signed starts sign-extend to huge u128 values, so both
+                // the span and the offset addition must wrap; the final
+                // truncating cast recovers the in-range value.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A `Vec` of values from `elem` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Build a [`VecStrategy`].
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = Strategy::generate(&self.len, rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric "any value" strategies.
+    pub mod num {
+        macro_rules! any_mod {
+            ($($m:ident => $t:ty),*) => {$(
+                /// `ANY` strategy for the namesake primitive.
+                pub mod $m {
+                    use crate::{Strategy, TestRng};
+
+                    /// Uniform over the whole domain.
+                    #[derive(Clone, Copy, Debug)]
+                    pub struct Any;
+
+                    /// Any value of this type.
+                    pub const ANY: Any = Any;
+
+                    impl Strategy for Any {
+                        type Value = $t;
+                        fn generate(&self, rng: &mut TestRng) -> $t {
+                            rng.next_u64() as $t
+                        }
+                    }
+                }
+            )*};
+        }
+
+        any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                 i8 => i8, i16 => i16, i32 => i32, i64 => i64);
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform over `{true, false}`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Any boolean.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Assert inside a property body; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..cfg.cases {
+                let __run = |__rng: &mut $crate::TestRng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                };
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| __run(&mut __rng)),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest stub: '{}' failed on case {}/{} (deterministic; rerun reproduces)",
+                        stringify!($name), __case + 1, cfg.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, y in -3i32..4, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        /// Vec lengths respect the length range.
+        #[test]
+        fn vec_len_in_bounds(v in prop::collection::vec((0u64..100, 1u32..5), 2..40)) {
+            prop_assert!(v.len() >= 2 && v.len() < 40);
+            for &(k, w) in &v {
+                prop_assert!(k < 100);
+                prop_assert!((1..5).contains(&w));
+            }
+        }
+
+        /// ANY strategies produce both booleans eventually (statistical).
+        #[test]
+        fn bools_vary(v in prop::collection::vec(prop::bool::ANY, 64..65)) {
+            let trues = v.iter().filter(|&&b| b).count();
+            prop_assert!(trues > 0 && trues < 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("fixed");
+        let mut b = TestRng::from_name("fixed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
