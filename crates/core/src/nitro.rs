@@ -454,12 +454,27 @@ impl<S: RowSketch + Checkpoint> NitroSketch<S> {
         Ok(())
     }
 
+    /// Fold another instance's measurement into this one, verifying merge
+    /// compatibility first: the wrapped sketches must agree on geometry and
+    /// per-row hash seeds, or counters from different hash spaces would be
+    /// silently summed into garbage. On error `self` is untouched.
+    ///
+    /// This is the entry point the sharded query plane uses when folding
+    /// per-shard snapshots into the merged epoch view.
+    pub fn try_merge_from(&mut self, other: &Self) -> Result<(), CheckpointError> {
+        self.sketch.merge_compatible(&other.sketch)?;
+        self.merge_from(other);
+        Ok(())
+    }
+
     /// Fold another instance's measurement into this one: counters merge by
     /// linearity, statistics add, and the heavy-key tracker re-offers the
     /// other's tracked keys under merged estimates.
     ///
     /// # Panics
-    /// Panics if the wrapped sketches are parameter-incompatible.
+    /// Panics if the wrapped sketches are parameter-incompatible; prefer
+    /// [`Self::try_merge_from`] when the peer's provenance is not
+    /// statically known.
     pub fn merge_from(&mut self, other: &Self) {
         self.sketch.merge_from(&other.sketch);
         self.stats.packets += other.stats.packets;
@@ -820,6 +835,50 @@ mod tests {
         assert_eq!(a.stats().packets, 2000);
         let hh: Vec<u64> = a.heavy_hitters(500.0).iter().map(|&(k, _)| k).collect();
         assert!(hh.contains(&11) && hh.contains(&22));
+    }
+
+    #[test]
+    fn try_merge_from_rejects_mismatched_geometry_and_seeds() {
+        use nitro_sketches::CheckpointError;
+        let base = || NitroSketch::new(CountSketch::new(5, 4096, 73), Mode::Fixed { p: 1.0 }, 74);
+        let mut a = base();
+        for _ in 0..500 {
+            a.process(7, 1.0);
+        }
+        let stats_before = a.stats();
+
+        // Different hash seeds: same geometry, incompatible hash space.
+        let mut b = NitroSketch::new(CountSketch::new(5, 4096, 99), Mode::Fixed { p: 1.0 }, 74);
+        b.process(8, 1.0);
+        assert_eq!(
+            a.try_merge_from(&b).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+
+        // Different width.
+        let c = NitroSketch::new(CountSketch::new(5, 2048, 73), Mode::Fixed { p: 1.0 }, 74);
+        assert_eq!(
+            a.try_merge_from(&c).unwrap_err(),
+            CheckpointError::Mismatch("width")
+        );
+
+        // Different depth.
+        let d = NitroSketch::new(CountSketch::new(4, 4096, 73), Mode::Fixed { p: 1.0 }, 74);
+        assert_eq!(
+            a.try_merge_from(&d).unwrap_err(),
+            CheckpointError::Mismatch("depth")
+        );
+
+        // Failed merges leave the receiver untouched.
+        assert_eq!(a.stats(), stats_before);
+        assert_eq!(a.estimate(7), 500.0);
+        assert_eq!(a.estimate(8), 0.0);
+
+        // And a compatible peer still merges fine through the same path.
+        let mut e = base();
+        e.process(7, 1.0);
+        a.try_merge_from(&e).unwrap();
+        assert_eq!(a.estimate(7), 501.0);
     }
 
     #[test]

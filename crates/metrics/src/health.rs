@@ -40,6 +40,23 @@ impl DaemonHealth {
         Self::default()
     }
 
+    /// Field-wise accumulate another daemon's counters into this record —
+    /// the building block of fleet-level aggregation: summing per-shard
+    /// records preserves the accounting identity, because each shard
+    /// maintains `offered == processed + dropped + lost_in_crash` on its
+    /// own slice of the traffic.
+    pub fn absorb(&mut self, other: &DaemonHealth) {
+        self.offered += other.offered;
+        self.processed += other.processed;
+        self.dropped += other.dropped;
+        self.lost_in_crash += other.lost_in_crash;
+        self.restarts += other.restarts;
+        self.stalls += other.stalls;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
+        self.downshifts += other.downshifts;
+    }
+
     /// Observations with no recorded fate: `offered − processed − dropped −
     /// lost_in_crash`. Zero in a correct run; saturates rather than
     /// underflowing when counters are read mid-flight.

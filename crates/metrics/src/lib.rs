@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod errors;
+pub mod fleet;
 pub mod health;
 pub mod table;
 
 pub use errors::{mean_relative_error, precision, recall, relative_error, ErrorSummary, MultiRun};
+pub use fleet::FleetHealth;
 pub use health::DaemonHealth;
 pub use table::Table;

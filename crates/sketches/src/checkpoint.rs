@@ -69,9 +69,28 @@ pub trait Checkpoint: Sized {
     /// hash seeds are verified before any state is touched.
     fn restore(&mut self, bytes: &[u8]) -> Result<(), CheckpointError>;
 
-    /// Fold another instance's counters into this one (linearity). The
-    /// other instance must be parameter-compatible.
+    /// Fold another instance's counters into this one (linearity).
+    ///
+    /// # Panics
+    /// Panics when the instances are parameter-incompatible; use
+    /// [`Checkpoint::try_merge_from`] when the peer's provenance is not
+    /// statically known (e.g. a snapshot shipped from another shard).
     fn merge_from(&mut self, other: &Self);
+
+    /// Check that `other` could be merged into `self`: identical geometry
+    /// (depth, width) and identical per-row hash seeds. Returns the first
+    /// mismatch found, without touching either instance.
+    fn merge_compatible(&self, other: &Self) -> Result<(), CheckpointError>;
+
+    /// Fallible merge: verifies [`Checkpoint::merge_compatible`] first and
+    /// leaves `self` untouched on error. This is the entry point the
+    /// sharded query plane uses — a shard that restarted with the wrong
+    /// template must surface an error, not silently fold incompatible rows.
+    fn try_merge_from(&mut self, other: &Self) -> Result<(), CheckpointError> {
+        self.merge_compatible(other)?;
+        self.merge_from(other);
+        Ok(())
+    }
 }
 
 /// Little-endian checkpoint encoder (the `control.rs` codec idiom).

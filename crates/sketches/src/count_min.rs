@@ -273,6 +273,20 @@ impl crate::checkpoint::Checkpoint for CountMin {
     fn merge_from(&mut self, other: &Self) {
         self.merge(other);
     }
+
+    fn merge_compatible(&self, other: &Self) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        if self.depth != other.depth {
+            return Err(CheckpointError::Mismatch("depth"));
+        }
+        if self.width != other.width {
+            return Err(CheckpointError::Mismatch("width"));
+        }
+        if self.seeds != other.seeds {
+            return Err(CheckpointError::Mismatch("hash seeds"));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@
 //! - [`supervisor`]: the robustness layer over the daemon — panic
 //!   recovery with checkpoint/restore, stall watchdog, and
 //!   backpressure-driven sampling downshift.
+//! - [`pipeline`] / [`shard`]: the RSS-style sharded multi-core pipeline —
+//!   a dispatcher hashes flow keys onto N supervised shards and an
+//!   epoch-merged query plane answers global queries over their union.
 //! - [`nic`]: the simulated PMD/NIC feeding 32-packet batches from traces.
 //! - [`cost`]: calibrated per-operation cost accounting — the stand-in for
 //!   VTune's per-function CPU shares (Table 2, Fig. 10).
@@ -40,6 +43,8 @@ pub mod nic;
 pub mod ovs;
 pub mod packet;
 pub mod parse;
+pub mod pipeline;
+pub mod shard;
 pub mod spsc;
 pub mod supervisor;
 pub mod vpp;
@@ -52,8 +57,12 @@ pub use five_tuple::FiveTuple;
 pub use ovs::{Measurement, NullMeasurement, OvsDatapath};
 pub use packet::{build_packet, Packet};
 pub use parse::{parse_five_tuple, ParseError};
+pub use pipeline::{
+    spawn_sharded, MergedView, PipelineConfig, PipelineError, ShardedPipeline, ShardedTap,
+};
+pub use shard::{Shard, ShardStaleness};
 pub use spsc::SpscRing;
 pub use supervisor::{
-    spawn_supervised, Recoverable, SupervisedDaemon, SupervisedTap, SupervisorConfig,
-    SupervisorError,
+    spawn_supervised, CheckpointView, Recoverable, SupervisedDaemon, SupervisedTap,
+    SupervisorConfig, SupervisorError,
 };

@@ -1,0 +1,518 @@
+//! Sharded multi-core measurement pipeline with an epoch-merged query
+//! plane.
+//!
+//! The paper's headline results (§6, Figs. 8–10) run NitroSketch on
+//! multi-core software switches where a single core cannot keep up with
+//! 40 GbE line rate. This module is the missing scale-out layer over the
+//! supervised daemon: an RSS-style dispatcher hashes every flow key
+//! (xxHash64, the same family `nitro-hash` uses inside the sketches) onto
+//! one of N worker shards. Each shard owns its own SPSC ring and its own
+//! per-core [`NitroSketch`] consumer wrapped in the PR-1 supervisor, so a
+//! crash on one shard recovers from *that shard's* checkpoint while its
+//! siblings keep draining their rings untouched.
+//!
+//! **Query plane.** Counter-array sketches are linear, so the coordinator
+//! answers global queries by merging per-shard state: at each epoch it
+//! snapshots every shard through the checkpoint codec (on-demand, so the
+//! staleness collapses to the in-flight batch), restores each snapshot
+//! into a blank template, and folds them with
+//! [`NitroSketch::try_merge_from`] into one global sketch — point, heavy-
+//! hitter, and L2 queries run on the merged view. Every view carries a
+//! per-shard [`ShardStaleness`] record; the sum of the per-shard bounds
+//! bounds the observations missing from the whole view.
+//!
+//! **Why flow-level sharding keeps queries exact.** The dispatcher hashes
+//! the flow key, so one flow's packets all land on one shard — no flow is
+//! split across sketches. A globally heavy flow is therefore exactly as
+//! heavy inside its own shard, its shard's top-k tracker sees it, and the
+//! merged view re-scores it on the merged counters: recall matches the
+//! unsharded sketch within the same ε, while each shard's collision noise
+//! only *shrinks* (each sketch absorbs 1/N of the traffic).
+//!
+//! **Fleet accounting.** Each shard maintains `offered == processed +
+//! dropped + lost_in_crash` over its slice; [`FleetHealth`] sums the
+//! records, so the identity holds fleet-wide and silent loss anywhere in
+//! the fleet surfaces as a non-zero unaccounted count.
+
+use crate::faults::ThreadFaultPlan;
+use crate::ovs::Measurement;
+use crate::shard::{Shard, ShardStaleness};
+use crate::supervisor::{spawn_supervised, SupervisedTap, SupervisorConfig, SupervisorError};
+use nitro_core::NitroSketch;
+use nitro_hash::xxhash::xxh64_u64;
+use nitro_metrics::FleetHealth;
+use nitro_sketches::{Checkpoint, CheckpointError, FlowKey, RowSketch};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning for [`spawn_sharded`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Worker shards (one ring + one sketch thread + one supervisor each).
+    pub shards: usize,
+    /// Seed of the dispatcher's xxHash64 — decorrelated from the sketches'
+    /// per-row seeds so shard placement and counter placement are
+    /// independent hash events.
+    pub hash_seed: u64,
+    /// Per-shard supervisor tuning (ring size, checkpoint cadence, restart
+    /// budget, …). A `fault_plan` set here arms *every* shard with the
+    /// same shared one-shot plan — whichever shard crosses the trigger
+    /// first panics, exactly once fleet-wide. Use
+    /// [`PipelineConfig::fault_plans`] to target a specific shard.
+    pub supervisor: SupervisorConfig,
+    /// How long an epoch rotation waits for each shard's on-demand
+    /// snapshot before falling back to that shard's latest periodic
+    /// checkpoint.
+    pub snapshot_timeout: Duration,
+    /// Targeted fault injection: `(shard, plan)` pairs; a matching entry
+    /// overrides `supervisor.fault_plan` for that shard (test hook).
+    pub fault_plans: Vec<(usize, ThreadFaultPlan)>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            hash_seed: 0x4E49_5452_4F53_4B45, // "NITROSKE"
+            supervisor: SupervisorConfig::default(),
+            snapshot_timeout: Duration::from_millis(250),
+            fault_plans: Vec::new(),
+        }
+    }
+}
+
+/// Why the pipeline could not produce a merged result.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// One shard's supervisor gave up (restart budget exhausted or the
+    /// supervisor itself panicked).
+    Shard {
+        /// Which shard failed.
+        shard: usize,
+        /// The underlying supervisor error (carries the shard's health).
+        source: SupervisorError,
+    },
+    /// A shard's snapshot or final sketch could not be restored/merged —
+    /// the factory produced parameter-incompatible instances.
+    Merge {
+        /// Which shard's state failed to fold in.
+        shard: usize,
+        /// The underlying checkpoint/merge error.
+        source: CheckpointError,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+            PipelineError::Merge { shard, source } => {
+                write!(f, "merging shard {shard}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Shard { source, .. } => Some(source),
+            PipelineError::Merge { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Producer-side handle of the sharded pipeline: lives in the switching
+/// thread, hashes each flow key onto its shard, and never blocks — a full
+/// shard ring counts a drop on that shard while the others keep absorbing
+/// their slices.
+pub struct ShardedTap {
+    taps: Vec<SupervisedTap>,
+    hash_seed: u64,
+}
+
+impl ShardedTap {
+    /// Which shard `key` dispatches to. Flow-granular and stable for the
+    /// lifetime of the pipeline, so one flow's packets never split across
+    /// sketches.
+    #[inline]
+    pub fn shard_of(&self, key: FlowKey) -> usize {
+        (xxh64_u64(key, self.hash_seed) % self.taps.len() as u64) as usize
+    }
+
+    /// Offer one observation to its shard.
+    #[inline]
+    pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
+        let s = self.shard_of(key);
+        self.taps[s].offer(key, ts_ns);
+    }
+
+    /// Offer a whole burst at one timestamp.
+    pub fn offer_batch(&mut self, keys: &[FlowKey], ts_ns: u64) {
+        for &key in keys {
+            self.offer(key, ts_ns);
+        }
+    }
+
+    /// Shards behind this tap.
+    pub fn num_shards(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Observations dropped at full rings, fleet-wide.
+    pub fn dropped(&self) -> u64 {
+        self.taps.iter().map(SupervisedTap::dropped).sum()
+    }
+
+    /// Worst ring fill fraction across shards — the fleet's backpressure
+    /// signal (one hot shard is enough to warrant a downshift there).
+    pub fn max_occupancy(&self) -> f64 {
+        self.taps
+            .iter()
+            .map(SupervisedTap::occupancy)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Measurement for ShardedTap {
+    #[inline]
+    fn on_packet(&mut self, key: FlowKey, ts_ns: u64, _weight: f64) {
+        self.offer(key, ts_ns);
+    }
+}
+
+/// A merged, queryable snapshot of the whole fleet at one epoch.
+#[derive(Clone, Debug)]
+pub struct MergedView<S: RowSketch> {
+    epoch: u64,
+    sketch: NitroSketch<S>,
+    staleness: Vec<ShardStaleness>,
+}
+
+impl<S: RowSketch> MergedView<S> {
+    /// Epoch sequence number (1-based: the first rotation is epoch 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Global point query on the merged counters.
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.sketch.estimate(key)
+    }
+
+    /// Global heavy hitters ≥ `threshold`, heaviest first: the union of
+    /// the shards' tracked keys re-scored on the merged counters. Requires
+    /// the shard factory to enable top-k tracking.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        self.sketch.heavy_hitters(threshold)
+    }
+
+    /// Global L2 norm estimate of the flow-size vector.
+    pub fn l2(&self) -> f64 {
+        self.sketch.inner().l2_squared_estimate().max(0.0).sqrt()
+    }
+
+    /// Per-shard staleness records, indexed by shard.
+    pub fn staleness(&self) -> &[ShardStaleness] {
+        &self.staleness
+    }
+
+    /// Upper bound on observations dispatched to the fleet but missing
+    /// from this view (sum of the per-shard bounds).
+    pub fn staleness_bound(&self) -> u64 {
+        self.staleness.iter().map(ShardStaleness::bound).sum()
+    }
+
+    /// The merged sketch behind the queries.
+    pub fn sketch(&self) -> &NitroSketch<S> {
+        &self.sketch
+    }
+
+    /// Unwrap into the merged sketch.
+    pub fn into_sketch(self) -> NitroSketch<S> {
+        self.sketch
+    }
+}
+
+/// The running fleet: N shards plus the epoch coordinator state.
+pub struct ShardedPipeline<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    shards: Vec<Shard<NitroSketch<S>>>,
+    /// Blank, geometry-defining instance snapshots are restored into.
+    template: NitroSketch<S>,
+    epoch: u64,
+    snapshot_timeout: Duration,
+}
+
+impl<S> ShardedPipeline<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    /// Shards in the fleet.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (health, backlog, per-shard snapshots).
+    pub fn shards(&self) -> &[Shard<NitroSketch<S>>] {
+        &self.shards
+    }
+
+    /// Observations applied fleet-wide so far.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(Shard::processed).sum()
+    }
+
+    /// Live per-shard health records with their fleet-wide sum.
+    pub fn fleet_health(&self) -> FleetHealth {
+        self.shards.iter().map(Shard::health).collect()
+    }
+
+    /// Rotate an epoch: snapshot every shard (on-demand, falling back to
+    /// the latest periodic checkpoint for an unresponsive shard), restore
+    /// each into a blank template clone, and merge them into one global
+    /// sketch. The pipeline keeps running throughout — rotation never
+    /// stalls a producer or a worker.
+    pub fn epoch_view(&mut self) -> Result<MergedView<S>, PipelineError> {
+        self.epoch += 1;
+        let mut merged = self.template.clone();
+        let mut staleness = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let Some((bytes, stale)) = shard.epoch_snapshot(self.snapshot_timeout) else {
+                // Unreachable for pipeline-spawned shards (a pristine
+                // checkpoint exists from spawn), but keep the error honest.
+                return Err(PipelineError::Merge {
+                    shard: shard.index(),
+                    source: CheckpointError::Mismatch("missing checkpoint"),
+                });
+            };
+            let mut restored = self.template.clone();
+            restored
+                .restore(&bytes)
+                .map_err(|source| PipelineError::Merge {
+                    shard: shard.index(),
+                    source,
+                })?;
+            merged
+                .try_merge_from(&restored)
+                .map_err(|source| PipelineError::Merge {
+                    shard: shard.index(),
+                    source,
+                })?;
+            staleness.push(stale);
+        }
+        Ok(MergedView {
+            epoch: self.epoch,
+            sketch: merged,
+            staleness,
+        })
+    }
+
+    /// Stop every shard, drain the rings, merge the final per-core
+    /// sketches into one global measurement, and return it with the fleet
+    /// health record. Every shard is stopped even when one fails, so no
+    /// worker thread outlives the error path.
+    pub fn finish(self) -> Result<(NitroSketch<S>, FleetHealth), PipelineError> {
+        // Stop and join every shard first: aborting on the first error
+        // would leave sibling workers spinning on rings nobody drains.
+        let results: Vec<(usize, Result<_, SupervisorError>)> = self
+            .shards
+            .into_iter()
+            .map(|s| (s.index(), s.finish()))
+            .collect();
+        let mut merged = self.template;
+        let mut fleet = FleetHealth::new();
+        for (index, result) in results {
+            let (m, health) = result.map_err(|source| PipelineError::Shard {
+                shard: index,
+                source,
+            })?;
+            merged
+                .try_merge_from(&m)
+                .map_err(|source| PipelineError::Merge {
+                    shard: index,
+                    source,
+                })?;
+            fleet.push(health);
+        }
+        Ok((merged, fleet))
+    }
+}
+
+/// Spawn a sharded measurement pipeline.
+///
+/// `factory(i)` builds shard *i*'s blank per-core measurement — and is
+/// also what the shard's supervisor calls to rebuild after a panic. All
+/// instances **must wrap geometry- and seed-identical sketches** (clone
+/// one configured template, or construct with the same parameters); the
+/// per-shard *sampler* seed is free to differ. A violation is caught at
+/// merge time as [`PipelineError::Merge`], never folded silently.
+///
+/// Returns the dispatcher tap (for the switching thread) and the pipeline
+/// handle (for the coordinator).
+pub fn spawn_sharded<S, F>(factory: F, config: PipelineConfig) -> (ShardedTap, ShardedPipeline<S>)
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+    F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
+{
+    assert!(config.shards >= 1, "a pipeline needs at least one shard");
+    let factory = Arc::new(factory);
+    let template = factory(0);
+    let mut taps = Vec::with_capacity(config.shards);
+    let mut shards = Vec::with_capacity(config.shards);
+    for i in 0..config.shards {
+        let mut sup = config.supervisor.clone();
+        if let Some((_, plan)) = config.fault_plans.iter().rev().find(|(s, _)| *s == i) {
+            sup.fault_plan = Some(plan.clone());
+        }
+        let f = Arc::clone(&factory);
+        let (tap, daemon) = spawn_supervised(factory(i), move || f(i), sup);
+        taps.push(tap);
+        shards.push(Shard::new(i, daemon));
+    }
+    (
+        ShardedTap {
+            taps,
+            hash_seed: config.hash_seed,
+        },
+        ShardedPipeline {
+            shards,
+            template,
+            epoch: 0,
+            snapshot_timeout: config.snapshot_timeout,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::Mode;
+    use nitro_sketches::CountMin;
+
+    fn factory(i: usize) -> NitroSketch<CountMin> {
+        // Identical sketch geometry/seeds across shards (required for the
+        // merge); per-shard sampler seed keeps skip sequences independent.
+        NitroSketch::new(
+            CountMin::new(4, 2048, 7),
+            Mode::Fixed { p: 1.0 },
+            100 + i as u64,
+        )
+    }
+
+    fn feed(tap: &mut ShardedTap, keys: impl Iterator<Item = u64>) {
+        for (i, k) in keys.enumerate() {
+            tap.offer(k, i as u64);
+            if i % 512 == 0 {
+                std::thread::yield_now(); // single-core CI: give workers air
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_is_stable_and_covers_all_shards() {
+        let (tap, pipeline) = spawn_sharded(factory, PipelineConfig::default());
+        let mut seen = vec![false; tap.num_shards()];
+        for k in 0..1000u64 {
+            let s = tap.shard_of(k);
+            assert_eq!(s, tap.shard_of(k), "placement must be deterministic");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys must hit all 4 shards");
+        let (_, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.len(), 4);
+    }
+
+    #[test]
+    fn sharded_run_matches_exact_counts_at_p1() {
+        let (mut tap, pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 3,
+                ..Default::default()
+            },
+        );
+        feed(&mut tap, (0..30_000u64).map(|i| i % 10));
+        let (merged, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.total().offered, 30_000);
+        assert_eq!(fleet.unaccounted(), 0);
+        assert_eq!(fleet.total().dropped, 0);
+        for f in 0..10u64 {
+            assert_eq!(merged.estimate(f), 3_000.0, "flow {f}");
+        }
+        assert_eq!(merged.stats().packets, 30_000);
+    }
+
+    #[test]
+    fn epoch_view_serves_queries_while_running() {
+        let (mut tap, mut pipeline) = spawn_sharded(factory, PipelineConfig::default());
+        feed(&mut tap, (0..8_000u64).map(|i| i % 4));
+        // Let the workers drain so the snapshot covers (nearly) everything.
+        while pipeline.processed() < 8_000 {
+            std::thread::yield_now();
+        }
+        let view = pipeline.epoch_view().unwrap();
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(view.staleness().len(), 4);
+        // Fresh snapshots of a drained fleet: nothing may be missing.
+        assert_eq!(view.staleness_bound(), 0);
+        for f in 0..4u64 {
+            assert_eq!(view.estimate(f), 2_000.0, "flow {f}");
+        }
+        // The pipeline keeps running after the rotation.
+        feed(&mut tap, (0..4_000u64).map(|i| i % 4));
+        let view2 = pipeline.epoch_view().unwrap();
+        assert_eq!(view2.epoch(), 2);
+        assert!(view2.estimate(0) >= view.estimate(0));
+        let (_, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.unaccounted(), 0);
+    }
+
+    #[test]
+    fn incompatible_factory_surfaces_as_merge_error() {
+        // Shard 1 builds a sketch with different hash seeds: the epoch
+        // merge must fail loudly instead of folding garbage.
+        let bad = |i: usize| {
+            NitroSketch::new(
+                CountMin::new(4, 2048, if i == 1 { 99 } else { 7 }),
+                Mode::Fixed { p: 1.0 },
+                100,
+            )
+        };
+        let (mut tap, pipeline) = spawn_sharded(
+            bad,
+            PipelineConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        );
+        feed(&mut tap, 0..100u64);
+        let err = pipeline.finish().unwrap_err();
+        match err {
+            PipelineError::Merge { shard, source } => {
+                assert_eq!(shard, 1);
+                assert_eq!(source, CheckpointError::Mismatch("hash seeds"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn single_shard_pipeline_degenerates_to_supervised_daemon() {
+        let (mut tap, pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        feed(&mut tap, (0..5_000u64).map(|i| i % 5));
+        let (merged, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.unaccounted(), 0);
+        assert_eq!(merged.estimate(3), 1_000.0);
+    }
+}

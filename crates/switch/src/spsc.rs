@@ -4,9 +4,13 @@
 //! `readerwriterqueue` FIFO) has the vswitchd PMD thread push sampled flow
 //! keys into a shared buffer while the NitroSketch thread drains it. This is
 //! a classic bounded SPSC ring: one atomic head, one atomic tail, power-of-
-//! two capacity, acquire/release ordering, no locks on either side.
+//! two capacity, acquire/release ordering, no locks on either side. Each side
+//! additionally keeps a private snapshot of the peer's index so the hot path
+//! (ring neither full nor empty) performs no cross-core acquire load at all;
+//! the batched entry points amortise one refreshed snapshot over a whole
+//! slice of items.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -21,12 +25,22 @@ pub struct SpscRing<T: Copy> {
     head: AtomicUsize,
     /// Next slot the consumer reads (only the consumer mutates).
     tail: AtomicUsize,
+    /// Producer-private snapshot of `tail`: while it still proves free
+    /// space, a push is one release store with no cross-core acquire load.
+    cached_tail: Cell<usize>,
+    /// Consumer-private snapshot of `head`: while it still proves queued
+    /// items, a pop skips the acquire load of `head` the same way.
+    cached_head: Cell<usize>,
 }
 
 // SAFETY: the SPSC discipline (one producer thread, one consumer thread)
 // combined with acquire/release on head/tail guarantees each slot is
 // accessed exclusively: the producer only writes slots in [head, tail+cap),
-// the consumer only reads slots in [tail, head).
+// the consumer only reads slots in [tail, head). The `Cell` caches are
+// split by the same discipline: `cached_tail` is touched only by the
+// producer and `cached_head` only by the consumer, and a stale cache is
+// always conservative (it can under-report free space / queued items,
+// never fabricate them).
 unsafe impl<T: Copy + Send> Sync for SpscRing<T> {}
 unsafe impl<T: Copy + Send> Send for SpscRing<T> {}
 
@@ -43,6 +57,8 @@ impl<T: Copy> SpscRing<T> {
             mask: cap - 1,
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
+            cached_tail: Cell::new(0),
+            cached_head: Cell::new(0),
         }
     }
 
@@ -70,13 +86,22 @@ impl<T: Copy> SpscRing<T> {
         self.len() as f64 / self.buf.len() as f64
     }
 
+    /// Producer: refresh the cached tail and return the free-slot count at
+    /// `head`. Only called once the cache stops proving enough space.
+    #[inline]
+    fn producer_free(&self, head: usize) -> usize {
+        self.cached_tail.set(self.tail.load(Ordering::Acquire));
+        self.buf.len() - head.wrapping_sub(self.cached_tail.get())
+    }
+
     /// Producer: enqueue one item; `false` when the ring is full (the
     /// caller counts it as a drop, as the paper's buffer would).
     #[inline]
     pub fn push(&self, item: T) -> bool {
         let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
-        if head.wrapping_sub(tail) == self.buf.len() {
+        if head.wrapping_sub(self.cached_tail.get()) == self.buf.len()
+            && self.producer_free(head) == 0
+        {
             return false;
         }
         // SAFETY: slot `head` is past every index the consumer may read
@@ -91,8 +116,12 @@ impl<T: Copy> SpscRing<T> {
     /// Producer: enqueue as many of `items` as fit; returns how many.
     pub fn push_batch(&self, items: &[T]) -> usize {
         let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
-        let free = self.buf.len() - head.wrapping_sub(tail);
+        let mut free = self.buf.len() - head.wrapping_sub(self.cached_tail.get());
+        if free < items.len() {
+            // The cache can only under-report free space; refresh it before
+            // truncating the batch.
+            free = self.producer_free(head);
+        }
         let n = items.len().min(free);
         for (i, &item) in items[..n].iter().enumerate() {
             // SAFETY: as in `push`; all n slots are free.
@@ -104,12 +133,19 @@ impl<T: Copy> SpscRing<T> {
         n
     }
 
+    /// Consumer: refresh the cached head and return the queued-item count
+    /// at `tail`. Only called once the cache stops proving enough items.
+    #[inline]
+    fn consumer_avail(&self, tail: usize) -> usize {
+        self.cached_head.set(self.head.load(Ordering::Acquire));
+        self.cached_head.get().wrapping_sub(tail)
+    }
+
     /// Consumer: dequeue one item.
     #[inline]
     pub fn pop(&self) -> Option<T> {
         let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Acquire);
-        if tail == head {
+        if tail == self.cached_head.get() && self.consumer_avail(tail) == 0 {
             return None;
         }
         // SAFETY: slot `tail` was published by the producer's release store.
@@ -122,8 +158,12 @@ impl<T: Copy> SpscRing<T> {
     /// written to the front of `out`.
     pub fn pop_batch(&self, out: &mut [T]) -> usize {
         let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Acquire);
-        let avail = head.wrapping_sub(tail);
+        let mut avail = self.cached_head.get().wrapping_sub(tail);
+        if avail < out.len() {
+            // A stale cache only under-reports; refresh before truncating
+            // the drain.
+            avail = self.consumer_avail(tail);
+        }
         let n = out.len().min(avail);
         for (i, slot) in out[..n].iter_mut().enumerate() {
             // SAFETY: slots tail..tail+n were published by the producer.

@@ -186,6 +186,13 @@ struct Shared {
     /// whether or not a lower probability was available.
     downshift_requests: AtomicU64,
     downshift_acks: AtomicU64,
+    /// Coordinator-side on-demand snapshot requests; the worker stores a
+    /// fresh checkpoint and acknowledges via `snapshot_acks`.
+    snapshot_requests: AtomicU64,
+    snapshot_acks: AtomicU64,
+    /// `processed` at the moment the stored checkpoint was taken — the
+    /// basis of the query plane's per-shard staleness bound.
+    checkpoint_processed: AtomicU64,
     checkpoint: Mutex<Option<Vec<u8>>>,
     high_water: f64,
 }
@@ -207,17 +214,22 @@ impl Shared {
             downshifts: AtomicU64::new(0),
             downshift_requests: AtomicU64::new(0),
             downshift_acks: AtomicU64::new(0),
+            snapshot_requests: AtomicU64::new(0),
+            snapshot_acks: AtomicU64::new(0),
+            checkpoint_processed: AtomicU64::new(0),
             checkpoint: Mutex::new(None),
             high_water,
         }
     }
 
-    fn store_checkpoint(&self, bytes: Vec<u8>) {
+    fn store_checkpoint(&self, bytes: Vec<u8>, processed_at: u64) {
         let mut slot = self
             .checkpoint
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         *slot = Some(bytes);
+        self.checkpoint_processed
+            .store(processed_at, Ordering::Release);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -226,6 +238,18 @@ impl Shared {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone()
+    }
+
+    /// Load the stored checkpoint together with the `processed` count it
+    /// was taken at (read under the same lock ordering: bytes first, then
+    /// the release-published counter).
+    fn load_checkpoint_with_processed(&self) -> Option<(Vec<u8>, u64)> {
+        let slot = self
+            .checkpoint
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slot.clone()
+            .map(|bytes| (bytes, self.checkpoint_processed.load(Ordering::Acquire)))
     }
 
     fn health(&self) -> DaemonHealth {
@@ -311,6 +335,34 @@ impl Measurement for SupervisedTap {
     }
 }
 
+/// A point-in-time view of a supervised daemon's checkpointed state, with
+/// the numbers the epoch-merged query plane needs to bound its staleness.
+#[derive(Clone, Debug)]
+pub struct CheckpointView {
+    /// The serialized measurement ([`Recoverable::checkpoint_bytes`]).
+    pub bytes: Vec<u8>,
+    /// Observations processed when this checkpoint was taken.
+    pub processed_at: u64,
+    /// Observations processed since the checkpoint — updates this view has
+    /// not seen yet. With a fresh on-demand snapshot this is at most the
+    /// worker's in-flight batch.
+    pub lag: u64,
+    /// Observations still queued in the ring at capture time.
+    pub backlog: u64,
+    /// Whether the worker acknowledged the on-demand request in time. When
+    /// `false` the view is the latest *periodic* checkpoint (the worker
+    /// was crashed or mid-restart), bounded by one checkpoint interval.
+    pub fresh: bool,
+}
+
+impl CheckpointView {
+    /// Upper bound on observations offered to this shard but absent from
+    /// the view: processed-but-unsnapshotted plus still-queued.
+    pub fn staleness_bound(&self) -> u64 {
+        self.lag + self.backlog
+    }
+}
+
 /// The running supervised daemon: owns the supervisor thread, which in
 /// turn owns the current worker incarnation.
 pub struct SupervisedDaemon<M: Recoverable + Send + 'static> {
@@ -327,6 +379,51 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
     /// Live snapshot of the health counters.
     pub fn health(&self) -> DaemonHealth {
         self.shared.health()
+    }
+
+    /// Observations currently queued in the ring.
+    pub fn backlog(&self) -> u64 {
+        self.shared.ring.len() as u64
+    }
+
+    /// The most recent checkpoint without requesting a fresh one — stale
+    /// by up to one checkpoint interval plus the ring backlog. `None` only
+    /// before [`spawn_supervised`] stored the pristine snapshot (i.e.
+    /// never, for a daemon obtained from that constructor).
+    pub fn latest_checkpoint(&self) -> Option<CheckpointView> {
+        let (bytes, processed_at) = self.shared.load_checkpoint_with_processed()?;
+        let processed = self.shared.processed.load(Ordering::Relaxed);
+        Some(CheckpointView {
+            bytes,
+            processed_at,
+            lag: processed.saturating_sub(processed_at),
+            backlog: self.backlog(),
+            fresh: false,
+        })
+    }
+
+    /// Ask the worker for an on-demand checkpoint and wait up to `timeout`
+    /// for it; falls back to the latest periodic checkpoint (with
+    /// `fresh == false` and the correspondingly larger staleness numbers)
+    /// when the worker does not acknowledge in time — a crashed shard still
+    /// serves its last known-good state.
+    pub fn checkpoint_now(&self, timeout: Duration) -> Option<CheckpointView> {
+        let target = self.shared.snapshot_requests.fetch_add(1, Ordering::AcqRel) + 1;
+        let deadline = Instant::now() + timeout;
+        let mut fresh = false;
+        loop {
+            if self.shared.snapshot_acks.load(Ordering::Acquire) >= target {
+                fresh = true;
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut view = self.latest_checkpoint()?;
+        view.fresh = fresh;
+        Some(view)
     }
 
     /// Signal stop, let the worker drain the ring, and return the final
@@ -375,6 +472,18 @@ fn run_worker<M: Recoverable>(
             // request slot frees up instead of wedging.
             shared.downshift_acks.fetch_add(1, Ordering::Release);
         }
+        let snap_requests = shared.snapshot_requests.load(Ordering::Acquire);
+        let snap_acks = shared.snapshot_acks.load(Ordering::Acquire);
+        if snap_requests > snap_acks {
+            // On-demand epoch snapshot: serialize the current state so the
+            // query plane's staleness collapses to the in-flight batch. One
+            // checkpoint satisfies every request queued so far.
+            shared.store_checkpoint(
+                m.checkpoint_bytes(),
+                shared.processed.load(Ordering::Relaxed),
+            );
+            shared.snapshot_acks.store(snap_requests, Ordering::Release);
+        }
         let n = shared.ring.pop_batch(&mut buf);
         if n == 0 {
             if shared.stop.load(Ordering::Acquire) && shared.ring.is_empty() {
@@ -405,7 +514,10 @@ fn run_worker<M: Recoverable>(
         since_checkpoint += n as u64;
         if since_checkpoint >= checkpoint_every {
             since_checkpoint = 0;
-            shared.store_checkpoint(m.checkpoint_bytes());
+            shared.store_checkpoint(
+                m.checkpoint_bytes(),
+                shared.processed.load(Ordering::Relaxed),
+            );
         }
     }
     m
@@ -431,7 +543,7 @@ where
     // Checkpoint the pristine state up front: a panic before the first
     // periodic checkpoint restores to "empty but correctly configured"
     // rather than to nothing.
-    shared.store_checkpoint(measurement.checkpoint_bytes());
+    shared.store_checkpoint(measurement.checkpoint_bytes(), 0);
 
     let handle = {
         let shared = Arc::clone(&shared);

@@ -253,6 +253,81 @@ proptest! {
             "idle refill too small: {} of {}", back_to_back, burst);
     }
 
+    /// Checkpoint round-trip is the identity for every counter-array
+    /// sketch: snapshot → bytes → restore onto a blank compatible instance
+    /// reproduces every estimate and the L2 moment, for any weighted
+    /// stream. This is what the sharded pipeline's epoch merge stands on.
+    #[test]
+    fn checkpoint_roundtrip_identity(
+        stream in prop::collection::vec((0u64..200, 1u32..8), 1..300),
+        which in 0usize..3,
+    ) {
+        use nitrosketch::sketches::Checkpoint;
+        fn roundtrip<S: Sketch + Checkpoint>(mut a: S, mut b: S, stream: &[(u64, u32)]) {
+            for &(k, w) in stream {
+                a.update(k, w as f64);
+            }
+            b.restore(&a.snapshot()).expect("compatible restore");
+            for k in 0..200u64 {
+                prop_assert_eq!(a.estimate(k), b.estimate(k), "key {}", k);
+            }
+        }
+        match which {
+            0 => roundtrip(CountMin::new(4, 256, 17), CountMin::new(4, 256, 17), &stream),
+            1 => roundtrip(CountSketch::new(5, 128, 18), CountSketch::new(5, 128, 18), &stream),
+            _ => roundtrip(KarySketch::new(3, 512, 19), KarySketch::new(3, 512, 19), &stream),
+        }
+    }
+
+    /// Restoring a snapshot onto a *differently parameterized* instance is
+    /// always rejected — never silently absorbed into the wrong hash space.
+    #[test]
+    fn checkpoint_rejects_incompatible_receiver(
+        stream in prop::collection::vec(0u64..100, 1..50),
+        tweak in 0usize..3,
+    ) {
+        use nitrosketch::sketches::Checkpoint;
+        let mut a = CountMin::new(4, 256, 17);
+        for &k in &stream {
+            a.update(k, 1.0);
+        }
+        let mut b = match tweak {
+            0 => CountMin::new(5, 256, 17),  // depth
+            1 => CountMin::new(4, 128, 17),  // width
+            _ => CountMin::new(4, 256, 99),  // seeds
+        };
+        prop_assert!(b.restore(&a.snapshot()).is_err());
+    }
+
+    /// The controller's checkpoint round-trips exactly: export → import
+    /// onto a fresh controller of the same mode reproduces p, convergence,
+    /// and the packet count — across any number of downshifts.
+    #[test]
+    fn mode_checkpoint_roundtrip(packets in 0u64..512, downshifts in 0usize..4) {
+        use nitrosketch::core::ModeState;
+        let modes = [
+            Mode::Fixed { p: 1.0 },
+            Mode::Fixed { p: 0.05 },
+            Mode::always_correct(0.01),
+        ];
+        for mode in modes {
+            let mut a = ModeState::new(mode.clone(), 5);
+            for i in 0..packets {
+                a.on_packet(Some(i));
+            }
+            for _ in 0..downshifts {
+                a.downshift();
+            }
+            let cp = a.export();
+            let mut b = ModeState::new(mode, 5);
+            b.import(cp);
+            prop_assert_eq!(b.export(), cp);
+            prop_assert_eq!(b.p(), a.p());
+            prop_assert_eq!(b.converged(), a.converged());
+            prop_assert_eq!(b.packets(), a.packets());
+        }
+    }
+
     /// The SPSC ring preserves FIFO order under any push/pop interleaving
     /// (single-threaded schedule).
     #[test]
