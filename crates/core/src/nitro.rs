@@ -417,6 +417,11 @@ impl<S: RowSketch + Checkpoint> NitroSketch<S> {
             converged: d.u8()? != 0,
             packets: d.u64()?,
         };
+        // A corrupt probability would poison the sampler (its setter
+        // asserts the range); reject it as malformed input instead.
+        if !(mode.p > 0.0 && mode.p <= 1.0) {
+            return Err(CheckpointError::Malformed("sampling probability"));
+        }
         let stats = NitroStats {
             packets: d.u64()?,
             sampled_packets: d.u64()?,
@@ -426,7 +431,11 @@ impl<S: RowSketch + Checkpoint> NitroSketch<S> {
             downshifts: d.u64()?,
         };
         let had_topk = d.u8()? != 0;
-        let n_topk = d.u32()? as usize;
+        // Bound the entry count by the bytes actually present before
+        // reserving: a corrupt count must fail, not amplify into a
+        // multi-gigabyte allocation.
+        let n_raw = d.u32()? as usize;
+        let n_topk = d.counted(n_raw, 16)?;
         let mut topk_entries = Vec::with_capacity(n_topk);
         for _ in 0..n_topk {
             topk_entries.push((d.u64()?, d.f64()?));

@@ -97,6 +97,7 @@ impl FleetHealth {
                 "restarts",
                 "stalls",
                 "ckpts",
+                "persisted",
                 "restores",
                 "downshifts",
             ],
@@ -112,6 +113,7 @@ impl FleetHealth {
                 h.restarts.to_string(),
                 h.stalls.to_string(),
                 h.checkpoints.to_string(),
+                h.persisted.to_string(),
                 h.restores.to_string(),
                 h.downshifts.to_string(),
             ]);

@@ -28,6 +28,9 @@ pub struct DaemonHealth {
     pub stalls: u64,
     /// Checkpoints taken by the worker.
     pub checkpoints: u64,
+    /// Checkpoints made durable through the configured sink (zero when the
+    /// daemon runs without a durable store).
+    pub persisted: u64,
     /// Checkpoints restored into a replacement worker.
     pub restores: u64,
     /// Sampling-probability downshifts applied under backpressure.
@@ -53,6 +56,7 @@ impl DaemonHealth {
         self.restarts += other.restarts;
         self.stalls += other.stalls;
         self.checkpoints += other.checkpoints;
+        self.persisted += other.persisted;
         self.restores += other.restores;
         self.downshifts += other.downshifts;
     }
@@ -95,6 +99,7 @@ impl DaemonHealth {
             ("restarts", self.restarts),
             ("stalls", self.stalls),
             ("checkpoints", self.checkpoints),
+            ("persisted", self.persisted),
             ("restores", self.restores),
             ("downshifts", self.downshifts),
         ] {
@@ -189,11 +194,12 @@ mod tests {
             "restarts",
             "stalls",
             "checkpoints",
+            "persisted",
             "restores",
             "downshifts",
         ] {
             assert!(s.contains(name), "missing counter {name} in\n{s}");
         }
-        assert_eq!(h.to_table().len(), 10);
+        assert_eq!(h.to_table().len(), 11);
     }
 }

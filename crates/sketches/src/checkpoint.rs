@@ -21,6 +21,13 @@
 
 use std::fmt;
 
+/// Current checkpoint wire-format version, written by [`Encoder::new`]
+/// right after the magic word and verified by [`Decoder::new`]. Bump it on
+/// any layout change: a newer-versioned blob (e.g. written by a future
+/// build into the durable store) is rejected with
+/// [`CheckpointError::Version`] instead of being misparsed as counters.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
 /// Why a snapshot could not be restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CheckpointError {
@@ -33,6 +40,17 @@ pub enum CheckpointError {
     },
     /// The magic word does not match this sketch type.
     BadMagic,
+    /// The blob was written by a newer, unsupported format version.
+    Version {
+        /// Version byte found in the header.
+        found: u8,
+        /// Newest version this build understands.
+        supported: u8,
+    },
+    /// A structurally invalid field (oversized length prefix, out-of-range
+    /// probability, …) — the bytes cannot have come from a well-formed
+    /// snapshot.
+    Malformed(&'static str),
     /// The snapshot's geometry or hash seeds differ from the receiver's.
     Mismatch(&'static str),
 }
@@ -44,6 +62,15 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint truncated: need {need} bytes, got {got}")
             }
             CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CheckpointError::Version { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint version {found} not supported (this build reads <= {supported})"
+                )
+            }
+            CheckpointError::Malformed(what) => {
+                write!(f, "checkpoint malformed: {what}")
+            }
             CheckpointError::Mismatch(what) => {
                 write!(f, "checkpoint incompatible with receiver: {what} differs")
             }
@@ -100,10 +127,12 @@ pub struct Encoder {
 }
 
 impl Encoder {
-    /// Start a snapshot with a type magic word.
+    /// Start a snapshot with a type magic word followed by the format
+    /// version byte ([`CHECKPOINT_VERSION`]).
     pub fn new(magic: u32, capacity_hint: usize) -> Self {
-        let mut buf = Vec::with_capacity(8 + capacity_hint);
+        let mut buf = Vec::with_capacity(9 + capacity_hint);
         buf.extend_from_slice(&magic.to_le_bytes());
+        buf.push(CHECKPOINT_VERSION);
         Self { buf }
     }
 
@@ -168,19 +197,32 @@ pub struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    /// Open a snapshot, verifying the type magic word first.
+    /// Open a snapshot, verifying the type magic word and the format
+    /// version byte. A version newer than [`CHECKPOINT_VERSION`] is
+    /// rejected — a blob from a future build must never be misread as
+    /// counter state.
     pub fn new(data: &'a [u8], magic: u32) -> Result<Self, CheckpointError> {
         let mut d = Self { data, at: 0 };
         if d.u32()? != magic {
             return Err(CheckpointError::BadMagic);
         }
+        let version = d.u8()?;
+        if version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
         Ok(d)
     }
 
     fn need(&self, n: usize) -> Result<(), CheckpointError> {
-        if self.data.len() - self.at < n {
+        // Saturating arithmetic: `n` may come straight from an untrusted
+        // length prefix, and a corrupt value must report `Truncated`, not
+        // overflow a usize computation.
+        if self.data.len().saturating_sub(self.at) < n {
             Err(CheckpointError::Truncated {
-                need: self.at + n,
+                need: self.at.saturating_add(n),
                 got: self.data.len(),
             })
         } else {
@@ -217,9 +259,14 @@ impl<'a> Decoder<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    /// Read `n` u64 values.
+    /// Read `n` u64 values. The byte budget is checked (overflow-safely)
+    /// before any allocation, so a decoder-driven `n` can never trigger an
+    /// oversized reservation.
     pub fn u64s(&mut self, n: usize) -> Result<Vec<u64>, CheckpointError> {
-        self.need(n * 8)?;
+        let total = n
+            .checked_mul(8)
+            .ok_or(CheckpointError::Malformed("u64 array length overflows"))?;
+        self.need(total)?;
         Ok((0..n).map(|_| self.u64().unwrap()).collect())
     }
 
@@ -232,10 +279,18 @@ impl<'a> Decoder<'a> {
         Ok(())
     }
 
-    /// Read a length-prefixed nested byte blob.
+    /// Read a length-prefixed nested byte blob. An untrusted length prefix
+    /// larger than the remaining payload reports `Truncated` before any
+    /// slicing (and before the cast can wrap on 32-bit targets).
     pub fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
-        let n = self.u64()? as usize;
-        self.need(n)?;
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(CheckpointError::Truncated {
+                need: self.at.saturating_add(n.min(usize::MAX as u64) as usize),
+                got: self.data.len(),
+            });
+        }
+        let n = n as usize;
         let v = &self.data[self.at..self.at + n];
         self.at += n;
         Ok(v)
@@ -244,6 +299,23 @@ impl<'a> Decoder<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.data.len() - self.at
+    }
+
+    /// Validate an element count read from the stream against the bytes
+    /// actually remaining: each element needs at least `elem_size` bytes,
+    /// so a count that cannot fit is malformed — callers can reserve
+    /// `count` slots afterwards without an allocation amplification risk.
+    pub fn counted(&self, count: usize, elem_size: usize) -> Result<usize, CheckpointError> {
+        let total = count
+            .checked_mul(elem_size)
+            .ok_or(CheckpointError::Malformed("element count overflows"))?;
+        if total > self.remaining() {
+            return Err(CheckpointError::Truncated {
+                need: self.at.saturating_add(total),
+                got: self.data.len(),
+            });
+        }
+        Ok(count)
     }
 }
 
@@ -269,6 +341,59 @@ mod tests {
         assert_eq!(fs, [0.5, 1.5]);
         assert_eq!(d.bytes().unwrap(), b"nested");
         assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn future_version_rejected_with_clear_error() {
+        // A blob stamped with a future format version — e.g. written into
+        // the durable store by a newer build — must be refused up front.
+        let mut buf = 7u32.to_le_bytes().to_vec();
+        buf.push(CHECKPOINT_VERSION + 1);
+        buf.extend_from_slice(&123u64.to_le_bytes());
+        let err = Decoder::new(&buf, 7).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Version {
+                found: CHECKPOINT_VERSION + 1,
+                supported: CHECKPOINT_VERSION,
+            }
+        );
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn current_version_accepted() {
+        let mut e = Encoder::new(7, 0);
+        e.u64(9);
+        let buf = e.finish();
+        assert_eq!(buf[4], CHECKPOINT_VERSION, "version byte follows magic");
+        let mut d = Decoder::new(&buf, 7).unwrap();
+        assert_eq!(d.u64().unwrap(), 9);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_errors_not_allocations() {
+        // A corrupt u64 length prefix near u64::MAX must neither allocate
+        // nor overflow offset arithmetic.
+        let mut e = Encoder::new(3, 0);
+        e.u64(u64::MAX - 7);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf, 3).unwrap();
+        assert!(matches!(d.bytes(), Err(CheckpointError::Truncated { .. })));
+        let d2 = Decoder::new(&buf, 3).unwrap();
+        assert!(matches!(
+            d2.counted(usize::MAX, 16),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            d2.counted(1 << 40, 8),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        let mut d3 = Decoder::new(&buf, 3).unwrap();
+        assert!(matches!(
+            d3.u64s(usize::MAX / 4),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 
     #[test]

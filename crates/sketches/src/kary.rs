@@ -480,7 +480,7 @@ mod tests {
         );
         assert_eq!(
             KarySketch::new(5, 256, 1).restore(&snap[..4]).unwrap_err(),
-            CheckpointError::Truncated { need: 8, got: 4 }
+            CheckpointError::Truncated { need: 5, got: 4 }
         );
     }
 }

@@ -247,6 +247,103 @@ impl ThreadFaultPlan {
     }
 }
 
+/// What the durable checkpoint store should do with one append — the
+/// disk-level counterpart of [`ThreadFaultPlan`]'s injected panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskAction {
+    /// Write the frame normally.
+    Pass,
+    /// Write only a prefix of the frame and then freeze the store — models
+    /// the process dying mid-`write(2)`, leaving a torn tail for recovery
+    /// to truncate.
+    TornWrite,
+    /// Fail the append with an I/O error without touching the file — a
+    /// transient `EIO`; the store stays usable and the next checkpoint
+    /// retries durability.
+    IoError,
+    /// Write the frame with one payload bit flipped — silent media
+    /// corruption, detectable only by the frame checksum at recovery.
+    BitFlip,
+}
+
+/// Disk-level fault plan for the durable checkpoint store: deterministic,
+/// `Arc`-cloneable countdowns over store appends, one-shot per arming like
+/// [`ThreadFaultPlan`]. The chaos harness arms it from outside while the
+/// store consults [`DiskFaultPlan::next_action`] on every frame append.
+#[derive(Clone, Debug, Default)]
+pub struct DiskFaultPlan {
+    /// Appends remaining until a torn write; `u64::MAX` means disarmed.
+    torn_after: Arc<AtomicU64>,
+    /// Appends remaining until a transient I/O error.
+    io_fail_after: Arc<AtomicU64>,
+    /// Appends remaining until a silent bit flip.
+    bit_flip_after: Arc<AtomicU64>,
+    /// Faults fired so far (all kinds).
+    fired: Arc<AtomicU64>,
+}
+
+impl DiskFaultPlan {
+    /// A disarmed plan: every append passes.
+    pub fn new() -> Self {
+        Self {
+            torn_after: Arc::new(AtomicU64::new(u64::MAX)),
+            io_fail_after: Arc::new(AtomicU64::new(u64::MAX)),
+            bit_flip_after: Arc::new(AtomicU64::new(u64::MAX)),
+            fired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Arm a torn write: the `n`-th append from now (0-based) writes only
+    /// a prefix of its frame and freezes the store.
+    pub fn torn_write_after(&self, n: u64) {
+        self.torn_after.store(n, Ordering::Release);
+    }
+
+    /// Arm a transient I/O failure on the `n`-th append from now.
+    pub fn io_error_after(&self, n: u64) {
+        self.io_fail_after.store(n, Ordering::Release);
+    }
+
+    /// Arm a silent single-bit payload corruption on the `n`-th append
+    /// from now.
+    pub fn bit_flip_after(&self, n: u64) {
+        self.bit_flip_after.store(n, Ordering::Release);
+    }
+
+    /// Faults fired so far, all kinds combined.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Account one append and decide its fate. Each armed countdown
+    /// decrements per call; a countdown crossing zero fires exactly once
+    /// and disarms. When several fire simultaneously the most destructive
+    /// wins (torn > io error > bit flip).
+    pub fn next_action(&self) -> DiskAction {
+        let mut action = DiskAction::Pass;
+        // Tick in reverse priority so the strongest simultaneous fault
+        // overwrites the weaker ones.
+        for (counter, fault) in [
+            (&self.bit_flip_after, DiskAction::BitFlip),
+            (&self.io_fail_after, DiskAction::IoError),
+            (&self.torn_after, DiskAction::TornWrite),
+        ] {
+            let remaining = counter.load(Ordering::Acquire);
+            if remaining == u64::MAX {
+                continue;
+            }
+            if remaining == 0 {
+                counter.store(u64::MAX, Ordering::Release);
+                self.fired.fetch_add(1, Ordering::AcqRel);
+                action = fault;
+            } else {
+                counter.store(remaining - 1, Ordering::Release);
+            }
+        }
+        action
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +484,29 @@ mod tests {
         // Quiet after firing — a restarted worker survives.
         plan.check(u64::MAX - 1);
         assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn disk_fault_plan_counts_down_and_fires_once() {
+        let plan = DiskFaultPlan::new();
+        assert_eq!(plan.next_action(), DiskAction::Pass, "disarmed passes");
+        plan.torn_write_after(2);
+        assert_eq!(plan.next_action(), DiskAction::Pass);
+        assert_eq!(plan.next_action(), DiskAction::Pass);
+        assert_eq!(plan.next_action(), DiskAction::TornWrite);
+        assert_eq!(plan.next_action(), DiskAction::Pass, "one-shot");
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn disk_fault_plan_priority_on_simultaneous_fire() {
+        let plan = DiskFaultPlan::new();
+        plan.torn_write_after(0);
+        plan.io_error_after(0);
+        plan.bit_flip_after(0);
+        assert_eq!(plan.next_action(), DiskAction::TornWrite);
+        assert_eq!(plan.fired(), 3, "all three armed countdowns fired");
+        assert_eq!(plan.next_action(), DiskAction::Pass);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`supervisor`]: the robustness layer over the daemon — panic
 //!   recovery with checkpoint/restore, stall watchdog, and
 //!   backpressure-driven sampling downshift.
+//! - [`store`]: the crash-consistent durable checkpoint log — CRC-framed
+//!   per-shard segments with atomic rotation, a generation-numbered fleet
+//!   manifest, and torn-tail-repairing recovery.
 //! - [`pipeline`] / [`shard`]: the RSS-style sharded multi-core pipeline —
 //!   a dispatcher hashes flow keys onto N supervised shards and an
 //!   epoch-merged query plane answers global queries over their union.
@@ -46,13 +49,16 @@ pub mod parse;
 pub mod pipeline;
 pub mod shard;
 pub mod spsc;
+pub mod store;
 pub mod supervisor;
 pub mod vpp;
 
 pub use control::{Collector, ControlLink, EpochReport};
 pub use cost::{CostModel, CostReport, Stage};
 pub use daemon::{DaemonError, MeasurementDaemon, MeasurementTap, Observation};
-pub use faults::{FaultInjector, FaultStats, ThreadFaultPlan, TokenBucket};
+pub use faults::{
+    DiskAction, DiskFaultPlan, FaultInjector, FaultStats, ThreadFaultPlan, TokenBucket,
+};
 pub use five_tuple::FiveTuple;
 pub use ovs::{Measurement, NullMeasurement, OvsDatapath};
 pub use packet::{build_packet, Packet};
@@ -62,7 +68,11 @@ pub use pipeline::{
 };
 pub use shard::{Shard, ShardStaleness};
 pub use spsc::SpscRing;
+pub use store::{
+    CheckpointSink, CheckpointStore, RecoveredFrame, RecoveryReport, ShardWriter, SinkHandle,
+    StoreConfig, StoreError, STORE_VERSION,
+};
 pub use supervisor::{
-    spawn_supervised, CheckpointView, Recoverable, SupervisedDaemon, SupervisedTap,
-    SupervisorConfig, SupervisorError,
+    spawn_supervised, CheckpointView, Recoverable, RestartDecision, RestartPolicy,
+    SupervisedDaemon, SupervisedTap, SupervisorConfig, SupervisorError,
 };

@@ -37,14 +37,26 @@
 use crate::faults::ThreadFaultPlan;
 use crate::ovs::Measurement;
 use crate::shard::{Shard, ShardStaleness};
+use crate::store::{CheckpointStore, RecoveryReport, SinkHandle, StoreConfig, StoreError};
 use crate::supervisor::{spawn_supervised, SupervisedTap, SupervisorConfig, SupervisorError};
 use nitro_core::NitroSketch;
 use nitro_hash::xxhash::xxh64_u64;
-use nitro_metrics::FleetHealth;
+use nitro_metrics::{DaemonHealth, FleetHealth};
 use nitro_sketches::{Checkpoint, CheckpointError, FlowKey, RowSketch};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What joining one shard yields at degraded shutdown: its index, the
+/// last durable checkpoint captured from a failed shard (the merge
+/// fallback), and the join result — final measurement + health record, or
+/// the supervisor error that ended it.
+type ShardOutcome<M> = (
+    usize,
+    Option<Vec<u8>>,
+    Result<(M, DaemonHealth), SupervisorError>,
+);
 
 /// Tuning for [`spawn_sharded`].
 #[derive(Clone, Debug)]
@@ -68,6 +80,12 @@ pub struct PipelineConfig {
     /// Targeted fault injection: `(shard, plan)` pairs; a matching entry
     /// overrides `supervisor.fault_plan` for that shard (test hook).
     pub fault_plans: Vec<(usize, ThreadFaultPlan)>,
+    /// Durable checkpoint store: when set, every shard's checkpoints are
+    /// persisted to its per-shard segment log, and
+    /// [`ShardedPipeline::recover_from`] can rebuild the fleet after full
+    /// process death with at most one checkpoint interval of loss per
+    /// shard. Must be sized for exactly `shards` shards.
+    pub store: Option<Arc<CheckpointStore>>,
 }
 
 impl Default for PipelineConfig {
@@ -78,6 +96,7 @@ impl Default for PipelineConfig {
             supervisor: SupervisorConfig::default(),
             snapshot_timeout: Duration::from_millis(250),
             fault_plans: Vec::new(),
+            store: None,
         }
     }
 }
@@ -101,6 +120,8 @@ pub enum PipelineError {
         /// The underlying checkpoint/merge error.
         source: CheckpointError,
     },
+    /// The durable checkpoint store could not be opened or recovered.
+    Store(StoreError),
 }
 
 impl fmt::Display for PipelineError {
@@ -110,6 +131,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Merge { shard, source } => {
                 write!(f, "merging shard {shard}: {source}")
             }
+            PipelineError::Store(source) => write!(f, "durable store: {source}"),
         }
     }
 }
@@ -119,7 +141,14 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Shard { source, .. } => Some(source),
             PipelineError::Merge { source, .. } => Some(source),
+            PipelineError::Store(source) => Some(source),
         }
+    }
+}
+
+impl From<StoreError> for PipelineError {
+    fn from(source: StoreError) -> Self {
+        PipelineError::Store(source)
     }
 }
 
@@ -245,6 +274,9 @@ where
     template: NitroSketch<S>,
     epoch: u64,
     snapshot_timeout: Duration,
+    /// The durable store backing the shards' checkpoint sinks, when the
+    /// pipeline was spawned (or recovered) with one.
+    store: Option<Arc<CheckpointStore>>,
 }
 
 impl<S> ShardedPipeline<S>
@@ -269,6 +301,77 @@ where
     /// Live per-shard health records with their fleet-wide sum.
     pub fn fleet_health(&self) -> FleetHealth {
         self.shards.iter().map(Shard::health).collect()
+    }
+
+    /// The durable store backing this pipeline's checkpoints, when one was
+    /// configured.
+    pub fn store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.store.as_ref()
+    }
+
+    /// Shard ids whose restart budget is spent (served degraded).
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| s.is_failed())
+            .map(Shard::index)
+            .collect()
+    }
+
+    /// Chaos-harness process kill: freeze the durable store — nothing
+    /// after this instant reaches disk — then stop and **discard** every
+    /// shard's in-memory state without merging anything. The only
+    /// survivor is what was already durable; follow with
+    /// [`ShardedPipeline::recover_from`] on the same directory to model a
+    /// process restart. (A real `kill -9` also abandons the rings'
+    /// contents; the harness reproduces that by dropping the tap first so
+    /// undrained observations surface as `dropped`/`lost` in the next
+    /// incarnation's offered stream instead of silently vanishing here.)
+    pub fn simulate_crash(self) {
+        if let Some(store) = &self.store {
+            store.freeze();
+        }
+        for shard in self.shards {
+            // Threads must still be joined — a detached spinning worker
+            // would outlive the "dead" process and poison later timing —
+            // but every result, clean or failed, is thrown away.
+            let _ = shard.finish();
+        }
+    }
+
+    /// Rebuild a fleet from its durable checkpoint directory after full
+    /// process death.
+    ///
+    /// Reads the manifest, scans every shard's segments (truncating torn
+    /// tails, rejecting corrupt or future-version frames), restores each
+    /// shard's newest valid checkpoint into a fresh factory-built
+    /// measurement, and spawns the fleet around the reopened store under a
+    /// bumped generation. `config.shards` is overridden by the manifest's
+    /// shard count; `config.store` by the reopened store. Per-shard loss
+    /// relative to the crashed process is bounded by one checkpoint
+    /// interval plus that shard's in-flight batch and undrained ring.
+    ///
+    /// The returned [`RecoveryReport`] says what was repaired; health
+    /// counters restart at zero for the new incarnation.
+    pub fn recover_from<F>(
+        dir: impl AsRef<Path>,
+        factory: F,
+        store_config: StoreConfig,
+        mut config: PipelineConfig,
+    ) -> Result<(ShardedTap, Self, RecoveryReport), PipelineError>
+    where
+        F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
+    {
+        let (store, report) = CheckpointStore::recover(dir, store_config)?;
+        config.shards = store.num_shards();
+        config.store = Some(store);
+        let initial: Vec<Option<Vec<u8>>> = report
+            .recovered
+            .iter()
+            .map(|r| r.as_ref().map(|f| f.bytes.clone()))
+            .collect();
+        let (tap, pipeline) = spawn_with_initial(factory, config, initial)?;
+        Ok((tap, pipeline, report))
     }
 
     /// Rotate an epoch: snapshot every shard (on-demand, falling back to
@@ -340,6 +443,76 @@ where
         }
         Ok((merged, fleet))
     }
+
+    /// Like [`ShardedPipeline::finish`], but a shard whose restart budget
+    /// is spent contributes its **last checkpoint** (restored into a
+    /// template clone) instead of aborting the whole merge. Returns the
+    /// merged sketch, the fleet health — whose accounting identity still
+    /// holds, with the dead shard's unprocessed observations counted as
+    /// dropped or lost — and the ids of the shards served degraded. Only a
+    /// supervisor-thread panic (a bug, not a budget) still errors.
+    pub fn finish_degraded(
+        self,
+    ) -> Result<(NitroSketch<S>, FleetHealth, Vec<usize>), PipelineError> {
+        let ShardedPipeline {
+            shards, template, ..
+        } = self;
+        // Capture each failed shard's final checkpoint before consuming
+        // it; stop and join every shard regardless of its fate.
+        let results: Vec<ShardOutcome<NitroSketch<S>>> = shards
+            .into_iter()
+            .map(|s| {
+                let fallback = if s.is_failed() {
+                    s.latest_checkpoint().map(|v| v.bytes)
+                } else {
+                    None
+                };
+                (s.index(), fallback, s.finish())
+            })
+            .collect();
+        let mut merged = template.clone();
+        let mut fleet = FleetHealth::new();
+        let mut degraded = Vec::new();
+        for (index, fallback, result) in results {
+            match result {
+                Ok((m, health)) => {
+                    merged
+                        .try_merge_from(&m)
+                        .map_err(|source| PipelineError::Merge {
+                            shard: index,
+                            source,
+                        })?;
+                    fleet.push(health);
+                }
+                Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
+                    if let Some(bytes) = fallback {
+                        let mut restored = template.clone();
+                        restored
+                            .restore(&bytes)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                        merged.try_merge_from(&restored).map_err(|source| {
+                            PipelineError::Merge {
+                                shard: index,
+                                source,
+                            }
+                        })?;
+                    }
+                    fleet.push(health);
+                    degraded.push(index);
+                }
+                Err(source) => {
+                    return Err(PipelineError::Shard {
+                        shard: index,
+                        source,
+                    })
+                }
+            }
+        }
+        Ok((merged, fleet, degraded))
+    }
 }
 
 /// Spawn a sharded measurement pipeline.
@@ -358,22 +531,60 @@ where
     S: RowSketch + Checkpoint + Clone + Send + 'static,
     F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
 {
+    let shards = config.shards;
+    spawn_with_initial(factory, config, vec![None; shards])
+        .expect("spawning without recovered state cannot fail a restore")
+}
+
+/// Shared spawner behind [`spawn_sharded`] and
+/// [`ShardedPipeline::recover_from`]: builds (and, for recovery, restores)
+/// every shard's measurement *before* spawning any thread, so a
+/// restore failure aborts with nothing running.
+fn spawn_with_initial<S, F>(
+    factory: F,
+    config: PipelineConfig,
+    initial: Vec<Option<Vec<u8>>>,
+) -> Result<(ShardedTap, ShardedPipeline<S>), PipelineError>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+    F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
+{
     assert!(config.shards >= 1, "a pipeline needs at least one shard");
+    assert_eq!(initial.len(), config.shards);
+    if let Some(store) = &config.store {
+        assert_eq!(
+            store.num_shards(),
+            config.shards,
+            "durable store was created for a different fleet size"
+        );
+    }
     let factory = Arc::new(factory);
     let template = factory(0);
+    let mut measurements = Vec::with_capacity(config.shards);
+    for (i, recovered) in initial.into_iter().enumerate() {
+        let mut m = factory(i);
+        if let Some(bytes) = recovered {
+            m.restore(&bytes)
+                .map_err(|source| PipelineError::Merge { shard: i, source })?;
+        }
+        measurements.push(m);
+    }
     let mut taps = Vec::with_capacity(config.shards);
     let mut shards = Vec::with_capacity(config.shards);
-    for i in 0..config.shards {
+    for (i, m) in measurements.into_iter().enumerate() {
         let mut sup = config.supervisor.clone();
         if let Some((_, plan)) = config.fault_plans.iter().rev().find(|(s, _)| *s == i) {
             sup.fault_plan = Some(plan.clone());
         }
+        if let Some(store) = &config.store {
+            sup.sink = Some(SinkHandle(Arc::new(store.writer(i))));
+        }
         let f = Arc::clone(&factory);
-        let (tap, daemon) = spawn_supervised(factory(i), move || f(i), sup);
+        let (tap, daemon) = spawn_supervised(m, move || f(i), sup);
         taps.push(tap);
         shards.push(Shard::new(i, daemon));
     }
-    (
+    Ok((
         ShardedTap {
             taps,
             hash_seed: config.hash_seed,
@@ -383,8 +594,9 @@ where
             template,
             epoch: 0,
             snapshot_timeout: config.snapshot_timeout,
+            store: config.store,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -498,6 +710,129 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn durable_pipeline_survives_simulated_process_death() {
+        let dir = std::env::temp_dir().join(format!(
+            "nitro-pipeline-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::create(&dir, 3, StoreConfig::default()).unwrap();
+        let config = PipelineConfig {
+            shards: 3,
+            supervisor: SupervisorConfig {
+                checkpoint_every: 1_000,
+                ..Default::default()
+            },
+            store: Some(store),
+            ..Default::default()
+        };
+        let (mut tap, pipeline) = spawn_sharded(factory, config);
+        feed(&mut tap, (0..24_000u64).map(|i| i % 8));
+        while pipeline.processed() < 24_000 {
+            std::thread::yield_now();
+        }
+        let persisted = pipeline.fleet_health().total().persisted;
+        assert!(
+            persisted >= 3,
+            "each shard persists at least its pristine state"
+        );
+        drop(tap);
+        pipeline.simulate_crash();
+
+        let (mut tap, mut recovered, report) = ShardedPipeline::recover_from(
+            &dir,
+            factory,
+            StoreConfig::default(),
+            PipelineConfig {
+                supervisor: SupervisorConfig {
+                    checkpoint_every: 1_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.generation, 2);
+        // Per-shard loss ≤ one checkpoint interval + one in-flight batch;
+        // Count-Min never undercounts, so the recovered totals bracket the
+        // truth from below by exactly that bound.
+        let view = recovered.epoch_view().unwrap();
+        let total: f64 = (0..8u64).map(|f| view.estimate(f)).sum();
+        let bound = 3.0 * (1_000.0 + 64.0);
+        assert!(
+            total >= 24_000.0 - bound,
+            "recovered total {total} lost more than one checkpoint interval per shard"
+        );
+        assert!(total <= 24_000.0, "Count-Min cannot overshoot offered here");
+        // The recovered fleet is live: new traffic lands on the restored
+        // counters.
+        feed(&mut tap, (0..8_000u64).map(|i| i % 8));
+        let (merged, fleet) = recovered.finish().unwrap();
+        assert_eq!(fleet.total().offered, 8_000);
+        assert_eq!(fleet.unaccounted(), 0);
+        let grand: f64 = (0..8u64).map(|f| merged.estimate(f)).sum();
+        assert!(grand >= total + 8_000.0 - 1.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_shard_serves_degraded_views_instead_of_aborting_queries() {
+        use crate::faults::ThreadFaultPlan;
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(1_000);
+        let (mut tap, mut pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 2,
+                supervisor: SupervisorConfig {
+                    checkpoint_every: 500,
+                    max_restarts: 0,
+                    ..Default::default()
+                },
+                fault_plans: vec![(0, plan)],
+                ..Default::default()
+            },
+        );
+        feed(&mut tap, (0..20_000u64).map(|i| i % 16));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pipeline.failed_shards().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shard 0 never exhausted its budget"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pipeline.failed_shards(), vec![0]);
+        // Queries must keep working: the dead shard contributes its last
+        // checkpoint, explicitly flagged, instead of erroring the epoch.
+        let view = pipeline
+            .epoch_view()
+            .expect("a budget-exhausted shard must not abort queries");
+        assert!(
+            view.staleness()[0].degraded,
+            "shard 0 must be marked degraded"
+        );
+        assert!(
+            !view.staleness()[1].degraded,
+            "healthy shard is not degraded"
+        );
+        assert!(
+            view.staleness()[0].processed_at > 0,
+            "degraded shard still serves real pre-crash state"
+        );
+        // Offers after the failure stay accounted (drained as lost).
+        feed(&mut tap, (0..4_000u64).map(|i| i % 16));
+        drop(tap);
+        let (_, fleet, degraded) = pipeline.finish_degraded().unwrap();
+        assert_eq!(degraded, vec![0]);
+        assert_eq!(fleet.total().offered, 24_000);
+        assert_eq!(fleet.unaccounted(), 0, "identity must survive shard death");
+        assert!(fleet.shards()[0].lost_in_crash > 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! sketch, tagged with the staleness numbers the coordinator folds into
 //! the merged view's bound.
 
-use crate::supervisor::{Recoverable, SupervisedDaemon, SupervisorError};
+use crate::supervisor::{CheckpointView, Recoverable, SupervisedDaemon, SupervisorError};
 use nitro_metrics::DaemonHealth;
 use std::time::Duration;
 
@@ -32,6 +32,10 @@ pub struct ShardStaleness {
     /// worker was crashed or mid-restart and the latest periodic
     /// checkpoint was used instead).
     pub fresh: bool,
+    /// The shard's restart budget is spent: this snapshot is the shard's
+    /// final state and `lag + backlog` bounds what it will never absorb.
+    /// The merged view still includes it — degraded, not absent.
+    pub degraded: bool,
 }
 
 impl ShardStaleness {
@@ -73,6 +77,19 @@ impl<M: Recoverable + Send + 'static> Shard<M> {
         self.daemon.health()
     }
 
+    /// Whether this shard's restart budget is spent. A failed shard keeps
+    /// serving its last checkpoint (flagged degraded) and keeps accounting
+    /// every observation the dispatcher sends it.
+    pub fn is_failed(&self) -> bool {
+        self.daemon.is_failed()
+    }
+
+    /// The shard's most recent checkpoint without waking the worker —
+    /// what a degraded merge falls back to.
+    pub fn latest_checkpoint(&self) -> Option<CheckpointView> {
+        self.daemon.latest_checkpoint()
+    }
+
     /// Capture this shard's state for an epoch merge: request an on-demand
     /// checkpoint from the worker (waiting up to `timeout`), fall back to
     /// the latest periodic checkpoint if the worker is unresponsive, and
@@ -87,6 +104,7 @@ impl<M: Recoverable + Send + 'static> Shard<M> {
             lag: view.lag,
             backlog: view.backlog,
             fresh: view.fresh,
+            degraded: view.degraded,
         };
         Some((view.bytes, staleness))
     }

@@ -41,6 +41,7 @@ use crate::daemon::{panic_message, Observation};
 use crate::faults::ThreadFaultPlan;
 use crate::ovs::Measurement;
 use crate::spsc::SpscRing;
+use crate::store::SinkHandle;
 use nitro_core::NitroSketch;
 use nitro_metrics::DaemonHealth;
 use nitro_sketches::checkpoint::CheckpointError;
@@ -100,9 +101,22 @@ pub struct SupervisorConfig {
     /// No consumption progress while the ring is non-empty for this long
     /// counts as a stall and forces a cooperative worker restart.
     pub stall_timeout: Duration,
-    /// Panic restarts beyond this budget abort the run with
-    /// [`SupervisorError::RestartBudgetExhausted`].
+    /// Panic restarts beyond this budget mark the daemon permanently
+    /// failed: the supervisor stops respawning workers, keeps draining the
+    /// ring so the accounting identity holds, and [`SupervisedDaemon::
+    /// finish`] returns [`SupervisorError::RestartBudgetExhausted`]. The
+    /// last checkpoint stays readable throughout.
     pub max_restarts: u64,
+    /// First-restart backoff; each further restart doubles it (an
+    /// exponential schedule keeps a crash-looping worker from burning the
+    /// core the datapath needs).
+    pub base_backoff: Duration,
+    /// Ceiling of the exponential backoff schedule.
+    pub max_backoff: Duration,
+    /// Optional durable checkpoint sink (a [`crate::store::ShardWriter`]
+    /// in production): every checkpoint the worker takes is persisted
+    /// through it before it is published in memory.
+    pub sink: Option<SinkHandle>,
     /// Optional fault-injection plan armed into every worker incarnation
     /// (test hook; shares its one-shot trigger across incarnations).
     pub fault_plan: Option<ThreadFaultPlan>,
@@ -117,8 +131,52 @@ impl Default for SupervisorConfig {
             check_interval: Duration::from_millis(1),
             stall_timeout: Duration::from_millis(500),
             max_restarts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(250),
+            sink: None,
             fault_plan: None,
         }
+    }
+}
+
+/// What the restart policy says to do after the `restarts`-th panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Respawn the worker after waiting this long.
+    Backoff(Duration),
+    /// The budget is spent: stop respawning, mark the daemon failed.
+    Fail,
+}
+
+/// Pure restart-budget policy: exponential backoff with a ceiling, then
+/// permanent failure. Kept free of clocks and threads so tests can drive
+/// the whole schedule deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts allowed before [`RestartDecision::Fail`].
+    pub max_restarts: u64,
+    /// Backoff before the first restart.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl RestartPolicy {
+    /// Decide the fate of the `restarts`-th restart (1-based).
+    pub fn decide(&self, restarts: u64) -> RestartDecision {
+        if restarts > self.max_restarts {
+            RestartDecision::Fail
+        } else {
+            RestartDecision::Backoff(self.backoff_for(restarts))
+        }
+    }
+
+    /// `min(base · 2^(n−1), cap)` for the `n`-th restart.
+    pub fn backoff_for(&self, restarts: u64) -> Duration {
+        let doublings = restarts.saturating_sub(1).min(31) as u32;
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
     }
 }
 
@@ -178,8 +236,13 @@ struct Shared {
     /// Observations applied to the measurement (post-processing).
     processed: AtomicU64,
     checkpoints: AtomicU64,
+    /// Checkpoints that reached the durable sink.
+    persisted: AtomicU64,
     restores: AtomicU64,
     restarts: AtomicU64,
+    /// Set when the restart budget is spent: the supervisor stops
+    /// respawning workers and only drains the ring for accounting.
+    failed: AtomicBool,
     stalls: AtomicU64,
     downshifts: AtomicU64,
     /// Tap-side requests; the worker acknowledges via `downshift_acks`
@@ -208,8 +271,10 @@ impl Shared {
             popped: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
             restores: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
             stalls: AtomicU64::new(0),
             downshifts: AtomicU64::new(0),
             downshift_requests: AtomicU64::new(0),
@@ -220,6 +285,22 @@ impl Shared {
             checkpoint: Mutex::new(None),
             high_water,
         }
+    }
+
+    /// Persist a checkpoint through the durable sink (when one is
+    /// configured), then publish it in the in-memory slot. Durability
+    /// comes first: a crash between the two steps loses only the
+    /// in-memory copy, which recovery rebuilds from disk anyway. A sink
+    /// error is counted by omission (`checkpoints - persisted`) and the
+    /// worker simply retries at its next checkpoint.
+    fn publish_checkpoint(&self, bytes: Vec<u8>, processed_at: u64, sink: Option<&SinkHandle>) {
+        if let Some(sink) = sink {
+            let seq = self.checkpoints.load(Ordering::Relaxed) + 1;
+            if sink.persist(seq, processed_at, &bytes).is_ok() {
+                self.persisted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.store_checkpoint(bytes, processed_at);
     }
 
     fn store_checkpoint(&self, bytes: Vec<u8>, processed_at: u64) {
@@ -263,6 +344,7 @@ impl Shared {
             restarts: self.restarts.load(Ordering::Relaxed),
             stalls: self.stalls.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             downshifts: self.downshifts.load(Ordering::Relaxed),
         }
@@ -353,6 +435,10 @@ pub struct CheckpointView {
     /// `false` the view is the latest *periodic* checkpoint (the worker
     /// was crashed or mid-restart), bounded by one checkpoint interval.
     pub fresh: bool,
+    /// The daemon's restart budget is spent: no worker will ever update
+    /// this state again. The view is the shard's final word — still
+    /// servable, with `lag + backlog` bounding what it will never see.
+    pub degraded: bool,
 }
 
 impl CheckpointView {
@@ -386,6 +472,19 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
         self.shared.ring.len() as u64
     }
 
+    /// Whether the restart budget is spent and the daemon is permanently
+    /// failed. A failed daemon keeps draining (and accounting) the ring
+    /// and keeps serving [`SupervisedDaemon::latest_checkpoint`]; only
+    /// [`SupervisedDaemon::finish`] reports the failure as an error.
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::Acquire)
+    }
+
+    /// Checkpoints made durable through the configured sink.
+    pub fn persisted(&self) -> u64 {
+        self.shared.persisted.load(Ordering::Relaxed)
+    }
+
     /// The most recent checkpoint without requesting a fresh one — stale
     /// by up to one checkpoint interval plus the ring backlog. `None` only
     /// before [`spawn_supervised`] stored the pristine snapshot (i.e.
@@ -399,6 +498,7 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
             lag: processed.saturating_sub(processed_at),
             backlog: self.backlog(),
             fresh: false,
+            degraded: self.is_failed(),
         })
     }
 
@@ -408,6 +508,11 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
     /// when the worker does not acknowledge in time — a crashed shard still
     /// serves its last known-good state.
     pub fn checkpoint_now(&self, timeout: Duration) -> Option<CheckpointView> {
+        if self.is_failed() {
+            // No worker will ever acknowledge: skip the wait and serve the
+            // last durable state immediately, flagged as degraded.
+            return self.latest_checkpoint();
+        }
         let target = self.shared.snapshot_requests.fetch_add(1, Ordering::AcqRel) + 1;
         let deadline = Instant::now() + timeout;
         let mut fresh = false;
@@ -454,6 +559,7 @@ fn run_worker<M: Recoverable>(
     my_generation: u64,
     plan: Option<&ThreadFaultPlan>,
     checkpoint_every: u64,
+    sink: Option<&SinkHandle>,
 ) -> M {
     let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
     let mut idle_spins = 0u32;
@@ -478,9 +584,10 @@ fn run_worker<M: Recoverable>(
             // On-demand epoch snapshot: serialize the current state so the
             // query plane's staleness collapses to the in-flight batch. One
             // checkpoint satisfies every request queued so far.
-            shared.store_checkpoint(
+            shared.publish_checkpoint(
                 m.checkpoint_bytes(),
                 shared.processed.load(Ordering::Relaxed),
+                sink,
             );
             shared.snapshot_acks.store(snap_requests, Ordering::Release);
         }
@@ -514,13 +621,35 @@ fn run_worker<M: Recoverable>(
         since_checkpoint += n as u64;
         if since_checkpoint >= checkpoint_every {
             since_checkpoint = 0;
-            shared.store_checkpoint(
+            shared.publish_checkpoint(
                 m.checkpoint_bytes(),
                 shared.processed.load(Ordering::Relaxed),
+                sink,
             );
         }
     }
     m
+}
+
+/// Sink mode for a permanently-failed daemon: the supervisor thread itself
+/// becomes the ring's consumer, popping observations so the producer never
+/// wedges and counting each one as popped-but-never-processed — which
+/// `DaemonHealth` reports as `lost_in_crash`, keeping
+/// `offered == processed + dropped + lost` exact even after the budget is
+/// spent. Returns once stop is signalled and the ring has drained.
+fn drain_as_lost(shared: &Shared) {
+    let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
+    loop {
+        let n = shared.ring.pop_batch(&mut buf);
+        if n > 0 {
+            shared.popped.fetch_add(n as u64, Ordering::Relaxed);
+            continue;
+        }
+        if shared.stop.load(Ordering::Acquire) && shared.ring.is_empty() {
+            return;
+        }
+        std::thread::yield_now();
+    }
 }
 
 /// Spawn a supervised measurement daemon around `measurement`.
@@ -542,8 +671,9 @@ where
     let shared = Arc::new(Shared::new(config.ring_capacity, config.high_water));
     // Checkpoint the pristine state up front: a panic before the first
     // periodic checkpoint restores to "empty but correctly configured"
-    // rather than to nothing.
-    shared.store_checkpoint(measurement.checkpoint_bytes(), 0);
+    // rather than to nothing — and with a sink, a process crash before the
+    // first periodic checkpoint recovers the same way from disk.
+    shared.publish_checkpoint(measurement.checkpoint_bytes(), 0, config.sink.as_ref());
 
     let handle = {
         let shared = Arc::clone(&shared);
@@ -572,12 +702,25 @@ where
     M: Recoverable + Send + 'static,
     F: FnMut() -> M + Send + 'static,
 {
+    let policy = RestartPolicy {
+        max_restarts: config.max_restarts,
+        base_backoff: config.base_backoff,
+        max_backoff: config.max_backoff,
+    };
     let spawn_worker = |m: M, generation: u64| -> JoinHandle<M> {
         let shared = Arc::clone(shared);
         let plan = config.fault_plan.clone();
         let checkpoint_every = config.checkpoint_every;
+        let sink = config.sink.clone();
         std::thread::spawn(move || {
-            run_worker(m, &shared, generation, plan.as_ref(), checkpoint_every)
+            run_worker(
+                m,
+                &shared,
+                generation,
+                plan.as_ref(),
+                checkpoint_every,
+                sink.as_ref(),
+            )
         })
     };
 
@@ -599,8 +742,24 @@ where
                 Err(payload) => {
                     let last_panic = panic_message(payload.as_ref());
                     let restarts = shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
-                    if restarts > config.max_restarts {
-                        return Err((restarts, last_panic));
+                    match policy.decide(restarts) {
+                        RestartDecision::Fail => {
+                            // Budget spent: no more workers. Mark the
+                            // daemon failed so readers switch to serving
+                            // the last checkpoint as degraded, then keep
+                            // draining the ring — every observation the
+                            // tap keeps offering must still get a fate
+                            // (popped-but-never-processed = lost).
+                            shared.failed.store(true, Ordering::Release);
+                            drain_as_lost(shared);
+                            return Err((restarts, last_panic));
+                        }
+                        RestartDecision::Backoff(wait) => {
+                            // Exponential backoff: a crash-looping worker
+                            // must not monopolise the core the datapath
+                            // runs on.
+                            std::thread::sleep(wait);
+                        }
                     }
                     let mut replacement = factory();
                     if let Some(bytes) = shared.load_checkpoint() {
@@ -686,6 +845,10 @@ mod tests {
             small_nitro,
             SupervisorConfig {
                 checkpoint_every: 1_000,
+                // Backpressure during the restart backoff window must not
+                // downshift the sampler: this test's bound assumes exact
+                // (p = 1) counting, and drops are already accounted.
+                high_water: 1.1,
                 fault_plan: Some(plan.clone()),
                 ..Default::default()
             },
@@ -698,12 +861,13 @@ mod tests {
         assert_eq!(health.stalls, 0);
         assert_eq!(health.unaccounted(), 0);
         // At most one checkpoint interval + one in-flight batch of updates
-        // is missing; everything processed after the restore is present.
+        // is missing beyond what the counters already account for (ring
+        // drops during the restart backoff window are counted, not lost).
         let total: f64 = (0..8u64).map(|f| nitro.estimate(f)).sum();
         let lost_bound = 1_000.0 + 64.0;
         assert!(
-            total >= 30_000.0 - health.lost_in_crash as f64 - lost_bound,
-            "recovered total {total} lost more than a checkpoint interval"
+            total >= 30_000.0 - health.lost_in_crash as f64 - health.dropped as f64 - lost_bound,
+            "recovered total {total} lost more than a checkpoint interval: {health}"
         );
         assert!(total <= 30_000.0, "Count-Min total cannot exceed offered");
     }
@@ -783,6 +947,138 @@ mod tests {
         assert_eq!(health.restarts, 0, "a stall is not a panic restart");
         assert_eq!(m.seen, 150, "cooperative restart keeps the measurement");
         assert_eq!(health.unaccounted(), 0);
+    }
+
+    #[test]
+    fn restart_backoff_schedule_is_exponential_with_cap() {
+        // Pure policy + a mock clock: no threads, no sleeps, the whole
+        // schedule checked deterministically.
+        let policy = RestartPolicy {
+            max_restarts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        };
+        let mut clock_ms = 0u64;
+        let mut waits = Vec::new();
+        let mut nth = 0u64;
+        loop {
+            nth += 1;
+            match policy.decide(nth) {
+                RestartDecision::Backoff(d) => {
+                    clock_ms += d.as_millis() as u64;
+                    waits.push(d.as_millis() as u64);
+                }
+                RestartDecision::Fail => break,
+            }
+        }
+        assert_eq!(
+            waits,
+            vec![10, 20, 40, 80, 100, 100],
+            "doubling from base, clamped at the cap"
+        );
+        assert_eq!(clock_ms, 350, "total mock-clock wall time of the schedule");
+        assert_eq!(nth, 7, "the 7th panic exceeds a budget of 6");
+        // Deep restart counts must not overflow the doubling.
+        assert_eq!(policy.backoff_for(1_000), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn exhausted_budget_marks_failed_serves_degraded_and_keeps_accounting() {
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(2_000);
+        let (mut tap, daemon) = spawn_supervised(
+            small_nitro(),
+            small_nitro,
+            SupervisorConfig {
+                checkpoint_every: 500,
+                max_restarts: 0,
+                fault_plan: Some(plan),
+                ..Default::default()
+            },
+        );
+        offer_all(&mut tap, (0..20_000u64).map(|i| i % 4));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !daemon.is_failed() {
+            assert!(
+                Instant::now() < deadline,
+                "budget exhaustion never observed"
+            );
+            std::thread::yield_now();
+        }
+        // Read-side behaviour of a dead shard: the last checkpoint is
+        // still served, immediately, flagged as degraded.
+        let view = daemon
+            .checkpoint_now(Duration::from_secs(1))
+            .expect("failed daemon still serves its last checkpoint");
+        assert!(view.degraded, "failure must be visible on the view");
+        assert!(!view.fresh, "a dead worker cannot produce a fresh snapshot");
+        // Producer-side behaviour: offers after the failure must neither
+        // block nor vanish from the accounting.
+        offer_all(&mut tap, (0..5_000u64).map(|i| i % 4));
+        match daemon.finish().unwrap_err() {
+            SupervisorError::RestartBudgetExhausted {
+                restarts, health, ..
+            } => {
+                assert_eq!(restarts, 1);
+                assert_eq!(health.offered, 25_000);
+                assert_eq!(
+                    health.unaccounted(),
+                    0,
+                    "failed-mode draining must keep the identity: {health}"
+                );
+                assert!(health.lost_in_crash > 0, "post-failure offers are lost");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_flow_through_the_durable_sink() {
+        use crate::store::{CheckpointSink, SinkHandle};
+
+        struct Recording(Mutex<Vec<(u64, u64, usize)>>);
+        impl CheckpointSink for Recording {
+            fn persist(&self, seq: u64, processed_at: u64, bytes: &[u8]) -> std::io::Result<()> {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((seq, processed_at, bytes.len()));
+                Ok(())
+            }
+        }
+
+        let recorder = Arc::new(Recording(Mutex::new(Vec::new())));
+        let (mut tap, daemon) = spawn_supervised(
+            small_nitro(),
+            small_nitro,
+            SupervisorConfig {
+                checkpoint_every: 1_000,
+                sink: Some(SinkHandle(Arc::clone(&recorder) as Arc<dyn CheckpointSink>)),
+                ..Default::default()
+            },
+        );
+        offer_all(&mut tap, (0..10_000u64).map(|i| i % 8));
+        let (_, health) = daemon.finish().unwrap();
+        assert_eq!(
+            health.persisted, health.checkpoints,
+            "an always-ok sink persists every checkpoint"
+        );
+        let records = recorder.0.lock().unwrap();
+        assert_eq!(records.len() as u64, health.persisted);
+        assert_eq!(
+            records[0],
+            (1, 0, records[0].2),
+            "pristine state persists first"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].0 < w[1].0),
+            "sequence numbers strictly increase"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].1 <= w[1].1),
+            "processed-at never goes backwards"
+        );
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Chaos harness for the durable checkpoint store: deterministic seeded
+//! kill schedules (worker panics + simulated full-process death) and disk
+//! fault injection (torn writes, bit flips, truncated segments), asserting
+//! after *every* recovery that heavy-hitter recall and the L1/L2 error
+//! stay within the theory-module bounds plus the documented recovery loss
+//! — at most one checkpoint interval + one in-flight batch per shard per
+//! crash, with every observation's fate accounted in [`FleetHealth`].
+//!
+//! A "process crash" here is [`ShardedPipeline::simulate_crash`]: the
+//! store freezes (nothing after the crash instant reaches disk), all
+//! in-memory sketch state is discarded, and the next incarnation is
+//! rebuilt purely from the segment logs via
+//! [`ShardedPipeline::recover_from`].
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::switch::{
+    CheckpointStore, DiskFaultPlan, PipelineConfig, ShardedPipeline, ShardedTap, StoreConfig,
+    SupervisorConfig, ThreadFaultPlan,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+const CHECKPOINT_EVERY: u64 = 5_000;
+const WIDTH: usize = 1 << 14;
+const BATCH: u64 = 64;
+
+/// Worst-case observations a single crash can cost one shard: one
+/// checkpoint interval of un-persisted updates plus one in-flight batch.
+const LOSS_PER_SHARD: f64 = (CHECKPOINT_EVERY + BATCH) as f64;
+
+fn factory(i: usize) -> NitroSketch<CountSketch> {
+    // Identical geometry/seeds on every shard (merge precondition); only
+    // the sampler seed differs. p = 1 keeps counting exact so every
+    // shortfall in the asserts below is attributable to a crash, never to
+    // sampling noise.
+    NitroSketch::new(
+        CountSketch::new(5, WIDTH, 311),
+        Mode::Fixed { p: 1.0 },
+        900 + i as u64,
+    )
+    .with_topk(128)
+}
+
+fn sup_config() -> SupervisorConfig {
+    SupervisorConfig {
+        ring_capacity: 1 << 17,
+        checkpoint_every: CHECKPOINT_EVERY,
+        // Never downshift: the bounds assume exact counting.
+        high_water: 1.1,
+        ..Default::default()
+    }
+}
+
+fn pipe_config(store: Option<Arc<CheckpointStore>>) -> PipelineConfig {
+    PipelineConfig {
+        shards: SHARDS,
+        supervisor: sup_config(),
+        store,
+        ..Default::default()
+    }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("nitro-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn zipf_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut z = nitrosketch::traffic::zipf::Zipf::new(20_000, 1.2, seed);
+    (0..n).map(|_| z.sample()).collect()
+}
+
+fn offer_all(tap: &mut ShardedTap, keys: &[u64]) {
+    for (i, &k) in keys.iter().enumerate() {
+        tap.offer(k, i as u64);
+        if i % 512 == 0 {
+            std::thread::yield_now(); // single-core CI: give workers air
+        }
+    }
+}
+
+/// Wait until every observation offered so far is accounted for —
+/// processed, dropped, or lost to a crash — i.e. the rings are empty and
+/// all restart accounting has landed. Draining on the identity itself
+/// (recomputed every iteration) stays sound when a worker panics *while*
+/// we wait; a precomputed `processed` target would dangle forever the
+/// moment a late panic converts in-flight items to `lost_in_crash`.
+fn drain(pipeline: &ShardedPipeline<CountSketch>) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while pipeline.fleet_health().unaccounted() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet failed to drain: {}",
+            pipeline.fleet_health()
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Deterministic schedule source (splitmix64): the kill points below are a
+/// pure function of the seed, so a failure reproduces bit-identically.
+struct Schedule(u64);
+
+impl Schedule {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A chunk length in `[lo, hi)`.
+    fn chunk(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+}
+
+/// CountSketch point-error scale: ε·L2 with ε = 3/√width (the same bound
+/// `core::theory` sizes widths from, inverted for a fixed width).
+fn eps_l2(truth: &GroundTruth) -> f64 {
+    3.0 * truth.l2() / (WIDTH as f64).sqrt()
+}
+
+/// Assert HH recall and point/L2 error on a merged sketch covering
+/// `truth`, allowing `allowed_loss` observations lost to crashes (plus
+/// drops, which callers fold in) on top of the sketch's own ε bound.
+fn assert_within_bounds(merged: &NitroSketch<CountSketch>, truth: &GroundTruth, allowed_loss: f64) {
+    let eps = eps_l2(truth);
+    // Point estimates of the heaviest flows: within ε·L2 of the truth,
+    // minus at most the crash loss (a lost update only ever shrinks a
+    // p = 1 counter, never inflates it).
+    for &(k, t) in truth.top_k(10).iter() {
+        let est = merged.estimate(k);
+        assert!(
+            est >= t - allowed_loss - eps && est <= t + eps,
+            "flow {k:#x}: estimate {est} vs truth {t} (eps {eps}, loss {allowed_loss})"
+        );
+    }
+    // Heavy-hitter recall ≥ 90% at the 0.5% threshold; querying slightly
+    // below threshold absorbs the crash-loss undercount.
+    let hh_truth = truth.heavy_hitters(0.005);
+    assert!(hh_truth.len() >= 8, "stream not skewed enough to test");
+    let threshold = 0.005 * truth.l1();
+    let found = merged.heavy_hitters(0.8 * threshold - allowed_loss.min(0.5 * threshold));
+    let recalled = hh_truth
+        .iter()
+        .filter(|&&(k, _)| found.iter().any(|&(fk, _)| fk == k))
+        .count();
+    assert!(
+        recalled * 10 >= hh_truth.len() * 9,
+        "heavy-hitter recall {recalled}/{} after recovery",
+        hh_truth.len()
+    );
+    // L2: the sketch's relative error plus the lost mass.
+    let l2 = merged.inner().l2_squared_estimate().max(0.0).sqrt();
+    assert!(
+        l2 >= truth.l2() - allowed_loss - eps && l2 <= truth.l2() + eps,
+        "L2 estimate {l2} vs truth {} (loss {allowed_loss})",
+        truth.l2()
+    );
+}
+
+/// The tentpole end-to-end: a seeded schedule kills the whole process
+/// twice (plus one in-process worker panic between the kills); every
+/// incarnation recovers purely from disk; bounds hold after each recovery
+/// and at the end over the *entire* stream.
+#[test]
+fn seeded_kill_schedule_recovers_every_incarnation_within_bounds() {
+    let dir = store_dir("schedule");
+    let keys = zipf_stream(210_000, 4242);
+    let mut sched = Schedule(0xC0FF_EE00_D15E_A5E5);
+    let c1 = sched.chunk(50_000, 70_000);
+    let c2 = sched.chunk(50_000, 70_000);
+    let cuts = [c1, c1 + c2];
+
+    let mut allowed_loss = 0.0f64;
+
+    // Incarnation 1: fresh store, feed to the first kill point, die.
+    let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
+    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+    offer_all(&mut tap, &keys[..cuts[0]]);
+    drain(&pipeline);
+    allowed_loss += SHARDS as f64 * LOSS_PER_SHARD + pipeline.fleet_health().total().dropped as f64;
+    drop(tap);
+    pipeline.simulate_crash();
+
+    // Incarnation 2: recover from disk, check bounds over chunk 1, absorb
+    // chunk 2 with a worker panic mid-way, die again.
+    let panic_plan = ThreadFaultPlan::new();
+    panic_plan.panic_after(10_000);
+    let mut cfg = pipe_config(None);
+    cfg.fault_plans = vec![(1, panic_plan.clone())];
+    let (mut tap, pipeline, report) =
+        ShardedPipeline::recover_from(&dir, factory, StoreConfig::default(), cfg).unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(report.shards, SHARDS);
+    assert!(
+        report.blank_shards().is_empty(),
+        "all shards had durable state"
+    );
+    {
+        let truth1 = GroundTruth::from_keys(keys[..cuts[0]].iter().copied());
+        let view = pipeline.shards().iter().fold(factory(0), |mut acc, s| {
+            let v = s.latest_checkpoint().unwrap();
+            let mut restored = factory(0);
+            restored.restore(&v.bytes).unwrap();
+            acc.try_merge_from(&restored).unwrap();
+            acc
+        });
+        assert_within_bounds(&view, &truth1, allowed_loss);
+    }
+    offer_all(&mut tap, &keys[cuts[0]..cuts[1]]);
+    drain(&pipeline);
+    let h = pipeline.fleet_health();
+    assert_eq!(panic_plan.fired(), 1, "the scheduled worker panic fired");
+    assert_eq!(h.shards()[1].restarts, 1, "shard 1 restarted in-process");
+    assert_eq!(h.unaccounted(), 0, "identity across panic recovery: {h}");
+    // The in-process panic costs at most one interval + batch on shard 1;
+    // the second process kill costs the usual per-shard bound.
+    allowed_loss += LOSS_PER_SHARD
+        + SHARDS as f64 * LOSS_PER_SHARD
+        + (h.total().dropped + h.total().lost_in_crash) as f64;
+    drop(tap);
+    pipeline.simulate_crash();
+
+    // Incarnation 3: recover, absorb the tail, finish cleanly, and check
+    // the merged result against ground truth of the WHOLE stream.
+    let (mut tap, pipeline, report) =
+        ShardedPipeline::recover_from(&dir, factory, StoreConfig::default(), pipe_config(None))
+            .unwrap();
+    assert_eq!(report.generation, 3);
+    offer_all(&mut tap, &keys[cuts[1]..]);
+    drop(tap);
+    let (merged, fleet) = pipeline
+        .finish()
+        .expect("final incarnation shuts down clean");
+    assert_eq!(fleet.unaccounted(), 0, "final identity: {fleet}");
+    allowed_loss += fleet.total().dropped as f64;
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+    assert_within_bounds(&merged, &truth, allowed_loss);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Torn-write injection: a checkpoint append is cut mid-frame and the
+/// store freezes at that instant (a torn write IS the crash). Recovery
+/// must truncate the torn tail, fall back to the previous durable frame,
+/// and stay within one extra checkpoint interval of loss.
+#[test]
+fn torn_write_at_crash_instant_recovers_from_previous_frame() {
+    let dir = store_dir("torn");
+    let keys = zipf_stream(90_000, 77);
+    let plan = DiskFaultPlan::new();
+    let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default())
+        .unwrap()
+        .with_fault_plan(plan.clone());
+    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+
+    // Phase 1: clean traffic, several durable checkpoints per shard.
+    offer_all(&mut tap, &keys[..60_000]);
+    drain(&pipeline);
+    let clean_drops = pipeline.fleet_health().total().dropped;
+
+    // Phase 2: arm the torn write — the very next checkpoint append on any
+    // shard is cut mid-frame and freezes the store — then keep feeding so
+    // a checkpoint actually fires.
+    plan.torn_write_after(0);
+    offer_all(&mut tap, &keys[60_000..]);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while plan.fired() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint append happened after arming the torn write"
+        );
+        std::thread::yield_now();
+    }
+    drop(tap);
+    pipeline.simulate_crash();
+
+    let (_tap, pipeline, report) =
+        ShardedPipeline::recover_from(&dir, factory, StoreConfig::default(), pipe_config(None))
+            .unwrap();
+    assert_eq!(
+        report.torn_tails_truncated, 1,
+        "exactly the injected torn frame is repaired: {report:?}"
+    );
+    assert!(report.frames_valid > 0, "pre-tear frames survive");
+    // Everything from phase 1 minus one interval per shard must be
+    // recovered: the tear only costs the shard it hit its newest frame,
+    // and the freeze caps every shard at its last pre-tear checkpoint.
+    let truth1 = GroundTruth::from_keys(keys[..60_000].iter().copied());
+    let allowed = SHARDS as f64 * LOSS_PER_SHARD + clean_drops as f64;
+    let (merged, fleet, degraded) = pipeline.finish_degraded().unwrap();
+    assert!(degraded.is_empty(), "recovered fleet is healthy");
+    assert_eq!(fleet.unaccounted(), 0);
+    assert_within_bounds(&merged, &truth1, allowed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Silent on-disk corruption after a clean shutdown: a flipped bit in one
+/// shard's newest frame and a truncated tail on another. Recovery must
+/// reject exactly the damaged frames via the checksum, repair the logs,
+/// and serve the previous durable state of the damaged shards.
+#[test]
+fn bit_flips_and_truncated_segments_are_rejected_by_recovery() {
+    let dir = store_dir("corrupt");
+    let keys = zipf_stream(80_000, 99);
+    let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
+    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+    offer_all(&mut tap, &keys);
+    drain(&pipeline);
+    let drops = pipeline.fleet_health().total().dropped;
+    drop(tap);
+    pipeline.simulate_crash();
+
+    // Vandalise the logs: flip one payload bit in shard 0's active log,
+    // chop 21 bytes off shard 1's. Shard 2 is left pristine.
+    let flip = dir.join("shard-0000/active.log");
+    let mut data = std::fs::read(&flip).unwrap();
+    let mid = data.len() / 2;
+    data[mid] ^= 0x04;
+    std::fs::write(&flip, &data).unwrap();
+    let chop = dir.join("shard-0001/active.log");
+    let len = std::fs::metadata(&chop).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&chop).unwrap();
+    f.set_len(len - 21).unwrap();
+    drop(f);
+
+    let (_tap, pipeline, report) =
+        ShardedPipeline::recover_from(&dir, factory, StoreConfig::default(), pipe_config(None))
+            .unwrap();
+    assert!(
+        report.corrupt_frames >= 1,
+        "the bit flip must be caught by the frame checksum: {report:?}"
+    );
+    assert!(
+        report.torn_tails_truncated >= 1,
+        "the chopped tail must be repaired: {report:?}"
+    );
+    assert!(
+        report.blank_shards().is_empty(),
+        "every shard falls back to an older intact frame, none to blank"
+    );
+    // Damaged shards lose at most one extra checkpoint interval each (the
+    // rejected newest frame), on top of the usual crash bound.
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+    let allowed = SHARDS as f64 * LOSS_PER_SHARD + 2.0 * LOSS_PER_SHARD + drops as f64;
+    let (merged, _, _) = pipeline.finish_degraded().unwrap();
+    assert_within_bounds(&merged, &truth, allowed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A shard whose restart budget is exhausted mid-stream: queries must keep
+/// working (degraded, last-checkpoint state), the fleet identity must hold
+/// to the last observation, and the surviving shards' flows must still
+/// meet the bounds.
+#[test]
+fn budget_exhausted_shard_degrades_queries_without_aborting_them() {
+    let dir = store_dir("budget");
+    let keys = zipf_stream(120_000, 1234);
+    let plan = ThreadFaultPlan::new();
+    plan.panic_after(5_000);
+    let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
+    let mut cfg = pipe_config(Some(store));
+    cfg.supervisor.max_restarts = 0; // first panic is fatal for the shard
+    cfg.fault_plans = vec![(0, plan.clone())];
+    let (mut tap, mut pipeline) = nitrosketch::switch::spawn_sharded(factory, cfg);
+
+    offer_all(&mut tap, &keys);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while pipeline.failed_shards().is_empty() {
+        assert!(std::time::Instant::now() < deadline, "shard 0 never failed");
+        std::thread::yield_now();
+    }
+    assert_eq!(pipeline.failed_shards(), vec![0]);
+
+    // Queries survive the dead shard: no error, explicit degraded flag,
+    // real pre-crash state from shard 0's last checkpoint.
+    let view = pipeline
+        .epoch_view()
+        .expect("a budget-exhausted shard must not abort the query plane");
+    assert!(view.staleness()[0].degraded);
+    assert!(view.staleness().iter().skip(1).all(|s| !s.degraded));
+    assert!(view.estimate(truth_heaviest(&keys)) > 0.0);
+
+    // Partition the true heavy hitters by the dispatcher's placement while
+    // the tap is still alive: flows on the dead shard are frozen at their
+    // pre-crash counts, flows elsewhere must meet the full bound.
+    let truth = GroundTruth::from_keys(keys.iter().copied());
+    let hh_truth = truth.heavy_hitters(0.005);
+    assert!(hh_truth.len() >= 8, "stream not skewed enough to test");
+    let (dead_hh, live_hh): (Vec<_>, Vec<_>) =
+        hh_truth.iter().partition(|&&(k, _)| tap.shard_of(k) == 0);
+    assert!(
+        !dead_hh.is_empty(),
+        "no heavy flow landed on the dead shard"
+    );
+    drop(tap);
+    let (merged, fleet, degraded) = pipeline.finish_degraded().unwrap();
+    assert_eq!(degraded, vec![0]);
+    assert_eq!(
+        fleet.total().offered,
+        keys.len() as u64,
+        "every offer reached a shard"
+    );
+    assert_eq!(
+        fleet.unaccounted(),
+        0,
+        "identity with a dead shard: {fleet}"
+    );
+    assert!(
+        fleet.shards()[0].lost_in_crash > 0,
+        "post-failure traffic to shard 0 is accounted as lost: {fleet}"
+    );
+    // Flows on surviving shards meet the ordinary sketch bound (their
+    // shards never crashed; only ring drops apply). Flows on the dead
+    // shard serve whatever the last checkpoint covered — present, never
+    // inflated, possibly far behind the truth.
+    let eps = eps_l2(&truth);
+    let drops = fleet.total().dropped as f64;
+    for &&(k, t) in &live_hh {
+        let est = merged.estimate(k);
+        assert!(
+            est >= t - drops - eps && est <= t + eps,
+            "surviving flow {k:#x}: estimate {est} vs truth {t}"
+        );
+    }
+    let threshold = 0.005 * truth.l1();
+    let found = merged.heavy_hitters(0.8 * threshold - drops.min(0.3 * threshold));
+    let recalled = live_hh
+        .iter()
+        .filter(|&&&(k, _)| found.iter().any(|&(fk, _)| fk == k))
+        .count();
+    assert!(
+        recalled * 10 >= live_hh.len() * 9,
+        "recall {recalled}/{} among flows on surviving shards",
+        live_hh.len()
+    );
+    for &&(k, t) in &dead_hh {
+        let est = merged.estimate(k);
+        assert!(
+            est <= t + eps,
+            "dead-shard flow {k:#x} inflated: {est} vs truth {t}"
+        );
+        assert!(est >= -eps, "dead-shard flow {k:#x} served garbage: {est}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn truth_heaviest(keys: &[u64]) -> u64 {
+    GroundTruth::from_keys(keys.iter().copied()).top_k(1)[0].0
+}

@@ -299,6 +299,78 @@ proptest! {
         prop_assert!(b.restore(&a.snapshot()).is_err());
     }
 
+    /// Decoding an arbitrarily mutated checkpoint never panics: any
+    /// combination of truncation, bit flips, and byte splices either
+    /// restores cleanly (the mutation missed everything load-bearing) or
+    /// returns a typed [`CheckpointError`] — and a failed restore leaves
+    /// the receiver fully usable. This is the durability layer's safety
+    /// net: segment corruption on disk must surface as an error, not as a
+    /// crash or a silent garbage sketch geometry.
+    #[test]
+    fn mutated_checkpoints_decode_without_panicking(
+        stream in prop::collection::vec((0u64..200, 1u32..8), 1..200),
+        which in 0usize..4,
+        mutation in 0usize..3,
+        at_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+        splice in prop::collection::vec(prop::num::u8::ANY, 0..12),
+    ) {
+        use nitrosketch::sketches::Checkpoint;
+        fn mutate(mut bytes: Vec<u8>, mutation: usize, at_frac: f64, bit: usize, splice: &[u8]) -> Vec<u8> {
+            let at = ((bytes.len() as f64 * at_frac) as usize).min(bytes.len().saturating_sub(1));
+            match mutation {
+                0 => bytes.truncate(at),                       // torn tail
+                1 => bytes[at] ^= 1 << bit,                    // bit flip
+                _ => { let _ = bytes.splice(at..at, splice.iter().copied()); } // length drift
+            }
+            bytes
+        }
+        fn check<S: Sketch + Checkpoint>(
+            mut a: S,
+            mut b: S,
+            stream: &[(u64, u32)],
+            args: (usize, f64, usize, &[u8]),
+        ) {
+            for &(k, w) in stream {
+                a.update(k, w as f64);
+            }
+            let mutated = mutate(a.snapshot(), args.0, args.1, args.2, args.3);
+            let before: Vec<f64> = (0..16).map(|k| b.estimate(k)).collect();
+            if b.restore(&mutated).is_err() {
+                // Typed rejection must leave the receiver untouched and
+                // usable: same estimates, and updates still land.
+                for (k, &e) in before.iter().enumerate() {
+                    prop_assert_eq!(b.estimate(k as u64), e);
+                }
+                b.update(3, 2.0);
+            }
+        }
+        let args = (mutation, at_frac, bit, splice.as_slice());
+        match which {
+            0 => check(CountMin::new(4, 128, 21), CountMin::new(4, 128, 21), &stream, args),
+            1 => check(CountSketch::new(5, 64, 22), CountSketch::new(5, 64, 22), &stream, args),
+            2 => check(KarySketch::new(3, 256, 23), KarySketch::new(3, 256, 23), &stream, args),
+            _ => {
+                // The full wrapper codec: mode header, stats, top-k table,
+                // nested inner blob.
+                let mk = || NitroSketch::new(
+                    CountSketch::new(4, 128, 24),
+                    Mode::Fixed { p: 1.0 },
+                    25,
+                ).with_topk(16);
+                let mut a = mk();
+                for &(k, w) in &stream {
+                    a.process(k, w as f64);
+                }
+                let mutated = mutate(a.snapshot(), mutation, at_frac, bit, &splice);
+                let mut b = mk();
+                if b.restore(&mutated).is_err() {
+                    b.process(3, 1.0); // receiver still usable after rejection
+                }
+            }
+        }
+    }
+
     /// The controller's checkpoint round-trips exactly: export → import
     /// onto a fresh controller of the same mode reproduces p, convergence,
     /// and the packet count — across any number of downshifts.
