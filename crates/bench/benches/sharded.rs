@@ -59,7 +59,8 @@ fn run_sharded(keys: &[u64], shards: usize, truth: &GroundTruth) -> Run {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn fleet");
     let start = std::time::Instant::now();
     for (i, &k) in keys.iter().enumerate() {
         tap.offer(k, i as u64);
@@ -100,6 +101,33 @@ fn hh_quality(sketch: &NitroSketch<CountSketch>, truth: &GroundTruth) -> (f64, f
             precise as f64 / reported.len() as f64
         },
     )
+}
+
+/// Producer-side dispatch overhead: nanoseconds per `offer` on the
+/// switching thread alone, comparing the single-shard fast path (no flow
+/// hash, direct push) against hashed multi-shard dispatch. Rings are sized
+/// to hold the whole stream so the measurement is pure dispatch + push —
+/// consumer speed never backpressures the producer.
+fn dispatch_ns_per_offer(keys: &[u64], shards: usize) -> f64 {
+    let (mut tap, pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards,
+            supervisor: SupervisorConfig {
+                ring_capacity: (2 * keys.len() / shards.max(1)).next_power_of_two(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("spawn fleet");
+    let start = std::time::Instant::now();
+    for (i, &k) in keys.iter().enumerate() {
+        tap.offer(k, i as u64);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / keys.len() as f64;
+    let _ = pipeline.finish().expect("clean run");
+    ns
 }
 
 fn main() {
@@ -180,6 +208,34 @@ fn main() {
         );
     }
     println!("{}", table.render());
+
+    // Dispatch micro-bench: the single-shard fast path skips the flow hash
+    // and shard selection entirely, so its per-offer cost bounds the
+    // dispatch overhead hashed routing adds on the switching thread.
+    let probe: Vec<u64> = keys.iter().copied().take(scaled(500_000)).collect();
+    let mut dispatch = Table::new(
+        &format!(
+            "Dispatch overhead ({} offers, producer-side only): \
+             single-shard fast path vs hashed multi-shard routing",
+            probe.len()
+        ),
+        &["config", "ns/offer", "vs fast path"],
+    );
+    let fast = dispatch_ns_per_offer(&probe, 1);
+    dispatch.row(&[
+        "1 shard (fast path)".to_string(),
+        format!("{fast:.1}"),
+        "-".to_string(),
+    ]);
+    for shards in [2usize, 4] {
+        let hashed = dispatch_ns_per_offer(&probe, shards);
+        dispatch.row(&[
+            format!("{shards} shards (hashed)"),
+            format!("{hashed:.1}"),
+            format!("{:+.1} ns", hashed - fast),
+        ]);
+    }
+    println!("{}", dispatch.render());
 
     // The scaling claim: 4 shards ≥ 2× the single-consumer daemon — only
     // meaningful when the host can actually run 4 consumers + 1 producer.

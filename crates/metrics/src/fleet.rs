@@ -11,9 +11,16 @@ use crate::health::DaemonHealth;
 use crate::table::Table;
 
 /// Per-shard health records plus their field-wise total.
+///
+/// Live shards are indexed by shard id; *retired* records preserve the
+/// counters of daemons that no longer run — failed primaries replaced by a
+/// promoted standby, or old shards drained away by an online rescale. Their
+/// observations already happened, so dropping them would break the fleet
+/// identity; [`FleetHealth::total`] sums live and retired alike.
 #[derive(Clone, Debug, Default)]
 pub struct FleetHealth {
     shards: Vec<DaemonHealth>,
+    retired: Vec<DaemonHealth>,
 }
 
 impl FleetHealth {
@@ -24,7 +31,10 @@ impl FleetHealth {
 
     /// Build from per-shard records, indexed by shard id.
     pub fn from_shards(shards: Vec<DaemonHealth>) -> Self {
-        Self { shards }
+        Self {
+            shards,
+            retired: Vec::new(),
+        }
     }
 
     /// Append one shard's record (shard id = position).
@@ -32,9 +42,21 @@ impl FleetHealth {
         self.shards.push(health);
     }
 
+    /// Append the final record of a daemon that no longer runs (a replaced
+    /// primary or a rescaled-away shard) — keeps its slice of the traffic
+    /// in the fleet totals without occupying a live shard id.
+    pub fn push_retired(&mut self, health: DaemonHealth) {
+        self.retired.push(health);
+    }
+
     /// Per-shard records, indexed by shard id.
     pub fn shards(&self) -> &[DaemonHealth] {
         &self.shards
+    }
+
+    /// Records of retired daemons (replaced primaries, drained shards).
+    pub fn retired(&self) -> &[DaemonHealth] {
+        &self.retired
     }
 
     /// Shards reported.
@@ -47,10 +69,10 @@ impl FleetHealth {
         self.shards.is_empty()
     }
 
-    /// Field-wise sum over every shard.
+    /// Field-wise sum over every shard, live and retired.
     pub fn total(&self) -> DaemonHealth {
         let mut t = DaemonHealth::new();
-        for s in &self.shards {
+        for s in self.shards.iter().chain(&self.retired) {
             t.absorb(s);
         }
         t
@@ -120,6 +142,9 @@ impl FleetHealth {
         };
         for (i, s) in self.shards.iter().enumerate() {
             row(i.to_string(), s);
+        }
+        for (i, s) in self.retired.iter().enumerate() {
+            row(format!("retired-{i}"), s);
         }
         row("total".to_string(), &self.total());
         t
@@ -206,6 +231,22 @@ mod tests {
         assert_eq!(fleet.to_table().len(), 4);
         let rendered = fleet.to_table().render();
         assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn retired_records_count_toward_the_total_but_not_shard_ids() {
+        let mut fleet = FleetHealth::from_shards(vec![shard(100, 100, 0, 0)]);
+        fleet.push_retired(shard(50, 30, 0, 20)); // a replaced primary
+        assert_eq!(fleet.len(), 1, "retired records hold no live shard id");
+        assert_eq!(fleet.retired().len(), 1);
+        assert_eq!(fleet.total().offered, 150);
+        assert_eq!(fleet.total().lost_in_crash, 20);
+        assert_eq!(fleet.unaccounted(), 0, "retired traffic stays accounted");
+        let rendered = fleet.to_table().render();
+        assert!(
+            rendered.contains("retired-0"),
+            "retired row rendered:\n{rendered}"
+        );
     }
 
     #[test]

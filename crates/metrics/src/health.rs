@@ -115,6 +115,72 @@ impl std::fmt::Display for DaemonHealth {
     }
 }
 
+/// Per-shard circuit breaker over health probes.
+///
+/// The failover coordinator probes each shard's health on every epoch and
+/// feeds the verdict into a breaker; `threshold` consecutive unhealthy
+/// probes latch the breaker *open*, which the coordinator treats as "stop
+/// routing to this primary, promote its standby". The breaker stays open
+/// until [`CircuitBreaker::reset`] — promotion is the only way to close
+/// it, so a flapping shard cannot oscillate traffic back and forth.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive_failures: u32,
+    open: bool,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive unhealthy
+    /// probes (`threshold >= 1`).
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold >= 1, "a breaker needs at least one strike");
+        Self {
+            threshold,
+            consecutive_failures: 0,
+            open: false,
+            trips: 0,
+        }
+    }
+
+    /// Feed one probe verdict. A healthy probe clears the strike count; an
+    /// unhealthy one increments it and latches the breaker open at the
+    /// threshold. Returns whether the breaker is open after this probe.
+    pub fn record(&mut self, healthy: bool) -> bool {
+        if self.open {
+            return true; // latched: only reset() closes it
+        }
+        if healthy {
+            self.consecutive_failures = 0;
+        } else {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= self.threshold {
+                self.open = true;
+                self.trips += 1;
+            }
+        }
+        self.open
+    }
+
+    /// Whether the breaker is latched open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Times this breaker has tripped over its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Close the breaker and clear the strike count — called after the
+    /// failed primary was replaced (promotion or respawn).
+    pub fn reset(&mut self) {
+        self.open = false;
+        self.consecutive_failures = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +241,35 @@ mod tests {
     #[test]
     fn empty_run_has_perfect_delivery() {
         assert_eq!(DaemonHealth::new().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(3);
+        assert!(!b.record(false));
+        assert!(!b.record(false));
+        assert!(!b.record(true), "a healthy probe clears the strikes");
+        assert!(!b.record(false));
+        assert!(!b.record(false));
+        assert!(b.record(false), "third consecutive strike trips");
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn breaker_latches_until_reset() {
+        let mut b = CircuitBreaker::new(1);
+        assert!(b.record(false));
+        assert!(
+            b.record(true),
+            "healthy probes cannot close a latched breaker"
+        );
+        assert_eq!(b.trips(), 1);
+        b.reset();
+        assert!(!b.is_open());
+        assert!(!b.record(true));
+        assert!(b.record(false), "trips again after reset");
+        assert_eq!(b.trips(), 2);
     }
 
     #[test]

@@ -15,5 +15,5 @@ pub mod table;
 
 pub use errors::{mean_relative_error, precision, recall, relative_error, ErrorSummary, MultiRun};
 pub use fleet::FleetHealth;
-pub use health::DaemonHealth;
+pub use health::{CircuitBreaker, DaemonHealth};
 pub use table::Table;

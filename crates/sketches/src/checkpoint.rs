@@ -301,6 +301,24 @@ impl<'a> Decoder<'a> {
         self.data.len() - self.at
     }
 
+    /// Read the `(magic, version)` header of a checkpoint blob without
+    /// committing to a sketch type. Replication and the durable store ship
+    /// snapshots as opaque payloads; a standby applier uses this to sanity-
+    /// check a frame (any known magic, supported version) before handing it
+    /// to `restore`, which then does the full typed validation.
+    pub fn peek_header(bytes: &[u8]) -> Result<(u32, u8), CheckpointError> {
+        let mut d = Decoder { data: bytes, at: 0 };
+        let magic = d.u32()?;
+        let version = d.u8()?;
+        if version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok((magic, version))
+    }
+
     /// Validate an element count read from the stream against the bytes
     /// actually remaining: each element needs at least `elem_size` bytes,
     /// so a count that cannot fit is malformed — callers can reserve
@@ -393,6 +411,29 @@ mod tests {
         assert!(matches!(
             d3.u64s(usize::MAX / 4),
             Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn peek_header_reads_magic_and_version_without_consuming() {
+        let mut e = Encoder::new(0xFEED_BEEF, 0);
+        e.u64(11);
+        let buf = e.finish();
+        assert_eq!(
+            Decoder::peek_header(&buf).unwrap(),
+            (0xFEED_BEEF, CHECKPOINT_VERSION)
+        );
+        // Truncated and future-versioned blobs are refused the same way
+        // the full decoder would refuse them.
+        assert!(matches!(
+            Decoder::peek_header(&buf[..3]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        let mut future = buf.clone();
+        future[4] = CHECKPOINT_VERSION + 1;
+        assert!(matches!(
+            Decoder::peek_header(&future),
+            Err(CheckpointError::Version { .. })
         ));
     }
 

@@ -194,13 +194,27 @@ impl FaultInjector {
 /// the counter crosses the trigger, then the plan goes quiet until armed
 /// again — so a supervisor's *restarted* thread is not immediately killed
 /// by the same plan.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ThreadFaultPlan {
     /// Observations remaining until the next injected panic; `u64::MAX`
     /// means disarmed.
     remaining: Arc<AtomicU64>,
+    /// Published checkpoints remaining until the next injected panic —
+    /// counted by [`ThreadFaultPlan::check_checkpoint`] on the worker's
+    /// checkpoint path rather than per observation, so the kill lands
+    /// *right after* a delta frame was streamed to the standby
+    /// ("mid-delta-stream" from the replication protocol's view).
+    checkpoint_remaining: Arc<AtomicU64>,
     /// Panics fired so far.
     fired: Arc<AtomicU64>,
+}
+
+// `derive(Default)` would zero-initialize `remaining`, which is an *armed*
+// plan that panics on the first check; a default plan must be disarmed.
+impl Default for ThreadFaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// The panic message [`ThreadFaultPlan::check`] fires with.
@@ -211,6 +225,7 @@ impl ThreadFaultPlan {
     pub fn new() -> Self {
         Self {
             remaining: Arc::new(AtomicU64::new(u64::MAX)),
+            checkpoint_remaining: Arc::new(AtomicU64::new(u64::MAX)),
             fired: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -221,9 +236,20 @@ impl ThreadFaultPlan {
         self.remaining.store(n, Ordering::Release);
     }
 
+    /// Arm: panic right after the worker publishes its `n`-th periodic
+    /// checkpoint from now (0-based). With replication enabled every
+    /// published checkpoint is also a streamed delta, so this kills the
+    /// primary mid-delta-stream: the frame is already in flight to the
+    /// standby but no further observation reaches the primary. Fires via
+    /// [`ThreadFaultPlan::check_checkpoint`], one-shot per arming.
+    pub fn promote_during_delta(&self, n: u64) {
+        self.checkpoint_remaining.store(n, Ordering::Release);
+    }
+
     /// Disarm without firing.
     pub fn disarm(&self) {
         self.remaining.store(u64::MAX, Ordering::Release);
+        self.checkpoint_remaining.store(u64::MAX, Ordering::Release);
     }
 
     /// Injected panics fired so far.
@@ -244,6 +270,24 @@ impl ThreadFaultPlan {
             panic!("{INJECTED_PANIC_MSG}");
         }
         self.remaining.store(before - n, Ordering::Release);
+    }
+
+    /// Account one published checkpoint; panics when the armed
+    /// [`promote_during_delta`](ThreadFaultPlan::promote_during_delta)
+    /// countdown crosses zero. Called by the supervised worker right after
+    /// each periodic checkpoint publish.
+    pub fn check_checkpoint(&self) {
+        let before = self.checkpoint_remaining.load(Ordering::Acquire);
+        if before == u64::MAX {
+            return;
+        }
+        if before == 0 {
+            self.checkpoint_remaining.store(u64::MAX, Ordering::Release);
+            self.fired.fetch_add(1, Ordering::AcqRel);
+            panic!("{INJECTED_PANIC_MSG}");
+        }
+        self.checkpoint_remaining
+            .store(before - 1, Ordering::Release);
     }
 }
 
@@ -483,6 +527,38 @@ mod tests {
         assert_eq!(plan.fired(), 1);
         // Quiet after firing — a restarted worker survives.
         plan.check(u64::MAX - 1);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn default_thread_fault_plan_is_disarmed() {
+        let plan = ThreadFaultPlan::default();
+        plan.check(u64::MAX - 1); // would panic if `remaining` defaulted to 0
+        plan.check_checkpoint();
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn promote_during_delta_fires_on_checkpoint_countdown() {
+        let plan = ThreadFaultPlan::new();
+        plan.check_checkpoint(); // disarmed: no panic
+        plan.promote_during_delta(2);
+        plan.check(u64::MAX - 1); // observation path stays disarmed
+        let shared = plan.clone();
+        let err = std::thread::spawn(move || {
+            for _ in 0..10 {
+                shared.check_checkpoint();
+            }
+        })
+        .join()
+        .unwrap_err();
+        assert_eq!(
+            crate::daemon::panic_message(err.as_ref()).as_deref(),
+            Some(INJECTED_PANIC_MSG)
+        );
+        assert_eq!(plan.fired(), 1);
+        // One-shot: the restarted worker's checkpoints pass.
+        plan.check_checkpoint();
         assert_eq!(plan.fired(), 1);
     }
 

@@ -24,6 +24,9 @@
 //! - [`pipeline`] / [`shard`]: the RSS-style sharded multi-core pipeline —
 //!   a dispatcher hashes flow keys onto N supervised shards and an
 //!   epoch-merged query plane answers global queries over their union.
+//! - [`replica`]: hot-standby replication — checkpoint deltas streamed
+//!   over an SPSC ring into warm shadow sketches, powering zero-downtime
+//!   failover (promotion) and online resharding in [`pipeline`].
 //! - [`nic`]: the simulated PMD/NIC feeding 32-packet batches from traces.
 //! - [`cost`]: calibrated per-operation cost accounting — the stand-in for
 //!   VTune's per-function CPU shares (Table 2, Fig. 10).
@@ -47,6 +50,7 @@ pub mod ovs;
 pub mod packet;
 pub mod parse;
 pub mod pipeline;
+pub mod replica;
 pub mod shard;
 pub mod spsc;
 pub mod store;
@@ -66,8 +70,9 @@ pub use parse::{parse_five_tuple, ParseError};
 pub use pipeline::{
     spawn_sharded, MergedView, PipelineConfig, PipelineError, ShardedPipeline, ShardedTap,
 };
+pub use replica::{spawn_standby, ReplicaConfig, ReplicaSink, ReplicaWatermark, StandbyHandle};
 pub use shard::{Shard, ShardStaleness};
-pub use spsc::SpscRing;
+pub use spsc::{SpscBoxRing, SpscRing};
 pub use store::{
     CheckpointSink, CheckpointStore, RecoveredFrame, RecoveryReport, ShardWriter, SinkHandle,
     StoreConfig, StoreError, STORE_VERSION,

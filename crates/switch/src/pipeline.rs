@@ -1,5 +1,5 @@
 //! Sharded multi-core measurement pipeline with an epoch-merged query
-//! plane.
+//! plane, zero-downtime failover, and online resharding.
 //!
 //! The paper's headline results (§6, Figs. 8–10) run NitroSketch on
 //! multi-core software switches where a single core cannot keep up with
@@ -21,6 +21,24 @@
 //! per-shard [`ShardStaleness`] record; the sum of the per-shard bounds
 //! bounds the observations missing from the whole view.
 //!
+//! **Failover.** With [`PipelineConfig::replicate`] set, every shard
+//! streams its checkpoint deltas to a warm standby ([`crate::replica`]).
+//! When a shard's restart budget is spent — or its health probe trips the
+//! per-shard [`CircuitBreaker`] — the coordinator *promotes* the standby
+//! inside one epoch rotation: it replays the standby's delta gap from the
+//! durable store, spawns a fresh supervised daemon around the shadow
+//! sketch, and atomically re-steers the dispatcher's flow slice to the new
+//! ring. Queries keep answering with a bounded [`ShardStaleness`] instead
+//! of a degraded flag: promotion costs at most one delta interval of
+//! state, never availability.
+//!
+//! **Online resharding.** [`ShardedPipeline::rescale`] rides the same
+//! re-steering machinery to grow or shrink the fleet while it runs: new
+//! shards spin up blank, the dispatcher re-routes whole flows at a version
+//! boundary, and old shards drain epoch-by-epoch — their final sketches
+//! fold into a retained *carryover* so no packet is dropped or counted
+//! twice across the transition.
+//!
 //! **Why flow-level sharding keeps queries exact.** The dispatcher hashes
 //! the flow key, so one flow's packets all land on one shard — no flow is
 //! split across sketches. A globally heavy flow is therefore exactly as
@@ -30,22 +48,25 @@
 //! only *shrinks* (each sketch absorbs 1/N of the traffic).
 //!
 //! **Fleet accounting.** Each shard maintains `offered == processed +
-//! dropped + lost_in_crash` over its slice; [`FleetHealth`] sums the
-//! records, so the identity holds fleet-wide and silent loss anywhere in
-//! the fleet surfaces as a non-zero unaccounted count.
+//! dropped + lost_in_crash` over its slice; [`FleetHealth`] sums live and
+//! retired records alike, so the identity holds fleet-wide — across
+//! promotions and rescales — and silent loss anywhere in the fleet
+//! surfaces as a non-zero unaccounted count.
 
 use crate::faults::ThreadFaultPlan;
 use crate::ovs::Measurement;
+use crate::replica::{spawn_standby, ReplicaConfig, StandbyHandle};
 use crate::shard::{Shard, ShardStaleness};
 use crate::store::{CheckpointStore, RecoveryReport, SinkHandle, StoreConfig, StoreError};
 use crate::supervisor::{spawn_supervised, SupervisedTap, SupervisorConfig, SupervisorError};
 use nitro_core::NitroSketch;
 use nitro_hash::xxhash::xxh64_u64;
-use nitro_metrics::{DaemonHealth, FleetHealth};
+use nitro_metrics::{CircuitBreaker, DaemonHealth, FleetHealth};
 use nitro_sketches::{Checkpoint, CheckpointError, FlowKey, RowSketch};
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What joining one shard yields at degraded shutdown: its index, the
@@ -86,6 +107,11 @@ pub struct PipelineConfig {
     /// process death with at most one checkpoint interval of loss per
     /// shard. Must be sized for exactly `shards` shards.
     pub store: Option<Arc<CheckpointStore>>,
+    /// Hot-standby replication: when set, every shard streams checkpoint
+    /// deltas to a warm shadow sketch and the coordinator promotes the
+    /// standby — instead of serving degraded — when the shard's restart
+    /// budget is spent or its circuit breaker trips.
+    pub replicate: Option<ReplicaConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -97,6 +123,7 @@ impl Default for PipelineConfig {
             snapshot_timeout: Duration::from_millis(250),
             fault_plans: Vec::new(),
             store: None,
+            replicate: None,
         }
     }
 }
@@ -104,6 +131,9 @@ impl Default for PipelineConfig {
 /// Why the pipeline could not produce a merged result.
 #[derive(Debug)]
 pub enum PipelineError {
+    /// The pipeline was asked to run with zero shards (at spawn or via
+    /// [`ShardedPipeline::rescale`]).
+    EmptyFleet,
     /// One shard's supervisor gave up (restart budget exhausted or the
     /// supervisor itself panicked).
     Shard {
@@ -127,6 +157,7 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PipelineError::EmptyFleet => write!(f, "a pipeline needs at least one shard"),
             PipelineError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
             PipelineError::Merge { shard, source } => {
                 write!(f, "merging shard {shard}: {source}")
@@ -139,6 +170,7 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            PipelineError::EmptyFleet => None,
             PipelineError::Shard { source, .. } => Some(source),
             PipelineError::Merge { source, .. } => Some(source),
             PipelineError::Store(source) => Some(source),
@@ -152,36 +184,135 @@ impl From<StoreError> for PipelineError {
     }
 }
 
+/// A pending dispatcher re-steer, applied by the producer at the next
+/// offer (or explicit [`ShardedTap::sync_routes`]).
+enum RouteUpdate {
+    /// Swap one shard's tap in place (failover promotion).
+    Replace { shard: usize, tap: SupervisedTap },
+    /// Replace the whole tap table (online rescale).
+    Resize { taps: Vec<SupervisedTap> },
+}
+
+/// Coordinator ⇄ producer handshake for atomic re-steering.
+///
+/// The coordinator publishes updates under the mutex and bumps `version`;
+/// the producer notices the bump on its next offer, applies every pending
+/// update, and acknowledges by storing the version it reached. The
+/// coordinator only *finishes* (drains and joins) a superseded shard once
+/// `acked >= ` the version that re-steered away from it — the producer's
+/// last push to the old ring happens-before its release-store of `acked`,
+/// so no observation can race into a ring nobody will drain.
+struct Router {
+    version: AtomicU64,
+    acked: AtomicU64,
+    pending: Mutex<Vec<RouteUpdate>>,
+}
+
+impl Router {
+    fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queue one update and return the version whose ack releases it.
+    fn publish(&self, update: RouteUpdate) -> u64 {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        pending.push(update);
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Acquire)
+    }
+}
+
 /// Producer-side handle of the sharded pipeline: lives in the switching
 /// thread, hashes each flow key onto its shard, and never blocks — a full
 /// shard ring counts a drop on that shard while the others keep absorbing
-/// their slices.
+/// their slices. Failover and rescale re-steer it through the shared
+/// [`Router`]: each offer first applies any pending route update, so a
+/// promotion or rescale takes effect at a packet boundary.
 pub struct ShardedTap {
     taps: Vec<SupervisedTap>,
     hash_seed: u64,
+    router: Arc<Router>,
+    seen_version: u64,
 }
 
 impl ShardedTap {
-    /// Which shard `key` dispatches to. Flow-granular and stable for the
-    /// lifetime of the pipeline, so one flow's packets never split across
-    /// sketches.
+    /// Which shard `key` dispatches to. Flow-granular and stable between
+    /// route changes, so one flow's packets never split across sketches
+    /// within a routing epoch.
     #[inline]
     pub fn shard_of(&self, key: FlowKey) -> usize {
         (xxh64_u64(key, self.hash_seed) % self.taps.len() as u64) as usize
     }
 
-    /// Offer one observation to its shard.
+    /// Offer one observation to its shard. Single-shard pipelines skip
+    /// the dispatch hash entirely — there is only one place to go.
     #[inline]
     pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
+        self.sync_routes();
+        if self.taps.len() == 1 {
+            self.taps[0].offer(key, ts_ns);
+            return;
+        }
         let s = self.shard_of(key);
         self.taps[s].offer(key, ts_ns);
     }
 
-    /// Offer a whole burst at one timestamp.
+    /// Offer a whole burst at one timestamp. The route check runs once
+    /// per batch, and the single-shard fast path skips per-key hashing.
     pub fn offer_batch(&mut self, keys: &[FlowKey], ts_ns: u64) {
-        for &key in keys {
-            self.offer(key, ts_ns);
+        self.sync_routes();
+        if self.taps.len() == 1 {
+            let tap = &mut self.taps[0];
+            for &key in keys {
+                tap.offer(key, ts_ns);
+            }
+            return;
         }
+        for &key in keys {
+            let s = self.shard_of(key);
+            self.taps[s].offer(key, ts_ns);
+        }
+    }
+
+    /// Apply any pending route updates (promotion, rescale) and
+    /// acknowledge them to the coordinator. Called implicitly by every
+    /// offer; call it explicitly from an *idle* producer so a pending
+    /// failover or rescale can complete without traffic.
+    #[inline]
+    pub fn sync_routes(&mut self) {
+        if self.router.version.load(Ordering::Acquire) == self.seen_version {
+            return;
+        }
+        self.apply_routes();
+    }
+
+    #[cold]
+    fn apply_routes(&mut self) {
+        let mut pending = self
+            .router
+            .pending
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        for update in pending.drain(..) {
+            match update {
+                RouteUpdate::Replace { shard, tap } => self.taps[shard] = tap,
+                RouteUpdate::Resize { taps } => self.taps = taps,
+            }
+        }
+        // Re-read under the lock: `publish` bumps the version while
+        // holding it, so this is exactly the version whose updates we
+        // just applied.
+        let v = self.router.version.load(Ordering::Acquire);
+        drop(pending);
+        self.seen_version = v;
+        self.router.acked.store(v, Ordering::Release);
     }
 
     /// Shards behind this tap.
@@ -189,18 +320,22 @@ impl ShardedTap {
         self.taps.len()
     }
 
-    /// Observations dropped at full rings, fleet-wide.
+    /// Observations dropped at full rings, fleet-wide — counts the
+    /// *current* routing table's taps (a finished shard's drops live on
+    /// in its retired health record).
     pub fn dropped(&self) -> u64 {
         self.taps.iter().map(SupervisedTap::dropped).sum()
     }
 
     /// Worst ring fill fraction across shards — the fleet's backpressure
     /// signal (one hot shard is enough to warrant a downshift there).
+    /// `NaN` when there are no taps to measure: "no signal" must not
+    /// read as "0% full".
     pub fn max_occupancy(&self) -> f64 {
         self.taps
             .iter()
             .map(SupervisedTap::occupancy)
-            .fold(0.0, f64::max)
+            .fold(f64::NAN, f64::max)
     }
 }
 
@@ -242,7 +377,9 @@ impl<S: RowSketch> MergedView<S> {
         self.sketch.inner().l2_squared_estimate().max(0.0).sqrt()
     }
 
-    /// Per-shard staleness records, indexed by shard.
+    /// Per-shard staleness records: live shards first (indexed by shard
+    /// id), then any still-draining rescaled-away shards (identified by
+    /// their [`ShardStaleness::shard`] field).
     pub fn staleness(&self) -> &[ShardStaleness] {
         &self.staleness
     }
@@ -264,19 +401,115 @@ impl<S: RowSketch> MergedView<S> {
     }
 }
 
+/// Everything needed to (re)spawn one shard: the measurement factory, the
+/// supervisor template, targeted fault plans, the durable store, and the
+/// replication knobs. Shared by initial spawn, promotion, and rescale.
+struct ShardSpawner<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    factory: Arc<dyn Fn(usize) -> NitroSketch<S> + Send + Sync>,
+    supervisor: SupervisorConfig,
+    fault_plans: Vec<(usize, ThreadFaultPlan)>,
+    store: Option<Arc<CheckpointStore>>,
+    replicate: Option<ReplicaConfig>,
+}
+
+impl<S> ShardSpawner<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    /// Spawn shard `i` around `m`, stamping durable frames (and delta
+    /// frames) in sequence band `band`. Returns the tap, the shard handle,
+    /// and — when replication is on — the shard's warm standby.
+    #[allow(clippy::type_complexity)]
+    fn spawn(
+        &self,
+        i: usize,
+        m: NitroSketch<S>,
+        band: u64,
+    ) -> (
+        SupervisedTap,
+        Shard<NitroSketch<S>>,
+        Option<StandbyHandle<NitroSketch<S>>>,
+    ) {
+        let mut sup = self.supervisor.clone();
+        if let Some((_, plan)) = self.fault_plans.iter().rev().find(|(s, _)| *s == i) {
+            sup.fault_plan = Some(plan.clone());
+        }
+        let durable = self
+            .store
+            .as_ref()
+            .map(|store| SinkHandle(Arc::new(store.writer_from(i, band))));
+        let mut standby = None;
+        sup.sink = match &self.replicate {
+            Some(rcfg) => {
+                let generation = self.store.as_ref().map_or(0, |s| s.generation());
+                let (sink, handle) =
+                    spawn_standby((self.factory)(i), i, generation, band, durable, rcfg);
+                standby = Some(handle);
+                Some(sink)
+            }
+            None => durable,
+        };
+        let f = Arc::clone(&self.factory);
+        let (tap, daemon) = spawn_supervised(m, move || f(i), sup);
+        (tap, Shard::new(i, daemon), standby)
+    }
+
+    fn breaker_threshold(&self) -> u32 {
+        self.replicate.as_ref().map_or(2, |r| r.breaker_threshold)
+    }
+}
+
+/// A shard re-steered away from (replaced primary or rescaled-away
+/// worker), still draining its ring until the producer acknowledges the
+/// route change.
+struct DrainingShard<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    shard: Shard<NitroSketch<S>>,
+    /// The router version whose ack proves no further offers can reach
+    /// this shard's ring.
+    drain_after: u64,
+    /// Fold the final sketch into the carryover? True for rescaled-away
+    /// shards (their traffic lives nowhere else); false for replaced
+    /// primaries (the promoted standby already carries their state —
+    /// merging would double-count).
+    merge_state: bool,
+}
+
 /// The running fleet: N shards plus the epoch coordinator state.
 pub struct ShardedPipeline<S>
 where
     S: RowSketch + Checkpoint + Clone + Send + 'static,
 {
     shards: Vec<Shard<NitroSketch<S>>>,
+    /// Per-shard warm standbys (present iff replication is configured).
+    standbys: Vec<Option<StandbyHandle<NitroSketch<S>>>>,
+    /// Per-shard health probe memory: last seen (restarts, stalls).
+    probes: Vec<(u64, u64)>,
+    /// Per-shard circuit breakers over consecutive unhealthy probes.
+    breakers: Vec<CircuitBreaker>,
+    /// Shards re-steered away from, still draining toward retirement.
+    draining: Vec<DrainingShard<S>>,
+    /// Accumulated state of retired rescaled-away shards: merged into
+    /// every view and into the final result, exactly once per shard.
+    carryover: NitroSketch<S>,
+    /// Final health records of retired daemons.
+    retired: Vec<DaemonHealth>,
     /// Blank, geometry-defining instance snapshots are restored into.
     template: NitroSketch<S>,
     epoch: u64,
     snapshot_timeout: Duration,
-    /// The durable store backing the shards' checkpoint sinks, when the
-    /// pipeline was spawned (or recovered) with one.
-    store: Option<Arc<CheckpointStore>>,
+    spawner: ShardSpawner<S>,
+    router: Arc<Router>,
+    /// Next sequence band (multiples of 2^32): every promotion or rescale
+    /// moves the affected shards into a fresh, higher band so their new
+    /// frames shadow any older frame in the same shard directory.
+    next_band: u64,
+    promotions: u64,
 }
 
 impl<S> ShardedPipeline<S>
@@ -293,29 +526,62 @@ where
         &self.shards
     }
 
-    /// Observations applied fleet-wide so far.
+    /// Observations applied fleet-wide so far — live shards, draining
+    /// shards, and retired daemons alike, so drain-wait loops survive
+    /// promotions and rescales.
     pub fn processed(&self) -> u64 {
-        self.shards.iter().map(Shard::processed).sum()
+        self.shards.iter().map(Shard::processed).sum::<u64>()
+            + self
+                .draining
+                .iter()
+                .map(|d| d.shard.processed())
+                .sum::<u64>()
+            + self.retired.iter().map(|h| h.processed).sum::<u64>()
     }
 
-    /// Live per-shard health records with their fleet-wide sum.
+    /// Per-shard health records (live, draining, and retired) with their
+    /// fleet-wide sum.
     pub fn fleet_health(&self) -> FleetHealth {
-        self.shards.iter().map(Shard::health).collect()
+        let mut fleet: FleetHealth = self.shards.iter().map(Shard::health).collect();
+        for d in &self.draining {
+            fleet.push_retired(d.shard.health());
+        }
+        for h in &self.retired {
+            fleet.push_retired(*h);
+        }
+        fleet
     }
 
     /// The durable store backing this pipeline's checkpoints, when one was
     /// configured.
     pub fn store(&self) -> Option<&Arc<CheckpointStore>> {
-        self.store.as_ref()
+        self.spawner.store.as_ref()
     }
 
-    /// Shard ids whose restart budget is spent (served degraded).
+    /// Shard ids whose restart budget is spent (served degraded — or
+    /// promoted away at the next epoch when replication is on).
     pub fn failed_shards(&self) -> Vec<usize> {
         self.shards
             .iter()
             .filter(|s| s.is_failed())
             .map(Shard::index)
             .collect()
+    }
+
+    /// Standby promotions performed so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// True when shard `i` currently has a warm standby to fail over to.
+    pub fn has_standby(&self, shard: usize) -> bool {
+        self.standbys.get(shard).is_some_and(Option::is_some)
+    }
+
+    fn alloc_band(&mut self) -> u64 {
+        let band = self.next_band << 32;
+        self.next_band += 1;
+        band
     }
 
     /// Chaos-harness process kill: freeze the durable store — nothing
@@ -328,7 +594,7 @@ where
     /// undrained observations surface as `dropped`/`lost` in the next
     /// incarnation's offered stream instead of silently vanishing here.)
     pub fn simulate_crash(self) {
-        if let Some(store) = &self.store {
+        if let Some(store) = &self.spawner.store {
             store.freeze();
         }
         for shard in self.shards {
@@ -336,6 +602,12 @@ where
             // would outlive the "dead" process and poison later timing —
             // but every result, clean or failed, is thrown away.
             let _ = shard.finish();
+        }
+        for d in self.draining {
+            let _ = d.shard.finish();
+        }
+        for standby in self.standbys.into_iter().flatten() {
+            let _ = standby.stop();
         }
     }
 
@@ -374,15 +646,213 @@ where
         Ok((tap, pipeline, report))
     }
 
-    /// Rotate an epoch: snapshot every shard (on-demand, falling back to
-    /// the latest periodic checkpoint for an unresponsive shard), restore
-    /// each into a blank template clone, and merge them into one global
+    /// Promote shard `shard`'s warm standby to primary, re-steering the
+    /// dispatcher to the new daemon at a packet boundary.
+    ///
+    /// The standby stops and hands over its shadow sketch; any delta it
+    /// missed (dropped at a full delta ring) is replayed from the durable
+    /// store's newest frame; a fresh supervised daemon spawns around the
+    /// shadow in a new sequence band (so its frames shadow the old
+    /// primary's), and the old primary moves to the draining list, where
+    /// it keeps accounting every observation the producer sends it until
+    /// the route change is acknowledged. Returns `false` when the shard
+    /// has no standby to promote (replication off, or already consumed).
+    pub fn promote(&mut self, shard: usize) -> Result<bool, PipelineError> {
+        let Some(standby) = self.standbys[shard].take() else {
+            return Ok(false);
+        };
+        let (mut shadow, watermark) = standby.stop();
+        if let Some(store) = &self.spawner.store {
+            // Gap replay: the durable log may hold a newer delta than the
+            // standby applied (e.g. the delta ring was full when the
+            // primary persisted it).
+            if let Some(frame) = store.newest_frame(shard) {
+                if (frame.generation, frame.seq) > (watermark.generation, watermark.seq) {
+                    shadow
+                        .restore(&frame.bytes)
+                        .map_err(|source| PipelineError::Merge { shard, source })?;
+                }
+            }
+        }
+        let band = self.alloc_band();
+        let (tap, new_shard, standby) = self.spawner.spawn(shard, shadow, band);
+        self.standbys[shard] = standby;
+        let old = std::mem::replace(&mut self.shards[shard], new_shard);
+        let version = self.router.publish(RouteUpdate::Replace { shard, tap });
+        self.draining.push(DrainingShard {
+            shard: old,
+            drain_after: version,
+            // The shadow already carries the replaced primary's state —
+            // merging its final sketch as well would double-count.
+            merge_state: false,
+        });
+        self.breakers[shard].reset();
+        self.probes[shard] = (0, 0);
+        self.promotions += 1;
+        Ok(true)
+    }
+
+    /// Grow or shrink the fleet to `new_shards` shards while it runs.
+    ///
+    /// New shards spin up blank (with fresh standbys when replication is
+    /// on) in a new sequence band; the dispatcher swaps to the new tap
+    /// table at a packet boundary; every old shard moves to the draining
+    /// list and is reaped — its final sketch folded exactly once into the
+    /// retained carryover — once the producer acknowledges the new routes.
+    /// Flow ownership migrates wholesale: a flow's pre-rescale packets
+    /// live in the carryover, its post-rescale packets in its new shard,
+    /// and the merged view sums the two — nothing dropped, nothing
+    /// double-counted, so `offered == processed + dropped + lost` holds
+    /// across the transition.
+    ///
+    /// With a durable store, the store is resized first so new shards get
+    /// segment directories; note that a shrink leaves the carryover only
+    /// in memory — take a fresh checkpoint cycle before relying on the
+    /// store alone (see DESIGN.md).
+    pub fn rescale(&mut self, new_shards: usize) -> Result<(), PipelineError> {
+        if new_shards == 0 {
+            return Err(PipelineError::EmptyFleet);
+        }
+        // Promote any failed primary first so its standby's state is not
+        // lost to the generic drain path.
+        self.probe_and_promote()?;
+        if let Some(store) = &self.spawner.store {
+            store.resize(new_shards)?;
+        }
+        let band = self.alloc_band();
+        let mut taps = Vec::with_capacity(new_shards);
+        let mut shards = Vec::with_capacity(new_shards);
+        let mut standbys = Vec::with_capacity(new_shards);
+        for i in 0..new_shards {
+            let (tap, shard, standby) = self.spawner.spawn(i, (self.spawner.factory)(i), band);
+            taps.push(tap);
+            shards.push(shard);
+            standbys.push(standby);
+        }
+        let old_shards = std::mem::replace(&mut self.shards, shards);
+        let old_standbys = std::mem::replace(&mut self.standbys, standbys);
+        self.probes = vec![(0, 0); new_shards];
+        self.breakers = (0..new_shards)
+            .map(|_| CircuitBreaker::new(self.spawner.breaker_threshold()))
+            .collect();
+        let version = self.router.publish(RouteUpdate::Resize { taps });
+        for old in old_shards {
+            self.draining.push(DrainingShard {
+                shard: old,
+                drain_after: version,
+                merge_state: true,
+            });
+        }
+        for standby in old_standbys.into_iter().flatten() {
+            // Old shadows are superseded by the drain-and-merge path.
+            let _ = standby.stop();
+        }
+        Ok(())
+    }
+
+    /// Probe every live shard's health, feed the per-shard circuit
+    /// breakers, and promote any shard that is formally failed or whose
+    /// breaker latched open. Reaps acknowledged draining shards first.
+    fn probe_and_promote(&mut self) -> Result<(), PipelineError> {
+        self.reap_draining()?;
+        for i in 0..self.shards.len() {
+            let failed = self.shards[i].is_failed();
+            let health = self.shards[i].health();
+            let (restarts, stalls) = self.probes[i];
+            let unhealthy = failed || health.restarts > restarts || health.stalls > stalls;
+            self.probes[i] = (health.restarts, health.stalls);
+            let open = self.breakers[i].record(!unhealthy);
+            if failed || open {
+                self.promote(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retire every draining shard whose route change the producer has
+    /// acknowledged: finish it (the drain is bounded — no new offers can
+    /// reach its ring), fold its final sketch into the carryover when it
+    /// owns its traffic, and keep its health record.
+    fn reap_draining(&mut self) -> Result<(), PipelineError> {
+        let acked = self.router.acked();
+        let mut keep = Vec::new();
+        for d in std::mem::take(&mut self.draining) {
+            if acked < d.drain_after {
+                keep.push(d);
+                continue;
+            }
+            let index = d.shard.index();
+            let fallback = if d.merge_state && d.shard.is_failed() {
+                d.shard.latest_checkpoint().map(|v| v.bytes)
+            } else {
+                None
+            };
+            match d.shard.finish() {
+                Ok((m, health)) => {
+                    if d.merge_state {
+                        self.merge_into_carryover(index, |c| c.try_merge_from(&m))?;
+                    }
+                    self.retired.push(health);
+                }
+                Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
+                    // A failed shard that could not be promoted (no
+                    // standby): its last checkpoint is the best surviving
+                    // state — same degraded fallback `finish_degraded`
+                    // uses, applied mid-flight.
+                    if let Some(bytes) = fallback {
+                        let restored = self.restore_template(index, &bytes)?;
+                        self.merge_into_carryover(index, |c| c.try_merge_from(&restored))?;
+                    }
+                    self.retired.push(health);
+                }
+                Err(source) => {
+                    return Err(PipelineError::Shard {
+                        shard: index,
+                        source,
+                    })
+                }
+            }
+        }
+        self.draining = keep;
+        Ok(())
+    }
+
+    fn restore_template(
+        &self,
+        shard: usize,
+        bytes: &[u8],
+    ) -> Result<NitroSketch<S>, PipelineError> {
+        let mut restored = self.template.clone();
+        restored
+            .restore(bytes)
+            .map_err(|source| PipelineError::Merge { shard, source })?;
+        Ok(restored)
+    }
+
+    fn merge_into_carryover(
+        &mut self,
+        shard: usize,
+        merge: impl FnOnce(&mut NitroSketch<S>) -> Result<(), CheckpointError>,
+    ) -> Result<(), PipelineError> {
+        merge(&mut self.carryover).map_err(|source| PipelineError::Merge { shard, source })
+    }
+
+    /// Rotate an epoch: promote any failed-or-tripped shard that has a
+    /// standby, snapshot every live shard (on-demand, falling back to the
+    /// latest periodic checkpoint for an unresponsive shard), restore each
+    /// into a blank template clone, and merge them — plus the carryover
+    /// and any still-draining rescaled-away shards — into one global
     /// sketch. The pipeline keeps running throughout — rotation never
-    /// stalls a producer or a worker.
+    /// stalls a producer or a worker, and with replication enabled a view
+    /// is never served degraded: failover happens *inside* the rotation.
     pub fn epoch_view(&mut self) -> Result<MergedView<S>, PipelineError> {
+        self.probe_and_promote()?;
         self.epoch += 1;
         let mut merged = self.template.clone();
-        let mut staleness = Vec::with_capacity(self.shards.len());
+        merged
+            .try_merge_from(&self.carryover)
+            .expect("carryover is template-derived and always geometry-compatible");
+        let mut staleness = Vec::with_capacity(self.shards.len() + self.draining.len());
         for shard in &self.shards {
             let Some((bytes, stale)) = shard.epoch_snapshot(self.snapshot_timeout) else {
                 // Unreachable for pipeline-spawned shards (a pristine
@@ -392,17 +862,30 @@ where
                     source: CheckpointError::Mismatch("missing checkpoint"),
                 });
             };
-            let mut restored = self.template.clone();
-            restored
-                .restore(&bytes)
-                .map_err(|source| PipelineError::Merge {
-                    shard: shard.index(),
-                    source,
-                })?;
+            let restored = self.restore_template(shard.index(), &bytes)?;
             merged
                 .try_merge_from(&restored)
                 .map_err(|source| PipelineError::Merge {
                     shard: shard.index(),
+                    source,
+                })?;
+            staleness.push(stale);
+        }
+        // Still-draining rescaled-away shards own their traffic until
+        // reaped: snapshot and fold them too. (Replaced primaries are
+        // skipped — the promoted standby already serves their state.)
+        for d in &self.draining {
+            if !d.merge_state {
+                continue;
+            }
+            let Some((bytes, stale)) = d.shard.epoch_snapshot(self.snapshot_timeout) else {
+                continue;
+            };
+            let restored = self.restore_template(d.shard.index(), &bytes)?;
+            merged
+                .try_merge_from(&restored)
+                .map_err(|source| PipelineError::Merge {
+                    shard: d.shard.index(),
                     source,
                 })?;
             staleness.push(stale);
@@ -414,19 +897,47 @@ where
         })
     }
 
-    /// Stop every shard, drain the rings, merge the final per-core
-    /// sketches into one global measurement, and return it with the fleet
-    /// health record. Every shard is stopped even when one fails, so no
-    /// worker thread outlives the error path.
+    /// Stop every shard (live and draining), drain the rings, merge the
+    /// final per-core sketches — plus the rescale carryover — into one
+    /// global measurement, and return it with the fleet health record.
+    /// Every shard is stopped even when one fails, so no worker thread
+    /// outlives the error path. A draining *replaced* primary's spent
+    /// restart budget is expected (that is why it was replaced) and folds
+    /// into the retired health records instead of erroring.
     pub fn finish(self) -> Result<(NitroSketch<S>, FleetHealth), PipelineError> {
+        let ShardedPipeline {
+            shards,
+            standbys,
+            draining,
+            carryover,
+            retired,
+            template,
+            ..
+        } = self;
         // Stop and join every shard first: aborting on the first error
         // would leave sibling workers spinning on rings nobody drains.
-        let results: Vec<(usize, Result<_, SupervisorError>)> = self
-            .shards
+        let results: Vec<(usize, Result<_, SupervisorError>)> = shards
             .into_iter()
             .map(|s| (s.index(), s.finish()))
             .collect();
-        let mut merged = self.template;
+        let drained: Vec<(usize, bool, Option<Vec<u8>>, _)> = draining
+            .into_iter()
+            .map(|d| {
+                let fallback = if d.merge_state && d.shard.is_failed() {
+                    d.shard.latest_checkpoint().map(|v| v.bytes)
+                } else {
+                    None
+                };
+                (d.shard.index(), d.merge_state, fallback, d.shard.finish())
+            })
+            .collect();
+        for standby in standbys.into_iter().flatten() {
+            let _ = standby.stop();
+        }
+        let mut merged = template.clone();
+        merged
+            .try_merge_from(&carryover)
+            .expect("carryover is template-derived and always geometry-compatible");
         let mut fleet = FleetHealth::new();
         for (index, result) in results {
             let (m, health) = result.map_err(|source| PipelineError::Shard {
@@ -441,21 +952,70 @@ where
                 })?;
             fleet.push(health);
         }
+        for (index, merge_state, fallback, result) in drained {
+            match result {
+                Ok((m, health)) => {
+                    if merge_state {
+                        merged
+                            .try_merge_from(&m)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                    }
+                    fleet.push_retired(health);
+                }
+                Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
+                    if let Some(bytes) = fallback {
+                        let mut restored = template.clone();
+                        restored
+                            .restore(&bytes)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                        merged.try_merge_from(&restored).map_err(|source| {
+                            PipelineError::Merge {
+                                shard: index,
+                                source,
+                            }
+                        })?;
+                    }
+                    fleet.push_retired(health);
+                }
+                Err(source) => {
+                    return Err(PipelineError::Shard {
+                        shard: index,
+                        source,
+                    })
+                }
+            }
+        }
+        for h in retired {
+            fleet.push_retired(h);
+        }
         Ok((merged, fleet))
     }
 
-    /// Like [`ShardedPipeline::finish`], but a shard whose restart budget
-    /// is spent contributes its **last checkpoint** (restored into a
-    /// template clone) instead of aborting the whole merge. Returns the
-    /// merged sketch, the fleet health — whose accounting identity still
-    /// holds, with the dead shard's unprocessed observations counted as
-    /// dropped or lost — and the ids of the shards served degraded. Only a
-    /// supervisor-thread panic (a bug, not a budget) still errors.
+    /// Like [`ShardedPipeline::finish`], but a *live* shard whose restart
+    /// budget is spent contributes its **last checkpoint** (restored into
+    /// a template clone) instead of aborting the whole merge — the
+    /// no-replication fallback. Returns the merged sketch, the fleet
+    /// health — whose accounting identity still holds, with the dead
+    /// shard's unprocessed observations counted as dropped or lost — and
+    /// the ids of the shards served degraded. Only a supervisor-thread
+    /// panic (a bug, not a budget) still errors.
     pub fn finish_degraded(
         self,
     ) -> Result<(NitroSketch<S>, FleetHealth, Vec<usize>), PipelineError> {
         let ShardedPipeline {
-            shards, template, ..
+            shards,
+            standbys,
+            draining,
+            carryover,
+            retired,
+            template,
+            ..
         } = self;
         // Capture each failed shard's final checkpoint before consuming
         // it; stop and join every shard regardless of its fate.
@@ -470,7 +1030,24 @@ where
                 (s.index(), fallback, s.finish())
             })
             .collect();
+        let drained: Vec<(usize, bool, Option<Vec<u8>>, _)> = draining
+            .into_iter()
+            .map(|d| {
+                let fallback = if d.merge_state && d.shard.is_failed() {
+                    d.shard.latest_checkpoint().map(|v| v.bytes)
+                } else {
+                    None
+                };
+                (d.shard.index(), d.merge_state, fallback, d.shard.finish())
+            })
+            .collect();
+        for standby in standbys.into_iter().flatten() {
+            let _ = standby.stop();
+        }
         let mut merged = template.clone();
+        merged
+            .try_merge_from(&carryover)
+            .expect("carryover is template-derived and always geometry-compatible");
         let mut fleet = FleetHealth::new();
         let mut degraded = Vec::new();
         for (index, fallback, result) in results {
@@ -511,6 +1088,48 @@ where
                 }
             }
         }
+        for (index, merge_state, fallback, result) in drained {
+            match result {
+                Ok((m, health)) => {
+                    if merge_state {
+                        merged
+                            .try_merge_from(&m)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                    }
+                    fleet.push_retired(health);
+                }
+                Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
+                    if let Some(bytes) = fallback {
+                        let mut restored = template.clone();
+                        restored
+                            .restore(&bytes)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                        merged.try_merge_from(&restored).map_err(|source| {
+                            PipelineError::Merge {
+                                shard: index,
+                                source,
+                            }
+                        })?;
+                    }
+                    fleet.push_retired(health);
+                }
+                Err(source) => {
+                    return Err(PipelineError::Shard {
+                        shard: index,
+                        source,
+                    })
+                }
+            }
+        }
+        for h in retired {
+            fleet.push_retired(h);
+        }
         Ok((merged, fleet, degraded))
     }
 }
@@ -518,22 +1137,26 @@ where
 /// Spawn a sharded measurement pipeline.
 ///
 /// `factory(i)` builds shard *i*'s blank per-core measurement — and is
-/// also what the shard's supervisor calls to rebuild after a panic. All
-/// instances **must wrap geometry- and seed-identical sketches** (clone
-/// one configured template, or construct with the same parameters); the
-/// per-shard *sampler* seed is free to differ. A violation is caught at
-/// merge time as [`PipelineError::Merge`], never folded silently.
+/// also what the shard's supervisor calls to rebuild after a panic, and
+/// what replication clones into warm shadows. All instances **must wrap
+/// geometry- and seed-identical sketches** (clone one configured
+/// template, or construct with the same parameters); the per-shard
+/// *sampler* seed is free to differ. A violation is caught at merge time
+/// as [`PipelineError::Merge`], never folded silently.
 ///
 /// Returns the dispatcher tap (for the switching thread) and the pipeline
-/// handle (for the coordinator).
-pub fn spawn_sharded<S, F>(factory: F, config: PipelineConfig) -> (ShardedTap, ShardedPipeline<S>)
+/// handle (for the coordinator); [`PipelineError::EmptyFleet`] if
+/// `config.shards == 0`.
+pub fn spawn_sharded<S, F>(
+    factory: F,
+    config: PipelineConfig,
+) -> Result<(ShardedTap, ShardedPipeline<S>), PipelineError>
 where
     S: RowSketch + Checkpoint + Clone + Send + 'static,
     F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
 {
     let shards = config.shards;
     spawn_with_initial(factory, config, vec![None; shards])
-        .expect("spawning without recovered state cannot fail a restore")
 }
 
 /// Shared spawner behind [`spawn_sharded`] and
@@ -549,7 +1172,9 @@ where
     S: RowSketch + Checkpoint + Clone + Send + 'static,
     F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
 {
-    assert!(config.shards >= 1, "a pipeline needs at least one shard");
+    if config.shards == 0 {
+        return Err(PipelineError::EmptyFleet);
+    }
     assert_eq!(initial.len(), config.shards);
     if let Some(store) = &config.store {
         assert_eq!(
@@ -558,11 +1183,17 @@ where
             "durable store was created for a different fleet size"
         );
     }
-    let factory = Arc::new(factory);
-    let template = factory(0);
+    let spawner = ShardSpawner {
+        factory: Arc::new(factory),
+        supervisor: config.supervisor,
+        fault_plans: config.fault_plans,
+        store: config.store,
+        replicate: config.replicate,
+    };
+    let template = (spawner.factory)(0);
     let mut measurements = Vec::with_capacity(config.shards);
     for (i, recovered) in initial.into_iter().enumerate() {
-        let mut m = factory(i);
+        let mut m = (spawner.factory)(i);
         if let Some(bytes) = recovered {
             m.restore(&bytes)
                 .map_err(|source| PipelineError::Merge { shard: i, source })?;
@@ -571,30 +1202,39 @@ where
     }
     let mut taps = Vec::with_capacity(config.shards);
     let mut shards = Vec::with_capacity(config.shards);
+    let mut standbys = Vec::with_capacity(config.shards);
     for (i, m) in measurements.into_iter().enumerate() {
-        let mut sup = config.supervisor.clone();
-        if let Some((_, plan)) = config.fault_plans.iter().rev().find(|(s, _)| *s == i) {
-            sup.fault_plan = Some(plan.clone());
-        }
-        if let Some(store) = &config.store {
-            sup.sink = Some(SinkHandle(Arc::new(store.writer(i))));
-        }
-        let f = Arc::clone(&factory);
-        let (tap, daemon) = spawn_supervised(m, move || f(i), sup);
+        let (tap, shard, standby) = spawner.spawn(i, m, 0);
         taps.push(tap);
-        shards.push(Shard::new(i, daemon));
+        shards.push(shard);
+        standbys.push(standby);
     }
+    let router = Arc::new(Router::new());
+    let breakers = (0..config.shards)
+        .map(|_| CircuitBreaker::new(spawner.breaker_threshold()))
+        .collect();
     Ok((
         ShardedTap {
             taps,
             hash_seed: config.hash_seed,
+            router: Arc::clone(&router),
+            seen_version: 0,
         },
         ShardedPipeline {
             shards,
+            standbys,
+            probes: vec![(0, 0); config.shards],
+            breakers,
+            draining: Vec::new(),
+            carryover: template.clone(),
+            retired: Vec::new(),
             template,
             epoch: 0,
             snapshot_timeout: config.snapshot_timeout,
-            store: config.store,
+            spawner,
+            router,
+            next_band: 1,
+            promotions: 0,
         },
     ))
 }
@@ -624,9 +1264,21 @@ mod tests {
         }
     }
 
+    fn drain(tap: &mut ShardedTap, pipeline: &ShardedPipeline<CountMin>, processed: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while pipeline.processed() < processed {
+            tap.sync_routes();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fleet never processed {processed} observations"
+            );
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn dispatcher_is_stable_and_covers_all_shards() {
-        let (tap, pipeline) = spawn_sharded(factory, PipelineConfig::default());
+        let (tap, pipeline) = spawn_sharded(factory, PipelineConfig::default()).unwrap();
         let mut seen = vec![false; tap.num_shards()];
         for k in 0..1000u64 {
             let s = tap.shard_of(k);
@@ -639,6 +1291,46 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_is_a_typed_error_not_a_panic() {
+        let result = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 0,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(result, Err(PipelineError::EmptyFleet)));
+
+        let (_tap, mut pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            pipeline.rescale(0),
+            Err(PipelineError::EmptyFleet)
+        ));
+        pipeline.finish().unwrap();
+    }
+
+    #[test]
+    fn max_occupancy_of_zero_taps_is_nan_not_zero() {
+        let tap = ShardedTap {
+            taps: Vec::new(),
+            hash_seed: 0,
+            router: Arc::new(Router::new()),
+            seen_version: 0,
+        };
+        assert!(
+            tap.max_occupancy().is_nan(),
+            "no taps means no signal, not an idle (0.0) fleet"
+        );
+    }
+
+    #[test]
     fn sharded_run_matches_exact_counts_at_p1() {
         let (mut tap, pipeline) = spawn_sharded(
             factory,
@@ -646,7 +1338,8 @@ mod tests {
                 shards: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         feed(&mut tap, (0..30_000u64).map(|i| i % 10));
         let (merged, fleet) = pipeline.finish().unwrap();
         assert_eq!(fleet.total().offered, 30_000);
@@ -660,7 +1353,7 @@ mod tests {
 
     #[test]
     fn epoch_view_serves_queries_while_running() {
-        let (mut tap, mut pipeline) = spawn_sharded(factory, PipelineConfig::default());
+        let (mut tap, mut pipeline) = spawn_sharded(factory, PipelineConfig::default()).unwrap();
         feed(&mut tap, (0..8_000u64).map(|i| i % 4));
         // Let the workers drain so the snapshot covers (nearly) everything.
         while pipeline.processed() < 8_000 {
@@ -700,7 +1393,8 @@ mod tests {
                 shards: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         feed(&mut tap, 0..100u64);
         let err = pipeline.finish().unwrap_err();
         match err {
@@ -730,7 +1424,7 @@ mod tests {
             store: Some(store),
             ..Default::default()
         };
-        let (mut tap, pipeline) = spawn_sharded(factory, config);
+        let (mut tap, pipeline) = spawn_sharded(factory, config).unwrap();
         feed(&mut tap, (0..24_000u64).map(|i| i % 8));
         while pipeline.processed() < 24_000 {
             std::thread::yield_now();
@@ -797,7 +1491,8 @@ mod tests {
                 fault_plans: vec![(0, plan)],
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         feed(&mut tap, (0..20_000u64).map(|i| i % 16));
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while pipeline.failed_shards().is_empty() {
@@ -843,11 +1538,132 @@ mod tests {
                 shards: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         feed(&mut tap, (0..5_000u64).map(|i| i % 5));
         let (merged, fleet) = pipeline.finish().unwrap();
         assert_eq!(fleet.len(), 1);
         assert_eq!(fleet.unaccounted(), 0);
         assert_eq!(merged.estimate(3), 1_000.0);
+    }
+
+    #[test]
+    fn promotion_replaces_a_failed_primary_without_degraded_views() {
+        use crate::faults::ThreadFaultPlan;
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(2_000);
+        let (mut tap, mut pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 2,
+                supervisor: SupervisorConfig {
+                    checkpoint_every: 500,
+                    max_restarts: 0,
+                    ..Default::default()
+                },
+                fault_plans: vec![(0, plan)],
+                replicate: Some(ReplicaConfig::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        feed(&mut tap, (0..20_000u64).map(|i| i % 16));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pipeline.failed_shards().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shard 0 never exhausted its budget"
+            );
+            std::thread::yield_now();
+        }
+        // The rotation promotes the standby in-line: no degraded view.
+        let view = pipeline.epoch_view().unwrap();
+        assert_eq!(pipeline.promotions(), 1);
+        assert!(
+            pipeline.failed_shards().is_empty(),
+            "failed primary replaced"
+        );
+        assert!(
+            view.staleness().iter().all(|s| !s.degraded),
+            "replication must keep every view non-degraded"
+        );
+        assert!(
+            pipeline.has_standby(0),
+            "the promoted shard gets a fresh standby"
+        );
+        // Traffic keeps flowing to the promoted daemon and stays accounted.
+        feed(&mut tap, (0..8_000u64).map(|i| i % 16));
+        drain(&mut tap, &pipeline, 0); // sync routes so draining can finish
+        drop(tap);
+        let (merged, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.total().offered, 28_000);
+        assert_eq!(fleet.unaccounted(), 0, "identity must survive promotion");
+        assert!(
+            !fleet.retired().is_empty(),
+            "the replaced primary's record is retained"
+        );
+        // The standby carried the state: estimates are within one delta
+        // interval (checkpoint_every + one batch) of the truth on the
+        // failed shard, exact elsewhere.
+        let total: f64 = (0..16u64).map(|f| merged.estimate(f)).sum();
+        assert!(total <= 28_000.0);
+        assert!(
+            total >= 28_000.0 - (500.0 + 64.0) - fleet.total().lost_in_crash as f64,
+            "promotion may cost at most one delta interval: {total}"
+        );
+    }
+
+    #[test]
+    fn rescale_migrates_flows_without_dropping_or_double_counting() {
+        let (mut tap, mut pipeline) = spawn_sharded(
+            factory,
+            PipelineConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        feed(&mut tap, (0..20_000u64).map(|i| i % 10));
+        drain(&mut tap, &pipeline, 20_000);
+
+        pipeline.rescale(4).unwrap();
+        assert_eq!(pipeline.num_shards(), 4);
+        feed(&mut tap, (0..10_000u64).map(|i| i % 10));
+        drain(&mut tap, &pipeline, 30_000);
+        let view = pipeline.epoch_view().unwrap();
+        for f in 0..10u64 {
+            assert_eq!(
+                view.estimate(f),
+                3_000.0,
+                "flow {f} must be exact across the grow transition"
+            );
+        }
+
+        pipeline.rescale(1).unwrap();
+        assert_eq!(pipeline.num_shards(), 1);
+        feed(&mut tap, (0..10_000u64).map(|i| i % 10));
+        drain(&mut tap, &pipeline, 40_000);
+        drop(tap);
+        let (merged, fleet) = pipeline.finish().unwrap();
+        assert_eq!(fleet.total().offered, 40_000);
+        assert_eq!(fleet.total().dropped, 0);
+        assert_eq!(
+            fleet.unaccounted(),
+            0,
+            "identity must hold across 2 → 4 → 1"
+        );
+        assert_eq!(fleet.len(), 1, "one live shard after the shrink");
+        assert_eq!(
+            fleet.retired().len(),
+            6,
+            "2 + 4 drained shards retire with their records"
+        );
+        for f in 0..10u64 {
+            assert_eq!(
+                merged.estimate(f),
+                4_000.0,
+                "flow {f}: nothing dropped, nothing double-counted"
+            );
+        }
     }
 }

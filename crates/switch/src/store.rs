@@ -49,8 +49,8 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// "NFRM" — checkpoint frame magic.
 const FRAME_MAGIC: u32 = 0x4E46_524D;
@@ -193,7 +193,9 @@ pub struct CheckpointStore {
     dir: PathBuf,
     cfg: StoreConfig,
     generation: u64,
-    shards: usize,
+    /// Live shard count (manifest value); changes only via
+    /// [`CheckpointStore::resize`].
+    shards: AtomicUsize,
     /// A frozen store drops every append — the chaos harness's simulated
     /// process death: writes after the "crash instant" never reach disk.
     frozen: AtomicBool,
@@ -202,7 +204,12 @@ pub struct CheckpointStore {
     /// Appends that became durable.
     persisted: AtomicU64,
     fault_plan: Option<DiskFaultPlan>,
-    logs: Vec<Mutex<ShardLog>>,
+    /// Per-shard append state. Behind an `RwLock` so an online resize can
+    /// grow the vector; the vector never shrinks — after a scale-down,
+    /// entries past the live count stay usable by writers of shards that
+    /// are still draining, and their directories become recovery-invisible
+    /// orphans once the manifest records the smaller fleet.
+    logs: RwLock<Vec<Mutex<ShardLog>>>,
 }
 
 impl CheckpointStore {
@@ -274,21 +281,23 @@ impl CheckpointStore {
             dir,
             cfg,
             generation,
-            shards,
+            shards: AtomicUsize::new(shards),
             frozen: AtomicBool::new(false),
             appends: AtomicU64::new(0),
             persisted: AtomicU64::new(0),
             fault_plan: None,
-            logs: next_segments
-                .into_iter()
-                .map(|next_segment| {
-                    Mutex::new(ShardLog {
-                        file: None,
-                        frames_in_active: 0,
-                        next_segment,
+            logs: RwLock::new(
+                next_segments
+                    .into_iter()
+                    .map(|next_segment| {
+                        Mutex::new(ShardLog {
+                            file: None,
+                            frames_in_active: 0,
+                            next_segment,
+                        })
                     })
-                })
-                .collect(),
+                    .collect(),
+            ),
         }
     }
 
@@ -302,9 +311,10 @@ impl CheckpointStore {
         Arc::new(s)
     }
 
-    /// Shards this store was opened for.
+    /// Live shards (manifest value; changes via
+    /// [`CheckpointStore::resize`]).
     pub fn num_shards(&self) -> usize {
-        self.shards
+        self.shards.load(Ordering::Acquire)
     }
 
     /// Current fleet generation (1 for a fresh store, +1 per recovery).
@@ -338,11 +348,71 @@ impl CheckpointStore {
     /// A persistence handle for one shard, to be wired into that shard's
     /// supervisor as its checkpoint sink.
     pub fn writer(self: &Arc<Self>, shard: usize) -> ShardWriter {
-        assert!(shard < self.shards, "shard {shard} out of range");
+        self.writer_from(shard, 0)
+    }
+
+    /// A persistence handle whose frames carry `seq_base + seq` instead of
+    /// the worker's raw checkpoint counter. Every promoted or respawned
+    /// daemon starts counting checkpoints from 1 again; basing its writer
+    /// in a strictly higher sequence band keeps newest-wins recovery
+    /// (`(generation, seq)` ordering) correct across incarnations.
+    pub fn writer_from(self: &Arc<Self>, shard: usize, seq_base: u64) -> ShardWriter {
+        assert!(shard < self.num_shards(), "shard {shard} out of range");
         ShardWriter {
             store: Arc::clone(self),
             shard,
+            seq_base,
         }
+    }
+
+    /// Read the newest valid durable frame for `shard` from the live log
+    /// files, without repairing anything — the promotion path's gap-replay
+    /// source. Taken under the shard's append lock, so the scan never races
+    /// a half-written frame; a torn or corrupt tail simply ends the scan at
+    /// the last valid frame, exactly like recovery would.
+    pub fn newest_frame(&self, shard: usize) -> Option<RecoveredFrame> {
+        let logs = self.logs.read().unwrap_or_else(|p| p.into_inner());
+        let _guard = logs.get(shard)?.lock().unwrap_or_else(|p| p.into_inner());
+        let sdir = shard_dir(&self.dir, shard);
+        let mut newest: Option<RecoveredFrame> = None;
+        let mut take = |f: RecoveredFrame| {
+            if newest
+                .as_ref()
+                .is_none_or(|n| (f.generation, f.seq) >= (n.generation, n.seq))
+            {
+                newest = Some(f);
+            }
+        };
+        let mut ids = sealed_segment_ids(&sdir).ok()?;
+        ids.sort_unstable();
+        for id in ids {
+            let _ = scan_segment(&sdir.join(format!("seg-{id:08}.log")), shard, &mut take);
+        }
+        let _ = scan_segment(&sdir.join("active.log"), shard, &mut take);
+        newest
+    }
+
+    /// Online resize to `new_shards` (grow or shrink), for the pipeline's
+    /// rescale: create the new shard directories, extend the append state,
+    /// and rewrite the manifest so recovery sees the new fleet width. The
+    /// log vector never shrinks — writers of shards still draining after a
+    /// scale-down keep working against directories the manifest no longer
+    /// lists (orphans, invisible to recovery; their in-memory state is
+    /// carried over by the pipeline's merge, not by the store).
+    pub fn resize(&self, new_shards: usize) -> Result<(), StoreError> {
+        assert!(new_shards >= 1, "a store needs at least one shard");
+        let mut logs = self.logs.write().unwrap_or_else(|p| p.into_inner());
+        for i in logs.len()..new_shards {
+            fs::create_dir_all(shard_dir(&self.dir, i))?;
+            logs.push(Mutex::new(ShardLog {
+                file: None,
+                frames_in_active: 0,
+                next_segment: 0,
+            }));
+        }
+        write_manifest(&self.dir, self.generation, new_shards)?;
+        self.shards.store(new_shards, Ordering::Release);
+        Ok(())
     }
 
     /// Append one checkpoint frame for `shard`. Returns an error when the
@@ -382,7 +452,8 @@ impl CheckpointStore {
             }
             _ => {}
         }
-        let mut log = self.logs[shard].lock().unwrap_or_else(|p| p.into_inner());
+        let logs = self.logs.read().unwrap_or_else(|p| p.into_inner());
+        let mut log = logs[shard].lock().unwrap_or_else(|p| p.into_inner());
         let sdir = shard_dir(&self.dir, shard);
         if log.file.is_none() {
             log.file = Some(
@@ -441,11 +512,22 @@ impl CheckpointStore {
 pub struct ShardWriter {
     store: Arc<CheckpointStore>,
     shard: usize,
+    /// Added to every frame's sequence number; see
+    /// [`CheckpointStore::writer_from`].
+    seq_base: u64,
+}
+
+impl ShardWriter {
+    /// The sequence band this writer stamps frames into.
+    pub fn seq_base(&self) -> u64 {
+        self.seq_base
+    }
 }
 
 impl CheckpointSink for ShardWriter {
     fn persist(&self, seq: u64, processed_at: u64, bytes: &[u8]) -> io::Result<()> {
-        self.store.append(self.shard, seq, processed_at, bytes)
+        self.store
+            .append(self.shard, self.seq_base + seq, processed_at, bytes)
     }
 }
 
@@ -514,8 +596,10 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Encode one frame: header + payload + xxHash64 trailer.
-fn encode_frame(
+/// Encode one frame: header + payload + xxHash64 trailer. Shared with the
+/// replication layer, whose delta stream is this exact wire format — a
+/// standby applies the same bytes a recovery scan would return.
+pub(crate) fn encode_frame(
     shard: usize,
     generation: u64,
     seq: u64,
@@ -550,6 +634,67 @@ enum FrameScanStop {
     Version,
 }
 
+/// Result of decoding one frame at the head of a byte slice.
+pub(crate) enum FrameParse {
+    /// A valid frame and the bytes it consumed.
+    Frame(RecoveredFrame, usize),
+    /// The slice is empty — a clean end.
+    Empty,
+    /// Not enough bytes for a complete frame (a torn tail, or a partial
+    /// network delivery in the replication path).
+    Torn,
+    /// Bad magic, wrong shard, oversized length, or checksum failure.
+    Corrupt,
+    /// A frame from a newer format version.
+    Version,
+}
+
+/// Decode one frame for `shard` from the head of `data` — the inverse of
+/// [`encode_frame`], shared between segment scans and the standby applier
+/// (which validates every streamed delta with exactly the rules recovery
+/// uses).
+pub(crate) fn decode_frame(data: &[u8], shard: usize) -> FrameParse {
+    if data.is_empty() {
+        return FrameParse::Empty;
+    }
+    if data.len() < FRAME_HEADER {
+        return FrameParse::Torn;
+    }
+    let h = &data[..FRAME_HEADER];
+    if u32::from_le_bytes(h[0..4].try_into().unwrap()) != FRAME_MAGIC {
+        return FrameParse::Corrupt;
+    }
+    if h[4] > STORE_VERSION {
+        return FrameParse::Version;
+    }
+    let frame_shard = u16::from_le_bytes(h[6..8].try_into().unwrap()) as usize;
+    let generation = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    let seq = u64::from_le_bytes(h[16..24].try_into().unwrap());
+    let processed_at = u64::from_le_bytes(h[24..32].try_into().unwrap());
+    let len = u32::from_le_bytes(h[32..36].try_into().unwrap());
+    if len > MAX_PAYLOAD || frame_shard != shard {
+        return FrameParse::Corrupt;
+    }
+    let total = FRAME_HEADER + len as usize + FRAME_TRAILER;
+    if data.len() < total {
+        return FrameParse::Torn;
+    }
+    let crc_at = FRAME_HEADER + len as usize;
+    let stored = u64::from_le_bytes(data[crc_at..total].try_into().unwrap());
+    if xxh64(&data[..crc_at], CRC_SEED) != stored {
+        return FrameParse::Corrupt;
+    }
+    FrameParse::Frame(
+        RecoveredFrame {
+            generation,
+            seq,
+            processed_at,
+            bytes: data[FRAME_HEADER..crc_at].to_vec(),
+        },
+        total,
+    )
+}
+
 /// Scan one segment file, pushing every valid frame for `shard` through
 /// `on_frame` in append order. Returns where and why the scan stopped.
 fn scan_segment(
@@ -564,43 +709,16 @@ fn scan_segment(
     };
     let mut at = 0usize;
     loop {
-        if at == data.len() {
-            return Ok(FrameScanStop::End);
+        match decode_frame(&data[at..], shard) {
+            FrameParse::Frame(frame, consumed) => {
+                on_frame(frame);
+                at += consumed;
+            }
+            FrameParse::Empty => return Ok(FrameScanStop::End),
+            FrameParse::Torn => return Ok(FrameScanStop::Torn(at)),
+            FrameParse::Corrupt => return Ok(FrameScanStop::Corrupt(at)),
+            FrameParse::Version => return Ok(FrameScanStop::Version),
         }
-        if data.len() - at < FRAME_HEADER {
-            return Ok(FrameScanStop::Torn(at));
-        }
-        let h = &data[at..at + FRAME_HEADER];
-        if u32::from_le_bytes(h[0..4].try_into().unwrap()) != FRAME_MAGIC {
-            return Ok(FrameScanStop::Corrupt(at));
-        }
-        if h[4] > STORE_VERSION {
-            return Ok(FrameScanStop::Version);
-        }
-        let frame_shard = u16::from_le_bytes(h[6..8].try_into().unwrap()) as usize;
-        let generation = u64::from_le_bytes(h[8..16].try_into().unwrap());
-        let seq = u64::from_le_bytes(h[16..24].try_into().unwrap());
-        let processed_at = u64::from_le_bytes(h[24..32].try_into().unwrap());
-        let len = u32::from_le_bytes(h[32..36].try_into().unwrap());
-        if len > MAX_PAYLOAD || frame_shard != shard {
-            return Ok(FrameScanStop::Corrupt(at));
-        }
-        let total = FRAME_HEADER + len as usize + FRAME_TRAILER;
-        if data.len() - at < total {
-            return Ok(FrameScanStop::Torn(at));
-        }
-        let crc_at = at + FRAME_HEADER + len as usize;
-        let stored = u64::from_le_bytes(data[crc_at..crc_at + 8].try_into().unwrap());
-        if xxh64(&data[at..crc_at], CRC_SEED) != stored {
-            return Ok(FrameScanStop::Corrupt(at));
-        }
-        on_frame(RecoveredFrame {
-            generation,
-            seq,
-            processed_at,
-            bytes: data[at + FRAME_HEADER..crc_at].to_vec(),
-        });
-        at += total;
     }
 }
 
@@ -903,6 +1021,81 @@ mod tests {
             CheckpointStore::recover(&dir, StoreConfig::default()),
             Err(StoreError::ManifestMissing | StoreError::Io(_))
         ));
+    }
+
+    #[test]
+    fn newest_frame_reads_live_state_without_repairing() {
+        let dir = tmpdir("newest");
+        let cfg = StoreConfig {
+            rotate_after: 2,
+            keep_segments: 2,
+            fsync: false,
+        };
+        let store = CheckpointStore::create(&dir, 2, cfg).unwrap();
+        assert!(store.newest_frame(0).is_none(), "empty shard has no frame");
+        let w = store.writer(0);
+        for seq in 1..=5u64 {
+            w.persist(seq, seq * 10, &payload(seq as u8, 48)).unwrap();
+        }
+        let f = store.newest_frame(0).unwrap();
+        assert_eq!((f.seq, f.processed_at), (5, 50));
+        assert_eq!(f.bytes, payload(5, 48));
+        assert!(store.newest_frame(1).is_none());
+        assert!(store.newest_frame(7).is_none(), "out of range is None");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn based_writer_shadows_lower_sequence_bands() {
+        let dir = tmpdir("seqbase");
+        let store = CheckpointStore::create(&dir, 1, StoreConfig::default()).unwrap();
+        // Primary writes seqs 1..=3; its promoted successor restarts its
+        // own counter at 1 but in a higher band, so newest-wins ordering
+        // must pick the successor's frame.
+        let primary = store.writer(0);
+        for seq in 1..=3u64 {
+            primary.persist(seq, seq, &payload(0xAA, 32)).unwrap();
+        }
+        let promoted = store.writer_from(0, 1 << 32);
+        assert_eq!(promoted.seq_base(), 1 << 32);
+        promoted.persist(1, 100, &payload(0xBB, 32)).unwrap();
+        let f = store.newest_frame(0).unwrap();
+        assert_eq!(f.seq, (1 << 32) + 1);
+        assert_eq!(f.bytes, payload(0xBB, 32));
+        drop((primary, promoted));
+        drop(store);
+        let (_, report) = CheckpointStore::recover(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(
+            report.recovered[0].as_ref().unwrap().bytes,
+            payload(0xBB, 32)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_the_manifest_fleet() {
+        let dir = tmpdir("resize");
+        let store = CheckpointStore::create(&dir, 2, StoreConfig::default()).unwrap();
+        store.writer(1).persist(1, 5, &payload(7, 24)).unwrap();
+        store.resize(4).unwrap();
+        assert_eq!(store.num_shards(), 4);
+        store.writer(3).persist(1, 9, &payload(3, 24)).unwrap();
+        // Shrink below the old width: the manifest drops to 1 shard, but
+        // writers for draining shards keep appending into orphan dirs.
+        store.resize(1).unwrap();
+        assert_eq!(store.num_shards(), 1);
+        store.writer(0).persist(1, 2, &payload(1, 24)).unwrap();
+        assert!(
+            store.newest_frame(3).is_some(),
+            "orphan dirs stay readable while the store is open"
+        );
+        drop(store);
+        let (reopened, report) = CheckpointStore::recover(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(report.shards, 1, "recovery sees the post-shrink fleet");
+        assert_eq!(reopened.num_shards(), 1);
+        assert_eq!(report.recovered.len(), 1);
+        assert_eq!(report.recovered[0].as_ref().unwrap().bytes, payload(1, 24));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -626,6 +626,14 @@ fn run_worker<M: Recoverable>(
                 shared.processed.load(Ordering::Relaxed),
                 sink,
             );
+            if let Some(plan) = plan {
+                // Fault-injection point for replication: the checkpoint
+                // (and, with a replica sink, the delta frame) is already
+                // published, so a panic here kills the primary
+                // mid-delta-stream — the standby holds this very delta
+                // while the primary dies before processing anything more.
+                plan.check_checkpoint();
+            }
         }
     }
     m
@@ -981,6 +989,45 @@ mod tests {
         // Deep restart counts must not overflow the doubling.
         assert_eq!(policy.backoff_for(1_000), Duration::from_millis(100));
         assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+    }
+
+    mod backoff_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Doubling never overflows `Duration` and always clamps to the
+            /// cap, for restart counts far beyond any real budget (the
+            /// mock-clock test above only walks the first few restarts).
+            #[test]
+            fn backoff_never_overflows_and_clamps(
+                restarts in 0u64..u64::MAX,
+                base_ms in 1u64..10_000,
+                cap_ms in 1u64..600_000,
+            ) {
+                let policy = RestartPolicy {
+                    max_restarts: 8,
+                    base_backoff: Duration::from_millis(base_ms),
+                    max_backoff: Duration::from_millis(cap_ms),
+                };
+                let d = policy.backoff_for(restarts);
+                prop_assert!(
+                    d <= policy.max_backoff,
+                    "backoff {d:?} above cap {:?} at restarts={restarts}",
+                    policy.max_backoff
+                );
+                if restarts >= 1 {
+                    prop_assert!(
+                        d >= policy.base_backoff.min(policy.max_backoff),
+                        "backoff {d:?} below base at restarts={restarts}"
+                    );
+                }
+                // Monotone in the restart count: more panics never wait less.
+                prop_assert!(d <= policy.backoff_for(restarts.saturating_add(1)));
+            }
+        }
     }
 
     #[test]

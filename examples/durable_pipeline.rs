@@ -55,7 +55,7 @@ fn main() {
     // ── Incarnation 1: fresh store, feed half the stream, die. ─────────
     let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default())
         .expect("create checkpoint store");
-    let (mut tap, pipeline) = spawn_sharded(factory, config(Some(store)));
+    let (mut tap, pipeline) = spawn_sharded(factory, config(Some(store))).expect("spawn fleet");
     let half = packets / 2;
     for r in &records[..half] {
         tap.offer(r.tuple.flow_key(), r.ts_ns);

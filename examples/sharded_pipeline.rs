@@ -48,7 +48,8 @@ fn main() {
             fault_plans: vec![(1, plan.clone())],
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn fleet");
 
     // The switching thread: hash-dispatch every record. The tap never
     // blocks — not even while shard 1 is dead and being restarted.

@@ -15,8 +15,8 @@
 use nitrosketch::core::{Mode, NitroSketch};
 use nitrosketch::prelude::*;
 use nitrosketch::switch::{
-    CheckpointStore, DiskFaultPlan, PipelineConfig, ShardedPipeline, ShardedTap, StoreConfig,
-    SupervisorConfig, ThreadFaultPlan,
+    CheckpointStore, DiskFaultPlan, PipelineConfig, ReplicaConfig, ShardedPipeline, ShardedTap,
+    StoreConfig, SupervisorConfig, ThreadFaultPlan,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -125,6 +125,28 @@ fn eps_l2(truth: &GroundTruth) -> f64 {
     3.0 * truth.l2() / (WIDTH as f64).sqrt()
 }
 
+/// Point-estimate and L2 bounds only (no recall): the right check for a
+/// *mid-stream* view where a crash's accounted losses may have emptied
+/// individual flows entirely — their estimates stay within the loss
+/// budget, but a fully-drained flow cannot be recalled until traffic
+/// refills it.
+fn assert_points_within(merged: &NitroSketch<CountSketch>, truth: &GroundTruth, allowed_loss: f64) {
+    let eps = eps_l2(truth);
+    for &(k, t) in truth.top_k(10).iter() {
+        let est = merged.estimate(k);
+        assert!(
+            est >= t - allowed_loss - eps && est <= t + eps,
+            "flow {k:#x}: estimate {est} vs truth {t} (eps {eps}, loss {allowed_loss})"
+        );
+    }
+    let l2 = merged.inner().l2_squared_estimate().max(0.0).sqrt();
+    assert!(
+        l2 >= truth.l2() - allowed_loss - eps && l2 <= truth.l2() + eps,
+        "L2 estimate {l2} vs truth {} (loss {allowed_loss})",
+        truth.l2()
+    );
+}
+
 /// Assert HH recall and point/L2 error on a merged sketch covering
 /// `truth`, allowing `allowed_loss` observations lost to crashes (plus
 /// drops, which callers fold in) on top of the sketch's own ε bound.
@@ -181,7 +203,8 @@ fn seeded_kill_schedule_recovers_every_incarnation_within_bounds() {
 
     // Incarnation 1: fresh store, feed to the first kill point, die.
     let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
-    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+    let (mut tap, pipeline) =
+        nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store))).expect("spawn");
     offer_all(&mut tap, &keys[..cuts[0]]);
     drain(&pipeline);
     allowed_loss += SHARDS as f64 * LOSS_PER_SHARD + pipeline.fleet_health().total().dropped as f64;
@@ -257,7 +280,8 @@ fn torn_write_at_crash_instant_recovers_from_previous_frame() {
     let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default())
         .unwrap()
         .with_fault_plan(plan.clone());
-    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+    let (mut tap, pipeline) =
+        nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store))).expect("spawn");
 
     // Phase 1: clean traffic, several durable checkpoints per shard.
     offer_all(&mut tap, &keys[..60_000]);
@@ -309,7 +333,8 @@ fn bit_flips_and_truncated_segments_are_rejected_by_recovery() {
     let dir = store_dir("corrupt");
     let keys = zipf_stream(80_000, 99);
     let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
-    let (mut tap, pipeline) = nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store)));
+    let (mut tap, pipeline) =
+        nitrosketch::switch::spawn_sharded(factory, pipe_config(Some(store))).expect("spawn");
     offer_all(&mut tap, &keys);
     drain(&pipeline);
     let drops = pipeline.fleet_health().total().dropped;
@@ -367,7 +392,7 @@ fn budget_exhausted_shard_degrades_queries_without_aborting_them() {
     let mut cfg = pipe_config(Some(store));
     cfg.supervisor.max_restarts = 0; // first panic is fatal for the shard
     cfg.fault_plans = vec![(0, plan.clone())];
-    let (mut tap, mut pipeline) = nitrosketch::switch::spawn_sharded(factory, cfg);
+    let (mut tap, mut pipeline) = nitrosketch::switch::spawn_sharded(factory, cfg).expect("spawn");
 
     offer_all(&mut tap, &keys);
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
@@ -452,4 +477,188 @@ fn budget_exhausted_shard_degrades_queries_without_aborting_them() {
 
 fn truth_heaviest(keys: &[u64]) -> u64 {
     GroundTruth::from_keys(keys.iter().copied()).top_k(1)[0].0
+}
+
+/// Drain variant for replicated fleets: keeps applying pending route
+/// updates on the producer side so a promotion or rescale can complete
+/// while we wait for the accounting identity to close.
+fn drain_synced(tap: &mut ShardedTap, pipeline: &ShardedPipeline<CountSketch>) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        tap.sync_routes();
+        if pipeline.fleet_health().unaccounted() == 0 {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet failed to drain: {}",
+            pipeline.fleet_health()
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// The replication acceptance run: with hot standbys enabled, a seeded
+/// kill that exhausts a primary's restart budget yields **zero** degraded
+/// epochs — the coordinator promotes the standby inside the rotation and
+/// every view answers within the sketch ε plus one delta interval — and
+/// the fleet identity `offered == processed + dropped + lost` holds
+/// across both the promotion and a rescale(3 → 5 → 2) sequence.
+#[test]
+fn replication_yields_zero_degraded_epochs_across_promotion_and_rescale() {
+    let dir = store_dir("replica");
+    let keys = zipf_stream(150_000, 2025);
+    let plan = ThreadFaultPlan::new();
+    plan.panic_after(5_000);
+    let store = CheckpointStore::create(&dir, SHARDS, StoreConfig::default()).unwrap();
+    let mut cfg = pipe_config(Some(store));
+    cfg.supervisor.max_restarts = 0; // the scheduled panic spends the budget
+    cfg.fault_plans = vec![(0, plan.clone())];
+    cfg.replicate = Some(ReplicaConfig::default());
+    let (mut tap, mut pipeline) = nitrosketch::switch::spawn_sharded(factory, cfg).expect("spawn");
+
+    // Phase 1: the kill lands inside this window and shard 0's budget is
+    // spent (max_restarts = 0).
+    offer_all(&mut tap, &keys[..60_000]);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while pipeline.failed_shards().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard 0 never exhausted its budget"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(plan.fired(), 1);
+
+    // The rotation promotes the warm standby in-line: the view over a
+    // formally dead shard is *not* degraded, and the estimates are within
+    // ε plus one delta interval (the state the standby had not yet seen).
+    let view = pipeline
+        .epoch_view()
+        .expect("promotion inside the rotation");
+    assert_eq!(pipeline.promotions(), 1, "the standby was promoted");
+    assert!(
+        pipeline.failed_shards().is_empty(),
+        "no failed shard remains"
+    );
+    assert!(
+        view.staleness().iter().all(|s| !s.degraded),
+        "zero degraded epochs with replication enabled"
+    );
+    drain_synced(&mut tap, &pipeline);
+    let h = pipeline.fleet_health();
+    let mut allowed = LOSS_PER_SHARD + (h.total().dropped + h.total().lost_in_crash) as f64;
+    let view = pipeline.epoch_view().expect("post-promotion rotation");
+    assert!(view.staleness().iter().all(|s| !s.degraded));
+    assert_points_within(
+        view.sketch(),
+        &GroundTruth::from_keys(keys[..60_000].iter().copied()),
+        allowed,
+    );
+
+    // Phase 2: grow the fleet online, keep feeding, views stay clean.
+    pipeline.rescale(5).expect("grow 3 -> 5");
+    assert_eq!(pipeline.num_shards(), 5);
+    offer_all(&mut tap, &keys[60_000..110_000]);
+    drain_synced(&mut tap, &pipeline);
+    let h = pipeline.fleet_health();
+    allowed = LOSS_PER_SHARD + (h.total().dropped + h.total().lost_in_crash) as f64;
+    let view = pipeline.epoch_view().expect("rotation after grow");
+    assert!(view.staleness().iter().all(|s| !s.degraded));
+    assert_points_within(
+        view.sketch(),
+        &GroundTruth::from_keys(keys[..110_000].iter().copied()),
+        allowed,
+    );
+
+    // Phase 3: shrink below the original size, absorb the tail, finish
+    // clean — no degraded merge path anywhere.
+    pipeline.rescale(2).expect("shrink 5 -> 2");
+    assert_eq!(pipeline.num_shards(), 2);
+    offer_all(&mut tap, &keys[110_000..]);
+    drain_synced(&mut tap, &pipeline);
+    drop(tap);
+    let (merged, fleet) = pipeline
+        .finish()
+        .expect("replicated fleet finishes the strict path");
+    assert_eq!(
+        fleet.total().offered,
+        keys.len() as u64,
+        "every offer reached a shard across promotion and rescale"
+    );
+    assert_eq!(
+        fleet.unaccounted(),
+        0,
+        "identity across promotion + rescale(3 -> 5 -> 2): {fleet}"
+    );
+    assert_eq!(fleet.len(), 2, "two live shards after the shrink");
+    assert_eq!(
+        fleet.retired().len(),
+        9,
+        "1 replaced primary + 3 + 5 drained shards: {fleet}"
+    );
+    let allowed = LOSS_PER_SHARD + (fleet.total().dropped + fleet.total().lost_in_crash) as f64;
+    assert_within_bounds(
+        &merged,
+        &GroundTruth::from_keys(keys.iter().copied()),
+        allowed,
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite: kill the primary *mid-delta-stream* — immediately after a
+/// periodic checkpoint publish, i.e. the instant the delta frame left for
+/// the standby — and verify the promoted standby's estimates stay within
+/// the theory ε plus one delta interval. No durable store: the standby's
+/// shadow is the only surviving state.
+#[test]
+fn promotion_during_delta_stream_keeps_standby_within_one_interval() {
+    let keys = zipf_stream(100_000, 31337);
+    let plan = ThreadFaultPlan::new();
+    // Die right after the 3rd periodic delta streams to the standby.
+    plan.promote_during_delta(2);
+    let mut cfg = pipe_config(None);
+    cfg.supervisor.max_restarts = 0;
+    cfg.fault_plans = vec![(1, plan.clone())];
+    cfg.replicate = Some(ReplicaConfig::default());
+    let (mut tap, mut pipeline) = nitrosketch::switch::spawn_sharded(factory, cfg).expect("spawn");
+
+    offer_all(&mut tap, &keys);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while pipeline.failed_shards().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard 1 never died mid-delta-stream"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(plan.fired(), 1, "the delta-synchronised kill fired once");
+
+    let view = pipeline
+        .epoch_view()
+        .expect("promotion inside the rotation");
+    assert_eq!(pipeline.promotions(), 1);
+    assert!(
+        view.staleness().iter().all(|s| !s.degraded),
+        "the standby serves the dead shard's slice non-degraded"
+    );
+
+    drain_synced(&mut tap, &pipeline);
+    drop(tap);
+    let (merged, fleet) = pipeline.finish().expect("clean strict finish");
+    assert_eq!(fleet.total().offered, keys.len() as u64);
+    assert_eq!(
+        fleet.unaccounted(),
+        0,
+        "identity across the promotion: {fleet}"
+    );
+    // The delta the standby applied covered everything up to the kill; the
+    // promotion may cost at most one delta interval of shard 1's slice on
+    // top of the accounted drops/losses.
+    let allowed = LOSS_PER_SHARD + (fleet.total().dropped + fleet.total().lost_in_crash) as f64;
+    assert_within_bounds(
+        &merged,
+        &GroundTruth::from_keys(keys.iter().copied()),
+        allowed,
+    );
 }

@@ -68,7 +68,8 @@ fn two_shards_match_unsharded_sketch_over_the_union() {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn");
     offer_all(&mut tap, &keys);
     let (merged, fleet) = pipeline.finish().expect("clean run");
 
@@ -155,7 +156,8 @@ fn killing_one_shard_recovers_locally_and_keeps_siblings_running() {
             fault_plans: vec![(VICTIM, plan.clone())],
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn");
 
     offer_all(&mut tap, &keys);
     let (merged, fleet) = pipeline
@@ -223,7 +225,8 @@ fn epoch_views_are_monotone_and_staleness_bounded() {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("spawn");
 
     offer_all(&mut tap, &keys[..100_000]);
     while pipeline.processed() < 100_000 {
