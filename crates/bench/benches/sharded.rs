@@ -20,6 +20,8 @@ use nitro_sketches::CountSketch;
 use nitro_switch::pipeline::{spawn_sharded, PipelineConfig};
 use nitro_switch::supervisor::SupervisorConfig;
 use nitro_traffic::{GroundTruth, Zipf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const HH_FRACTION: f64 = 0.002;
 
@@ -130,6 +132,48 @@ fn dispatch_ns_per_offer(keys: &[u64], shards: usize) -> f64 {
     ns
 }
 
+/// End-to-end fleet throughput (Mpps) with an optional telemetry scraper
+/// hammering the lock-free registry from its own thread: every ~100 µs it
+/// renders the full Prometheus page over the live shards. The scrape path
+/// is pure relaxed loads — it must not perturb the workers' hot loop.
+fn run_with_scraper(keys: &[u64], shards: usize, scrape: bool) -> (f64, u64) {
+    let (mut tap, pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards,
+            supervisor: SupervisorConfig {
+                ring_capacity: (2 * keys.len() / shards.max(1)).next_power_of_two(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("spawn fleet");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = scrape.then(|| {
+        let registry = Arc::clone(pipeline.telemetry());
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::hint::black_box(registry.render_prometheus());
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            scrapes
+        })
+    });
+    let start = std::time::Instant::now();
+    for (i, &k) in keys.iter().enumerate() {
+        tap.offer(k, i as u64);
+    }
+    let (_, fleet) = pipeline.finish().expect("clean run");
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.map_or(0, |h| h.join().expect("scraper joins"));
+    (fleet.total().processed as f64 / elapsed / 1e6, scrapes)
+}
+
 fn main() {
     let n = scaled(2_000_000);
     let mut z = Zipf::new(50_000, 1.2, 67);
@@ -236,6 +280,53 @@ fn main() {
         ]);
     }
     println!("{}", dispatch.render());
+
+    // Scrape-overhead micro-bench: the same 2-shard workload with and
+    // without a dedicated thread rendering the full Prometheus page every
+    // ~100 µs. The telemetry plane is relaxed-atomic reads end to end, so
+    // a scraper must cost the fleet (almost) nothing.
+    let best = |scrape: bool| -> (f64, u64) {
+        (0..3)
+            .map(|_| run_with_scraper(&keys, 2, scrape))
+            .fold((0.0f64, 0u64), |acc, r| (acc.0.max(r.0), acc.1.max(r.1)))
+    };
+    let (quiet_mpps, _) = best(false);
+    let (scraped_mpps, scrapes) = best(true);
+    let regression = 1.0 - scraped_mpps / quiet_mpps;
+    let mut overhead = Table::new(
+        &format!("Telemetry scrape overhead (2 shards, {n} obs, best of 3)"),
+        &["config", "Mpps", "regression"],
+    );
+    overhead.row(&[
+        "no scraper".to_string(),
+        format!("{quiet_mpps:.2}"),
+        "-".to_string(),
+    ]);
+    overhead.row(&[
+        format!("scraper @ 100us ({scrapes} scrapes)"),
+        format!("{scraped_mpps:.2}"),
+        format!("{:.1}%", 100.0 * regression),
+    ]);
+    println!("{}", overhead.render());
+    // Like the scaling claim below, the <3% bound needs the scraper to
+    // have its own core — on a starved host it steals consumer cycles by
+    // scheduling, not because the scrape path contends.
+    if cores >= 5 {
+        assert!(
+            regression < 0.03,
+            "telemetry scrape cost the fleet {:.1}% throughput (>= 3%)",
+            100.0 * regression
+        );
+        println!(
+            "scrape overhead check: {:.1}% < 3%  [PASS]",
+            100.0 * regression
+        );
+    } else {
+        println!(
+            "scrape overhead check: skipped — {cores} core(s) available \
+             (assertion requires >= 5 cores)"
+        );
+    }
 
     // The scaling claim: 4 shards ≥ 2× the single-consumer daemon — only
     // meaningful when the host can actually run 4 consumers + 1 producer.

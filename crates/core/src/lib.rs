@@ -34,7 +34,7 @@ pub mod theory;
 pub mod univ;
 
 pub use config::NitroConfig;
-pub use mode::{Mode, ModeCheckpoint, ModeState};
+pub use mode::{Mode, ModeCheckpoint, ModeKind, ModeState};
 pub use nitro::{NitroSketch, NitroStats};
 pub use rotator::{EpochRotator, EpochSummary};
 pub use univ::{NitroCountSketch, NitroUnivMon};

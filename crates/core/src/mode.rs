@@ -45,12 +45,51 @@ pub enum Mode {
     },
 }
 
+/// Discriminant of a [`Mode`], stable across the mode's parameters — what
+/// a telemetry gauge exports so an observer can tell which discipline a
+/// live shard is running without decoding floats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModeKind {
+    /// [`Mode::Fixed`].
+    Fixed = 0,
+    /// [`Mode::AlwaysLineRate`].
+    AlwaysLineRate = 1,
+    /// [`Mode::AlwaysCorrect`].
+    AlwaysCorrect = 2,
+}
+
+impl ModeKind {
+    /// Numeric gauge code (stable: 0 = Fixed, 1 = AlwaysLineRate,
+    /// 2 = AlwaysCorrect).
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Human-readable name for narration and table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeKind::Fixed => "fixed",
+            ModeKind::AlwaysLineRate => "always-line-rate",
+            ModeKind::AlwaysCorrect => "always-correct",
+        }
+    }
+}
+
 impl Mode {
     /// The paper's default line-rate mode: 100 ms epochs.
     pub fn line_rate(ops_budget: f64) -> Self {
         Mode::AlwaysLineRate {
             ops_budget,
             epoch_ns: 100_000_000,
+        }
+    }
+
+    /// This mode's parameter-independent discriminant.
+    pub fn kind(&self) -> ModeKind {
+        match self {
+            Mode::Fixed { .. } => ModeKind::Fixed,
+            Mode::AlwaysLineRate { .. } => ModeKind::AlwaysLineRate,
+            Mode::AlwaysCorrect { .. } => ModeKind::AlwaysCorrect,
         }
     }
 

@@ -318,6 +318,12 @@ impl<S: RowSketch> NitroSketch<S> {
         self.mode.p()
     }
 
+    /// The sampling discipline's parameter-independent discriminant
+    /// (telemetry gauge).
+    pub fn mode_kind(&self) -> crate::mode::ModeKind {
+        self.mode.mode().kind()
+    }
+
     /// Whether guarantees currently hold (AlwaysCorrect: always true by
     /// construction; other modes: true once enough packets arrived — the
     /// controller's view).

@@ -72,12 +72,14 @@ impl DaemonHealth {
     }
 
     /// Fraction of offered observations that reached the sketch (1.0 when
-    /// nothing was offered).
+    /// nothing was offered). Clamped to `[0, 1]`: a mid-flight read can
+    /// observe `processed` ahead of `offered`, and a ratio above one is
+    /// never meaningful.
     pub fn delivery_ratio(&self) -> f64 {
         if self.offered == 0 {
             1.0
         } else {
-            self.processed as f64 / self.offered as f64
+            (self.processed as f64 / self.offered as f64).min(1.0)
         }
     }
 
@@ -270,6 +272,85 @@ mod tests {
         assert!(!b.record(true));
         assert!(b.record(false), "trips again after reset");
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn delivery_ratio_clamps_mid_flight_overshoot() {
+        let h = DaemonHealth {
+            offered: 10,
+            processed: 12,
+            ..Default::default()
+        };
+        assert_eq!(h.delivery_ratio(), 1.0);
+    }
+
+    mod health_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A record satisfying the accounting identity by construction:
+        /// `offered = processed + dropped + lost + slack`. Bounds keep
+        /// sums far from u64 overflow so `absorb` never wraps.
+        fn accounted(parts: (u64, u64, u64, u64)) -> DaemonHealth {
+            let (processed, dropped, lost_in_crash, slack) = parts;
+            DaemonHealth {
+                offered: processed + dropped + lost_in_crash + slack,
+                processed,
+                dropped,
+                lost_in_crash,
+                ..Default::default()
+            }
+        }
+
+        fn identity(h: &DaemonHealth) -> u64 {
+            h.processed + h.dropped + h.lost_in_crash + h.unaccounted()
+        }
+
+        proptest! {
+            #[test]
+            fn absorb_preserves_accounting_identity(
+                a in ((0u64..1 << 60, 0u64..1 << 60), (0u64..1 << 60, 0u64..1 << 60)),
+                b in ((0u64..1 << 60, 0u64..1 << 60), (0u64..1 << 60, 0u64..1 << 60)),
+            ) {
+                let a = accounted((a.0 .0, a.0 .1, a.1 .0, a.1 .1));
+                let b = accounted((b.0 .0, b.0 .1, b.1 .0, b.1 .1));
+                prop_assert_eq!(identity(&a), a.offered);
+                prop_assert_eq!(identity(&b), b.offered);
+                let mut sum = a;
+                sum.absorb(&b);
+                prop_assert_eq!(
+                    identity(&sum), sum.offered,
+                    "fleet aggregation must preserve the accounting identity"
+                );
+                prop_assert_eq!(sum.offered, a.offered + b.offered);
+            }
+
+            #[test]
+            fn delivery_ratio_always_in_unit_interval(
+                offered in 0u64..1 << 62,
+                processed in 0u64..1 << 62,
+            ) {
+                // Arbitrary counters, including mid-flight overshoot where
+                // processed races ahead of offered.
+                let h = DaemonHealth { offered, processed, ..Default::default() };
+                let r = h.delivery_ratio();
+                prop_assert!((0.0..=1.0).contains(&r), "ratio {} out of [0,1]", r);
+            }
+
+            #[test]
+            fn unaccounted_never_exceeds_offered(
+                counts in ((0u64..1 << 62, 0u64..1 << 62), (0u64..1 << 62, 0u64..1 << 62)),
+            ) {
+                let h = DaemonHealth {
+                    offered: counts.0 .0,
+                    processed: counts.0 .1,
+                    dropped: counts.1 .0,
+                    lost_in_crash: counts.1 .1,
+                    ..Default::default()
+                };
+                prop_assert!(h.unaccounted() <= h.offered);
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,13 @@ pub mod errors;
 pub mod fleet;
 pub mod health;
 pub mod table;
+pub mod telemetry;
 
 pub use errors::{mean_relative_error, precision, recall, relative_error, ErrorSummary, MultiRun};
 pub use fleet::FleetHealth;
 pub use health::{CircuitBreaker, DaemonHealth};
 pub use table::Table;
+pub use telemetry::{
+    escape_label, Event, EventJournal, LatencyHistogram, MeasurementGauges, SequencedEvent,
+    ShardTelemetry, TelemetryCell, TelemetryRegistry,
+};

@@ -67,7 +67,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -76,16 +78,35 @@ impl Table {
         out
     }
 
-    /// Render as CSV (title as a comment line).
+    /// Render as CSV (title as a comment line). Cells containing commas,
+    /// quotes, or line breaks are RFC-4180 quoted.
     pub fn to_csv(&self) -> String {
+        let join = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = format!("# {}\n", self.title);
-        out.push_str(&self.headers.join(","));
+        out.push_str(&join(&self.headers));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&join(row));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quote one CSV cell per RFC 4180: wrap in double quotes when it contains
+/// a comma, quote, or line break, doubling embedded quotes. Clean cells
+/// pass through unchanged so existing output stays byte-identical.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
     }
 }
 
@@ -120,6 +141,39 @@ mod tests {
     fn csv_output() {
         let csv = sample().to_csv();
         assert_eq!(csv, "# Fig X\nsketch,mpps\nUnivMon,2.1\nCount-Min,5.5\n");
+    }
+
+    #[test]
+    fn csv_quotes_commas_quotes_and_newlines() {
+        let mut t = Table::new("Fig Q", &["flow, id", "note"]);
+        t.row(&["a,b".into(), "said \"hi\"".into()]);
+        t.row(&["line\nbreak".into(), "clean".into()]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "# Fig Q\n\"flow, id\",note\n\"a,b\",\"said \"\"hi\"\"\"\n\"line\nbreak\",clean\n"
+        );
+        // Each record parses back to exactly two fields under RFC-4180
+        // rules (the quoted newline does not split the record).
+        let mut fields = 0;
+        let mut in_quotes = false;
+        for ch in "\"a,b\",\"said \"\"hi\"\"\"".chars() {
+            match ch {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields + 1, 2);
+    }
+
+    #[test]
+    fn zero_column_table_renders_gracefully() {
+        let t = Table::new("empty", &[]);
+        let s = t.render(); // must not underflow-panic on widths.len() - 1
+        assert!(s.contains("== empty =="));
+        let csv = t.to_csv();
+        assert_eq!(csv, "# empty\n\n");
     }
 
     #[test]

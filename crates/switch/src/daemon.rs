@@ -7,6 +7,7 @@
 
 use crate::ovs::Measurement;
 use crate::spsc::SpscRing;
+use nitro_metrics::telemetry::ShardTelemetry;
 use nitro_sketches::FlowKey;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,6 +57,7 @@ pub struct Observation {
 pub struct MeasurementTap {
     ring: Arc<SpscRing<Observation>>,
     dropped: u64,
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl MeasurementTap {
@@ -64,8 +66,16 @@ impl MeasurementTap {
     /// this; we report it instead of stalling the datapath).
     #[inline]
     pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
-        if !self.ring.push(Observation { key, ts_ns }) {
+        if self.ring.push(Observation { key, ts_ns }) {
+            if let Some(t) = &self.telemetry {
+                t.offered.incr();
+            }
+        } else {
             self.dropped += 1;
+            if let Some(t) = &self.telemetry {
+                t.offered.incr();
+                t.dropped.incr();
+            }
         }
     }
 
@@ -100,8 +110,28 @@ pub struct MeasurementDaemon<M: Measurement + Send + 'static> {
 /// `capacity` observations. Returns the switch-side tap and the daemon
 /// handle.
 pub fn spawn<M: Measurement + Send + 'static>(
+    measurement: M,
+    capacity: usize,
+) -> (MeasurementTap, MeasurementDaemon<M>) {
+    spawn_instrumented(measurement, capacity, None)
+}
+
+/// Like [`spawn`], with the tap and worker additionally publishing their
+/// counters (offered, dropped, popped, processed) into `telemetry` — the
+/// plain daemon's entry point into the live telemetry plane. The
+/// supervised daemon ([`crate::supervisor`]) wires this automatically.
+pub fn spawn_with_telemetry<M: Measurement + Send + 'static>(
+    measurement: M,
+    capacity: usize,
+    telemetry: Arc<ShardTelemetry>,
+) -> (MeasurementTap, MeasurementDaemon<M>) {
+    spawn_instrumented(measurement, capacity, Some(telemetry))
+}
+
+fn spawn_instrumented<M: Measurement + Send + 'static>(
     mut measurement: M,
     capacity: usize,
+    telemetry: Option<Arc<ShardTelemetry>>,
 ) -> (MeasurementTap, MeasurementDaemon<M>) {
     let ring = Arc::new(SpscRing::<Observation>::new(capacity));
     let stop = Arc::new(AtomicBool::new(false));
@@ -111,6 +141,7 @@ pub fn spawn<M: Measurement + Send + 'static>(
         let ring = Arc::clone(&ring);
         let stop = Arc::clone(&stop);
         let processed = Arc::clone(&processed);
+        let telemetry = telemetry.clone();
         std::thread::spawn(move || {
             let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
             let mut idle_spins = 0u32;
@@ -129,17 +160,27 @@ pub fn spawn<M: Measurement + Send + 'static>(
                     continue;
                 }
                 idle_spins = 0;
+                if let Some(t) = &telemetry {
+                    t.popped.add(n as u64);
+                }
                 for obs in &buf[..n] {
                     measurement.on_packet(obs.key, obs.ts_ns, 1.0);
                 }
                 processed.fetch_add(n as u64, Ordering::Relaxed);
+                if let Some(t) = &telemetry {
+                    t.processed.add(n as u64);
+                }
             }
             measurement
         })
     };
 
     (
-        MeasurementTap { ring, dropped: 0 },
+        MeasurementTap {
+            ring,
+            dropped: 0,
+            telemetry,
+        },
         MeasurementDaemon {
             handle,
             stop,
@@ -216,6 +257,28 @@ mod tests {
         }
         let n = daemon.finish().unwrap();
         assert_eq!(n.stats().packets, 1000);
+    }
+
+    #[test]
+    fn instrumented_daemon_publishes_live_counters() {
+        let tel = Arc::new(ShardTelemetry::detached(0));
+        let nitro = NitroSketch::new(CountSketch::new(3, 512, 3), Mode::Fixed { p: 1.0 }, 4);
+        let (mut tap, daemon) = spawn_with_telemetry(nitro, 1024, Arc::clone(&tel));
+        for i in 0..1000u64 {
+            tap.offer(i % 7, i);
+            if i % 256 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        daemon.finish().unwrap();
+        let h = tel.health();
+        assert_eq!(h.offered, 1000);
+        assert_eq!(h.processed + h.dropped, 1000, "{h:?}");
+        assert_eq!(
+            h.unaccounted(),
+            0,
+            "joined daemon leaves nothing unaccounted"
+        );
     }
 
     #[test]

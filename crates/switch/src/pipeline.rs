@@ -61,13 +61,14 @@ use crate::store::{CheckpointStore, RecoveryReport, SinkHandle, StoreConfig, Sto
 use crate::supervisor::{spawn_supervised, SupervisedTap, SupervisorConfig, SupervisorError};
 use nitro_core::NitroSketch;
 use nitro_hash::xxhash::xxh64_u64;
+use nitro_metrics::telemetry::{Event, TelemetryRegistry};
 use nitro_metrics::{CircuitBreaker, DaemonHealth, FleetHealth};
 use nitro_sketches::{Checkpoint, CheckpointError, FlowKey, RowSketch};
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What joining one shard yields at degraded shutdown: its index, the
 /// last durable checkpoint captured from a failed shard (the merge
@@ -413,6 +414,10 @@ where
     fault_plans: Vec<(usize, ThreadFaultPlan)>,
     store: Option<Arc<CheckpointStore>>,
     replicate: Option<ReplicaConfig>,
+    /// The fleet's telemetry plane: every spawn registers a fresh live
+    /// instance here, and every component of the shard (tap, worker,
+    /// supervisor, durable writer, replica applier) publishes into it.
+    registry: Arc<TelemetryRegistry>,
 }
 
 impl<S> ShardSpawner<S>
@@ -437,16 +442,23 @@ where
         if let Some((_, plan)) = self.fault_plans.iter().rev().find(|(s, _)| *s == i) {
             sup.fault_plan = Some(plan.clone());
         }
-        let durable = self
-            .store
-            .as_ref()
-            .map(|store| SinkHandle(Arc::new(store.writer_from(i, band))));
+        let tel = self.registry.register(i as u32);
+        let generation = self.store.as_ref().map_or(0, |s| s.generation());
+        tel.generation.set(generation);
+        tel.seq_band.set(band);
+        sup.telemetry = Some(Arc::clone(&tel));
+        let durable = self.store.as_ref().map(|store| {
+            SinkHandle(Arc::new(
+                store.writer_from(i, band).with_telemetry(Arc::clone(&tel)),
+            ))
+        });
         let mut standby = None;
         sup.sink = match &self.replicate {
             Some(rcfg) => {
-                let generation = self.store.as_ref().map_or(0, |s| s.generation());
+                let mut rcfg = rcfg.clone();
+                rcfg.telemetry = Some(Arc::clone(&tel));
                 let (sink, handle) =
-                    spawn_standby((self.factory)(i), i, generation, band, durable, rcfg);
+                    spawn_standby((self.factory)(i), i, generation, band, durable, &rcfg);
                 standby = Some(handle);
                 Some(sink)
             }
@@ -573,6 +585,41 @@ where
         self.promotions
     }
 
+    /// The fleet's telemetry plane: live and retired shard instances, the
+    /// shared event journal, and the promotion-duration histogram — all
+    /// readable at any instant without joining a daemon.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.spawner.registry
+    }
+
+    /// Render the whole telemetry plane in Prometheus text exposition
+    /// format, refreshing the scrape-time gauges (ring backlog, failed
+    /// flag, breaker state) first.
+    pub fn scrape(&self) -> String {
+        self.refresh_gauges();
+        self.spawner.registry.render_prometheus()
+    }
+
+    /// Like [`ShardedPipeline::scrape`], rendered as a JSON document.
+    pub fn scrape_json(&self) -> String {
+        self.refresh_gauges();
+        self.spawner.registry.render_json()
+    }
+
+    /// Push the coordinator-owned gauges (the ones no shard thread can
+    /// see: breaker state, failed flag, instantaneous ring backlog) into
+    /// each live shard's telemetry so a scrape reads current values.
+    fn refresh_gauges(&self) {
+        for shard in &self.shards {
+            let tel = shard.telemetry();
+            tel.backlog.set(shard.backlog());
+            tel.failed.set(u64::from(shard.is_failed()));
+            if let Some(b) = self.breakers.get(shard.index()) {
+                tel.breaker_open.set(u64::from(b.is_open()));
+            }
+        }
+    }
+
     /// True when shard `i` currently has a warm standby to fail over to.
     pub fn has_standby(&self, shard: usize) -> bool {
         self.standbys.get(shard).is_some_and(Option::is_some)
@@ -643,6 +690,11 @@ where
             .map(|r| r.as_ref().map(|f| f.bytes.clone()))
             .collect();
         let (tap, pipeline) = spawn_with_initial(factory, config, initial)?;
+        pipeline.spawner.registry.record(Event::RecoveryReport {
+            shards: report.shards as u32,
+            recovered: report.recovered.iter().filter(|r| r.is_some()).count() as u32,
+            corrupt: report.corrupt_frames,
+        });
         Ok((tap, pipeline, report))
     }
 
@@ -661,6 +713,7 @@ where
         let Some(standby) = self.standbys[shard].take() else {
             return Ok(false);
         };
+        let started = Instant::now();
         let (mut shadow, watermark) = standby.stop();
         if let Some(store) = &self.spawner.store {
             // Gap replay: the durable log may hold a newer delta than the
@@ -679,6 +732,11 @@ where
         self.standbys[shard] = standby;
         let old = std::mem::replace(&mut self.shards[shard], new_shard);
         let version = self.router.publish(RouteUpdate::Replace { shard, tap });
+        // The replaced primary stops being shard `shard`'s live series the
+        // instant the new daemon takes the id; its counters keep
+        // accumulating into the fleet totals from the retired set while it
+        // drains.
+        self.spawner.registry.retire(old.telemetry());
         self.draining.push(DrainingShard {
             shard: old,
             drain_after: version,
@@ -689,6 +747,13 @@ where
         self.breakers[shard].reset();
         self.probes[shard] = (0, 0);
         self.promotions += 1;
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        self.spawner.registry.promotion_ns().record(duration_ns);
+        self.spawner.registry.record(Event::Promotion {
+            shard: shard as u32,
+            band,
+            duration_ns,
+        });
         Ok(true)
     }
 
@@ -716,6 +781,7 @@ where
         // Promote any failed primary first so its standby's state is not
         // lost to the generic drain path.
         self.probe_and_promote()?;
+        let from = self.shards.len() as u32;
         if let Some(store) = &self.spawner.store {
             store.resize(new_shards)?;
         }
@@ -736,7 +802,12 @@ where
             .map(|_| CircuitBreaker::new(self.spawner.breaker_threshold()))
             .collect();
         let version = self.router.publish(RouteUpdate::Resize { taps });
+        self.spawner.registry.record(Event::Rescale {
+            from,
+            to: new_shards as u32,
+        });
         for old in old_shards {
+            self.spawner.registry.retire(old.telemetry());
             self.draining.push(DrainingShard {
                 shard: old,
                 drain_after: version,
@@ -761,7 +832,15 @@ where
             let (restarts, stalls) = self.probes[i];
             let unhealthy = failed || health.restarts > restarts || health.stalls > stalls;
             self.probes[i] = (health.restarts, health.stalls);
+            let was_open = self.breakers[i].is_open();
             let open = self.breakers[i].record(!unhealthy);
+            self.shards[i].telemetry().breaker_open.set(u64::from(open));
+            if open && !was_open {
+                self.spawner.registry.record(Event::BreakerTrip {
+                    shard: i as u32,
+                    trips: self.breakers[i].trips(),
+                });
+            }
             if failed || open {
                 self.promote(i)?;
             }
@@ -1189,6 +1268,7 @@ where
         fault_plans: config.fault_plans,
         store: config.store,
         replicate: config.replicate,
+        registry: Arc::new(TelemetryRegistry::new()),
     };
     let template = (spawner.factory)(0);
     let mut measurements = Vec::with_capacity(config.shards);

@@ -36,10 +36,12 @@
 use crate::spsc::SpscBoxRing;
 use crate::store::{decode_frame, encode_frame, CheckpointSink, FrameParse, SinkHandle};
 use crate::supervisor::Recoverable;
+use nitro_metrics::telemetry::ShardTelemetry;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning for per-shard hot-standby replication.
 #[derive(Clone, Debug)]
@@ -53,6 +55,10 @@ pub struct ReplicaConfig {
     /// circuit breaker ([`nitro_metrics::CircuitBreaker`]) and force a
     /// promotion even before the restart budget is formally spent.
     pub breaker_threshold: u32,
+    /// Optional telemetry instance the delta path mirrors its counters
+    /// into (`delta_streamed`/`lagged`/`applied`/`rejected`/`stale` plus
+    /// the `delta_apply_ns` histogram).
+    pub telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl Default for ReplicaConfig {
@@ -60,6 +66,7 @@ impl Default for ReplicaConfig {
         Self {
             delta_ring: 64,
             breaker_threshold: 2,
+            telemetry: None,
         }
     }
 }
@@ -96,6 +103,14 @@ struct ReplicaShared {
     wm_generation: AtomicU64,
     wm_seq: AtomicU64,
     wm_processed_at: AtomicU64,
+    /// Optional mirror of the counters into the shard's live telemetry.
+    telemetry: Option<Arc<ShardTelemetry>>,
+}
+
+impl ReplicaShared {
+    fn tel(&self) -> Option<&ShardTelemetry> {
+        self.telemetry.as_deref()
+    }
 }
 
 /// The primary-side half: a [`CheckpointSink`] that forwards every
@@ -127,8 +142,14 @@ impl CheckpointSink for ReplicaSink {
             bytes,
         );
         self.shared.streamed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.shared.tel() {
+            t.delta_streamed.incr();
+        }
         if self.ring.push(frame).is_err() {
             self.shared.lagged.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.shared.tel() {
+                t.delta_lagged.incr();
+            }
         }
         result
     }
@@ -212,7 +233,10 @@ where
     M: Recoverable + Send + 'static,
 {
     let ring = Arc::new(SpscBoxRing::new(config.delta_ring));
-    let shared = Arc::new(ReplicaShared::default());
+    let shared = Arc::new(ReplicaShared {
+        telemetry: config.telemetry.clone(),
+        ..Default::default()
+    });
     let sink = ReplicaSink {
         durable,
         ring: Arc::clone(&ring),
@@ -252,17 +276,24 @@ fn run_applier<M: Recoverable>(
 }
 
 fn apply_frame<M: Recoverable>(shadow: &mut M, frame: &[u8], shard: usize, shared: &ReplicaShared) {
+    let reject = || {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = shared.tel() {
+            t.delta_rejected.incr();
+        }
+    };
+    let started = Instant::now();
     let (decoded, consumed) = match decode_frame(frame, shard) {
         FrameParse::Frame(f, consumed) => (f, consumed),
         _ => {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            reject();
             return;
         }
     };
     if consumed != frame.len() {
         // Trailing garbage after a valid frame: not something the sink
         // produces — treat the whole buffer as untrustworthy.
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        reject();
         return;
     }
     let wm = (
@@ -271,6 +302,9 @@ fn apply_frame<M: Recoverable>(shadow: &mut M, frame: &[u8], shard: usize, share
     );
     if shared.applied.load(Ordering::Relaxed) > 0 && (decoded.generation, decoded.seq) <= wm {
         shared.stale.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = shared.tel() {
+            t.delta_stale.incr();
+        }
         return;
     }
     match shadow.restore_bytes(&decoded.bytes) {
@@ -283,10 +317,12 @@ fn apply_frame<M: Recoverable>(shadow: &mut M, frame: &[u8], shard: usize, share
                 .wm_processed_at
                 .store(decoded.processed_at, Ordering::Release);
             shared.applied.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = shared.tel() {
+                t.delta_applied.incr();
+                t.delta_apply_ns.record(started.elapsed().as_nanos() as u64);
+            }
         }
-        Err(_) => {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-        }
+        Err(_) => reject(),
     }
 }
 

@@ -13,7 +13,9 @@
 //! the merged view's bound.
 
 use crate::supervisor::{CheckpointView, Recoverable, SupervisedDaemon, SupervisorError};
+use nitro_metrics::telemetry::ShardTelemetry;
 use nitro_metrics::DaemonHealth;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How far one shard's contribution to a merged epoch view trails the
@@ -75,6 +77,12 @@ impl<M: Recoverable + Send + 'static> Shard<M> {
     /// Live health counters for this shard.
     pub fn health(&self) -> DaemonHealth {
         self.daemon.health()
+    }
+
+    /// This shard daemon's live telemetry instance — every counter and
+    /// gauge is readable mid-flight without joining the worker.
+    pub fn telemetry(&self) -> &Arc<ShardTelemetry> {
+        self.daemon.telemetry()
     }
 
     /// Whether this shard's restart budget is spent. A failed shard keeps

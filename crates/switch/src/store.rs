@@ -45,6 +45,7 @@
 
 use crate::faults::{DiskAction, DiskFaultPlan};
 use nitro_hash::xxhash::xxh64;
+use nitro_metrics::telemetry::ShardTelemetry;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
@@ -362,6 +363,7 @@ impl CheckpointStore {
             store: Arc::clone(self),
             shard,
             seq_base,
+            telemetry: None,
         }
     }
 
@@ -515,6 +517,9 @@ pub struct ShardWriter {
     /// Added to every frame's sequence number; see
     /// [`CheckpointStore::writer_from`].
     seq_base: u64,
+    /// Optional telemetry: successful appends count frames and payload
+    /// bytes into the shard's live cells.
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl ShardWriter {
@@ -522,12 +527,24 @@ impl ShardWriter {
     pub fn seq_base(&self) -> u64 {
         self.seq_base
     }
+
+    /// Attach a telemetry instance; every durably appended frame bumps
+    /// its `frames_persisted`/`bytes_persisted` counters.
+    pub fn with_telemetry(mut self, telemetry: Arc<ShardTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
 }
 
 impl CheckpointSink for ShardWriter {
     fn persist(&self, seq: u64, processed_at: u64, bytes: &[u8]) -> io::Result<()> {
         self.store
-            .append(self.shard, self.seq_base + seq, processed_at, bytes)
+            .append(self.shard, self.seq_base + seq, processed_at, bytes)?;
+        if let Some(tel) = &self.telemetry {
+            tel.frames_persisted.incr();
+            tel.bytes_persisted.add(bytes.len() as u64);
+        }
+        Ok(())
     }
 }
 

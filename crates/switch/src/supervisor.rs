@@ -43,6 +43,7 @@ use crate::ovs::Measurement;
 use crate::spsc::SpscRing;
 use crate::store::SinkHandle;
 use nitro_core::NitroSketch;
+use nitro_metrics::telemetry::{Event, MeasurementGauges, ShardTelemetry};
 use nitro_metrics::DaemonHealth;
 use nitro_sketches::checkpoint::CheckpointError;
 use nitro_sketches::{Checkpoint, FlowKey, RowSketch};
@@ -70,6 +71,12 @@ pub trait Recoverable: Measurement {
     fn downshift(&mut self) -> Option<f64> {
         None
     }
+
+    /// Live controller gauges for the telemetry plane, or `None` when the
+    /// measurement has no sampling controller to report on.
+    fn gauges(&self) -> Option<MeasurementGauges> {
+        None
+    }
 }
 
 impl<S: RowSketch + Checkpoint> Recoverable for NitroSketch<S> {
@@ -83,6 +90,15 @@ impl<S: RowSketch + Checkpoint> Recoverable for NitroSketch<S> {
 
     fn downshift(&mut self) -> Option<f64> {
         NitroSketch::downshift(self)
+    }
+
+    fn gauges(&self) -> Option<MeasurementGauges> {
+        Some(MeasurementGauges {
+            sampling_p: self.p(),
+            mode_code: self.mode_kind().code(),
+            converged: self.converged(),
+            topk_len: self.topk().map_or(0, |t| t.len() as u64),
+        })
     }
 }
 
@@ -120,6 +136,12 @@ pub struct SupervisorConfig {
     /// Optional fault-injection plan armed into every worker incarnation
     /// (test hook; shares its one-shot trigger across incarnations).
     pub fault_plan: Option<ThreadFaultPlan>,
+    /// Optional pre-registered telemetry instance (from a
+    /// [`nitro_metrics::TelemetryRegistry`]); the daemon publishes every
+    /// counter, gauge, histogram, and event into it. Without one, the
+    /// daemon creates a detached instance readable via
+    /// [`SupervisedDaemon::telemetry`].
+    pub telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl Default for SupervisorConfig {
@@ -135,6 +157,7 @@ impl Default for SupervisorConfig {
             max_backoff: Duration::from_millis(250),
             sink: None,
             fault_plan: None,
+            telemetry: None,
         }
     }
 }
@@ -229,22 +252,15 @@ struct Shared {
     /// Bumped by the stall watchdog; the worker exits when it no longer
     /// matches the generation it was spawned with.
     generation: AtomicU64,
-    offered: AtomicU64,
-    dropped: AtomicU64,
-    /// Observations taken off the ring (pre-processing).
-    popped: AtomicU64,
-    /// Observations applied to the measurement (post-processing).
-    processed: AtomicU64,
-    checkpoints: AtomicU64,
-    /// Checkpoints that reached the durable sink.
-    persisted: AtomicU64,
-    restores: AtomicU64,
-    restarts: AtomicU64,
+    /// The single owner of every health counter (offered/processed/
+    /// dropped/popped/restarts/stalls/checkpoints/persisted/restores/
+    /// downshifts), the live gauges, and the latency histograms. Scraping
+    /// it mid-run reads the same cells the hot path writes — there is no
+    /// second set of counters to drift out of sync.
+    tel: Arc<ShardTelemetry>,
     /// Set when the restart budget is spent: the supervisor stops
     /// respawning workers and only drains the ring for accounting.
     failed: AtomicBool,
-    stalls: AtomicU64,
-    downshifts: AtomicU64,
     /// Tap-side requests; the worker acknowledges via `downshift_acks`
     /// whether or not a lower probability was available.
     downshift_requests: AtomicU64,
@@ -261,22 +277,14 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(ring_capacity: usize, high_water: f64) -> Self {
+    fn new(ring_capacity: usize, high_water: f64, tel: Arc<ShardTelemetry>) -> Self {
+        tel.ring_capacity.set(ring_capacity as u64);
         Self {
             ring: SpscRing::new(ring_capacity),
             stop: AtomicBool::new(false),
             generation: AtomicU64::new(0),
-            offered: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            popped: AtomicU64::new(0),
-            processed: AtomicU64::new(0),
-            checkpoints: AtomicU64::new(0),
-            persisted: AtomicU64::new(0),
-            restores: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
+            tel,
             failed: AtomicBool::new(false),
-            stalls: AtomicU64::new(0),
-            downshifts: AtomicU64::new(0),
             downshift_requests: AtomicU64::new(0),
             downshift_acks: AtomicU64::new(0),
             snapshot_requests: AtomicU64::new(0),
@@ -295,9 +303,18 @@ impl Shared {
     /// worker simply retries at its next checkpoint.
     fn publish_checkpoint(&self, bytes: Vec<u8>, processed_at: u64, sink: Option<&SinkHandle>) {
         if let Some(sink) = sink {
-            let seq = self.checkpoints.load(Ordering::Relaxed) + 1;
+            let seq = self.tel.checkpoints.get() + 1;
+            let started = Instant::now();
             if sink.persist(seq, processed_at, &bytes).is_ok() {
-                self.persisted.fetch_add(1, Ordering::Relaxed);
+                self.tel
+                    .persist_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                self.tel.persisted.incr();
+                self.tel.event(Event::CheckpointPersisted {
+                    shard: self.tel.shard,
+                    seq,
+                    processed_at,
+                });
             }
         }
         self.store_checkpoint(bytes, processed_at);
@@ -311,7 +328,7 @@ impl Shared {
         *slot = Some(bytes);
         self.checkpoint_processed
             .store(processed_at, Ordering::Release);
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.tel.checkpoints.incr();
     }
 
     fn load_checkpoint(&self) -> Option<Vec<u8>> {
@@ -334,20 +351,7 @@ impl Shared {
     }
 
     fn health(&self) -> DaemonHealth {
-        let popped = self.popped.load(Ordering::Relaxed);
-        let processed = self.processed.load(Ordering::Relaxed);
-        DaemonHealth {
-            offered: self.offered.load(Ordering::Relaxed),
-            processed,
-            dropped: self.dropped.load(Ordering::Relaxed),
-            lost_in_crash: popped.saturating_sub(processed),
-            restarts: self.restarts.load(Ordering::Relaxed),
-            stalls: self.stalls.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            persisted: self.persisted.load(Ordering::Relaxed),
-            restores: self.restores.load(Ordering::Relaxed),
-            downshifts: self.downshifts.load(Ordering::Relaxed),
-        }
+        self.tel.health()
     }
 }
 
@@ -366,13 +370,15 @@ impl SupervisedTap {
     /// worker.
     #[inline]
     pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
-        self.shared.offered.fetch_add(1, Ordering::Relaxed);
+        self.shared.tel.offered.incr();
         if !self.shared.ring.push(Observation { key, ts_ns }) {
-            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.tel.dropped.incr();
         }
         self.offers += 1;
         if self.offers & 63 == 0 {
-            self.maybe_request_downshift();
+            let occupancy = self.shared.ring.occupancy();
+            self.shared.tel.ring_occupancy.set_f64(occupancy);
+            self.maybe_request_downshift(occupancy);
         }
     }
 
@@ -385,7 +391,7 @@ impl SupervisedTap {
 
     /// Observations lost to a full ring so far.
     pub fn dropped(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        self.shared.tel.dropped.get()
     }
 
     /// Current ring fill fraction in `[0, 1]`.
@@ -393,8 +399,8 @@ impl SupervisedTap {
         self.shared.ring.occupancy()
     }
 
-    fn maybe_request_downshift(&self) {
-        if self.shared.ring.occupancy() < self.shared.high_water {
+    fn maybe_request_downshift(&self, occupancy: f64) {
+        if occupancy < self.shared.high_water {
             return;
         }
         // Only one request may be in flight: wait for the worker's ack
@@ -459,12 +465,18 @@ pub struct SupervisedDaemon<M: Recoverable + Send + 'static> {
 impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
     /// Observations applied to the measurement so far (across restarts).
     pub fn processed(&self) -> u64 {
-        self.shared.processed.load(Ordering::Relaxed)
+        self.shared.tel.processed.get()
     }
 
     /// Live snapshot of the health counters.
     pub fn health(&self) -> DaemonHealth {
         self.shared.health()
+    }
+
+    /// This daemon's live telemetry instance — the very cells the hot
+    /// path writes, readable at any instant without joining any thread.
+    pub fn telemetry(&self) -> &Arc<ShardTelemetry> {
+        &self.shared.tel
     }
 
     /// Observations currently queued in the ring.
@@ -482,7 +494,7 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
 
     /// Checkpoints made durable through the configured sink.
     pub fn persisted(&self) -> u64 {
-        self.shared.persisted.load(Ordering::Relaxed)
+        self.shared.tel.persisted.get()
     }
 
     /// The most recent checkpoint without requesting a fresh one — stale
@@ -491,7 +503,7 @@ impl<M: Recoverable + Send + 'static> SupervisedDaemon<M> {
     /// never, for a daemon obtained from that constructor).
     pub fn latest_checkpoint(&self) -> Option<CheckpointView> {
         let (bytes, processed_at) = self.shared.load_checkpoint_with_processed()?;
-        let processed = self.shared.processed.load(Ordering::Relaxed);
+        let processed = self.shared.tel.processed.get();
         Some(CheckpointView {
             bytes,
             processed_at,
@@ -564,6 +576,7 @@ fn run_worker<M: Recoverable>(
     let mut buf = [Observation { key: 0, ts_ns: 0 }; 64];
     let mut idle_spins = 0u32;
     let mut since_checkpoint = 0u64;
+    publish_gauges(&m, &shared.tel);
     loop {
         if shared.generation.load(Ordering::Acquire) != my_generation {
             break;
@@ -571,8 +584,13 @@ fn run_worker<M: Recoverable>(
         let requests = shared.downshift_requests.load(Ordering::Acquire);
         let acks = shared.downshift_acks.load(Ordering::Acquire);
         if requests > acks {
-            if m.downshift().is_some() {
-                shared.downshifts.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = m.downshift() {
+                shared.tel.downshifts.incr();
+                shared.tel.sampling_p.set_f64(p);
+                shared.tel.event(Event::Downshift {
+                    shard: shared.tel.shard,
+                    p,
+                });
             }
             // Acknowledge even at the probability floor so the tap's
             // request slot frees up instead of wedging.
@@ -584,11 +602,7 @@ fn run_worker<M: Recoverable>(
             // On-demand epoch snapshot: serialize the current state so the
             // query plane's staleness collapses to the in-flight batch. One
             // checkpoint satisfies every request queued so far.
-            shared.publish_checkpoint(
-                m.checkpoint_bytes(),
-                shared.processed.load(Ordering::Relaxed),
-                sink,
-            );
+            shared.publish_checkpoint(m.checkpoint_bytes(), shared.tel.processed.get(), sink);
             shared.snapshot_acks.store(snap_requests, Ordering::Release);
         }
         let n = shared.ring.pop_batch(&mut buf);
@@ -607,7 +621,8 @@ fn run_worker<M: Recoverable>(
             continue;
         }
         idle_spins = 0;
-        shared.popped.fetch_add(n as u64, Ordering::Relaxed);
+        let batch_started = Instant::now();
+        shared.tel.popped.add(n as u64);
         if let Some(plan) = plan {
             // Fault-injection point: a panic here models a crash after the
             // batch left the ring but before it reached the sketch — the
@@ -617,15 +632,16 @@ fn run_worker<M: Recoverable>(
         for obs in &buf[..n] {
             m.on_packet(obs.key, obs.ts_ns, 1.0);
         }
-        shared.processed.fetch_add(n as u64, Ordering::Relaxed);
+        shared.tel.processed.add(n as u64);
+        shared
+            .tel
+            .batch_ns
+            .record(batch_started.elapsed().as_nanos() as u64);
         since_checkpoint += n as u64;
         if since_checkpoint >= checkpoint_every {
             since_checkpoint = 0;
-            shared.publish_checkpoint(
-                m.checkpoint_bytes(),
-                shared.processed.load(Ordering::Relaxed),
-                sink,
-            );
+            shared.publish_checkpoint(m.checkpoint_bytes(), shared.tel.processed.get(), sink);
+            publish_gauges(&m, &shared.tel);
             if let Some(plan) = plan {
                 // Fault-injection point for replication: the checkpoint
                 // (and, with a replica sink, the delta frame) is already
@@ -636,7 +652,16 @@ fn run_worker<M: Recoverable>(
             }
         }
     }
+    publish_gauges(&m, &shared.tel);
     m
+}
+
+/// Push the measurement's controller gauges into the telemetry cells, when
+/// it has any to report.
+fn publish_gauges<M: Recoverable>(m: &M, tel: &ShardTelemetry) {
+    if let Some(g) = m.gauges() {
+        tel.publish_gauges(&g);
+    }
 }
 
 /// Sink mode for a permanently-failed daemon: the supervisor thread itself
@@ -650,7 +675,7 @@ fn drain_as_lost(shared: &Shared) {
     loop {
         let n = shared.ring.pop_batch(&mut buf);
         if n > 0 {
-            shared.popped.fetch_add(n as u64, Ordering::Relaxed);
+            shared.tel.popped.add(n as u64);
             continue;
         }
         if shared.stop.load(Ordering::Acquire) && shared.ring.is_empty() {
@@ -676,7 +701,11 @@ where
     M: Recoverable + Send + 'static,
     F: FnMut() -> M + Send + 'static,
 {
-    let shared = Arc::new(Shared::new(config.ring_capacity, config.high_water));
+    let tel = config
+        .telemetry
+        .clone()
+        .unwrap_or_else(|| Arc::new(ShardTelemetry::detached(0)));
+    let shared = Arc::new(Shared::new(config.ring_capacity, config.high_water, tel));
     // Checkpoint the pristine state up front: a panic before the first
     // periodic checkpoint restores to "empty but correctly configured"
     // rather than to nothing — and with a sink, a process crash before the
@@ -749,7 +778,11 @@ where
                 }
                 Err(payload) => {
                     let last_panic = panic_message(payload.as_ref());
-                    let restarts = shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                    let restarts = shared.tel.restarts.add(1) + 1;
+                    shared.tel.event(Event::Restart {
+                        shard: shared.tel.shard,
+                        restarts,
+                    });
                     match policy.decide(restarts) {
                         RestartDecision::Fail => {
                             // Budget spent: no more workers. Mark the
@@ -759,6 +792,7 @@ where
                             // tap keeps offering must still get a fate
                             // (popped-but-never-processed = lost).
                             shared.failed.store(true, Ordering::Release);
+                            shared.tel.failed.set(1);
                             drain_as_lost(shared);
                             return Err((restarts, last_panic));
                         }
@@ -772,7 +806,7 @@ where
                     let mut replacement = factory();
                     if let Some(bytes) = shared.load_checkpoint() {
                         if replacement.restore_bytes(&bytes).is_ok() {
-                            shared.restores.fetch_add(1, Ordering::Relaxed);
+                            shared.tel.restores.incr();
                         }
                     }
                     // The panicked worker is dead, so attaching the
@@ -783,16 +817,23 @@ where
                 }
             }
             last_progress = Instant::now();
-            last_popped = shared.popped.load(Ordering::Relaxed);
+            last_popped = shared.tel.popped.get();
             continue;
         }
 
-        let popped = shared.popped.load(Ordering::Relaxed);
+        // The supervisor poll doubles as the backlog gauge's refresher:
+        // a scrape between polls is at most one check interval stale.
+        shared.tel.backlog.set(shared.ring.len() as u64);
+        let popped = shared.tel.popped.get();
         if popped != last_popped {
             last_popped = popped;
             last_progress = Instant::now();
         } else if !shared.ring.is_empty() && last_progress.elapsed() >= config.stall_timeout {
-            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            let stalls = shared.tel.stalls.add(1) + 1;
+            shared.tel.event(Event::Stall {
+                shard: shared.tel.shard,
+                stalls,
+            });
             shared.generation.fetch_add(1, Ordering::AcqRel);
             last_progress = Instant::now();
         }

@@ -1,0 +1,267 @@
+//! End-to-end tests of the live telemetry plane: mid-flight scrapes that
+//! converge to the final health records, the event journal narrating a
+//! chaos failover, and the dependency-free Prometheus/JSON exporters
+//! holding their format contract while a real fleet runs underneath.
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::metrics::telemetry::Event;
+use nitrosketch::prelude::*;
+use nitrosketch::switch::{
+    spawn_sharded, PipelineConfig, ReplicaConfig, ShardedPipeline, ShardedTap, SupervisorConfig,
+    ThreadFaultPlan,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn factory(i: usize) -> NitroSketch<CountMin> {
+    NitroSketch::new(
+        CountMin::new(4, 2048, 7),
+        Mode::Fixed { p: 1.0 },
+        500 + i as u64,
+    )
+    .with_topk(32)
+}
+
+fn feed(tap: &mut ShardedTap, keys: impl Iterator<Item = u64>) {
+    for (i, k) in keys.enumerate() {
+        tap.offer(k, i as u64);
+        if i % 512 == 0 {
+            std::thread::yield_now(); // single-core CI: give workers air
+        }
+    }
+}
+
+fn drain(tap: &mut ShardedTap, pipeline: &ShardedPipeline<CountMin>, processed: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while pipeline.processed() < processed {
+        tap.sync_routes();
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet never processed {processed} observations"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// A scrape taken while the producer is mid-stream must be internally
+/// consistent (saturating identity, clamped ratio), and once the fleet has
+/// quiesced the registry's fleet health must equal the joined daemons'
+/// final records field for field.
+#[test]
+fn telemetry_live_scrape_matches_final_health_once_quiesced() {
+    let (mut tap, pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards: 2,
+            supervisor: SupervisorConfig {
+                ring_capacity: 1 << 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("spawn");
+    let registry = Arc::clone(pipeline.telemetry());
+
+    feed(&mut tap, (0..10_000u64).map(|i| i % 64));
+    // Mid-flight: the scrape races the workers, but every derived quantity
+    // must stay well-formed — no underflow, no ratio above one.
+    let mid = registry.fleet_health();
+    assert!(mid.offered <= 20_000);
+    assert!(mid.unaccounted() <= mid.offered);
+    assert!((0.0..=1.0).contains(&mid.delivery_ratio()));
+    let page = pipeline.scrape();
+    assert!(
+        page.contains("nitro_offered_total"),
+        "scrape serves counters mid-run"
+    );
+
+    feed(&mut tap, (0..10_000u64).map(|i| i % 64));
+    drain(&mut tap, &pipeline, 20_000);
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean run");
+
+    // Quiesced: the join's happens-before edge makes every relaxed counter
+    // final, so the live registry and the returned records agree exactly.
+    let live = registry.fleet_health();
+    assert_eq!(
+        live,
+        fleet.total(),
+        "live scrape diverged from final health"
+    );
+    assert_eq!(live.offered, 20_000);
+    assert_eq!(live.unaccounted(), 0);
+}
+
+/// Chaos failover under replication: kill shard 0's worker with a spent
+/// restart budget, let the rotation promote the warm standby, and require
+/// the journal to narrate it — a `Restart` on the victim followed by a
+/// `Promotion` carrying the right shard id and the first fresh sequence
+/// band (`1 << 32`).
+#[test]
+fn telemetry_journal_narrates_promotion_after_chaos_failover() {
+    let plan = ThreadFaultPlan::new();
+    plan.panic_after(2_000);
+    let (mut tap, mut pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards: 2,
+            supervisor: SupervisorConfig {
+                checkpoint_every: 500,
+                max_restarts: 0,
+                ..Default::default()
+            },
+            fault_plans: vec![(0, plan)],
+            replicate: Some(ReplicaConfig::default()),
+            ..Default::default()
+        },
+    )
+    .expect("spawn");
+    feed(&mut tap, (0..20_000u64).map(|i| i % 16));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while pipeline.failed_shards().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard 0 never exhausted its budget"
+        );
+        std::thread::yield_now();
+    }
+    pipeline.epoch_view().expect("rotation promotes in-line");
+    assert_eq!(pipeline.promotions(), 1);
+
+    let events: Vec<Event> = pipeline
+        .telemetry()
+        .drain_events()
+        .into_iter()
+        .map(|e| e.event)
+        .collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::Restart { shard: 0, .. })),
+        "missing the victim's Restart event: {events:?}"
+    );
+    let promotion = events
+        .iter()
+        .find_map(|e| match *e {
+            Event::Promotion {
+                shard,
+                band,
+                duration_ns,
+            } => Some((shard, band, duration_ns)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no Promotion event in {events:?}"));
+    assert_eq!(promotion.0, 0, "promotion must name the failed shard");
+    assert_eq!(
+        promotion.1,
+        1 << 32,
+        "first promotion writes into band 1<<32"
+    );
+    assert_eq!(pipeline.telemetry().promotion_ns().count(), 1);
+
+    // The registry reflects the handover: the replaced primary's instance
+    // is retired, and the shard id is now served by a fresh incarnation
+    // stamped with the new band.
+    let retired = pipeline.telemetry().retired_shards();
+    assert_eq!(retired.len(), 1);
+    assert_eq!(retired[0].shard, 0);
+    let successor = pipeline
+        .telemetry()
+        .live_shards()
+        .into_iter()
+        .find(|t| t.shard == 0)
+        .expect("shard 0 has a live instance");
+    assert!(successor.incarnation > retired[0].incarnation);
+    assert_eq!(successor.seq_band.get(), 1 << 32);
+
+    drain(&mut tap, &pipeline, 0); // sync routes so draining can finish
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("promoted fleet finishes clean");
+    assert_eq!(fleet.unaccounted(), 0, "identity must survive promotion");
+}
+
+/// The Prometheus page scraped off a live fleet must hold the exposition
+/// contract: exactly one `# TYPE` line per family, every sample belonging
+/// to a declared family, and per-shard series carrying `shard`/`inst`
+/// labels. The JSON sibling must be structurally balanced and NaN-free.
+#[test]
+fn telemetry_prometheus_scrape_parses_while_fleet_runs() {
+    let (mut tap, pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards: 3,
+            ..Default::default()
+        },
+    )
+    .expect("spawn");
+    feed(&mut tap, (0..6_000u64).map(|i| i % 32));
+    drain(&mut tap, &pipeline, 6_000);
+
+    let page = pipeline.scrape();
+    let mut typed = HashSet::new();
+    for line in page.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let name = line
+            .split_whitespace()
+            .nth(2)
+            .expect("TYPE line has a name");
+        assert!(
+            typed.insert(name.to_string()),
+            "duplicate # TYPE for {name}"
+        );
+    }
+    for line in page
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("sample line has a name");
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(name);
+        assert!(
+            typed.contains(family),
+            "sample {name} has no # TYPE declaration"
+        );
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+    }
+    for shard in 0..3 {
+        assert!(
+            page.contains(&format!("shard=\"{shard}\"")),
+            "missing per-shard series for shard {shard}"
+        );
+    }
+    assert!(
+        page.contains("inst=\""),
+        "series must carry the incarnation label"
+    );
+    assert!(
+        page.contains("nitro_batch_ns_bucket"),
+        "histograms must export buckets"
+    );
+
+    let json = pipeline.scrape_json();
+    let depth = json.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "unbalanced JSON scrape");
+    assert!(
+        !json.contains("NaN"),
+        "JSON must render non-finite gauges as null"
+    );
+
+    drop(tap);
+    pipeline.finish().expect("clean shutdown");
+}
