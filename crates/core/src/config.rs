@@ -85,7 +85,10 @@ impl NitroConfig {
     }
 
     fn wrap<S: nitro_sketches::RowSketch>(&self, sketch: S) -> NitroSketch<S> {
-        let n = NitroSketch::new(sketch, self.mode.clone(), self.seed ^ 0x5EED);
+        // The geometric sampler's seed comes from a fork of the sketch's
+        // seed sequence rather than an ad-hoc xor offset.
+        let sampler_seed = nitro_hash::SeedSequence::new(self.seed).fork(0).derive(0);
+        let n = NitroSketch::new(sketch, self.mode.clone(), sampler_seed);
         if self.topk > 0 {
             n.with_topk(self.topk)
         } else {

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod config;
 pub mod convergence;
 pub mod mode;
@@ -33,6 +34,7 @@ pub mod rotator;
 pub mod theory;
 pub mod univ;
 
+pub use anomaly::{SkewEstimate, SkewPolicy, SkewTracker};
 pub use config::NitroConfig;
 pub use mode::{Mode, ModeCheckpoint, ModeKind, ModeState};
 pub use nitro::{NitroSketch, NitroStats};

@@ -377,6 +377,57 @@ impl<S: RowSketch> NitroSketch<S> {
     pub fn ts_clamped(&self) -> u64 {
         self.mode.ts_clamped()
     }
+
+    /// Collision-skew measurement of the wrapped sketch (one O(d·w) scan;
+    /// control-plane only — the pipeline samples this on epoch views).
+    pub fn skew(&self) -> crate::anomaly::SkewEstimate {
+        crate::anomaly::SkewEstimate::measure(&self.sketch)
+    }
+
+    /// Carry another instance's measurement across a **seed rotation**: the
+    /// peers share geometry but *not* hash seeds, so counters cannot merge
+    /// bit-for-bit ([`Self::try_merge_from`] correctly rejects that). What
+    /// survives a rotation instead is the decoded view — each key tracked
+    /// by `other`'s heavy-key tracker is re-inserted here at its decoded
+    /// robust estimate (a vanilla full-row update under *this* instance's
+    /// fresh seeds), and the operation statistics add so fleet accounting
+    /// stays exact. The untracked tail is intentionally dropped: it is
+    /// bounded by the tracker's admission threshold, and dropping it is
+    /// what evicts the attacker's colliding junk.
+    ///
+    /// Requires matching geometry; returns the number of keys folded.
+    pub fn fold_decoded_from(&mut self, other: &Self) -> Result<usize, CheckpointError> {
+        if self.sketch.depth() != other.sketch.depth() {
+            return Err(CheckpointError::Mismatch("depth"));
+        }
+        if self.sketch.width() != other.sketch.width() {
+            return Err(CheckpointError::Mismatch("width"));
+        }
+        let entries: Vec<(FlowKey, f64)> = other
+            .topk
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.entries().collect());
+        for &(key, _) in &entries {
+            let est = other.sketch.estimate_robust(key);
+            if !(est.is_finite() && est > 0.0) {
+                continue;
+            }
+            for row in 0..self.sketch.depth() {
+                self.sketch.update_row(row, key, est);
+            }
+            self.stats.row_updates += self.sketch.depth() as u64;
+            if let Some(mine) = &mut self.topk {
+                let merged = self.sketch.estimate_robust(key);
+                mine.offer(key, merged);
+            }
+        }
+        self.stats.packets += other.stats.packets;
+        self.stats.sampled_packets += other.stats.sampled_packets;
+        self.stats.heap_updates += other.stats.heap_updates;
+        self.stats.rejected += other.stats.rejected;
+        self.stats.downshifts += other.stats.downshifts;
+        Ok(entries.len())
+    }
 }
 
 /// "NSCK" — NitroSketch wrapper checkpoint magic.
@@ -894,6 +945,47 @@ mod tests {
         e.process(7, 1.0);
         a.try_merge_from(&e).unwrap();
         assert_eq!(a.estimate(7), 501.0);
+    }
+
+    #[test]
+    fn fold_decoded_carries_tracked_keys_across_seed_rotation() {
+        use nitro_sketches::CheckpointError;
+        // Old-seed instance with heavy keys tracked.
+        let mut old =
+            NitroSketch::new(CountMin::new(4, 4096, 11), Mode::Fixed { p: 1.0 }, 1).with_topk(16);
+        for _ in 0..5_000 {
+            old.process(111, 1.0);
+        }
+        for _ in 0..3_000 {
+            old.process(222, 1.0);
+        }
+        // New-seed instance: bit-merge must be rejected, decoded fold works.
+        let mut fresh =
+            NitroSketch::new(CountMin::new(4, 4096, 99), Mode::Fixed { p: 1.0 }, 2).with_topk(16);
+        assert_eq!(
+            fresh.try_merge_from(&old).unwrap_err(),
+            CheckpointError::Mismatch("hash seeds")
+        );
+        let folded = fresh.fold_decoded_from(&old).unwrap();
+        assert_eq!(folded, 2);
+        // Exact at p = 1 with only the folded keys present (Count-Min min
+        // rule sees at least one collision-free row).
+        assert_eq!(fresh.estimate(111), 5_000.0);
+        assert_eq!(fresh.estimate(222), 3_000.0);
+        assert_eq!(fresh.stats().packets, old.stats().packets);
+        let hh: Vec<u64> = fresh
+            .heavy_hitters(1_000.0)
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
+        assert!(hh.contains(&111) && hh.contains(&222));
+
+        // Geometry mismatches are rejected.
+        let mut narrow = NitroSketch::new(CountMin::new(4, 2048, 99), Mode::Fixed { p: 1.0 }, 2);
+        assert_eq!(
+            narrow.fold_decoded_from(&old).unwrap_err(),
+            CheckpointError::Mismatch("width")
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   families, as Count Sketch and K-ary require.
 //! - [`rng`]: small, fast, deterministic PRNGs (SplitMix64, xoshiro256**)
 //!   used on the data path where `rand`'s generality would cost cycles.
+//! - [`seedseq`]: the canonical splitmix-style seed-derivation sequence —
+//!   every per-row / per-layer seed in the repository comes from one
+//!   [`SeedSequence`] so derivations are auditable and attack analyses can
+//!   model a leaked master seed precisely.
 //! - [`geometric`]: geometric variate generation — the heart of NitroSketch's
 //!   Idea B (one geometric skip sample replaces per-array coin flips).
 //! - [`batch`]: multi-lane batched hashing used by the buffered update stage
@@ -27,13 +31,15 @@ pub mod batch;
 pub mod geometric;
 pub mod pairwise;
 pub mod rng;
+pub mod seedseq;
 pub mod sign;
 pub mod tabulation;
 pub mod xxhash;
 
 pub use geometric::GeometricSampler;
-pub use pairwise::{MultiplyShift, PolyHash};
+pub use pairwise::{DegenerateSeed, MultiplyShift, PolyHash};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use seedseq::SeedSequence;
 pub use sign::SignHash;
 pub use tabulation::TabulationHash;
 pub use xxhash::{xxh32, xxh64, Xxh32Hasher};

@@ -11,13 +11,28 @@
 use crate::rng::SplitMix64;
 use crate::KeyHasher;
 
+/// A hash-family construction was given coefficients that collapse the
+/// family (zero / all-equal draws). Constructors that *draw* coefficients
+/// reject-and-resample these internally; constructors that *accept*
+/// coefficients surface this error instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegenerateSeed(pub &'static str);
+
+impl std::fmt::Display for DegenerateSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degenerate hash seed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DegenerateSeed {}
+
 /// Dietzfelbinger's multiply-shift family: `h(x) = (a·x + b) >> (128 − 64)`
 /// computed in 128-bit arithmetic with odd `a`.
 ///
 /// Strongly universal (pairwise independent) on 64-bit keys, two multiplies
 /// per hash. This is the family used on the simulator's hot paths when
 /// xxHash-compatibility is not needed.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MultiplyShift {
     a: u128,
     b: u128,
@@ -25,11 +40,34 @@ pub struct MultiplyShift {
 
 impl MultiplyShift {
     /// Draw a random function from the family, seeded deterministically.
+    /// Degenerate draws (`a` collapsing to the identity-ish `1`, or
+    /// `a == b`) are rejected and redrawn from the continuing stream, so
+    /// every seed yields a full-rank member of the family.
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        let a = ((sm.next_u64() as u128) << 64 | sm.next_u64() as u128) | 1;
-        let b = (sm.next_u64() as u128) << 64 | sm.next_u64() as u128;
-        Self { a, b }
+        loop {
+            let a = ((sm.next_u64() as u128) << 64 | sm.next_u64() as u128) | 1;
+            let b = (sm.next_u64() as u128) << 64 | sm.next_u64() as u128;
+            if let Ok(h) = Self::from_coeffs(a, b) {
+                return h;
+            }
+        }
+    }
+
+    /// Build from explicit coefficients, rejecting degenerate pairs:
+    /// `a` must be odd and neither `1` (a zero draw forced odd) nor equal
+    /// to `b`.
+    pub fn from_coeffs(a: u128, b: u128) -> Result<Self, DegenerateSeed> {
+        if a & 1 == 0 {
+            return Err(DegenerateSeed("multiplier must be odd"));
+        }
+        if a == 1 {
+            return Err(DegenerateSeed("zero multiplier draw"));
+        }
+        if a == b {
+            return Err(DegenerateSeed("all-equal pairwise coefficients"));
+        }
+        Ok(Self { a, b })
     }
 
     /// Hash a 64-bit key to 64 bits.
@@ -94,21 +132,41 @@ pub struct PolyHash {
 
 impl PolyHash {
     /// Draw a random k-wise independent function (`k` ≥ 1), deterministically
-    /// from `seed`.
+    /// from `seed`. Degenerate draws (zero polynomial, all-equal
+    /// coefficients, vanishing leading coefficient) are rejected and
+    /// redrawn from the continuing stream.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1, "independence degree must be at least 1");
         let mut sm = SplitMix64::new(seed);
-        let coeffs = (0..k)
-            .map(|i| {
-                let mut c = sm.next_u64() % MERSENNE61;
-                // Leading coefficient must be non-zero to keep full degree.
-                if i == k - 1 && c == 0 {
-                    c = 1;
-                }
-                c
-            })
-            .collect();
-        Self { coeffs }
+        loop {
+            let coeffs: Vec<u64> = (0..k).map(|_| sm.next_u64() % MERSENNE61).collect();
+            if let Ok(h) = Self::from_coeffs(coeffs) {
+                return h;
+            }
+        }
+    }
+
+    /// Build from explicit field coefficients (`a_0, …, a_{k-1}`), rejecting
+    /// degenerate vectors: the zero polynomial, all-equal coefficients for
+    /// `k ≥ 2` (which collapse toward a constant-heavy map), and a zero
+    /// leading coefficient (which silently drops the independence degree).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Result<Self, DegenerateSeed> {
+        if coeffs.is_empty() {
+            return Err(DegenerateSeed("empty coefficient vector"));
+        }
+        if coeffs.iter().any(|&c| c >= MERSENNE61) {
+            return Err(DegenerateSeed("coefficient outside GF(2^61 - 1)"));
+        }
+        if coeffs.iter().all(|&c| c == 0) {
+            return Err(DegenerateSeed("zero polynomial"));
+        }
+        if coeffs.len() >= 2 && coeffs.windows(2).all(|w| w[0] == w[1]) {
+            return Err(DegenerateSeed("all-equal pairwise coefficients"));
+        }
+        if *coeffs.last().expect("non-empty") == 0 {
+            return Err(DegenerateSeed("zero leading coefficient"));
+        }
+        Ok(Self { coeffs })
     }
 
     /// Convenience: a pairwise (2-wise) independent instance.
@@ -245,6 +303,48 @@ mod tests {
         let mut sm = SplitMix64::new(11);
         for _ in 0..10_000 {
             assert!(h.hash(sm.next_u64()) < MERSENNE61);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_rejects_degenerate_coeffs() {
+        assert_eq!(
+            MultiplyShift::from_coeffs(1, 99),
+            Err(DegenerateSeed("zero multiplier draw"))
+        );
+        assert_eq!(
+            MultiplyShift::from_coeffs(7, 7),
+            Err(DegenerateSeed("all-equal pairwise coefficients"))
+        );
+        assert_eq!(
+            MultiplyShift::from_coeffs(4, 2),
+            Err(DegenerateSeed("multiplier must be odd"))
+        );
+        assert!(MultiplyShift::from_coeffs(7, 9).is_ok());
+    }
+
+    #[test]
+    fn poly_hash_rejects_degenerate_coeffs() {
+        assert_eq!(
+            PolyHash::from_coeffs(vec![]).err(),
+            Some(DegenerateSeed("empty coefficient vector"))
+        );
+        assert!(PolyHash::from_coeffs(vec![0, 0]).is_err());
+        assert!(PolyHash::from_coeffs(vec![5, 5]).is_err());
+        assert!(PolyHash::from_coeffs(vec![5, 0]).is_err());
+        assert!(PolyHash::from_coeffs(vec![MERSENNE61, 1]).is_err());
+        assert!(PolyHash::from_coeffs(vec![5, 9]).is_ok());
+    }
+
+    #[test]
+    fn every_seed_yields_nondegenerate_draw() {
+        // Rejection sampling must terminate and produce distinct, working
+        // instances for a sweep of seeds, including the adversarial zeros.
+        for seed in (0..64).chain([u64::MAX, u64::MAX - 1]) {
+            let m = MultiplyShift::new(seed);
+            assert_eq!(m.hash(1), m.hash(1));
+            let p = PolyHash::pairwise(seed);
+            assert!(p.hash(17) < MERSENNE61);
         }
     }
 

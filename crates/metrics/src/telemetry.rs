@@ -283,6 +283,28 @@ pub enum Event {
         /// Corrupt frames rejected during the scan.
         corrupt: u64,
     },
+    /// A shard's collision-skew detector tripped: its row load factor (or
+    /// sign bias) stayed above the configured bound for consecutive epoch
+    /// views — the signature of a hash-collision flood against leaked
+    /// seeds.
+    AnomalousSkew {
+        /// Shard id.
+        shard: u32,
+        /// Load factor at trip time, in thousandths (`NaN` records as 0).
+        load_milli: u64,
+        /// Consecutive breached epoch views when the detector tripped.
+        epochs: u32,
+    },
+    /// The fleet rotated its hash seeds online (collision-flood
+    /// mitigation): every shard was rebuilt around a fresh seed, tracked
+    /// heavy keys were folded across at their decoded estimates, and the
+    /// router was re-steered with no downtime.
+    SeedRotation {
+        /// The fresh sequence band the rotated shards write into.
+        band: u64,
+        /// Wall-clock duration of the rotation (spawn → re-steer → drain).
+        duration_ns: u64,
+    },
 }
 
 impl Event {
@@ -308,6 +330,12 @@ impl Event {
                 recovered,
                 corrupt,
             } => (7, shards as u64, recovered as u64, corrupt),
+            Event::AnomalousSkew {
+                shard,
+                load_milli,
+                epochs,
+            } => (8, shard as u64, load_milli, epochs as u64),
+            Event::SeedRotation { band, duration_ns } => (9, band, duration_ns, 0),
         }
     }
 
@@ -347,6 +375,15 @@ impl Event {
                 shards: a as u32,
                 recovered: b as u32,
                 corrupt: c,
+            },
+            8 => Event::AnomalousSkew {
+                shard: a as u32,
+                load_milli: b,
+                epochs: c as u32,
+            },
+            9 => Event::SeedRotation {
+                band: a,
+                duration_ns: b,
             },
             _ => return None,
         })
@@ -392,6 +429,19 @@ impl std::fmt::Display for Event {
             } => write!(
                 f,
                 "recovered {recovered}/{shards} shards from durable store ({corrupt} corrupt frames rejected)"
+            ),
+            Event::AnomalousSkew {
+                shard,
+                load_milli,
+                epochs,
+            } => write!(
+                f,
+                "shard {shard}: anomalous collision skew (load {:.3}x balanced, {epochs} consecutive epochs)",
+                load_milli as f64 / 1000.0
+            ),
+            Event::SeedRotation { band, duration_ns } => write!(
+                f,
+                "fleet rotated hash seeds into band {band:#x} in {duration_ns} ns"
             ),
         }
     }
@@ -665,6 +715,13 @@ pub struct ShardTelemetry {
     pub generation: TelemetryCell,
     /// Sequence band this instance's frames are stamped into.
     pub seq_band: TelemetryCell,
+    /// Collision-skew load factor from the last epoch view — `max |cell|`
+    /// over balanced mean, minimized across rows (f64 bits; see
+    /// `nitro_core::anomaly`). 0 until the first epoch view.
+    pub skew_load: TelemetryCell,
+    /// Sign-bias skew from the last epoch view in `[0, 1]` (f64 bits;
+    /// `NaN` for unsigned sketches, rendered as `null` in JSON).
+    pub sign_bias: TelemetryCell,
 
     /// Per-batch processing latency (pop → sketch-applied), nanoseconds.
     pub batch_ns: LatencyHistogram,
@@ -710,6 +767,8 @@ impl ShardTelemetry {
             failed: TelemetryCell::default(),
             generation: TelemetryCell::default(),
             seq_band: TelemetryCell::default(),
+            skew_load: TelemetryCell::default(),
+            sign_bias: TelemetryCell::default(),
             batch_ns: LatencyHistogram::new(),
             persist_ns: LatencyHistogram::new(),
             delta_apply_ns: LatencyHistogram::new(),
@@ -933,6 +992,8 @@ impl TelemetryRegistry {
         let f64_gauges: &[(&str, GaugeF64Fn)] = &[
             ("nitro_ring_occupancy", |t| t.ring_occupancy.get_f64()),
             ("nitro_sampling_probability", |t| t.sampling_p.get_f64()),
+            ("nitro_skew_load_factor", |t| t.skew_load.get_f64()),
+            ("nitro_sign_bias", |t| t.sign_bias.get_f64()),
         ];
         for (name, get) in f64_gauges {
             out.push_str(&format!("# TYPE {name} gauge\n"));
@@ -1115,7 +1176,8 @@ fn json_shard(tel: &ShardTelemetry) -> String {
         "{{\"shard\":{},\"inst\":{},\"health\":{},\
          \"gauges\":{{\"ring_occupancy\":{},\"ring_capacity\":{},\"backlog\":{},\
          \"sampling_p\":{},\"mode_code\":{},\"converged\":{},\"topk_len\":{},\
-         \"breaker_open\":{},\"failed\":{},\"generation\":{},\"seq_band\":{}}},\
+         \"breaker_open\":{},\"failed\":{},\"generation\":{},\"seq_band\":{},\
+         \"skew_load\":{},\"sign_bias\":{}}},\
          \"delta\":{{\"streamed\":{},\"lagged\":{},\"applied\":{},\"rejected\":{},\"stale\":{}}},\
          \"store\":{{\"frames\":{},\"bytes\":{}}},\
          \"batch_ns\":{},\"persist_ns\":{},\"delta_apply_ns\":{}}}",
@@ -1133,6 +1195,8 @@ fn json_shard(tel: &ShardTelemetry) -> String {
         tel.failed.get(),
         tel.generation.get(),
         tel.seq_band.get(),
+        json_f64(tel.skew_load.get_f64()),
+        json_f64(tel.sign_bias.get_f64()),
         tel.delta_streamed.get(),
         tel.delta_lagged.get(),
         tel.delta_applied.get(),
@@ -1266,6 +1330,15 @@ mod tests {
                 shards: 15,
                 recovered: 14,
                 corrupt: 16,
+            },
+            Event::AnomalousSkew {
+                shard: 17,
+                load_milli: 64_250,
+                epochs: 3,
+            },
+            Event::SeedRotation {
+                band: 5 << 32,
+                duration_ns: 18,
             },
         ];
         for ev in events {

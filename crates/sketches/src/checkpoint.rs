@@ -461,4 +461,102 @@ mod tests {
         let mut d = Decoder::new(&buf, 9).unwrap();
         assert!(d.f64().unwrap().is_nan());
     }
+    // ---- Seed-band carryover properties (adversarial seed rotation) ----
+    //
+    // A seed rotation replaces every shard's hash space. Old-seed state
+    // must never bit-merge into new-seed state (the counters live in
+    // different hash spaces); what carries over instead is the *decoded*
+    // view: per-key estimates re-inserted under the new seeds. These
+    // properties pin down both halves.
+
+    use crate::Sketch as _;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Same geometry, differing seed band: `merge_compatible` must
+        /// reject, and the failed merge must leave the receiver untouched.
+        #[test]
+        fn merge_across_seed_bands_is_rejected(
+            master in 0u64..10_000,
+            band in 1u64..10_000,
+            depth in 1usize..5,
+            width_pow in 6usize..11,
+            stream in prop::collection::vec((0u64..200, 1u32..4), 1..80),
+        ) {
+            let width = 1usize << width_pow;
+            let mut a = crate::CountMin::new(depth, width, master);
+            let mut b = crate::CountMin::new(depth, width, master + band);
+            for &(k, w) in &stream {
+                a.update(k, w as f64);
+                b.update(k ^ 0x5A5A, w as f64);
+            }
+            prop_assert_eq!(
+                a.merge_compatible(&b).unwrap_err(),
+                CheckpointError::Mismatch("hash seeds")
+            );
+            let before = a.snapshot();
+            prop_assert!(a.try_merge_from(&b).is_err());
+            prop_assert_eq!(a.snapshot(), before, "failed merge must not mutate");
+
+            // The sign-sketch family rejects the same way.
+            let ca = crate::CountSketch::new(depth, width, master);
+            let cb = crate::CountSketch::new(depth, width, master + band);
+            prop_assert_eq!(
+                ca.merge_compatible(&cb).unwrap_err(),
+                CheckpointError::Mismatch("hash seeds")
+            );
+        }
+
+        /// Post-rotation carryover (decoded-estimate fold) on matching
+        /// geometry: re-inserting one decoded key into a blank new-seed
+        /// sketch is *exact*, and multi-key folds are sandwiched by the
+        /// Count-Min overestimate bound (min rule: exact up to collisions
+        /// with other folded keys, never an underestimate).
+        #[test]
+        fn decoded_fold_across_seed_bands_is_exact(
+            master in 0u64..10_000,
+            band in 1u64..10_000,
+            raw_keys in prop::collection::vec(0u64..100_000, 1..8),
+            weight in 1u32..10_000,
+        ) {
+            let depth = 4;
+            let width = 1024;
+            let mut keys = raw_keys.clone();
+            keys.sort_unstable();
+            keys.dedup();
+            let mut old = crate::CountMin::new(depth, width, master);
+            let decoded: Vec<(u64, f64)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, (weight as f64) + i as f64))
+                .collect();
+            for &(k, w) in &decoded {
+                old.update(k, w);
+            }
+
+            // Single-key fold: exact, always.
+            let (k0, _) = decoded[0];
+            let est0 = old.estimate(k0);
+            let mut solo = crate::CountMin::new(depth, width, master + band);
+            solo.update(k0, est0);
+            prop_assert_eq!(solo.estimate(k0), est0);
+
+            // Multi-key fold: never an underestimate, and bounded above by
+            // the decoded weight plus everything else folded (the min-rule
+            // collision ceiling).
+            let mut fresh = crate::CountMin::new(depth, width, master + band);
+            let total: f64 = decoded.iter().map(|&(k, _)| old.estimate(k)).sum();
+            for &(k, _) in &decoded {
+                fresh.update(k, old.estimate(k));
+            }
+            for &(k, _) in &decoded {
+                let d = old.estimate(k);
+                let e = fresh.estimate(k);
+                prop_assert!(e >= d, "fold underestimated: {} < {}", e, d);
+                prop_assert!(e <= total, "fold above collision ceiling");
+            }
+        }
+    }
 }

@@ -37,12 +37,14 @@ impl CountMin {
     /// Create a `depth × width` sketch; `seed` derives the row hashes.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
         assert!(depth >= 1 && width >= 1, "CountMin dimensions must be ≥ 1");
-        let mut sm = nitro_hash::SplitMix64::new(seed);
+        // Row seeds are streams 0..depth of the canonical SeedSequence — the
+        // derivation an adversary with a leaked master seed would replay.
+        let seq = nitro_hash::SeedSequence::new(seed);
         Self {
             depth,
             width,
             counters: vec![0.0; depth * width],
-            seeds: (0..depth).map(|_| sm.next_u64()).collect(),
+            seeds: seq.derive_n(depth),
             conservative: false,
             row_ss: vec![0.0; depth],
             total: 0.0,
@@ -222,6 +224,22 @@ impl RowSketch for CountMin {
     fn row_memory_bytes(&self) -> usize {
         self.memory_bytes()
     }
+
+    fn row_max_abs(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    fn row_abs_total(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .map(|c| c.abs())
+            .sum()
+    }
+
+    // row_signed_total: default NaN — Count-Min counters carry no sign
+    // information, so sign-bias drift is not a meaningful signal here.
 }
 
 /// "CMSK" — Count-Min checkpoint magic.

@@ -35,10 +35,13 @@ impl CountSketch {
             depth >= 1 && width >= 1,
             "CountSketch dimensions must be ≥ 1"
         );
-        let mut sm = nitro_hash::SplitMix64::new(seed);
-        let seeds: Vec<u64> = (0..depth).map(|_| sm.next_u64()).collect();
-        let signs: Vec<SignHash> = (0..depth)
-            .map(|_| SignHash::pairwise(sm.next_u64()))
+        // Row seeds are streams 0..depth and sign seeds streams
+        // depth..2·depth of the canonical SeedSequence (the same layout the
+        // adversarial generator assumes for a leaked master seed).
+        let seq = nitro_hash::SeedSequence::new(seed);
+        let seeds: Vec<u64> = seq.derive_n(depth);
+        let signs: Vec<SignHash> = (depth..2 * depth)
+            .map(|i| SignHash::pairwise(seq.derive(i as u64)))
             .collect();
         Self {
             depth,
@@ -184,6 +187,25 @@ impl RowSketch for CountSketch {
 
     fn row_memory_bytes(&self) -> usize {
         self.memory_bytes()
+    }
+
+    fn row_max_abs(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    fn row_abs_total(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .map(|c| c.abs())
+            .sum()
+    }
+
+    fn row_signed_total(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .sum()
     }
 }
 

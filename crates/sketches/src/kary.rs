@@ -32,12 +32,13 @@ impl KarySketch {
     /// Create a `depth × width` sketch; `seed` derives the row hashes.
     pub fn new(depth: usize, width: usize, seed: u64) -> Self {
         assert!(depth >= 1 && width >= 2, "K-ary needs width ≥ 2");
-        let mut sm = nitro_hash::SplitMix64::new(seed);
+        // Streams 0..depth of the canonical SeedSequence, as in CountMin.
+        let seq = nitro_hash::SeedSequence::new(seed);
         Self {
             depth,
             width,
             counters: vec![0.0; depth * width],
-            seeds: (0..depth).map(|_| sm.next_u64()).collect(),
+            seeds: seq.derive_n(depth),
             row_sums: vec![0.0; depth],
             row_ss: vec![0.0; depth],
         }
@@ -216,6 +217,22 @@ impl RowSketch for KarySketch {
     fn row_memory_bytes(&self) -> usize {
         self.memory_bytes()
     }
+
+    fn row_max_abs(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .fold(0.0, |m, c| m.max(c.abs()))
+    }
+
+    fn row_abs_total(&self, row: usize) -> f64 {
+        self.counters[row * self.width..(row + 1) * self.width]
+            .iter()
+            .map(|c| c.abs())
+            .sum()
+    }
+
+    // row_signed_total: default NaN — K-ary counters are unsigned-style
+    // (mean-corrected at query time), so sign bias is not a signal.
 }
 
 /// "KASK" — K-ary checkpoint magic.

@@ -83,6 +83,31 @@ pub trait RowSketch {
 
     /// Actual resident size of the counter state in bytes.
     fn row_memory_bytes(&self) -> usize;
+
+    /// Largest absolute counter value in `row` — the collision-skew signal.
+    ///
+    /// Under honest traffic the largest cell is bounded by the heaviest
+    /// flow (plus noise); a hash-collision flood concentrates many flows
+    /// into one cell and drives this far above the balanced-load mean.
+    /// Returns `NaN` when the sketch cannot expose per-cell state (the
+    /// default), which disables skew detection for that implementation.
+    fn row_max_abs(&self, _row: usize) -> f64 {
+        f64::NAN
+    }
+
+    /// Sum of absolute counter values in `row` (`Σ_y |C_{r,y}|`) — the
+    /// normalizer for the skew signal. `NaN` when unsupported.
+    fn row_abs_total(&self, _row: usize) -> f64 {
+        f64::NAN
+    }
+
+    /// Signed sum of counters in `row` (`Σ_y C_{r,y}`). For sign sketches
+    /// this is ≈ 0 under honest traffic and drifts toward ±`row_abs_total`
+    /// under a single-sign cover-up flood; for unsigned sketches it carries
+    /// no anomaly information and implementations return `NaN`.
+    fn row_signed_total(&self, _row: usize) -> f64 {
+        f64::NAN
+    }
 }
 
 /// A per-level frequency oracle inside [`crate::UnivMon`].

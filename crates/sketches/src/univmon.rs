@@ -58,13 +58,17 @@ impl UnivMon<CountSketch> {
     pub fn new(levels: usize, depth: usize, level_bytes: &[usize], k: usize, seed: u64) -> Self {
         assert!(levels >= 1, "UnivMon needs at least one level");
         assert!(!level_bytes.is_empty(), "need at least one level size");
+        // Per-level sketch masters come from a domain-separated fork of the
+        // canonical seed sequence; the level-sampling seed from another.
+        let seq = nitro_hash::SeedSequence::new(seed);
+        let level_seq = seq.fork(0);
         let layers = (0..levels)
             .map(|j| {
                 let bytes = *level_bytes.get(j).unwrap_or(level_bytes.last().unwrap());
-                CountSketch::with_memory(bytes, depth, seed.wrapping_add(j as u64 * 0x9E37))
+                CountSketch::with_memory(bytes, depth, level_seq.derive(j as u64))
             })
             .collect();
-        Self::from_layers(layers, k, seed ^ 0xD1B54A32D192ED03)
+        Self::from_layers(layers, k, seq.fork(1).derive(0))
     }
 
     /// The paper's evaluation configuration: 4MB/2MB/1MB/500KB for the first

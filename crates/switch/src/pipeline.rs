@@ -50,8 +50,24 @@
 //! **Fleet accounting.** Each shard maintains `offered == processed +
 //! dropped + lost_in_crash` over its slice; [`FleetHealth`] sums live and
 //! retired records alike, so the identity holds fleet-wide — across
-//! promotions and rescales — and silent loss anywhere in the fleet
-//! surfaces as a non-zero unaccounted count.
+//! promotions, rescales, and seed rotations — and silent loss anywhere in
+//! the fleet surfaces as a non-zero unaccounted count.
+//!
+//! **Adversarial hardening.** A leaked sketch seed lets an attacker craft
+//! keys that collide in one cell per row, destroying the error bound
+//! without tripping any throughput alarm. With
+//! [`PipelineConfig::skew_policy`] set, every epoch rotation measures each
+//! shard's per-row collision skew (`nitro_core::anomaly`), exports it as
+//! the `nitro_skew_load_factor` / `nitro_sign_bias` gauges, and journals
+//! an `AnomalousSkew` event when the policy trips.
+//! [`ShardedPipeline::rotate_seeds`] answers online: the whole fleet is
+//! respawned around fresh hash seeds (riding the rescale re-steer
+//! machinery), tracked heavy keys carry across at their decoded estimates
+//! — bit-exact counter merges are impossible between seed spaces — and
+//! the old shards drain and fold the same way. With
+//! `SkewPolicy::auto_rotate` and a reseed hook installed
+//! ([`ShardedPipeline::set_reseed`]), detection triggers rotation with no
+//! operator in the loop.
 
 use crate::faults::ThreadFaultPlan;
 use crate::ovs::Measurement;
@@ -59,7 +75,7 @@ use crate::replica::{spawn_standby, ReplicaConfig, StandbyHandle};
 use crate::shard::{Shard, ShardStaleness};
 use crate::store::{CheckpointStore, RecoveryReport, SinkHandle, StoreConfig, StoreError};
 use crate::supervisor::{spawn_supervised, SupervisedTap, SupervisorConfig, SupervisorError};
-use nitro_core::NitroSketch;
+use nitro_core::{NitroSketch, SkewPolicy, SkewTracker};
 use nitro_hash::xxhash::xxh64_u64;
 use nitro_metrics::telemetry::{Event, TelemetryRegistry};
 use nitro_metrics::{CircuitBreaker, DaemonHealth, FleetHealth};
@@ -113,6 +129,13 @@ pub struct PipelineConfig {
     /// standby — instead of serving degraded — when the shard's restart
     /// budget is spent or its circuit breaker trips.
     pub replicate: Option<ReplicaConfig>,
+    /// Collision-skew anomaly detection: when set, every epoch rotation
+    /// measures each shard's per-row skew, publishes it to the shard's
+    /// telemetry gauges, and journals an `AnomalousSkew` event once the
+    /// policy trips. With [`nitro_core::SkewPolicy::auto_rotate`] and a
+    /// reseed hook ([`ShardedPipeline::set_reseed`]) the trip also drives
+    /// an automatic [`ShardedPipeline::rotate_seeds`].
+    pub skew_policy: Option<SkewPolicy>,
 }
 
 impl Default for PipelineConfig {
@@ -125,6 +148,7 @@ impl Default for PipelineConfig {
             fault_plans: Vec::new(),
             store: None,
             replicate: None,
+            skew_policy: None,
         }
     }
 }
@@ -153,6 +177,10 @@ pub enum PipelineError {
     },
     /// The durable checkpoint store could not be opened or recovered.
     Store(StoreError),
+    /// A seed rotation was rejected before touching the fleet (e.g. the
+    /// reseed factory reproduced the old hash seeds, so rotating would
+    /// change nothing).
+    Rotation(&'static str),
 }
 
 impl fmt::Display for PipelineError {
@@ -164,6 +192,7 @@ impl fmt::Display for PipelineError {
                 write!(f, "merging shard {shard}: {source}")
             }
             PipelineError::Store(source) => write!(f, "durable store: {source}"),
+            PipelineError::Rotation(reason) => write!(f, "seed rotation rejected: {reason}"),
         }
     }
 }
@@ -175,6 +204,7 @@ impl std::error::Error for PipelineError {
             PipelineError::Shard { source, .. } => Some(source),
             PipelineError::Merge { source, .. } => Some(source),
             PipelineError::Store(source) => Some(source),
+            PipelineError::Rotation(_) => None,
         }
     }
 }
@@ -474,9 +504,25 @@ where
     }
 }
 
-/// A shard re-steered away from (replaced primary or rescaled-away
-/// worker), still draining its ring until the producer acknowledges the
-/// route change.
+/// What happens to a draining shard's final sketch when it is reaped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DrainMode {
+    /// Replaced primary: the promoted standby already carries its state —
+    /// merging its final sketch as well would double-count.
+    Discard,
+    /// Rescaled-away shard: its traffic lives nowhere else, so its final
+    /// sketch bit-merges exactly into the carryover.
+    MergeExact,
+    /// Rotated-away shard: its counters live in the *old* hash seed space,
+    /// so a bit-exact merge is impossible — its tracked heavy keys fold
+    /// into the carryover at their decoded robust estimates instead
+    /// (`NitroSketch::fold_decoded_from`).
+    FoldDecoded,
+}
+
+/// A shard re-steered away from (replaced primary, rescaled-away worker,
+/// or rotated-away worker), still draining its ring until the producer
+/// acknowledges the route change.
 struct DrainingShard<S>
 where
     S: RowSketch + Checkpoint + Clone + Send + 'static,
@@ -485,11 +531,13 @@ where
     /// The router version whose ack proves no further offers can reach
     /// this shard's ring.
     drain_after: u64,
-    /// Fold the final sketch into the carryover? True for rescaled-away
-    /// shards (their traffic lives nowhere else); false for replaced
-    /// primaries (the promoted standby already carries their state —
-    /// merging would double-count).
-    merge_state: bool,
+    /// How the final sketch folds into the carryover.
+    mode: DrainMode,
+    /// Blank geometry-defining instance this shard's checkpoints restore
+    /// into. Captured at re-steer time: after a seed rotation the fleet
+    /// template lives in a *different* hash space, and an old-seed
+    /// checkpoint only restores into its own.
+    template: NitroSketch<S>,
 }
 
 /// The running fleet: N shards plus the epoch coordinator state.
@@ -517,11 +565,25 @@ where
     snapshot_timeout: Duration,
     spawner: ShardSpawner<S>,
     router: Arc<Router>,
-    /// Next sequence band (multiples of 2^32): every promotion or rescale
-    /// moves the affected shards into a fresh, higher band so their new
-    /// frames shadow any older frame in the same shard directory.
+    /// Next sequence band (multiples of 2^32): every promotion, rescale,
+    /// or seed rotation moves the affected shards into a fresh, higher
+    /// band so their new frames shadow any older frame in the same shard
+    /// directory.
     next_band: u64,
     promotions: u64,
+    /// Collision-skew detection policy (None = detection off).
+    skew_policy: Option<SkewPolicy>,
+    /// Per-shard consecutive-breach trackers, reset on rotation.
+    skew_trackers: Vec<SkewTracker>,
+    /// Per-shard "already journaled this trip" latch, so a persisting
+    /// breach journals once per trip instead of once per epoch.
+    skew_tripped: Vec<bool>,
+    /// Reseed hook for automatic rotation: `(rotation ordinal, shard)` →
+    /// fresh-seed measurement. Installed via
+    /// [`ShardedPipeline::set_reseed`].
+    #[allow(clippy::type_complexity)]
+    reseed: Option<Arc<dyn Fn(u64, usize) -> NitroSketch<S> + Send + Sync>>,
+    seed_rotations: u64,
 }
 
 impl<S> ShardedPipeline<S>
@@ -583,6 +645,35 @@ where
     /// Standby promotions performed so far.
     pub fn promotions(&self) -> u64 {
         self.promotions
+    }
+
+    /// Online seed rotations performed so far (manual and automatic).
+    pub fn seed_rotations(&self) -> u64 {
+        self.seed_rotations
+    }
+
+    /// Shard ids whose skew detector is currently tripped (empty when
+    /// detection is off or nothing tripped).
+    pub fn skew_tripped(&self) -> Vec<usize> {
+        self.skew_tripped
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| t.then_some(i))
+            .collect()
+    }
+
+    /// Install the reseed hook automatic rotation uses: `hook(n, shard)`
+    /// must build shard `shard`'s blank measurement for the `n`-th
+    /// rotation, under hash seeds that differ from every earlier
+    /// generation (derive them from a fresh entropy draw or an
+    /// [`nitro_hash::SeedSequence`] stream keyed by `n`). Without a hook,
+    /// a tripped [`SkewPolicy::auto_rotate`] policy only journals the
+    /// anomaly.
+    pub fn set_reseed<F>(&mut self, hook: F)
+    where
+        F: Fn(u64, usize) -> NitroSketch<S> + Send + Sync + 'static,
+    {
+        self.reseed = Some(Arc::new(hook));
     }
 
     /// The fleet's telemetry plane: live and retired shard instances, the
@@ -740,9 +831,8 @@ where
         self.draining.push(DrainingShard {
             shard: old,
             drain_after: version,
-            // The shadow already carries the replaced primary's state —
-            // merging its final sketch as well would double-count.
-            merge_state: false,
+            mode: DrainMode::Discard,
+            template: self.template.clone(),
         });
         self.breakers[shard].reset();
         self.probes[shard] = (0, 0);
@@ -811,13 +901,119 @@ where
             self.draining.push(DrainingShard {
                 shard: old,
                 drain_after: version,
-                merge_state: true,
+                mode: DrainMode::MergeExact,
+                template: self.template.clone(),
             });
         }
         for standby in old_standbys.into_iter().flatten() {
             // Old shadows are superseded by the drain-and-merge path.
             let _ = standby.stop();
         }
+        self.skew_trackers = vec![SkewTracker::default(); new_shards];
+        self.skew_tripped = vec![false; new_shards];
+        Ok(())
+    }
+
+    /// Rotate the fleet onto fresh hash seeds while it runs — the online
+    /// mitigation for a leaked-seed collision flood.
+    ///
+    /// `factory(i)` must build shard `i`'s blank measurement with the
+    /// **same sketch geometry** (depth × width, same top-k setting) under
+    /// **different hash seeds**; both are checked before any thread is
+    /// touched and a violation is rejected as a typed error with the old
+    /// fleet untouched. The rotation then rides the rescale machinery:
+    /// fresh shards (and standbys) spin up blank in a new sequence band,
+    /// the dispatcher re-steers at a packet boundary, and the old shards
+    /// drain epoch-by-epoch. Counters cannot bit-merge across seed spaces,
+    /// so state carries over at the *decoded* level: the old carryover's
+    /// and each drained shard's tracked heavy keys re-insert into the new
+    /// space at their robust estimates ([`NitroSketch::fold_decoded_from`])
+    /// — heavy hitters survive the rotation, the small-flow noise floor
+    /// resets, and the attacker's precomputed collision sets go stale.
+    /// Queries keep answering throughout; the fleet accounting identity
+    /// holds exactly because drained shards retire through the same
+    /// acknowledged-route path as a rescale.
+    pub fn rotate_seeds<F>(&mut self, factory: F) -> Result<(), PipelineError>
+    where
+        F: Fn(usize) -> NitroSketch<S> + Send + Sync + 'static,
+    {
+        // Promote any failed primary first so its standby's state is not
+        // lost to the generic drain path.
+        self.probe_and_promote()?;
+        let started = Instant::now();
+        let n = self.shards.len();
+        let new_template = factory(0);
+        // Geometry must carry over (the decoded fold needs equal
+        // depth × width)…
+        new_template
+            .clone()
+            .fold_decoded_from(&self.template)
+            .map_err(|_| PipelineError::Rotation("factory changes the sketch geometry"))?;
+        // …and the seeds must actually change: a factory whose blank
+        // sketches bit-merge with the old template rotates nothing and
+        // would leave the leaked seeds live.
+        if new_template.clone().try_merge_from(&self.template).is_ok() {
+            return Err(PipelineError::Rotation(
+                "factory reproduces the old hash seeds",
+            ));
+        }
+        let band = self.alloc_band();
+        // New spawns — shards, panic-rebuilds, and standby shadows alike —
+        // must all come from the new-seed factory.
+        self.spawner.factory = Arc::new(factory);
+        // Carry the old carryover's tracked keys into the new seed space.
+        let mut carry = new_template.clone();
+        carry
+            .fold_decoded_from(&self.carryover)
+            .expect("geometry verified against the old template above");
+        let mut taps = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(n);
+        let mut standbys = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tap, shard, standby) = self.spawner.spawn(i, (self.spawner.factory)(i), band);
+            taps.push(tap);
+            shards.push(shard);
+            standbys.push(standby);
+        }
+        let old_shards = std::mem::replace(&mut self.shards, shards);
+        let old_standbys = std::mem::replace(&mut self.standbys, standbys);
+        self.probes = vec![(0, 0); n];
+        self.breakers = (0..n)
+            .map(|_| CircuitBreaker::new(self.spawner.breaker_threshold()))
+            .collect();
+        let version = self.router.publish(RouteUpdate::Resize { taps });
+        let old_template = std::mem::replace(&mut self.template, new_template);
+        self.carryover = carry;
+        // A shard already draining (from an in-flight rescale) holds
+        // old-seed state too; its bit-exact merge target no longer exists,
+        // so it folds decoded like the rotated-away shards.
+        for d in &mut self.draining {
+            if d.mode == DrainMode::MergeExact {
+                d.mode = DrainMode::FoldDecoded;
+            }
+        }
+        for old in old_shards {
+            self.spawner.registry.retire(old.telemetry());
+            self.draining.push(DrainingShard {
+                shard: old,
+                drain_after: version,
+                mode: DrainMode::FoldDecoded,
+                template: old_template.clone(),
+            });
+        }
+        for standby in old_standbys.into_iter().flatten() {
+            // Old shadows hold old-seed state; the drain-and-fold path
+            // supersedes them.
+            let _ = standby.stop();
+        }
+        // Fresh hash space: the detector starts over.
+        self.skew_trackers = vec![SkewTracker::default(); n];
+        self.skew_tripped = vec![false; n];
+        self.seed_rotations += 1;
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        self.spawner
+            .registry
+            .record(Event::SeedRotation { band, duration_ns });
         Ok(())
     }
 
@@ -851,7 +1047,8 @@ where
     /// Retire every draining shard whose route change the producer has
     /// acknowledged: finish it (the drain is bounded — no new offers can
     /// reach its ring), fold its final sketch into the carryover when it
-    /// owns its traffic, and keep its health record.
+    /// owns its traffic (bit-exact for rescaled-away shards, decoded for
+    /// rotated-away ones), and keep its health record.
     fn reap_draining(&mut self) -> Result<(), PipelineError> {
         let acked = self.router.acked();
         let mut keep = Vec::new();
@@ -860,17 +1057,21 @@ where
                 keep.push(d);
                 continue;
             }
-            let index = d.shard.index();
-            let fallback = if d.merge_state && d.shard.is_failed() {
-                d.shard.latest_checkpoint().map(|v| v.bytes)
+            let DrainingShard {
+                shard,
+                mode,
+                template,
+                ..
+            } = d;
+            let index = shard.index();
+            let fallback = if mode != DrainMode::Discard && shard.is_failed() {
+                shard.latest_checkpoint().map(|v| v.bytes)
             } else {
                 None
             };
-            match d.shard.finish() {
+            match shard.finish() {
                 Ok((m, health)) => {
-                    if d.merge_state {
-                        self.merge_into_carryover(index, |c| c.try_merge_from(&m))?;
-                    }
+                    self.fold_into_carryover(index, mode, &m)?;
                     self.retired.push(health);
                 }
                 Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
@@ -879,8 +1080,14 @@ where
                     // state — same degraded fallback `finish_degraded`
                     // uses, applied mid-flight.
                     if let Some(bytes) = fallback {
-                        let restored = self.restore_template(index, &bytes)?;
-                        self.merge_into_carryover(index, |c| c.try_merge_from(&restored))?;
+                        let mut restored = template.clone();
+                        restored
+                            .restore(&bytes)
+                            .map_err(|source| PipelineError::Merge {
+                                shard: index,
+                                source,
+                            })?;
+                        self.fold_into_carryover(index, mode, &restored)?;
                     }
                     self.retired.push(health);
                 }
@@ -894,6 +1101,23 @@ where
         }
         self.draining = keep;
         Ok(())
+    }
+
+    /// Fold a drained shard's final (or checkpoint-restored) sketch into
+    /// the carryover according to its drain mode.
+    fn fold_into_carryover(
+        &mut self,
+        shard: usize,
+        mode: DrainMode,
+        m: &NitroSketch<S>,
+    ) -> Result<(), PipelineError> {
+        match mode {
+            DrainMode::Discard => Ok(()),
+            DrainMode::MergeExact => self.merge_into_carryover(shard, |c| c.try_merge_from(m)),
+            DrainMode::FoldDecoded => {
+                self.merge_into_carryover(shard, |c| c.fold_decoded_from(m).map(|_| ()))
+            }
+        }
     }
 
     fn restore_template(
@@ -932,48 +1156,99 @@ where
             .try_merge_from(&self.carryover)
             .expect("carryover is template-derived and always geometry-compatible");
         let mut staleness = Vec::with_capacity(self.shards.len() + self.draining.len());
-        for shard in &self.shards {
-            let Some((bytes, stale)) = shard.epoch_snapshot(self.snapshot_timeout) else {
+        for idx in 0..self.shards.len() {
+            let Some((bytes, stale)) = self.shards[idx].epoch_snapshot(self.snapshot_timeout)
+            else {
                 // Unreachable for pipeline-spawned shards (a pristine
                 // checkpoint exists from spawn), but keep the error honest.
                 return Err(PipelineError::Merge {
-                    shard: shard.index(),
+                    shard: self.shards[idx].index(),
                     source: CheckpointError::Mismatch("missing checkpoint"),
                 });
             };
-            let restored = self.restore_template(shard.index(), &bytes)?;
+            let shard_id = self.shards[idx].index();
+            let restored = self.restore_template(shard_id, &bytes)?;
+            self.observe_skew(idx, &restored);
             merged
                 .try_merge_from(&restored)
                 .map_err(|source| PipelineError::Merge {
-                    shard: shard.index(),
+                    shard: shard_id,
                     source,
                 })?;
             staleness.push(stale);
         }
-        // Still-draining rescaled-away shards own their traffic until
-        // reaped: snapshot and fold them too. (Replaced primaries are
-        // skipped — the promoted standby already serves their state.)
+        // Still-draining rescaled- or rotated-away shards own their
+        // traffic until reaped: snapshot and fold them too. (Replaced
+        // primaries are skipped — the promoted standby already serves
+        // their state.)
         for d in &self.draining {
-            if !d.merge_state {
+            if d.mode == DrainMode::Discard {
                 continue;
             }
             let Some((bytes, stale)) = d.shard.epoch_snapshot(self.snapshot_timeout) else {
                 continue;
             };
-            let restored = self.restore_template(d.shard.index(), &bytes)?;
-            merged
-                .try_merge_from(&restored)
+            let index = d.shard.index();
+            let mut restored = d.template.clone();
+            restored
+                .restore(&bytes)
                 .map_err(|source| PipelineError::Merge {
-                    shard: d.shard.index(),
+                    shard: index,
                     source,
                 })?;
+            match d.mode {
+                DrainMode::Discard => unreachable!("filtered above"),
+                DrainMode::MergeExact => merged.try_merge_from(&restored).map(|_| 0),
+                DrainMode::FoldDecoded => merged.fold_decoded_from(&restored),
+            }
+            .map_err(|source| PipelineError::Merge {
+                shard: index,
+                source,
+            })?;
             staleness.push(stale);
+        }
+        // A tripped auto-rotate policy rotates *after* the view is built:
+        // this view is complete in the old space, the next one starts from
+        // the fresh-seed fleet plus the decoded carryover.
+        if let (Some(policy), Some(hook)) = (self.skew_policy, self.reseed.clone()) {
+            if policy.auto_rotate && self.skew_tripped.iter().any(|&t| t) {
+                let n = self.seed_rotations + 1;
+                self.rotate_seeds(move |i| hook(n, i))?;
+            }
         }
         Ok(MergedView {
             epoch: self.epoch,
             sketch: merged,
             staleness,
         })
+    }
+
+    /// Measure one live shard's collision skew on its epoch snapshot,
+    /// publish the gauges, and journal `AnomalousSkew` on the epoch the
+    /// detector trips (once per trip, re-armed when the breach clears or
+    /// the seeds rotate).
+    fn observe_skew(&mut self, idx: usize, restored: &NitroSketch<S>) {
+        let Some(policy) = self.skew_policy else {
+            return;
+        };
+        let skew = restored.skew();
+        let load = skew.load_factor();
+        let tel = self.shards[idx].telemetry();
+        tel.skew_load.set_f64(load);
+        tel.sign_bias.set_f64(skew.sign_bias());
+        let tripped = self.skew_trackers[idx].observe(&policy, &skew);
+        if tripped && !self.skew_tripped[idx] {
+            self.spawner.registry.record(Event::AnomalousSkew {
+                shard: self.shards[idx].index() as u32,
+                load_milli: if load.is_finite() && load > 0.0 {
+                    (load * 1000.0) as u64
+                } else {
+                    0
+                },
+                epochs: self.skew_trackers[idx].streak(),
+            });
+        }
+        self.skew_tripped[idx] = tripped;
     }
 
     /// Stop every shard (live and draining), drain the rings, merge the
@@ -999,17 +1274,7 @@ where
             .into_iter()
             .map(|s| (s.index(), s.finish()))
             .collect();
-        let drained: Vec<(usize, bool, Option<Vec<u8>>, _)> = draining
-            .into_iter()
-            .map(|d| {
-                let fallback = if d.merge_state && d.shard.is_failed() {
-                    d.shard.latest_checkpoint().map(|v| v.bytes)
-                } else {
-                    None
-                };
-                (d.shard.index(), d.merge_state, fallback, d.shard.finish())
-            })
-            .collect();
+        let drained: Vec<DrainedOutcome<S>> = draining.into_iter().map(drain_outcome).collect();
         for standby in standbys.into_iter().flatten() {
             let _ = standby.stop();
         }
@@ -1031,34 +1296,22 @@ where
                 })?;
             fleet.push(health);
         }
-        for (index, merge_state, fallback, result) in drained {
+        for (index, mode, drain_template, fallback, result) in drained {
             match result {
                 Ok((m, health)) => {
-                    if merge_state {
-                        merged
-                            .try_merge_from(&m)
-                            .map_err(|source| PipelineError::Merge {
-                                shard: index,
-                                source,
-                            })?;
-                    }
+                    fold_final(&mut merged, mode, &m, index)?;
                     fleet.push_retired(health);
                 }
                 Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
                     if let Some(bytes) = fallback {
-                        let mut restored = template.clone();
+                        let mut restored = drain_template.clone();
                         restored
                             .restore(&bytes)
                             .map_err(|source| PipelineError::Merge {
                                 shard: index,
                                 source,
                             })?;
-                        merged.try_merge_from(&restored).map_err(|source| {
-                            PipelineError::Merge {
-                                shard: index,
-                                source,
-                            }
-                        })?;
+                        fold_final(&mut merged, mode, &restored, index)?;
                     }
                     fleet.push_retired(health);
                 }
@@ -1109,17 +1362,7 @@ where
                 (s.index(), fallback, s.finish())
             })
             .collect();
-        let drained: Vec<(usize, bool, Option<Vec<u8>>, _)> = draining
-            .into_iter()
-            .map(|d| {
-                let fallback = if d.merge_state && d.shard.is_failed() {
-                    d.shard.latest_checkpoint().map(|v| v.bytes)
-                } else {
-                    None
-                };
-                (d.shard.index(), d.merge_state, fallback, d.shard.finish())
-            })
-            .collect();
+        let drained: Vec<DrainedOutcome<S>> = draining.into_iter().map(drain_outcome).collect();
         for standby in standbys.into_iter().flatten() {
             let _ = standby.stop();
         }
@@ -1167,34 +1410,22 @@ where
                 }
             }
         }
-        for (index, merge_state, fallback, result) in drained {
+        for (index, mode, drain_template, fallback, result) in drained {
             match result {
                 Ok((m, health)) => {
-                    if merge_state {
-                        merged
-                            .try_merge_from(&m)
-                            .map_err(|source| PipelineError::Merge {
-                                shard: index,
-                                source,
-                            })?;
-                    }
+                    fold_final(&mut merged, mode, &m, index)?;
                     fleet.push_retired(health);
                 }
                 Err(SupervisorError::RestartBudgetExhausted { health, .. }) => {
                     if let Some(bytes) = fallback {
-                        let mut restored = template.clone();
+                        let mut restored = drain_template.clone();
                         restored
                             .restore(&bytes)
                             .map_err(|source| PipelineError::Merge {
                                 shard: index,
                                 source,
                             })?;
-                        merged.try_merge_from(&restored).map_err(|source| {
-                            PipelineError::Merge {
-                                shard: index,
-                                source,
-                            }
-                        })?;
+                        fold_final(&mut merged, mode, &restored, index)?;
                     }
                     fleet.push_retired(health);
                 }
@@ -1211,6 +1442,58 @@ where
         }
         Ok((merged, fleet, degraded))
     }
+}
+
+/// What one draining shard contributes at shutdown: its index, drain
+/// mode, restore template, degraded-fallback checkpoint, and join result.
+type DrainedOutcome<S> = (
+    usize,
+    DrainMode,
+    NitroSketch<S>,
+    Option<Vec<u8>>,
+    Result<(NitroSketch<S>, DaemonHealth), SupervisorError>,
+);
+
+/// Stop one draining shard, capturing everything the shutdown merge
+/// needs before the handle is consumed.
+fn drain_outcome<S>(d: DrainingShard<S>) -> DrainedOutcome<S>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    let fallback = if d.mode != DrainMode::Discard && d.shard.is_failed() {
+        d.shard.latest_checkpoint().map(|v| v.bytes)
+    } else {
+        None
+    };
+    (
+        d.shard.index(),
+        d.mode,
+        d.template,
+        fallback,
+        d.shard.finish(),
+    )
+}
+
+/// Fold one drained shard's final (or restored) sketch into the shutdown
+/// merge according to its drain mode.
+fn fold_final<S>(
+    merged: &mut NitroSketch<S>,
+    mode: DrainMode,
+    m: &NitroSketch<S>,
+    index: usize,
+) -> Result<(), PipelineError>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    match mode {
+        DrainMode::Discard => Ok(()),
+        DrainMode::MergeExact => merged.try_merge_from(m),
+        DrainMode::FoldDecoded => merged.fold_decoded_from(m).map(|_| ()),
+    }
+    .map_err(|source| PipelineError::Merge {
+        shard: index,
+        source,
+    })
 }
 
 /// Spawn a sharded measurement pipeline.
@@ -1315,6 +1598,11 @@ where
             router,
             next_band: 1,
             promotions: 0,
+            skew_policy: config.skew_policy,
+            skew_trackers: vec![SkewTracker::default(); config.shards],
+            skew_tripped: vec![false; config.shards],
+            reseed: None,
+            seed_rotations: 0,
         },
     ))
 }

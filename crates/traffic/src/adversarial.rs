@@ -1,0 +1,751 @@
+//! Seed-aware adversarial workloads — the attacker's half of the
+//! robustness story.
+//!
+//! The sketches in this repository hash flow keys with per-row xxHash64
+//! seeds derived from one master seed via [`nitro_hash::SeedSequence`]. If
+//! that master leaks (a config file, a checkpoint, a memory disclosure), an
+//! attacker can re-derive every row seed and synthesize traffic that the
+//! sketch mis-measures *by construction*:
+//!
+//! - [`CollisionFlood`] — keys chosen to land in a victim's counter cell,
+//!   inflating the victim's estimate and concentrating load into one cell
+//!   per row (the signal `nitro_core::anomaly` detects).
+//! - [`CoverUp`] — sign-aware colliders that *subtract* from a heavy
+//!   victim's Count-Sketch cells, hiding it from heavy-hitter reports.
+//! - [`HhEvasion`] — a "mole" flow that splits its volume across epochs to
+//!   stay under every per-epoch heavy-hitter threshold while being heavy in
+//!   aggregate.
+//! - [`SpoofedRamp`] — a spoofed-source DDoS whose attack share ramps up
+//!   gradually (extending [`crate::ddos::DdosAttack`], whose share is
+//!   constant), defeating naive step-change detectors.
+//!
+//! Every generator is deterministic from its seed and emits
+//! [`PacketRecord`]s, so [`crate::GroundTruth`] pairs with each one to make
+//! recall/ARE degradation measurable. Key search happens at construction
+//! (expected ~`width` candidates per single-row collider, ~`width^k` for
+//! `k`-row colliders — keep `k` small or rows narrow in tests).
+
+use crate::ground_truth::GroundTruth;
+use crate::sizes::PacketSizeMix;
+use crate::zipf::Zipf;
+use nitro_hash::xxhash::xxh64_u64;
+use nitro_hash::{reduce, SeedSequence, SignHash, Xoshiro256StarStar};
+use nitro_sketches::FlowKey;
+use nitro_switch::five_tuple::FiveTuple;
+use nitro_switch::nic::PacketRecord;
+
+/// Namespace offset for adversarial candidate tuples, far from the
+/// background namespaces used by the honest generators.
+const ATTACK_NAMESPACE: u64 = 1 << 43;
+
+/// The per-row hash state an attacker reconstructs from a leaked master
+/// seed — exactly the derivation `CountMin::new` / `CountSketch::new`
+/// perform ([`SeedSequence`] streams `0..depth` for row seeds, streams
+/// `depth..2·depth` for Count-Sketch sign seeds).
+#[derive(Clone, Debug)]
+pub struct LeakedSeeds {
+    row_seeds: Vec<u64>,
+    signs: Option<Vec<SignHash>>,
+    width: usize,
+}
+
+impl LeakedSeeds {
+    /// Reconstruct a Count-Min / K-ary row layout (no sign hashes).
+    pub fn count_min(master: u64, depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        Self {
+            row_seeds: SeedSequence::new(master).derive_n(depth),
+            signs: None,
+            width,
+        }
+    }
+
+    /// Reconstruct a Count-Sketch layout (row + sign hashes), enabling
+    /// sign-aware cover-up attacks.
+    pub fn count_sketch(master: u64, depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1);
+        let seq = SeedSequence::new(master);
+        let signs = (depth..2 * depth)
+            .map(|i| SignHash::pairwise(seq.derive(i as u64)))
+            .collect();
+        Self {
+            row_seeds: seq.derive_n(depth),
+            signs: Some(signs),
+            width,
+        }
+    }
+
+    /// Rows in the reconstructed layout.
+    pub fn depth(&self) -> usize {
+        self.row_seeds.len()
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cell `key` occupies in `row` — identical to the sketch's own
+    /// indexing (`reduce(xxh64(key, seed_r), w)`).
+    #[inline]
+    pub fn cell(&self, row: usize, key: FlowKey) -> usize {
+        reduce(xxh64_u64(key, self.row_seeds[row]), self.width)
+    }
+
+    /// The ±1 sign `key` carries in `row` (Count-Sketch layouts only).
+    #[inline]
+    pub fn sign(&self, row: usize, key: FlowKey) -> i64 {
+        self.signs.as_ref().expect("sign hashes not leaked")[row].sign(key)
+    }
+
+    /// How many rows of `key` collide with `victim`'s cells.
+    pub fn colliding_rows(&self, victim: FlowKey, key: FlowKey) -> usize {
+        (0..self.depth())
+            .filter(|&r| self.cell(r, key) == self.cell(r, victim))
+            .count()
+    }
+
+    /// Search synthetic tuples whose flow keys collide with `victim` in at
+    /// least `min_rows` rows. Expected cost ≈ `count · width^min_rows`
+    /// candidate hashes — keep `min_rows` at 1 (see
+    /// [`Self::row_colliders`]) or rows narrow when calling with ≥ 2.
+    pub fn colliders(&self, victim: FlowKey, min_rows: usize, count: usize) -> Vec<FiveTuple> {
+        assert!(min_rows >= 1 && min_rows <= self.depth());
+        let mut out = Vec::with_capacity(count);
+        let mut i = 0u64;
+        // Generous deterministic search budget; expectation is ~width^min_rows
+        // candidates per hit.
+        let budget = (count as u64 + 8)
+            .saturating_mul((self.width as u64).saturating_pow(min_rows as u32))
+            .saturating_mul(64);
+        while out.len() < count && i < budget {
+            let t = FiveTuple::synthetic(ATTACK_NAMESPACE + i);
+            let k = t.flow_key();
+            if k != victim && self.colliding_rows(victim, k) >= min_rows {
+                out.push(t);
+            }
+            i += 1;
+        }
+        assert!(
+            out.len() == count,
+            "collider search exhausted budget: {}/{count} found",
+            out.len()
+        );
+        out
+    }
+
+    /// Search `count` tuples per row that collide with `victim` in that
+    /// specific row (the classic Count-Min attack: the per-row sets jointly
+    /// cover every row at ~`width` candidates per key). When `negate` is
+    /// set (Count-Sketch layouts), each key must additionally carry the
+    /// opposite sign of the victim in its target row, so its traffic
+    /// *subtracts* from the victim's cell.
+    pub fn row_colliders(
+        &self,
+        victim: FlowKey,
+        per_row: usize,
+        negate: bool,
+    ) -> Vec<Vec<FiveTuple>> {
+        let mut out: Vec<Vec<FiveTuple>> = vec![Vec::with_capacity(per_row); self.depth()];
+        let mut found = 0usize;
+        let want = per_row * self.depth();
+        let mut i = 0u64;
+        let budget = (want as u64 + 8)
+            .saturating_mul(self.width as u64)
+            .saturating_mul(if negate { 128 } else { 64 });
+        while found < want && i < budget {
+            let t = FiveTuple::synthetic(ATTACK_NAMESPACE + i);
+            let k = t.flow_key();
+            i += 1;
+            if k == victim {
+                continue;
+            }
+            for (r, row_set) in out.iter_mut().enumerate() {
+                if row_set.len() < per_row && self.cell(r, k) == self.cell(r, victim) {
+                    if negate && self.sign(r, k) != -self.sign(r, victim) {
+                        continue;
+                    }
+                    row_set.push(t);
+                    found += 1;
+                    break;
+                }
+            }
+        }
+        assert!(
+            found == want,
+            "row-collider search exhausted budget: {found}/{want} found"
+        );
+        out
+    }
+}
+
+/// A seed-aware hash-collision flood over honest Zipf background traffic.
+///
+/// An `attack_frac` share of packets cycles through per-row collider sets
+/// for the victim key: every row of the sketch has one cell absorbing
+/// ~`attack_frac / depth` of total traffic, which (a) inflates the victim's
+/// estimate in every row — the median estimator offers no protection — and
+/// (b) drives the per-row load factor to ~`attack_frac/depth · width`,
+/// which is what the skew detector keys on.
+#[derive(Clone, Debug)]
+pub struct CollisionFlood {
+    background: Zipf,
+    sizes: PacketSizeMix,
+    rng: Xoshiro256StarStar,
+    attack: Vec<FiveTuple>,
+    attack_frac: f64,
+    victim: FlowKey,
+    next_attack: usize,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+/// Offset so flood background flows reuse the DDoS background namespace
+/// shape without colliding with the attack candidates.
+const FLOOD_BG_NAMESPACE: u64 = 1 << 42;
+
+/// The five-tuple behind Zipf rank `rank` (1 = most popular) of the honest
+/// background shared by every adversarial generator in this module — so a
+/// test can pick a *real* background flow as the attack victim and measure
+/// its estimate against non-zero ground truth.
+pub fn background_tuple(rank: u64) -> FiveTuple {
+    assert!(rank >= 1, "Zipf ranks start at 1");
+    FiveTuple::synthetic(FLOOD_BG_NAMESPACE + rank - 1)
+}
+
+impl CollisionFlood {
+    /// Build a flood against `victim` using leaked per-row seeds:
+    /// `per_row` collider keys per sketch row, `attack_frac` of the stream
+    /// cycling through them, the rest honest Zipf(1.05) over `bg_flows`.
+    pub fn new(
+        leaked: &LeakedSeeds,
+        victim: FlowKey,
+        seed: u64,
+        bg_flows: u64,
+        attack_frac: f64,
+        per_row: usize,
+    ) -> Self {
+        assert!(per_row >= 1);
+        let attack: Vec<FiveTuple> = if attack_frac > 0.0 {
+            leaked
+                .row_colliders(victim, per_row, false)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self::from_attack_set(attack, victim, seed, bg_flows, attack_frac)
+    }
+
+    /// Build a flood whose every collider key lands in the victim's cell in
+    /// **all** rows simultaneously ([`LeakedSeeds::colliders`] with
+    /// `min_rows = depth`). Stronger than the per-row flood against a
+    /// *sharded* fleet: wherever the dispatcher sends a collider, its full
+    /// volume concentrates into the victim's cell of every row of that
+    /// shard's sketch — so per-shard skew detection (which floors at the
+    /// weakest row) sees the attack everywhere. Key search costs
+    /// ~`width^depth` candidates per key, so keep the rows narrow (tests
+    /// use depth 2 × width ≤ 2048). `attack_frac == 0` skips the search
+    /// and yields the honest control with the identical background.
+    pub fn full_depth(
+        leaked: &LeakedSeeds,
+        victim: FlowKey,
+        seed: u64,
+        bg_flows: u64,
+        attack_frac: f64,
+        keys: usize,
+    ) -> Self {
+        assert!(keys >= 1);
+        let attack = if attack_frac > 0.0 {
+            leaked.colliders(victim, leaked.depth(), keys)
+        } else {
+            Vec::new()
+        };
+        Self::from_attack_set(attack, victim, seed, bg_flows, attack_frac)
+    }
+
+    fn from_attack_set(
+        attack: Vec<FiveTuple>,
+        victim: FlowKey,
+        seed: u64,
+        bg_flows: u64,
+        attack_frac: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&attack_frac));
+        assert!(
+            attack_frac == 0.0 || !attack.is_empty(),
+            "a flood with a non-zero attack share needs collider keys"
+        );
+        Self {
+            background: Zipf::new(bg_flows, 1.05, seed),
+            sizes: PacketSizeMix::caida(seed ^ 0xC0117),
+            rng: Xoshiro256StarStar::new(seed ^ 0xF100D),
+            attack,
+            attack_frac,
+            victim,
+            next_attack: 0,
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// The flow key whose cells the flood saturates.
+    pub fn victim(&self) -> FlowKey {
+        self.victim
+    }
+
+    /// The synthesized colliding flow keys (for ground-truth bookkeeping).
+    pub fn attack_keys(&self) -> Vec<FlowKey> {
+        self.attack.iter().map(|t| t.flow_key()).collect()
+    }
+
+    /// Exact ground truth of the first `n` packets (clone-and-replay, so
+    /// the iterator state is untouched).
+    pub fn ground_truth(&self, n: usize) -> GroundTruth {
+        GroundTruth::from_records(&crate::take_records(self.clone(), n))
+    }
+}
+
+impl Iterator for CollisionFlood {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let tuple = if self.rng.next_bool(self.attack_frac) {
+            let t = self.attack[self.next_attack];
+            self.next_attack = (self.next_attack + 1) % self.attack.len();
+            t
+        } else {
+            let rank = self.background.sample();
+            FiveTuple::synthetic(FLOOD_BG_NAMESPACE + rank - 1)
+        };
+        let rec = PacketRecord::new(tuple, self.sizes.sample(), self.ts_ns);
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+/// A counter cover-up interleaving against a Count-Sketch-style sketch.
+///
+/// The victim flow sends steadily (it *is* a true heavy hitter); the
+/// attacker interleaves sign-negating colliders so every victim cell
+/// receives compensating negative contributions, dragging the victim's
+/// median estimate toward zero — heavy-hitter evasion by cancellation.
+/// The signed row totals drift negative while absolute totals grow, which
+/// is exactly the sign-bias signal the skew detector watches.
+#[derive(Clone, Debug)]
+pub struct CoverUp {
+    background: Zipf,
+    sizes: PacketSizeMix,
+    rng: Xoshiro256StarStar,
+    victim_tuple: FiveTuple,
+    cover: Vec<FiveTuple>,
+    next_cover: usize,
+    victim_frac: f64,
+    cover_frac: f64,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+impl CoverUp {
+    /// `victim_frac` of packets belong to the (honestly heavy) victim,
+    /// `cover_frac` to its sign-negating cover set (`per_row` keys per
+    /// row), the rest to honest Zipf background. Requires sign-leaked
+    /// seeds ([`LeakedSeeds::count_sketch`]).
+    pub fn new(
+        leaked: &LeakedSeeds,
+        victim_index: u64,
+        seed: u64,
+        bg_flows: u64,
+        victim_frac: f64,
+        cover_frac: f64,
+        per_row: usize,
+    ) -> Self {
+        assert!(victim_frac >= 0.0 && cover_frac >= 0.0);
+        assert!(victim_frac + cover_frac <= 1.0);
+        let victim_tuple = FiveTuple::synthetic(ATTACK_NAMESPACE / 2 + victim_index);
+        let victim = victim_tuple.flow_key();
+        let cover: Vec<FiveTuple> = leaked
+            .row_colliders(victim, per_row, true)
+            .into_iter()
+            .flatten()
+            .collect();
+        Self {
+            background: Zipf::new(bg_flows, 1.05, seed),
+            sizes: PacketSizeMix::caida(seed ^ 0xC0E2),
+            rng: Xoshiro256StarStar::new(seed ^ 0x5160),
+            victim_tuple,
+            cover,
+            next_cover: 0,
+            victim_frac,
+            cover_frac,
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// The flow the attacker is hiding.
+    pub fn victim(&self) -> FlowKey {
+        self.victim_tuple.flow_key()
+    }
+
+    /// Exact ground truth of the first `n` packets.
+    pub fn ground_truth(&self, n: usize) -> GroundTruth {
+        GroundTruth::from_records(&crate::take_records(self.clone(), n))
+    }
+}
+
+impl Iterator for CoverUp {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let u = self.rng.next_f64();
+        let tuple = if u < self.victim_frac {
+            self.victim_tuple
+        } else if u < self.victim_frac + self.cover_frac {
+            let t = self.cover[self.next_cover];
+            self.next_cover = (self.next_cover + 1) % self.cover.len();
+            t
+        } else {
+            let rank = self.background.sample();
+            FiveTuple::synthetic(FLOOD_BG_NAMESPACE + rank - 1)
+        };
+        let rec = PacketRecord::new(tuple, self.sizes.sample(), self.ts_ns);
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+/// A heavy-hitter evasion burst pattern: a "mole" flow that is heavy in
+/// aggregate but stays just under the per-epoch threshold in every epoch.
+///
+/// Each epoch of `epoch_len` packets deterministically interleaves exactly
+/// `per_epoch` mole packets (spread evenly, not bursted at the epoch edge,
+/// so epoch-boundary jitter cannot push two bursts into one epoch) with
+/// honest Zipf background. Against per-epoch top-k reports the mole never
+/// ranks; against a cumulative (cross-epoch merged) view it does — which is
+/// the defense the sharded pipeline's cumulative epoch views provide.
+#[derive(Clone, Debug)]
+pub struct HhEvasion {
+    background: Zipf,
+    sizes: PacketSizeMix,
+    mole: FiveTuple,
+    epoch_len: u64,
+    per_epoch: u64,
+    pos: u64,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+impl HhEvasion {
+    /// `per_epoch` mole packets per `epoch_len`-packet epoch (caller picks
+    /// `per_epoch` just under the detector's per-epoch threshold).
+    pub fn new(seed: u64, bg_flows: u64, epoch_len: u64, per_epoch: u64) -> Self {
+        assert!(epoch_len >= 1 && per_epoch <= epoch_len);
+        Self {
+            background: Zipf::new(bg_flows, 1.05, seed),
+            sizes: PacketSizeMix::caida(seed ^ 0xE7A5),
+            mole: FiveTuple::synthetic(ATTACK_NAMESPACE / 4),
+            epoch_len,
+            per_epoch,
+            pos: 0,
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// The evading flow.
+    pub fn mole(&self) -> FlowKey {
+        self.mole.flow_key()
+    }
+
+    /// Exact ground truth of the first `n` packets.
+    pub fn ground_truth(&self, n: usize) -> GroundTruth {
+        GroundTruth::from_records(&crate::take_records(self.clone(), n))
+    }
+}
+
+impl Iterator for HhEvasion {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let in_epoch = self.pos % self.epoch_len;
+        // Even spread: mole packets at multiples of epoch_len/per_epoch.
+        let stride = self.epoch_len / self.per_epoch.max(1);
+        let tuple = if self.per_epoch > 0
+            && in_epoch.is_multiple_of(stride)
+            && in_epoch / stride < self.per_epoch
+        {
+            self.mole
+        } else {
+            let rank = self.background.sample();
+            FiveTuple::synthetic(FLOOD_BG_NAMESPACE + rank - 1)
+        };
+        self.pos += 1;
+        let rec = PacketRecord::new(tuple, self.sizes.sample(), self.ts_ns);
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+/// A spoofed-source DDoS whose attack share ramps linearly from zero to
+/// `peak_frac` over `ramp_len` packets, then holds — the gradual-onset
+/// variant of [`crate::ddos::DdosAttack`] that defeats detectors looking
+/// for a step change in distinct-source counts.
+#[derive(Clone, Debug)]
+pub struct SpoofedRamp {
+    background: Zipf,
+    sizes: PacketSizeMix,
+    rng: Xoshiro256StarStar,
+    victim_ip: std::net::Ipv4Addr,
+    peak_frac: f64,
+    ramp_len: u64,
+    pos: u64,
+    ts_ns: u64,
+    gap_ns: u64,
+}
+
+impl SpoofedRamp {
+    /// Ramp to `peak_frac` attack share over `ramp_len` packets, spoofing a
+    /// fresh source per attack packet at the standard victim.
+    pub fn new(seed: u64, bg_flows: u64, peak_frac: f64, ramp_len: u64) -> Self {
+        assert!((0.0..=1.0).contains(&peak_frac));
+        assert!(ramp_len >= 1);
+        Self {
+            background: Zipf::new(bg_flows, 1.05, seed),
+            sizes: PacketSizeMix::ddos(seed ^ 0xDD05),
+            rng: Xoshiro256StarStar::new(seed ^ 0x2A3B),
+            victim_ip: std::net::Ipv4Addr::new(203, 0, 113, 7),
+            peak_frac,
+            ramp_len,
+            pos: 0,
+            ts_ns: 0,
+            gap_ns: 100,
+        }
+    }
+
+    /// The flooded destination address.
+    pub fn victim(&self) -> std::net::Ipv4Addr {
+        self.victim_ip
+    }
+
+    /// The attack share in effect at packet `pos`.
+    pub fn frac_at(&self, pos: u64) -> f64 {
+        self.peak_frac * (pos.min(self.ramp_len) as f64 / self.ramp_len as f64)
+    }
+
+    /// Exact ground truth of the first `n` packets.
+    pub fn ground_truth(&self, n: usize) -> GroundTruth {
+        GroundTruth::from_records(&crate::take_records(self.clone(), n))
+    }
+}
+
+impl Iterator for SpoofedRamp {
+    type Item = PacketRecord;
+
+    fn next(&mut self) -> Option<PacketRecord> {
+        let frac = self.frac_at(self.pos);
+        self.pos += 1;
+        let tuple = if self.rng.next_bool(frac) {
+            let src = std::net::Ipv4Addr::from(self.rng.next_u64() as u32 | 0x0100_0000);
+            let sport = 1024 + (self.rng.next_u64() % 60_000) as u16;
+            FiveTuple::udp(src, sport, self.victim_ip, 53)
+        } else {
+            let rank = self.background.sample();
+            FiveTuple::synthetic(FLOOD_BG_NAMESPACE + rank - 1)
+        };
+        let rec = PacketRecord::new(tuple, self.sizes.sample(), self.ts_ns);
+        self.ts_ns += self.gap_ns;
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_sketches::{CountMin, CountSketch, RowSketch, Sketch};
+
+    const MASTER: u64 = 0x5EED_1EAC;
+
+    #[test]
+    fn leaked_seeds_match_the_sketch_exactly() {
+        // The whole attack rests on this: the reconstructed cells must be
+        // the sketch's cells, bit for bit.
+        let depth = 4;
+        let width = 512;
+        let leaked = LeakedSeeds::count_min(MASTER, depth, width);
+        let mut cm = CountMin::new(depth, width, MASTER);
+        // Insert single keys and verify the cell the sketch touched is the
+        // cell the attacker predicted.
+        for key in [1u64, 99, 0xDEAD_BEEF, u64::MAX] {
+            cm.clear();
+            cm.update(key, 7.0);
+            for r in 0..depth {
+                assert_eq!(cm.row_max_abs(r), 7.0);
+                // Reconstruct which cell holds it via the leaked layout.
+                let cell = leaked.cell(r, key);
+                let row: Vec<f64> = cm.row_values(r).collect();
+                assert_eq!(row[cell], 7.0, "row {r} cell {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn colliders_collide_in_min_rows() {
+        let leaked = LeakedSeeds::count_min(MASTER, 4, 64);
+        let victim = FiveTuple::synthetic(5).flow_key();
+        for t in leaked.colliders(victim, 2, 5) {
+            assert!(leaked.colliding_rows(victim, t.flow_key()) >= 2);
+        }
+    }
+
+    #[test]
+    fn row_colliders_cover_every_row() {
+        let leaked = LeakedSeeds::count_min(MASTER, 4, 512);
+        let victim = FiveTuple::synthetic(9).flow_key();
+        let sets = leaked.row_colliders(victim, 3, false);
+        assert_eq!(sets.len(), 4);
+        for (r, set) in sets.iter().enumerate() {
+            assert_eq!(set.len(), 3);
+            for t in set {
+                assert_eq!(leaked.cell(r, t.flow_key()), leaked.cell(r, victim));
+            }
+        }
+    }
+
+    #[test]
+    fn full_depth_colliders_concentrate_every_row() {
+        let leaked = LeakedSeeds::count_min(MASTER, 2, 256);
+        let victim = FiveTuple::synthetic(3).flow_key();
+        let flood = CollisionFlood::full_depth(&leaked, victim, 8, 1_000, 0.5, 6);
+        let keys = flood.attack_keys();
+        assert_eq!(keys.len(), 6);
+        for k in keys {
+            assert_eq!(leaked.colliding_rows(victim, k), 2, "key {k:#x}");
+        }
+        // The honest control skips the (width^depth) search entirely and
+        // carries no attack keys.
+        let control = CollisionFlood::full_depth(&leaked, victim, 8, 1_000, 0.0, 6);
+        assert!(control.attack_keys().is_empty());
+    }
+
+    #[test]
+    fn flood_inflates_victim_estimate_beyond_honest_error() {
+        let depth = 4;
+        let width = 1024;
+        let victim = FiveTuple::synthetic(FLOOD_BG_NAMESPACE).flow_key(); // bg rank 1
+        let leaked = LeakedSeeds::count_min(MASTER, depth, width);
+
+        let honest = CollisionFlood::new(&leaked, victim, 3, 2_000, 0.0, 2);
+        let flood = CollisionFlood::new(&leaked, victim, 3, 2_000, 0.4, 2);
+        let n = 60_000;
+
+        let mut sk_honest = CountMin::new(depth, width, MASTER);
+        let mut sk_flood = CountMin::new(depth, width, MASTER);
+        for r in crate::take_records(honest.clone(), n) {
+            sk_honest.update(r.tuple.flow_key(), 1.0);
+        }
+        for r in crate::take_records(flood.clone(), n) {
+            sk_flood.update(r.tuple.flow_key(), 1.0);
+        }
+
+        let truth_honest = honest.ground_truth(n).count(victim);
+        let truth_flood = flood.ground_truth(n).count(victim);
+        let err_honest = (sk_honest.estimate(victim) - truth_honest) / truth_honest.max(1.0);
+        let err_flood = (sk_flood.estimate(victim) - truth_flood) / truth_flood.max(1.0);
+        // The flood blows the victim's relative error up by an order of
+        // magnitude even though the flood packets are *not* the victim.
+        assert!(
+            err_flood > 10.0 * err_honest.max(0.01),
+            "flood err {err_flood} vs honest {err_honest}"
+        );
+    }
+
+    #[test]
+    fn cover_up_hides_a_true_heavy_hitter() {
+        let depth = 3;
+        let width = 512;
+        let leaked = LeakedSeeds::count_sketch(MASTER, depth, width);
+        let quiet = CoverUp::new(&leaked, 7, 4, 2_000, 0.10, 0.0, 2);
+        let attack = CoverUp::new(&leaked, 7, 4, 2_000, 0.10, 0.30, 2);
+        let victim = attack.victim();
+        let n = 50_000;
+
+        let mut sk_quiet = CountSketch::new(depth, width, MASTER);
+        let mut sk_attack = CountSketch::new(depth, width, MASTER);
+        for r in crate::take_records(quiet.clone(), n) {
+            sk_quiet.update(r.tuple.flow_key(), 1.0);
+        }
+        for r in crate::take_records(attack.clone(), n) {
+            sk_attack.update(r.tuple.flow_key(), 1.0);
+        }
+
+        let truth = attack.ground_truth(n).count(victim);
+        assert!(truth > 4_000.0, "victim is a true heavy hitter: {truth}");
+        // Quiet: estimate tracks truth. Under cover-up: dragged way down.
+        let est_quiet = sk_quiet.estimate(victim);
+        let est_attack = sk_attack.estimate(victim);
+        assert!(
+            (est_quiet - truth).abs() / truth < 0.25,
+            "quiet est {est_quiet} vs {truth}"
+        );
+        assert!(
+            est_attack < 0.5 * truth,
+            "cover-up failed: est {est_attack} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn hh_evasion_stays_under_epoch_threshold_but_heavy_overall() {
+        let epoch_len = 10_000;
+        let per_epoch = 200; // threshold-dodging: 2% per epoch
+        let gen = HhEvasion::new(5, 2_000, epoch_len, per_epoch);
+        let mole = gen.mole();
+        let epochs = 8usize;
+        let recs = crate::take_records(gen.clone(), epoch_len as usize * epochs);
+        for e in 0..epochs {
+            let slice = &recs[e * epoch_len as usize..(e + 1) * epoch_len as usize];
+            let in_epoch = slice.iter().filter(|r| r.tuple.flow_key() == mole).count() as u64;
+            assert_eq!(in_epoch, per_epoch, "epoch {e}");
+        }
+        // Aggregate: per_epoch × epochs — heavier than the top background
+        // flow in most epochs would be alone.
+        let total = gen.ground_truth(epoch_len as usize * epochs).count(mole);
+        assert_eq!(total, (per_epoch * epochs as u64) as f64);
+    }
+
+    #[test]
+    fn spoofed_ramp_is_gradual() {
+        let gen = SpoofedRamp::new(6, 2_000, 0.8, 80_000);
+        let recs = crate::take_records(gen.clone(), 120_000);
+        let victim = gen.victim();
+        let share = |lo: usize, hi: usize| {
+            recs[lo..hi]
+                .iter()
+                .filter(|r| r.tuple.dst_ip == victim)
+                .count() as f64
+                / (hi - lo) as f64
+        };
+        let early = share(0, 20_000);
+        let mid = share(40_000, 60_000);
+        let late = share(100_000, 120_000);
+        assert!(early < 0.15, "early share {early}");
+        assert!(mid > early + 0.2, "mid share {mid}");
+        assert!(
+            (late - 0.8).abs() < 0.05,
+            "late share {late} should hold at peak"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let leaked = LeakedSeeds::count_min(MASTER, 4, 256);
+        let victim = FiveTuple::synthetic(1).flow_key();
+        let a = crate::take_records(CollisionFlood::new(&leaked, victim, 9, 500, 0.3, 1), 2_000);
+        let b = crate::take_records(CollisionFlood::new(&leaked, victim, 9, 500, 0.3, 1), 2_000);
+        assert_eq!(a, b);
+        let c = crate::take_records(SpoofedRamp::new(9, 500, 0.5, 10_000), 2_000);
+        let d = crate::take_records(SpoofedRamp::new(9, 500, 0.5, 10_000), 2_000);
+        assert_eq!(c, d);
+    }
+}

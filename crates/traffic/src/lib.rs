@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod caida;
 pub mod datacenter;
 pub mod ddos;
@@ -32,6 +33,7 @@ pub mod sizes;
 pub mod sweep;
 pub mod zipf;
 
+pub use adversarial::{CollisionFlood, CoverUp, HhEvasion, LeakedSeeds, SpoofedRamp};
 pub use caida::CaidaLike;
 pub use datacenter::DatacenterLike;
 pub use ddos::DdosAttack;

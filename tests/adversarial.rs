@@ -1,0 +1,571 @@
+//! Adversarial-traffic hardening, end to end: a seed-leak collision flood
+//! against a live sharded fleet is *detected* (skew gauges + an
+//! `AnomalousSkew` journal event within 3 epochs), *mitigated* online
+//! (`rotate_seeds` re-keys the fleet with zero degraded epoch views), and
+//! *repaired* (post-rotation heavy-hitter recall and ARE back inside the
+//! Count-Min theory bound) — all while the fleet accounting identity
+//! `offered == processed + dropped + lost` holds exactly. Sibling tests
+//! cover the auto-rotate policy hook, rejected rotations, sign-aware
+//! cover-ups, threshold-dodging moles, and a gradual spoofed-source ramp
+//! as the negative control.
+//!
+//! Accuracy after a rotation is asserted on *epoch-view deltas*
+//! (`view_after − view_before`): the decoded carryover deliberately
+//! preserves pre-rotation tracked estimates — attack inflation included —
+//! in cumulative views, while all *new* traffic lands in the fresh hash
+//! space. The delta isolates exactly the post-rotation segment, where the
+//! attacker's precomputed collision sets are stale.
+
+use nitrosketch::core::{Mode, NitroSketch, SkewPolicy};
+use nitrosketch::metrics::telemetry::Event;
+use nitrosketch::prelude::*;
+use nitrosketch::sketches::Checkpoint;
+use nitrosketch::switch::nic::PacketRecord;
+use nitrosketch::switch::{
+    spawn_sharded, PipelineConfig, PipelineError, ShardedPipeline, ShardedTap, SupervisorConfig,
+};
+use nitrosketch::traffic::adversarial::background_tuple;
+use nitrosketch::traffic::{take_records, CollisionFlood, CoverUp, HhEvasion, LeakedSeeds};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Narrow rows so the full-depth collider search (~`width^depth`
+/// candidates per key) stays cheap in debug builds.
+const DEPTH: usize = 2;
+const WIDTH: usize = 512;
+/// The leaked sketch master seed the attacker derives row seeds from.
+const MASTER: u64 = 0xA17A_C0DE;
+/// The replacement master installed by `rotate_seeds`.
+const MASTER2: u64 = 0xF0E1_D2C3;
+const BG_FLOWS: u64 = 5_000;
+const ATTACK_KEYS: usize = 12;
+const ATTACK_FRAC: f64 = 0.9;
+const FLOOD_SEED: u64 = 21;
+
+fn victim() -> FlowKey {
+    // Zipf rank 1 of the shared honest background: a real flow with
+    // non-zero ground truth, not a synthetic strawman.
+    background_tuple(1).flow_key()
+}
+
+/// The collider search costs a few seconds in debug builds; both flood
+/// tests clone one shared, deterministically constructed generator.
+fn flood() -> CollisionFlood {
+    static FLOOD: OnceLock<CollisionFlood> = OnceLock::new();
+    FLOOD
+        .get_or_init(|| {
+            let leaked = LeakedSeeds::count_min(MASTER, DEPTH, WIDTH);
+            CollisionFlood::full_depth(
+                &leaked,
+                victim(),
+                FLOOD_SEED,
+                BG_FLOWS,
+                ATTACK_FRAC,
+                ATTACK_KEYS,
+            )
+        })
+        .clone()
+}
+
+/// The honest control: identical background, zero attack share (the
+/// `width^depth` search is skipped entirely).
+fn control() -> CollisionFlood {
+    let leaked = LeakedSeeds::count_min(MASTER, DEPTH, WIDTH);
+    CollisionFlood::full_depth(&leaked, victim(), FLOOD_SEED, BG_FLOWS, 0.0, ATTACK_KEYS)
+}
+
+fn cm_factory(
+    master: u64,
+) -> impl Fn(usize) -> NitroSketch<CountMin> + Send + Sync + Clone + 'static {
+    move |i| {
+        NitroSketch::new(
+            CountMin::new(DEPTH, WIDTH, master),
+            Mode::Fixed { p: 1.0 },
+            900 + i as u64,
+        )
+        .with_topk(32)
+    }
+}
+
+/// Honest ceiling: the top Zipf(1.05) flow carries ≈ 12.7 % of traffic,
+/// all on one of two shards, so honest per-shard load factor peaks near
+/// `2 · 0.127 · w ≈ 0.25 · w`. The flood concentrates `0.9 · f · w` —
+/// `0.42 · w` splits the two with margin on both sides.
+fn flood_policy(auto_rotate: bool) -> SkewPolicy {
+    SkewPolicy {
+        max_load_factor: 0.42 * WIDTH as f64,
+        max_sign_bias: 0.5,
+        consecutive_epochs: 2,
+        auto_rotate,
+    }
+}
+
+fn flood_config(policy: Option<SkewPolicy>) -> PipelineConfig {
+    PipelineConfig {
+        shards: 2,
+        supervisor: SupervisorConfig {
+            ring_capacity: 1 << 19,
+            ..Default::default()
+        },
+        skew_policy: policy,
+        ..Default::default()
+    }
+}
+
+fn feed(tap: &mut ShardedTap, records: &[PacketRecord]) {
+    for (i, r) in records.iter().enumerate() {
+        tap.offer(r.tuple.flow_key(), r.ts_ns);
+        if i % 512 == 0 {
+            std::thread::yield_now(); // single-core CI: give workers air
+        }
+    }
+}
+
+fn drain<S>(tap: &mut ShardedTap, pipeline: &ShardedPipeline<S>, processed: u64)
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while pipeline.processed() < processed {
+        tap.sync_routes();
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet never processed {processed} observations"
+        );
+        std::thread::yield_now();
+    }
+}
+
+fn drained_events<S>(pipeline: &ShardedPipeline<S>) -> Vec<Event>
+where
+    S: RowSketch + Checkpoint + Clone + Send + 'static,
+{
+    pipeline
+        .telemetry()
+        .drain_events()
+        .into_iter()
+        .map(|e| e.event)
+        .collect()
+}
+
+fn has_skew_event(events: &[Event]) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e, Event::AnomalousSkew { .. }))
+}
+
+/// The headline acceptance scenario. Honest epoch → two flood epochs
+/// (detector trips on the second — within 3 epochs of attack onset) →
+/// manual `rotate_seeds` → one more flood epoch with the now-stale
+/// collision set. Post-rotation heavy-hitter recall ≥ 0.95 and mean
+/// absolute error within the `e·L1/w` Count-Min bound, measured on
+/// epoch-view deltas; no epoch view is ever degraded; the accounting
+/// identity is exact at shutdown.
+#[test]
+fn collision_flood_is_detected_and_repaired_by_seed_rotation() {
+    let flood_recs = take_records(flood(), 450_000);
+    let honest_recs = take_records(control(), 120_000);
+
+    let (mut tap, mut pipeline) =
+        spawn_sharded(cm_factory(MASTER), flood_config(Some(flood_policy(false)))).expect("spawn");
+
+    // Epoch 1 — honest traffic only: the detector must stay quiet.
+    feed(&mut tap, &honest_recs);
+    drain(&mut tap, &pipeline, 120_000);
+    let v1 = pipeline.epoch_view().expect("honest view");
+    assert!(
+        !has_skew_event(&drained_events(&pipeline)),
+        "honest Zipf background must not trip the skew detector"
+    );
+
+    // Epoch 2 — flood onset: first breach, but one epoch must not trip.
+    feed(&mut tap, &flood_recs[..150_000]);
+    drain(&mut tap, &pipeline, 270_000);
+    let v2 = pipeline.epoch_view().expect("first flood view");
+    assert!(
+        !has_skew_event(&drained_events(&pipeline)),
+        "a single breached epoch (flash crowd) must not journal"
+    );
+
+    // Epoch 3 — flood persists: second consecutive breach trips the
+    // policy. Detection lands within 3 epoch views of attack onset.
+    feed(&mut tap, &flood_recs[150_000..300_000]);
+    drain(&mut tap, &pipeline, 420_000);
+    let v3 = pipeline.epoch_view().expect("second flood view");
+    let events = drained_events(&pipeline);
+    assert!(
+        has_skew_event(&events),
+        "two consecutive flood epochs must journal AnomalousSkew: {events:?}"
+    );
+    assert!(
+        !pipeline.skew_tripped().is_empty(),
+        "at least one shard latches tripped"
+    );
+
+    // The attack works: every collider lands in the victim's cell of
+    // every row, so the victim's estimate is inflated far beyond truth.
+    let mut gt_pre = GroundTruth::from_records(&honest_recs);
+    for r in &flood_recs[..300_000] {
+        gt_pre.push(r.tuple.flow_key());
+    }
+    let victim_truth = gt_pre.count(victim());
+    assert!(
+        v3.estimate(victim()) > 3.0 * victim_truth,
+        "flood failed to inflate the victim: est {} vs truth {victim_truth}",
+        v3.estimate(victim())
+    );
+
+    // Mitigate: re-key the whole fleet online.
+    pipeline
+        .rotate_seeds(cm_factory(MASTER2))
+        .expect("rotation");
+    assert_eq!(pipeline.seed_rotations(), 1);
+    assert!(
+        pipeline.skew_tripped().is_empty(),
+        "rotation re-arms the detector"
+    );
+    let events = drained_events(&pipeline);
+    let band = events
+        .iter()
+        .find_map(|e| match *e {
+            Event::SeedRotation { band, .. } => Some(band),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no SeedRotation event in {events:?}"));
+    assert_eq!(band, 1 << 32, "first rotation writes into a fresh band");
+
+    // Epoch 4 — the attacker keeps replaying the stale collision set.
+    let r0 = pipeline.epoch_view().expect("post-rotation baseline");
+    feed(&mut tap, &flood_recs[300_000..450_000]);
+    drain(&mut tap, &pipeline, 570_000);
+    let r1 = pipeline.epoch_view().expect("post-rotation view");
+
+    // Zero degraded epoch views across detection, rotation, and repair.
+    for view in [&v1, &v2, &v3, &r0, &r1] {
+        assert!(
+            view.staleness().iter().all(|s| !s.degraded),
+            "rotation must never serve a degraded view"
+        );
+    }
+
+    // Post-rotation accuracy on the delta: the stale colliders are now
+    // ordinary flows (~7.5 % of the segment each) and must be reported
+    // as the heavy hitters they truly are, with Count-Min-bounded error.
+    let gt_post = GroundTruth::from_records(&flood_recs[300_000..450_000]);
+    let truth_hh = gt_post.heavy_hitters(0.015);
+    assert_eq!(
+        truth_hh.len(),
+        ATTACK_KEYS,
+        "the stale attack keys are exactly the segment's true heavy hitters"
+    );
+    let threshold = 0.015 * gt_post.l1();
+    let mut recalled = 0usize;
+    let mut sum_rel = 0.0;
+    let mut sum_abs = 0.0;
+    for &(key, truth) in &truth_hh {
+        let delta = r1.estimate(key) - r0.estimate(key);
+        if delta >= threshold {
+            recalled += 1;
+        }
+        sum_rel += (delta - truth).abs() / truth;
+        sum_abs += (delta - truth).abs();
+    }
+    let recall = recalled as f64 / truth_hh.len() as f64;
+    assert!(recall >= 0.95, "post-rotation HH recall {recall} < 0.95");
+    let are = sum_rel / truth_hh.len() as f64;
+    assert!(are <= 0.10, "post-rotation ARE {are} > 0.10");
+    let theory_bound = std::f64::consts::E * gt_post.l1() / WIDTH as f64;
+    let mean_abs = sum_abs / truth_hh.len() as f64;
+    assert!(
+        mean_abs <= theory_bound,
+        "mean abs error {mean_abs} exceeds the e·L1/w bound {theory_bound}"
+    );
+
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    let total = fleet.total();
+    assert_eq!(total.offered, 570_000);
+    assert_eq!(total.dropped, 0, "rings were sized to never shed load");
+    assert_eq!(fleet.unaccounted(), 0, "identity must survive the rotation");
+}
+
+/// With `SkewPolicy::auto_rotate` and a reseed hook installed, the trip
+/// itself drives the rotation — no operator in the loop — and the stale
+/// collision set does not re-trip the fresh hash space.
+#[test]
+fn auto_rotate_fires_from_the_skew_detector() {
+    let flood_recs = take_records(flood(), 450_000);
+    let (mut tap, mut pipeline) =
+        spawn_sharded(cm_factory(MASTER), flood_config(Some(flood_policy(true)))).expect("spawn");
+    pipeline.set_reseed(|rotation, shard| {
+        NitroSketch::new(
+            CountMin::new(DEPTH, WIDTH, MASTER ^ rotation.wrapping_mul(0x9E37_79B9)),
+            Mode::Fixed { p: 1.0 },
+            700 + shard as u64,
+        )
+        .with_topk(32)
+    });
+
+    feed(&mut tap, &flood_recs[..150_000]);
+    drain(&mut tap, &pipeline, 150_000);
+    pipeline.epoch_view().expect("first flood view");
+    assert_eq!(
+        pipeline.seed_rotations(),
+        0,
+        "one breached epoch must not rotate"
+    );
+
+    feed(&mut tap, &flood_recs[150_000..300_000]);
+    drain(&mut tap, &pipeline, 300_000);
+    pipeline.epoch_view().expect("tripping view");
+    assert_eq!(
+        pipeline.seed_rotations(),
+        1,
+        "the second consecutive breach auto-rotates"
+    );
+    let events = drained_events(&pipeline);
+    assert!(has_skew_event(&events), "trip journaled: {events:?}");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::SeedRotation { .. })),
+        "rotation journaled: {events:?}"
+    );
+
+    // The attacker has not noticed: the same collision set now spreads
+    // like ordinary traffic and must not re-trip the detector.
+    feed(&mut tap, &flood_recs[300_000..450_000]);
+    drain(&mut tap, &pipeline, 450_000);
+    let view = pipeline.epoch_view().expect("post-rotation view");
+    assert!(view.staleness().iter().all(|s| !s.degraded));
+    assert_eq!(pipeline.seed_rotations(), 1, "no second rotation");
+    assert!(
+        !has_skew_event(&drained_events(&pipeline)),
+        "stale colliders must not re-trip the fresh seeds"
+    );
+
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    assert_eq!(fleet.total().offered, 450_000);
+    assert_eq!(fleet.unaccounted(), 0);
+}
+
+/// A rotation that would change the sketch geometry, or that fails to
+/// actually change the seeds, is rejected as a typed error before any
+/// thread is touched — the running fleet is left fully operational.
+#[test]
+fn rotation_rejects_geometry_changes_and_stale_seeds() {
+    let (mut tap, mut pipeline) =
+        spawn_sharded(cm_factory(MASTER), flood_config(None)).expect("spawn");
+    feed_keys(&mut tap, 0..5_000);
+
+    let err = pipeline
+        .rotate_seeds(move |i| {
+            NitroSketch::new(
+                CountMin::new(DEPTH, WIDTH / 2, MASTER2),
+                Mode::Fixed { p: 1.0 },
+                i as u64,
+            )
+            .with_topk(32)
+        })
+        .expect_err("halving the width must be rejected");
+    assert!(
+        matches!(err, PipelineError::Rotation(_)) && err.to_string().contains("geometry"),
+        "unexpected error: {err}"
+    );
+
+    let err = pipeline
+        .rotate_seeds(cm_factory(MASTER))
+        .expect_err("re-installing the leaked seeds must be rejected");
+    assert!(
+        matches!(err, PipelineError::Rotation(_)) && err.to_string().contains("seeds"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(pipeline.seed_rotations(), 0);
+
+    // The fleet survived both rejections untouched.
+    feed_keys(&mut tap, 5_000..10_000);
+    drain(&mut tap, &pipeline, 10_000);
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    assert_eq!(fleet.total().offered, 10_000);
+    assert_eq!(fleet.unaccounted(), 0);
+}
+
+fn feed_keys(tap: &mut ShardedTap, keys: std::ops::Range<u64>) {
+    for k in keys {
+        tap.offer(k % 64, k);
+        if k % 512 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+const CS_MASTER: u64 = 0x00C5_5EED;
+const CS_MASTER2: u64 = 0x00C5_F12E;
+
+fn cs_factory(
+    master: u64,
+) -> impl Fn(usize) -> NitroSketch<CountSketch> + Send + Sync + Clone + 'static {
+    move |i| {
+        NitroSketch::new(
+            CountSketch::new(3, 512, master),
+            Mode::Fixed { p: 1.0 },
+            40 + i as u64,
+        )
+        .with_topk(32)
+    }
+}
+
+/// Sign-aware cover-up: the attacker cancels a true heavy hitter's
+/// Count-Sketch cells with negated colliders, dragging its estimate under
+/// half of truth. Rotation invalidates the sign relationships, and the
+/// victim's post-rotation delta estimate snaps back to truth.
+#[test]
+fn cover_up_hidden_heavy_hitter_reappears_after_rotation() {
+    let leaked = LeakedSeeds::count_sketch(CS_MASTER, 3, 512);
+    let gen = CoverUp::new(&leaked, 7, 4, 2_000, 0.10, 0.30, 2);
+    let victim = gen.victim();
+    let recs = take_records(gen, 200_000);
+
+    // Gauges published (load + sign bias) but thresholds parked out of
+    // reach: sign bias against heavy-tailed honest traffic is too noisy
+    // for a crisp trip assertion, so this test checks export, not alarm.
+    let quiet = SkewPolicy {
+        max_load_factor: f64::INFINITY,
+        max_sign_bias: 1.1,
+        consecutive_epochs: 1,
+        auto_rotate: false,
+    };
+    let (mut tap, mut pipeline) =
+        spawn_sharded(cs_factory(CS_MASTER), flood_config(Some(quiet))).expect("spawn");
+
+    feed(&mut tap, &recs[..100_000]);
+    drain(&mut tap, &pipeline, 100_000);
+    let v1 = pipeline.epoch_view().expect("cover-up view");
+    let truth_pre = GroundTruth::from_records(&recs[..100_000]).count(victim);
+    assert!(truth_pre > 8_000.0, "victim is a true heavy hitter");
+    assert!(
+        v1.estimate(victim) < 0.5 * truth_pre,
+        "cover-up failed: est {} vs truth {truth_pre}",
+        v1.estimate(victim)
+    );
+    let page = pipeline.scrape();
+    assert!(page.contains("nitro_skew_load_factor"));
+    assert!(
+        page.contains("nitro_sign_bias"),
+        "sign-bias gauge must be exported for sign sketches"
+    );
+
+    pipeline
+        .rotate_seeds(cs_factory(CS_MASTER2))
+        .expect("rotation");
+    let r0 = pipeline.epoch_view().expect("baseline");
+    feed(&mut tap, &recs[100_000..]);
+    drain(&mut tap, &pipeline, 200_000);
+    let r1 = pipeline.epoch_view().expect("post-rotation view");
+
+    let truth_post = GroundTruth::from_records(&recs[100_000..]).count(victim);
+    let delta = r1.estimate(victim) - r0.estimate(victim);
+    assert!(
+        (delta - truth_post).abs() <= 0.3 * truth_post,
+        "victim still hidden after rotation: delta {delta} vs truth {truth_post}"
+    );
+    assert!(
+        !has_skew_event(&drained_events(&pipeline)),
+        "parked thresholds must never journal"
+    );
+
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    assert_eq!(fleet.total().offered, 200_000);
+    assert_eq!(fleet.unaccounted(), 0);
+}
+
+/// A threshold-dodging mole stays invisible in every per-epoch delta but
+/// is caught by the cumulative merged view — the defense the pipeline's
+/// cross-epoch query plane provides against burst-splitting evasion.
+#[test]
+fn hh_evasion_mole_is_caught_by_the_cumulative_view() {
+    const EPOCH_LEN: usize = 30_000;
+    const PER_EPOCH: f64 = 300.0;
+    const THRESHOLD: f64 = 600.0; // per-epoch HH bar: 2 % of an epoch
+    let gen = HhEvasion::new(11, 2_000, EPOCH_LEN as u64, PER_EPOCH as u64);
+    let mole = gen.mole();
+    let recs = take_records(gen, EPOCH_LEN * 6);
+
+    let factory = |i: usize| {
+        NitroSketch::new(
+            CountMin::new(4, 2048, 7),
+            Mode::Fixed { p: 1.0 },
+            500 + i as u64,
+        )
+        .with_topk(32)
+    };
+    let (mut tap, mut pipeline) = spawn_sharded(factory, flood_config(None)).expect("spawn");
+
+    let mut prev_est = 0.0;
+    let mut last_view = None;
+    for epoch in 0..6 {
+        feed(&mut tap, &recs[epoch * EPOCH_LEN..(epoch + 1) * EPOCH_LEN]);
+        drain(&mut tap, &pipeline, ((epoch + 1) * EPOCH_LEN) as u64);
+        let view = pipeline.epoch_view().expect("epoch view");
+        let est = view.estimate(mole);
+        let delta = est - prev_est;
+        // Count-Min never underestimates a delta, so the mole's per-epoch
+        // increment is ≥ its true 300 — and must stay under the bar.
+        assert!(
+            (PER_EPOCH..THRESHOLD).contains(&delta),
+            "epoch {epoch}: mole delta {delta} outside [{PER_EPOCH}, {THRESHOLD})"
+        );
+        prev_est = est;
+        last_view = Some(view);
+    }
+
+    let view = last_view.expect("six epochs ran");
+    assert!(
+        view.estimate(mole) >= 6.0 * PER_EPOCH,
+        "cumulative estimate must cover all six bursts"
+    );
+    assert!(
+        view.heavy_hitters(THRESHOLD)
+            .iter()
+            .any(|&(k, _)| k == mole),
+        "the cumulative view must report the mole above the same bar"
+    );
+
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    assert_eq!(fleet.total().offered, (EPOCH_LEN * 6) as u64);
+    assert_eq!(fleet.unaccounted(), 0);
+}
+
+/// Negative control: a gradual spoofed-source DDoS ramp spreads its load
+/// over ever-fresh flow keys — high volume, no collision structure — and
+/// must sail under the skew detector that catches the flood.
+#[test]
+fn spoofed_ramp_does_not_trip_the_skew_detector() {
+    let gen = nitrosketch::traffic::SpoofedRamp::new(13, 2_000, 0.8, 80_000);
+    assert_eq!(gen.frac_at(200_000), 0.8, "ramp holds at peak");
+    let recs = take_records(gen, 120_000);
+
+    let (mut tap, mut pipeline) =
+        spawn_sharded(cm_factory(MASTER), flood_config(Some(flood_policy(false)))).expect("spawn");
+    for chunk in 0..3 {
+        feed(&mut tap, &recs[chunk * 40_000..(chunk + 1) * 40_000]);
+        drain(&mut tap, &pipeline, ((chunk + 1) * 40_000) as u64);
+        pipeline.epoch_view().expect("epoch view");
+    }
+
+    assert!(
+        !has_skew_event(&drained_events(&pipeline)),
+        "a spread-out volumetric attack is not collision skew"
+    );
+    assert!(pipeline.skew_tripped().is_empty());
+    assert!(pipeline.scrape().contains("nitro_skew_load_factor"));
+
+    drop(tap);
+    let (_, fleet) = pipeline.finish().expect("clean shutdown");
+    assert_eq!(fleet.total().offered, 120_000);
+    assert_eq!(fleet.unaccounted(), 0);
+}
