@@ -19,6 +19,6 @@ pub use fleet::FleetHealth;
 pub use health::{CircuitBreaker, DaemonHealth};
 pub use table::Table;
 pub use telemetry::{
-    escape_label, Event, EventJournal, LatencyHistogram, MeasurementGauges, SequencedEvent,
-    ShardTelemetry, TelemetryCell, TelemetryRegistry,
+    escape_label, ClusterTelemetry, Event, EventJournal, LatencyHistogram, MeasurementGauges,
+    SequencedEvent, ShardTelemetry, TelemetryCell, TelemetryRegistry,
 };

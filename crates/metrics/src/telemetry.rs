@@ -305,6 +305,42 @@ pub enum Event {
         /// Wall-clock duration of the rotation (spawn → re-steer → drain).
         duration_ns: u64,
     },
+    /// A cluster node completed the aggregator handshake (first connect
+    /// or reconnect after a loss).
+    NodeJoin {
+        /// Operator-assigned node id.
+        node: u32,
+        /// The next epoch the node announced it will seal.
+        epoch: u64,
+    },
+    /// A cluster node was declared lost: its connection died or its
+    /// heartbeats went silent past the configured timeout.
+    NodeLoss {
+        /// Operator-assigned node id.
+        node: u32,
+        /// The newest epoch the aggregator holds a frame for from this
+        /// node (0: none yet).
+        last_epoch: u64,
+    },
+    /// A cluster epoch transitioned to complete: every member node's
+    /// frame is merged into the global view.
+    EpochSealed {
+        /// The epoch that became complete.
+        epoch: u64,
+        /// Nodes whose frames the merged view covers.
+        nodes: u32,
+        /// Whether the epoch was previously served degraded (a reporting
+        /// node was lost before its frame arrived via backfill).
+        was_degraded: bool,
+    },
+    /// A reconnecting node replayed epochs from its durable segment log
+    /// that the aggregator had missed (partition or crash repair).
+    BackfillReplayed {
+        /// Operator-assigned node id.
+        node: u32,
+        /// Durable frames replayed in this backfill.
+        frames: u64,
+    },
 }
 
 impl Event {
@@ -336,6 +372,14 @@ impl Event {
                 epochs,
             } => (8, shard as u64, load_milli, epochs as u64),
             Event::SeedRotation { band, duration_ns } => (9, band, duration_ns, 0),
+            Event::NodeJoin { node, epoch } => (10, node as u64, epoch, 0),
+            Event::NodeLoss { node, last_epoch } => (11, node as u64, last_epoch, 0),
+            Event::EpochSealed {
+                epoch,
+                nodes,
+                was_degraded,
+            } => (12, epoch, nodes as u64, was_degraded as u64),
+            Event::BackfillReplayed { node, frames } => (13, node as u64, frames, 0),
         }
     }
 
@@ -384,6 +428,23 @@ impl Event {
             9 => Event::SeedRotation {
                 band: a,
                 duration_ns: b,
+            },
+            10 => Event::NodeJoin {
+                node: a as u32,
+                epoch: b,
+            },
+            11 => Event::NodeLoss {
+                node: a as u32,
+                last_epoch: b,
+            },
+            12 => Event::EpochSealed {
+                epoch: a,
+                nodes: b as u32,
+                was_degraded: c != 0,
+            },
+            13 => Event::BackfillReplayed {
+                node: a as u32,
+                frames: b,
             },
             _ => return None,
         })
@@ -442,6 +503,30 @@ impl std::fmt::Display for Event {
             Event::SeedRotation { band, duration_ns } => write!(
                 f,
                 "fleet rotated hash seeds into band {band:#x} in {duration_ns} ns"
+            ),
+            Event::NodeJoin { node, epoch } => {
+                write!(f, "node {node}: joined the cluster (next epoch {epoch})")
+            }
+            Event::NodeLoss { node, last_epoch } => write!(
+                f,
+                "node {node}: lost (connection dead or heartbeats silent; newest frame epoch {last_epoch})"
+            ),
+            Event::EpochSealed {
+                epoch,
+                nodes,
+                was_degraded,
+            } => write!(
+                f,
+                "epoch {epoch}: sealed complete over {nodes} nodes{}",
+                if was_degraded {
+                    " (repaired from degraded by backfill)"
+                } else {
+                    ""
+                }
+            ),
+            Event::BackfillReplayed { node, frames } => write!(
+                f,
+                "node {node}: backfilled {frames} missed epoch frames from its durable log"
             ),
         }
     }
@@ -819,6 +904,36 @@ impl ShardTelemetry {
     }
 }
 
+/// Live counters and gauges of a cluster aggregator — the network-wide
+/// measurement plane's control-side telemetry. Registered lazily via
+/// [`TelemetryRegistry::cluster`]; a registry that never hosts an
+/// aggregator renders no cluster families at all, so single-process
+/// pipelines keep their exact scrape format.
+#[derive(Debug, Default)]
+pub struct ClusterTelemetry {
+    /// Nodes currently holding a live connection (gauge).
+    pub connected_nodes: TelemetryCell,
+    /// Nodes the aggregator has ever admitted (gauge).
+    pub known_nodes: TelemetryCell,
+    /// Epochs whose merged view is currently degraded: a member node's
+    /// frame is missing and that node is not connected (gauge).
+    pub degraded_epochs: TelemetryCell,
+    /// Epochs sealed complete (counter).
+    pub epochs_sealed: TelemetryCell,
+    /// Node-loss declarations: dead connections or silent heartbeats
+    /// (counter).
+    pub node_losses: TelemetryCell,
+    /// Durable frames replayed by reconnecting nodes (counter).
+    pub backfill_frames: TelemetryCell,
+    /// Epoch frames accepted and merged (counter).
+    pub frames_received: TelemetryCell,
+    /// Epoch frames rejected — framing, checksum, version, restore, or
+    /// merge-guard failure (counter).
+    pub frames_rejected: TelemetryCell,
+    /// Heartbeat messages received (counter).
+    pub heartbeats: TelemetryCell,
+}
+
 /// The fleet-wide telemetry plane: every live and retired shard instance,
 /// the shared event journal, and the promotion-duration histogram, with
 /// Prometheus and JSON renderers.
@@ -834,6 +949,7 @@ pub struct TelemetryRegistry {
     live: Mutex<Vec<Arc<ShardTelemetry>>>,
     retired: Mutex<Vec<Arc<ShardTelemetry>>>,
     next_incarnation: AtomicU64,
+    cluster: Mutex<Option<Arc<ClusterTelemetry>>>,
 }
 
 impl Default for TelemetryRegistry {
@@ -856,7 +972,28 @@ impl TelemetryRegistry {
             live: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
             next_incarnation: AtomicU64::new(0),
+            cluster: Mutex::new(None),
         }
+    }
+
+    /// The cluster aggregator's telemetry, created on first call. Once
+    /// initialized, the cluster gauge/counter families join both scrape
+    /// renderers.
+    pub fn cluster(&self) -> Arc<ClusterTelemetry> {
+        Arc::clone(
+            self.cluster
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get_or_insert_with(Arc::default),
+        )
+    }
+
+    /// The cluster telemetry if an aggregator initialized it.
+    pub fn cluster_telemetry(&self) -> Option<Arc<ClusterTelemetry>> {
+        self.cluster
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Register a fresh live instance for shard `shard`, wired to the
@@ -1042,6 +1179,36 @@ impl TelemetryRegistry {
             "# TYPE nitro_events_dropped_total counter\nnitro_events_dropped_total {}\n",
             self.journal.dropped()
         ));
+        if let Some(c) = self.cluster_telemetry() {
+            type ClusterFn = fn(&ClusterTelemetry) -> u64;
+            let cluster_counters: &[(&str, ClusterFn)] = &[
+                ("nitro_cluster_epochs_sealed_total", |c| {
+                    c.epochs_sealed.get()
+                }),
+                ("nitro_cluster_node_losses_total", |c| c.node_losses.get()),
+                ("nitro_cluster_backfill_frames_total", |c| {
+                    c.backfill_frames.get()
+                }),
+                ("nitro_cluster_frames_received_total", |c| {
+                    c.frames_received.get()
+                }),
+                ("nitro_cluster_frames_rejected_total", |c| {
+                    c.frames_rejected.get()
+                }),
+                ("nitro_cluster_heartbeats_total", |c| c.heartbeats.get()),
+            ];
+            for (name, get) in cluster_counters {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", get(&c)));
+            }
+            let cluster_gauges: &[(&str, ClusterFn)] = &[
+                ("nitro_cluster_connected_nodes", |c| c.connected_nodes.get()),
+                ("nitro_cluster_known_nodes", |c| c.known_nodes.get()),
+                ("nitro_cluster_degraded_epochs", |c| c.degraded_epochs.get()),
+            ];
+            for (name, get) in cluster_gauges {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", get(&c)));
+            }
+        }
         out
     }
 
@@ -1063,6 +1230,23 @@ impl TelemetryRegistry {
             json_histogram(&self.promotion_ns)
         ));
         out.push_str(&format!("\"fleet\":{},", json_health(&self.fleet_health())));
+        if let Some(c) = self.cluster_telemetry() {
+            out.push_str(&format!(
+                "\"cluster\":{{\"connected_nodes\":{},\"known_nodes\":{},\
+                 \"degraded_epochs\":{},\"epochs_sealed\":{},\"node_losses\":{},\
+                 \"backfill_frames\":{},\"frames_received\":{},\
+                 \"frames_rejected\":{},\"heartbeats\":{}}},",
+                c.connected_nodes.get(),
+                c.known_nodes.get(),
+                c.degraded_epochs.get(),
+                c.epochs_sealed.get(),
+                c.node_losses.get(),
+                c.backfill_frames.get(),
+                c.frames_received.get(),
+                c.frames_rejected.get(),
+                c.heartbeats.get()
+            ));
+        }
         out.push_str("\"shards\":[");
         for (i, tel) in live.iter().enumerate() {
             if i > 0 {

@@ -118,6 +118,23 @@ pub trait Checkpoint: Sized {
         self.merge_from(other);
         Ok(())
     }
+
+    /// Configuration fingerprint: an xxHash64 of the full snapshot bytes.
+    ///
+    /// A snapshot embeds geometry (depth, width) and per-row hash seeds, so
+    /// two **blank** instances fingerprint equal exactly when a checkpoint
+    /// from one restores into the other. The cluster handshake compares
+    /// blank-template fingerprints before any frame crosses the wire —
+    /// a node built with different geometry or a different seed band is
+    /// rejected at connect time instead of failing every merge later.
+    /// Called on a non-blank instance this hashes the live counters too,
+    /// which makes it a state digest, not a configuration check.
+    fn fingerprint(&self) -> u64 {
+        // Seed spells "NFPT" twice; any fixed constant works, it only has
+        // to differ from the store/wire CRC seeds so a fingerprint never
+        // doubles as a frame checksum.
+        nitro_hash::xxhash::xxh64(&self.snapshot(), 0x4E46_5054_4E46_5054)
+    }
 }
 
 /// Little-endian checkpoint encoder (the `control.rs` codec idiom).

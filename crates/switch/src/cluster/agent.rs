@@ -1,0 +1,396 @@
+//! The per-node cluster agent: seals epoch views into durable frames and
+//! streams them to the aggregator, surviving partitions by replaying from
+//! its own segment log.
+//!
+//! The agent owns a single-shard [`CheckpointStore`] — its *epoch log* —
+//! whose frame sequence number IS the epoch number. Sealing is
+//! **persist-before-publish**: the frame becomes durable locally before a
+//! single byte reaches the network, so a send failure (partition,
+//! aggregator restart, process kill between persist and send) degrades to
+//! "the aggregator is missing an epoch I still hold", which the next
+//! successful handshake repairs via backfill. Nothing ever needs to be
+//! recomputed: backfill re-sends disk bytes.
+
+use super::wire::{encode_epoch_payload, Message, WireError};
+use super::ClusterError;
+use crate::control::EpochReport;
+use crate::pipeline::MergedView;
+use crate::store::{CheckpointSink, CheckpointStore, StoreConfig, StoreError};
+use nitro_sketches::checkpoint::Checkpoint;
+use nitro_sketches::RowSketch;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the agent waits for the aggregator's `HelloAck`.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Configuration of one node's agent.
+#[derive(Clone, Debug)]
+pub struct NodeAgentConfig {
+    /// Operator-assigned node id. Must fit in `u16`: it doubles as the
+    /// shard field of the node's durable frames, which the aggregator
+    /// re-validates on receipt.
+    pub node_id: u32,
+    /// Blank-template configuration fingerprint
+    /// (`Checkpoint::fingerprint` on the *inner* sketch of an unused
+    /// template) — compared against the aggregator's at handshake.
+    pub fingerprint: u64,
+    /// Durability tuning for the epoch log. The default keeps more sealed
+    /// segments than the pipeline store does: history here is backfill
+    /// range, not just redundancy.
+    pub store: StoreConfig,
+}
+
+impl NodeAgentConfig {
+    /// Config for `node_id` with fingerprint `fingerprint` and an epoch
+    /// log retaining ~64 epochs of backfill range.
+    pub fn new(node_id: u32, fingerprint: u64) -> Self {
+        assert!(node_id <= u16::MAX as u32, "node id must fit in u16");
+        Self {
+            node_id,
+            fingerprint,
+            store: StoreConfig {
+                rotate_after: 8,
+                keep_segments: 8,
+                fsync: true,
+            },
+        }
+    }
+}
+
+/// What [`NodeAgent::seal_epoch`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SealOutcome {
+    /// The epoch that was sealed.
+    pub epoch: u64,
+    /// Whether the frame reached the aggregator connection. `false` means
+    /// it is durable locally and will be backfilled on the next connect.
+    pub delivered: bool,
+}
+
+/// The node-side half of the distributed measurement plane.
+///
+/// Lifecycle: [`NodeAgent::open`] (create or recover the epoch log) →
+/// [`NodeAgent::connect`] (handshake + backfill) → a loop of
+/// [`NodeAgent::seal_epoch`] / [`NodeAgent::heartbeat`] →
+/// [`NodeAgent::close`]. After a crash, `open` on the same directory
+/// resumes exactly where the durable log ends.
+pub struct NodeAgent {
+    node_id: u32,
+    fingerprint: u64,
+    store: Arc<CheckpointStore>,
+    stream: Option<TcpStream>,
+    /// The next epoch this agent will accept a seal for (newest durable
+    /// frame + 1; epochs may skip forward — cadence gaps while the node
+    /// was down stay unsealed — but never backward).
+    next_epoch: u64,
+    /// Newest epoch the aggregator acknowledged holding, updated by
+    /// handshake and successful sends.
+    acked_epoch: u64,
+    /// Cluster-wide newest epoch reported by the last `HelloAck`.
+    cluster_epoch: u64,
+    /// Durable frames replayed over all connects of this agent instance.
+    backfilled: u64,
+}
+
+impl NodeAgent {
+    /// Open (or recover) the agent's epoch log in `dir`. No network I/O:
+    /// a node can seal epochs durably before — or without ever — reaching
+    /// an aggregator.
+    pub fn open(dir: impl AsRef<Path>, cfg: NodeAgentConfig) -> Result<Self, ClusterError> {
+        assert!(cfg.node_id <= u16::MAX as u32, "node id must fit in u16");
+        let store = match CheckpointStore::create(&dir, 1, cfg.store.clone()) {
+            Ok(s) => s,
+            Err(StoreError::AlreadyExists) => CheckpointStore::recover(&dir, cfg.store.clone())?.0,
+            Err(e) => return Err(e.into()),
+        };
+        let next_epoch = store.newest_frame(0).map_or(1, |f| f.seq + 1);
+        Ok(Self {
+            node_id: cfg.node_id,
+            fingerprint: cfg.fingerprint,
+            store,
+            stream: None,
+            next_epoch,
+            acked_epoch: 0,
+            cluster_epoch: 0,
+            backfilled: 0,
+        })
+    }
+
+    /// Connect (or reconnect) to the aggregator: dial, handshake, then
+    /// replay every durable epoch the aggregator is missing. Returns the
+    /// number of frames backfilled.
+    pub fn connect(&mut self, addr: impl ToSocketAddrs) -> Result<u64, ClusterError> {
+        self.stream = None;
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        Message::Hello {
+            node_id: self.node_id,
+            generation: self.store.generation(),
+            next_epoch: self.next_epoch,
+            fingerprint: self.fingerprint,
+        }
+        .write_to(&mut stream)?;
+        let ack = Message::read_from(&mut stream)?;
+        let Message::HelloAck {
+            accepted,
+            last_epoch,
+            cluster_epoch,
+        } = ack
+        else {
+            return Err(WireError::Malformed("expected HelloAck").into());
+        };
+        if !accepted {
+            return Err(ClusterError::Rejected(
+                "fingerprint mismatch (geometry or hash seeds differ)",
+            ));
+        }
+        self.acked_epoch = last_epoch;
+        self.cluster_epoch = cluster_epoch;
+        // Backfill: replay durable frames the aggregator never saw, in
+        // epoch order. Frames are re-wrapped verbatim — same payload, same
+        // CRC discipline — so the aggregator validates them exactly like
+        // fresh seals.
+        let mut replayed = 0u64;
+        for f in self.store.frames(0) {
+            if f.seq <= last_epoch || f.seq >= self.next_epoch {
+                continue;
+            }
+            let frame = crate::store::encode_frame(
+                self.node_id as usize,
+                f.generation,
+                f.seq,
+                f.processed_at,
+                &f.bytes,
+            );
+            Message::SealEpoch {
+                node_id: self.node_id,
+                epoch: f.seq,
+                backfill: true,
+                frame,
+            }
+            .write_to(&mut stream)?;
+            self.acked_epoch = self.acked_epoch.max(f.seq);
+            replayed += 1;
+        }
+        self.backfilled += replayed;
+        self.stream = Some(stream);
+        Ok(replayed)
+    }
+
+    /// Seal `epoch` from the pipeline's merged epoch view: build the
+    /// report, persist report + full checkpoint as one durable frame
+    /// (persist-before-publish), then ship it. Epoch numbers come from
+    /// the operator's cadence driver so all nodes seal the same windows;
+    /// they must advance strictly.
+    ///
+    /// A dead or absent connection is not an error: the outcome reports
+    /// `delivered: false` and the frame waits in the log for the next
+    /// [`NodeAgent::connect`] to backfill.
+    pub fn seal_epoch<S>(
+        &mut self,
+        epoch: u64,
+        view: &MergedView<S>,
+        hh_threshold: f64,
+    ) -> Result<SealOutcome, ClusterError>
+    where
+        S: RowSketch + Checkpoint + Clone,
+    {
+        if epoch < self.next_epoch {
+            return Err(ClusterError::EpochNotMonotonic {
+                requested: epoch,
+                next: self.next_epoch,
+            });
+        }
+        let sketch = view.sketch();
+        let report = EpochReport {
+            switch_id: self.node_id,
+            epoch,
+            packets: sketch.stats().packets,
+            heavy_hitters: sketch.heavy_hitters(hh_threshold),
+            // Entropy/distinct estimators are not part of the cluster
+            // seal path; the aggregator derives what it needs from the
+            // merged sketch itself.
+            entropy_bits: f64::NAN,
+            distinct: f64::NAN,
+            l2: view.l2(),
+            memory_bytes: sketch.memory_bytes() as u64,
+        };
+        let payload = encode_epoch_payload(&report, &sketch.snapshot());
+        let processed = report.packets;
+        self.store
+            .writer(0)
+            .persist(epoch, processed, &payload)
+            .map_err(|e| ClusterError::Wire(WireError::Io(e.kind())))?;
+        self.next_epoch = epoch + 1;
+        let frame = crate::store::encode_frame(
+            self.node_id as usize,
+            self.store.generation(),
+            epoch,
+            processed,
+            &payload,
+        );
+        let delivered = self.send(Message::SealEpoch {
+            node_id: self.node_id,
+            epoch,
+            backfill: false,
+            frame,
+        });
+        if delivered {
+            self.acked_epoch = self.acked_epoch.max(epoch);
+        }
+        Ok(SealOutcome { epoch, delivered })
+    }
+
+    /// Send a liveness heartbeat carrying the epoch currently
+    /// accumulating and the observations processed so far. Returns whether
+    /// the connection is still alive.
+    pub fn heartbeat(&mut self, processed: u64) -> bool {
+        let epoch = self.next_epoch;
+        self.send(Message::Heartbeat {
+            node_id: self.node_id,
+            epoch,
+            processed,
+        })
+    }
+
+    /// Best-effort send; a failure drops the connection (the durable log
+    /// keeps the data).
+    fn send(&mut self, msg: Message) -> bool {
+        match &mut self.stream {
+            Some(s) => {
+                if msg.write_to(s).is_ok() {
+                    true
+                } else {
+                    self.stream = None;
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Drop the connection without a `Goodbye` — the test hook for
+    /// simulating a network partition or abrupt process death: the
+    /// aggregator must discover the silence on its own.
+    pub fn sever(&mut self) {
+        self.stream = None;
+    }
+
+    /// Clean shutdown: announce departure so the aggregator stops
+    /// expecting this node in future epochs.
+    pub fn close(mut self) {
+        self.send(Message::Goodbye {
+            node_id: self.node_id,
+        });
+        self.stream = None;
+    }
+
+    /// Whether a connection is currently held (it may still be found dead
+    /// on the next send).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// The next epoch this agent will accept a seal for.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Newest epoch the aggregator acknowledged holding from this node.
+    pub fn acked_epoch(&self) -> u64 {
+        self.acked_epoch
+    }
+
+    /// Cluster-wide newest epoch per the last handshake (0 before one).
+    pub fn cluster_epoch(&self) -> u64 {
+        self.cluster_epoch
+    }
+
+    /// Durable frames replayed across all connects of this instance.
+    pub fn backfilled(&self) -> u64 {
+        self.backfilled
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
+    /// The underlying epoch log (tests inspect durability through it).
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_core::{Mode, NitroSketch};
+    use nitro_sketches::CountMin;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nitro-agent-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fingerprint() -> u64 {
+        CountMin::new(4, 256, 7).fingerprint()
+    }
+
+    #[test]
+    fn open_resumes_epoch_numbering_from_durable_log() {
+        let dir = tmp_dir("resume");
+        let cfg = NodeAgentConfig::new(3, fingerprint());
+        {
+            let agent = NodeAgent::open(&dir, cfg.clone()).unwrap();
+            assert_eq!(agent.next_epoch(), 1);
+            // Persist two epoch frames directly through the log.
+            agent.store().writer(0).persist(1, 10, b"one").unwrap();
+            agent.store().writer(0).persist(2, 20, b"two").unwrap();
+        }
+        let agent = NodeAgent::open(&dir, cfg).unwrap();
+        assert_eq!(agent.next_epoch(), 3);
+        assert!(!agent.is_connected());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_without_connection_is_durable_not_lost() {
+        let dir = tmp_dir("offline");
+        let mut agent = NodeAgent::open(&dir, NodeAgentConfig::new(1, fingerprint())).unwrap();
+        let mut sketch = NitroSketch::new(CountMin::new(4, 256, 7), Mode::Fixed { p: 1.0 }, 16);
+        for _ in 0..100 {
+            sketch.process(42, 1.0);
+        }
+        let view = MergedView::from_sketch(1, sketch);
+        let out = agent.seal_epoch(1, &view, 50.0).unwrap();
+        assert_eq!(
+            out,
+            SealOutcome {
+                epoch: 1,
+                delivered: false
+            }
+        );
+        let frame = agent.store().newest_frame(0).expect("durable frame");
+        assert_eq!(frame.seq, 1);
+        // Sealing the same epoch again must be refused.
+        let view2 = MergedView::from_sketch(
+            1,
+            NitroSketch::new(CountMin::new(4, 256, 7), Mode::Fixed { p: 1.0 }, 16),
+        );
+        assert!(matches!(
+            agent.seal_epoch(1, &view2, 50.0),
+            Err(ClusterError::EpochNotMonotonic { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

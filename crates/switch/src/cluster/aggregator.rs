@@ -1,0 +1,998 @@
+//! The aggregator: admits nodes, merges their epoch frames into per-epoch
+//! global sketches, and serves network-wide queries behind an
+//! epoch-versioned read API.
+//!
+//! ## Epoch lifecycle
+//!
+//! An epoch's *member set* is every node that has ever reported an epoch
+//! `<= e` and had not said `Goodbye` before `e`. The epoch is
+//! [`EpochStatus::Complete`] only when every member's frame is merged;
+//! until then it is [`EpochStatus::Pending`] (the missing nodes are
+//! connected and expected to seal) or [`EpochStatus::Degraded`] (a
+//! missing node is lost — its frame can only arrive via backfill after a
+//! reconnect). **No epoch is ever served complete while a reporting
+//! node's frames are missing** — that is the plane's core honesty
+//! guarantee.
+//!
+//! ## Failure detection and repair
+//!
+//! Each connection runs a buffered read loop: complete messages are
+//! peeled off the front of a byte buffer ([`Message::decode`]), so a read
+//! timeout can never tear a frame mid-stream. A dead socket, a corrupt
+//! stream, or heartbeat silence past [`AggregatorConfig::heartbeat_timeout`]
+//! declares the node lost (`NodeLoss` journal event). Repair is entirely
+//! node-driven: the reconnect handshake tells the agent the newest epoch
+//! the aggregator holds, and the agent backfills everything newer from
+//! its durable segment log — each replayed frame is validated by the same
+//! CRC/version/geometry gauntlet as a fresh seal.
+
+use super::wire::{decode_epoch_payload, Message, WireError};
+use super::ClusterError;
+use crate::store::{decode_frame, FrameParse};
+use nitro_core::NitroSketch;
+use nitro_metrics::telemetry::{ClusterTelemetry, Event, TelemetryRegistry};
+use nitro_sketches::checkpoint::Checkpoint;
+use nitro_sketches::{FlowKey, RowSketch};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Aggregator tuning.
+#[derive(Clone, Debug)]
+pub struct AggregatorConfig {
+    /// Silence bound: a connected node with no message (seal, heartbeat,
+    /// anything) for this long is declared lost.
+    pub heartbeat_timeout: Duration,
+    /// Merged epochs retained (oldest evicted first; 0 = unbounded).
+    pub keep_epochs: usize,
+    /// Telemetry registry to journal events and export gauges through; a
+    /// fresh private registry is created when absent.
+    pub registry: Option<Arc<TelemetryRegistry>>,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_secs(2),
+            keep_epochs: 256,
+            registry: None,
+        }
+    }
+}
+
+/// Where one epoch stands, as served by the epoch-versioned read API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochStatus {
+    /// No frame for this epoch has arrived from any node.
+    Unknown,
+    /// Some members' frames are missing but every missing node is
+    /// connected — their seals are expected to arrive.
+    Pending {
+        /// Members whose frames are merged.
+        reporting: u32,
+        /// Total members required for completeness.
+        members: u32,
+    },
+    /// A missing member is lost or departed uncleanly: the epoch cannot
+    /// complete until that node reconnects and backfills.
+    Degraded {
+        /// The member nodes whose frames are missing.
+        missing: Vec<u32>,
+    },
+    /// Every member node's frame is merged into the global view.
+    Complete {
+        /// Nodes the merged view covers.
+        nodes: u32,
+    },
+}
+
+impl EpochStatus {
+    /// Whether the epoch is complete.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, EpochStatus::Complete { .. })
+    }
+}
+
+/// One admitted node's membership record.
+///
+/// Membership is interval-based so a node that cleanly departs and later
+/// rejoins is not blamed for the gap: epoch `e` requires this node iff
+/// `e` falls in a closed `[start, end]` interval (joined → `Goodbye`) or
+/// at/after the open interval's start (joined, not departed). A node lost
+/// *without* a `Goodbye` keeps its interval open — exactly the epochs
+/// that must stay degraded until it reconnects and backfills.
+#[derive(Debug)]
+struct NodeRecord {
+    /// Closed membership intervals, ended by clean `Goodbye`s.
+    intervals: Vec<(u64, u64)>,
+    /// Start of the current membership interval: the min over the epochs
+    /// this incarnation announced at handshake or reported frames for.
+    open_from: Option<u64>,
+    /// Newest epoch a frame was merged for.
+    last_epoch: u64,
+    connected: bool,
+    /// Monotonic per-connection counter; a stale handler (superseded by a
+    /// reconnect) fails this check before declaring a loss.
+    conn_gen: u64,
+    last_heard: Instant,
+    /// Observations the node last reported via heartbeat.
+    processed: u64,
+}
+
+impl NodeRecord {
+    fn is_member_of(&self, e: u64) -> bool {
+        self.intervals.iter().any(|&(s, t)| s <= e && e <= t)
+            || self.open_from.is_some_and(|s| s <= e)
+    }
+
+    /// Extend the open membership interval to include `e`.
+    fn expect_from(&mut self, e: u64) {
+        self.open_from = Some(self.open_from.map_or(e, |s| s.min(e)));
+    }
+}
+
+/// One epoch's merged state.
+struct EpochRecord<S: RowSketch> {
+    merged: NitroSketch<S>,
+    reporting: BTreeSet<u32>,
+    /// Sum of member reports' packet counts.
+    packets: u64,
+    /// Report-level heavy hitters summed across nodes (collector
+    /// semantics: duplicate keys merge).
+    report_hh: HashMap<FlowKey, f64>,
+    /// Whether `EpochSealed` was journaled for this epoch.
+    sealed: bool,
+    /// Whether the epoch was observed degraded before completing.
+    was_degraded: bool,
+}
+
+struct AggState<S: RowSketch> {
+    nodes: BTreeMap<u32, NodeRecord>,
+    epochs: BTreeMap<u64, EpochRecord<S>>,
+}
+
+struct AggShared<S: RowSketch> {
+    template: NitroSketch<S>,
+    fingerprint: u64,
+    cfg: AggregatorConfig,
+    state: Mutex<AggState<S>>,
+    registry: Arc<TelemetryRegistry>,
+    cluster: Arc<ClusterTelemetry>,
+    shutdown: AtomicBool,
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// Bounds every sketch type must satisfy to be cluster-aggregated: it is
+/// restored and merged (`Checkpoint`), cloned per epoch, and shared with
+/// connection-handler threads.
+pub trait ClusterSketch: RowSketch + Checkpoint + Clone + Send + Sync + 'static {}
+impl<S: RowSketch + Checkpoint + Clone + Send + Sync + 'static> ClusterSketch for S {}
+
+impl<S: ClusterSketch> AggShared<S> {
+    /// Member nodes required for epoch `e` to be complete.
+    fn members_of(state: &AggState<S>, e: u64) -> Vec<u32> {
+        state
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.is_member_of(e))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn status_of(state: &AggState<S>, e: u64) -> EpochStatus {
+        let Some(rec) = state.epochs.get(&e) else {
+            return EpochStatus::Unknown;
+        };
+        let members = Self::members_of(state, e);
+        let missing: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|id| !rec.reporting.contains(id))
+            .collect();
+        if missing.is_empty() {
+            EpochStatus::Complete {
+                nodes: rec.reporting.len() as u32,
+            }
+        } else if missing
+            .iter()
+            .all(|id| state.nodes.get(id).is_some_and(|n| n.connected))
+        {
+            EpochStatus::Pending {
+                reporting: rec.reporting.len() as u32,
+                members: members.len() as u32,
+            }
+        } else {
+            EpochStatus::Degraded { missing }
+        }
+    }
+
+    fn cluster_epoch(state: &AggState<S>) -> u64 {
+        state.epochs.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Refresh the exported gauges from current state (called under the
+    /// state lock).
+    fn refresh_gauges(&self, state: &AggState<S>) {
+        self.cluster
+            .connected_nodes
+            .set(state.nodes.values().filter(|n| n.connected).count() as u64);
+        self.cluster.known_nodes.set(state.nodes.len() as u64);
+        let degraded = state
+            .epochs
+            .keys()
+            .filter(|&&e| matches!(Self::status_of(state, e), EpochStatus::Degraded { .. }))
+            .count();
+        self.cluster.degraded_epochs.set(degraded as u64);
+    }
+
+    /// Declare node `node` lost if its connection generation still
+    /// matches (a reconnect supersedes stale handlers and stale monitor
+    /// observations).
+    fn declare_loss(&self, node: u32, conn_gen: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(rec) = state.nodes.get_mut(&node) else {
+            return;
+        };
+        if !rec.connected || rec.conn_gen != conn_gen {
+            return;
+        }
+        rec.connected = false;
+        let last_epoch = rec.last_epoch;
+        self.registry.record(Event::NodeLoss { node, last_epoch });
+        self.cluster.node_losses.incr();
+        self.refresh_gauges(&state);
+    }
+
+    /// Merge one epoch frame from `node`. Every validation failure is a
+    /// rejection (counted, never a panic): store framing, sequence match,
+    /// payload structure, checkpoint restore, and merge compatibility.
+    fn ingest_frame(
+        &self,
+        node: u32,
+        conn_gen: u64,
+        epoch: u64,
+        backfill: bool,
+        frame: &[u8],
+    ) -> Result<(), ClusterError> {
+        let rf = match decode_frame(frame, node as usize) {
+            FrameParse::Frame(rf, used) if used == frame.len() => rf,
+            FrameParse::Version => {
+                return Err(WireError::Version {
+                    found: u8::MAX,
+                    supported: crate::store::STORE_VERSION,
+                }
+                .into())
+            }
+            _ => return Err(WireError::Malformed("bad store framing on epoch frame").into()),
+        };
+        if rf.seq != epoch {
+            return Err(WireError::Malformed("frame sequence != announced epoch").into());
+        }
+        let (report, snapshot) = decode_epoch_payload(&rf.bytes)?;
+        if report.switch_id != node || report.epoch != epoch {
+            return Err(WireError::Malformed("report identity != frame identity").into());
+        }
+        let mut restored = self.template.clone();
+        restored.restore(snapshot)?;
+
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let status_before = Self::status_of(&state, epoch);
+        let rec = state.epochs.entry(epoch).or_insert_with(|| EpochRecord {
+            merged: self.template.clone(),
+            reporting: BTreeSet::new(),
+            packets: 0,
+            report_hh: HashMap::new(),
+            sealed: false,
+            was_degraded: false,
+        });
+        if matches!(status_before, EpochStatus::Degraded { .. }) {
+            rec.was_degraded = true;
+        }
+        if rec.reporting.contains(&node) {
+            // Idempotent replay (e.g. a backfill raced a delivered seal):
+            // the frame is already merged; merging again would double the
+            // node's counters.
+            return Ok(());
+        }
+        rec.merged.try_merge_from(&restored)?;
+        rec.reporting.insert(node);
+        rec.packets += report.packets;
+        for &(k, e) in &report.heavy_hitters {
+            *rec.report_hh.entry(k).or_insert(0.0) += e;
+        }
+        if let Some(n) = state.nodes.get_mut(&node) {
+            if !n.is_member_of(epoch) {
+                n.expect_from(epoch);
+            }
+            n.last_epoch = n.last_epoch.max(epoch);
+            n.last_heard = Instant::now();
+            // A frame arriving on the node's *current* connection revives
+            // it: a heartbeat-timeout loss declared during a long stall is
+            // provisional, not a death certificate. A stale generation
+            // (superseded by a reconnect) must not flip the new state.
+            if n.conn_gen == conn_gen {
+                n.connected = true;
+            }
+        }
+        self.cluster.frames_received.incr();
+        if backfill {
+            self.cluster.backfill_frames.incr();
+            self.registry
+                .record(Event::BackfillReplayed { node, frames: 1 });
+        }
+        // Seal on the transition into completeness.
+        let status = Self::status_of(&state, epoch);
+        if let EpochStatus::Complete { nodes } = status {
+            let rec = state.epochs.get_mut(&epoch).expect("just inserted");
+            if !rec.sealed {
+                rec.sealed = true;
+                let was_degraded = rec.was_degraded;
+                self.cluster.epochs_sealed.incr();
+                self.registry.record(Event::EpochSealed {
+                    epoch,
+                    nodes,
+                    was_degraded,
+                });
+            }
+        }
+        if self.cfg.keep_epochs > 0 {
+            while state.epochs.len() > self.cfg.keep_epochs {
+                let oldest = *state.epochs.keys().next().expect("non-empty");
+                state.epochs.remove(&oldest);
+            }
+        }
+        self.refresh_gauges(&state);
+        Ok(())
+    }
+}
+
+/// What a connection handler should do after one message.
+enum Step {
+    Continue,
+    /// Clean departure (`Goodbye`): close without a loss.
+    CloseClean,
+    /// Protocol violation or corrupt stream: close and declare loss.
+    CloseLoss,
+}
+
+fn handle_message<S: ClusterSketch>(
+    shared: &AggShared<S>,
+    session: &(u32, u64),
+    msg: Message,
+) -> Step {
+    let (node, conn_gen) = *session;
+    match msg {
+        Message::Hello { .. } => Step::CloseLoss, // handshake already done
+        Message::HelloAck { .. } => Step::CloseLoss, // agent-bound only
+        Message::SealEpoch {
+            node_id,
+            epoch,
+            backfill,
+            frame,
+        } => {
+            if node_id != node {
+                shared.cluster.frames_rejected.incr();
+                return Step::CloseLoss;
+            }
+            if shared
+                .ingest_frame(node, conn_gen, epoch, backfill, &frame)
+                .is_err()
+            {
+                shared.cluster.frames_rejected.incr();
+            }
+            Step::Continue
+        }
+        Message::Heartbeat {
+            node_id, processed, ..
+        } => {
+            if node_id != node {
+                return Step::CloseLoss;
+            }
+            shared.cluster.heartbeats.incr();
+            let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            let mut revived = false;
+            if let Some(rec) = state.nodes.get_mut(&node) {
+                rec.last_heard = Instant::now();
+                rec.processed = processed;
+                // A heartbeat on the current connection revives a node the
+                // monitor gave up on during a stall (see `ingest_frame`).
+                if rec.conn_gen == conn_gen && !rec.connected {
+                    rec.connected = true;
+                    revived = true;
+                }
+            }
+            if revived {
+                shared.refresh_gauges(&state);
+            }
+            Step::Continue
+        }
+        Message::Goodbye { node_id } => {
+            if node_id != node {
+                return Step::CloseLoss;
+            }
+            let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(rec) = state.nodes.get_mut(&node) {
+                rec.connected = false;
+                // Close the membership interval at the last merged epoch:
+                // later epochs no longer require this node.
+                if let Some(start) = rec.open_from.take() {
+                    if start <= rec.last_epoch {
+                        rec.intervals.push((start, rec.last_epoch));
+                    }
+                }
+            }
+            shared.refresh_gauges(&state);
+            Step::CloseClean
+        }
+    }
+}
+
+/// Per-connection loop: handshake, then buffered message pump.
+fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    // Short poll so shutdown and heartbeat checks stay responsive; the
+    // buffer below makes a timeout mid-frame harmless.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .is_err()
+    {
+        return;
+    }
+
+    // --- Handshake: the first complete message must be Hello. ---
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let hello = loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match Message::decode(&buf) {
+            Ok((msg, used)) => {
+                buf.drain(..used);
+                break msg;
+            }
+            Err(WireError::Truncated { .. }) => {}
+            Err(_) => return, // corrupt pre-handshake: drop silently
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    };
+    let Message::Hello {
+        node_id,
+        next_epoch,
+        fingerprint,
+        ..
+    } = hello
+    else {
+        return;
+    };
+    if fingerprint != shared.fingerprint {
+        let _ = Message::HelloAck {
+            accepted: false,
+            last_epoch: 0,
+            cluster_epoch: 0,
+        }
+        .write_to(&mut stream);
+        return;
+    }
+    let session = {
+        let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let rec = state.nodes.entry(node_id).or_insert_with(|| NodeRecord {
+            intervals: Vec::new(),
+            open_from: None,
+            last_epoch: 0,
+            connected: false,
+            conn_gen: 0,
+            last_heard: Instant::now(),
+            processed: 0,
+        });
+        rec.conn_gen += 1;
+        rec.connected = true;
+        // Membership (re)opens at the epoch the node announced: from here
+        // on, epochs cannot complete without it.
+        rec.expect_from(next_epoch);
+        rec.last_heard = Instant::now();
+        let session = (node_id, rec.conn_gen);
+        let ack = Message::HelloAck {
+            accepted: true,
+            last_epoch: rec.last_epoch,
+            cluster_epoch: AggShared::cluster_epoch(&state),
+        };
+        shared.registry.record(Event::NodeJoin {
+            node: node_id,
+            epoch: next_epoch,
+        });
+        shared.refresh_gauges(&state);
+        drop(state);
+        if ack.write_to(&mut stream).is_err() {
+            shared.declare_loss(node_id, session.1);
+            return;
+        }
+        session
+    };
+
+    // --- Message pump. ---
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        loop {
+            match Message::decode(&buf) {
+                Ok((msg, used)) => {
+                    buf.drain(..used);
+                    match handle_message(&shared, &session, msg) {
+                        Step::Continue => {}
+                        Step::CloseClean => return,
+                        Step::CloseLoss => {
+                            shared.declare_loss(session.0, session.1);
+                            return;
+                        }
+                    }
+                }
+                Err(WireError::Truncated { .. }) => break,
+                Err(_) => {
+                    // Corrupt stream: nothing after this point can be
+                    // trusted.
+                    shared.cluster.frames_rejected.incr();
+                    shared.declare_loss(session.0, session.1);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                shared.declare_loss(session.0, session.1);
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                shared.declare_loss(session.0, session.1);
+                return;
+            }
+        }
+    }
+}
+
+/// A queryable snapshot of one epoch's network-wide merged view.
+pub struct ClusterView<S: RowSketch> {
+    epoch: u64,
+    status: EpochStatus,
+    sketch: NitroSketch<S>,
+    packets: u64,
+    report_hh: Vec<(FlowKey, f64)>,
+}
+
+impl<S: RowSketch> ClusterView<S> {
+    /// The epoch this view covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Completeness of the view at snapshot time.
+    pub fn status(&self) -> &EpochStatus {
+        &self.status
+    }
+
+    /// Network-wide point query on the merged counters.
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.sketch.estimate(key)
+    }
+
+    /// Network-wide heavy hitters ≥ `threshold` from the merged sketch,
+    /// heaviest first.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        self.sketch.heavy_hitters(threshold)
+    }
+
+    /// Network-wide L2 norm estimate.
+    pub fn l2(&self) -> f64 {
+        self.sketch.inner().l2_squared_estimate().max(0.0).sqrt()
+    }
+
+    /// Total packets reported by the covered nodes.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Report-level heavy hitters (per-node report sums, collector
+    /// semantics), heaviest first.
+    pub fn report_heavy_hitters(&self) -> Vec<(FlowKey, f64)> {
+        let mut v = self.report_hh.clone();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The merged sketch itself.
+    pub fn sketch(&self) -> &NitroSketch<S> {
+        &self.sketch
+    }
+}
+
+/// The control-plane aggregation server.
+pub struct Aggregator<S: ClusterSketch> {
+    shared: Arc<AggShared<S>>,
+    addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    monitor_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl<S: ClusterSketch> Aggregator<S> {
+    /// Start serving on `addr` (use port 0 for an ephemeral port; see
+    /// [`Aggregator::local_addr`]). `template` must be a **blank** sketch
+    /// built exactly like every node's — its fingerprint is the admission
+    /// check, its clones become the per-epoch merge targets.
+    pub fn spawn(
+        template: NitroSketch<S>,
+        addr: impl ToSocketAddrs,
+        cfg: AggregatorConfig,
+    ) -> Result<Self, ClusterError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = cfg
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
+        let cluster = registry.cluster();
+        let fingerprint = template.inner().fingerprint();
+        let shared = Arc::new(AggShared {
+            template,
+            fingerprint,
+            cfg,
+            state: Mutex::new(AggState {
+                nodes: BTreeMap::new(),
+                epochs: BTreeMap::new(),
+            }),
+            registry,
+            cluster,
+            shutdown: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("nitro-agg-accept".into())
+            .spawn(move || loop {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        if let Ok(h) = thread::Builder::new()
+                            .name("nitro-agg-conn".into())
+                            .spawn(move || handle_conn(conn_shared, stream))
+                        {
+                            accept_shared
+                                .handlers
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push(h);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn aggregator accept thread");
+
+        let monitor_shared = Arc::clone(&shared);
+        let tick = (monitor_shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+        let monitor_thread = thread::Builder::new()
+            .name("nitro-agg-monitor".into())
+            .spawn(move || loop {
+                thread::sleep(tick);
+                if monitor_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let timeout = monitor_shared.cfg.heartbeat_timeout;
+                let silent: Vec<(u32, u64)> = {
+                    let state = monitor_shared
+                        .state
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
+                    state
+                        .nodes
+                        .iter()
+                        .filter(|(_, n)| n.connected && n.last_heard.elapsed() > timeout)
+                        .map(|(&id, n)| (id, n.conn_gen))
+                        .collect()
+                };
+                for (node, conn_gen) in silent {
+                    monitor_shared.declare_loss(node, conn_gen);
+                }
+            })
+            .expect("spawn aggregator monitor thread");
+
+        Ok(Self {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            monitor_thread: Some(monitor_thread),
+        })
+    }
+
+    /// The bound listen address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The telemetry registry events and gauges flow through.
+    pub fn registry(&self) -> &Arc<TelemetryRegistry> {
+        &self.shared.registry
+    }
+
+    /// Status of one epoch.
+    pub fn epoch_status(&self, epoch: u64) -> EpochStatus {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        AggShared::status_of(&state, epoch)
+    }
+
+    /// Newest epoch any node has reported (0: none).
+    pub fn latest_epoch(&self) -> u64 {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        AggShared::cluster_epoch(&state)
+    }
+
+    /// Newest epoch served complete, if any.
+    pub fn latest_complete(&self) -> Option<u64> {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        state
+            .epochs
+            .keys()
+            .rev()
+            .find(|&&e| AggShared::status_of(&state, e).is_complete())
+            .copied()
+    }
+
+    /// Epoch-versioned read: the merged view of `epoch` with its
+    /// completeness status stamped in. `None` when no node has reported
+    /// the epoch (or it was evicted).
+    pub fn view(&self, epoch: u64) -> Option<ClusterView<S>> {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let rec = state.epochs.get(&epoch)?;
+        Some(ClusterView {
+            epoch,
+            status: AggShared::status_of(&state, epoch),
+            sketch: rec.merged.clone(),
+            packets: rec.packets,
+            report_hh: rec.report_hh.iter().map(|(&k, &v)| (k, v)).collect(),
+        })
+    }
+
+    /// Change detection between two epochs: per-flow estimate deltas
+    /// (`to − from`) over the union of both views' tracked heavy keys,
+    /// filtered to `|delta| >= threshold`, largest magnitude first.
+    /// `None` when either epoch has no view.
+    pub fn change_between(
+        &self,
+        from: u64,
+        to: u64,
+        threshold: f64,
+    ) -> Option<Vec<(FlowKey, f64)>> {
+        let (a, b) = {
+            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            (
+                state.epochs.get(&from)?.merged.clone(),
+                state.epochs.get(&to)?.merged.clone(),
+            )
+        };
+        let mut keys: BTreeSet<FlowKey> = BTreeSet::new();
+        for (k, _) in a.heavy_hitters(f64::NEG_INFINITY) {
+            keys.insert(k);
+        }
+        for (k, _) in b.heavy_hitters(f64::NEG_INFINITY) {
+            keys.insert(k);
+        }
+        let mut out: Vec<(FlowKey, f64)> = keys
+            .into_iter()
+            .map(|k| (k, b.estimate(k) - a.estimate(k)))
+            .filter(|&(_, d)| d.abs() >= threshold)
+            .collect();
+        out.sort_by(|x, y| y.1.abs().total_cmp(&x.1.abs()).then(x.0.cmp(&y.0)));
+        Some(out)
+    }
+
+    /// Node ids currently holding a live connection.
+    pub fn connected_nodes(&self) -> Vec<u32> {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        state
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.connected)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Every node id the aggregator has ever admitted.
+    pub fn known_nodes(&self) -> Vec<u32> {
+        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.nodes.keys().copied().collect()
+    }
+
+    /// Prometheus scrape (gauges refreshed first).
+    pub fn scrape(&self) -> String {
+        {
+            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            self.shared.refresh_gauges(&state);
+        }
+        self.shared.registry.render_prometheus()
+    }
+
+    /// JSON scrape (gauges refreshed first).
+    pub fn scrape_json(&self) -> String {
+        {
+            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            self.shared.refresh_gauges(&state);
+        }
+        self.shared.registry.render_json()
+    }
+
+    /// Stop serving: close the listener, join every thread. Merged state
+    /// stays queryable through the returned handle? No — shutdown consumes
+    /// the aggregator; take the views you need first.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.monitor_thread.take() {
+            let _ = h.join();
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .shared
+                .handlers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: ClusterSketch> Drop for Aggregator<S> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::agent::{NodeAgent, NodeAgentConfig};
+    use crate::pipeline::MergedView;
+    use nitro_core::{Mode, NitroSketch};
+    use nitro_sketches::CountMin;
+
+    fn template() -> NitroSketch<CountMin> {
+        NitroSketch::new(CountMin::new(4, 512, 7), Mode::Fixed { p: 1.0 }, 32)
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nitro-agg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    #[test]
+    fn loopback_seal_merge_and_query() {
+        let agg = Aggregator::spawn(
+            template(),
+            ("127.0.0.1", 0),
+            AggregatorConfig {
+                heartbeat_timeout: Duration::from_millis(500),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fp = template().inner().fingerprint();
+        let mut agents = Vec::new();
+        for id in 0..2u32 {
+            let dir = tmp_dir(&format!("loop{id}"));
+            let mut a = NodeAgent::open(&dir, NodeAgentConfig::new(id, fp)).unwrap();
+            a.connect(agg.local_addr()).unwrap();
+            agents.push((a, dir));
+        }
+        for (id, (agent, _dir)) in agents.iter_mut().enumerate() {
+            let mut sketch = template();
+            for _ in 0..100 * (id + 1) {
+                sketch.process(7, 1.0);
+            }
+            let view = MergedView::from_sketch(1, sketch);
+            let out = agent.seal_epoch(1, &view, 10.0).unwrap();
+            assert!(out.delivered);
+        }
+        assert!(wait_until(Duration::from_secs(5), || agg
+            .epoch_status(1)
+            .is_complete()));
+        let view = agg.view(1).unwrap();
+        assert_eq!(view.estimate(7), 300.0); // 100 + 200, p = 1 exact
+        assert_eq!(agg.latest_complete(), Some(1));
+        for (a, dir) in agents {
+            a.close();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        agg.shutdown();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected_at_handshake() {
+        let agg =
+            Aggregator::spawn(template(), ("127.0.0.1", 0), AggregatorConfig::default()).unwrap();
+        // Different row seed → different fingerprint → rejected.
+        let wrong_fp = CountMin::new(4, 512, 9).fingerprint();
+        let dir = tmp_dir("reject");
+        let mut a = NodeAgent::open(&dir, NodeAgentConfig::new(5, wrong_fp)).unwrap();
+        assert!(matches!(
+            a.connect(agg.local_addr()),
+            Err(ClusterError::Rejected(_))
+        ));
+        assert!(agg.known_nodes().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+        agg.shutdown();
+    }
+
+    #[test]
+    fn silent_node_is_declared_lost_by_heartbeat_timeout() {
+        let registry = Arc::new(TelemetryRegistry::new());
+        let agg = Aggregator::spawn(
+            template(),
+            ("127.0.0.1", 0),
+            AggregatorConfig {
+                heartbeat_timeout: Duration::from_millis(120),
+                keep_epochs: 16,
+                registry: Some(Arc::clone(&registry)),
+            },
+        )
+        .unwrap();
+        let fp = template().inner().fingerprint();
+        let dir = tmp_dir("silent");
+        let mut a = NodeAgent::open(&dir, NodeAgentConfig::new(1, fp)).unwrap();
+        a.connect(agg.local_addr()).unwrap();
+        assert_eq!(agg.connected_nodes(), vec![1]);
+        // Keep the socket open but go silent: only the heartbeat monitor
+        // can catch this (no EOF ever arrives).
+        assert!(wait_until(Duration::from_millis(600), || agg
+            .connected_nodes()
+            .is_empty()));
+        let events = registry.drain_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::NodeLoss { node: 1, .. })));
+        drop(a);
+        let _ = std::fs::remove_dir_all(&dir);
+        agg.shutdown();
+    }
+}

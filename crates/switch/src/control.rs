@@ -14,7 +14,13 @@
 //!   how long each report occupies the link.
 //! - [`Collector`]: controller-side aggregation across switches and epochs
 //!   (merging heavy-hitter lists, tracking totals).
+//!
+//! This module is the single-process core the distributed plane in
+//! [`crate::cluster`] is built on: a cluster epoch frame embeds an
+//! [`EpochReport`] next to the full sketch checkpoint, and decode errors
+//! share the [`WireError`] taxonomy with the cluster protocol.
 
+use crate::cluster::wire::WireError;
 use nitro_sketches::FlowKey;
 use std::collections::HashMap;
 
@@ -62,10 +68,13 @@ impl EpochReport {
     }
 
     /// Decode from the wire format.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
-        let need = |n: usize| -> Result<(), String> {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, WireError> {
+        let need = |n: usize| -> Result<(), WireError> {
             if data.len() < n {
-                Err(format!("report truncated: {} < {n}", data.len()))
+                Err(WireError::Truncated {
+                    need: n,
+                    got: data.len(),
+                })
             } else {
                 Ok(())
             }
@@ -75,7 +84,7 @@ impl EpochReport {
         let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
         let f64_at = |i: usize| f64::from_le_bytes(data[i..i + 8].try_into().unwrap());
         if u32_at(0) != MAGIC {
-            return Err("bad report magic".into());
+            return Err(WireError::BadMagic);
         }
         let count = u32_at(56) as usize;
         need(60 + count * 16)?;
@@ -156,14 +165,16 @@ impl Collector {
     }
 
     /// Ingest raw wire bytes.
-    pub fn ingest_bytes(&mut self, data: &[u8]) -> Result<(), String> {
+    pub fn ingest_bytes(&mut self, data: &[u8]) -> Result<(), WireError> {
         self.ingest(EpochReport::from_bytes(data)?);
         Ok(())
     }
 
     /// Network-wide heavy hitters: per-flow sums of the latest per-switch
-    /// estimates, heaviest first (a flow crossing two monitored links is
-    /// reported by both — the operator's dedup policy applies upstream).
+    /// estimates, heaviest first. A flow crossing several monitored links
+    /// appears in several reports; its contributions are **merged into a
+    /// single entry here** (summed), so the result never contains
+    /// duplicate keys.
     pub fn network_heavy_hitters(&self) -> Vec<(FlowKey, f64)> {
         let mut agg: HashMap<FlowKey, f64> = HashMap::new();
         for report in self.latest.values() {
@@ -212,12 +223,21 @@ mod tests {
     }
 
     #[test]
-    fn wire_rejects_garbage() {
-        assert!(EpochReport::from_bytes(&[0u8; 10]).is_err());
-        assert!(EpochReport::from_bytes(&[0u8; 100]).is_err()); // bad magic
+    fn wire_rejects_garbage_with_typed_errors() {
+        assert_eq!(
+            EpochReport::from_bytes(&[0u8; 10]),
+            Err(WireError::Truncated { need: 60, got: 10 })
+        );
+        assert_eq!(
+            EpochReport::from_bytes(&[0u8; 100]),
+            Err(WireError::BadMagic)
+        );
         let mut ok = sample(1, 1).to_bytes();
         ok.truncate(ok.len() - 1); // truncated HH list
-        assert!(EpochReport::from_bytes(&ok).is_err());
+        assert!(matches!(
+            EpochReport::from_bytes(&ok),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -250,6 +270,25 @@ mod tests {
         let hh = c.network_heavy_hitters();
         assert_eq!(hh[0], (10, 170.0));
         assert_eq!(c.totals(), (2, 2_000_000));
+    }
+
+    /// Regression: a flow reported by several switches must come back as
+    /// ONE summed entry — never one entry per reporting switch.
+    #[test]
+    fn duplicate_flow_keys_merge_across_switches() {
+        let mut c = Collector::new();
+        for sw in 0..4u32 {
+            let mut r = sample(sw, 1);
+            r.heavy_hitters = vec![(77, 10.0 * (sw + 1) as f64), (1000 + sw as u64, 5.0)];
+            c.ingest(r);
+        }
+        let hh = c.network_heavy_hitters();
+        let seen: Vec<FlowKey> = hh.iter().map(|&(k, _)| k).collect();
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seen.len(), dedup.len(), "duplicate keys in {seen:?}");
+        assert_eq!(hh[0], (77, 100.0)); // 10 + 20 + 30 + 40
     }
 
     #[test]

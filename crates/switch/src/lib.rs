@@ -39,6 +39,7 @@
 
 pub mod bess;
 pub mod classifier;
+pub mod cluster;
 pub mod control;
 pub mod cost;
 pub mod daemon;
@@ -57,6 +58,10 @@ pub mod store;
 pub mod supervisor;
 pub mod vpp;
 
+pub use cluster::{
+    Aggregator, AggregatorConfig, ClusterError, ClusterView, EpochStatus, NodeAgent,
+    NodeAgentConfig, SealOutcome, WireError,
+};
 pub use control::{Collector, ControlLink, EpochReport};
 pub use cost::{CostModel, CostReport, Stage};
 pub use daemon::{DaemonError, MeasurementDaemon, MeasurementTap, Observation};

@@ -430,6 +430,17 @@ impl<S: RowSketch> MergedView<S> {
     pub fn into_sketch(self) -> NitroSketch<S> {
         self.sketch
     }
+
+    /// Wrap a standalone sketch as a single-shard view (no staleness
+    /// records) — for cluster agents and tests that seal epochs without a
+    /// running sharded fleet behind them.
+    pub fn from_sketch(epoch: u64, sketch: NitroSketch<S>) -> Self {
+        Self {
+            epoch,
+            sketch,
+            staleness: Vec::new(),
+        }
+    }
 }
 
 /// Everything needed to (re)spawn one shard: the measurement factory, the

@@ -394,6 +394,32 @@ impl CheckpointStore {
         newest
     }
 
+    /// Every valid durable frame for `shard`, in append order (sealed
+    /// segments oldest-first, then the active log) — the cluster agent's
+    /// backfill source: a node that reconnects after a partition replays
+    /// the epochs the aggregator never saw straight out of this scan.
+    /// Taken under the shard's append lock like
+    /// [`CheckpointStore::newest_frame`]; torn or corrupt tails end a
+    /// segment's contribution at its last valid frame.
+    pub fn frames(&self, shard: usize) -> Vec<RecoveredFrame> {
+        let logs = self.logs.read().unwrap_or_else(|p| p.into_inner());
+        let Some(log) = logs.get(shard) else {
+            return Vec::new();
+        };
+        let _guard = log.lock().unwrap_or_else(|p| p.into_inner());
+        let sdir = shard_dir(&self.dir, shard);
+        let mut out = Vec::new();
+        let mut ids = sealed_segment_ids(&sdir).unwrap_or_default();
+        ids.sort_unstable();
+        for id in ids {
+            let _ = scan_segment(&sdir.join(format!("seg-{id:08}.log")), shard, |f| {
+                out.push(f)
+            });
+        }
+        let _ = scan_segment(&sdir.join("active.log"), shard, |f| out.push(f));
+        out
+    }
+
     /// Online resize to `new_shards` (grow or shrink), for the pipeline's
     /// rescale: create the new shard directories, extend the append state,
     /// and rewrite the manifest so recovery sees the new fleet width. The

@@ -1,0 +1,178 @@
+//! The distributed measurement plane, end to end on loopback TCP: three
+//! measurement nodes — each a sharded pipeline with a durable agent log —
+//! stream epoch-sealed sketch checkpoints to one aggregator that answers
+//! network-wide queries per epoch.
+//!
+//! The demo walks the full failure arc:
+//!
+//! 1. three nodes handshake (geometry fingerprints must match) and seal
+//!    epochs 1-2 live — the aggregator serves them `Complete`;
+//! 2. node 2's link is severed mid-epoch; its epoch-3 seal lands only in
+//!    its durable log (persist-before-publish), the heartbeat monitor
+//!    declares the node lost, and epoch 3 is served `Degraded`;
+//! 3. the restarted agent reopens the same log, reconnects, and backfills
+//!    the missed frame — epoch 3 flips to `Complete` without replaying a
+//!    single packet;
+//! 4. the scrape endpoint exports the whole story: joins, the loss, the
+//!    backfill, and per-epoch seal counters.
+//!
+//! Run with: `cargo run --release --example cluster_pipeline`
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::prelude::*;
+use nitrosketch::sketches::Checkpoint;
+use nitrosketch::switch::{Aggregator, AggregatorConfig, NodeAgent, NodeAgentConfig};
+use nitrosketch::traffic::zipf::Zipf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 3;
+const EPOCHS: u64 = 4;
+const CHUNK: usize = 50_000;
+
+fn blank() -> NitroSketch<CountMin> {
+    NitroSketch::new(CountMin::new(4, 1 << 12, 77), Mode::Fixed { p: 1.0 }, 1).with_topk(128)
+}
+
+fn wait(agg: &Aggregator<CountMin>, epoch: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !agg.epoch_status(epoch).is_complete() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("  epoch {epoch} {what}: {:?}", agg.epoch_status(epoch));
+}
+
+fn main() {
+    let registry = Arc::new(nitrosketch::metrics::TelemetryRegistry::new());
+    let agg: Aggregator<CountMin> = Aggregator::spawn(
+        blank(),
+        "127.0.0.1:0",
+        AggregatorConfig {
+            heartbeat_timeout: Duration::from_millis(250),
+            keep_epochs: 64,
+            registry: Some(Arc::clone(&registry)),
+        },
+    )
+    .expect("spawn aggregator");
+    let addr = agg.local_addr();
+    let fingerprint = blank().inner().fingerprint();
+    println!("aggregator listening on {addr} (fingerprint {fingerprint:#018x})");
+
+    // Each node runs a single-node measurement sketch here to keep the
+    // example compact; swap in `spawn_sharded` + `epoch_view` for the
+    // full multi-core pipeline (see tests/cluster.rs).
+    let mut sketches: Vec<NitroSketch<CountMin>> = (0..NODES)
+        .map(|n| {
+            NitroSketch::new(
+                CountMin::new(4, 1 << 12, 77),
+                Mode::Fixed { p: 1.0 },
+                40 + n as u64,
+            )
+            .with_topk(128)
+        })
+        .collect();
+    let mut agents: Vec<NodeAgent> = (0..NODES)
+        .map(|n| {
+            let dir =
+                std::env::temp_dir().join(format!("nitro-cluster-demo-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut a = NodeAgent::open(dir, NodeAgentConfig::new(n as u32, fingerprint))
+                .expect("open agent");
+            a.connect(addr).expect("handshake");
+            println!("node {n}: connected (next epoch {})", a.next_epoch());
+            a
+        })
+        .collect();
+    let mut zipfs: Vec<Zipf> = (0..NODES)
+        .map(|n| Zipf::new(50_000, 1.2, 9 + n as u64))
+        .collect();
+
+    for epoch in 1..=EPOCHS {
+        println!("── epoch {epoch} ──");
+        for n in 0..NODES {
+            // Mid-epoch partition: node 2's socket dies before its seal.
+            if epoch == 3 && n == 2 {
+                agents[2].sever();
+                println!("  node 2: link severed (no Goodbye — a partition, not a departure)");
+            }
+            for _ in 0..CHUNK {
+                let k = zipfs[n].sample();
+                sketches[n].process(k, 1.0);
+            }
+            let view = nitrosketch::switch::MergedView::from_sketch(epoch, sketches[n].clone());
+            let out = agents[n]
+                .seal_epoch(
+                    epoch,
+                    &view,
+                    0.001 * (epoch as f64) * (NODES * CHUNK) as f64,
+                )
+                .expect("seal");
+            println!(
+                "  node {n}: sealed epoch {epoch} ({})",
+                if out.delivered {
+                    "delivered"
+                } else {
+                    "durable only — will backfill"
+                }
+            );
+        }
+        if epoch == 3 {
+            // The monitor needs silence longer than the heartbeat timeout
+            // to blame node 2; the live nodes keep heartbeating.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while agg.connected_nodes().len() == NODES && Instant::now() < deadline {
+                for a in agents[..2].iter_mut() {
+                    a.heartbeat(0);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            println!("  aggregator: connected nodes {:?}", agg.connected_nodes());
+            println!(
+                "  epoch 3 while node 2 is missing: {:?}",
+                agg.epoch_status(3)
+            );
+            println!("  latest complete epoch: {:?}", agg.latest_complete());
+
+            // "Restart" node 2: reopen the same durable log and reconnect.
+            let dir =
+                std::env::temp_dir().join(format!("nitro-cluster-demo-{}-2", std::process::id()));
+            let mut revived =
+                NodeAgent::open(dir, NodeAgentConfig::new(2, fingerprint)).expect("reopen agent");
+            let replayed = revived.connect(addr).expect("reconnect");
+            println!("  node 2: reconnected, backfilled {replayed} missed frame(s)");
+            agents[2] = revived;
+            wait(&agg, 3, "after backfill");
+        } else {
+            wait(&agg, epoch, "status");
+        }
+    }
+
+    let view = agg
+        .view(agg.latest_complete().expect("a complete epoch"))
+        .expect("epoch view");
+    println!("── network-wide view @ epoch {} ──", view.epoch());
+    println!("  packets merged: {}", view.packets());
+    for (k, est) in view.heavy_hitters(0.0).iter().take(5) {
+        println!("  flow {k:>12x}  ~{est:.0} packets");
+    }
+    if let Some(changes) = agg.change_between(2, 4, 1_000.0) {
+        println!(
+            "  flows changing ≥1000 between epochs 2 and 4: {}",
+            changes.len()
+        );
+    }
+
+    println!("── scrape ──");
+    for line in agg
+        .scrape()
+        .lines()
+        .filter(|l| l.starts_with("nitro_cluster"))
+    {
+        println!("  {line}");
+    }
+
+    for a in agents {
+        a.close();
+    }
+    agg.shutdown();
+}

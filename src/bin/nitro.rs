@@ -254,7 +254,7 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
             memory_bytes: nitro.memory_bytes() as u64,
         };
         let (bytes, ns) = link.send(&report);
-        collector.ingest_bytes(&bytes)?;
+        collector.ingest_bytes(&bytes).map_err(|e| e.to_string())?;
         println!(
             "epoch {epoch}: {} heavy hitters, report {} B ({} ns on the control link)",
             hh.len(),
