@@ -341,6 +341,27 @@ pub enum Event {
         /// Durable frames replayed in this backfill.
         frames: u64,
     },
+    /// An aggregator was rebuilt from its durable aggregation log: sealed
+    /// epoch views and membership intervals were served from disk before
+    /// any node reconnected.
+    AggregatorRecovered {
+        /// Epoch views rebuilt from the log.
+        epochs: u32,
+        /// Node membership records rebuilt from the log.
+        nodes: u32,
+        /// Log records replayed (node frames + membership snapshots).
+        records: u64,
+    },
+    /// A disconnected cluster agent scheduled a jittered redial after a
+    /// failed reconnect attempt.
+    ReconnectBackoff {
+        /// Operator-assigned node id.
+        node: u32,
+        /// Consecutive failed attempts so far (1-based).
+        attempt: u32,
+        /// Backoff chosen before the next redial, in milliseconds.
+        delay_ms: u64,
+    },
 }
 
 impl Event {
@@ -380,6 +401,16 @@ impl Event {
                 was_degraded,
             } => (12, epoch, nodes as u64, was_degraded as u64),
             Event::BackfillReplayed { node, frames } => (13, node as u64, frames, 0),
+            Event::AggregatorRecovered {
+                epochs,
+                nodes,
+                records,
+            } => (14, epochs as u64, nodes as u64, records),
+            Event::ReconnectBackoff {
+                node,
+                attempt,
+                delay_ms,
+            } => (15, node as u64, attempt as u64, delay_ms),
         }
     }
 
@@ -445,6 +476,16 @@ impl Event {
             13 => Event::BackfillReplayed {
                 node: a as u32,
                 frames: b,
+            },
+            14 => Event::AggregatorRecovered {
+                epochs: a as u32,
+                nodes: b as u32,
+                records: c,
+            },
+            15 => Event::ReconnectBackoff {
+                node: a as u32,
+                attempt: b as u32,
+                delay_ms: c,
             },
             _ => return None,
         })
@@ -527,6 +568,22 @@ impl std::fmt::Display for Event {
             Event::BackfillReplayed { node, frames } => write!(
                 f,
                 "node {node}: backfilled {frames} missed epoch frames from its durable log"
+            ),
+            Event::AggregatorRecovered {
+                epochs,
+                nodes,
+                records,
+            } => write!(
+                f,
+                "aggregator recovered from durable log: {epochs} epoch views and {nodes} node records rebuilt from {records} records"
+            ),
+            Event::ReconnectBackoff {
+                node,
+                attempt,
+                delay_ms,
+            } => write!(
+                f,
+                "node {node}: reconnect attempt {attempt} failed; redialing in {delay_ms} ms"
             ),
         }
     }
@@ -932,6 +989,20 @@ pub struct ClusterTelemetry {
     pub frames_rejected: TelemetryCell,
     /// Heartbeat messages received (counter).
     pub heartbeats: TelemetryCell,
+    /// Records appended durably to the aggregation log (counter).
+    pub log_records: TelemetryCell,
+    /// Aggregation-log appends that failed — the in-memory merge keeps
+    /// serving but a restart will rely on node backfill for the lost
+    /// records (counter).
+    pub log_persist_failures: TelemetryCell,
+    /// Epoch views rebuilt from the aggregation log by the last recovery
+    /// (gauge; 0 when the aggregator started fresh).
+    pub recovered_epochs: TelemetryCell,
+    /// Log records replayed by the last recovery (gauge).
+    pub recovered_records: TelemetryCell,
+    /// Jittered reconnect backoffs scheduled by disconnected agents
+    /// (counter; agent-side, populated when agents share this registry).
+    pub reconnect_backoffs: TelemetryCell,
 }
 
 /// The fleet-wide telemetry plane: every live and retired shard instance,
@@ -1196,6 +1267,13 @@ impl TelemetryRegistry {
                     c.frames_rejected.get()
                 }),
                 ("nitro_cluster_heartbeats_total", |c| c.heartbeats.get()),
+                ("nitro_cluster_log_records_total", |c| c.log_records.get()),
+                ("nitro_cluster_log_persist_failures_total", |c| {
+                    c.log_persist_failures.get()
+                }),
+                ("nitro_cluster_reconnect_backoffs_total", |c| {
+                    c.reconnect_backoffs.get()
+                }),
             ];
             for (name, get) in cluster_counters {
                 out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", get(&c)));
@@ -1204,6 +1282,12 @@ impl TelemetryRegistry {
                 ("nitro_cluster_connected_nodes", |c| c.connected_nodes.get()),
                 ("nitro_cluster_known_nodes", |c| c.known_nodes.get()),
                 ("nitro_cluster_degraded_epochs", |c| c.degraded_epochs.get()),
+                ("nitro_cluster_recovered_epochs", |c| {
+                    c.recovered_epochs.get()
+                }),
+                ("nitro_cluster_recovered_records", |c| {
+                    c.recovered_records.get()
+                }),
             ];
             for (name, get) in cluster_gauges {
                 out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", get(&c)));
@@ -1235,7 +1319,10 @@ impl TelemetryRegistry {
                 "\"cluster\":{{\"connected_nodes\":{},\"known_nodes\":{},\
                  \"degraded_epochs\":{},\"epochs_sealed\":{},\"node_losses\":{},\
                  \"backfill_frames\":{},\"frames_received\":{},\
-                 \"frames_rejected\":{},\"heartbeats\":{}}},",
+                 \"frames_rejected\":{},\"heartbeats\":{},\
+                 \"log_records\":{},\"log_persist_failures\":{},\
+                 \"recovered_epochs\":{},\"recovered_records\":{},\
+                 \"reconnect_backoffs\":{}}},",
                 c.connected_nodes.get(),
                 c.known_nodes.get(),
                 c.degraded_epochs.get(),
@@ -1244,7 +1331,12 @@ impl TelemetryRegistry {
                 c.backfill_frames.get(),
                 c.frames_received.get(),
                 c.frames_rejected.get(),
-                c.heartbeats.get()
+                c.heartbeats.get(),
+                c.log_records.get(),
+                c.log_persist_failures.get(),
+                c.recovered_epochs.get(),
+                c.recovered_records.get(),
+                c.reconnect_backoffs.get()
             ));
         }
         out.push_str("\"shards\":[");
@@ -1523,6 +1615,33 @@ mod tests {
             Event::SeedRotation {
                 band: 5 << 32,
                 duration_ns: 18,
+            },
+            Event::NodeJoin {
+                node: 19,
+                epoch: 20,
+            },
+            Event::NodeLoss {
+                node: 21,
+                last_epoch: 22,
+            },
+            Event::EpochSealed {
+                epoch: 23,
+                nodes: 3,
+                was_degraded: true,
+            },
+            Event::BackfillReplayed {
+                node: 24,
+                frames: 25,
+            },
+            Event::AggregatorRecovered {
+                epochs: 26,
+                nodes: 3,
+                records: 27,
+            },
+            Event::ReconnectBackoff {
+                node: 28,
+                attempt: 4,
+                delay_ms: 800,
             },
         ];
         for ev in events {

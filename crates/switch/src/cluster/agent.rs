@@ -11,27 +11,28 @@
 //! successful handshake repairs via backfill. Nothing ever needs to be
 //! recomputed: backfill re-sends disk bytes.
 
+use super::reconnect::{ReconnectDecision, ReconnectPolicy};
 use super::wire::{encode_epoch_payload, Message, WireError};
 use super::ClusterError;
 use crate::control::EpochReport;
 use crate::pipeline::MergedView;
 use crate::store::{CheckpointSink, CheckpointStore, StoreConfig, StoreError};
+use nitro_hash::xxhash::xxh64_u64;
+use nitro_metrics::telemetry::{ClusterTelemetry, Event, TelemetryRegistry};
 use nitro_sketches::checkpoint::Checkpoint;
 use nitro_sketches::RowSketch;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
-
-/// How long the agent waits for the aggregator's `HelloAck`.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+use std::time::{Duration, Instant};
 
 /// Configuration of one node's agent.
 #[derive(Clone, Debug)]
 pub struct NodeAgentConfig {
     /// Operator-assigned node id. Must fit in `u16`: it doubles as the
     /// shard field of the node's durable frames, which the aggregator
-    /// re-validates on receipt.
+    /// re-validates on receipt. Checked once, fallibly, by
+    /// [`NodeAgentConfig::validate`] when the agent opens.
     pub node_id: u32,
     /// Blank-template configuration fingerprint
     /// (`Checkpoint::fingerprint` on the *inner* sketch of an unused
@@ -41,13 +42,29 @@ pub struct NodeAgentConfig {
     /// segments than the pipeline store does: history here is backfill
     /// range, not just redundancy.
     pub store: StoreConfig,
+    /// Redial schedule after a lost connection. The policy's jitter seed
+    /// is mixed with the node id so a fleet severed by one partition does
+    /// not redial in lockstep.
+    pub reconnect: ReconnectPolicy,
+    /// Bound on each dial attempt (per resolved address).
+    pub connect_timeout: Duration,
+    /// Bound on the handshake round-trip. Scoped to the handshake only:
+    /// it is cleared from the read side afterwards so long idle gaps
+    /// between heartbeats never surface as spurious errors.
+    pub handshake_timeout: Duration,
+    /// Write timeout kept on the stream after the handshake, so a hung or
+    /// partitioned aggregator degrades a seal to local-durable instead of
+    /// blocking the epoch loop.
+    pub write_timeout: Duration,
+    /// Telemetry registry `ReconnectBackoff` events and counters flow
+    /// through; `None` disables agent-side telemetry.
+    pub registry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl NodeAgentConfig {
     /// Config for `node_id` with fingerprint `fingerprint` and an epoch
     /// log retaining ~64 epochs of backfill range.
     pub fn new(node_id: u32, fingerprint: u64) -> Self {
-        assert!(node_id <= u16::MAX as u32, "node id must fit in u16");
         Self {
             node_id,
             fingerprint,
@@ -56,7 +73,21 @@ impl NodeAgentConfig {
                 keep_segments: 8,
                 fsync: true,
             },
+            reconnect: ReconnectPolicy::default(),
+            connect_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(2),
+            registry: None,
         }
+    }
+
+    /// The one place operator input is checked: the node id must fit the
+    /// wire protocol's 16-bit node field.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.node_id > u16::MAX as u32 {
+            return Err(ClusterError::InvalidNodeId(self.node_id));
+        }
+        Ok(())
     }
 }
 
@@ -93,6 +124,21 @@ pub struct NodeAgent {
     cluster_epoch: u64,
     /// Durable frames replayed over all connects of this agent instance.
     backfilled: u64,
+    reconnect: ReconnectPolicy,
+    connect_timeout: Duration,
+    handshake_timeout: Duration,
+    write_timeout: Duration,
+    registry: Option<Arc<TelemetryRegistry>>,
+    cluster: Option<Arc<ClusterTelemetry>>,
+    /// Resolved aggregator addresses from the last explicit
+    /// [`NodeAgent::connect`] — the redial target.
+    target: Option<Vec<SocketAddr>>,
+    /// Consecutive failed redials since the connection dropped.
+    attempts: u64,
+    /// Earliest instant the next automatic redial may fire.
+    retry_at: Option<Instant>,
+    /// The redial budget is spent; only an explicit `connect` resets it.
+    gave_up: bool,
 }
 
 impl NodeAgent {
@@ -100,13 +146,20 @@ impl NodeAgent {
     /// a node can seal epochs durably before — or without ever — reaching
     /// an aggregator.
     pub fn open(dir: impl AsRef<Path>, cfg: NodeAgentConfig) -> Result<Self, ClusterError> {
-        assert!(cfg.node_id <= u16::MAX as u32, "node id must fit in u16");
+        cfg.validate()?;
         let store = match CheckpointStore::create(&dir, 1, cfg.store.clone()) {
             Ok(s) => s,
             Err(StoreError::AlreadyExists) => CheckpointStore::recover(&dir, cfg.store.clone())?.0,
             Err(e) => return Err(e.into()),
         };
         let next_epoch = store.newest_frame(0).map_or(1, |f| f.seq + 1);
+        // Mix the node id into the jitter seed so agents sharing a default
+        // policy still spread their redials across a partition heal.
+        let reconnect = ReconnectPolicy {
+            seed: cfg.reconnect.seed ^ xxh64_u64(cfg.node_id as u64, 0x9e37_79b9_7f4a_7c15),
+            ..cfg.reconnect
+        };
+        let cluster = cfg.registry.as_ref().map(|r| r.cluster());
         Ok(Self {
             node_id: cfg.node_id,
             fingerprint: cfg.fingerprint,
@@ -116,17 +169,71 @@ impl NodeAgent {
             acked_epoch: 0,
             cluster_epoch: 0,
             backfilled: 0,
+            reconnect,
+            connect_timeout: cfg.connect_timeout,
+            handshake_timeout: cfg.handshake_timeout,
+            write_timeout: cfg.write_timeout,
+            registry: cfg.registry,
+            cluster,
+            target: None,
+            attempts: 0,
+            retry_at: None,
+            gave_up: false,
         })
     }
 
     /// Connect (or reconnect) to the aggregator: dial, handshake, then
     /// replay every durable epoch the aggregator is missing. Returns the
     /// number of frames backfilled.
+    ///
+    /// The resolved addresses become the agent's redial target: if the
+    /// connection later drops, [`NodeAgent::seal_epoch`] and
+    /// [`NodeAgent::heartbeat`] redial it automatically on the
+    /// [`ReconnectPolicy`] schedule. An explicit `connect` always resets
+    /// that schedule (attempt counter, backoff, spent budget).
     pub fn connect(&mut self, addr: impl ToSocketAddrs) -> Result<u64, ClusterError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::from(std::io::ErrorKind::AddrNotAvailable).into());
+        }
+        self.target = Some(addrs);
+        self.attempts = 0;
+        self.retry_at = None;
+        self.gave_up = false;
+        let out = self.establish();
+        if out.is_err() {
+            // The target is known even though the dial failed: arm the
+            // automatic schedule so seal/heartbeat keep trying.
+            self.on_disconnect();
+        }
+        out
+    }
+
+    /// Dial the stored target, handshake, backfill. Timeout discipline:
+    /// the handshake deadline covers both directions but is *scoped to
+    /// the handshake* — afterwards the read side is cleared (idle gaps
+    /// between heartbeats are normal) and the write side drops to the
+    /// configured seal-path timeout.
+    fn establish(&mut self) -> Result<u64, ClusterError> {
         self.stream = None;
-        let mut stream = TcpStream::connect(addr)?;
+        let addrs = self.target.clone().ok_or(ClusterError::NotConnected)?;
+        let mut stream = None;
+        let mut last_err: std::io::Error = std::io::ErrorKind::AddrNotAvailable.into();
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, self.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some(mut stream) = stream else {
+            return Err(last_err.into());
+        };
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        stream.set_read_timeout(Some(self.handshake_timeout))?;
+        stream.set_write_timeout(Some(self.handshake_timeout))?;
         Message::Hello {
             node_id: self.node_id,
             generation: self.store.generation(),
@@ -148,6 +255,8 @@ impl NodeAgent {
                 "fingerprint mismatch (geometry or hash seeds differ)",
             ));
         }
+        stream.set_read_timeout(None)?;
+        stream.set_write_timeout(Some(self.write_timeout))?;
         self.acked_epoch = last_epoch;
         self.cluster_epoch = cluster_epoch;
         // Backfill: replay durable frames the aggregator never saw, in
@@ -178,7 +287,62 @@ impl NodeAgent {
         }
         self.backfilled += replayed;
         self.stream = Some(stream);
+        self.attempts = 0;
+        self.retry_at = None;
+        self.gave_up = false;
         Ok(replayed)
+    }
+
+    /// Note a dropped connection and arm the redial schedule (the first
+    /// retry waits a full backoff — an aggregator that just died is very
+    /// unlikely to be back within microseconds, and immediate redial from
+    /// a whole fleet is exactly the stampede jitter exists to prevent).
+    fn on_disconnect(&mut self) {
+        self.stream = None;
+        if self.gave_up || self.target.is_none() {
+            return;
+        }
+        match self.reconnect.decide(1) {
+            ReconnectDecision::Retry(delay) => self.retry_at = Some(Instant::now() + delay),
+            ReconnectDecision::GiveUp => self.gave_up = true,
+        }
+    }
+
+    /// Redial if disconnected, armed, and due. Called from the seal and
+    /// heartbeat paths so partition repair needs no extra operator loop.
+    fn maybe_reconnect(&mut self) {
+        if self.stream.is_some() || self.gave_up || self.target.is_none() {
+            return;
+        }
+        let Some(at) = self.retry_at else { return };
+        if Instant::now() < at {
+            return;
+        }
+        if self.establish().is_ok() {
+            return;
+        }
+        self.stream = None;
+        self.attempts += 1;
+        let attempt = self.attempts;
+        match self.reconnect.decide(attempt + 1) {
+            ReconnectDecision::Retry(delay) => {
+                self.retry_at = Some(Instant::now() + delay);
+                if let Some(reg) = &self.registry {
+                    reg.record(Event::ReconnectBackoff {
+                        node: self.node_id,
+                        attempt: attempt.min(u32::MAX as u64) as u32,
+                        delay_ms: delay.as_millis() as u64,
+                    });
+                }
+                if let Some(c) = &self.cluster {
+                    c.reconnect_backoffs.incr();
+                }
+            }
+            ReconnectDecision::GiveUp => {
+                self.gave_up = true;
+                self.retry_at = None;
+            }
+        }
     }
 
     /// Seal `epoch` from the pipeline's merged epoch view: build the
@@ -205,6 +369,9 @@ impl NodeAgent {
                 next: self.next_epoch,
             });
         }
+        // Redial *before* persisting: a successful redial backfills older
+        // epochs first, then this epoch ships fresh on the live stream.
+        self.maybe_reconnect();
         let sketch = view.sketch();
         let report = EpochReport {
             switch_id: self.node_id,
@@ -247,8 +414,11 @@ impl NodeAgent {
 
     /// Send a liveness heartbeat carrying the epoch currently
     /// accumulating and the observations processed so far. Returns whether
-    /// the connection is still alive.
+    /// the connection is still alive. Doubles as the redial pump: a
+    /// disconnected agent uses the heartbeat cadence to walk its
+    /// [`ReconnectPolicy`] schedule.
     pub fn heartbeat(&mut self, processed: u64) -> bool {
+        self.maybe_reconnect();
         let epoch = self.next_epoch;
         self.send(Message::Heartbeat {
             node_id: self.node_id,
@@ -257,15 +427,16 @@ impl NodeAgent {
         })
     }
 
-    /// Best-effort send; a failure drops the connection (the durable log
-    /// keeps the data).
+    /// Best-effort send; a failure (including a write timeout against a
+    /// hung aggregator) drops the connection and arms the redial schedule
+    /// — the durable log keeps the data.
     fn send(&mut self, msg: Message) -> bool {
         match &mut self.stream {
             Some(s) => {
                 if msg.write_to(s).is_ok() {
                     true
                 } else {
-                    self.stream = None;
+                    self.on_disconnect();
                     false
                 }
             }
@@ -275,9 +446,10 @@ impl NodeAgent {
 
     /// Drop the connection without a `Goodbye` — the test hook for
     /// simulating a network partition or abrupt process death: the
-    /// aggregator must discover the silence on its own.
+    /// aggregator must discover the silence on its own. The redial
+    /// schedule arms exactly as for an organically dropped connection.
     pub fn sever(&mut self) {
-        self.stream = None;
+        self.on_disconnect();
     }
 
     /// Clean shutdown: announce departure so the aggregator stops
@@ -313,6 +485,17 @@ impl NodeAgent {
     /// Durable frames replayed across all connects of this instance.
     pub fn backfilled(&self) -> u64 {
         self.backfilled
+    }
+
+    /// Consecutive failed automatic redials since the connection dropped.
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Whether the redial budget is spent (an explicit
+    /// [`NodeAgent::connect`] resets it).
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
     }
 
     /// This node's id.
@@ -359,6 +542,45 @@ mod tests {
         }
         let agent = NodeAgent::open(&dir, cfg).unwrap();
         assert_eq!(agent.next_epoch(), 3);
+        assert!(!agent.is_connected());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_wide_node_id_is_a_typed_error_not_a_panic() {
+        let dir = tmp_dir("wide-id");
+        let cfg = NodeAgentConfig::new(u16::MAX as u32 + 1, fingerprint());
+        assert!(matches!(
+            NodeAgent::open(&dir, cfg),
+            Err(ClusterError::InvalidNodeId(id)) if id == u16::MAX as u32 + 1
+        ));
+        // The boundary value itself is fine.
+        let agent = NodeAgent::open(&dir, NodeAgentConfig::new(u16::MAX as u32, fingerprint()));
+        assert!(agent.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sever_arms_backoff_but_never_redials_instantly() {
+        let dir = tmp_dir("sever-backoff");
+        let mut cfg = NodeAgentConfig::new(1, fingerprint());
+        cfg.reconnect = crate::cluster::ReconnectPolicy {
+            base_backoff: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let mut agent = NodeAgent::open(&dir, cfg).unwrap();
+        // No target yet: sever is a no-op on the schedule.
+        agent.sever();
+        assert!(!agent.gave_up());
+        assert_eq!(agent.reconnect_attempts(), 0);
+        // With a (dead) target armed via a failed connect, the heartbeat
+        // path must respect the 60 s backoff rather than dialing in a hot
+        // loop — the call returns immediately and stays disconnected.
+        assert!(agent.connect("127.0.0.1:1").is_err());
+        assert!(agent.retry_at.is_some(), "failed connect arms the redial");
+        let t = Instant::now();
+        assert!(!agent.heartbeat(0));
+        assert!(t.elapsed() < Duration::from_secs(1));
         assert!(!agent.is_connected());
         let _ = std::fs::remove_dir_all(&dir);
     }

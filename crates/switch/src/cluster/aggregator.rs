@@ -28,7 +28,10 @@
 
 use super::wire::{decode_epoch_payload, Message, WireError};
 use super::ClusterError;
-use crate::store::{decode_frame, FrameParse};
+use crate::store::{
+    decode_frame, CheckpointSink, CheckpointStore, FrameParse, RecoveredFrame, StoreConfig,
+    StoreError,
+};
 use nitro_core::NitroSketch;
 use nitro_metrics::telemetry::{ClusterTelemetry, Event, TelemetryRegistry};
 use nitro_sketches::checkpoint::Checkpoint;
@@ -36,7 +39,8 @@ use nitro_sketches::{FlowKey, RowSketch};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -52,6 +56,17 @@ pub struct AggregatorConfig {
     /// Telemetry registry to journal events and export gauges through; a
     /// fresh private registry is created when absent.
     pub registry: Option<Arc<TelemetryRegistry>>,
+    /// Directory for the durable aggregation log. `None` keeps the
+    /// aggregator memory-only (a restart loses every merged view);
+    /// `Some(dir)` persists every merged node frame and membership change
+    /// so [`Aggregator::recover`] can rebuild the plane from disk.
+    pub log_dir: Option<PathBuf>,
+    /// Durability tuning for the aggregation log. Unlike the pipeline
+    /// store — where every frame is a full snapshot and history is mere
+    /// redundancy — aggregation-log records are *deltas* (one node-epoch
+    /// frame each), so retention must cover the whole epoch window being
+    /// served: the default keeps 64 sealed segments of 128 records.
+    pub log_store: StoreConfig,
 }
 
 impl Default for AggregatorConfig {
@@ -60,8 +75,26 @@ impl Default for AggregatorConfig {
             heartbeat_timeout: Duration::from_secs(2),
             keep_epochs: 256,
             registry: None,
+            log_dir: None,
+            log_store: StoreConfig {
+                rotate_after: 128,
+                keep_segments: 64,
+                fsync: true,
+            },
         }
     }
+}
+
+/// What [`Aggregator::recover`] rebuilt from the aggregation log before
+/// opening its listen socket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggRecovery {
+    /// Epoch views rebuilt (after `keep_epochs` eviction).
+    pub epochs: u32,
+    /// Node membership records rebuilt.
+    pub nodes: u32,
+    /// Log records replayed (node frames + membership snapshots).
+    pub records: u64,
 }
 
 /// Where one epoch stands, as served by the epoch-versioned read API.
@@ -155,6 +188,129 @@ struct AggState<S: RowSketch> {
     epochs: BTreeMap<u64, EpochRecord<S>>,
 }
 
+impl<S: RowSketch> AggState<S> {
+    fn empty() -> Self {
+        Self {
+            nodes: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+        }
+    }
+}
+
+/// Aggregation-log record tags (first payload byte).
+const REC_FRAME: u8 = 1;
+const REC_MEMBERSHIP: u8 = 2;
+
+/// One decoded aggregation-log record.
+enum LogRecord {
+    /// A validated node epoch frame's inner payload (report + snapshot),
+    /// exactly as merged. Frame records are commutative — replay order
+    /// within an epoch does not matter — so they are appended *outside*
+    /// the state lock.
+    Frame {
+        node: u32,
+        epoch: u64,
+        payload: Vec<u8>,
+    },
+    /// Full snapshot of one node's membership state, written under the
+    /// state lock at every join and `Goodbye` so append order matches
+    /// mutation order; replay is last-writer-wins per node.
+    Membership {
+        node: u32,
+        last_epoch: u64,
+        open_from: Option<u64>,
+        intervals: Vec<(u64, u64)>,
+    },
+}
+
+fn encode_frame_record(node: u32, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.push(REC_FRAME);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_membership_record(node: u32, rec: &NodeRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(26 + 16 * rec.intervals.len());
+    out.push(REC_MEMBERSHIP);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&rec.last_epoch.to_le_bytes());
+    out.push(rec.open_from.is_some() as u8);
+    out.extend_from_slice(&rec.open_from.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&(rec.intervals.len() as u32).to_le_bytes());
+    for &(s, t) in &rec.intervals {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+fn decode_log_record(bytes: &[u8]) -> Option<LogRecord> {
+    let (&tag, rest) = bytes.split_first()?;
+    let u32_at =
+        |b: &[u8], at: usize| Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?));
+    let u64_at =
+        |b: &[u8], at: usize| Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?));
+    match tag {
+        REC_FRAME => Some(LogRecord::Frame {
+            node: u32_at(rest, 0)?,
+            epoch: u64_at(rest, 4)?,
+            payload: rest.get(12..)?.to_vec(),
+        }),
+        REC_MEMBERSHIP => {
+            let node = u32_at(rest, 0)?;
+            let last_epoch = u64_at(rest, 4)?;
+            let has_open = *rest.get(12)? != 0;
+            let open_from = u64_at(rest, 13)?;
+            let n = u32_at(rest, 21)? as usize;
+            let mut intervals = Vec::with_capacity(n.min(1024));
+            for i in 0..n {
+                intervals.push((u64_at(rest, 25 + 16 * i)?, u64_at(rest, 33 + 16 * i)?));
+            }
+            Some(LogRecord::Membership {
+                node,
+                last_epoch,
+                open_from: has_open.then_some(open_from),
+                intervals,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The aggregator's durable side: a single-shard [`CheckpointStore`]
+/// whose frames carry [`LogRecord`]s under a monotonic sequence. Reuses
+/// the pipeline store's CRC framing, fsync discipline, and torn-tail
+/// truncation wholesale.
+struct AggLog {
+    store: Arc<CheckpointStore>,
+    seq: AtomicU64,
+}
+
+impl AggLog {
+    /// Create the log in `dir`, or reopen an existing one (continuing its
+    /// sequence past the newest durable record).
+    fn open(dir: &Path, cfg: &StoreConfig) -> Result<Self, ClusterError> {
+        let store = match CheckpointStore::create(dir, 1, cfg.clone()) {
+            Ok(s) => s,
+            Err(StoreError::AlreadyExists) => CheckpointStore::recover(dir, cfg.clone())?.0,
+            Err(e) => return Err(e.into()),
+        };
+        let seq = store.newest_frame(0).map_or(1, |f| f.seq + 1);
+        Ok(Self {
+            store,
+            seq: AtomicU64::new(seq),
+        })
+    }
+
+    fn append(&self, payload: &[u8]) -> Result<(), std::io::Error> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.store.writer(0).persist(seq, 0, payload)
+    }
+}
+
 struct AggShared<S: RowSketch> {
     template: NitroSketch<S>,
     fingerprint: u64,
@@ -164,6 +320,22 @@ struct AggShared<S: RowSketch> {
     cluster: Arc<ClusterTelemetry>,
     shutdown: AtomicBool,
     handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// The durable aggregation log, when [`AggregatorConfig::log_dir`] is
+    /// set.
+    log: Option<AggLog>,
+}
+
+impl<S: RowSketch> AggShared<S> {
+    /// Append one record to the aggregation log, counting the outcome. A
+    /// persist failure degrades durability (the record will be missing
+    /// from a future recovery) but never refuses service.
+    fn log_append(&self, payload: &[u8]) {
+        let Some(log) = &self.log else { return };
+        match log.append(payload) {
+            Ok(()) => self.cluster.log_records.incr(),
+            Err(_) => self.cluster.log_persist_failures.incr(),
+        }
+    }
 }
 
 /// Bounds every sketch type must satisfy to be cluster-aggregated: it is
@@ -278,6 +450,13 @@ impl<S: ClusterSketch> AggShared<S> {
         }
         let mut restored = self.template.clone();
         restored.restore(snapshot)?;
+
+        // Persist-before-serve: the validated frame payload reaches the
+        // aggregation log before it can influence any answer. Frame
+        // records are commutative, so this happens outside the state lock;
+        // a duplicate (idempotent replay below) wastes a record but replay
+        // dedups it the same way the in-memory path does.
+        self.log_append(&encode_frame_record(node, epoch, &rf.bytes));
 
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let status_before = Self::status_of(&state, epoch);
@@ -424,6 +603,8 @@ fn handle_message<S: ClusterSketch>(
                         rec.intervals.push((start, rec.last_epoch));
                     }
                 }
+                let record = encode_membership_record(node, rec);
+                shared.log_append(&record);
             }
             shared.refresh_gauges(&state);
             Step::CloseClean
@@ -503,6 +684,11 @@ fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStrea
         rec.expect_from(next_epoch);
         rec.last_heard = Instant::now();
         let session = (node_id, rec.conn_gen);
+        // Membership mutations are order-sensitive (a later Goodbye must
+        // replay after this join), so the record is appended under the
+        // state lock.
+        let record = encode_membership_record(node_id, rec);
+        shared.log_append(&record);
         let ack = Message::HelloAck {
             accepted: true,
             last_epoch: rec.last_epoch,
@@ -564,6 +750,112 @@ fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStrea
             }
         }
     }
+}
+
+/// Rebuild aggregator state from aggregation-log records in append
+/// order. Mirrors the live paths exactly: frame replay dedups per
+/// (epoch, node) and re-derives membership the way `ingest_frame` does;
+/// membership snapshots overwrite (last-writer-wins per node). Records
+/// that fail any validation the live path would have enforced (payload
+/// decode, checkpoint restore, merge compatibility) are skipped, never
+/// fatal — a recovery must salvage everything salvageable.
+fn replay_log<S: ClusterSketch>(
+    template: &NitroSketch<S>,
+    keep_epochs: usize,
+    frames: &[RecoveredFrame],
+) -> (AggState<S>, AggRecovery) {
+    let mut state = AggState::empty();
+    let mut records = 0u64;
+    let blank_node = || NodeRecord {
+        intervals: Vec::new(),
+        open_from: None,
+        last_epoch: 0,
+        connected: false,
+        conn_gen: 0,
+        last_heard: Instant::now(),
+        processed: 0,
+    };
+    for f in frames {
+        match decode_log_record(&f.bytes) {
+            Some(LogRecord::Frame {
+                node,
+                epoch,
+                payload,
+            }) => {
+                let Ok((report, snapshot)) = decode_epoch_payload(&payload) else {
+                    continue;
+                };
+                if report.switch_id != node || report.epoch != epoch {
+                    continue;
+                }
+                let mut restored = template.clone();
+                if restored.restore(snapshot).is_err() {
+                    continue;
+                }
+                let rec = state.epochs.entry(epoch).or_insert_with(|| EpochRecord {
+                    merged: template.clone(),
+                    reporting: BTreeSet::new(),
+                    packets: 0,
+                    report_hh: HashMap::new(),
+                    sealed: false,
+                    was_degraded: false,
+                });
+                if rec.reporting.contains(&node) {
+                    continue;
+                }
+                if rec.merged.try_merge_from(&restored).is_err() {
+                    continue;
+                }
+                rec.reporting.insert(node);
+                rec.packets += report.packets;
+                for &(k, e) in &report.heavy_hitters {
+                    *rec.report_hh.entry(k).or_insert(0.0) += e;
+                }
+                let n = state.nodes.entry(node).or_insert_with(blank_node);
+                if !n.is_member_of(epoch) {
+                    n.expect_from(epoch);
+                }
+                n.last_epoch = n.last_epoch.max(epoch);
+                records += 1;
+            }
+            Some(LogRecord::Membership {
+                node,
+                last_epoch,
+                open_from,
+                intervals,
+            }) => {
+                let n = state.nodes.entry(node).or_insert_with(blank_node);
+                n.intervals = intervals;
+                n.open_from = open_from;
+                n.last_epoch = n.last_epoch.max(last_epoch);
+                records += 1;
+            }
+            None => {}
+        }
+    }
+    if keep_epochs > 0 {
+        while state.epochs.len() > keep_epochs {
+            let oldest = *state.epochs.keys().next().expect("non-empty");
+            state.epochs.remove(&oldest);
+        }
+    }
+    // Epochs already complete must not re-journal `EpochSealed` when a
+    // node's redundant backfill replays their frames.
+    let complete: Vec<u64> = state
+        .epochs
+        .keys()
+        .copied()
+        .filter(|&e| AggShared::status_of(&state, e).is_complete())
+        .collect();
+    for e in complete {
+        state.epochs.get_mut(&e).expect("just listed").sealed = true;
+    }
+    let recovery = AggRecovery {
+        epochs: state.epochs.len() as u32,
+        nodes: state.nodes.len() as u32,
+        records,
+    };
+    (state, recovery)
 }
 
 /// A queryable snapshot of one epoch's network-wide merged view.
@@ -634,10 +926,58 @@ impl<S: ClusterSketch> Aggregator<S> {
     /// [`Aggregator::local_addr`]). `template` must be a **blank** sketch
     /// built exactly like every node's — its fingerprint is the admission
     /// check, its clones become the per-epoch merge targets.
+    ///
+    /// With [`AggregatorConfig::log_dir`] set, every merged frame and
+    /// membership change is persisted to the aggregation log as it
+    /// happens — but `spawn` starts from *empty* in-memory state even if
+    /// the log already has records (they remain valid: a later
+    /// [`Aggregator::recover`] on the same directory replays everything).
+    /// To restart *from* the log, use `recover`.
     pub fn spawn(
         template: NitroSketch<S>,
         addr: impl ToSocketAddrs,
         cfg: AggregatorConfig,
+    ) -> Result<Self, ClusterError> {
+        let log = match &cfg.log_dir {
+            Some(dir) => Some(AggLog::open(dir, &cfg.log_store)?),
+            None => None,
+        };
+        Self::spawn_inner(template, addr, cfg, AggState::empty(), log, None)
+    }
+
+    /// Rebuild the aggregator from the aggregation log in `dir`, then
+    /// start serving on `addr`. Every epoch view whose frames reached the
+    /// log is answerable — [`Aggregator::view`], [`Aggregator::latest_complete`],
+    /// [`Aggregator::epoch_status`] — *before a single node reconnects*,
+    /// and each reconnecting node's `HelloAck` carries the recovered
+    /// `last_epoch` watermark, so backfill is delta-only: exactly the
+    /// epochs the dead aggregator never merged.
+    ///
+    /// Recovered nodes start disconnected (their sockets died with the
+    /// old process); epochs that were complete stay complete, epochs
+    /// missing a node's frames are served degraded until that node
+    /// redials and backfills.
+    pub fn recover(
+        template: NitroSketch<S>,
+        addr: impl ToSocketAddrs,
+        dir: impl AsRef<Path>,
+        mut cfg: AggregatorConfig,
+    ) -> Result<(Self, AggRecovery), ClusterError> {
+        cfg.log_dir = Some(dir.as_ref().to_path_buf());
+        let log = AggLog::open(dir.as_ref(), &cfg.log_store)?;
+        let frames = log.store.frames(0);
+        let (state, recovery) = replay_log(&template, cfg.keep_epochs, &frames);
+        let agg = Self::spawn_inner(template, addr, cfg, state, Some(log), Some(recovery))?;
+        Ok((agg, recovery))
+    }
+
+    fn spawn_inner(
+        template: NitroSketch<S>,
+        addr: impl ToSocketAddrs,
+        cfg: AggregatorConfig,
+        state: AggState<S>,
+        log: Option<AggLog>,
+        recovery: Option<AggRecovery>,
     ) -> Result<Self, ClusterError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -652,15 +992,24 @@ impl<S: ClusterSketch> Aggregator<S> {
             template,
             fingerprint,
             cfg,
-            state: Mutex::new(AggState {
-                nodes: BTreeMap::new(),
-                epochs: BTreeMap::new(),
-            }),
+            state: Mutex::new(state),
             registry,
             cluster,
             shutdown: AtomicBool::new(false),
             handlers: Mutex::new(Vec::new()),
+            log,
         });
+        if let Some(r) = recovery {
+            shared.registry.record(Event::AggregatorRecovered {
+                epochs: r.epochs,
+                nodes: r.nodes,
+                records: r.records,
+            });
+            shared.cluster.recovered_epochs.set(r.epochs as u64);
+            shared.cluster.recovered_records.set(r.records);
+            let state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            shared.refresh_gauges(&state);
+        }
 
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
@@ -948,6 +1297,115 @@ mod tests {
     }
 
     #[test]
+    fn recover_serves_sealed_epochs_before_any_reconnect() {
+        let log_dir = tmp_dir("recover-log");
+        let registry = Arc::new(TelemetryRegistry::new());
+        let cfg = AggregatorConfig {
+            heartbeat_timeout: Duration::from_millis(500),
+            registry: Some(Arc::clone(&registry)),
+            log_dir: Some(log_dir.clone()),
+            ..Default::default()
+        };
+        let agg = Aggregator::spawn(template(), ("127.0.0.1", 0), cfg.clone()).unwrap();
+        let fp = template().inner().fingerprint();
+        let mut agents = Vec::new();
+        for id in 0..2u32 {
+            let dir = tmp_dir(&format!("recover-agent{id}"));
+            let mut a = NodeAgent::open(&dir, NodeAgentConfig::new(id, fp)).unwrap();
+            a.connect(agg.local_addr()).unwrap();
+            agents.push((a, dir));
+        }
+        for epoch in 1..=2u64 {
+            for (id, (agent, _)) in agents.iter_mut().enumerate() {
+                let mut sketch = template();
+                for _ in 0..50 * (id as u64 + 1) * epoch {
+                    sketch.process(9, 1.0);
+                }
+                let view = MergedView::from_sketch(epoch, sketch);
+                assert!(agent.seal_epoch(epoch, &view, 10.0).unwrap().delivered);
+            }
+            assert!(wait_until(Duration::from_secs(5), || agg
+                .epoch_status(epoch)
+                .is_complete()));
+        }
+        let expect_1 = agg.view(1).unwrap().estimate(9);
+        let expect_2 = agg.view(2).unwrap().estimate(9);
+        agg.shutdown(); // the "crash": all in-memory views are gone
+
+        // Recovery, before any node reconnects: sealed epochs are served
+        // from disk alone.
+        let (agg, recovery) =
+            Aggregator::recover(template(), ("127.0.0.1", 0), &log_dir, cfg).unwrap();
+        assert_eq!(recovery.epochs, 2);
+        assert_eq!(recovery.nodes, 2);
+        assert!(recovery.records >= 4, "4 frames + membership records");
+        assert_eq!(agg.latest_complete(), Some(2));
+        assert!(agg.epoch_status(1).is_complete());
+        assert!(agg.epoch_status(2).is_complete());
+        assert_eq!(agg.view(1).unwrap().estimate(9), expect_1);
+        assert_eq!(agg.view(2).unwrap().estimate(9), expect_2);
+        assert!(agg.connected_nodes().is_empty());
+
+        // The recovered last_epoch watermark makes reconnect delta-only:
+        // the agent has nothing the aggregator is missing.
+        let (agent, _) = &mut agents[0];
+        assert_eq!(agent.connect(agg.local_addr()).unwrap(), 0);
+
+        let events = registry.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            Event::AggregatorRecovered {
+                epochs: 2,
+                nodes: 2,
+                ..
+            }
+        )));
+        for (a, dir) in agents {
+            a.close();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        agg.shutdown();
+        let _ = std::fs::remove_dir_all(&log_dir);
+    }
+
+    #[test]
+    fn spawn_on_existing_log_then_recover_replays_both_incarnations() {
+        // spawn (not recover) on a dir that already has records must not
+        // clobber them: a later recover sees frames from both lives.
+        let log_dir = tmp_dir("two-lives");
+        let cfg = AggregatorConfig {
+            log_dir: Some(log_dir.clone()),
+            ..Default::default()
+        };
+        let fp = template().inner().fingerprint();
+        let adir = tmp_dir("two-lives-agent");
+        let mut agent = NodeAgent::open(&adir, NodeAgentConfig::new(7, fp)).unwrap();
+        for epoch in 1..=2u64 {
+            let agg = Aggregator::spawn(template(), ("127.0.0.1", 0), cfg.clone()).unwrap();
+            agent.connect(agg.local_addr()).unwrap();
+            let mut sketch = template();
+            for _ in 0..100 {
+                sketch.process(3, 1.0);
+            }
+            let view = MergedView::from_sketch(epoch, sketch);
+            assert!(agent.seal_epoch(epoch, &view, 10.0).unwrap().delivered);
+            assert!(wait_until(Duration::from_secs(5), || {
+                agg.epoch_status(epoch).is_complete()
+            }));
+            agent.sever();
+            agg.shutdown();
+        }
+        let (agg, recovery) =
+            Aggregator::recover(template(), ("127.0.0.1", 0), &log_dir, cfg).unwrap();
+        assert_eq!(recovery.epochs, 2);
+        assert_eq!(agg.view(1).unwrap().estimate(3), 100.0);
+        assert_eq!(agg.view(2).unwrap().estimate(3), 100.0);
+        agg.shutdown();
+        let _ = std::fs::remove_dir_all(&adir);
+        let _ = std::fs::remove_dir_all(&log_dir);
+    }
+
+    #[test]
     fn mismatched_fingerprint_is_rejected_at_handshake() {
         let agg =
             Aggregator::spawn(template(), ("127.0.0.1", 0), AggregatorConfig::default()).unwrap();
@@ -964,6 +1422,141 @@ mod tests {
         agg.shutdown();
     }
 
+    mod torn_tail {
+        use super::*;
+        use crate::cluster::wire::encode_epoch_payload;
+        use crate::control::EpochReport;
+        use proptest::prelude::*;
+
+        /// Independent straight-line re-merge of whatever frame records
+        /// survive in the log: restore each, merge per epoch, dedup by
+        /// (epoch, node) in append order — no membership logic, no
+        /// eviction. The ground truth `replay_log` must agree with.
+        fn independent_merge(
+            template: &NitroSketch<CountMin>,
+            frames: &[crate::store::RecoveredFrame],
+        ) -> BTreeMap<u64, (NitroSketch<CountMin>, BTreeSet<u32>, u64)> {
+            let mut epochs = BTreeMap::new();
+            for f in frames {
+                let Some(LogRecord::Frame {
+                    node,
+                    epoch,
+                    payload,
+                }) = decode_log_record(&f.bytes)
+                else {
+                    continue;
+                };
+                let Ok((report, snapshot)) = decode_epoch_payload(&payload) else {
+                    continue;
+                };
+                let mut restored = template.clone();
+                if restored.restore(snapshot).is_err() {
+                    continue;
+                }
+                let (merged, reporting, packets) = epochs
+                    .entry(epoch)
+                    .or_insert_with(|| (template.clone(), BTreeSet::new(), 0u64));
+                if reporting.contains(&node) {
+                    continue;
+                }
+                if merged.try_merge_from(&restored).is_err() {
+                    continue;
+                }
+                reporting.insert(node);
+                *packets += report.packets;
+            }
+            epochs
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Recovery of a torn-tail aggregation log never yields an
+            /// epoch view that disagrees with the surviving node frames:
+            /// for any write pattern and any tail truncation, every epoch
+            /// `replay_log` rebuilds matches an independent re-merge of
+            /// the frames the store salvages — same reporting sets, same
+            /// packet totals, identical point estimates.
+            #[test]
+            fn recovery_agrees_with_surviving_frames(
+                case in 0u64..1_000_000,
+                nodes in 1u32..4,
+                epochs in 1u64..5,
+                cut in 0usize..200,
+            ) {
+                let dir = std::env::temp_dir().join(format!(
+                    "nitro-agg-torn-{}-{case}-{nodes}-{epochs}-{cut}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let store_cfg = StoreConfig {
+                    rotate_after: 3, // force sealed segments mid-run
+                    keep_segments: 64,
+                    fsync: false,
+                };
+                let log = AggLog::open(&dir, &store_cfg).unwrap();
+                for epoch in 1..=epochs {
+                    for node in 0..nodes {
+                        let mut sketch = template();
+                        for i in 0..32 {
+                            let key = (case ^ (node as u64) << 8 ^ epoch << 16) % 40 + i % 3;
+                            sketch.process(key, 1.0);
+                        }
+                        let report = EpochReport {
+                            switch_id: node,
+                            epoch,
+                            packets: 32,
+                            heavy_hitters: vec![],
+                            entropy_bits: f64::NAN,
+                            distinct: f64::NAN,
+                            l2: 0.0,
+                            memory_bytes: 0,
+                        };
+                        let payload = encode_epoch_payload(&report, &sketch.snapshot());
+                        log.append(&encode_frame_record(node, epoch, &payload)).unwrap();
+                    }
+                }
+                drop(log);
+
+                // Tear the tail: chop `cut` bytes off the active segment,
+                // exactly what a crash mid-write leaves behind. (The
+                // active segment may not exist when the last append
+                // landed exactly on a rotation boundary — nothing to
+                // tear, the log is all sealed segments.)
+                let active = dir.join("shard-0000").join("active.log");
+                if let Ok(meta) = std::fs::metadata(&active) {
+                    let file =
+                        std::fs::OpenOptions::new().write(true).open(&active).unwrap();
+                    file.set_len(meta.len().saturating_sub(cut as u64)).unwrap();
+                }
+
+                let store = CheckpointStore::recover(&dir, store_cfg).unwrap().0;
+                let surviving = store.frames(0);
+                let truth = independent_merge(&template(), &surviving);
+                let (state, recovery) = replay_log(&template(), 0, &surviving);
+
+                prop_assert_eq!(state.epochs.len(), truth.len());
+                for (epoch, rec) in &state.epochs {
+                    let (t_merged, t_reporting, t_packets) =
+                        truth.get(epoch).expect("epoch in truth");
+                    prop_assert_eq!(&rec.reporting, t_reporting);
+                    prop_assert_eq!(rec.packets, *t_packets);
+                    for key in 0..45u64 {
+                        prop_assert_eq!(
+                            rec.merged.estimate(key),
+                            t_merged.estimate(key),
+                            "epoch {} key {} diverged",
+                            epoch,
+                            key
+                        );
+                    }
+                }
+                prop_assert!(recovery.records as usize <= epochs as usize * nodes as usize);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
     #[test]
     fn silent_node_is_declared_lost_by_heartbeat_timeout() {
         let registry = Arc::new(TelemetryRegistry::new());
@@ -974,6 +1567,7 @@ mod tests {
                 heartbeat_timeout: Duration::from_millis(120),
                 keep_epochs: 16,
                 registry: Some(Arc::clone(&registry)),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -29,16 +29,29 @@
 //!   degraded epochs to complete. `NodeJoin`/`NodeLoss`/`EpochSealed`/
 //!   `BackfillReplayed` events flow through the telemetry journal and the
 //!   aggregator's gauges ride the Prometheus/JSON scrape path.
+//! - The aggregator itself is crash-consistent: every merged node frame
+//!   and membership change is appended to its own CRC-framed aggregation
+//!   log (**persist-before-serve**), so [`Aggregator::recover`] rebuilds
+//!   all sealed epoch views and per-node `last_epoch` watermarks from
+//!   disk before a single node reconnects — backfill after an aggregator
+//!   restart is delta-only, never a full replay.
+//! - Partition tolerance on the agent side: a [`ReconnectPolicy`]
+//!   (exponential backoff + deterministic jitter, budget-capped) drives
+//!   automatic redial inside `seal_epoch`/`heartbeat`, and the seal path
+//!   carries a write timeout so a hung aggregator degrades the agent to
+//!   local-durable sealing instead of blocking the epoch loop.
 //!
 //! The hot path is untouched: nodes ship checkpoints the pipeline already
 //! produces, at epoch cadence, over a control-plane socket.
 
 pub mod agent;
 pub mod aggregator;
+pub mod reconnect;
 pub mod wire;
 
 pub use agent::{NodeAgent, NodeAgentConfig, SealOutcome};
-pub use aggregator::{Aggregator, AggregatorConfig, ClusterView, EpochStatus};
+pub use aggregator::{AggRecovery, Aggregator, AggregatorConfig, ClusterView, EpochStatus};
+pub use reconnect::{ReconnectDecision, ReconnectPolicy};
 pub use wire::{Message, WireError};
 
 use crate::store::StoreError;
@@ -67,6 +80,9 @@ pub enum ClusterError {
         /// The next epoch the agent will accept.
         next: u64,
     },
+    /// The operator-assigned node id does not fit the wire protocol's
+    /// 16-bit node field.
+    InvalidNodeId(u32),
 }
 
 impl fmt::Display for ClusterError {
@@ -80,6 +96,11 @@ impl fmt::Display for ClusterError {
             ClusterError::EpochNotMonotonic { requested, next } => write!(
                 f,
                 "epoch {requested} already sealed (next acceptable epoch is {next})"
+            ),
+            ClusterError::InvalidNodeId(id) => write!(
+                f,
+                "node id {id} exceeds the wire protocol's 16-bit node field (max {})",
+                u16::MAX
             ),
         }
     }

@@ -1,0 +1,193 @@
+//! Redial scheduling for partitioned cluster agents.
+//!
+//! A [`NodeAgent`](super::NodeAgent) that loses its aggregator keeps
+//! sealing epochs into its durable log — the question is *when* to dial
+//! again. [`ReconnectPolicy`] answers it the same way
+//! [`RestartPolicy`](crate::RestartPolicy) schedules panic restarts:
+//! exponential backoff with a ceiling and a budget, kept free of clocks
+//! and threads so tests drive the whole schedule deterministically. On
+//! top of the raw exponential it subtracts *deterministic jitter* — a
+//! per-(seed, attempt) fraction of the delay — so a fleet of agents
+//! severed by the same partition does not stampede the recovered
+//! aggregator on the same tick.
+
+use nitro_hash::xxhash::xxh64_u64;
+use std::time::Duration;
+
+/// What the reconnect policy says to do after the `attempt`-th
+/// consecutive dial failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconnectDecision {
+    /// Dial again after waiting this long.
+    Retry(Duration),
+    /// The budget is spent: stop redialing until the operator intervenes
+    /// (an explicit [`NodeAgent::connect`](super::NodeAgent::connect)
+    /// resets the attempt counter).
+    GiveUp,
+}
+
+/// Pure redial-budget policy: exponential backoff with a ceiling and
+/// deterministic jitter, then permanent give-up.
+///
+/// The raw delay for the `n`-th failed attempt is
+/// `min(base · 2^(n−1), cap)`; jitter shaves off up to `jitter` of it,
+/// so the scheduled delay lands in `(raw · (1 − jitter), raw]`. The
+/// jitter fraction is derived from `xxh64(seed, attempt)` — two agents
+/// with different seeds spread out, while one agent replays the exact
+/// same schedule run after run, which keeps chaos tests reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Delay before the first redial.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Fraction of the raw delay the jitter may subtract, in `[0, 1)`.
+    pub jitter: f64,
+    /// Redial attempts allowed before [`ReconnectDecision::GiveUp`].
+    pub max_attempts: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.25,
+            max_attempts: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Decide the fate of the `attempt`-th consecutive failure (1-based).
+    pub fn decide(&self, attempt: u64) -> ReconnectDecision {
+        if attempt > self.max_attempts {
+            ReconnectDecision::GiveUp
+        } else {
+            ReconnectDecision::Retry(self.backoff_for(attempt))
+        }
+    }
+
+    /// Jittered delay before the `attempt`-th redial:
+    /// `raw · (1 − jitter · u)` with `u = u(seed, attempt) ∈ [0, 1)`.
+    pub fn backoff_for(&self, attempt: u64) -> Duration {
+        let raw = self.raw_backoff(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return raw;
+        }
+        let u = (xxh64_u64(attempt, self.seed) >> 11) as f64 / (1u64 << 53) as f64;
+        raw.mul_f64(1.0 - jitter * u)
+    }
+
+    /// The un-jittered exponential: `min(base · 2^(n−1), cap)`.
+    pub fn raw_backoff(&self, attempt: u64) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(31) as u32;
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ReconnectPolicy {
+        ReconnectPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(640),
+            jitter: 0.25,
+            max_attempts: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn raw_backoff_doubles_until_cap() {
+        let p = policy();
+        assert_eq!(p.raw_backoff(1), Duration::from_millis(10));
+        assert_eq!(p.raw_backoff(2), Duration::from_millis(20));
+        assert_eq!(p.raw_backoff(3), Duration::from_millis(40));
+        assert_eq!(p.raw_backoff(7), Duration::from_millis(640));
+        // Past the cap the schedule is flat, even absurdly far out.
+        assert_eq!(p.raw_backoff(8), Duration::from_millis(640));
+        assert_eq!(p.raw_backoff(1_000_000), Duration::from_millis(640));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let p = policy();
+        for attempt in 1..=64 {
+            let raw = p.raw_backoff(attempt);
+            let jittered = p.backoff_for(attempt);
+            assert!(jittered <= raw, "attempt {attempt}: jitter must subtract");
+            let floor = raw.mul_f64(1.0 - p.jitter);
+            assert!(
+                jittered >= floor,
+                "attempt {attempt}: jittered {jittered:?} below floor {floor:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spreads_across_seeds() {
+        let a = policy();
+        let b = ReconnectPolicy { seed: 43, ..a };
+        // Same seed → identical schedule on replay.
+        for attempt in 1..=8 {
+            assert_eq!(a.backoff_for(attempt), a.backoff_for(attempt));
+        }
+        // Different seeds → at least one attempt lands on a different
+        // delay (the whole point of jitter).
+        assert!((1..=8).any(|n| a.backoff_for(n) != b.backoff_for(n)));
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_raw_exponential() {
+        let p = ReconnectPolicy {
+            jitter: 0.0,
+            ..policy()
+        };
+        for attempt in 1..=10 {
+            assert_eq!(p.backoff_for(attempt), p.raw_backoff(attempt));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_up() {
+        let p = policy();
+        for attempt in 1..=p.max_attempts {
+            assert!(matches!(p.decide(attempt), ReconnectDecision::Retry(_)));
+        }
+        assert_eq!(p.decide(p.max_attempts + 1), ReconnectDecision::GiveUp);
+        assert_eq!(p.decide(u64::MAX), ReconnectDecision::GiveUp);
+    }
+
+    #[test]
+    fn mock_clock_walks_the_whole_schedule() {
+        // Drive the policy the way the agent does — a virtual clock
+        // advanced by each decision — and check the cumulative schedule
+        // is bounded by the un-jittered exponential.
+        let p = policy();
+        let mut now = Duration::ZERO;
+        let mut raw_total = Duration::ZERO;
+        let mut attempt = 0u64;
+        loop {
+            attempt += 1;
+            match p.decide(attempt) {
+                ReconnectDecision::Retry(delay) => {
+                    now += delay;
+                    raw_total += p.raw_backoff(attempt);
+                }
+                ReconnectDecision::GiveUp => break,
+            }
+        }
+        assert_eq!(attempt, p.max_attempts + 1);
+        assert!(now <= raw_total);
+        assert!(now >= raw_total.mul_f64(1.0 - p.jitter));
+    }
+}

@@ -388,6 +388,519 @@ impl DiskFaultPlan {
     }
 }
 
+/// In-process TCP chaos proxy for the distributed measurement plane.
+///
+/// Sits between cluster agents and the aggregator so tests can inject
+/// the network's failure vocabulary — partition, half-open hang, delay,
+/// byte corruption, abrupt reset — without leaving the process or
+/// touching kernel netem. Agents dial the proxy's stable local address;
+/// the proxy dials the (retargetable) upstream, which is how a test
+/// "restarts the aggregator on a new port" without the agents noticing.
+pub mod net {
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::thread;
+    use std::time::Duration;
+
+    /// What the link between agent and aggregator is doing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum NetMode {
+        /// Bytes flow both ways (subject to armed delay/corrupt/reset).
+        Forward,
+        /// Hard partition: established connections are torn down and new
+        /// dials are accepted then immediately closed — the peer sees
+        /// EOF/reset, never silence.
+        Partition,
+        /// Half-open hang: established connections stop forwarding but
+        /// stay open, and new dials are accepted and held silently — the
+        /// peer sees a socket that is "up" but never answers. Only
+        /// timeouts can detect this.
+        Hang,
+    }
+
+    const MODE_FORWARD: u8 = 0;
+    const MODE_PARTITION: u8 = 1;
+    const MODE_HANG: u8 = 2;
+
+    /// Network fault plan: mode switch plus deterministic countdown-armed
+    /// one-shot faults over forwarded chunks, `Arc`-cloneable like
+    /// [`DiskFaultPlan`](super::DiskFaultPlan) so the chaos harness arms
+    /// it from outside while the proxy's pump threads consult it inline.
+    #[derive(Clone, Debug)]
+    pub struct NetFaultPlan {
+        mode: Arc<AtomicU8>,
+        /// Added latency per forwarded chunk, in milliseconds.
+        delay_ms: Arc<AtomicU64>,
+        /// Forwarded chunks remaining until one byte is corrupted;
+        /// `u64::MAX` means disarmed.
+        corrupt_after: Arc<AtomicU64>,
+        /// Forwarded chunks remaining until the connection is dropped
+        /// abruptly (unflushed, so the peer sees a reset-like failure).
+        reset_after: Arc<AtomicU64>,
+        /// Faults fired so far (corruptions + resets).
+        fired: Arc<AtomicU64>,
+        /// Bumping this orphans every established pump: connections whose
+        /// epoch no longer matches tear down on their next poll.
+        conn_epoch: Arc<AtomicU64>,
+    }
+
+    impl Default for NetFaultPlan {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl NetFaultPlan {
+        /// A disarmed plan: forward everything, instantly and verbatim.
+        pub fn new() -> Self {
+            Self {
+                mode: Arc::new(AtomicU8::new(MODE_FORWARD)),
+                delay_ms: Arc::new(AtomicU64::new(0)),
+                corrupt_after: Arc::new(AtomicU64::new(u64::MAX)),
+                reset_after: Arc::new(AtomicU64::new(u64::MAX)),
+                fired: Arc::new(AtomicU64::new(0)),
+                conn_epoch: Arc::new(AtomicU64::new(0)),
+            }
+        }
+
+        /// Current link mode.
+        pub fn mode(&self) -> NetMode {
+            match self.mode.load(Ordering::Acquire) {
+                MODE_PARTITION => NetMode::Partition,
+                MODE_HANG => NetMode::Hang,
+                _ => NetMode::Forward,
+            }
+        }
+
+        /// Hard-partition the link (tears down established connections).
+        pub fn partition(&self) {
+            self.mode.store(MODE_PARTITION, Ordering::Release);
+        }
+
+        /// Half-open hang: the link goes silent without closing.
+        pub fn hang(&self) {
+            self.mode.store(MODE_HANG, Ordering::Release);
+        }
+
+        /// Heal the link back to forwarding. Connections parked by a hang
+        /// are torn down (their pumps are stuck mid-silence); the peer is
+        /// expected to redial.
+        pub fn heal(&self) {
+            self.mode.store(MODE_FORWARD, Ordering::Release);
+            self.drop_connections();
+        }
+
+        /// Add `ms` of latency to every forwarded chunk.
+        pub fn delay_ms(&self, ms: u64) {
+            self.delay_ms.store(ms, Ordering::Release);
+        }
+
+        /// Arm a one-byte corruption on the `n`-th forwarded chunk from
+        /// now (0-based), once.
+        pub fn corrupt_after(&self, n: u64) {
+            self.corrupt_after.store(n, Ordering::Release);
+        }
+
+        /// Arm an abrupt connection reset on the `n`-th forwarded chunk
+        /// from now (0-based), once.
+        pub fn reset_after(&self, n: u64) {
+            self.reset_after.store(n, Ordering::Release);
+        }
+
+        /// Faults fired so far (corruptions + resets).
+        pub fn fired(&self) -> u64 {
+            self.fired.load(Ordering::Acquire)
+        }
+
+        /// Tear down every established connection (new dials are still
+        /// served per the current mode).
+        pub fn drop_connections(&self) {
+            self.conn_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+
+        /// Tick the per-chunk countdowns. Returns `(corrupt, reset)` for
+        /// this chunk; each armed countdown fires exactly once.
+        fn chunk_fate(&self) -> (bool, bool) {
+            let mut fate = (false, false);
+            for (counter, slot) in [(&self.corrupt_after, 0), (&self.reset_after, 1)] {
+                let remaining = counter.load(Ordering::Acquire);
+                if remaining == u64::MAX {
+                    continue;
+                }
+                if remaining == 0 {
+                    counter.store(u64::MAX, Ordering::Release);
+                    self.fired.fetch_add(1, Ordering::AcqRel);
+                    if slot == 0 {
+                        fate.0 = true;
+                    } else {
+                        fate.1 = true;
+                    }
+                } else {
+                    counter.store(remaining - 1, Ordering::Release);
+                }
+            }
+            fate
+        }
+    }
+
+    /// One directional byte pump. Exits (closing what it owns) when the
+    /// proxy shuts down, the plan partitions, its connection epoch is
+    /// orphaned, or either socket dies.
+    fn pump(
+        mut from: TcpStream,
+        mut to: TcpStream,
+        plan: NetFaultPlan,
+        my_epoch: u64,
+        shutdown: Arc<AtomicBool>,
+    ) {
+        if from
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .is_err()
+        {
+            return;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if shutdown.load(Ordering::Acquire)
+                || plan.conn_epoch.load(Ordering::Acquire) != my_epoch
+            {
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            match plan.mode() {
+                NetMode::Forward => {}
+                NetMode::Partition => {
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+                NetMode::Hang => {
+                    // Half-open: forward nothing, close nothing.
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            }
+            match from.read(&mut buf) {
+                Ok(0) => {
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+                Ok(n) => {
+                    let (corrupt, reset) = plan.chunk_fate();
+                    if reset {
+                        // Abrupt, unflushed teardown: the peer's next
+                        // read/write fails immediately.
+                        let _ = from.shutdown(Shutdown::Both);
+                        let _ = to.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    let chunk = &mut buf[..n];
+                    if corrupt {
+                        chunk[n / 2] ^= 0x20;
+                    }
+                    let delay = plan.delay_ms.load(Ordering::Acquire);
+                    if delay > 0 {
+                        thread::sleep(Duration::from_millis(delay));
+                    }
+                    if to.write_all(chunk).is_err() {
+                        let _ = from.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => {
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The proxy itself: a stable loopback listen address in front of a
+    /// retargetable upstream.
+    pub struct ChaosProxy {
+        local: SocketAddr,
+        upstream: Arc<Mutex<SocketAddr>>,
+        plan: NetFaultPlan,
+        shutdown: Arc<AtomicBool>,
+        accept_thread: Option<thread::JoinHandle<()>>,
+        pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    }
+
+    impl ChaosProxy {
+        /// Start proxying an ephemeral loopback port to `upstream` under
+        /// `plan`.
+        pub fn spawn(upstream: SocketAddr, plan: NetFaultPlan) -> std::io::Result<Self> {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            listener.set_nonblocking(true)?;
+            let local = listener.local_addr()?;
+            let upstream = Arc::new(Mutex::new(upstream));
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+            let a_plan = plan.clone();
+            let a_upstream = Arc::clone(&upstream);
+            let a_shutdown = Arc::clone(&shutdown);
+            let a_pumps = Arc::clone(&pumps);
+            let accept_thread = thread::Builder::new()
+                .name("nitro-chaos-accept".into())
+                .spawn(move || {
+                    // Connections parked by Hang mode: held open, never
+                    // answered, dropped (→ closed) on shutdown.
+                    let mut parked: Vec<TcpStream> = Vec::new();
+                    loop {
+                        if a_shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match listener.accept() {
+                            Ok((client, _)) => match a_plan.mode() {
+                                NetMode::Partition => drop(client),
+                                NetMode::Hang => parked.push(client),
+                                NetMode::Forward => {
+                                    let target =
+                                        *a_upstream.lock().unwrap_or_else(|p| p.into_inner());
+                                    let Ok(server) =
+                                        TcpStream::connect_timeout(&target, Duration::from_secs(1))
+                                    else {
+                                        drop(client);
+                                        continue;
+                                    };
+                                    client.set_nodelay(true).ok();
+                                    server.set_nodelay(true).ok();
+                                    let epoch = a_plan.conn_epoch.load(Ordering::Acquire);
+                                    let pairs = [
+                                        (client.try_clone(), server.try_clone()),
+                                        (Ok(server), Ok(client)),
+                                    ];
+                                    for (rx, tx) in pairs {
+                                        let (Ok(rx), Ok(tx)) = (rx, tx) else { continue };
+                                        let plan = a_plan.clone();
+                                        let sd = Arc::clone(&a_shutdown);
+                                        if let Ok(h) = thread::Builder::new()
+                                            .name("nitro-chaos-pump".into())
+                                            .spawn(move || pump(rx, tx, plan, epoch, sd))
+                                        {
+                                            a_pumps
+                                                .lock()
+                                                .unwrap_or_else(|p| p.into_inner())
+                                                .push(h);
+                                        }
+                                    }
+                                }
+                            },
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                })?;
+
+            Ok(Self {
+                local,
+                upstream,
+                plan,
+                shutdown,
+                accept_thread: Some(accept_thread),
+                pumps,
+            })
+        }
+
+        /// The stable address agents should dial.
+        pub fn local_addr(&self) -> SocketAddr {
+            self.local
+        }
+
+        /// Retarget the upstream (e.g. an aggregator restarted on a new
+        /// port). Affects new connections; established ones keep their
+        /// old target until torn down.
+        pub fn set_upstream(&self, addr: SocketAddr) {
+            *self.upstream.lock().unwrap_or_else(|p| p.into_inner()) = addr;
+        }
+
+        /// The shared fault plan driving this proxy.
+        pub fn plan(&self) -> &NetFaultPlan {
+            &self.plan
+        }
+
+        /// Stop proxying and join every thread.
+        pub fn shutdown(mut self) {
+            self.shutdown.store(true, Ordering::Release);
+            if let Some(h) = self.accept_thread.take() {
+                let _ = h.join();
+            }
+            let pumps = std::mem::take(&mut *self.pumps.lock().unwrap_or_else(|p| p.into_inner()));
+            for h in pumps {
+                let _ = h.join();
+            }
+        }
+    }
+
+    impl Drop for ChaosProxy {
+        fn drop(&mut self) {
+            self.shutdown.store(true, Ordering::Release);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// A TCP echo server for proxy tests; returns (addr, shutdown fn).
+        fn echo_server() -> (SocketAddr, Arc<AtomicBool>, thread::JoinHandle<()>) {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let t_stop = Arc::clone(&stop);
+            let handle = thread::spawn(move || {
+                let mut conns: Vec<TcpStream> = Vec::new();
+                let mut buf = [0u8; 4096];
+                loop {
+                    if t_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok((s, _)) = listener.accept() {
+                        s.set_nonblocking(true).ok();
+                        conns.push(s);
+                    }
+                    conns.retain_mut(|s| match s.read(&mut buf) {
+                        Ok(0) => false,
+                        Ok(n) => s.write_all(&buf[..n]).is_ok(),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+                        Err(_) => false,
+                    });
+                    thread::sleep(Duration::from_millis(1));
+                }
+            });
+            (addr, stop, handle)
+        }
+
+        fn roundtrip(addr: SocketAddr, msg: &[u8]) -> std::io::Result<Vec<u8>> {
+            let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(1))?;
+            s.set_read_timeout(Some(Duration::from_secs(1)))?;
+            s.write_all(msg)?;
+            let mut out = vec![0u8; msg.len()];
+            s.read_exact(&mut out)?;
+            Ok(out)
+        }
+
+        #[test]
+        fn forwards_then_partitions_then_heals() {
+            let (addr, stop, server) = echo_server();
+            let plan = NetFaultPlan::new();
+            let proxy = ChaosProxy::spawn(addr, plan.clone()).unwrap();
+            assert_eq!(roundtrip(proxy.local_addr(), b"hello").unwrap(), b"hello");
+
+            plan.partition();
+            assert!(
+                roundtrip(proxy.local_addr(), b"lost").is_err(),
+                "partitioned proxy must not echo"
+            );
+
+            plan.heal();
+            assert_eq!(roundtrip(proxy.local_addr(), b"back").unwrap(), b"back");
+
+            proxy.shutdown();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap();
+        }
+
+        #[test]
+        fn hang_goes_silent_without_closing() {
+            let (addr, stop, server) = echo_server();
+            let plan = NetFaultPlan::new();
+            let proxy = ChaosProxy::spawn(addr, plan.clone()).unwrap();
+            plan.hang();
+            let mut s =
+                TcpStream::connect_timeout(&proxy.local_addr(), Duration::from_secs(1)).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(100)))
+                .unwrap();
+            // The dial succeeds and the write is accepted (kernel buffer),
+            // but no echo ever comes back — only the timeout notices.
+            s.write_all(b"anyone?").unwrap();
+            let mut buf = [0u8; 7];
+            let err = s.read_exact(&mut buf).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "expected a timeout, got {err:?}"
+            );
+            proxy.shutdown();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap();
+        }
+
+        #[test]
+        fn corruption_countdown_fires_exactly_once() {
+            let (addr, stop, server) = echo_server();
+            let plan = NetFaultPlan::new();
+            let proxy = ChaosProxy::spawn(addr, plan.clone()).unwrap();
+            let mut s =
+                TcpStream::connect_timeout(&proxy.local_addr(), Duration::from_secs(1)).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(1))).unwrap();
+            // Arm: the next client→server chunk is corrupted. The echoed
+            // bytes must differ; the chunk after passes verbatim.
+            plan.corrupt_after(0);
+            s.write_all(b"payload").unwrap();
+            let mut out = [0u8; 7];
+            s.read_exact(&mut out).unwrap();
+            assert_ne!(&out, b"payload", "armed chunk must be corrupted");
+            assert_eq!(plan.fired(), 1);
+            s.write_all(b"payload").unwrap();
+            s.read_exact(&mut out).unwrap();
+            assert_eq!(&out, b"payload", "countdown is one-shot");
+            assert_eq!(plan.fired(), 1);
+            proxy.shutdown();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap();
+        }
+
+        #[test]
+        fn drop_connections_orphans_established_pumps() {
+            let (addr, stop, server) = echo_server();
+            let plan = NetFaultPlan::new();
+            let proxy = ChaosProxy::spawn(addr, plan.clone()).unwrap();
+            let mut s =
+                TcpStream::connect_timeout(&proxy.local_addr(), Duration::from_secs(1)).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(1))).unwrap();
+            s.write_all(b"ok").unwrap();
+            let mut out = [0u8; 2];
+            s.read_exact(&mut out).unwrap();
+            plan.drop_connections();
+            // The orphaned pump tears down within a few polls; the
+            // connection dies even though the mode is still Forward.
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let died = loop {
+                if s.write_all(b"??").is_err() {
+                    break true;
+                }
+                let mut b = [0u8; 2];
+                if s.read_exact(&mut b).is_err() {
+                    break true;
+                }
+                if std::time::Instant::now() > deadline {
+                    break false;
+                }
+                thread::sleep(Duration::from_millis(10));
+            };
+            assert!(died, "established connection must be torn down");
+            // A fresh dial still works.
+            assert_eq!(roundtrip(proxy.local_addr(), b"new").unwrap(), b"new");
+            proxy.shutdown();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

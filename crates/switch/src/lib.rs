@@ -59,12 +59,13 @@ pub mod supervisor;
 pub mod vpp;
 
 pub use cluster::{
-    Aggregator, AggregatorConfig, ClusterError, ClusterView, EpochStatus, NodeAgent,
-    NodeAgentConfig, SealOutcome, WireError,
+    AggRecovery, Aggregator, AggregatorConfig, ClusterError, ClusterView, EpochStatus, NodeAgent,
+    NodeAgentConfig, ReconnectDecision, ReconnectPolicy, SealOutcome, WireError,
 };
 pub use control::{Collector, ControlLink, EpochReport};
 pub use cost::{CostModel, CostReport, Stage};
 pub use daemon::{DaemonError, MeasurementDaemon, MeasurementTap, Observation};
+pub use faults::net::{ChaosProxy, NetFaultPlan, NetMode};
 pub use faults::{
     DiskAction, DiskFaultPlan, FaultInjector, FaultStats, ThreadFaultPlan, TokenBucket,
 };

@@ -13,8 +13,15 @@
 //! 3. the restarted agent reopens the same log, reconnects, and backfills
 //!    the missed frame — epoch 3 flips to `Complete` without replaying a
 //!    single packet;
-//! 4. the scrape endpoint exports the whole story: joins, the loss, the
-//!    backfill, and per-epoch seal counters.
+//! 4. then the **aggregator itself** is killed mid-run: every merged view
+//!    vanishes with the process, but the durable aggregation log does
+//!    not. [`Aggregator::recover`] rebuilds epochs 1-3 from disk alone —
+//!    served `Complete` on a brand-new port before any node reconnects —
+//!    and hands each redialing agent an honest `last_epoch` watermark, so
+//!    backfill is delta-only (here: zero frames);
+//! 5. epoch 4 seals live against the recovered aggregator, and the scrape
+//!    endpoint exports the whole story: joins, the loss, the backfill,
+//!    the recovery gauges, and per-epoch seal counters.
 //!
 //! Run with: `cargo run --release --example cluster_pipeline`
 
@@ -42,18 +49,24 @@ fn wait(agg: &Aggregator<CountMin>, epoch: u64, what: &str) {
     println!("  epoch {epoch} {what}: {:?}", agg.epoch_status(epoch));
 }
 
+fn agg_log_dir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("nitro-cluster-demo-agglog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
 fn main() {
     let registry = Arc::new(nitrosketch::metrics::TelemetryRegistry::new());
-    let agg: Aggregator<CountMin> = Aggregator::spawn(
-        blank(),
-        "127.0.0.1:0",
-        AggregatorConfig {
-            heartbeat_timeout: Duration::from_millis(250),
-            keep_epochs: 64,
-            registry: Some(Arc::clone(&registry)),
-        },
-    )
-    .expect("spawn aggregator");
+    let log_dir = agg_log_dir();
+    let agg_cfg = AggregatorConfig {
+        heartbeat_timeout: Duration::from_millis(250),
+        keep_epochs: 64,
+        registry: Some(Arc::clone(&registry)),
+        log_dir: Some(log_dir.clone()),
+        ..Default::default()
+    };
+    let mut agg: Aggregator<CountMin> =
+        Aggregator::spawn(blank(), "127.0.0.1:0", agg_cfg.clone()).expect("spawn aggregator");
     let addr = agg.local_addr();
     let fingerprint = blank().inner().fingerprint();
     println!("aggregator listening on {addr} (fingerprint {fingerprint:#018x})");
@@ -76,8 +89,16 @@ fn main() {
             let dir =
                 std::env::temp_dir().join(format!("nitro-cluster-demo-{}-{n}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
-            let mut a = NodeAgent::open(dir, NodeAgentConfig::new(n as u32, fingerprint))
-                .expect("open agent");
+            let mut cfg = NodeAgentConfig::new(n as u32, fingerprint);
+            // The demo narrates every reconnect explicitly, so park the
+            // automatic redial schedule outside the demo window — else a
+            // severed agent quietly heals itself mid-epoch and the
+            // durable-only seal never happens. The automatic jittered
+            // redial is exercised (against a chaos proxy, no less) in
+            // tests/cluster_recovery.rs.
+            cfg.reconnect.base_backoff = Duration::from_secs(120);
+            cfg.reconnect.max_backoff = Duration::from_secs(120);
+            let mut a = NodeAgent::open(dir, cfg).expect("open agent");
             a.connect(addr).expect("handshake");
             println!("node {n}: connected (next epoch {})", a.next_epoch());
             a
@@ -89,6 +110,33 @@ fn main() {
 
     for epoch in 1..=EPOCHS {
         println!("── epoch {epoch} ──");
+        if epoch == 4 {
+            // Kill the aggregator itself: every merged view dies with the
+            // process. Recovery replays the durable aggregation log and
+            // serves epochs 1-3 from disk alone, on a brand-new port,
+            // before a single node has reconnected.
+            agg.shutdown();
+            println!("  aggregator killed mid-run (views gone, log survives)");
+            let (revived, recovery) =
+                Aggregator::recover(blank(), "127.0.0.1:0", &log_dir, agg_cfg.clone())
+                    .expect("recover aggregator");
+            agg = revived;
+            println!(
+                "  recovered on {}: {} epochs, {} nodes, {} records replayed",
+                agg.local_addr(),
+                recovery.epochs,
+                recovery.nodes,
+                recovery.records
+            );
+            println!(
+                "  latest complete, from disk alone: {:?}",
+                agg.latest_complete()
+            );
+            for (n, a) in agents.iter_mut().enumerate() {
+                let replayed = a.connect(agg.local_addr()).expect("reconnect");
+                println!("  node {n}: redialed, backfilled {replayed} frame(s) — delta-only");
+            }
+        }
         for n in 0..NODES {
             // Mid-epoch partition: node 2's socket dies before its seal.
             if epoch == 3 && n == 2 {
@@ -136,8 +184,10 @@ fn main() {
             // "Restart" node 2: reopen the same durable log and reconnect.
             let dir =
                 std::env::temp_dir().join(format!("nitro-cluster-demo-{}-2", std::process::id()));
-            let mut revived =
-                NodeAgent::open(dir, NodeAgentConfig::new(2, fingerprint)).expect("reopen agent");
+            let mut cfg = NodeAgentConfig::new(2, fingerprint);
+            cfg.reconnect.base_backoff = Duration::from_secs(120);
+            cfg.reconnect.max_backoff = Duration::from_secs(120);
+            let mut revived = NodeAgent::open(dir, cfg).expect("reopen agent");
             let replayed = revived.connect(addr).expect("reconnect");
             println!("  node 2: reconnected, backfilled {replayed} missed frame(s)");
             agents[2] = revived;

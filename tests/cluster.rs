@@ -154,6 +154,7 @@ fn three_node_cluster_survives_kill_and_backfills() {
             heartbeat_timeout: HEARTBEAT_TIMEOUT,
             keep_epochs: 64,
             registry: Some(Arc::clone(&registry)),
+            ..Default::default()
         },
     )
     .expect("spawn aggregator");

@@ -1,0 +1,399 @@
+//! Aggregator crash-consistency acceptance test: kill the aggregator
+//! mid-epoch with three live nodes behind per-node chaos proxies, then
+//! prove the restarted aggregator serves everything it had already
+//! sealed **from disk alone** and repairs the rest with delta-only
+//! backfill.
+//!
+//! The arc, mirroring ISSUE acceptance:
+//! - three nodes (each a 2-shard durable [`ShardedPipeline`] fronted by a
+//!   [`NodeAgent`]) seal epochs 1-2 through forwarding [`ChaosProxy`]s;
+//! - mid-epoch 3 — after node 0's seal but before nodes 1-2 deliver —
+//!   the aggregator is killed and every proxy hard-partitions; the late
+//!   seals land durable-only in the agents' own logs;
+//! - [`Aggregator::recover`] on a **new port** serves epochs 1-2 complete
+//!   before any node reconnects (zero backfill needed for them) and
+//!   epoch 3 degraded with exactly node 0's frame;
+//! - partitioned agents redial on the jittered [`ReconnectPolicy`]
+//!   schedule (journaled as `ReconnectBackoff`), the proxies retarget to
+//!   the new port and heal, and each lagging node backfills exactly the
+//!   one epoch newer than the recovered `last_epoch` watermark;
+//! - epoch 4 seals live on all three nodes, network-wide HH recall vs.
+//!   exact ground truth stays ≥ 0.95, and per-node accounting
+//!   (offered == processed + dropped + lost) closes exactly.
+
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::metrics::telemetry::Event;
+use nitrosketch::metrics::TelemetryRegistry;
+use nitrosketch::sketches::{Checkpoint, CountMin};
+use nitrosketch::switch::{
+    Aggregator, AggregatorConfig, ChaosProxy, CheckpointStore, NetFaultPlan, NodeAgent,
+    NodeAgentConfig, PipelineConfig, ReconnectPolicy, ShardedPipeline, ShardedTap, StoreConfig,
+    SupervisorConfig,
+};
+use nitrosketch::traffic::GroundTruth;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 3;
+const SHARDS: usize = 2;
+const EPOCHS: u64 = 4;
+const CHUNK: usize = 30_000;
+const WIDTH: usize = 2048;
+const CHECKPOINT_EVERY: u64 = 256;
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(150);
+
+type Pipe = (ShardedTap, ShardedPipeline<CountMin>);
+
+fn factory_for(node: usize) -> impl Fn(usize) -> NitroSketch<CountMin> + Send + Sync + 'static {
+    move |i| {
+        NitroSketch::new(
+            CountMin::new(4, WIDTH, 7),
+            Mode::Fixed { p: 1.0 },
+            (200 + node * 16 + i) as u64,
+        )
+        .with_topk(256)
+    }
+}
+
+fn template() -> NitroSketch<CountMin> {
+    NitroSketch::new(CountMin::new(4, WIDTH, 7), Mode::Fixed { p: 1.0 }, 1).with_topk(256)
+}
+
+fn pipe_config(store: Option<Arc<CheckpointStore>>) -> PipelineConfig {
+    PipelineConfig {
+        shards: SHARDS,
+        supervisor: SupervisorConfig {
+            ring_capacity: 1 << 15,
+            checkpoint_every: CHECKPOINT_EVERY,
+            high_water: 1.1,
+            ..Default::default()
+        },
+        store,
+        ..Default::default()
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("nitro-aggrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn zipf_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut z = nitrosketch::traffic::zipf::Zipf::new(20_000, 1.2, seed);
+    (0..n).map(|_| z.sample()).collect()
+}
+
+/// Heartbeat every agent: keeps live nodes off the loss list AND walks
+/// disconnected agents through their redial schedule.
+fn pump(agents: &mut [NodeAgent]) {
+    for a in agents.iter_mut() {
+        a.heartbeat(0);
+    }
+}
+
+fn offer_all(tap: &mut ShardedTap, keys: &[u64], agents: &mut [NodeAgent]) {
+    for (i, &k) in keys.iter().enumerate() {
+        tap.offer(k, i as u64);
+        if i % 512 == 0 {
+            std::thread::yield_now();
+        }
+        if i % 4096 == 0 {
+            pump(agents);
+        }
+    }
+}
+
+fn drain(pipeline: &ShardedPipeline<CountMin>, agents: &mut [NodeAgent]) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while pipeline.fleet_health().unaccounted() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "fleet failed to drain: {}",
+            pipeline.fleet_health()
+        );
+        pump(agents);
+        std::thread::yield_now();
+    }
+}
+
+fn wait_complete(agg: &Aggregator<CountMin>, agents: &mut [NodeAgent], epoch: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !agg.epoch_status(epoch).is_complete() {
+        assert!(
+            Instant::now() < deadline,
+            "epoch {epoch} never completed; status {:?}",
+            agg.epoch_status(epoch)
+        );
+        pump(agents);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn aggregator_killed_mid_epoch_recovers_from_durable_log_behind_chaos_proxies() {
+    let registry = Arc::new(TelemetryRegistry::new());
+    let log_dir = fresh_dir("agglog");
+    let agg_cfg = AggregatorConfig {
+        heartbeat_timeout: HEARTBEAT_TIMEOUT,
+        keep_epochs: 64,
+        registry: Some(Arc::clone(&registry)),
+        log_dir: Some(log_dir.clone()),
+        ..Default::default()
+    };
+    let agg: Aggregator<CountMin> =
+        Aggregator::spawn(template(), "127.0.0.1:0", agg_cfg.clone()).expect("spawn aggregator");
+    let fingerprint = template().inner().fingerprint();
+
+    // One chaos proxy per node: agents dial the proxy's stable address;
+    // the aggregator can die and come back on any port behind it.
+    let proxies: Vec<ChaosProxy> = (0..NODES)
+        .map(|_| ChaosProxy::spawn(agg.local_addr(), NetFaultPlan::new()).expect("spawn proxy"))
+        .collect();
+
+    let streams: Vec<Vec<u64>> = (0..NODES)
+        .map(|n| zipf_stream(EPOCHS as usize * CHUNK, 9_000 + n as u64))
+        .collect();
+    let truth = GroundTruth::from_keys(streams.iter().flatten().copied());
+
+    let mut pipes: Vec<Pipe> = Vec::new();
+    let mut agents: Vec<NodeAgent> = Vec::new();
+    for (n, proxy) in proxies.iter().enumerate() {
+        let store = CheckpointStore::create(
+            fresh_dir(&format!("pipe{n}")),
+            SHARDS,
+            StoreConfig::default(),
+        )
+        .expect("create pipeline store");
+        let pipe = nitrosketch::switch::spawn_sharded(factory_for(n), pipe_config(Some(store)))
+            .expect("spawn node pipeline");
+        let mut cfg = NodeAgentConfig::new(n as u32, fingerprint);
+        // Fast, budget-rich redial so the test's heartbeat cadence walks
+        // several failed attempts during the partition window.
+        cfg.reconnect = ReconnectPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.25,
+            max_attempts: 10_000,
+            seed: 0,
+        };
+        cfg.registry = Some(Arc::clone(&registry));
+        let mut agent = NodeAgent::open(fresh_dir(&format!("agent{n}")), cfg).expect("open agent");
+        assert_eq!(agent.connect(proxy.local_addr()).expect("handshake"), 0);
+        pipes.push(pipe);
+        agents.push(agent);
+    }
+
+    let chunk = |node: usize, epoch: u64| {
+        let at = (epoch - 1) as usize * CHUNK;
+        &streams[node][at..at + CHUNK]
+    };
+    let hh_threshold = 0.005 * truth.l1();
+
+    // Epochs 1-2: sealed live through forwarding proxies.
+    for epoch in 1..=2u64 {
+        for n in 0..NODES {
+            let (tap, pipeline) = &mut pipes[n];
+            offer_all(tap, chunk(n, epoch), &mut agents);
+            drain(pipeline, &mut agents);
+            let view = pipeline.epoch_view().expect("epoch view");
+            let out = agents[n]
+                .seal_epoch(epoch, &view, hh_threshold)
+                .expect("seal");
+            assert!(out.delivered, "node {n} epoch {epoch} should deliver live");
+        }
+        wait_complete(&agg, &mut agents, epoch);
+    }
+    assert_eq!(agg.latest_complete(), Some(2));
+    let view1_packets = agg.view(1).expect("view 1").packets();
+    let view2_packets = agg.view(2).expect("view 2").packets();
+
+    // Epoch 3, interrupted: every node absorbs its traffic; node 0 seals
+    // and delivers; then the aggregator dies and every link partitions.
+    for (n, (tap, pipeline)) in pipes.iter_mut().enumerate() {
+        offer_all(tap, chunk(n, 3), &mut agents);
+        drain(pipeline, &mut agents);
+    }
+    let view0 = pipes[0].1.epoch_view().expect("epoch view");
+    assert!(
+        agents[0]
+            .seal_epoch(3, &view0, hh_threshold)
+            .expect("seal")
+            .delivered
+    );
+    // Give the frame time to be merged + logged before the kill.
+    let logged_deadline = Instant::now() + Duration::from_secs(5);
+    while !matches!(
+        agg.epoch_status(3),
+        nitrosketch::switch::EpochStatus::Pending { .. }
+    ) && Instant::now() < logged_deadline
+    {
+        pump(&mut agents);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The kill: in-memory views vanish; only the aggregation log survives.
+    agg.shutdown();
+    for p in &proxies {
+        p.plan().partition();
+    }
+    // Let each agent discover the death organically: heartbeat writes to
+    // the torn-down connection fail (TCP surfaces the reset on the second
+    // write at the latest) and arm the redial schedule.
+    for _ in 0..5 {
+        pump(&mut agents);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(agents.iter().all(|a| !a.is_connected()));
+
+    // Nodes 1-2 seal epoch 3 into their own durable logs; delivery is
+    // impossible (dead aggregator, partitioned links).
+    for n in 1..NODES {
+        let view = pipes[n].1.epoch_view().expect("epoch view");
+        let out = agents[n].seal_epoch(3, &view, hh_threshold).expect("seal");
+        assert!(!out.delivered, "node {n} must degrade to local-durable");
+    }
+
+    // Walk the redial schedule against the partition for a few rounds so
+    // jittered backoff is actually exercised (and journaled).
+    let backoff_deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < backoff_deadline {
+        pump(&mut agents);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Recovery on a fresh port, before any node can reconnect: epochs 1-2
+    // are served complete from disk with zero node backfill; epoch 3
+    // holds exactly node 0's frame and is degraded (node 0's interval is
+    // open and it is disconnected).
+    let (agg, recovery) = Aggregator::recover(template(), "127.0.0.1:0", &log_dir, agg_cfg)
+        .expect("recover aggregator");
+    assert_eq!(recovery.epochs, 3, "epochs 1-3 rebuilt from the log");
+    assert_eq!(recovery.nodes, NODES as u32);
+    assert!(agg.epoch_status(1).is_complete());
+    assert!(agg.epoch_status(2).is_complete());
+    assert_eq!(agg.latest_complete(), Some(2));
+    assert!(!agg.epoch_status(3).is_complete());
+    assert_eq!(
+        agg.view(1).expect("recovered view 1").packets(),
+        view1_packets
+    );
+    assert_eq!(
+        agg.view(2).expect("recovered view 2").packets(),
+        view2_packets
+    );
+    assert!(agg.connected_nodes().is_empty());
+
+    // Heal: retarget every proxy at the recovered aggregator's new port
+    // and lift the partitions. The agents' own redial schedule does the
+    // rest — no explicit connect() anywhere below.
+    for p in &proxies {
+        p.set_upstream(agg.local_addr());
+        p.plan().heal();
+    }
+    wait_complete(&agg, &mut agents, 3);
+    assert_eq!(agg.latest_complete(), Some(3));
+    assert_eq!(
+        agents[0].backfilled(),
+        0,
+        "node 0 was fully merged before the kill: delta-only means zero"
+    );
+    for (n, agent) in agents.iter().enumerate().skip(1) {
+        assert_eq!(
+            agent.backfilled(),
+            1,
+            "node {n} backfills exactly its epoch-3 frame"
+        );
+    }
+
+    // Epoch 4: live again end to end, accounting identity exact.
+    for n in 0..NODES {
+        let (tap, pipeline) = &mut pipes[n];
+        offer_all(tap, chunk(n, 4), &mut agents);
+        drain(pipeline, &mut agents);
+        let health = pipeline.fleet_health();
+        assert_eq!(
+            health.unaccounted(),
+            0,
+            "node {n} accounting identity must close exactly: {health}"
+        );
+        let view = pipeline.epoch_view().expect("epoch view");
+        let out = agents[n].seal_epoch(4, &view, hh_threshold).expect("seal");
+        assert!(out.delivered);
+    }
+    wait_complete(&agg, &mut agents, 4);
+    assert_eq!(agg.connected_nodes(), vec![0, 1, 2]);
+
+    // Network-wide heavy-hitter recall vs. exact ground truth. No node
+    // lost a single observation (the kill was the aggregator's, not
+    // theirs), so recall has no crash-loss excuse.
+    let hh_truth = truth.heavy_hitters(0.005);
+    assert!(hh_truth.len() >= 10, "stream not skewed enough to test");
+    let view = agg.view(4).expect("complete epoch view");
+    assert!(view.status().is_complete());
+    let found = view.heavy_hitters(0.8 * hh_threshold);
+    let recalled = hh_truth
+        .iter()
+        .filter(|&&(k, _)| found.iter().any(|&(fk, _)| fk == k))
+        .count();
+    assert!(
+        recalled as f64 >= 0.95 * hh_truth.len() as f64,
+        "post-heal HH recall {recalled}/{}",
+        hh_truth.len()
+    );
+
+    // The whole arc is journaled: recovery, jittered backoff, backfill.
+    let events: Vec<Event> = registry
+        .drain_events()
+        .into_iter()
+        .map(|e| e.event)
+        .collect();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::AggregatorRecovered {
+                epochs: 3,
+                nodes: 3,
+                ..
+            }
+        )),
+        "AggregatorRecovered journaled"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::ReconnectBackoff { .. })),
+        "jittered redial backoff journaled during the partition"
+    );
+    assert!(
+        events
+            .iter()
+            .filter(|e| matches!(e, Event::BackfillReplayed { .. }))
+            .count()
+            >= 2,
+        "nodes 1-2 backfill journaled"
+    );
+
+    // And exported: recovery gauges + aggregation-log counters.
+    let prom = agg.scrape();
+    for family in [
+        "nitro_cluster_recovered_epochs 3",
+        "nitro_cluster_recovered_records",
+        "nitro_cluster_log_records_total",
+        "nitro_cluster_reconnect_backoffs_total",
+    ] {
+        assert!(prom.contains(family), "scrape missing {family:?}:\n{prom}");
+    }
+    assert!(prom.contains("nitro_cluster_log_persist_failures_total 0"));
+
+    drop(pipes);
+    for a in agents {
+        a.close();
+    }
+    agg.shutdown();
+    for p in proxies {
+        p.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
