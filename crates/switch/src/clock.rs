@@ -1,0 +1,148 @@
+//! Time as a capability: a [`Clock`] trait with a real implementation
+//! ([`SystemClock`]) and a virtual one ([`SimClock`]).
+//!
+//! Every control-plane component that waits or measures silence — the
+//! supervisor's stall watchdog, the cluster agent's reconnect schedule,
+//! the aggregator's heartbeat monitor — takes time through this trait
+//! instead of calling `Instant::now` / `thread::sleep` directly. In
+//! production that is [`SystemClock`] and nothing changes; under the
+//! deterministic simulator ([`crate::sim`]) it is [`SimClock`], whose
+//! nanoseconds advance only when the test says so. The same watchdog
+//! that needs half a second of wall time to fire in production fires in
+//! microseconds of real time under a `SimClock` — and fires *identically*
+//! on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonic timestamp in nanoseconds since the clock's origin. Only
+/// differences are meaningful; origins differ between clock instances
+/// (and between process runs).
+pub type Nanos = u64;
+
+/// The time capability: read a monotonic nanosecond counter, or block
+/// until (at least) a duration has passed.
+///
+/// Implementations must be monotonic — `now_ns` never goes backwards —
+/// and thread-safe: one clock is typically shared by a component and the
+/// threads or test harness driving it.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current monotonic time in nanoseconds since this clock's origin.
+    fn now_ns(&self) -> Nanos;
+
+    /// Wait until at least `d` has elapsed on *this clock*. The system
+    /// clock parks the calling thread; the simulated clock advances
+    /// virtual time instead and returns immediately.
+    fn sleep(&self, d: Duration);
+}
+
+/// Process-wide origin for [`SystemClock`], so every instance reports
+/// timestamps on one comparable axis.
+fn process_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// The real clock: [`Instant`]-backed monotonic time and genuine
+/// `thread::sleep`. All instances share one process-wide origin, so
+/// timestamps from different components compare correctly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> Nanos {
+        process_origin().elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A virtual clock for deterministic tests: time is an atomic counter
+/// that moves only via [`SimClock::advance`] / [`SimClock::set`] (or a
+/// sleeper's own [`Clock::sleep`], see below). Clones share the same
+/// underlying counter.
+///
+/// `sleep(d)` **advances virtual time by `d`** and returns immediately.
+/// That convention makes a single polling loop (e.g. the supervisor
+/// watchdog) self-driving: each poll interval passes instantly in real
+/// time while the virtual clock walks forward exactly one interval per
+/// iteration, so timeout logic runs its full schedule in microseconds.
+/// With multiple sleepers sharing one `SimClock` the interleaving of
+/// their advances is scheduler-dependent — the deterministic simulator
+/// therefore drives time exclusively through `advance`/`set` from its
+/// single event-loop thread and never sleeps.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A virtual clock starting at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute virtual timestamp. Saturating: an attempt to
+    /// move backwards (which would break monotonicity) is ignored.
+    pub fn set(&self, at: Nanos) {
+        self.now.fetch_max(at, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_ns(&self) -> Nanos {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_shares_an_origin() {
+        let a = SystemClock;
+        let b = SystemClock;
+        let t1 = a.now_ns();
+        let t2 = b.now_ns();
+        assert!(t2 >= t1, "shared origin keeps instances comparable");
+        let t3 = a.now_ns();
+        assert!(t3 >= t2);
+    }
+
+    #[test]
+    fn sim_clock_advances_only_on_demand() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now_ns(), 5_000_000);
+        // sleep() is an advance, not a real wait.
+        let before = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(before.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.now_ns(), 5_000_000 + 3600 * 1_000_000_000);
+        // set() saturates backwards.
+        c.set(1);
+        assert_eq!(c.now_ns(), 5_000_000 + 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        b.advance(Duration::from_nanos(42));
+        assert_eq!(a.now_ns(), 42);
+    }
+}

@@ -10,10 +10,18 @@
 //! "the aggregator is missing an epoch I still hold", which the next
 //! successful handshake repairs via backfill. Nothing ever needs to be
 //! recomputed: backfill re-sends disk bytes.
+//!
+//! All protocol decisions live in the sans-io
+//! [`AgentSession`](super::proto::AgentSession); this type is the TCP
+//! driver — it dials, shuttles bytes, persists frames, and maps session
+//! outputs onto telemetry. The deterministic simulator drives the same
+//! session without any of this.
 
-use super::reconnect::{ReconnectDecision, ReconnectPolicy};
+use super::proto::{AgentOutput, AgentSession};
+use super::reconnect::ReconnectPolicy;
 use super::wire::{encode_epoch_payload, Message, WireError};
 use super::ClusterError;
+use crate::clock::{Clock, SystemClock};
 use crate::control::EpochReport;
 use crate::pipeline::MergedView;
 use crate::store::{CheckpointSink, CheckpointStore, StoreConfig, StoreError};
@@ -24,7 +32,7 @@ use nitro_sketches::RowSketch;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of one node's agent.
 #[derive(Clone, Debug)]
@@ -59,6 +67,10 @@ pub struct NodeAgentConfig {
     /// Telemetry registry `ReconnectBackoff` events and counters flow
     /// through; `None` disables agent-side telemetry.
     pub registry: Option<Arc<TelemetryRegistry>>,
+    /// Time source for the redial schedule. [`SystemClock`] in
+    /// production; tests substitute a `SimClock` to walk backoff
+    /// deadlines without real sleeps.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl NodeAgentConfig {
@@ -78,6 +90,7 @@ impl NodeAgentConfig {
             handshake_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(2),
             registry: None,
+            clock: Arc::new(SystemClock),
         }
     }
 
@@ -109,22 +122,10 @@ pub struct SealOutcome {
 /// [`NodeAgent::close`]. After a crash, `open` on the same directory
 /// resumes exactly where the durable log ends.
 pub struct NodeAgent {
-    node_id: u32,
-    fingerprint: u64,
+    session: AgentSession,
     store: Arc<CheckpointStore>,
     stream: Option<TcpStream>,
-    /// The next epoch this agent will accept a seal for (newest durable
-    /// frame + 1; epochs may skip forward — cadence gaps while the node
-    /// was down stay unsealed — but never backward).
-    next_epoch: u64,
-    /// Newest epoch the aggregator acknowledged holding, updated by
-    /// handshake and successful sends.
-    acked_epoch: u64,
-    /// Cluster-wide newest epoch reported by the last `HelloAck`.
-    cluster_epoch: u64,
-    /// Durable frames replayed over all connects of this agent instance.
-    backfilled: u64,
-    reconnect: ReconnectPolicy,
+    clock: Arc<dyn Clock>,
     connect_timeout: Duration,
     handshake_timeout: Duration,
     write_timeout: Duration,
@@ -133,12 +134,6 @@ pub struct NodeAgent {
     /// Resolved aggregator addresses from the last explicit
     /// [`NodeAgent::connect`] — the redial target.
     target: Option<Vec<SocketAddr>>,
-    /// Consecutive failed redials since the connection dropped.
-    attempts: u64,
-    /// Earliest instant the next automatic redial may fire.
-    retry_at: Option<Instant>,
-    /// The redial budget is spent; only an explicit `connect` resets it.
-    gave_up: bool,
 }
 
 impl NodeAgent {
@@ -160,25 +155,24 @@ impl NodeAgent {
             ..cfg.reconnect
         };
         let cluster = cfg.registry.as_ref().map(|r| r.cluster());
+        let session = AgentSession::new(
+            cfg.node_id,
+            cfg.fingerprint,
+            store.generation(),
+            next_epoch,
+            reconnect,
+        );
         Ok(Self {
-            node_id: cfg.node_id,
-            fingerprint: cfg.fingerprint,
+            session,
             store,
             stream: None,
-            next_epoch,
-            acked_epoch: 0,
-            cluster_epoch: 0,
-            backfilled: 0,
-            reconnect,
+            clock: cfg.clock,
             connect_timeout: cfg.connect_timeout,
             handshake_timeout: cfg.handshake_timeout,
             write_timeout: cfg.write_timeout,
             registry: cfg.registry,
             cluster,
             target: None,
-            attempts: 0,
-            retry_at: None,
-            gave_up: false,
         })
     }
 
@@ -197,16 +191,25 @@ impl NodeAgent {
             return Err(std::io::Error::from(std::io::ErrorKind::AddrNotAvailable).into());
         }
         self.target = Some(addrs);
-        self.attempts = 0;
-        self.retry_at = None;
-        self.gave_up = false;
-        let out = self.establish();
-        if out.is_err() {
-            // The target is known even though the dial failed: arm the
-            // automatic schedule so seal/heartbeat keep trying.
-            self.on_disconnect();
+        self.session.connect();
+        // Consume the Dial the explicit connect just emitted.
+        self.session.drain();
+        self.try_establish()
+    }
+
+    /// Execute one dial + handshake + backfill sequence against the
+    /// stored target, reporting the outcome to the session (which arms
+    /// the redial schedule on failure).
+    fn try_establish(&mut self) -> Result<u64, ClusterError> {
+        match self.establish_inner() {
+            Ok(replayed) => Ok(replayed),
+            Err(e) => {
+                self.stream = None;
+                self.session.dial_failed(self.clock.now_ns());
+                self.map_outputs();
+                Err(e)
+            }
         }
-        out
     }
 
     /// Dial the stored target, handshake, backfill. Timeout discipline:
@@ -214,7 +217,7 @@ impl NodeAgent {
     /// the handshake* — afterwards the read side is cleared (idle gaps
     /// between heartbeats are normal) and the write side drops to the
     /// configured seal-path timeout.
-    fn establish(&mut self) -> Result<u64, ClusterError> {
+    fn establish_inner(&mut self) -> Result<u64, ClusterError> {
         self.stream = None;
         let addrs = self.target.clone().ok_or(ClusterError::NotConnected)?;
         let mut stream = None;
@@ -234,115 +237,103 @@ impl NodeAgent {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(self.handshake_timeout))?;
         stream.set_write_timeout(Some(self.handshake_timeout))?;
-        Message::Hello {
-            node_id: self.node_id,
-            generation: self.store.generation(),
-            next_epoch: self.next_epoch,
-            fingerprint: self.fingerprint,
+        self.session.transport_connected();
+        for out in self.session.drain() {
+            if let AgentOutput::Send(msg) = out {
+                msg.write_to(&mut stream)?;
+            }
         }
-        .write_to(&mut stream)?;
         let ack = Message::read_from(&mut stream)?;
-        let Message::HelloAck {
-            accepted,
-            last_epoch,
-            cluster_epoch,
-        } = ack
-        else {
-            return Err(WireError::Malformed("expected HelloAck").into());
-        };
-        if !accepted {
-            return Err(ClusterError::Rejected(
-                "fingerprint mismatch (geometry or hash seeds differ)",
-            ));
-        }
-        stream.set_read_timeout(None)?;
-        stream.set_write_timeout(Some(self.write_timeout))?;
-        self.acked_epoch = last_epoch;
-        self.cluster_epoch = cluster_epoch;
+        self.session.on_message(ack, self.clock.now_ns())?;
         // Backfill: replay durable frames the aggregator never saw, in
         // epoch order. Frames are re-wrapped verbatim — same payload, same
         // CRC discipline — so the aggregator validates them exactly like
         // fresh seals.
         let mut replayed = 0u64;
-        for f in self.store.frames(0) {
-            if f.seq <= last_epoch || f.seq >= self.next_epoch {
-                continue;
+        let backfilling = self
+            .session
+            .drain()
+            .iter()
+            .any(|o| matches!(o, AgentOutput::Backfill { .. }));
+        if backfilling {
+            for f in self.store.frames(0) {
+                if self.session.offer_backfill(&f) {
+                    for out in self.session.drain() {
+                        if let AgentOutput::Send(msg) = out {
+                            msg.write_to(&mut stream)?;
+                        }
+                    }
+                    replayed += 1;
+                }
             }
-            let frame = crate::store::encode_frame(
-                self.node_id as usize,
-                f.generation,
-                f.seq,
-                f.processed_at,
-                &f.bytes,
-            );
-            Message::SealEpoch {
-                node_id: self.node_id,
-                epoch: f.seq,
-                backfill: true,
-                frame,
-            }
-            .write_to(&mut stream)?;
-            self.acked_epoch = self.acked_epoch.max(f.seq);
-            replayed += 1;
         }
-        self.backfilled += replayed;
+        stream.set_read_timeout(None)?;
+        stream.set_write_timeout(Some(self.write_timeout))?;
         self.stream = Some(stream);
-        self.attempts = 0;
-        self.retry_at = None;
-        self.gave_up = false;
         Ok(replayed)
     }
 
-    /// Note a dropped connection and arm the redial schedule (the first
-    /// retry waits a full backoff — an aggregator that just died is very
-    /// unlikely to be back within microseconds, and immediate redial from
-    /// a whole fleet is exactly the stampede jitter exists to prevent).
-    fn on_disconnect(&mut self) {
-        self.stream = None;
-        if self.gave_up || self.target.is_none() {
-            return;
-        }
-        match self.reconnect.decide(1) {
-            ReconnectDecision::Retry(delay) => self.retry_at = Some(Instant::now() + delay),
-            ReconnectDecision::GiveUp => self.gave_up = true,
+    /// Map queued session outputs onto telemetry (`Backoff` →
+    /// `ReconnectBackoff` event + counter; `GaveUp` is silent, matching
+    /// the policy's "operator intervenes" contract).
+    fn map_outputs(&mut self) {
+        for out in self.session.drain() {
+            match out {
+                AgentOutput::Backoff { attempt, delay } => {
+                    if let Some(reg) = &self.registry {
+                        reg.record(Event::ReconnectBackoff {
+                            node: self.session.node_id(),
+                            attempt: attempt.min(u32::MAX as u64) as u32,
+                            delay_ms: delay.as_millis() as u64,
+                        });
+                    }
+                    if let Some(c) = &self.cluster {
+                        c.reconnect_backoffs.incr();
+                    }
+                }
+                AgentOutput::GaveUp
+                | AgentOutput::Dial
+                | AgentOutput::Send(_)
+                | AgentOutput::Backfill { .. } => {}
+            }
         }
     }
 
     /// Redial if disconnected, armed, and due. Called from the seal and
     /// heartbeat paths so partition repair needs no extra operator loop.
-    fn maybe_reconnect(&mut self) {
-        if self.stream.is_some() || self.gave_up || self.target.is_none() {
+    fn pump(&mut self) {
+        if self.stream.is_some() {
             return;
         }
-        let Some(at) = self.retry_at else { return };
-        if Instant::now() < at {
-            return;
+        self.session.tick(self.clock.now_ns());
+        let dial = self
+            .session
+            .drain()
+            .iter()
+            .any(|o| matches!(o, AgentOutput::Dial));
+        if dial {
+            let _ = self.try_establish();
         }
-        if self.establish().is_ok() {
-            return;
-        }
-        self.stream = None;
-        self.attempts += 1;
-        let attempt = self.attempts;
-        match self.reconnect.decide(attempt + 1) {
-            ReconnectDecision::Retry(delay) => {
-                self.retry_at = Some(Instant::now() + delay);
-                if let Some(reg) = &self.registry {
-                    reg.record(Event::ReconnectBackoff {
-                        node: self.node_id,
-                        attempt: attempt.min(u32::MAX as u64) as u32,
-                        delay_ms: delay.as_millis() as u64,
-                    });
-                }
-                if let Some(c) = &self.cluster {
-                    c.reconnect_backoffs.incr();
+    }
+
+    /// Write every queued `Send` to the live stream. A failure (including
+    /// a write timeout against a hung aggregator) drops the connection
+    /// and arms the redial schedule — the durable log keeps the data.
+    fn flush_sends(&mut self) -> bool {
+        let outs = self.session.drain();
+        let Some(stream) = &mut self.stream else {
+            return false;
+        };
+        for out in outs {
+            if let AgentOutput::Send(msg) = out {
+                if msg.write_to(stream).is_err() {
+                    self.stream = None;
+                    self.session.connection_lost(self.clock.now_ns());
+                    return false;
                 }
             }
-            ReconnectDecision::GiveUp => {
-                self.gave_up = true;
-                self.retry_at = None;
-            }
         }
+        true
     }
 
     /// Seal `epoch` from the pipeline's merged epoch view: build the
@@ -363,18 +354,13 @@ impl NodeAgent {
     where
         S: RowSketch + Checkpoint + Clone,
     {
-        if epoch < self.next_epoch {
-            return Err(ClusterError::EpochNotMonotonic {
-                requested: epoch,
-                next: self.next_epoch,
-            });
-        }
+        self.session.begin_seal(epoch)?;
         // Redial *before* persisting: a successful redial backfills older
         // epochs first, then this epoch ships fresh on the live stream.
-        self.maybe_reconnect();
+        self.pump();
         let sketch = view.sketch();
         let report = EpochReport {
-            switch_id: self.node_id,
+            switch_id: self.session.node_id(),
             epoch,
             packets: sketch.stats().packets,
             heavy_hitters: sketch.heavy_hitters(hh_threshold),
@@ -392,22 +378,10 @@ impl NodeAgent {
             .writer(0)
             .persist(epoch, processed, &payload)
             .map_err(|e| ClusterError::Wire(WireError::Io(e.kind())))?;
-        self.next_epoch = epoch + 1;
-        let frame = crate::store::encode_frame(
-            self.node_id as usize,
-            self.store.generation(),
-            epoch,
-            processed,
-            &payload,
-        );
-        let delivered = self.send(Message::SealEpoch {
-            node_id: self.node_id,
-            epoch,
-            backfill: false,
-            frame,
-        });
+        let emitted = self.session.finish_seal(epoch, processed, &payload);
+        let delivered = emitted && self.flush_sends();
         if delivered {
-            self.acked_epoch = self.acked_epoch.max(epoch);
+            self.session.note_sent(epoch);
         }
         Ok(SealOutcome { epoch, delivered })
     }
@@ -418,30 +392,11 @@ impl NodeAgent {
     /// disconnected agent uses the heartbeat cadence to walk its
     /// [`ReconnectPolicy`] schedule.
     pub fn heartbeat(&mut self, processed: u64) -> bool {
-        self.maybe_reconnect();
-        let epoch = self.next_epoch;
-        self.send(Message::Heartbeat {
-            node_id: self.node_id,
-            epoch,
-            processed,
-        })
-    }
-
-    /// Best-effort send; a failure (including a write timeout against a
-    /// hung aggregator) drops the connection and arms the redial schedule
-    /// — the durable log keeps the data.
-    fn send(&mut self, msg: Message) -> bool {
-        match &mut self.stream {
-            Some(s) => {
-                if msg.write_to(s).is_ok() {
-                    true
-                } else {
-                    self.on_disconnect();
-                    false
-                }
-            }
-            None => false,
+        self.pump();
+        if !self.session.heartbeat(processed) {
+            return false;
         }
+        self.flush_sends()
     }
 
     /// Drop the connection without a `Goodbye` — the test hook for
@@ -449,15 +404,16 @@ impl NodeAgent {
     /// aggregator must discover the silence on its own. The redial
     /// schedule arms exactly as for an organically dropped connection.
     pub fn sever(&mut self) {
-        self.on_disconnect();
+        self.stream = None;
+        self.session.connection_lost(self.clock.now_ns());
     }
 
     /// Clean shutdown: announce departure so the aggregator stops
     /// expecting this node in future epochs.
     pub fn close(mut self) {
-        self.send(Message::Goodbye {
-            node_id: self.node_id,
-        });
+        if self.session.goodbye() {
+            self.flush_sends();
+        }
         self.stream = None;
     }
 
@@ -469,38 +425,38 @@ impl NodeAgent {
 
     /// The next epoch this agent will accept a seal for.
     pub fn next_epoch(&self) -> u64 {
-        self.next_epoch
+        self.session.next_epoch()
     }
 
     /// Newest epoch the aggregator acknowledged holding from this node.
     pub fn acked_epoch(&self) -> u64 {
-        self.acked_epoch
+        self.session.acked_epoch()
     }
 
     /// Cluster-wide newest epoch per the last handshake (0 before one).
     pub fn cluster_epoch(&self) -> u64 {
-        self.cluster_epoch
+        self.session.cluster_epoch()
     }
 
     /// Durable frames replayed across all connects of this instance.
     pub fn backfilled(&self) -> u64 {
-        self.backfilled
+        self.session.backfilled()
     }
 
     /// Consecutive failed automatic redials since the connection dropped.
     pub fn reconnect_attempts(&self) -> u64 {
-        self.attempts
+        self.session.reconnect_attempts()
     }
 
     /// Whether the redial budget is spent (an explicit
     /// [`NodeAgent::connect`] resets it).
     pub fn gave_up(&self) -> bool {
-        self.gave_up
+        self.session.gave_up()
     }
 
     /// This node's id.
     pub fn node_id(&self) -> u32 {
-        self.node_id
+        self.session.node_id()
     }
 
     /// The underlying epoch log (tests inspect durability through it).
@@ -514,6 +470,7 @@ mod tests {
     use super::*;
     use nitro_core::{Mode, NitroSketch};
     use nitro_sketches::CountMin;
+    use std::time::Instant;
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -577,7 +534,10 @@ mod tests {
         // path must respect the 60 s backoff rather than dialing in a hot
         // loop — the call returns immediately and stays disconnected.
         assert!(agent.connect("127.0.0.1:1").is_err());
-        assert!(agent.retry_at.is_some(), "failed connect arms the redial");
+        assert!(
+            agent.session.retry_at().is_some(),
+            "failed connect arms the redial"
+        );
         let t = Instant::now();
         assert!(!agent.heartbeat(0));
         assert!(t.elapsed() < Duration::from_secs(1));

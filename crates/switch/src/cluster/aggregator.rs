@@ -25,25 +25,30 @@
 //! the aggregator holds, and the agent backfills everything newer from
 //! its durable segment log — each replayed frame is validated by the same
 //! CRC/version/geometry gauntlet as a fresh seal.
+//!
+//! All of that logic lives in the sans-io
+//! [`AggregatorSession`](super::proto::AggregatorSession); this type is
+//! the TCP driver — accept loop, per-connection byte pumps, the durable
+//! [`AggLog`], the heartbeat monitor thread, and the mapping from session
+//! events onto telemetry. The deterministic simulator drives the same
+//! session with none of this machinery.
 
-use super::wire::{decode_epoch_payload, Message, WireError};
+use super::proto::{AggEvent, AggOutput, AggregatorSession};
+pub use super::proto::{AggRecovery, ClusterSketch, ClusterView, EpochStatus};
+use super::wire::{Message, WireError};
 use super::ClusterError;
-use crate::store::{
-    decode_frame, CheckpointSink, CheckpointStore, FrameParse, RecoveredFrame, StoreConfig,
-    StoreError,
-};
+use crate::clock::{Clock, SystemClock};
+use crate::store::{CheckpointSink, CheckpointStore, StoreConfig, StoreError};
 use nitro_core::NitroSketch;
 use nitro_metrics::telemetry::{ClusterTelemetry, Event, TelemetryRegistry};
-use nitro_sketches::checkpoint::Checkpoint;
-use nitro_sketches::{FlowKey, RowSketch};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use nitro_sketches::FlowKey;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Aggregator tuning.
 #[derive(Clone, Debug)]
@@ -67,6 +72,10 @@ pub struct AggregatorConfig {
     /// frame each), so retention must cover the whole epoch window being
     /// served: the default keeps 64 sealed segments of 128 records.
     pub log_store: StoreConfig,
+    /// Time source for the heartbeat monitor. [`SystemClock`] in
+    /// production; tests substitute a `SimClock` to walk silence
+    /// deadlines without real waits.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for AggregatorConfig {
@@ -81,209 +90,15 @@ impl Default for AggregatorConfig {
                 keep_segments: 64,
                 fsync: true,
             },
+            clock: Arc::new(SystemClock),
         }
-    }
-}
-
-/// What [`Aggregator::recover`] rebuilt from the aggregation log before
-/// opening its listen socket.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct AggRecovery {
-    /// Epoch views rebuilt (after `keep_epochs` eviction).
-    pub epochs: u32,
-    /// Node membership records rebuilt.
-    pub nodes: u32,
-    /// Log records replayed (node frames + membership snapshots).
-    pub records: u64,
-}
-
-/// Where one epoch stands, as served by the epoch-versioned read API.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EpochStatus {
-    /// No frame for this epoch has arrived from any node.
-    Unknown,
-    /// Some members' frames are missing but every missing node is
-    /// connected — their seals are expected to arrive.
-    Pending {
-        /// Members whose frames are merged.
-        reporting: u32,
-        /// Total members required for completeness.
-        members: u32,
-    },
-    /// A missing member is lost or departed uncleanly: the epoch cannot
-    /// complete until that node reconnects and backfills.
-    Degraded {
-        /// The member nodes whose frames are missing.
-        missing: Vec<u32>,
-    },
-    /// Every member node's frame is merged into the global view.
-    Complete {
-        /// Nodes the merged view covers.
-        nodes: u32,
-    },
-}
-
-impl EpochStatus {
-    /// Whether the epoch is complete.
-    pub fn is_complete(&self) -> bool {
-        matches!(self, EpochStatus::Complete { .. })
-    }
-}
-
-/// One admitted node's membership record.
-///
-/// Membership is interval-based so a node that cleanly departs and later
-/// rejoins is not blamed for the gap: epoch `e` requires this node iff
-/// `e` falls in a closed `[start, end]` interval (joined → `Goodbye`) or
-/// at/after the open interval's start (joined, not departed). A node lost
-/// *without* a `Goodbye` keeps its interval open — exactly the epochs
-/// that must stay degraded until it reconnects and backfills.
-#[derive(Debug)]
-struct NodeRecord {
-    /// Closed membership intervals, ended by clean `Goodbye`s.
-    intervals: Vec<(u64, u64)>,
-    /// Start of the current membership interval: the min over the epochs
-    /// this incarnation announced at handshake or reported frames for.
-    open_from: Option<u64>,
-    /// Newest epoch a frame was merged for.
-    last_epoch: u64,
-    connected: bool,
-    /// Monotonic per-connection counter; a stale handler (superseded by a
-    /// reconnect) fails this check before declaring a loss.
-    conn_gen: u64,
-    last_heard: Instant,
-    /// Observations the node last reported via heartbeat.
-    processed: u64,
-}
-
-impl NodeRecord {
-    fn is_member_of(&self, e: u64) -> bool {
-        self.intervals.iter().any(|&(s, t)| s <= e && e <= t)
-            || self.open_from.is_some_and(|s| s <= e)
-    }
-
-    /// Extend the open membership interval to include `e`.
-    fn expect_from(&mut self, e: u64) {
-        self.open_from = Some(self.open_from.map_or(e, |s| s.min(e)));
-    }
-}
-
-/// One epoch's merged state.
-struct EpochRecord<S: RowSketch> {
-    merged: NitroSketch<S>,
-    reporting: BTreeSet<u32>,
-    /// Sum of member reports' packet counts.
-    packets: u64,
-    /// Report-level heavy hitters summed across nodes (collector
-    /// semantics: duplicate keys merge).
-    report_hh: HashMap<FlowKey, f64>,
-    /// Whether `EpochSealed` was journaled for this epoch.
-    sealed: bool,
-    /// Whether the epoch was observed degraded before completing.
-    was_degraded: bool,
-}
-
-struct AggState<S: RowSketch> {
-    nodes: BTreeMap<u32, NodeRecord>,
-    epochs: BTreeMap<u64, EpochRecord<S>>,
-}
-
-impl<S: RowSketch> AggState<S> {
-    fn empty() -> Self {
-        Self {
-            nodes: BTreeMap::new(),
-            epochs: BTreeMap::new(),
-        }
-    }
-}
-
-/// Aggregation-log record tags (first payload byte).
-const REC_FRAME: u8 = 1;
-const REC_MEMBERSHIP: u8 = 2;
-
-/// One decoded aggregation-log record.
-enum LogRecord {
-    /// A validated node epoch frame's inner payload (report + snapshot),
-    /// exactly as merged. Frame records are commutative — replay order
-    /// within an epoch does not matter — so they are appended *outside*
-    /// the state lock.
-    Frame {
-        node: u32,
-        epoch: u64,
-        payload: Vec<u8>,
-    },
-    /// Full snapshot of one node's membership state, written under the
-    /// state lock at every join and `Goodbye` so append order matches
-    /// mutation order; replay is last-writer-wins per node.
-    Membership {
-        node: u32,
-        last_epoch: u64,
-        open_from: Option<u64>,
-        intervals: Vec<(u64, u64)>,
-    },
-}
-
-fn encode_frame_record(node: u32, epoch: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + payload.len());
-    out.push(REC_FRAME);
-    out.extend_from_slice(&node.to_le_bytes());
-    out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-fn encode_membership_record(node: u32, rec: &NodeRecord) -> Vec<u8> {
-    let mut out = Vec::with_capacity(26 + 16 * rec.intervals.len());
-    out.push(REC_MEMBERSHIP);
-    out.extend_from_slice(&node.to_le_bytes());
-    out.extend_from_slice(&rec.last_epoch.to_le_bytes());
-    out.push(rec.open_from.is_some() as u8);
-    out.extend_from_slice(&rec.open_from.unwrap_or(0).to_le_bytes());
-    out.extend_from_slice(&(rec.intervals.len() as u32).to_le_bytes());
-    for &(s, t) in &rec.intervals {
-        out.extend_from_slice(&s.to_le_bytes());
-        out.extend_from_slice(&t.to_le_bytes());
-    }
-    out
-}
-
-fn decode_log_record(bytes: &[u8]) -> Option<LogRecord> {
-    let (&tag, rest) = bytes.split_first()?;
-    let u32_at =
-        |b: &[u8], at: usize| Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?));
-    let u64_at =
-        |b: &[u8], at: usize| Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?));
-    match tag {
-        REC_FRAME => Some(LogRecord::Frame {
-            node: u32_at(rest, 0)?,
-            epoch: u64_at(rest, 4)?,
-            payload: rest.get(12..)?.to_vec(),
-        }),
-        REC_MEMBERSHIP => {
-            let node = u32_at(rest, 0)?;
-            let last_epoch = u64_at(rest, 4)?;
-            let has_open = *rest.get(12)? != 0;
-            let open_from = u64_at(rest, 13)?;
-            let n = u32_at(rest, 21)? as usize;
-            let mut intervals = Vec::with_capacity(n.min(1024));
-            for i in 0..n {
-                intervals.push((u64_at(rest, 25 + 16 * i)?, u64_at(rest, 33 + 16 * i)?));
-            }
-            Some(LogRecord::Membership {
-                node,
-                last_epoch,
-                open_from: has_open.then_some(open_from),
-                intervals,
-            })
-        }
-        _ => None,
     }
 }
 
 /// The aggregator's durable side: a single-shard [`CheckpointStore`]
-/// whose frames carry [`LogRecord`]s under a monotonic sequence. Reuses
-/// the pipeline store's CRC framing, fsync discipline, and torn-tail
-/// truncation wholesale.
+/// whose frames carry aggregation-log records under a monotonic
+/// sequence. Reuses the pipeline store's CRC framing, fsync discipline,
+/// and torn-tail truncation wholesale.
 struct AggLog {
     store: Arc<CheckpointStore>,
     seq: AtomicU64,
@@ -311,11 +126,8 @@ impl AggLog {
     }
 }
 
-struct AggShared<S: RowSketch> {
-    template: NitroSketch<S>,
-    fingerprint: u64,
-    cfg: AggregatorConfig,
-    state: Mutex<AggState<S>>,
+struct AggShared<S: ClusterSketch> {
+    session: Mutex<AggregatorSession<S>>,
     registry: Arc<TelemetryRegistry>,
     cluster: Arc<ClusterTelemetry>,
     shutdown: AtomicBool,
@@ -323,9 +135,73 @@ struct AggShared<S: RowSketch> {
     /// The durable aggregation log, when [`AggregatorConfig::log_dir`] is
     /// set.
     log: Option<AggLog>,
+    clock: Arc<dyn Clock>,
 }
 
-impl<S: RowSketch> AggShared<S> {
+impl<S: ClusterSketch> AggShared<S> {
+    /// Run `f` against the session under its lock, then execute its
+    /// output queue: `Append`s reach the durable log, `Event`s become
+    /// telemetry, gauges refresh from session state, and the remaining
+    /// socket operations (`Send`/`Close`) are returned for the calling
+    /// connection handler to execute outside the lock.
+    fn with_session<R>(
+        &self,
+        f: impl FnOnce(&mut AggregatorSession<S>) -> R,
+    ) -> (R, Vec<AggOutput>) {
+        let mut session = self.session.lock().unwrap_or_else(|p| p.into_inner());
+        let r = f(&mut session);
+        let outs = session.drain();
+        let (connected, known, degraded) = session.gauges();
+        drop(session);
+        let mut ops = Vec::new();
+        for out in outs {
+            match out {
+                AggOutput::Append(record) => self.log_append(&record),
+                AggOutput::Event(ev) => self.record_event(ev),
+                op => ops.push(op),
+            }
+        }
+        self.cluster.connected_nodes.set(connected);
+        self.cluster.known_nodes.set(known);
+        self.cluster.degraded_epochs.set(degraded);
+        (r, ops)
+    }
+
+    /// Map one session event onto the telemetry journal and counters.
+    fn record_event(&self, ev: AggEvent) {
+        match ev {
+            AggEvent::NodeJoin { node, epoch } => {
+                self.registry.record(Event::NodeJoin { node, epoch });
+            }
+            AggEvent::NodeLoss { node, last_epoch } => {
+                self.registry.record(Event::NodeLoss { node, last_epoch });
+                self.cluster.node_losses.incr();
+            }
+            AggEvent::FrameMerged { node, backfill, .. } => {
+                self.cluster.frames_received.incr();
+                if backfill {
+                    self.cluster.backfill_frames.incr();
+                    self.registry
+                        .record(Event::BackfillReplayed { node, frames: 1 });
+                }
+            }
+            AggEvent::FrameRejected { .. } => self.cluster.frames_rejected.incr(),
+            AggEvent::Heartbeat { .. } => self.cluster.heartbeats.incr(),
+            AggEvent::EpochSealed {
+                epoch,
+                nodes,
+                was_degraded,
+            } => {
+                self.cluster.epochs_sealed.incr();
+                self.registry.record(Event::EpochSealed {
+                    epoch,
+                    nodes,
+                    was_degraded,
+                });
+            }
+        }
+    }
+
     /// Append one record to the aggregation log, counting the outcome. A
     /// persist failure degrades durability (the record will be missing
     /// from a future recovery) but never refuses service.
@@ -338,281 +214,9 @@ impl<S: RowSketch> AggShared<S> {
     }
 }
 
-/// Bounds every sketch type must satisfy to be cluster-aggregated: it is
-/// restored and merged (`Checkpoint`), cloned per epoch, and shared with
-/// connection-handler threads.
-pub trait ClusterSketch: RowSketch + Checkpoint + Clone + Send + Sync + 'static {}
-impl<S: RowSketch + Checkpoint + Clone + Send + Sync + 'static> ClusterSketch for S {}
-
-impl<S: ClusterSketch> AggShared<S> {
-    /// Member nodes required for epoch `e` to be complete.
-    fn members_of(state: &AggState<S>, e: u64) -> Vec<u32> {
-        state
-            .nodes
-            .iter()
-            .filter(|(_, n)| n.is_member_of(e))
-            .map(|(&id, _)| id)
-            .collect()
-    }
-
-    fn status_of(state: &AggState<S>, e: u64) -> EpochStatus {
-        let Some(rec) = state.epochs.get(&e) else {
-            return EpochStatus::Unknown;
-        };
-        let members = Self::members_of(state, e);
-        let missing: Vec<u32> = members
-            .iter()
-            .copied()
-            .filter(|id| !rec.reporting.contains(id))
-            .collect();
-        if missing.is_empty() {
-            EpochStatus::Complete {
-                nodes: rec.reporting.len() as u32,
-            }
-        } else if missing
-            .iter()
-            .all(|id| state.nodes.get(id).is_some_and(|n| n.connected))
-        {
-            EpochStatus::Pending {
-                reporting: rec.reporting.len() as u32,
-                members: members.len() as u32,
-            }
-        } else {
-            EpochStatus::Degraded { missing }
-        }
-    }
-
-    fn cluster_epoch(state: &AggState<S>) -> u64 {
-        state.epochs.keys().next_back().copied().unwrap_or(0)
-    }
-
-    /// Refresh the exported gauges from current state (called under the
-    /// state lock).
-    fn refresh_gauges(&self, state: &AggState<S>) {
-        self.cluster
-            .connected_nodes
-            .set(state.nodes.values().filter(|n| n.connected).count() as u64);
-        self.cluster.known_nodes.set(state.nodes.len() as u64);
-        let degraded = state
-            .epochs
-            .keys()
-            .filter(|&&e| matches!(Self::status_of(state, e), EpochStatus::Degraded { .. }))
-            .count();
-        self.cluster.degraded_epochs.set(degraded as u64);
-    }
-
-    /// Declare node `node` lost if its connection generation still
-    /// matches (a reconnect supersedes stale handlers and stale monitor
-    /// observations).
-    fn declare_loss(&self, node: u32, conn_gen: u64) {
-        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        let Some(rec) = state.nodes.get_mut(&node) else {
-            return;
-        };
-        if !rec.connected || rec.conn_gen != conn_gen {
-            return;
-        }
-        rec.connected = false;
-        let last_epoch = rec.last_epoch;
-        self.registry.record(Event::NodeLoss { node, last_epoch });
-        self.cluster.node_losses.incr();
-        self.refresh_gauges(&state);
-    }
-
-    /// Merge one epoch frame from `node`. Every validation failure is a
-    /// rejection (counted, never a panic): store framing, sequence match,
-    /// payload structure, checkpoint restore, and merge compatibility.
-    fn ingest_frame(
-        &self,
-        node: u32,
-        conn_gen: u64,
-        epoch: u64,
-        backfill: bool,
-        frame: &[u8],
-    ) -> Result<(), ClusterError> {
-        let rf = match decode_frame(frame, node as usize) {
-            FrameParse::Frame(rf, used) if used == frame.len() => rf,
-            FrameParse::Version => {
-                return Err(WireError::Version {
-                    found: u8::MAX,
-                    supported: crate::store::STORE_VERSION,
-                }
-                .into())
-            }
-            _ => return Err(WireError::Malformed("bad store framing on epoch frame").into()),
-        };
-        if rf.seq != epoch {
-            return Err(WireError::Malformed("frame sequence != announced epoch").into());
-        }
-        let (report, snapshot) = decode_epoch_payload(&rf.bytes)?;
-        if report.switch_id != node || report.epoch != epoch {
-            return Err(WireError::Malformed("report identity != frame identity").into());
-        }
-        let mut restored = self.template.clone();
-        restored.restore(snapshot)?;
-
-        // Persist-before-serve: the validated frame payload reaches the
-        // aggregation log before it can influence any answer. Frame
-        // records are commutative, so this happens outside the state lock;
-        // a duplicate (idempotent replay below) wastes a record but replay
-        // dedups it the same way the in-memory path does.
-        self.log_append(&encode_frame_record(node, epoch, &rf.bytes));
-
-        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        let status_before = Self::status_of(&state, epoch);
-        let rec = state.epochs.entry(epoch).or_insert_with(|| EpochRecord {
-            merged: self.template.clone(),
-            reporting: BTreeSet::new(),
-            packets: 0,
-            report_hh: HashMap::new(),
-            sealed: false,
-            was_degraded: false,
-        });
-        if matches!(status_before, EpochStatus::Degraded { .. }) {
-            rec.was_degraded = true;
-        }
-        if rec.reporting.contains(&node) {
-            // Idempotent replay (e.g. a backfill raced a delivered seal):
-            // the frame is already merged; merging again would double the
-            // node's counters.
-            return Ok(());
-        }
-        rec.merged.try_merge_from(&restored)?;
-        rec.reporting.insert(node);
-        rec.packets += report.packets;
-        for &(k, e) in &report.heavy_hitters {
-            *rec.report_hh.entry(k).or_insert(0.0) += e;
-        }
-        if let Some(n) = state.nodes.get_mut(&node) {
-            if !n.is_member_of(epoch) {
-                n.expect_from(epoch);
-            }
-            n.last_epoch = n.last_epoch.max(epoch);
-            n.last_heard = Instant::now();
-            // A frame arriving on the node's *current* connection revives
-            // it: a heartbeat-timeout loss declared during a long stall is
-            // provisional, not a death certificate. A stale generation
-            // (superseded by a reconnect) must not flip the new state.
-            if n.conn_gen == conn_gen {
-                n.connected = true;
-            }
-        }
-        self.cluster.frames_received.incr();
-        if backfill {
-            self.cluster.backfill_frames.incr();
-            self.registry
-                .record(Event::BackfillReplayed { node, frames: 1 });
-        }
-        // Seal on the transition into completeness.
-        let status = Self::status_of(&state, epoch);
-        if let EpochStatus::Complete { nodes } = status {
-            let rec = state.epochs.get_mut(&epoch).expect("just inserted");
-            if !rec.sealed {
-                rec.sealed = true;
-                let was_degraded = rec.was_degraded;
-                self.cluster.epochs_sealed.incr();
-                self.registry.record(Event::EpochSealed {
-                    epoch,
-                    nodes,
-                    was_degraded,
-                });
-            }
-        }
-        if self.cfg.keep_epochs > 0 {
-            while state.epochs.len() > self.cfg.keep_epochs {
-                let oldest = *state.epochs.keys().next().expect("non-empty");
-                state.epochs.remove(&oldest);
-            }
-        }
-        self.refresh_gauges(&state);
-        Ok(())
-    }
-}
-
-/// What a connection handler should do after one message.
-enum Step {
-    Continue,
-    /// Clean departure (`Goodbye`): close without a loss.
-    CloseClean,
-    /// Protocol violation or corrupt stream: close and declare loss.
-    CloseLoss,
-}
-
-fn handle_message<S: ClusterSketch>(
-    shared: &AggShared<S>,
-    session: &(u32, u64),
-    msg: Message,
-) -> Step {
-    let (node, conn_gen) = *session;
-    match msg {
-        Message::Hello { .. } => Step::CloseLoss, // handshake already done
-        Message::HelloAck { .. } => Step::CloseLoss, // agent-bound only
-        Message::SealEpoch {
-            node_id,
-            epoch,
-            backfill,
-            frame,
-        } => {
-            if node_id != node {
-                shared.cluster.frames_rejected.incr();
-                return Step::CloseLoss;
-            }
-            if shared
-                .ingest_frame(node, conn_gen, epoch, backfill, &frame)
-                .is_err()
-            {
-                shared.cluster.frames_rejected.incr();
-            }
-            Step::Continue
-        }
-        Message::Heartbeat {
-            node_id, processed, ..
-        } => {
-            if node_id != node {
-                return Step::CloseLoss;
-            }
-            shared.cluster.heartbeats.incr();
-            let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            let mut revived = false;
-            if let Some(rec) = state.nodes.get_mut(&node) {
-                rec.last_heard = Instant::now();
-                rec.processed = processed;
-                // A heartbeat on the current connection revives a node the
-                // monitor gave up on during a stall (see `ingest_frame`).
-                if rec.conn_gen == conn_gen && !rec.connected {
-                    rec.connected = true;
-                    revived = true;
-                }
-            }
-            if revived {
-                shared.refresh_gauges(&state);
-            }
-            Step::Continue
-        }
-        Message::Goodbye { node_id } => {
-            if node_id != node {
-                return Step::CloseLoss;
-            }
-            let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(rec) = state.nodes.get_mut(&node) {
-                rec.connected = false;
-                // Close the membership interval at the last merged epoch:
-                // later epochs no longer require this node.
-                if let Some(start) = rec.open_from.take() {
-                    if start <= rec.last_epoch {
-                        rec.intervals.push((start, rec.last_epoch));
-                    }
-                }
-                let record = encode_membership_record(node, rec);
-                shared.log_append(&record);
-            }
-            shared.refresh_gauges(&state);
-            Step::CloseClean
-        }
-    }
-}
-
-/// Per-connection loop: handshake, then buffered message pump.
+/// Per-connection loop: register the connection with the session, then
+/// pump decoded messages into it and execute the socket operations it
+/// emits.
 fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStream) {
     stream.set_nodelay(true).ok();
     // Short poll so shutdown and heartbeat checks stay responsive; the
@@ -623,105 +227,32 @@ fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStrea
     {
         return;
     }
-
-    // --- Handshake: the first complete message must be Hello. ---
+    let (conn, _) = shared.with_session(|s| s.conn_open());
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
-    let hello = loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match Message::decode(&buf) {
-            Ok((msg, used)) => {
-                buf.drain(..used);
-                break msg;
-            }
-            Err(WireError::Truncated { .. }) => {}
-            Err(_) => return, // corrupt pre-handshake: drop silently
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => return,
-        }
-    };
-    let Message::Hello {
-        node_id,
-        next_epoch,
-        fingerprint,
-        ..
-    } = hello
-    else {
-        return;
-    };
-    if fingerprint != shared.fingerprint {
-        let _ = Message::HelloAck {
-            accepted: false,
-            last_epoch: 0,
-            cluster_epoch: 0,
-        }
-        .write_to(&mut stream);
-        return;
-    }
-    let session = {
-        let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        let rec = state.nodes.entry(node_id).or_insert_with(|| NodeRecord {
-            intervals: Vec::new(),
-            open_from: None,
-            last_epoch: 0,
-            connected: false,
-            conn_gen: 0,
-            last_heard: Instant::now(),
-            processed: 0,
-        });
-        rec.conn_gen += 1;
-        rec.connected = true;
-        // Membership (re)opens at the epoch the node announced: from here
-        // on, epochs cannot complete without it.
-        rec.expect_from(next_epoch);
-        rec.last_heard = Instant::now();
-        let session = (node_id, rec.conn_gen);
-        // Membership mutations are order-sensitive (a later Goodbye must
-        // replay after this join), so the record is appended under the
-        // state lock.
-        let record = encode_membership_record(node_id, rec);
-        shared.log_append(&record);
-        let ack = Message::HelloAck {
-            accepted: true,
-            last_epoch: rec.last_epoch,
-            cluster_epoch: AggShared::cluster_epoch(&state),
-        };
-        shared.registry.record(Event::NodeJoin {
-            node: node_id,
-            epoch: next_epoch,
-        });
-        shared.refresh_gauges(&state);
-        drop(state);
-        if ack.write_to(&mut stream).is_err() {
-            shared.declare_loss(node_id, session.1);
-            return;
-        }
-        session
-    };
-
-    // --- Message pump. ---
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
+            // The whole aggregator is going away: unbind without blaming
+            // the node.
+            shared.with_session(|s| s.conn_closed(conn, false));
             return;
         }
         loop {
             match Message::decode(&buf) {
                 Ok((msg, used)) => {
                     buf.drain(..used);
-                    match handle_message(&shared, &session, msg) {
-                        Step::Continue => {}
-                        Step::CloseClean => return,
-                        Step::CloseLoss => {
-                            shared.declare_loss(session.0, session.1);
-                            return;
+                    let now = shared.clock.now_ns();
+                    let ((), ops) = shared.with_session(|s| s.on_message(conn, msg, now));
+                    for op in ops {
+                        match op {
+                            AggOutput::Send { msg, .. } => {
+                                if msg.write_to(&mut stream).is_err() {
+                                    shared.with_session(|s| s.conn_closed(conn, true));
+                                    return;
+                                }
+                            }
+                            AggOutput::Close { .. } => return,
+                            AggOutput::Append(_) | AggOutput::Event(_) => {}
                         }
                     }
                 }
@@ -729,15 +260,14 @@ fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStrea
                 Err(_) => {
                     // Corrupt stream: nothing after this point can be
                     // trusted.
-                    shared.cluster.frames_rejected.incr();
-                    shared.declare_loss(session.0, session.1);
+                    shared.with_session(|s| s.conn_corrupt(conn));
                     return;
                 }
             }
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
-                shared.declare_loss(session.0, session.1);
+                shared.with_session(|s| s.conn_closed(conn, true));
                 return;
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -745,171 +275,10 @@ fn handle_conn<S: ClusterSketch>(shared: Arc<AggShared<S>>, mut stream: TcpStrea
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(_) => {
-                shared.declare_loss(session.0, session.1);
+                shared.with_session(|s| s.conn_closed(conn, true));
                 return;
             }
         }
-    }
-}
-
-/// Rebuild aggregator state from aggregation-log records in append
-/// order. Mirrors the live paths exactly: frame replay dedups per
-/// (epoch, node) and re-derives membership the way `ingest_frame` does;
-/// membership snapshots overwrite (last-writer-wins per node). Records
-/// that fail any validation the live path would have enforced (payload
-/// decode, checkpoint restore, merge compatibility) are skipped, never
-/// fatal — a recovery must salvage everything salvageable.
-fn replay_log<S: ClusterSketch>(
-    template: &NitroSketch<S>,
-    keep_epochs: usize,
-    frames: &[RecoveredFrame],
-) -> (AggState<S>, AggRecovery) {
-    let mut state = AggState::empty();
-    let mut records = 0u64;
-    let blank_node = || NodeRecord {
-        intervals: Vec::new(),
-        open_from: None,
-        last_epoch: 0,
-        connected: false,
-        conn_gen: 0,
-        last_heard: Instant::now(),
-        processed: 0,
-    };
-    for f in frames {
-        match decode_log_record(&f.bytes) {
-            Some(LogRecord::Frame {
-                node,
-                epoch,
-                payload,
-            }) => {
-                let Ok((report, snapshot)) = decode_epoch_payload(&payload) else {
-                    continue;
-                };
-                if report.switch_id != node || report.epoch != epoch {
-                    continue;
-                }
-                let mut restored = template.clone();
-                if restored.restore(snapshot).is_err() {
-                    continue;
-                }
-                let rec = state.epochs.entry(epoch).or_insert_with(|| EpochRecord {
-                    merged: template.clone(),
-                    reporting: BTreeSet::new(),
-                    packets: 0,
-                    report_hh: HashMap::new(),
-                    sealed: false,
-                    was_degraded: false,
-                });
-                if rec.reporting.contains(&node) {
-                    continue;
-                }
-                if rec.merged.try_merge_from(&restored).is_err() {
-                    continue;
-                }
-                rec.reporting.insert(node);
-                rec.packets += report.packets;
-                for &(k, e) in &report.heavy_hitters {
-                    *rec.report_hh.entry(k).or_insert(0.0) += e;
-                }
-                let n = state.nodes.entry(node).or_insert_with(blank_node);
-                if !n.is_member_of(epoch) {
-                    n.expect_from(epoch);
-                }
-                n.last_epoch = n.last_epoch.max(epoch);
-                records += 1;
-            }
-            Some(LogRecord::Membership {
-                node,
-                last_epoch,
-                open_from,
-                intervals,
-            }) => {
-                let n = state.nodes.entry(node).or_insert_with(blank_node);
-                n.intervals = intervals;
-                n.open_from = open_from;
-                n.last_epoch = n.last_epoch.max(last_epoch);
-                records += 1;
-            }
-            None => {}
-        }
-    }
-    if keep_epochs > 0 {
-        while state.epochs.len() > keep_epochs {
-            let oldest = *state.epochs.keys().next().expect("non-empty");
-            state.epochs.remove(&oldest);
-        }
-    }
-    // Epochs already complete must not re-journal `EpochSealed` when a
-    // node's redundant backfill replays their frames.
-    let complete: Vec<u64> = state
-        .epochs
-        .keys()
-        .copied()
-        .filter(|&e| AggShared::status_of(&state, e).is_complete())
-        .collect();
-    for e in complete {
-        state.epochs.get_mut(&e).expect("just listed").sealed = true;
-    }
-    let recovery = AggRecovery {
-        epochs: state.epochs.len() as u32,
-        nodes: state.nodes.len() as u32,
-        records,
-    };
-    (state, recovery)
-}
-
-/// A queryable snapshot of one epoch's network-wide merged view.
-pub struct ClusterView<S: RowSketch> {
-    epoch: u64,
-    status: EpochStatus,
-    sketch: NitroSketch<S>,
-    packets: u64,
-    report_hh: Vec<(FlowKey, f64)>,
-}
-
-impl<S: RowSketch> ClusterView<S> {
-    /// The epoch this view covers.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Completeness of the view at snapshot time.
-    pub fn status(&self) -> &EpochStatus {
-        &self.status
-    }
-
-    /// Network-wide point query on the merged counters.
-    pub fn estimate(&self, key: FlowKey) -> f64 {
-        self.sketch.estimate(key)
-    }
-
-    /// Network-wide heavy hitters ≥ `threshold` from the merged sketch,
-    /// heaviest first.
-    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
-        self.sketch.heavy_hitters(threshold)
-    }
-
-    /// Network-wide L2 norm estimate.
-    pub fn l2(&self) -> f64 {
-        self.sketch.inner().l2_squared_estimate().max(0.0).sqrt()
-    }
-
-    /// Total packets reported by the covered nodes.
-    pub fn packets(&self) -> u64 {
-        self.packets
-    }
-
-    /// Report-level heavy hitters (per-node report sums, collector
-    /// semantics), heaviest first.
-    pub fn report_heavy_hitters(&self) -> Vec<(FlowKey, f64)> {
-        let mut v = self.report_hh.clone();
-        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        v
-    }
-
-    /// The merged sketch itself.
-    pub fn sketch(&self) -> &NitroSketch<S> {
-        &self.sketch
     }
 }
 
@@ -942,7 +311,8 @@ impl<S: ClusterSketch> Aggregator<S> {
             Some(dir) => Some(AggLog::open(dir, &cfg.log_store)?),
             None => None,
         };
-        Self::spawn_inner(template, addr, cfg, AggState::empty(), log, None)
+        let session = AggregatorSession::new(template, cfg.keep_epochs, cfg.heartbeat_timeout);
+        Self::spawn_inner(addr, cfg, session, log, None)
     }
 
     /// Rebuild the aggregator from the aggregation log in `dir`, then
@@ -966,16 +336,16 @@ impl<S: ClusterSketch> Aggregator<S> {
         cfg.log_dir = Some(dir.as_ref().to_path_buf());
         let log = AggLog::open(dir.as_ref(), &cfg.log_store)?;
         let frames = log.store.frames(0);
-        let (state, recovery) = replay_log(&template, cfg.keep_epochs, &frames);
-        let agg = Self::spawn_inner(template, addr, cfg, state, Some(log), Some(recovery))?;
+        let (session, recovery) =
+            AggregatorSession::recover(template, cfg.keep_epochs, cfg.heartbeat_timeout, &frames);
+        let agg = Self::spawn_inner(addr, cfg, session, Some(log), Some(recovery))?;
         Ok((agg, recovery))
     }
 
     fn spawn_inner(
-        template: NitroSketch<S>,
         addr: impl ToSocketAddrs,
         cfg: AggregatorConfig,
-        state: AggState<S>,
+        session: AggregatorSession<S>,
         log: Option<AggLog>,
         recovery: Option<AggRecovery>,
     ) -> Result<Self, ClusterError> {
@@ -987,17 +357,14 @@ impl<S: ClusterSketch> Aggregator<S> {
             .clone()
             .unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
         let cluster = registry.cluster();
-        let fingerprint = template.inner().fingerprint();
         let shared = Arc::new(AggShared {
-            template,
-            fingerprint,
-            cfg,
-            state: Mutex::new(state),
+            session: Mutex::new(session),
             registry,
             cluster,
             shutdown: AtomicBool::new(false),
             handlers: Mutex::new(Vec::new()),
             log,
+            clock: Arc::clone(&cfg.clock),
         });
         if let Some(r) = recovery {
             shared.registry.record(Event::AggregatorRecovered {
@@ -1007,8 +374,7 @@ impl<S: ClusterSketch> Aggregator<S> {
             });
             shared.cluster.recovered_epochs.set(r.epochs as u64);
             shared.cluster.recovered_records.set(r.records);
-            let state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            shared.refresh_gauges(&state);
+            shared.with_session(|_| ());
         }
 
         let accept_shared = Arc::clone(&shared);
@@ -1041,30 +407,16 @@ impl<S: ClusterSketch> Aggregator<S> {
             .expect("spawn aggregator accept thread");
 
         let monitor_shared = Arc::clone(&shared);
-        let tick = (monitor_shared.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+        let tick = (cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
         let monitor_thread = thread::Builder::new()
             .name("nitro-agg-monitor".into())
             .spawn(move || loop {
-                thread::sleep(tick);
+                monitor_shared.clock.sleep(tick);
                 if monitor_shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                let timeout = monitor_shared.cfg.heartbeat_timeout;
-                let silent: Vec<(u32, u64)> = {
-                    let state = monitor_shared
-                        .state
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner());
-                    state
-                        .nodes
-                        .iter()
-                        .filter(|(_, n)| n.connected && n.last_heard.elapsed() > timeout)
-                        .map(|(&id, n)| (id, n.conn_gen))
-                        .collect()
-                };
-                for (node, conn_gen) in silent {
-                    monitor_shared.declare_loss(node, conn_gen);
-                }
+                let now = monitor_shared.clock.now_ns();
+                monitor_shared.with_session(|s| s.tick(now));
             })
             .expect("spawn aggregator monitor thread");
 
@@ -1086,42 +438,33 @@ impl<S: ClusterSketch> Aggregator<S> {
         &self.shared.registry
     }
 
+    fn session(&self) -> std::sync::MutexGuard<'_, AggregatorSession<S>> {
+        self.shared
+            .session
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Status of one epoch.
     pub fn epoch_status(&self, epoch: u64) -> EpochStatus {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        AggShared::status_of(&state, epoch)
+        self.session().status_of(epoch)
     }
 
     /// Newest epoch any node has reported (0: none).
     pub fn latest_epoch(&self) -> u64 {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        AggShared::cluster_epoch(&state)
+        self.session().cluster_epoch()
     }
 
     /// Newest epoch served complete, if any.
     pub fn latest_complete(&self) -> Option<u64> {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        state
-            .epochs
-            .keys()
-            .rev()
-            .find(|&&e| AggShared::status_of(&state, e).is_complete())
-            .copied()
+        self.session().latest_complete()
     }
 
     /// Epoch-versioned read: the merged view of `epoch` with its
     /// completeness status stamped in. `None` when no node has reported
     /// the epoch (or it was evicted).
     pub fn view(&self, epoch: u64) -> Option<ClusterView<S>> {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        let rec = state.epochs.get(&epoch)?;
-        Some(ClusterView {
-            epoch,
-            status: AggShared::status_of(&state, epoch),
-            sketch: rec.merged.clone(),
-            packets: rec.packets,
-            report_hh: rec.report_hh.iter().map(|(&k, &v)| (k, v)).collect(),
-        })
+        self.session().view(epoch)
     }
 
     /// Change detection between two epochs: per-flow estimate deltas
@@ -1134,61 +477,28 @@ impl<S: ClusterSketch> Aggregator<S> {
         to: u64,
         threshold: f64,
     ) -> Option<Vec<(FlowKey, f64)>> {
-        let (a, b) = {
-            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            (
-                state.epochs.get(&from)?.merged.clone(),
-                state.epochs.get(&to)?.merged.clone(),
-            )
-        };
-        let mut keys: BTreeSet<FlowKey> = BTreeSet::new();
-        for (k, _) in a.heavy_hitters(f64::NEG_INFINITY) {
-            keys.insert(k);
-        }
-        for (k, _) in b.heavy_hitters(f64::NEG_INFINITY) {
-            keys.insert(k);
-        }
-        let mut out: Vec<(FlowKey, f64)> = keys
-            .into_iter()
-            .map(|k| (k, b.estimate(k) - a.estimate(k)))
-            .filter(|&(_, d)| d.abs() >= threshold)
-            .collect();
-        out.sort_by(|x, y| y.1.abs().total_cmp(&x.1.abs()).then(x.0.cmp(&y.0)));
-        Some(out)
+        self.session().change_between(from, to, threshold)
     }
 
     /// Node ids currently holding a live connection.
     pub fn connected_nodes(&self) -> Vec<u32> {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        state
-            .nodes
-            .iter()
-            .filter(|(_, n)| n.connected)
-            .map(|(&id, _)| id)
-            .collect()
+        self.session().connected_nodes()
     }
 
     /// Every node id the aggregator has ever admitted.
     pub fn known_nodes(&self) -> Vec<u32> {
-        let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-        state.nodes.keys().copied().collect()
+        self.session().known_nodes()
     }
 
     /// Prometheus scrape (gauges refreshed first).
     pub fn scrape(&self) -> String {
-        {
-            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            self.shared.refresh_gauges(&state);
-        }
+        self.shared.with_session(|_| ());
         self.shared.registry.render_prometheus()
     }
 
     /// JSON scrape (gauges refreshed first).
     pub fn scrape_json(&self) -> String {
-        {
-            let state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
-            self.shared.refresh_gauges(&state);
-        }
+        self.shared.with_session(|_| ());
         self.shared.registry.render_json()
     }
 
@@ -1228,7 +538,9 @@ mod tests {
     use crate::cluster::agent::{NodeAgent, NodeAgentConfig};
     use crate::pipeline::MergedView;
     use nitro_core::{Mode, NitroSketch};
+    use nitro_sketches::checkpoint::Checkpoint;
     use nitro_sketches::CountMin;
+    use std::time::Instant;
 
     fn template() -> NitroSketch<CountMin> {
         NitroSketch::new(CountMin::new(4, 512, 7), Mode::Fixed { p: 1.0 }, 32)
@@ -1424,14 +736,16 @@ mod tests {
 
     mod torn_tail {
         use super::*;
-        use crate::cluster::wire::encode_epoch_payload;
+        use crate::cluster::proto::{decode_log_record, encode_frame_record, LogRecord};
+        use crate::cluster::wire::{decode_epoch_payload, encode_epoch_payload};
         use crate::control::EpochReport;
         use proptest::prelude::*;
+        use std::collections::{BTreeMap, BTreeSet};
 
         /// Independent straight-line re-merge of whatever frame records
         /// survive in the log: restore each, merge per epoch, dedup by
         /// (epoch, node) in append order — no membership logic, no
-        /// eviction. The ground truth `replay_log` must agree with.
+        /// eviction. The ground truth session recovery must agree with.
         fn independent_merge(
             template: &NitroSketch<CountMin>,
             frames: &[crate::store::RecoveredFrame],
@@ -1474,9 +788,9 @@ mod tests {
             /// Recovery of a torn-tail aggregation log never yields an
             /// epoch view that disagrees with the surviving node frames:
             /// for any write pattern and any tail truncation, every epoch
-            /// `replay_log` rebuilds matches an independent re-merge of
-            /// the frames the store salvages — same reporting sets, same
-            /// packet totals, identical point estimates.
+            /// the recovered session rebuilds matches an independent
+            /// re-merge of the frames the store salvages — same reporting
+            /// sets, same packet totals, identical point estimates.
             #[test]
             fn recovery_agrees_with_surviving_frames(
                 case in 0u64..1_000_000,
@@ -1533,17 +847,23 @@ mod tests {
                 let store = CheckpointStore::recover(&dir, store_cfg).unwrap().0;
                 let surviving = store.frames(0);
                 let truth = independent_merge(&template(), &surviving);
-                let (state, recovery) = replay_log(&template(), 0, &surviving);
+                let (session, recovery) = AggregatorSession::recover(
+                    template(),
+                    0,
+                    Duration::from_secs(2),
+                    &surviving,
+                );
 
-                prop_assert_eq!(state.epochs.len(), truth.len());
-                for (epoch, rec) in &state.epochs {
+                prop_assert_eq!(session.epochs().len(), truth.len());
+                for epoch in session.epochs() {
                     let (t_merged, t_reporting, t_packets) =
-                        truth.get(epoch).expect("epoch in truth");
-                    prop_assert_eq!(&rec.reporting, t_reporting);
-                    prop_assert_eq!(rec.packets, *t_packets);
+                        truth.get(&epoch).expect("epoch in truth");
+                    prop_assert_eq!(&session.reporting_of(epoch).unwrap(), t_reporting);
+                    prop_assert_eq!(session.packets_of(epoch).unwrap(), *t_packets);
+                    let view = session.view(epoch).unwrap();
                     for key in 0..45u64 {
                         prop_assert_eq!(
-                            rec.merged.estimate(key),
+                            view.estimate(key),
                             t_merged.estimate(key),
                             "epoch {} key {} diverged",
                             epoch,

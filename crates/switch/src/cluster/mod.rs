@@ -46,11 +46,16 @@
 
 pub mod agent;
 pub mod aggregator;
+pub mod proto;
 pub mod reconnect;
 pub mod wire;
 
 pub use agent::{NodeAgent, NodeAgentConfig, SealOutcome};
-pub use aggregator::{AggRecovery, Aggregator, AggregatorConfig, ClusterView, EpochStatus};
+pub use aggregator::{Aggregator, AggregatorConfig};
+pub use proto::{
+    AgentOutput, AgentSession, AggEvent, AggOutput, AggRecovery, AggregatorSession, ClusterSketch,
+    ClusterView, ConnId, EpochStatus,
+};
 pub use reconnect::{ReconnectDecision, ReconnectPolicy};
 pub use wire::{Message, WireError};
 

@@ -1,0 +1,1441 @@
+//! Sans-io protocol cores for the cluster plane.
+//!
+//! [`AgentSession`] and [`AggregatorSession`] are the *entire* protocol
+//! logic of the node agent and the aggregator — handshake, seal and
+//! backfill sequencing, membership intervals, epoch completeness,
+//! heartbeat-silence loss, redial budgets — expressed as pure state
+//! machines. They consume [`Message`]s and timer ticks and emit
+//! [`AgentOutput`]/[`AggOutput`] lists; they never touch a socket, a
+//! thread, or a real clock. The TCP paths in [`super::agent`] and
+//! [`super::aggregator`] are thin drivers that shuttle bytes and map
+//! outputs onto telemetry; the deterministic simulator ([`crate::sim`])
+//! drives the *same* state machines single-threaded under virtual time,
+//! which is what makes cluster failure schedules replayable.
+//!
+//! Timestamps are [`Nanos`] from a [`crate::Clock`]: only differences
+//! matter, so the sessions work identically under `SystemClock` and
+//! `SimClock`.
+
+use super::reconnect::{ReconnectDecision, ReconnectPolicy};
+use super::wire::{decode_epoch_payload, Message, WireError};
+use super::ClusterError;
+use crate::clock::Nanos;
+use crate::store::{decode_frame, FrameParse, RecoveredFrame};
+use nitro_core::NitroSketch;
+use nitro_sketches::checkpoint::Checkpoint;
+use nitro_sketches::{FlowKey, RowSketch};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
+
+/// Wrap one epoch payload in the store's CRC framing exactly the way a
+/// node agent does before shipping it in a [`Message::SealEpoch`]. The
+/// aggregator validates received frames with the same decoder the
+/// checkpoint store uses on disk, so tests and the simulator need this
+/// to synthesize wire-correct frames.
+pub fn encode_seal_frame(
+    node_id: u32,
+    generation: u64,
+    epoch: u64,
+    processed: u64,
+    payload: &[u8],
+) -> Vec<u8> {
+    crate::store::encode_frame(node_id as usize, generation, epoch, processed, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Agent session
+// ---------------------------------------------------------------------------
+
+/// One instruction from [`AgentSession`] to its driver. Outputs are
+/// queued in order and collected with [`AgentSession::drain`]; a driver
+/// that executes them in order reproduces the agent's wire behaviour
+/// exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AgentOutput {
+    /// Open a transport to the aggregator target. The driver reports the
+    /// outcome with [`AgentSession::transport_connected`] or
+    /// [`AgentSession::dial_failed`]; no second `Dial` is emitted until
+    /// one of those arrives.
+    Dial,
+    /// Write this message to the live transport. A write failure must be
+    /// reported via [`AgentSession::connection_lost`].
+    Send(Message),
+    /// The handshake succeeded and the aggregator's newest epoch for this
+    /// node is `after`: the driver should walk the durable epoch log and
+    /// feed every frame to [`AgentSession::offer_backfill`], which turns
+    /// the ones the aggregator is missing into `Send`s.
+    Backfill {
+        /// Newest epoch the aggregator already holds from this node.
+        after: u64,
+    },
+    /// An automatic redial failed; the next attempt is scheduled after
+    /// `delay`. Drivers map this to `ReconnectBackoff` telemetry.
+    Backoff {
+        /// Consecutive failed automatic redials so far (1-based).
+        attempt: u64,
+        /// Jittered wait before the next redial may fire.
+        delay: Duration,
+    },
+    /// The redial budget is spent: no further `Dial` until an explicit
+    /// [`AgentSession::connect`] resets the schedule.
+    GaveUp,
+}
+
+/// Where the agent's connection stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AgentPhase {
+    /// No transport (never dialed, dial failed, or connection lost).
+    Disconnected,
+    /// Transport is up and `Hello` was sent; waiting for `HelloAck`.
+    AwaitAck,
+    /// Handshake accepted; seals, backfill, and heartbeats may flow.
+    Established,
+}
+
+/// The node agent's protocol core: everything
+/// [`NodeAgent`](super::NodeAgent) decides — when to dial, what to send,
+/// which durable epochs to backfill, how long to back off — with the
+/// transport and the clock abstracted away.
+///
+/// The driver contract, in order of a connection's life:
+/// 1. [`AgentSession::connect`] (operator intent) or a due
+///    [`AgentSession::tick`] emits [`AgentOutput::Dial`].
+/// 2. The driver dials and reports
+///    [`AgentSession::transport_connected`] (→ `Send(Hello)`) or
+///    [`AgentSession::dial_failed`] (→ backoff bookkeeping).
+/// 3. The `HelloAck` goes to [`AgentSession::on_message`]; acceptance
+///    emits [`AgentOutput::Backfill`] and the driver replays the log via
+///    [`AgentSession::offer_backfill`].
+/// 4. Seals are two-phase: [`AgentSession::begin_seal`] checks epoch
+///    monotonicity *before* the driver persists, then
+///    [`AgentSession::finish_seal`] advances the epoch cursor and emits
+///    the `Send` — persist-before-publish lives in the split.
+/// 5. Any transport death is [`AgentSession::connection_lost`], which
+///    arms the redial schedule exactly like a failed dial.
+#[derive(Debug)]
+pub struct AgentSession {
+    node_id: u32,
+    fingerprint: u64,
+    /// Store generation stamped into `Hello` and fresh seal frames.
+    generation: u64,
+    next_epoch: u64,
+    acked_epoch: u64,
+    cluster_epoch: u64,
+    backfilled: u64,
+    reconnect: ReconnectPolicy,
+    phase: AgentPhase,
+    /// A `Dial` is in flight: suppress further dials until its outcome.
+    dialing: bool,
+    /// An explicit `connect` supplied a target at least once.
+    has_target: bool,
+    /// The in-flight dial came from an explicit `connect` (its failure
+    /// arms the schedule silently instead of counting an attempt).
+    explicit: bool,
+    /// Consecutive failed automatic redials since the connection dropped.
+    attempts: u64,
+    /// Earliest virtual instant the next automatic redial may fire.
+    retry_at: Option<Nanos>,
+    /// The redial budget is spent; only an explicit `connect` resets it.
+    gave_up: bool,
+    /// Newest epoch the aggregator held at handshake — the backfill
+    /// low-water mark for this connection.
+    backfill_after: u64,
+    out: Vec<AgentOutput>,
+}
+
+impl AgentSession {
+    /// A fresh session for `node_id`. `generation` is the durable store's
+    /// generation; `next_epoch` resumes where the durable log ends.
+    pub fn new(
+        node_id: u32,
+        fingerprint: u64,
+        generation: u64,
+        next_epoch: u64,
+        reconnect: ReconnectPolicy,
+    ) -> Self {
+        Self {
+            node_id,
+            fingerprint,
+            generation,
+            next_epoch,
+            acked_epoch: 0,
+            cluster_epoch: 0,
+            backfilled: 0,
+            reconnect,
+            phase: AgentPhase::Disconnected,
+            dialing: false,
+            has_target: false,
+            explicit: false,
+            attempts: 0,
+            retry_at: None,
+            gave_up: false,
+            backfill_after: 0,
+            out: Vec::new(),
+        }
+    }
+
+    /// Operator intent to connect: resets the whole redial schedule
+    /// (attempt counter, pending backoff, spent budget) and emits a
+    /// [`AgentOutput::Dial`].
+    pub fn connect(&mut self) {
+        self.has_target = true;
+        self.attempts = 0;
+        self.retry_at = None;
+        self.gave_up = false;
+        self.explicit = true;
+        self.dialing = true;
+        self.phase = AgentPhase::Disconnected;
+        self.out.push(AgentOutput::Dial);
+    }
+
+    /// Walk the redial schedule: emit [`AgentOutput::Dial`] iff the
+    /// session is disconnected, has a target, has budget left, no dial is
+    /// already in flight, and the backoff deadline has passed. Drivers
+    /// call this from their seal/heartbeat cadence so partition repair
+    /// needs no extra loop.
+    pub fn tick(&mut self, now: Nanos) {
+        if self.phase != AgentPhase::Disconnected
+            || self.dialing
+            || !self.has_target
+            || self.gave_up
+        {
+            return;
+        }
+        let Some(at) = self.retry_at else { return };
+        if now < at {
+            return;
+        }
+        self.dialing = true;
+        self.out.push(AgentOutput::Dial);
+    }
+
+    /// The driver's dial succeeded: move to the handshake and emit
+    /// `Send(Hello)`.
+    pub fn transport_connected(&mut self) {
+        self.dialing = false;
+        self.phase = AgentPhase::AwaitAck;
+        self.out.push(AgentOutput::Send(Message::Hello {
+            node_id: self.node_id,
+            generation: self.generation,
+            next_epoch: self.next_epoch,
+            fingerprint: self.fingerprint,
+        }));
+    }
+
+    /// The dial (or anything up to and including the handshake/backfill
+    /// exchange) failed. An explicit connect's failure arms the schedule
+    /// silently — the first retry waits a full backoff, and no attempt is
+    /// counted, matching the stampede-avoidance rationale in
+    /// [`ReconnectPolicy`]. An automatic redial's failure counts an
+    /// attempt and emits [`AgentOutput::Backoff`] or
+    /// [`AgentOutput::GaveUp`].
+    pub fn dial_failed(&mut self, now: Nanos) {
+        self.dialing = false;
+        self.phase = AgentPhase::Disconnected;
+        if self.explicit {
+            self.explicit = false;
+            self.arm_initial(now);
+            return;
+        }
+        self.attempts += 1;
+        match self.reconnect.decide(self.attempts + 1) {
+            ReconnectDecision::Retry(delay) => {
+                self.retry_at = Some(now + delay.as_nanos() as Nanos);
+                self.out.push(AgentOutput::Backoff {
+                    attempt: self.attempts,
+                    delay,
+                });
+            }
+            ReconnectDecision::GiveUp => {
+                self.gave_up = true;
+                self.retry_at = None;
+                self.out.push(AgentOutput::GaveUp);
+            }
+        }
+    }
+
+    /// The live transport died (write failure, EOF, or a deliberate
+    /// sever). Arms the redial schedule exactly like a failed explicit
+    /// dial: one full backoff before the first retry, no attempt counted,
+    /// no output.
+    pub fn connection_lost(&mut self, now: Nanos) {
+        self.phase = AgentPhase::Disconnected;
+        self.dialing = false;
+        self.arm_initial(now);
+    }
+
+    /// Arm the first redial after a drop: `decide(1)` → wait or give up.
+    fn arm_initial(&mut self, now: Nanos) {
+        if self.gave_up || !self.has_target {
+            return;
+        }
+        match self.reconnect.decide(1) {
+            ReconnectDecision::Retry(delay) => {
+                self.retry_at = Some(now + delay.as_nanos() as Nanos)
+            }
+            ReconnectDecision::GiveUp => self.gave_up = true,
+        }
+    }
+
+    /// Feed a message from the aggregator. During the handshake this is
+    /// the `HelloAck`; acceptance establishes the session, resets the
+    /// redial budget, and emits [`AgentOutput::Backfill`]. Rejection and
+    /// protocol violations are typed errors — the driver should drop the
+    /// transport and call [`AgentSession::dial_failed`].
+    pub fn on_message(&mut self, msg: Message, _now: Nanos) -> Result<(), ClusterError> {
+        if self.phase != AgentPhase::AwaitAck {
+            // Nothing aggregator-bound is expected post-handshake.
+            return Ok(());
+        }
+        let Message::HelloAck {
+            accepted,
+            last_epoch,
+            cluster_epoch,
+        } = msg
+        else {
+            self.phase = AgentPhase::Disconnected;
+            return Err(WireError::Malformed("expected HelloAck").into());
+        };
+        if !accepted {
+            self.phase = AgentPhase::Disconnected;
+            return Err(ClusterError::Rejected(
+                "fingerprint mismatch (geometry or hash seeds differ)",
+            ));
+        }
+        self.acked_epoch = last_epoch;
+        self.cluster_epoch = cluster_epoch;
+        self.backfill_after = last_epoch;
+        self.phase = AgentPhase::Established;
+        self.explicit = false;
+        self.attempts = 0;
+        self.retry_at = None;
+        self.gave_up = false;
+        self.out.push(AgentOutput::Backfill { after: last_epoch });
+        Ok(())
+    }
+
+    /// Offer one durable frame for backfill. Frames the aggregator
+    /// already holds (`seq <= after` from the handshake) or from the
+    /// future (`seq >= next_epoch` — another incarnation's leftovers) are
+    /// skipped. An accepted frame is re-wrapped verbatim — same payload,
+    /// same CRC discipline — and emitted as a backfill `Send`; returns
+    /// whether the frame was emitted.
+    pub fn offer_backfill(&mut self, f: &RecoveredFrame) -> bool {
+        if self.phase != AgentPhase::Established
+            || f.seq <= self.backfill_after
+            || f.seq >= self.next_epoch
+        {
+            return false;
+        }
+        let frame = encode_seal_frame(self.node_id, f.generation, f.seq, f.processed_at, &f.bytes);
+        self.out.push(AgentOutput::Send(Message::SealEpoch {
+            node_id: self.node_id,
+            epoch: f.seq,
+            backfill: true,
+            frame,
+        }));
+        self.acked_epoch = self.acked_epoch.max(f.seq);
+        self.backfilled += 1;
+        true
+    }
+
+    /// First half of a seal: epoch numbers must advance strictly. Checked
+    /// *before* the driver persists so a stale epoch never reaches disk.
+    pub fn begin_seal(&mut self, epoch: u64) -> Result<(), ClusterError> {
+        if epoch < self.next_epoch {
+            return Err(ClusterError::EpochNotMonotonic {
+                requested: epoch,
+                next: self.next_epoch,
+            });
+        }
+        Ok(())
+    }
+
+    /// Second half of a seal, called after the payload is durable:
+    /// advance the epoch cursor and, when established, emit the fresh
+    /// `SealEpoch`. Returns whether a `Send` was emitted (`false` means
+    /// local-durable only — the frame waits for backfill).
+    pub fn finish_seal(&mut self, epoch: u64, processed: u64, payload: &[u8]) -> bool {
+        self.next_epoch = epoch + 1;
+        if self.phase != AgentPhase::Established {
+            return false;
+        }
+        let frame = encode_seal_frame(self.node_id, self.generation, epoch, processed, payload);
+        self.out.push(AgentOutput::Send(Message::SealEpoch {
+            node_id: self.node_id,
+            epoch,
+            backfill: false,
+            frame,
+        }));
+        true
+    }
+
+    /// The driver's write of epoch `epoch`'s fresh seal succeeded: the
+    /// aggregator now holds it.
+    pub fn note_sent(&mut self, epoch: u64) {
+        self.acked_epoch = self.acked_epoch.max(epoch);
+    }
+
+    /// Emit a liveness heartbeat when established; returns whether one
+    /// was emitted.
+    pub fn heartbeat(&mut self, processed: u64) -> bool {
+        if self.phase != AgentPhase::Established {
+            return false;
+        }
+        self.out.push(AgentOutput::Send(Message::Heartbeat {
+            node_id: self.node_id,
+            epoch: self.next_epoch,
+            processed,
+        }));
+        true
+    }
+
+    /// Emit a clean-departure `Goodbye` when established; returns whether
+    /// one was emitted.
+    pub fn goodbye(&mut self) -> bool {
+        if self.phase != AgentPhase::Established {
+            return false;
+        }
+        self.out.push(AgentOutput::Send(Message::Goodbye {
+            node_id: self.node_id,
+        }));
+        true
+    }
+
+    /// Take the queued outputs, in emission order.
+    pub fn drain(&mut self) -> Vec<AgentOutput> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Whether the handshake has completed on a live transport.
+    pub fn is_established(&self) -> bool {
+        self.phase == AgentPhase::Established
+    }
+
+    /// Whether a `Dial` is in flight awaiting its outcome.
+    pub fn is_dialing(&self) -> bool {
+        self.dialing
+    }
+
+    /// The next epoch this session will accept a seal for.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Newest epoch the aggregator acknowledged holding from this node.
+    pub fn acked_epoch(&self) -> u64 {
+        self.acked_epoch
+    }
+
+    /// Cluster-wide newest epoch per the last handshake (0 before one).
+    pub fn cluster_epoch(&self) -> u64 {
+        self.cluster_epoch
+    }
+
+    /// Durable frames replayed as backfill over this session's lifetime.
+    pub fn backfilled(&self) -> u64 {
+        self.backfilled
+    }
+
+    /// Consecutive failed automatic redials since the connection dropped.
+    pub fn reconnect_attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Earliest virtual instant the next automatic redial may fire.
+    pub fn retry_at(&self) -> Option<Nanos> {
+        self.retry_at
+    }
+
+    /// Whether the redial budget is spent.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared read-model types (moved here from `aggregator` so both the TCP
+// driver and the simulator speak in the same vocabulary).
+// ---------------------------------------------------------------------------
+
+/// What recovery rebuilt from the aggregation log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggRecovery {
+    /// Epoch views rebuilt (after `keep_epochs` eviction).
+    pub epochs: u32,
+    /// Node membership records rebuilt.
+    pub nodes: u32,
+    /// Log records replayed (node frames + membership snapshots).
+    pub records: u64,
+}
+
+/// Where one epoch stands, as served by the epoch-versioned read API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochStatus {
+    /// No frame for this epoch has arrived from any node.
+    Unknown,
+    /// Some members' frames are missing but every missing node is
+    /// connected — their seals are expected to arrive.
+    Pending {
+        /// Members whose frames are merged.
+        reporting: u32,
+        /// Total members required for completeness.
+        members: u32,
+    },
+    /// A missing member is lost or departed uncleanly: the epoch cannot
+    /// complete until that node reconnects and backfills.
+    Degraded {
+        /// The member nodes whose frames are missing.
+        missing: Vec<u32>,
+    },
+    /// Every member node's frame is merged into the global view.
+    Complete {
+        /// Nodes the merged view covers.
+        nodes: u32,
+    },
+}
+
+impl EpochStatus {
+    /// Whether the epoch is complete.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, EpochStatus::Complete { .. })
+    }
+}
+
+/// Bounds every sketch type must satisfy to be cluster-aggregated: it is
+/// restored and merged (`Checkpoint`), cloned per epoch, and shared with
+/// connection-handler threads.
+pub trait ClusterSketch: RowSketch + Checkpoint + Clone + Send + Sync + 'static {}
+impl<S: RowSketch + Checkpoint + Clone + Send + Sync + 'static> ClusterSketch for S {}
+
+/// A queryable snapshot of one epoch's network-wide merged view.
+pub struct ClusterView<S: RowSketch> {
+    epoch: u64,
+    status: EpochStatus,
+    sketch: NitroSketch<S>,
+    packets: u64,
+    report_hh: Vec<(FlowKey, f64)>,
+}
+
+impl<S: RowSketch> ClusterView<S> {
+    /// The epoch this view covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Completeness of the view at snapshot time.
+    pub fn status(&self) -> &EpochStatus {
+        &self.status
+    }
+
+    /// Network-wide point query on the merged counters.
+    pub fn estimate(&self, key: FlowKey) -> f64 {
+        self.sketch.estimate(key)
+    }
+
+    /// Network-wide heavy hitters ≥ `threshold` from the merged sketch,
+    /// heaviest first.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(FlowKey, f64)> {
+        self.sketch.heavy_hitters(threshold)
+    }
+
+    /// Network-wide L2 norm estimate.
+    pub fn l2(&self) -> f64 {
+        self.sketch.inner().l2_squared_estimate().max(0.0).sqrt()
+    }
+
+    /// Total packets reported by the covered nodes.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Report-level heavy hitters (per-node report sums, collector
+    /// semantics), heaviest first.
+    pub fn report_heavy_hitters(&self) -> Vec<(FlowKey, f64)> {
+        let mut v = self.report_hh.clone();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The merged sketch itself.
+    pub fn sketch(&self) -> &NitroSketch<S> {
+        &self.sketch
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation-log record codecs (shared by the TCP driver's durable log
+// and the simulator's persistence oracle).
+// ---------------------------------------------------------------------------
+
+/// Aggregation-log record tags (first payload byte).
+pub(crate) const REC_FRAME: u8 = 1;
+pub(crate) const REC_MEMBERSHIP: u8 = 2;
+
+/// One decoded aggregation-log record.
+pub(crate) enum LogRecord {
+    /// A validated node epoch frame's inner payload (report + snapshot),
+    /// exactly as merged. Frame records are commutative — replay order
+    /// within an epoch does not matter.
+    Frame {
+        /// Reporting node.
+        node: u32,
+        /// Epoch the frame covers.
+        epoch: u64,
+        /// `encode_epoch_payload` bytes (report + snapshot).
+        payload: Vec<u8>,
+    },
+    /// Full snapshot of one node's membership state, written at every
+    /// join and `Goodbye` in mutation order; replay is last-writer-wins
+    /// per node.
+    Membership {
+        /// The node whose membership changed.
+        node: u32,
+        /// Newest epoch a frame was merged for.
+        last_epoch: u64,
+        /// Open membership interval start, if the node is a member now.
+        open_from: Option<u64>,
+        /// Closed membership intervals, ended by clean `Goodbye`s.
+        intervals: Vec<(u64, u64)>,
+    },
+}
+
+pub(crate) fn encode_frame_record(node: u32, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.push(REC_FRAME);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_membership_record(node: u32, rec: &NodeRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(26 + 16 * rec.intervals.len());
+    out.push(REC_MEMBERSHIP);
+    out.extend_from_slice(&node.to_le_bytes());
+    out.extend_from_slice(&rec.last_epoch.to_le_bytes());
+    out.push(rec.open_from.is_some() as u8);
+    out.extend_from_slice(&rec.open_from.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&(rec.intervals.len() as u32).to_le_bytes());
+    for &(s, t) in &rec.intervals {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn decode_log_record(bytes: &[u8]) -> Option<LogRecord> {
+    let (&tag, rest) = bytes.split_first()?;
+    let u32_at =
+        |b: &[u8], at: usize| Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?));
+    let u64_at =
+        |b: &[u8], at: usize| Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?));
+    match tag {
+        REC_FRAME => Some(LogRecord::Frame {
+            node: u32_at(rest, 0)?,
+            epoch: u64_at(rest, 4)?,
+            payload: rest.get(12..)?.to_vec(),
+        }),
+        REC_MEMBERSHIP => {
+            let node = u32_at(rest, 0)?;
+            let last_epoch = u64_at(rest, 4)?;
+            let has_open = *rest.get(12)? != 0;
+            let open_from = u64_at(rest, 13)?;
+            let n = u32_at(rest, 21)? as usize;
+            let mut intervals = Vec::with_capacity(n.min(1024));
+            for i in 0..n {
+                intervals.push((u64_at(rest, 25 + 16 * i)?, u64_at(rest, 33 + 16 * i)?));
+            }
+            Some(LogRecord::Membership {
+                node,
+                last_epoch,
+                open_from: has_open.then_some(open_from),
+                intervals,
+            })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator session
+// ---------------------------------------------------------------------------
+
+/// Identifier of one accepted transport connection, allocated by
+/// [`AggregatorSession::conn_open`]. Monotonic within a session — it
+/// doubles as the connection generation: a loss declared against an old
+/// connection can never flip the state a newer connection established.
+pub type ConnId = u64;
+
+/// A journal-worthy state transition inside [`AggregatorSession`]. The
+/// TCP driver maps these onto telemetry counters and events; the
+/// simulator writes them to its deterministic run journal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggEvent {
+    /// A node completed the handshake on a new connection.
+    NodeJoin {
+        /// The admitted node.
+        node: u32,
+        /// The next epoch it announced.
+        epoch: u64,
+    },
+    /// A connected node was declared lost (dead transport, protocol
+    /// violation, or heartbeat silence).
+    NodeLoss {
+        /// The lost node.
+        node: u32,
+        /// Newest epoch a frame was merged for.
+        last_epoch: u64,
+    },
+    /// One epoch frame was validated and merged.
+    FrameMerged {
+        /// Reporting node.
+        node: u32,
+        /// Epoch the frame covers.
+        epoch: u64,
+        /// Whether it arrived as backfill replay.
+        backfill: bool,
+    },
+    /// A frame or stream failed validation and was rejected.
+    FrameRejected {
+        /// The node bound to the offending connection.
+        node: u32,
+    },
+    /// A liveness heartbeat arrived.
+    Heartbeat {
+        /// The reporting node.
+        node: u32,
+    },
+    /// An epoch transitioned into completeness.
+    EpochSealed {
+        /// The completed epoch.
+        epoch: u64,
+        /// Nodes the merged view covers.
+        nodes: u32,
+        /// Whether the epoch was observed degraded before completing.
+        was_degraded: bool,
+    },
+}
+
+/// One instruction from [`AggregatorSession`] to its driver, in emission
+/// order via [`AggregatorSession::drain`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggOutput {
+    /// Write `msg` to connection `conn`.
+    Send {
+        /// Target connection.
+        conn: ConnId,
+        /// The message to write.
+        msg: Message,
+    },
+    /// Close connection `conn`. The session has already unbound it;
+    /// no further messages for it will be accepted.
+    Close {
+        /// The connection to close.
+        conn: ConnId,
+    },
+    /// Append this record to the durable aggregation log
+    /// (persist-before-serve: it is emitted *before* the state that
+    /// depends on it becomes queryable).
+    Append(Vec<u8>),
+    /// Journal this state transition.
+    Event(AggEvent),
+}
+
+/// One admitted node's membership record.
+///
+/// Membership is interval-based so a node that cleanly departs and later
+/// rejoins is not blamed for the gap: epoch `e` requires this node iff
+/// `e` falls in a closed `[start, end]` interval (joined → `Goodbye`) or
+/// at/after the open interval's start (joined, not departed). A node lost
+/// *without* a `Goodbye` keeps its interval open — exactly the epochs
+/// that must stay degraded until it reconnects and backfills.
+#[derive(Debug)]
+struct NodeRecord {
+    /// Closed membership intervals, ended by clean `Goodbye`s.
+    intervals: Vec<(u64, u64)>,
+    /// Start of the current membership interval: the min over the epochs
+    /// this incarnation announced at handshake or reported frames for.
+    open_from: Option<u64>,
+    /// Newest epoch a frame was merged for.
+    last_epoch: u64,
+    connected: bool,
+    /// The node's current connection; a stale connection (superseded by
+    /// a reconnect) fails this check before declaring a loss or reviving.
+    conn: Option<ConnId>,
+    last_heard: Nanos,
+    /// Observations the node last reported via heartbeat.
+    processed: u64,
+}
+
+impl NodeRecord {
+    fn blank() -> Self {
+        Self {
+            intervals: Vec::new(),
+            open_from: None,
+            last_epoch: 0,
+            connected: false,
+            conn: None,
+            last_heard: 0,
+            processed: 0,
+        }
+    }
+
+    fn is_member_of(&self, e: u64) -> bool {
+        self.intervals.iter().any(|&(s, t)| s <= e && e <= t)
+            || self.open_from.is_some_and(|s| s <= e)
+    }
+
+    /// Extend the open membership interval to include `e`.
+    fn expect_from(&mut self, e: u64) {
+        self.open_from = Some(self.open_from.map_or(e, |s| s.min(e)));
+    }
+}
+
+/// One epoch's merged state.
+struct EpochRecord<S: RowSketch> {
+    merged: NitroSketch<S>,
+    reporting: BTreeSet<u32>,
+    /// Sum of member reports' packet counts.
+    packets: u64,
+    /// Report-level heavy hitters summed across nodes (collector
+    /// semantics: duplicate keys merge).
+    report_hh: HashMap<FlowKey, f64>,
+    /// Whether `EpochSealed` was journaled for this epoch.
+    sealed: bool,
+    /// Whether the epoch was observed degraded before completing.
+    was_degraded: bool,
+}
+
+/// The aggregator's protocol core: admission, per-epoch merging,
+/// membership intervals, heartbeat-silence loss, and the epoch-versioned
+/// read model — with sockets, threads, the durable log, and telemetry
+/// abstracted into [`AggOutput`]s.
+///
+/// The driver contract per connection: [`AggregatorSession::conn_open`]
+/// at accept, [`AggregatorSession::on_message`] per decoded message,
+/// [`AggregatorSession::conn_corrupt`] on an undecodable stream,
+/// [`AggregatorSession::conn_closed`] when the transport dies, and
+/// [`AggregatorSession::tick`] on the heartbeat-monitor cadence. All
+/// methods are synchronous and single-writer; the TCP driver serializes
+/// them behind one mutex, the simulator calls them from its event loop.
+pub struct AggregatorSession<S: ClusterSketch> {
+    template: NitroSketch<S>,
+    fingerprint: u64,
+    keep_epochs: usize,
+    /// Silence bound before a connected node is declared lost.
+    heartbeat_timeout: Nanos,
+    nodes: BTreeMap<u32, NodeRecord>,
+    epochs: BTreeMap<u64, EpochRecord<S>>,
+    /// Live connections → the node bound at handshake (`None` before).
+    conns: BTreeMap<ConnId, Option<u32>>,
+    next_conn: ConnId,
+    /// Mutation hook (see [`AggregatorSession::set_dedup_disabled`]).
+    dedup_disabled: bool,
+    out: Vec<AggOutput>,
+}
+
+impl<S: ClusterSketch> AggregatorSession<S> {
+    /// A fresh session. `template` must be a **blank** sketch built
+    /// exactly like every node's — its fingerprint is the admission
+    /// check, its clones become the per-epoch merge targets.
+    pub fn new(template: NitroSketch<S>, keep_epochs: usize, heartbeat_timeout: Duration) -> Self {
+        let fingerprint = template.inner().fingerprint();
+        Self {
+            template,
+            fingerprint,
+            keep_epochs,
+            heartbeat_timeout: heartbeat_timeout.as_nanos() as Nanos,
+            nodes: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            next_conn: 1,
+            dedup_disabled: false,
+            out: Vec::new(),
+        }
+    }
+
+    /// Rebuild a session from aggregation-log records in append order.
+    /// Mirrors the live paths exactly: frame replay dedups per
+    /// (epoch, node) and re-derives membership the way merging does;
+    /// membership snapshots overwrite (last-writer-wins per node).
+    /// Records that fail any validation the live path would have enforced
+    /// are skipped, never fatal — a recovery must salvage everything
+    /// salvageable. Recovered nodes start disconnected (their transports
+    /// died with the old process); epochs that were complete stay
+    /// complete and are marked sealed so redundant backfill cannot
+    /// re-journal `EpochSealed`.
+    pub fn recover(
+        template: NitroSketch<S>,
+        keep_epochs: usize,
+        heartbeat_timeout: Duration,
+        frames: &[RecoveredFrame],
+    ) -> (Self, AggRecovery) {
+        let mut session = Self::new(template, keep_epochs, heartbeat_timeout);
+        let mut records = 0u64;
+        for f in frames {
+            match decode_log_record(&f.bytes) {
+                Some(LogRecord::Frame {
+                    node,
+                    epoch,
+                    payload,
+                }) => {
+                    let Ok((report, snapshot)) = decode_epoch_payload(&payload) else {
+                        continue;
+                    };
+                    if report.switch_id != node || report.epoch != epoch {
+                        continue;
+                    }
+                    let mut restored = session.template.clone();
+                    if restored.restore(snapshot).is_err() {
+                        continue;
+                    }
+                    let template = &session.template;
+                    let rec = session.epochs.entry(epoch).or_insert_with(|| EpochRecord {
+                        merged: template.clone(),
+                        reporting: BTreeSet::new(),
+                        packets: 0,
+                        report_hh: HashMap::new(),
+                        sealed: false,
+                        was_degraded: false,
+                    });
+                    if rec.reporting.contains(&node) {
+                        continue;
+                    }
+                    if rec.merged.try_merge_from(&restored).is_err() {
+                        continue;
+                    }
+                    rec.reporting.insert(node);
+                    rec.packets += report.packets;
+                    for &(k, e) in &report.heavy_hitters {
+                        *rec.report_hh.entry(k).or_insert(0.0) += e;
+                    }
+                    let n = session.nodes.entry(node).or_insert_with(NodeRecord::blank);
+                    if !n.is_member_of(epoch) {
+                        n.expect_from(epoch);
+                    }
+                    n.last_epoch = n.last_epoch.max(epoch);
+                    records += 1;
+                }
+                Some(LogRecord::Membership {
+                    node,
+                    last_epoch,
+                    open_from,
+                    intervals,
+                }) => {
+                    let n = session.nodes.entry(node).or_insert_with(NodeRecord::blank);
+                    n.intervals = intervals;
+                    n.open_from = open_from;
+                    n.last_epoch = n.last_epoch.max(last_epoch);
+                    records += 1;
+                }
+                None => {}
+            }
+        }
+        session.evict_epochs();
+        // Epochs already complete must not re-journal `EpochSealed` when
+        // a node's redundant backfill replays their frames.
+        let complete: Vec<u64> = session
+            .epochs
+            .keys()
+            .copied()
+            .filter(|&e| session.status_of(e).is_complete())
+            .collect();
+        for e in complete {
+            session.epochs.get_mut(&e).expect("just listed").sealed = true;
+        }
+        let recovery = AggRecovery {
+            epochs: session.epochs.len() as u32,
+            nodes: session.nodes.len() as u32,
+            records,
+        };
+        (session, recovery)
+    }
+
+    /// Register a freshly accepted transport connection and get its id.
+    pub fn conn_open(&mut self) -> ConnId {
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(conn, None);
+        conn
+    }
+
+    /// Feed one decoded message from connection `conn` at virtual time
+    /// `now`. Unknown (already-closed) connections are ignored. The
+    /// session handles handshake, seals, heartbeats, and departures
+    /// entirely through its output queue.
+    pub fn on_message(&mut self, conn: ConnId, msg: Message, now: Nanos) {
+        let Some(&binding) = self.conns.get(&conn) else {
+            return;
+        };
+        match binding {
+            None => self.handshake(conn, msg, now),
+            Some(node) => self.pump(conn, node, msg, now),
+        }
+    }
+
+    /// The first complete message on a connection must be an acceptable
+    /// `Hello`; anything else closes silently (pre-handshake peers have
+    /// no standing to affect cluster state).
+    fn handshake(&mut self, conn: ConnId, msg: Message, now: Nanos) {
+        let Message::Hello {
+            node_id,
+            next_epoch,
+            fingerprint,
+            ..
+        } = msg
+        else {
+            self.conns.remove(&conn);
+            self.out.push(AggOutput::Close { conn });
+            return;
+        };
+        if fingerprint != self.fingerprint {
+            self.conns.remove(&conn);
+            self.out.push(AggOutput::Send {
+                conn,
+                msg: Message::HelloAck {
+                    accepted: false,
+                    last_epoch: 0,
+                    cluster_epoch: 0,
+                },
+            });
+            self.out.push(AggOutput::Close { conn });
+            return;
+        }
+        let rec = self.nodes.entry(node_id).or_insert_with(NodeRecord::blank);
+        rec.conn = Some(conn);
+        rec.connected = true;
+        // Membership (re)opens at the epoch the node announced: from here
+        // on, epochs cannot complete without it.
+        rec.expect_from(next_epoch);
+        rec.last_heard = now;
+        let last_epoch = rec.last_epoch;
+        // Membership mutations are order-sensitive (a later Goodbye must
+        // replay after this join), so the record is appended in mutation
+        // order, before the ack that makes the join visible.
+        let record = encode_membership_record(node_id, rec);
+        self.conns.insert(conn, Some(node_id));
+        self.out.push(AggOutput::Append(record));
+        self.out.push(AggOutput::Event(AggEvent::NodeJoin {
+            node: node_id,
+            epoch: next_epoch,
+        }));
+        self.out.push(AggOutput::Send {
+            conn,
+            msg: Message::HelloAck {
+                accepted: true,
+                last_epoch,
+                cluster_epoch: self.cluster_epoch(),
+            },
+        });
+    }
+
+    /// Post-handshake message pump for connection `conn` bound to `node`.
+    fn pump(&mut self, conn: ConnId, node: u32, msg: Message, now: Nanos) {
+        match msg {
+            // Handshake already done / agent-bound only: protocol
+            // violations, close with a loss.
+            Message::Hello { .. } | Message::HelloAck { .. } => self.close_loss(conn),
+            Message::SealEpoch {
+                node_id,
+                epoch,
+                backfill,
+                frame,
+            } => {
+                if node_id != node {
+                    self.out
+                        .push(AggOutput::Event(AggEvent::FrameRejected { node }));
+                    self.close_loss(conn);
+                    return;
+                }
+                if self
+                    .ingest_frame(node, conn, epoch, backfill, &frame, now)
+                    .is_err()
+                {
+                    self.out
+                        .push(AggOutput::Event(AggEvent::FrameRejected { node }));
+                }
+            }
+            Message::Heartbeat {
+                node_id, processed, ..
+            } => {
+                if node_id != node {
+                    self.close_loss(conn);
+                    return;
+                }
+                self.out
+                    .push(AggOutput::Event(AggEvent::Heartbeat { node }));
+                if let Some(rec) = self.nodes.get_mut(&node) {
+                    rec.last_heard = now;
+                    rec.processed = processed;
+                    // A heartbeat on the current connection revives a node
+                    // the monitor gave up on during a stall.
+                    if rec.conn == Some(conn) && !rec.connected {
+                        rec.connected = true;
+                    }
+                }
+            }
+            Message::Goodbye { node_id } => {
+                if node_id != node {
+                    self.close_loss(conn);
+                    return;
+                }
+                if let Some(rec) = self.nodes.get_mut(&node) {
+                    rec.connected = false;
+                    rec.conn = None;
+                    // Close the membership interval at the last merged
+                    // epoch: later epochs no longer require this node.
+                    if let Some(start) = rec.open_from.take() {
+                        if start <= rec.last_epoch {
+                            rec.intervals.push((start, rec.last_epoch));
+                        }
+                    }
+                    let record = encode_membership_record(node, rec);
+                    self.out.push(AggOutput::Append(record));
+                }
+                self.conns.remove(&conn);
+                self.out.push(AggOutput::Close { conn });
+            }
+        }
+    }
+
+    /// The transport delivered undecodable bytes on `conn`: nothing after
+    /// this point can be trusted. A bound connection counts a rejection
+    /// and declares the node lost; a pre-handshake connection closes
+    /// silently.
+    pub fn conn_corrupt(&mut self, conn: ConnId) {
+        if let Some(Some(node)) = self.conns.get(&conn).copied() {
+            self.out
+                .push(AggOutput::Event(AggEvent::FrameRejected { node }));
+        }
+        self.close_loss(conn);
+    }
+
+    /// The transport for `conn` died (EOF, write failure, or the driver
+    /// is shutting down). With `declare` the bound node — if this is
+    /// still its current connection — is declared lost; without,
+    /// the connection is merely unbound (an aggregator shutting down does
+    /// not blame its nodes). Idempotent: unknown connections are ignored.
+    pub fn conn_closed(&mut self, conn: ConnId, declare: bool) {
+        if declare {
+            self.close_loss(conn);
+        } else {
+            self.conns.remove(&conn);
+        }
+    }
+
+    /// Close `conn` and declare its node lost if this is still the
+    /// node's current connection (a reconnect supersedes stale closures).
+    fn close_loss(&mut self, conn: ConnId) {
+        let Some(binding) = self.conns.remove(&conn) else {
+            self.out.push(AggOutput::Close { conn });
+            return;
+        };
+        if let Some(node) = binding {
+            if let Some(rec) = self.nodes.get_mut(&node) {
+                if rec.conn == Some(conn) && rec.connected {
+                    rec.connected = false;
+                    let last_epoch = rec.last_epoch;
+                    self.out
+                        .push(AggOutput::Event(AggEvent::NodeLoss { node, last_epoch }));
+                }
+            }
+        }
+        self.out.push(AggOutput::Close { conn });
+    }
+
+    /// Heartbeat-silence sweep at virtual time `now`: every connected
+    /// node silent for longer than the heartbeat timeout is declared
+    /// lost. The connection binding is kept — a frame or heartbeat
+    /// arriving later on the same connection revives the node (a stall is
+    /// provisional, not a death certificate).
+    pub fn tick(&mut self, now: Nanos) {
+        let timeout = self.heartbeat_timeout;
+        let silent: Vec<(u32, u64)> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.connected && now.saturating_sub(n.last_heard) > timeout)
+            .map(|(&id, n)| (id, n.last_epoch))
+            .collect();
+        for (node, last_epoch) in silent {
+            self.nodes.get_mut(&node).expect("just listed").connected = false;
+            self.out
+                .push(AggOutput::Event(AggEvent::NodeLoss { node, last_epoch }));
+        }
+    }
+
+    /// Merge one epoch frame from `node` on connection `conn`. Every
+    /// validation failure is a typed rejection (never a panic): store
+    /// framing, sequence match, payload structure, checkpoint restore,
+    /// and merge compatibility.
+    fn ingest_frame(
+        &mut self,
+        node: u32,
+        conn: ConnId,
+        epoch: u64,
+        backfill: bool,
+        frame: &[u8],
+        now: Nanos,
+    ) -> Result<(), ClusterError> {
+        let rf = match decode_frame(frame, node as usize) {
+            FrameParse::Frame(rf, used) if used == frame.len() => rf,
+            FrameParse::Version => {
+                return Err(WireError::Version {
+                    found: u8::MAX,
+                    supported: crate::store::STORE_VERSION,
+                }
+                .into())
+            }
+            _ => return Err(WireError::Malformed("bad store framing on epoch frame").into()),
+        };
+        if rf.seq != epoch {
+            return Err(WireError::Malformed("frame sequence != announced epoch").into());
+        }
+        let (report, snapshot) = decode_epoch_payload(&rf.bytes)?;
+        if report.switch_id != node || report.epoch != epoch {
+            return Err(WireError::Malformed("report identity != frame identity").into());
+        }
+        let mut restored = self.template.clone();
+        restored.restore(snapshot)?;
+
+        // Persist-before-serve: the validated frame payload is appended to
+        // the aggregation log before it can influence any answer. Frame
+        // records are commutative; a duplicate (idempotent replay below)
+        // wastes a record but replay dedups it the same way the in-memory
+        // path does.
+        self.out.push(AggOutput::Append(encode_frame_record(
+            node, epoch, &rf.bytes,
+        )));
+
+        let status_before = self.status_of(epoch);
+        let template = &self.template;
+        let rec = self.epochs.entry(epoch).or_insert_with(|| EpochRecord {
+            merged: template.clone(),
+            reporting: BTreeSet::new(),
+            packets: 0,
+            report_hh: HashMap::new(),
+            sealed: false,
+            was_degraded: false,
+        });
+        if matches!(status_before, EpochStatus::Degraded { .. }) {
+            rec.was_degraded = true;
+        }
+        if rec.reporting.contains(&node) && !self.dedup_disabled {
+            // Idempotent replay (e.g. a backfill raced a delivered seal):
+            // the frame is already merged; merging again would double the
+            // node's counters.
+            return Ok(());
+        }
+        rec.merged.try_merge_from(&restored)?;
+        rec.reporting.insert(node);
+        rec.packets += report.packets;
+        for &(k, e) in &report.heavy_hitters {
+            *rec.report_hh.entry(k).or_insert(0.0) += e;
+        }
+        if let Some(n) = self.nodes.get_mut(&node) {
+            if !n.is_member_of(epoch) {
+                n.expect_from(epoch);
+            }
+            n.last_epoch = n.last_epoch.max(epoch);
+            // A frame arriving on the node's *current* connection revives
+            // it: a heartbeat-timeout loss declared during a long stall is
+            // provisional, not a death certificate. A stale connection
+            // (superseded by a reconnect) must not flip the new state.
+            n.last_heard = now;
+            if n.conn == Some(conn) {
+                n.connected = true;
+            }
+        }
+        self.out.push(AggOutput::Event(AggEvent::FrameMerged {
+            node,
+            epoch,
+            backfill,
+        }));
+        // Seal on the transition into completeness.
+        if let EpochStatus::Complete { nodes } = self.status_of(epoch) {
+            let rec = self.epochs.get_mut(&epoch).expect("just inserted");
+            if !rec.sealed {
+                rec.sealed = true;
+                let was_degraded = rec.was_degraded;
+                self.out.push(AggOutput::Event(AggEvent::EpochSealed {
+                    epoch,
+                    nodes,
+                    was_degraded,
+                }));
+            }
+        }
+        self.evict_epochs();
+        Ok(())
+    }
+
+    fn evict_epochs(&mut self) {
+        if self.keep_epochs == 0 {
+            return;
+        }
+        while self.epochs.len() > self.keep_epochs {
+            let oldest = *self.epochs.keys().next().expect("non-empty");
+            self.epochs.remove(&oldest);
+        }
+    }
+
+    /// Take the queued outputs, in emission order.
+    pub fn drain(&mut self) -> Vec<AggOutput> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Member nodes required for epoch `e` to be complete.
+    pub fn members_of(&self, e: u64) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.is_member_of(e))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Status of one epoch.
+    pub fn status_of(&self, e: u64) -> EpochStatus {
+        let Some(rec) = self.epochs.get(&e) else {
+            return EpochStatus::Unknown;
+        };
+        let members = self.members_of(e);
+        let missing: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|id| !rec.reporting.contains(id))
+            .collect();
+        if missing.is_empty() {
+            EpochStatus::Complete {
+                nodes: rec.reporting.len() as u32,
+            }
+        } else if missing
+            .iter()
+            .all(|id| self.nodes.get(id).is_some_and(|n| n.connected))
+        {
+            EpochStatus::Pending {
+                reporting: rec.reporting.len() as u32,
+                members: members.len() as u32,
+            }
+        } else {
+            EpochStatus::Degraded { missing }
+        }
+    }
+
+    /// Newest epoch any node has reported (0: none).
+    pub fn cluster_epoch(&self) -> u64 {
+        self.epochs.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Newest epoch served complete, if any.
+    pub fn latest_complete(&self) -> Option<u64> {
+        self.epochs
+            .keys()
+            .rev()
+            .find(|&&e| self.status_of(e).is_complete())
+            .copied()
+    }
+
+    /// Epoch-versioned read: the merged view of `epoch` with its
+    /// completeness status stamped in. `None` when no node has reported
+    /// the epoch (or it was evicted).
+    pub fn view(&self, epoch: u64) -> Option<ClusterView<S>> {
+        let rec = self.epochs.get(&epoch)?;
+        Some(ClusterView {
+            epoch,
+            status: self.status_of(epoch),
+            sketch: rec.merged.clone(),
+            packets: rec.packets,
+            report_hh: rec.report_hh.iter().map(|(&k, &v)| (k, v)).collect(),
+        })
+    }
+
+    /// Change detection between two epochs: per-flow estimate deltas
+    /// (`to − from`) over the union of both views' tracked heavy keys,
+    /// filtered to `|delta| >= threshold`, largest magnitude first.
+    /// `None` when either epoch has no view.
+    pub fn change_between(
+        &self,
+        from: u64,
+        to: u64,
+        threshold: f64,
+    ) -> Option<Vec<(FlowKey, f64)>> {
+        let a = &self.epochs.get(&from)?.merged;
+        let b = &self.epochs.get(&to)?.merged;
+        let mut keys: BTreeSet<FlowKey> = BTreeSet::new();
+        for (k, _) in a.heavy_hitters(f64::NEG_INFINITY) {
+            keys.insert(k);
+        }
+        for (k, _) in b.heavy_hitters(f64::NEG_INFINITY) {
+            keys.insert(k);
+        }
+        let mut out: Vec<(FlowKey, f64)> = keys
+            .into_iter()
+            .map(|k| (k, b.estimate(k) - a.estimate(k)))
+            .filter(|&(_, d)| d.abs() >= threshold)
+            .collect();
+        out.sort_by(|x, y| y.1.abs().total_cmp(&x.1.abs()).then(x.0.cmp(&y.0)));
+        Some(out)
+    }
+
+    /// Node ids currently holding a live connection.
+    pub fn connected_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.connected)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Every node id the session has ever admitted.
+    pub fn known_nodes(&self) -> Vec<u32> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Gauge snapshot: (connected nodes, known nodes, degraded epochs).
+    pub fn gauges(&self) -> (u64, u64, u64) {
+        let connected = self.nodes.values().filter(|n| n.connected).count() as u64;
+        let known = self.nodes.len() as u64;
+        let degraded = self
+            .epochs
+            .keys()
+            .filter(|&&e| matches!(self.status_of(e), EpochStatus::Degraded { .. }))
+            .count() as u64;
+        (connected, known, degraded)
+    }
+
+    /// Every epoch currently holding a merged view, oldest first.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.epochs.keys().copied().collect()
+    }
+
+    /// The set of nodes whose frames are merged into `epoch`, if any
+    /// frame has arrived for it.
+    pub fn reporting_of(&self, epoch: u64) -> Option<BTreeSet<u32>> {
+        Some(self.epochs.get(&epoch)?.reporting.clone())
+    }
+
+    /// Sum of member reports' packet counts for `epoch`, if known.
+    pub fn packets_of(&self, epoch: u64) -> Option<u64> {
+        Some(self.epochs.get(&epoch)?.packets)
+    }
+
+    /// Newest epoch a frame was merged for from `node` (its backfill
+    /// watermark), if the node is known.
+    pub fn node_watermark(&self, node: u32) -> Option<u64> {
+        Some(self.nodes.get(&node)?.last_epoch)
+    }
+
+    /// Mutation hook for the simulator's oracle self-test: disable the
+    /// per-(epoch, node) duplicate-frame guard so a duplicated or
+    /// backfill-raced frame double-merges. Exists to prove the invariant
+    /// oracles *catch* the bug and the shrinker minimizes it — never use
+    /// outside tests.
+    #[doc(hidden)]
+    pub fn set_dedup_disabled(&mut self, disabled: bool) {
+        self.dedup_disabled = disabled;
+    }
+}

@@ -6,13 +6,14 @@
 //! push per packet; the sketch core runs independently (Fig. 10b).
 
 use crate::ovs::Measurement;
-use crate::spsc::SpscRing;
+use crate::spsc::{RingParker, SpscRing};
 use nitro_metrics::telemetry::ShardTelemetry;
 use nitro_sketches::FlowKey;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Why a daemon could not hand its measurement back.
 #[derive(Debug)]
@@ -56,6 +57,7 @@ pub struct Observation {
 /// Producer-side handle: lives in the switching thread.
 pub struct MeasurementTap {
     ring: Arc<SpscRing<Observation>>,
+    parker: Arc<RingParker>,
     dropped: u64,
     telemetry: Option<Arc<ShardTelemetry>>,
 }
@@ -67,6 +69,9 @@ impl MeasurementTap {
     #[inline]
     pub fn offer(&mut self, key: FlowKey, ts_ns: u64) {
         if self.ring.push(Observation { key, ts_ns }) {
+            // Wake a consumer that parked on an empty ring; one fenced
+            // load while it runs hot.
+            self.parker.notify();
             if let Some(t) = &self.telemetry {
                 t.offered.incr();
             }
@@ -103,6 +108,7 @@ impl Measurement for MeasurementTap {
 pub struct MeasurementDaemon<M: Measurement + Send + 'static> {
     handle: JoinHandle<M>,
     stop: Arc<AtomicBool>,
+    parker: Arc<RingParker>,
     processed: Arc<AtomicU64>,
 }
 
@@ -135,11 +141,13 @@ fn spawn_instrumented<M: Measurement + Send + 'static>(
 ) -> (MeasurementTap, MeasurementDaemon<M>) {
     let ring = Arc::new(SpscRing::<Observation>::new(capacity));
     let stop = Arc::new(AtomicBool::new(false));
+    let parker = Arc::new(RingParker::new());
     let processed = Arc::new(AtomicU64::new(0));
 
     let handle = {
         let ring = Arc::clone(&ring);
         let stop = Arc::clone(&stop);
+        let parker = Arc::clone(&parker);
         let processed = Arc::clone(&processed);
         let telemetry = telemetry.clone();
         std::thread::spawn(move || {
@@ -152,10 +160,18 @@ fn spawn_instrumented<M: Measurement + Send + 'static>(
                         break;
                     }
                     idle_spins += 1;
-                    if idle_spins > 64 {
-                        std::thread::yield_now();
-                    } else {
+                    if idle_spins <= 64 {
+                        // Burst gaps: stay hot, wake-up latency is a
+                        // cache miss.
                         std::hint::spin_loop();
+                    } else {
+                        // Genuinely idle: park instead of stealing
+                        // scheduler quanta from the switching core. The
+                        // tap's notify ends the nap early; the timeout
+                        // bounds any lost wakeup.
+                        parker.park_timeout(Duration::from_millis(1), || {
+                            !ring.is_empty() || stop.load(Ordering::Acquire)
+                        });
                     }
                     continue;
                 }
@@ -178,12 +194,14 @@ fn spawn_instrumented<M: Measurement + Send + 'static>(
     (
         MeasurementTap {
             ring,
+            parker: Arc::clone(&parker),
             dropped: 0,
             telemetry,
         },
         MeasurementDaemon {
             handle,
             stop,
+            parker,
             processed,
         },
     )
@@ -200,6 +218,9 @@ impl<M: Measurement + Send + 'static> MeasurementDaemon<M> {
     /// poisoning the caller's thread.
     pub fn finish(self) -> Result<M, DaemonError> {
         self.stop.store(true, Ordering::Release);
+        // A consumer parked on an idle ring must see the stop flag now,
+        // not a park-timeout later.
+        self.parker.notify();
         self.handle
             .join()
             .map_err(|e| DaemonError::ConsumerPanicked(panic_message(e.as_ref())))

@@ -39,6 +39,7 @@
 
 pub mod bess;
 pub mod classifier;
+pub mod clock;
 pub mod cluster;
 pub mod control;
 pub mod cost;
@@ -53,11 +54,13 @@ pub mod parse;
 pub mod pipeline;
 pub mod replica;
 pub mod shard;
+pub mod sim;
 pub mod spsc;
 pub mod store;
 pub mod supervisor;
 pub mod vpp;
 
+pub use clock::{Clock, Nanos, SimClock, SystemClock};
 pub use cluster::{
     AggRecovery, Aggregator, AggregatorConfig, ClusterError, ClusterView, EpochStatus, NodeAgent,
     NodeAgentConfig, ReconnectDecision, ReconnectPolicy, SealOutcome, WireError,
@@ -78,7 +81,10 @@ pub use pipeline::{
 };
 pub use replica::{spawn_standby, ReplicaConfig, ReplicaSink, ReplicaWatermark, StandbyHandle};
 pub use shard::{Shard, ShardStaleness};
-pub use spsc::{SpscBoxRing, SpscRing};
+pub use sim::{
+    ExploreReport, FaultEvent, FaultKind, Oracle, Schedule, SimConfig, SimReport, Violation,
+};
+pub use spsc::{RingParker, SpscBoxRing, SpscRing};
 pub use store::{
     CheckpointSink, CheckpointStore, RecoveredFrame, RecoveryReport, ShardWriter, SinkHandle,
     StoreConfig, StoreError, STORE_VERSION,

@@ -37,6 +37,7 @@
 //! or lost in a crash window — [`nitro_metrics::DaemonHealth::unaccounted`]
 //! is zero after a clean shutdown.
 
+use crate::clock::{Clock, SystemClock};
 use crate::daemon::{panic_message, Observation};
 use crate::faults::ThreadFaultPlan;
 use crate::ovs::Measurement;
@@ -142,6 +143,11 @@ pub struct SupervisorConfig {
     /// daemon creates a detached instance readable via
     /// [`SupervisedDaemon::telemetry`].
     pub telemetry: Option<Arc<ShardTelemetry>>,
+    /// Time source for the stall watchdog and its poll/backoff sleeps.
+    /// Production uses [`SystemClock`]; deterministic tests inject a
+    /// [`crate::SimClock`] so a ten-second virtual stall costs
+    /// milliseconds of wall clock.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for SupervisorConfig {
@@ -158,6 +164,7 @@ impl Default for SupervisorConfig {
             sink: None,
             fault_plan: None,
             telemetry: None,
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -761,9 +768,10 @@ where
         })
     };
 
+    let clock = Arc::clone(&config.clock);
     let mut worker = spawn_worker(measurement, 0);
     let mut last_popped = 0u64;
-    let mut last_progress = Instant::now();
+    let mut last_progress = clock.now_ns();
     loop {
         if worker.is_finished() {
             match worker.join() {
@@ -800,7 +808,7 @@ where
                             // Exponential backoff: a crash-looping worker
                             // must not monopolise the core the datapath
                             // runs on.
-                            std::thread::sleep(wait);
+                            clock.sleep(wait);
                         }
                     }
                     let mut replacement = factory();
@@ -816,7 +824,7 @@ where
                     worker = spawn_worker(replacement, generation);
                 }
             }
-            last_progress = Instant::now();
+            last_progress = clock.now_ns();
             last_popped = shared.tel.popped.get();
             continue;
         }
@@ -825,19 +833,22 @@ where
         // a scrape between polls is at most one check interval stale.
         shared.tel.backlog.set(shared.ring.len() as u64);
         let popped = shared.tel.popped.get();
+        let now = clock.now_ns();
         if popped != last_popped {
             last_popped = popped;
-            last_progress = Instant::now();
-        } else if !shared.ring.is_empty() && last_progress.elapsed() >= config.stall_timeout {
+            last_progress = now;
+        } else if !shared.ring.is_empty()
+            && now.saturating_sub(last_progress) >= config.stall_timeout.as_nanos() as u64
+        {
             let stalls = shared.tel.stalls.add(1) + 1;
             shared.tel.event(Event::Stall {
                 shard: shared.tel.shard,
                 stalls,
             });
             shared.generation.fetch_add(1, Ordering::AcqRel);
-            last_progress = Instant::now();
+            last_progress = now;
         }
-        std::thread::sleep(config.check_interval);
+        clock.sleep(config.check_interval);
     }
 }
 
@@ -995,6 +1006,79 @@ mod tests {
         assert!(health.stalls >= 1, "watchdog never fired: {health}");
         assert_eq!(health.restarts, 0, "a stall is not a panic restart");
         assert_eq!(m.seen, 150, "cooperative restart keeps the measurement");
+        assert_eq!(health.unaccounted(), 0);
+    }
+
+    #[test]
+    fn stall_watchdog_runs_on_virtual_time() {
+        use crate::clock::SimClock;
+
+        /// Blocks inside the first `on_packet` until released, freezing
+        /// the progress counter while the ring still holds a backlog.
+        struct Gate {
+            rx: Option<std::sync::mpsc::Receiver<()>>,
+            seen: u64,
+        }
+        impl Measurement for Gate {
+            fn on_packet(&mut self, _key: FlowKey, _ts: u64, _w: f64) {
+                if let Some(rx) = self.rx.take() {
+                    let _ = rx.recv();
+                }
+                self.seen += 1;
+            }
+        }
+        impl Recoverable for Gate {
+            fn checkpoint_bytes(&self) -> Vec<u8> {
+                self.seen.to_le_bytes().to_vec()
+            }
+            fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(bytes);
+                self.seen = u64::from_le_bytes(raw);
+                Ok(())
+            }
+        }
+
+        let clock = Arc::new(SimClock::new());
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let (mut tap, daemon) = spawn_supervised(
+            Gate {
+                rx: Some(gate),
+                seen: 0,
+            },
+            || Gate { rx: None, seen: 0 },
+            SupervisorConfig {
+                ring_capacity: 256,
+                // Ten *virtual* seconds: under the system clock this test
+                // would take 10 s of wall time; under SimClock the
+                // supervisor's own polling advances time, so the stall
+                // fires in milliseconds.
+                stall_timeout: Duration::from_secs(10),
+                check_interval: Duration::from_millis(1),
+                clock: clock.clone(),
+                ..Default::default()
+            },
+        );
+        for i in 0..100u64 {
+            tap.offer(i, i);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.telemetry().health().stalls == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "virtual-time watchdog never fired"
+            );
+            std::thread::yield_now();
+        }
+        assert!(
+            clock.now_ns() >= Duration::from_secs(10).as_nanos() as u64,
+            "stall declared before the virtual timeout elapsed"
+        );
+        release.send(()).unwrap();
+        let (m, health) = daemon.finish().unwrap();
+        assert!(health.stalls >= 1);
+        assert_eq!(health.restarts, 0, "a stall is not a panic restart");
+        assert_eq!(m.seen, 100, "cooperative restart keeps the measurement");
         assert_eq!(health.unaccounted(), 0);
     }
 

@@ -26,7 +26,7 @@ use nitrosketch::metrics::telemetry::Event;
 use nitrosketch::metrics::TelemetryRegistry;
 use nitrosketch::sketches::{Checkpoint, CountMin};
 use nitrosketch::switch::{
-    Aggregator, AggregatorConfig, ChaosProxy, CheckpointStore, NetFaultPlan, NodeAgent,
+    Aggregator, AggregatorConfig, ChaosProxy, CheckpointStore, MergedView, NetFaultPlan, NodeAgent,
     NodeAgentConfig, PipelineConfig, ReconnectPolicy, ShardedPipeline, ShardedTap, StoreConfig,
     SupervisorConfig,
 };
@@ -395,5 +395,161 @@ fn aggregator_killed_mid_epoch_recovers_from_durable_log_behind_chaos_proxies() 
     for p in proxies {
         p.shutdown();
     }
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
+
+/// Regression: a recovered aggregator hit by a *concurrent reconnect
+/// storm* must never double-merge a backfilled frame.
+///
+/// The hazard: `connect()` writes backfill frames into the socket and
+/// returns before the aggregator merges them. A node that severs and
+/// redials immediately gets a `HelloAck` whose `last_epoch` watermark
+/// predates its own in-flight frames, so it re-offers the same epoch —
+/// and with several nodes slamming the listener at once the aggregator
+/// sees the same frame many times over, across interleaved connections.
+/// The reporting-set dedup must reject every duplicate; with p = 1
+/// counters, a single double-merge doubles a point estimate and the
+/// exact-equality assertions below catch it.
+#[test]
+fn recovered_aggregator_survives_reconnect_storm_without_double_merge() {
+    const STORM_NODES: u32 = 4;
+    const STORM_ROUNDS: usize = 8;
+    // Distinct per-(node, epoch) loads so any duplicate merge is visible
+    // in both the packet totals and the per-key estimates.
+    let count_for = |node: u32, epoch: u64| 1_000 + 100 * u64::from(node) + epoch;
+    let key_for = |node: u32| 0xFEED_0000 + u64::from(node);
+    let seal_view = |node: u32, epoch: u64| {
+        let mut s = template();
+        for _ in 0..count_for(node, epoch) {
+            s.process(key_for(node), 1.0);
+        }
+        MergedView::from_sketch(epoch, s)
+    };
+    let epoch_total = |epoch: u64| (0..STORM_NODES).map(|n| count_for(n, epoch)).sum::<u64>();
+
+    let log_dir = fresh_dir("stormlog");
+    let agg_cfg = AggregatorConfig {
+        heartbeat_timeout: Duration::from_millis(500),
+        keep_epochs: 64,
+        log_dir: Some(log_dir.clone()),
+        ..Default::default()
+    };
+    let agg: Aggregator<CountMin> =
+        Aggregator::spawn(template(), "127.0.0.1:0", agg_cfg.clone()).expect("spawn aggregator");
+    let fingerprint = template().inner().fingerprint();
+
+    let mut agents: Vec<NodeAgent> = (0..STORM_NODES)
+        .map(|n| {
+            let mut cfg = NodeAgentConfig::new(n, fingerprint);
+            cfg.reconnect = ReconnectPolicy {
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+                jitter: 0.25,
+                max_attempts: 10_000,
+                seed: u64::from(n),
+            };
+            let mut agent =
+                NodeAgent::open(fresh_dir(&format!("storm{n}")), cfg).expect("open agent");
+            assert_eq!(agent.connect(agg.local_addr()).expect("handshake"), 0);
+            agent
+        })
+        .collect();
+
+    // Epochs 1-2 seal live; the aggregator logs and merges each frame
+    // exactly once.
+    for epoch in 1..=2u64 {
+        for (n, agent) in agents.iter_mut().enumerate() {
+            let view = seal_view(n as u32, epoch);
+            assert!(
+                agent
+                    .seal_epoch(epoch, &view, f64::MAX)
+                    .expect("seal")
+                    .delivered
+            );
+        }
+        wait_complete(&agg, &mut agents, epoch);
+        assert_eq!(
+            agg.view(epoch).expect("live view").packets(),
+            epoch_total(epoch)
+        );
+    }
+
+    // Crash mid-epoch 3: connections drop, every node's epoch-3 seal
+    // lands durable-only in its own log.
+    for a in &mut agents {
+        a.sever();
+    }
+    agg.shutdown();
+    for (n, agent) in agents.iter_mut().enumerate() {
+        let view = seal_view(n as u32, 3);
+        let out = agent.seal_epoch(3, &view, f64::MAX).expect("seal");
+        assert!(!out.delivered, "node {n} must degrade to local-durable");
+    }
+
+    let (agg, recovery) =
+        Aggregator::recover(template(), "127.0.0.1:0", &log_dir, agg_cfg).expect("recover");
+    assert_eq!(recovery.epochs, 2);
+    assert!(agg.epoch_status(1).is_complete());
+    assert!(agg.epoch_status(2).is_complete());
+    assert!(!agg.epoch_status(3).is_complete());
+
+    // The storm: every node redials the recovered aggregator at once,
+    // severing right after each connect so in-flight backfill races the
+    // next handshake's watermark. The final connect per node is retried
+    // until it sticks.
+    let addr = agg.local_addr();
+    let handles: Vec<_> = agents
+        .into_iter()
+        .map(|mut agent| {
+            std::thread::spawn(move || {
+                for _ in 0..STORM_ROUNDS {
+                    let _ = agent.connect(addr);
+                    agent.sever();
+                }
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while agent.connect(addr).is_err() {
+                    assert!(Instant::now() < deadline, "final reconnect never stuck");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                agent
+            })
+        })
+        .collect();
+    let mut agents: Vec<NodeAgent> = handles
+        .into_iter()
+        .map(|h| h.join().expect("storm thread"))
+        .collect();
+
+    wait_complete(&agg, &mut agents, 3);
+
+    // Exactly-once accounting: every epoch's packet total and every
+    // node's point estimate equal the single-delivery ground truth, no
+    // matter how many times the storm re-offered a frame.
+    for epoch in 1..=3u64 {
+        let view = agg.view(epoch).expect("post-storm view");
+        assert_eq!(
+            view.packets(),
+            epoch_total(epoch),
+            "epoch {epoch} packets must reflect exactly-once merges"
+        );
+        for n in 0..STORM_NODES {
+            assert_eq!(
+                view.estimate(key_for(n)),
+                count_for(n, epoch) as f64,
+                "node {n} epoch {epoch} estimate inflated: a frame merged twice"
+            );
+        }
+    }
+    for (n, agent) in agents.iter().enumerate() {
+        assert!(
+            agent.backfilled() >= 1,
+            "node {n} never replayed its epoch-3 frame — storm exercised nothing"
+        );
+    }
+
+    for a in agents {
+        a.close();
+    }
+    agg.shutdown();
     let _ = std::fs::remove_dir_all(&log_dir);
 }

@@ -2,12 +2,25 @@
 //! every well-formed frame round-trips bit-exactly, and every damaged
 //! frame — truncated, bit-flipped, version-bumped — is rejected with a
 //! typed [`WireError`], never a panic and never a silent misparse.
+//!
+//! A second block drives the sans-io [`AggregatorSession`] directly with
+//! duplicated and reordered seal-frame deliveries — the traffic a
+//! reconnect storm's backfills actually produce — asserting merge
+//! idempotence (packets counted exactly once), epoch completeness, and
+//! watermark/completeness monotonicity.
 
+use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::hash::SplitMix64;
+use nitrosketch::sketches::{Checkpoint, CountMin};
+use nitrosketch::switch::cluster::proto::{encode_seal_frame, AggregatorSession};
 use nitrosketch::switch::cluster::wire::{
     decode_epoch_payload, encode_epoch_payload, Message, WireError, WIRE_VERSION,
 };
+use nitrosketch::switch::cluster::{AggOutput, ConnId};
 use nitrosketch::switch::EpochReport;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Deterministically expand a handful of drawn scalars into one of the
 /// five message variants. (The offline proptest stand-in has no
@@ -213,6 +226,199 @@ proptest! {
                 decode_epoch_payload(&payload[..cut]).is_err(),
                 "prefix {cut} decoded"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sans-io aggregator session under duplicated / reordered delivery
+// ---------------------------------------------------------------------------
+
+/// The sketch every simulated node and the aggregator share; geometry and
+/// seeds must match for the fingerprint handshake to admit the node.
+fn agg_template() -> NitroSketch<CountMin> {
+    NitroSketch::new(CountMin::new(2, 128, 9), Mode::Fixed { p: 1.0 }, 3).with_topk(16)
+}
+
+/// One node's wire-correct seal message for `epoch`, a pure function of
+/// `(node, epoch)` so a redelivery is byte-identical to the original.
+/// Returns the message and the packet count its report claims.
+fn seal_message(node: u32, epoch: u64, backfill: bool) -> (Message, u64) {
+    let mut sketch = agg_template();
+    let mut rng = SplitMix64::new(((node as u64) << 32) | epoch);
+    let packets = 3 + rng.next_u64() % 6;
+    for _ in 0..packets {
+        sketch.process(rng.next_u64() % 16, 1.0);
+    }
+    let report = EpochReport {
+        switch_id: node,
+        epoch,
+        packets,
+        heavy_hitters: sketch.heavy_hitters(0.0),
+        entropy_bits: f64::NAN,
+        distinct: f64::NAN,
+        l2: 0.0,
+        memory_bytes: 0,
+    };
+    let payload = encode_epoch_payload(&report, &sketch.snapshot());
+    let frame = encode_seal_frame(node, 1, epoch, epoch, &payload);
+    (
+        Message::SealEpoch {
+            node_id: node,
+            epoch,
+            backfill,
+            frame,
+        },
+        packets,
+    )
+}
+
+/// Open a connection and run the `Hello` handshake for `node`; panics if
+/// the aggregator refuses. Returns the bound connection and the
+/// `last_epoch` watermark the ack carried.
+fn join(session: &mut AggregatorSession<CountMin>, node: u32, fingerprint: u64) -> (ConnId, u64) {
+    let conn = session.conn_open();
+    session.on_message(
+        conn,
+        Message::Hello {
+            node_id: node,
+            generation: 1,
+            next_epoch: 1,
+            fingerprint,
+        },
+        0,
+    );
+    for out in session.drain() {
+        if let AggOutput::Send {
+            msg:
+                Message::HelloAck {
+                    accepted,
+                    last_epoch,
+                    ..
+                },
+            ..
+        } = out
+        {
+            assert!(accepted, "n{node}: handshake refused");
+            return (conn, last_epoch);
+        }
+    }
+    panic!("n{node}: no HelloAck in handshake outputs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same seal frame delivered several times — fresh or flagged as
+    /// backfill, the redelivery traffic a reconnect storm produces —
+    /// merges exactly once: per-epoch packets equal the sum of each
+    /// node's single seal, every epoch completes, and every node reports
+    /// exactly once.
+    #[test]
+    fn duplicated_seal_frames_merge_exactly_once(
+        dup in 1usize..4,
+        nodes in 1usize..4,
+        epochs in 1usize..5,
+        backfill_bits in prop::num::u64::ANY,
+    ) {
+        let template = agg_template();
+        let fp = template.inner().fingerprint();
+        let mut session = AggregatorSession::new(template, 0, Duration::from_secs(3600));
+        let conns: Vec<ConnId> = (0..nodes)
+            .map(|n| join(&mut session, n as u32, fp).0)
+            .collect();
+        let mut want: BTreeMap<u64, u64> = BTreeMap::new();
+        for (n, &conn) in conns.iter().enumerate() {
+            for e in 1..=epochs as u64 {
+                let bit = (n as u64).wrapping_mul(epochs as u64).wrapping_add(e) % 64;
+                let backfill = (backfill_bits >> bit) & 1 == 1;
+                let (msg, packets) = seal_message(n as u32, e, backfill);
+                *want.entry(e).or_insert(0) += packets;
+                for _ in 0..dup {
+                    session.on_message(conn, msg.clone(), e);
+                    let _ = session.drain();
+                }
+            }
+        }
+        for e in 1..=epochs as u64 {
+            prop_assert_eq!(session.packets_of(e), Some(want[&e]), "epoch {}", e);
+            prop_assert!(
+                session.status_of(e).is_complete(),
+                "epoch {} not complete: {:?}", e, session.status_of(e)
+            );
+            let reporting = session.reporting_of(e).expect("epoch has frames");
+            prop_assert_eq!(
+                reporting.len(), nodes,
+                "epoch {}: duplicate deliveries changed the reporting set", e
+            );
+        }
+    }
+
+    /// A fully shuffled interleaving of every node's seals, each
+    /// duplicated, across connections: packets still count exactly once,
+    /// an epoch that turns `Complete` never regresses while the rest of
+    /// the storm lands (the member set is fixed here), `latest_complete`
+    /// is monotone, and a fresh handshake afterwards acks the true
+    /// high-water mark for every node.
+    #[test]
+    fn reordered_duplicated_delivery_is_idempotent_and_monotone(
+        order_seed in prop::num::u64::ANY,
+        dup in 1usize..3,
+        nodes in 2usize..4,
+        epochs in 2usize..6,
+    ) {
+        let template = agg_template();
+        let fp = template.inner().fingerprint();
+        let mut session = AggregatorSession::new(template, 0, Duration::from_secs(3600));
+        let conns: Vec<ConnId> = (0..nodes)
+            .map(|n| join(&mut session, n as u32, fp).0)
+            .collect();
+
+        // Build the duplicated delivery plan, then shuffle it.
+        let mut plan: Vec<(usize, Message)> = Vec::new();
+        let mut want: BTreeMap<u64, u64> = BTreeMap::new();
+        for n in 0..nodes {
+            for e in 1..=epochs as u64 {
+                let (msg, packets) = seal_message(n as u32, e, true);
+                *want.entry(e).or_insert(0) += packets;
+                for _ in 0..dup {
+                    plan.push((n, msg.clone()));
+                }
+            }
+        }
+        let mut rng = SplitMix64::new(order_seed);
+        for i in (1..plan.len()).rev() {
+            plan.swap(i, (rng.next_u64() % (i as u64 + 1)) as usize);
+        }
+
+        let mut complete: Vec<bool> = vec![false; epochs + 1];
+        let mut best = session.latest_complete();
+        for (at, (n, msg)) in plan.into_iter().enumerate() {
+            session.on_message(conns[n], msg, at as u64);
+            let _ = session.drain();
+            for e in 1..=epochs as u64 {
+                let is = session.status_of(e).is_complete();
+                prop_assert!(
+                    is || !complete[e as usize],
+                    "epoch {} regressed from Complete mid-storm",
+                    e
+                );
+                complete[e as usize] = is;
+            }
+            let latest = session.latest_complete();
+            prop_assert!(latest >= best, "latest_complete went backwards");
+            best = latest;
+        }
+
+        for e in 1..=epochs as u64 {
+            prop_assert_eq!(session.packets_of(e), Some(want[&e]), "epoch {}", e);
+            prop_assert!(session.status_of(e).is_complete(), "epoch {}", e);
+        }
+        // A reconnect's ack carries the per-node watermark: it must be the
+        // max sealed epoch no matter what order the frames landed in.
+        for n in 0..nodes {
+            let (_, last_epoch) = join(&mut session, n as u32, fp);
+            prop_assert_eq!(last_epoch, epochs as u64, "n{} watermark", n);
         }
     }
 }
