@@ -15,8 +15,10 @@
 
 use nitro_bench::scaled;
 use nitro_core::{Mode, NitroSketch};
+use nitro_metrics::scrape::ScrapeSnapshot;
 use nitro_metrics::Table;
 use nitro_sketches::CountSketch;
+use nitro_switch::console::ConsoleApp;
 use nitro_switch::pipeline::{spawn_sharded, PipelineConfig};
 use nitro_switch::supervisor::SupervisorConfig;
 use nitro_traffic::{GroundTruth, Zipf};
@@ -174,6 +176,65 @@ fn run_with_scraper(keys: &[u64], shards: usize, scrape: bool) -> (f64, u64) {
     (fleet.total().processed as f64 / elapsed / 1e6, scrapes)
 }
 
+/// `nitro top`'s data path over one real scrape document: µs to parse a
+/// `render_json` page into a typed `ScrapeSnapshot`, and µs for a full
+/// console cycle (parse + rate-delta push + 100-column frame render).
+/// Returns `(parse_us, cycle_us, doc_bytes, render_prom_us, render_json_us)`.
+fn console_costs(keys: &[u64], shards: usize) -> (f64, f64, usize, f64, f64) {
+    let (mut tap, pipeline) = spawn_sharded(
+        factory,
+        PipelineConfig {
+            shards,
+            supervisor: SupervisorConfig {
+                ring_capacity: (2 * keys.len() / shards.max(1)).next_power_of_two(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("spawn fleet");
+    for (i, &k) in keys.iter().enumerate() {
+        tap.offer(k, i as u64);
+    }
+    let registry = Arc::clone(pipeline.telemetry());
+    let doc = pipeline.scrape_json();
+    let iters = 200u32;
+    let per_iter_us = |start: std::time::Instant| -> f64 {
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+    };
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(registry.render_prometheus());
+    }
+    let render_prom_us = per_iter_us(start);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(registry.render_json());
+    }
+    let render_json_us = per_iter_us(start);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(ScrapeSnapshot::parse(&doc).expect("scrape parses"));
+    }
+    let parse_us = per_iter_us(start);
+    let mut app = ConsoleApp::new();
+    let start = std::time::Instant::now();
+    for i in 0..iters {
+        let snap = ScrapeSnapshot::parse(&doc).expect("scrape parses");
+        app.push(u64::from(i) * 200, snap, Vec::new());
+        std::hint::black_box(app.draw(100).to_plain());
+    }
+    let cycle_us = per_iter_us(start);
+    let _ = pipeline.finish().expect("clean run");
+    (
+        parse_us,
+        cycle_us,
+        doc.len(),
+        render_prom_us,
+        render_json_us,
+    )
+}
+
 fn main() {
     let n = scaled(2_000_000);
     let mut z = Zipf::new(50_000, 1.2, 67);
@@ -326,6 +387,53 @@ fn main() {
             "scrape overhead check: skipped — {cores} core(s) available \
              (assertion requires >= 5 cores)"
         );
+    }
+
+    // Console data-path micro-bench: what one `nitro top` refresh costs
+    // an operator box — scrape render, typed parse, and a full frame
+    // composition. These are control-plane numbers (hundreds of µs are
+    // fine at a 200 ms cadence) but they gate how cheap recording and
+    // replay stay as the fleet grows.
+    let (parse_us, cycle_us, doc_bytes, render_prom_us, render_json_us) = console_costs(&probe, 4);
+    let mut console = Table::new(
+        &format!("Console data path (4 shards, {doc_bytes}-byte scrape document, 200 iters)"),
+        &["operation", "µs/op"],
+    );
+    console.row(&[
+        "render Prometheus page".to_string(),
+        format!("{render_prom_us:.1}"),
+    ]);
+    console.row(&[
+        "render JSON scrape".to_string(),
+        format!("{render_json_us:.1}"),
+    ]);
+    console.row(&[
+        "parse → ScrapeSnapshot".to_string(),
+        format!("{parse_us:.1}"),
+    ]);
+    console.row(&[
+        "console cycle (parse+push+draw)".to_string(),
+        format!("{cycle_us:.1}"),
+    ]);
+    println!("{}", console.render());
+
+    // Machine-readable perf baseline for the per-PR trajectory the
+    // ROADMAP asks for: rewritten in the workspace root on every run of
+    // this bench, checked in alongside the code that moved the numbers.
+    let bench_json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"scale\": {},\n  \"cores\": {cores},\n  \
+         \"observations\": {n},\n  \"scrape_overhead\": {{\n    \"quiet_mpps\": {quiet_mpps:.3},\n    \
+         \"scraped_mpps\": {scraped_mpps:.3},\n    \"regression\": {regression:.4},\n    \
+         \"scrapes\": {scrapes}\n  }},\n  \"scrape_render_us\": {{\n    \
+         \"prometheus\": {render_prom_us:.2},\n    \"json\": {render_json_us:.2}\n  }},\n  \
+         \"console_us\": {{\n    \"parse\": {parse_us:.2},\n    \"cycle\": {cycle_us:.2},\n    \
+         \"shards\": 4,\n    \"doc_bytes\": {doc_bytes}\n  }}\n}}\n",
+        nitro_bench::scale(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    match std::fs::write(out, &bench_json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
     }
 
     // The scaling claim: 4 shards ≥ 2× the single-consumer daemon — only

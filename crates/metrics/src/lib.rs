@@ -11,14 +11,21 @@
 pub mod errors;
 pub mod fleet;
 pub mod health;
+pub mod json;
+pub mod scrape;
 pub mod table;
 pub mod telemetry;
 
 pub use errors::{mean_relative_error, precision, recall, relative_error, ErrorSummary, MultiRun};
 pub use fleet::FleetHealth;
 pub use health::{CircuitBreaker, DaemonHealth};
+pub use json::{Json, JsonError};
+pub use scrape::{
+    parse_recording, read_recording, ClusterSnapshot, DeltaCounters, HistSummary, RecordedFrame,
+    ScrapeError, ScrapeRecorder, ScrapeSnapshot, ShardSnapshot,
+};
 pub use table::Table;
 pub use telemetry::{
     escape_label, ClusterTelemetry, Event, EventJournal, LatencyHistogram, MeasurementGauges,
-    SequencedEvent, ShardTelemetry, TelemetryCell, TelemetryRegistry,
+    NodeWatermark, SequencedEvent, ShardTelemetry, TelemetryCell, TelemetryRegistry,
 };

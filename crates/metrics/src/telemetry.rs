@@ -961,6 +961,21 @@ impl ShardTelemetry {
     }
 }
 
+/// One cluster node's epoch watermark as the aggregator sees it —
+/// published as a batch snapshot into [`ClusterTelemetry::publish_nodes`]
+/// so a scrape (and the `nitro top` per-node panel) can show who is
+/// connected and how far each node's sealed epochs have reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NodeWatermark {
+    /// Operator-assigned node id.
+    pub node: u32,
+    /// Newest epoch the aggregator holds a frame for from this node
+    /// (0: none yet).
+    pub last_epoch: u64,
+    /// Whether the node currently holds a live connection.
+    pub connected: bool,
+}
+
 /// Live counters and gauges of a cluster aggregator — the network-wide
 /// measurement plane's control-side telemetry. Registered lazily via
 /// [`TelemetryRegistry::cluster`]; a registry that never hosts an
@@ -1003,6 +1018,23 @@ pub struct ClusterTelemetry {
     /// Jittered reconnect backoffs scheduled by disconnected agents
     /// (counter; agent-side, populated when agents share this registry).
     pub reconnect_backoffs: TelemetryCell,
+    /// Per-node epoch watermarks, refreshed as a whole snapshot by the
+    /// aggregator's session lock holder (control-plane cadence, never the
+    /// hot path — hence the one mutex in this otherwise atomic struct).
+    nodes: Mutex<Vec<NodeWatermark>>,
+}
+
+impl ClusterTelemetry {
+    /// Replace the per-node watermark snapshot (aggregator-side).
+    pub fn publish_nodes(&self, mut nodes: Vec<NodeWatermark>) {
+        nodes.sort_by_key(|n| n.node);
+        *self.nodes.lock().unwrap_or_else(|p| p.into_inner()) = nodes;
+    }
+
+    /// The current per-node watermark snapshot, ordered by node id.
+    pub fn node_watermarks(&self) -> Vec<NodeWatermark> {
+        self.nodes.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
 }
 
 /// The fleet-wide telemetry plane: every live and retired shard instance,
@@ -1142,69 +1174,183 @@ impl TelemetryRegistry {
         total
     }
 
-    /// Render the whole plane in Prometheus text exposition format:
-    /// one `# TYPE` line per family, counters over live + retired
+    /// Render the whole plane in Prometheus text exposition format: one
+    /// `# HELP` + `# TYPE` pair per family, counters over live + retired
     /// instances, gauges over live only, histograms as
-    /// `_bucket`/`_sum`/`_count` with log2 `le` bounds.
+    /// `_bucket`/`_sum`/`_count` with cumulative log2 `le` bounds and a
+    /// terminal `+Inf` bucket.
     pub fn render_prometheus(&self) -> String {
         let live = self.live_shards();
         let retired = self.retired_shards();
         let mut out = String::with_capacity(8 * 1024);
+        let family = |out: &mut String, name: &str, kind: &str, help: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
 
         type CounterFn = fn(&ShardTelemetry) -> u64;
-        let counters: &[(&str, CounterFn)] = &[
-            ("nitro_offered_total", |t| t.offered.get()),
-            ("nitro_processed_total", |t| t.processed.get()),
-            ("nitro_dropped_total", |t| t.dropped.get()),
-            ("nitro_lost_in_crash_total", |t| t.health().lost_in_crash),
-            ("nitro_restarts_total", |t| t.restarts.get()),
-            ("nitro_stalls_total", |t| t.stalls.get()),
-            ("nitro_checkpoints_total", |t| t.checkpoints.get()),
-            ("nitro_persisted_total", |t| t.persisted.get()),
-            ("nitro_restores_total", |t| t.restores.get()),
-            ("nitro_downshifts_total", |t| t.downshifts.get()),
-            ("nitro_delta_streamed_total", |t| t.delta_streamed.get()),
-            ("nitro_delta_lagged_total", |t| t.delta_lagged.get()),
-            ("nitro_delta_applied_total", |t| t.delta_applied.get()),
-            ("nitro_delta_rejected_total", |t| t.delta_rejected.get()),
-            ("nitro_delta_stale_total", |t| t.delta_stale.get()),
-            ("nitro_frames_persisted_total", |t| t.frames_persisted.get()),
-            ("nitro_bytes_persisted_total", |t| t.bytes_persisted.get()),
+        let counters: &[(&str, &str, CounterFn)] = &[
+            (
+                "nitro_offered_total",
+                "Observations offered by the switch thread.",
+                |t| t.offered.get(),
+            ),
+            (
+                "nitro_processed_total",
+                "Observations applied to the sketch.",
+                |t| t.processed.get(),
+            ),
+            (
+                "nitro_dropped_total",
+                "Observations rejected at a full ring.",
+                |t| t.dropped.get(),
+            ),
+            (
+                "nitro_lost_in_crash_total",
+                "Observations popped but lost to a worker crash.",
+                |t| t.health().lost_in_crash,
+            ),
+            ("nitro_restarts_total", "Worker panic restarts.", |t| {
+                t.restarts.get()
+            }),
+            ("nitro_stalls_total", "Watchdog-detected stalls.", |t| {
+                t.stalls.get()
+            }),
+            (
+                "nitro_checkpoints_total",
+                "Checkpoints taken by the worker.",
+                |t| t.checkpoints.get(),
+            ),
+            ("nitro_persisted_total", "Checkpoints made durable.", |t| {
+                t.persisted.get()
+            }),
+            (
+                "nitro_restores_total",
+                "Checkpoints restored into replacement workers.",
+                |t| t.restores.get(),
+            ),
+            (
+                "nitro_downshifts_total",
+                "Sampling downshifts applied under backpressure.",
+                |t| t.downshifts.get(),
+            ),
+            (
+                "nitro_delta_streamed_total",
+                "Delta frames streamed toward the standby.",
+                |t| t.delta_streamed.get(),
+            ),
+            (
+                "nitro_delta_lagged_total",
+                "Delta frames dropped at a full delta ring.",
+                |t| t.delta_lagged.get(),
+            ),
+            (
+                "nitro_delta_applied_total",
+                "Delta frames applied into the shadow sketch.",
+                |t| t.delta_applied.get(),
+            ),
+            (
+                "nitro_delta_rejected_total",
+                "Delta frames rejected (framing, checksum, version, restore).",
+                |t| t.delta_rejected.get(),
+            ),
+            (
+                "nitro_delta_stale_total",
+                "Delta frames skipped as not newer than the watermark.",
+                |t| t.delta_stale.get(),
+            ),
+            (
+                "nitro_frames_persisted_total",
+                "CRC frames appended to the durable segment log.",
+                |t| t.frames_persisted.get(),
+            ),
+            (
+                "nitro_bytes_persisted_total",
+                "Payload bytes appended to the durable segment log.",
+                |t| t.bytes_persisted.get(),
+            ),
         ];
-        for (name, get) in counters {
-            out.push_str(&format!("# TYPE {name} counter\n"));
+        for (name, help, get) in counters {
+            family(&mut out, name, "counter", help);
             for tel in live.iter().chain(retired.iter()) {
                 out.push_str(&format!("{name}{{{}}} {}\n", labels_of(tel), get(tel)));
             }
         }
 
         type GaugeFn = fn(&ShardTelemetry) -> u64;
-        let gauges: &[(&str, GaugeFn)] = &[
-            ("nitro_ring_capacity", |t| t.ring_capacity.get()),
-            ("nitro_backlog", |t| t.backlog.get()),
-            ("nitro_mode_code", |t| t.mode_code.get()),
-            ("nitro_converged", |t| t.converged.get()),
-            ("nitro_topk_len", |t| t.topk_len.get()),
-            ("nitro_breaker_open", |t| t.breaker_open.get()),
-            ("nitro_failed", |t| t.failed.get()),
-            ("nitro_generation", |t| t.generation.get()),
-            ("nitro_seq_band", |t| t.seq_band.get()),
+        let gauges: &[(&str, &str, GaugeFn)] = &[
+            ("nitro_ring_capacity", "Ring capacity in slots.", |t| {
+                t.ring_capacity.get()
+            }),
+            (
+                "nitro_backlog",
+                "Observations queued in the ring at scrape time.",
+                |t| t.backlog.get(),
+            ),
+            (
+                "nitro_mode_code",
+                "Sampling-mode discriminant (0 Fixed, 1 AlwaysLineRate, 2 AlwaysCorrect).",
+                |t| t.mode_code.get(),
+            ),
+            (
+                "nitro_converged",
+                "Whether the mode's guarantees currently hold (0/1).",
+                |t| t.converged.get(),
+            ),
+            ("nitro_topk_len", "Heavy-key tracker occupancy.", |t| {
+                t.topk_len.get()
+            }),
+            (
+                "nitro_breaker_open",
+                "Whether the shard's circuit breaker is latched open (0/1).",
+                |t| t.breaker_open.get(),
+            ),
+            (
+                "nitro_failed",
+                "Whether the restart budget is spent (0/1).",
+                |t| t.failed.get(),
+            ),
+            (
+                "nitro_generation",
+                "Fleet generation this instance writes durable frames under.",
+                |t| t.generation.get(),
+            ),
+            (
+                "nitro_seq_band",
+                "Sequence band this instance's frames are stamped into.",
+                |t| t.seq_band.get(),
+            ),
         ];
-        for (name, get) in gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n"));
+        for (name, help, get) in gauges {
+            family(&mut out, name, "gauge", help);
             for tel in &live {
                 out.push_str(&format!("{name}{{{}}} {}\n", labels_of(tel), get(tel)));
             }
         }
         type GaugeF64Fn = fn(&ShardTelemetry) -> f64;
-        let f64_gauges: &[(&str, GaugeF64Fn)] = &[
-            ("nitro_ring_occupancy", |t| t.ring_occupancy.get_f64()),
-            ("nitro_sampling_probability", |t| t.sampling_p.get_f64()),
-            ("nitro_skew_load_factor", |t| t.skew_load.get_f64()),
-            ("nitro_sign_bias", |t| t.sign_bias.get_f64()),
+        let f64_gauges: &[(&str, &str, GaugeF64Fn)] = &[
+            (
+                "nitro_ring_occupancy",
+                "Ring fill fraction in [0, 1].",
+                |t| t.ring_occupancy.get_f64(),
+            ),
+            (
+                "nitro_sampling_probability",
+                "Current sampling probability p.",
+                |t| t.sampling_p.get_f64(),
+            ),
+            (
+                "nitro_skew_load_factor",
+                "Collision-skew load factor from the last epoch view.",
+                |t| t.skew_load.get_f64(),
+            ),
+            (
+                "nitro_sign_bias",
+                "Sign-bias skew in [0, 1] (NaN for unsigned sketches).",
+                |t| t.sign_bias.get_f64(),
+            ),
         ];
-        for (name, get) in f64_gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n"));
+        for (name, help, get) in f64_gauges {
+            family(&mut out, name, "gauge", help);
             for tel in &live {
                 out.push_str(&format!(
                     "{name}{{{}}} {}\n",
@@ -1215,82 +1361,186 @@ impl TelemetryRegistry {
         }
 
         type HistFn = fn(&ShardTelemetry) -> &LatencyHistogram;
-        let hists: &[(&str, HistFn)] = &[
-            ("nitro_batch_ns", |t| &t.batch_ns),
-            ("nitro_persist_ns", |t| &t.persist_ns),
-            ("nitro_delta_apply_ns", |t| &t.delta_apply_ns),
+        let hists: &[(&str, &str, HistFn)] = &[
+            (
+                "nitro_batch_ns",
+                "Per-batch processing latency (pop to sketch-applied), nanoseconds.",
+                |t| &t.batch_ns,
+            ),
+            (
+                "nitro_persist_ns",
+                "Durable checkpoint persist latency, nanoseconds.",
+                |t| &t.persist_ns,
+            ),
+            (
+                "nitro_delta_apply_ns",
+                "Standby delta-apply latency, nanoseconds.",
+                |t| &t.delta_apply_ns,
+            ),
         ];
-        for (name, get) in hists {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+        for (name, help, get) in hists {
+            family(&mut out, name, "histogram", help);
             for tel in &live {
                 prom_histogram(&mut out, name, &labels_of(tel), get(tel));
             }
         }
 
-        out.push_str("# TYPE nitro_promotion_duration_ns histogram\n");
+        family(
+            &mut out,
+            "nitro_promotion_duration_ns",
+            "histogram",
+            "Standby promotion duration (stop standby to re-steer), nanoseconds.",
+        );
         prom_histogram(
             &mut out,
             "nitro_promotion_duration_ns",
             "",
             &self.promotion_ns,
         );
+        family(
+            &mut out,
+            "nitro_shards_live",
+            "gauge",
+            "Live shard instances.",
+        );
+        out.push_str(&format!("nitro_shards_live {}\n", live.len()));
+        family(
+            &mut out,
+            "nitro_shards_retired",
+            "gauge",
+            "Retired shard instances (promoted or drained away).",
+        );
+        out.push_str(&format!("nitro_shards_retired {}\n", retired.len()));
+        family(
+            &mut out,
+            "nitro_events_recorded_total",
+            "counter",
+            "Journal events recorded.",
+        );
         out.push_str(&format!(
-            "# TYPE nitro_shards_live gauge\nnitro_shards_live {}\n",
-            live.len()
-        ));
-        out.push_str(&format!(
-            "# TYPE nitro_shards_retired gauge\nnitro_shards_retired {}\n",
-            retired.len()
-        ));
-        out.push_str(&format!(
-            "# TYPE nitro_events_recorded_total counter\nnitro_events_recorded_total {}\n",
+            "nitro_events_recorded_total {}\n",
             self.journal.recorded()
         ));
+        family(
+            &mut out,
+            "nitro_events_dropped_total",
+            "counter",
+            "Journal events dropped at a full ring.",
+        );
         out.push_str(&format!(
-            "# TYPE nitro_events_dropped_total counter\nnitro_events_dropped_total {}\n",
+            "nitro_events_dropped_total {}\n",
             self.journal.dropped()
         ));
         if let Some(c) = self.cluster_telemetry() {
             type ClusterFn = fn(&ClusterTelemetry) -> u64;
-            let cluster_counters: &[(&str, ClusterFn)] = &[
-                ("nitro_cluster_epochs_sealed_total", |c| {
-                    c.epochs_sealed.get()
-                }),
-                ("nitro_cluster_node_losses_total", |c| c.node_losses.get()),
-                ("nitro_cluster_backfill_frames_total", |c| {
-                    c.backfill_frames.get()
-                }),
-                ("nitro_cluster_frames_received_total", |c| {
-                    c.frames_received.get()
-                }),
-                ("nitro_cluster_frames_rejected_total", |c| {
-                    c.frames_rejected.get()
-                }),
-                ("nitro_cluster_heartbeats_total", |c| c.heartbeats.get()),
-                ("nitro_cluster_log_records_total", |c| c.log_records.get()),
-                ("nitro_cluster_log_persist_failures_total", |c| {
-                    c.log_persist_failures.get()
-                }),
-                ("nitro_cluster_reconnect_backoffs_total", |c| {
-                    c.reconnect_backoffs.get()
-                }),
+            let cluster_counters: &[(&str, &str, ClusterFn)] = &[
+                (
+                    "nitro_cluster_epochs_sealed_total",
+                    "Cluster epochs sealed complete.",
+                    |c| c.epochs_sealed.get(),
+                ),
+                (
+                    "nitro_cluster_node_losses_total",
+                    "Node-loss declarations (dead connections or silent heartbeats).",
+                    |c| c.node_losses.get(),
+                ),
+                (
+                    "nitro_cluster_backfill_frames_total",
+                    "Durable frames replayed by reconnecting nodes.",
+                    |c| c.backfill_frames.get(),
+                ),
+                (
+                    "nitro_cluster_frames_received_total",
+                    "Epoch frames accepted and merged.",
+                    |c| c.frames_received.get(),
+                ),
+                (
+                    "nitro_cluster_frames_rejected_total",
+                    "Epoch frames rejected.",
+                    |c| c.frames_rejected.get(),
+                ),
+                (
+                    "nitro_cluster_heartbeats_total",
+                    "Heartbeat messages received.",
+                    |c| c.heartbeats.get(),
+                ),
+                (
+                    "nitro_cluster_log_records_total",
+                    "Records appended durably to the aggregation log.",
+                    |c| c.log_records.get(),
+                ),
+                (
+                    "nitro_cluster_log_persist_failures_total",
+                    "Aggregation-log appends that failed.",
+                    |c| c.log_persist_failures.get(),
+                ),
+                (
+                    "nitro_cluster_reconnect_backoffs_total",
+                    "Jittered reconnect backoffs scheduled by disconnected agents.",
+                    |c| c.reconnect_backoffs.get(),
+                ),
             ];
-            for (name, get) in cluster_counters {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", get(&c)));
+            for (name, help, get) in cluster_counters {
+                family(&mut out, name, "counter", help);
+                out.push_str(&format!("{name} {}\n", get(&c)));
             }
-            let cluster_gauges: &[(&str, ClusterFn)] = &[
-                ("nitro_cluster_connected_nodes", |c| c.connected_nodes.get()),
-                ("nitro_cluster_known_nodes", |c| c.known_nodes.get()),
-                ("nitro_cluster_degraded_epochs", |c| c.degraded_epochs.get()),
-                ("nitro_cluster_recovered_epochs", |c| {
-                    c.recovered_epochs.get()
-                }),
-                ("nitro_cluster_recovered_records", |c| {
-                    c.recovered_records.get()
-                }),
+            let cluster_gauges: &[(&str, &str, ClusterFn)] = &[
+                (
+                    "nitro_cluster_connected_nodes",
+                    "Nodes currently holding a live connection.",
+                    |c| c.connected_nodes.get(),
+                ),
+                (
+                    "nitro_cluster_known_nodes",
+                    "Nodes the aggregator has ever admitted.",
+                    |c| c.known_nodes.get(),
+                ),
+                (
+                    "nitro_cluster_degraded_epochs",
+                    "Epochs whose merged view is currently degraded.",
+                    |c| c.degraded_epochs.get(),
+                ),
+                (
+                    "nitro_cluster_recovered_epochs",
+                    "Epoch views rebuilt from the log by the last recovery.",
+                    |c| c.recovered_epochs.get(),
+                ),
+                (
+                    "nitro_cluster_recovered_records",
+                    "Log records replayed by the last recovery.",
+                    |c| c.recovered_records.get(),
+                ),
             ];
-            for (name, get) in cluster_gauges {
-                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", get(&c)));
+            for (name, help, get) in cluster_gauges {
+                family(&mut out, name, "gauge", help);
+                out.push_str(&format!("{name} {}\n", get(&c)));
+            }
+            let nodes = c.node_watermarks();
+            if !nodes.is_empty() {
+                family(
+                    &mut out,
+                    "nitro_cluster_node_last_epoch",
+                    "gauge",
+                    "Newest epoch the aggregator holds a frame for, per node.",
+                );
+                for n in &nodes {
+                    out.push_str(&format!(
+                        "nitro_cluster_node_last_epoch{{node=\"{}\"}} {}\n",
+                        n.node, n.last_epoch
+                    ));
+                }
+                family(
+                    &mut out,
+                    "nitro_cluster_node_connected",
+                    "gauge",
+                    "Whether the node currently holds a live connection (0/1).",
+                );
+                for n in &nodes {
+                    out.push_str(&format!(
+                        "nitro_cluster_node_connected{{node=\"{}\"}} {}\n",
+                        n.node, n.connected as u64
+                    ));
+                }
             }
         }
         out
@@ -1322,7 +1572,7 @@ impl TelemetryRegistry {
                  \"frames_rejected\":{},\"heartbeats\":{},\
                  \"log_records\":{},\"log_persist_failures\":{},\
                  \"recovered_epochs\":{},\"recovered_records\":{},\
-                 \"reconnect_backoffs\":{}}},",
+                 \"reconnect_backoffs\":{},\"nodes\":[",
                 c.connected_nodes.get(),
                 c.known_nodes.get(),
                 c.degraded_epochs.get(),
@@ -1338,6 +1588,16 @@ impl TelemetryRegistry {
                 c.recovered_records.get(),
                 c.reconnect_backoffs.get()
             ));
+            for (i, n) in c.node_watermarks().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"last_epoch\":{},\"connected\":{}}}",
+                    n.node, n.last_epoch, n.connected as u64
+                ));
+            }
+            out.push_str("]},");
         }
         out.push_str("\"shards\":[");
         for (i, tel) in live.iter().enumerate() {
@@ -1391,7 +1651,13 @@ fn prom_f64(v: f64) -> String {
 
 fn prom_histogram(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
     let sep = if labels.is_empty() { "" } else { "," };
+    // The last bucket clamps everything ≥ 2^(HISTOGRAM_BUCKETS-1), so its
+    // nominal finite upper bound would lie: only `+Inf` covers it.
+    let clamp_le = 1u64 << HISTOGRAM_BUCKETS;
     for (le, cum) in h.cumulative_buckets() {
+        if le == clamp_le {
+            continue;
+        }
         out.push_str(&format!(
             "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}\n"
         ));
@@ -1833,6 +2099,203 @@ mod tests {
         assert!(text.contains("nitro_offered_total{shard=\"0\",inst=\"1\"} 10"));
         assert!(text.contains("nitro_offered_total{shard=\"1\",inst=\"2\"} 7"));
         assert!(text.contains("nitro_promotion_duration_ns_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_conformance() {
+        let reg = TelemetryRegistry::new();
+        let cluster = reg.cluster();
+        cluster.publish_nodes(vec![
+            NodeWatermark {
+                node: 2,
+                last_epoch: 9,
+                connected: false,
+            },
+            NodeWatermark {
+                node: 1,
+                last_epoch: 11,
+                connected: true,
+            },
+        ]);
+        let a = reg.register(0);
+        a.offered.add(10);
+        a.batch_ns.record(512);
+        a.batch_ns.record(u64::MAX); // lands in the clamp bucket
+        reg.promotion_ns().record(7);
+        let text = reg.render_prometheus();
+
+        // Every family carries exactly one HELP and one TYPE line, HELP
+        // first, and every sample belongs to a declared family.
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap().to_string();
+                assert!(
+                    rest.len() > name.len() + 1,
+                    "HELP line for {name} has no text"
+                );
+                assert!(!helped.contains(&name), "duplicate HELP for {name}");
+                helped.push(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap().to_string();
+                assert_eq!(
+                    helped.last(),
+                    Some(&name),
+                    "TYPE for {name} must directly follow its HELP"
+                );
+                typed.push(name);
+            }
+        }
+        assert_eq!(helped, typed, "every family has both HELP and TYPE");
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name_and_labels = line.rsplit_once(' ').unwrap().0;
+            let name = name_and_labels
+                .split_once('{')
+                .map_or(name_and_labels, |(n, _)| n);
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|b| typed.contains(&b.to_string()))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(&base.to_string()),
+                "undeclared family {name}"
+            );
+        }
+
+        // Histogram buckets are cumulative with strictly increasing finite
+        // `le` bounds, the terminal bucket is `+Inf`, and `+Inf == _count`.
+        let labels = "{shard=\"0\",inst=\"1\"";
+        let mut les: Vec<(f64, u64)> = Vec::new();
+        let mut count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("nitro_batch_ns_bucket") {
+                if !rest.starts_with(labels) {
+                    continue;
+                }
+                let le = rest
+                    .split("le=\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap();
+                let cum: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                };
+                les.push((le, cum));
+            } else if let Some(rest) = line.strip_prefix("nitro_batch_ns_count") {
+                if rest.starts_with(labels) {
+                    count = Some(rest.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap());
+                }
+            }
+        }
+        assert!(les.len() >= 2, "at least one finite bucket plus +Inf");
+        assert!(
+            les.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "le bounds strictly increase and counts are cumulative: {les:?}"
+        );
+        let (last_le, last_cum) = *les.last().unwrap();
+        assert!(last_le.is_infinite(), "terminal bucket is +Inf");
+        assert_eq!(Some(last_cum), count, "+Inf bucket equals _count");
+        // The clamp bucket holds u64::MAX, so no finite le may claim it:
+        // the largest finite bound must undercount the +Inf bucket.
+        let biggest_finite = les[les.len() - 2];
+        assert!(
+            biggest_finite.1 < last_cum,
+            "clamped overflow values must only appear under +Inf: {les:?}"
+        );
+        assert!(
+            text.contains("nitro_batch_ns_sum{shard=\"0\",inst=\"1\"}"),
+            "_sum series present"
+        );
+
+        // Per-node watermark families render sorted by node id.
+        let epochs: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("nitro_cluster_node_last_epoch{"))
+            .collect();
+        assert_eq!(
+            epochs,
+            vec![
+                "nitro_cluster_node_last_epoch{node=\"1\"} 11",
+                "nitro_cluster_node_last_epoch{node=\"2\"} 9",
+            ]
+        );
+        assert!(text.contains("nitro_cluster_node_connected{node=\"1\"} 1"));
+        assert!(text.contains("nitro_cluster_node_connected{node=\"2\"} 0"));
+    }
+
+    mod histogram_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Quantiles report bucket lower bounds, so they are true
+            /// lower bounds on the rank statistic; `max` is exact.
+            #[test]
+            fn quantiles_are_lower_bounds_and_max_exact(
+                values in prop::collection::vec(0u64..u64::MAX, 0..256),
+                q in 0.0f64..1.0,
+            ) {
+                let h = LatencyHistogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                prop_assert_eq!(h.count(), values.len() as u64);
+                prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                if sorted.is_empty() {
+                    prop_assert_eq!(h.quantile(q), 0, "empty histogram quantiles are 0");
+                    prop_assert_eq!(h.p50(), 0);
+                    prop_assert_eq!(h.p99(), 0);
+                } else {
+                    for (quant, at) in [(h.quantile(q), q), (h.p50(), 0.50), (h.p99(), 0.99)] {
+                        let rank = ((at * sorted.len() as f64).ceil() as usize).max(1);
+                        let exact = sorted[rank - 1];
+                        prop_assert!(
+                            quant <= exact,
+                            "q={} reported {} above the exact rank value {}",
+                            at, quant, exact
+                        );
+                        // The lower bound is tight to within one log2
+                        // bucket, except in the unbounded clamp bucket.
+                        prop_assert!(
+                            exact < (quant.max(1) << 1)
+                                || quant == 1u64 << (HISTOGRAM_BUCKETS - 1),
+                            "q={} reported {} more than a bucket below {}",
+                            at, quant, exact
+                        );
+                    }
+                }
+            }
+
+            /// Cumulative buckets always end at the total count and never
+            /// decrease, for any insert batch.
+            #[test]
+            fn cumulative_buckets_reach_count(
+                values in prop::collection::vec(0u64..u64::MAX, 1..256),
+            ) {
+                let h = LatencyHistogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let cum = h.cumulative_buckets();
+                prop_assert!(!cum.is_empty());
+                prop_assert_eq!(cum.last().unwrap().1, values.len() as u64);
+                prop_assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+            }
+        }
     }
 
     #[test]

@@ -152,6 +152,7 @@ impl<S: ClusterSketch> AggShared<S> {
         let r = f(&mut session);
         let outs = session.drain();
         let (connected, known, degraded) = session.gauges();
+        let watermarks = session.node_watermarks();
         drop(session);
         let mut ops = Vec::new();
         for out in outs {
@@ -164,6 +165,7 @@ impl<S: ClusterSketch> AggShared<S> {
         self.cluster.connected_nodes.set(connected);
         self.cluster.known_nodes.set(known);
         self.cluster.degraded_epochs.set(degraded);
+        self.cluster.publish_nodes(watermarks);
         (r, ops)
     }
 

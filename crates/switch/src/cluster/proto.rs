@@ -22,6 +22,7 @@ use super::ClusterError;
 use crate::clock::Nanos;
 use crate::store::{decode_frame, FrameParse, RecoveredFrame};
 use nitro_core::NitroSketch;
+use nitro_metrics::NodeWatermark;
 use nitro_sketches::checkpoint::Checkpoint;
 use nitro_sketches::{FlowKey, RowSketch};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -1427,6 +1428,19 @@ impl<S: ClusterSketch> AggregatorSession<S> {
     /// watermark), if the node is known.
     pub fn node_watermark(&self, node: u32) -> Option<u64> {
         Some(self.nodes.get(&node)?.last_epoch)
+    }
+
+    /// Per-node watermark snapshot over every admitted node, sorted by
+    /// node id — the telemetry plane's per-node panel.
+    pub fn node_watermarks(&self) -> Vec<NodeWatermark> {
+        self.nodes
+            .iter()
+            .map(|(&id, n)| NodeWatermark {
+                node: id,
+                last_epoch: n.last_epoch,
+                connected: n.connected,
+            })
+            .collect()
     }
 
     /// Mutation hook for the simulator's oracle self-test: disable the

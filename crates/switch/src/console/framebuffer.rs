@@ -1,0 +1,325 @@
+//! ANSI double-buffered framebuffer with diff-only redraw.
+//!
+//! The console never clears the screen between frames: it keeps the
+//! previously painted [`Frame`], diffs the next one against it cell by
+//! cell, and emits cursor moves + SGR codes only for the runs that
+//! changed. A steady dashboard (most cells static, a few counters
+//! ticking) costs tens of bytes per refresh instead of a full repaint —
+//! the classic curses trick, hand-rolled because the container has no
+//! curses.
+//!
+//! [`Frame::to_plain`] renders the same cell grid as bare text (no
+//! escape codes, trailing blanks trimmed), which is what `--once` mode
+//! and the golden-frame tests consume: byte-identical output with no
+//! terminal in the loop.
+
+use std::fmt::Write as _;
+
+/// Foreground color of a cell, mapped to the basic ANSI palette.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Color {
+    /// Terminal default foreground.
+    #[default]
+    Default,
+    /// ANSI red — faults, open breakers, failed shards.
+    Red,
+    /// ANSI green — converged, healthy, connected.
+    Green,
+    /// ANSI yellow — transitional states (downshifted, not converged).
+    Yellow,
+    /// ANSI cyan — headings and identifiers.
+    Cyan,
+    /// ANSI bright black — chrome, separators, de-emphasis.
+    Gray,
+}
+
+impl Color {
+    fn sgr(self) -> &'static str {
+        match self {
+            Color::Default => "39",
+            Color::Red => "31",
+            Color::Green => "32",
+            Color::Yellow => "33",
+            Color::Cyan => "36",
+            Color::Gray => "90",
+        }
+    }
+}
+
+/// Character attributes of a cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Style {
+    /// Foreground color.
+    pub fg: Color,
+    /// Bold / increased intensity.
+    pub bold: bool,
+}
+
+impl Style {
+    /// The terminal's default rendition.
+    pub const PLAIN: Style = Style {
+        fg: Color::Default,
+        bold: false,
+    };
+
+    /// A colored plain-weight style.
+    pub fn fg(color: Color) -> Style {
+        Style {
+            fg: color,
+            bold: false,
+        }
+    }
+
+    /// A colored bold style.
+    pub fn bold(color: Color) -> Style {
+        Style {
+            fg: color,
+            bold: true,
+        }
+    }
+
+    fn sgr(self) -> String {
+        if self.bold {
+            format!("\x1b[0;1;{}m", self.fg.sgr())
+        } else {
+            format!("\x1b[0;{}m", self.fg.sgr())
+        }
+    }
+}
+
+/// One character cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// The glyph (one `char`; the console uses no combining sequences).
+    pub ch: char,
+    /// Its rendition.
+    pub style: Style,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            ch: ' ',
+            style: Style::PLAIN,
+        }
+    }
+}
+
+/// A fixed-size grid of [`Cell`]s — one rendered console frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    cells: Vec<Cell>,
+}
+
+impl Frame {
+    /// A blank frame of `width × height` space cells.
+    pub fn new(width: usize, height: usize) -> Self {
+        Frame {
+            width,
+            height,
+            cells: vec![Cell::default(); width * height],
+        }
+    }
+
+    /// Frame width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Write one glyph at `(x, y)`; out-of-bounds writes are clipped.
+    pub fn put(&mut self, x: usize, y: usize, ch: char, style: Style) {
+        if x < self.width && y < self.height {
+            self.cells[y * self.width + x] = Cell { ch, style };
+        }
+    }
+
+    /// Write a string starting at `(x, y)`, clipped at the right edge.
+    /// Returns the column after the last written glyph.
+    pub fn print(&mut self, x: usize, y: usize, text: &str, style: Style) -> usize {
+        let mut col = x;
+        for ch in text.chars() {
+            if col >= self.width {
+                break;
+            }
+            self.put(col, y, ch, style);
+            col += 1;
+        }
+        col
+    }
+
+    /// Fill a full row with one glyph (separators).
+    pub fn hline(&mut self, y: usize, ch: char, style: Style) {
+        for x in 0..self.width {
+            self.put(x, y, ch, style);
+        }
+    }
+
+    fn row(&self, y: usize) -> &[Cell] {
+        &self.cells[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Render as plain text: no escape codes, per-row trailing blanks
+    /// trimmed, one trailing newline. This is the golden-frame format.
+    pub fn to_plain(&self) -> String {
+        let mut out = String::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            let row = self.row(y);
+            let end = row
+                .iter()
+                .rposition(|c| c.ch != ' ')
+                .map_or(0, |last| last + 1);
+            for cell in &row[..end] {
+                out.push(cell.ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Double-buffered ANSI renderer: remembers the last painted frame and
+/// emits only the escape sequences that transform it into the next one.
+#[derive(Debug, Default)]
+pub struct Renderer {
+    last: Option<Frame>,
+}
+
+impl Renderer {
+    /// A renderer that will fully paint its first frame.
+    pub fn new() -> Self {
+        Renderer::default()
+    }
+
+    /// The escape sequence drawing `next`, diffed against the previous
+    /// frame. The first call (or a resize) clears the screen and paints
+    /// everything; later calls touch only changed cells. The cursor is
+    /// parked on the frame's last row afterwards.
+    pub fn draw(&mut self, next: &Frame) -> String {
+        let full = !matches!(
+            &self.last,
+            Some(prev) if prev.width == next.width && prev.height == next.height
+        );
+        let mut out = String::new();
+        if full {
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        let mut style = None::<Style>;
+        for y in 0..next.height {
+            let prev_row = (!full).then(|| self.last.as_ref().unwrap().row(y));
+            let mut x = 0;
+            while x < next.width {
+                let cell = next.row(y)[x];
+                if prev_row.is_some_and(|p| p[x] == cell) {
+                    x += 1;
+                    continue;
+                }
+                // Start of a changed run: address once, then stream
+                // glyphs until the row stops differing.
+                let _ = write!(out, "\x1b[{};{}H", y + 1, x + 1);
+                while x < next.width {
+                    let cell = next.row(y)[x];
+                    if prev_row.is_some_and(|p| p[x] == cell) {
+                        break;
+                    }
+                    if style != Some(cell.style) {
+                        out.push_str(&cell.style.sgr());
+                        style = Some(cell.style);
+                    }
+                    out.push(cell.ch);
+                    x += 1;
+                }
+            }
+        }
+        let _ = write!(out, "\x1b[0m\x1b[{};1H", next.height.max(1));
+        self.last = Some(next.clone());
+        out
+    }
+
+    /// Forget the previous frame so the next [`Renderer::draw`] repaints
+    /// from scratch (after external output disturbed the screen).
+    pub fn invalidate(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_render_trims_trailing_blanks() {
+        let mut f = Frame::new(10, 3);
+        f.print(0, 0, "abc", Style::PLAIN);
+        f.print(2, 2, "x", Style::bold(Color::Red));
+        assert_eq!(f.to_plain(), "abc\n\n  x\n");
+    }
+
+    #[test]
+    fn print_clips_at_the_right_edge() {
+        let mut f = Frame::new(4, 1);
+        let col = f.print(2, 0, "wide", Style::PLAIN);
+        assert_eq!(col, 4);
+        assert_eq!(f.to_plain(), "  wi\n");
+        // Out-of-bounds writes are ignored entirely.
+        f.put(9, 0, 'z', Style::PLAIN);
+        f.put(0, 5, 'z', Style::PLAIN);
+        assert_eq!(f.to_plain(), "  wi\n");
+    }
+
+    #[test]
+    fn first_draw_paints_fully_then_diffs_minimally() {
+        let mut r = Renderer::new();
+        let mut f = Frame::new(8, 2);
+        f.print(0, 0, "hello", Style::PLAIN);
+        let first = r.draw(&f);
+        assert!(first.starts_with("\x1b[2J\x1b[H"), "first draw clears");
+        assert!(first.contains("hello"));
+
+        // Unchanged frame: nothing but the reset + cursor park.
+        let idle = r.draw(&f);
+        assert!(!idle.contains("hello"), "no cells re-emitted when static");
+        assert!(idle.ends_with("\x1b[0m\x1b[2;1H"));
+
+        // One changed cell: exactly one addressed run.
+        let mut g = f.clone();
+        g.put(1, 0, 'a', Style::PLAIN);
+        let delta = r.draw(&g);
+        assert!(delta.contains("\x1b[1;2H"), "addresses the changed cell");
+        assert!(delta.contains('a'));
+        assert!(!delta.contains("hello"), "unchanged neighbours not resent");
+    }
+
+    #[test]
+    fn resize_forces_full_repaint() {
+        let mut r = Renderer::new();
+        let f = Frame::new(4, 1);
+        r.draw(&f);
+        let g = Frame::new(5, 1);
+        assert!(r.draw(&g).starts_with("\x1b[2J"), "dims changed → repaint");
+        let h = Frame::new(5, 1);
+        assert!(!r.draw(&h).contains("\x1b[2J"));
+        r.invalidate();
+        assert!(r.draw(&h).starts_with("\x1b[2J"), "invalidate → repaint");
+    }
+
+    #[test]
+    fn style_runs_share_one_sgr_sequence() {
+        let mut r = Renderer::new();
+        let mut f = Frame::new(6, 1);
+        f.print(0, 0, "aaa", Style::fg(Color::Green));
+        f.print(3, 0, "bbb", Style::fg(Color::Green));
+        let out = r.draw(&f);
+        assert_eq!(
+            out.matches("\x1b[0;32m").count(),
+            1,
+            "same style across a run emits one SGR: {out:?}"
+        );
+    }
+}

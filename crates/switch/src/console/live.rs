@@ -1,0 +1,119 @@
+//! Live mode: attach the console to a running telemetry plane.
+//!
+//! The loop is deliberately decoupled from the pipeline types: each tick
+//! calls a caller-supplied closure that returns `(ts_ms, scrape_json,
+//! events)` — the bin wires it to `ShardedPipeline::scrape_json()` plus
+//! a journal drain (and, with `--record`, tees the same tick into a
+//! `ScrapeRecorder`). That keeps this module testable without threads
+//! and lets anything with a `TelemetryRegistry` drive a dashboard.
+
+use super::app::ConsoleApp;
+use super::framebuffer::Renderer;
+use nitro_metrics::scrape::{ScrapeError, ScrapeSnapshot};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`run_live`].
+#[derive(Clone, Copy, Debug)]
+pub struct LiveOptions {
+    /// Frame width in columns.
+    pub width: usize,
+    /// Scrape-to-scrape cadence.
+    pub refresh: Duration,
+    /// Stop after this long; `None` runs until the tick source errors.
+    pub duration: Option<Duration>,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            width: 100,
+            refresh: Duration::from_millis(200),
+            duration: None,
+        }
+    }
+}
+
+/// Drive a live dashboard: call `tick` every `opts.refresh`, parse the
+/// scrape it returns, and diff-redraw onto `out`. Returns the number of
+/// frames drawn. A tick returning `Err` stops the loop and propagates.
+pub fn run_live(
+    mut tick: impl FnMut() -> Result<(u64, String, Vec<String>), String>,
+    opts: LiveOptions,
+    out: &mut dyn Write,
+) -> Result<u64, ScrapeError> {
+    let started = Instant::now();
+    let mut app = ConsoleApp::new();
+    let mut renderer = Renderer::new();
+    let mut drawn = 0u64;
+    loop {
+        let (ts_ms, json, events) = tick().map_err(ScrapeError::Io)?;
+        app.push(ts_ms, ScrapeSnapshot::parse(&json)?, events);
+        out.write_all(renderer.draw(&app.draw(opts.width)).as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| ScrapeError::Io(e.to_string()))?;
+        drawn += 1;
+        if let Some(limit) = opts.duration {
+            if started.elapsed() + opts.refresh > limit {
+                return Ok(drawn);
+            }
+        }
+        std::thread::sleep(opts.refresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_loop_draws_until_the_duration_elapses() {
+        let mut n = 0u64;
+        let tick = move || {
+            n += 1;
+            Ok((
+                n * 10,
+                "{\"shards\":[],\"retired\":[]}".to_string(),
+                vec![format!("tick {n}")],
+            ))
+        };
+        let mut out = Vec::new();
+        let opts = LiveOptions {
+            width: 80,
+            refresh: Duration::from_millis(5),
+            duration: Some(Duration::from_millis(40)),
+        };
+        let drawn = run_live(tick, opts, &mut out).expect("live run");
+        assert!(drawn >= 2, "several frames over 40ms at 5ms cadence");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("\x1b[2J"));
+        assert!(text.contains("tick 1"));
+    }
+
+    #[test]
+    fn tick_errors_stop_the_loop() {
+        let tick = || Err("pipeline went away".to_string());
+        let mut out = Vec::new();
+        match run_live(tick, LiveOptions::default(), &mut out) {
+            Err(ScrapeError::Io(msg)) => assert_eq!(msg, "pipeline went away"),
+            other => panic!("expected the tick error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_scrapes_are_loud_not_blank() {
+        let tick = || Ok((0, "not json".to_string(), vec![]));
+        let mut out = Vec::new();
+        assert!(matches!(
+            run_live(
+                tick,
+                LiveOptions {
+                    duration: Some(Duration::ZERO),
+                    ..LiveOptions::default()
+                },
+                &mut out
+            ),
+            Err(ScrapeError::Json(_))
+        ));
+    }
+}

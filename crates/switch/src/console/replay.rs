@@ -1,0 +1,138 @@
+//! Replay and once modes: drive the console from a recorded scrape
+//! stream instead of a live pipeline.
+//!
+//! A recording (see `nitro_metrics::scrape::ScrapeRecorder`) is an
+//! NDJSON file of `{ts_ms, events, scrape}` frames. Replay paces the
+//! frames by their recorded timestamp gaps (scaled by `speed`); once
+//! mode feeds *every* frame through the app — so sparklines and rates
+//! are fully populated — and renders only the final state as plain
+//! text. Both are deterministic functions of the file, which is what
+//! makes the golden-frame CI test possible.
+
+use super::app::ConsoleApp;
+use super::framebuffer::Renderer;
+use nitro_metrics::scrape::{read_recording, RecordedFrame, ScrapeError};
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Feed every frame of `frames` through a fresh [`ConsoleApp`] and
+/// return the final dashboard as plain text (`width` columns).
+pub fn render_frames_once(frames: Vec<RecordedFrame>, width: usize) -> Result<String, ScrapeError> {
+    if frames.is_empty() {
+        return Err(ScrapeError::Shape("recording has no frames"));
+    }
+    let mut app = ConsoleApp::new();
+    for frame in frames {
+        app.push(frame.ts_ms, frame.snapshot, frame.events);
+    }
+    Ok(app.draw(width).to_plain())
+}
+
+/// `nitro top --once --replay FILE`: load a recording, replay it through
+/// the app, and return the final frame as plain text. Byte-identical
+/// across runs for the same file and width.
+pub fn render_recording_once(path: impl AsRef<Path>, width: usize) -> Result<String, ScrapeError> {
+    render_frames_once(read_recording(path)?, width)
+}
+
+/// `nitro top --replay FILE`: animate a recording onto `out` with ANSI
+/// diff redraws, pacing frames by their recorded timestamp gaps divided
+/// by `speed` (2.0 = twice as fast; pacing is skipped when `speed` is
+/// non-finite or ≤ 0). Returns the frames drawn.
+pub fn replay_recording(
+    path: impl AsRef<Path>,
+    width: usize,
+    speed: f64,
+    out: &mut dyn Write,
+) -> Result<u64, ScrapeError> {
+    let frames = read_recording(path)?;
+    if frames.is_empty() {
+        return Err(ScrapeError::Shape("recording has no frames"));
+    }
+    let mut app = ConsoleApp::new();
+    let mut renderer = Renderer::new();
+    let mut prev_ts = None;
+    let mut drawn = 0u64;
+    for frame in frames {
+        if let Some(prev) = prev_ts {
+            let gap_ms = frame.ts_ms.saturating_sub(prev);
+            if speed.is_finite() && speed > 0.0 && gap_ms > 0 {
+                std::thread::sleep(Duration::from_millis((gap_ms as f64 / speed).round() as u64));
+            }
+        }
+        prev_ts = Some(frame.ts_ms);
+        app.push(frame.ts_ms, frame.snapshot, frame.events);
+        out.write_all(renderer.draw(&app.draw(width)).as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| ScrapeError::Io(e.to_string()))?;
+        drawn += 1;
+    }
+    Ok(drawn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nitro_metrics::scrape::parse_recording;
+
+    fn two_frame_recording() -> Vec<RecordedFrame> {
+        let scrape = |processed: u64| {
+            format!(
+                "{{\"shards\":[{{\"shard\":0,\"inst\":1,\
+                 \"health\":{{\"offered\":{processed},\"processed\":{processed}}},\
+                 \"gauges\":{{\"sampling_p\":1.0,\"mode_code\":1,\"converged\":1}}}}],\
+                 \"retired\":[]}}"
+            )
+        };
+        let text = format!(
+            "{{\"ts_ms\":0,\"events\":[\"boot\"],\"scrape\":{}}}\n\
+             {{\"ts_ms\":200,\"events\":[],\"scrape\":{}}}\n",
+            scrape(1_000),
+            scrape(2_000),
+        );
+        parse_recording(&text).expect("valid recording")
+    }
+
+    #[test]
+    fn once_renders_the_final_frame_with_history() {
+        let plain = render_frames_once(two_frame_recording(), 100).expect("render");
+        assert!(plain.contains("frame 2"), "both frames consumed: {plain}");
+        assert!(plain.contains("5.0k/s"), "1000 obs / 200ms: {plain}");
+        assert!(plain.contains("boot"), "journal tail survives");
+        let again = render_frames_once(two_frame_recording(), 100).expect("render");
+        assert_eq!(plain, again, "byte-identical across runs");
+    }
+
+    #[test]
+    fn once_rejects_an_empty_recording() {
+        assert_eq!(
+            render_frames_once(Vec::new(), 80),
+            Err(ScrapeError::Shape("recording has no frames"))
+        );
+    }
+
+    #[test]
+    fn replay_emits_ansi_per_frame() {
+        let dir = std::env::temp_dir().join(format!("nitro-console-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("two.ndjson");
+        let scrape = "{\"shards\":[],\"retired\":[]}";
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"ts_ms\":0,\"events\":[],\"scrape\":{scrape}}}\n\
+                 {{\"ts_ms\":10,\"events\":[],\"scrape\":{scrape}}}\n"
+            ),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        // speed = 0 disables pacing so the test is instant.
+        let drawn = replay_recording(&path, 80, 0.0, &mut out).expect("replay");
+        assert_eq!(drawn, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("\x1b[2J"), "first frame clears the screen");
+        assert!(text.contains("nitro top"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,171 @@
+//! Text widgets: sparklines, bar gauges, and deterministic number
+//! formatting.
+//!
+//! Everything here is a pure `data → String` function so the widgets are
+//! trivially golden-testable. Formatting is locale-free and chooses its
+//! unit deterministically from the magnitude, because `--once` frames
+//! are compared byte-for-byte in CI.
+
+/// The eight block glyphs a sparkline is quantized onto.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a fixed-`width` sparkline, newest value rightmost.
+/// Bars scale against the window maximum; a window of zeros (or an empty
+/// window) renders baseline bars padded with leading spaces.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let shown = &values[values.len().saturating_sub(width)..];
+    let max = shown.iter().copied().fold(0.0_f64, f64::max);
+    let mut out = String::with_capacity(width * 3);
+    for _ in shown.len()..width {
+        out.push(' ');
+    }
+    for &v in shown {
+        if max <= 0.0 || !v.is_finite() {
+            out.push(SPARK[0]);
+        } else {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            out.push(SPARK[idx]);
+        }
+    }
+    out
+}
+
+/// Render `frac ∈ [0, 1]` as a `[███░░░]`-style bar of `width` total
+/// columns (including the brackets). NaN renders as an empty bar.
+pub fn gauge(frac: f64, width: usize) -> String {
+    let inner = width.saturating_sub(2);
+    let frac = if frac.is_finite() {
+        frac.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (frac * inner as f64).round() as usize;
+    let mut out = String::with_capacity(width * 3);
+    out.push('[');
+    for i in 0..inner {
+        out.push(if i < filled { '█' } else { '░' });
+    }
+    out.push(']');
+    out
+}
+
+/// Format a non-negative quantity with an SI suffix: `982`, `1.4k`,
+/// `12.3M`, `1.2G`. One decimal below 100 of a unit, none above.
+pub fn fmt_si(v: f64) -> String {
+    if !v.is_finite() || v < 0.0 {
+        return "-".to_string();
+    }
+    let (scaled, suffix) = if v < 1e3 {
+        return format!("{}", v.round() as u64);
+    } else if v < 1e6 {
+        (v / 1e3, "k")
+    } else if v < 1e9 {
+        (v / 1e6, "M")
+    } else {
+        (v / 1e9, "G")
+    };
+    if scaled < 100.0 {
+        format!("{scaled:.1}{suffix}")
+    } else {
+        format!("{}{suffix}", scaled.round() as u64)
+    }
+}
+
+/// [`fmt_si`] over an exact counter.
+pub fn fmt_count(v: u64) -> String {
+    fmt_si(v as f64)
+}
+
+/// Format a nanosecond duration: `512ns`, `4.1µs`, `2.3ms`, `1.2s`.
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v < 1e3 {
+        format!("{ns}ns")
+    } else if v < 1e6 {
+        format!("{:.1}µs", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.1}ms", v / 1e6)
+    } else {
+        format!("{:.1}s", v / 1e9)
+    }
+}
+
+/// Short name of a sampling-mode discriminant as scraped from
+/// `mode_code` (see `nitro_core::SamplingMode`).
+pub fn mode_name(code: u64) -> &'static str {
+    match code {
+        0 => "FIX",
+        1 => "ALR",
+        2 => "AC",
+        _ => "?",
+    }
+}
+
+/// Left-pad `s` to `width` columns (counting chars, not bytes).
+pub fn pad_left(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    format!("{}{s}", " ".repeat(width.saturating_sub(len)))
+}
+
+/// Right-pad `s` to `width` columns (counting chars, not bytes).
+pub fn pad_right(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    format!("{s}{}", " ".repeat(width.saturating_sub(len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_window_max_and_pads_left() {
+        let s = sparkline(&[0.0, 3.5, 7.0], 5);
+        assert_eq!(s.chars().count(), 5);
+        assert_eq!(s, "  ▁▅█");
+        assert_eq!(sparkline(&[], 3), "   ");
+        assert_eq!(sparkline(&[0.0, 0.0], 2), "▁▁", "all-zero window");
+        // Window slides: only the newest `width` values matter, and the
+        // scale is the *window* max — old spikes don't flatten the view.
+        assert_eq!(sparkline(&[100.0, 1.0, 1.0], 2), "██");
+    }
+
+    #[test]
+    fn gauge_fills_proportionally() {
+        assert_eq!(gauge(0.0, 6), "[░░░░]");
+        assert_eq!(gauge(0.5, 6), "[██░░]");
+        assert_eq!(gauge(1.0, 6), "[████]");
+        assert_eq!(gauge(7.0, 6), "[████]", "clamped above 1");
+        assert_eq!(gauge(f64::NAN, 6), "[░░░░]", "NaN renders empty");
+    }
+
+    #[test]
+    fn formats_are_deterministic_across_magnitudes() {
+        assert_eq!(fmt_si(0.0), "0");
+        assert_eq!(fmt_si(982.0), "982");
+        assert_eq!(fmt_si(1_400.0), "1.4k");
+        assert_eq!(fmt_si(123_400.0), "123k");
+        assert_eq!(fmt_si(12_300_000.0), "12.3M");
+        assert_eq!(fmt_si(1.2e9), "1.2G");
+        assert_eq!(fmt_si(f64::NAN), "-");
+        assert_eq!(fmt_count(1_000_000), "1.0M");
+        assert_eq!(fmt_ns(512), "512ns");
+        assert_eq!(fmt_ns(4_100), "4.1µs");
+        assert_eq!(fmt_ns(2_300_000), "2.3ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.2s");
+    }
+
+    #[test]
+    fn mode_names_cover_the_discriminants() {
+        assert_eq!(mode_name(0), "FIX");
+        assert_eq!(mode_name(1), "ALR");
+        assert_eq!(mode_name(2), "AC");
+        assert_eq!(mode_name(9), "?");
+    }
+
+    #[test]
+    fn padding_counts_chars_not_bytes() {
+        assert_eq!(pad_left("µs", 4), "  µs");
+        assert_eq!(pad_right("µs", 4), "µs  ");
+        assert_eq!(pad_left("long", 2), "long", "never truncates");
+    }
+}

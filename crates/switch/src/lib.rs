@@ -27,6 +27,9 @@
 //! - [`replica`]: hot-standby replication — checkpoint deltas streamed
 //!   over an SPSC ring into warm shadow sketches, powering zero-downtime
 //!   failover (promotion) and online resharding in [`pipeline`].
+//! - [`console`]: the `nitro top` operator dashboard — an ANSI
+//!   diff-redraw framebuffer rendering live, replayed, or single-frame
+//!   views of the telemetry plane.
 //! - [`nic`]: the simulated PMD/NIC feeding 32-packet batches from traces.
 //! - [`cost`]: calibrated per-operation cost accounting — the stand-in for
 //!   VTune's per-function CPU shares (Table 2, Fig. 10).
@@ -41,6 +44,7 @@ pub mod bess;
 pub mod classifier;
 pub mod clock;
 pub mod cluster;
+pub mod console;
 pub mod control;
 pub mod cost;
 pub mod daemon;

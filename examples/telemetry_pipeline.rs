@@ -9,9 +9,16 @@
 //! publishes delta counters, and the coordinator stamps promotion events.
 //! All of it is lock-free — the scrape loop below never blocks a worker.
 //!
+//! Every scrape is also appended to an NDJSON recording through
+//! `ScrapeRecorder`, so the whole chaos run is replayable afterwards in
+//! the operator console: the example prints the `nitro top --replay`
+//! invocation for the file it left behind.
+//!
 //! Run with: `cargo run --release --example telemetry_pipeline`
 
 use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::metrics::scrape::{read_recording, ScrapeRecorder};
+use nitrosketch::metrics::SequencedEvent;
 use nitrosketch::prelude::*;
 use nitrosketch::switch::{
     spawn_sharded, CheckpointStore, PipelineConfig, ReplicaConfig, StoreConfig, SupervisorConfig,
@@ -64,10 +71,28 @@ fn main() {
     // A real deployment would serve `pipeline.scrape()` over HTTP; here
     // the coordinator thread interleaves scrapes with the offer loop so
     // the example stays single-process and deterministic to schedule.
+    // Each scrape also lands in the NDJSON recording: JSON document plus
+    // the journal entries drained since the previous frame (which we keep
+    // for the post-run assertions — draining is destructive).
+    let recording =
+        std::env::temp_dir().join(format!("nitro-telemetry-{}.ndjson", std::process::id()));
+    let mut recorder = ScrapeRecorder::create(&recording).expect("create scrape recording");
+    let mut journal: Vec<SequencedEvent> = Vec::new();
     let started = Instant::now();
     let mut next_scrape = Instant::now();
     let mut scrapes = 0u64;
     let mut sample = String::new();
+    let record_frame = |pipeline: &mut nitrosketch::switch::ShardedPipeline<CountSketch>,
+                        journal: &mut Vec<SequencedEvent>,
+                        recorder: &mut ScrapeRecorder,
+                        at: Duration| {
+        let drained = pipeline.telemetry().drain_events();
+        let lines: Vec<String> = drained.iter().map(|e| e.event.to_string()).collect();
+        journal.extend(drained);
+        recorder
+            .append(at.as_millis() as u64, &pipeline.scrape_json(), &lines)
+            .expect("append scrape frame");
+    };
     for (i, r) in records.iter().enumerate() {
         tap.offer(r.tuple.flow_key(), r.ts_ns);
         if i % 1024 == 0 {
@@ -77,6 +102,12 @@ fn main() {
             next_scrape += Duration::from_millis(100);
             scrapes += 1;
             let page = pipeline.scrape();
+            record_frame(
+                &mut pipeline,
+                &mut journal,
+                &mut recorder,
+                started.elapsed(),
+            );
             if sample.is_empty() && page.contains("nitro_restarts_total") {
                 sample = page
                     .lines()
@@ -100,6 +131,16 @@ fn main() {
         .epoch_view()
         .expect("rotation promotes the standby");
     assert_eq!(pipeline.promotions(), 1, "exactly one promotion expected");
+    // One closing frame so the recording ends on the promoted fleet —
+    // this is the frame `nitro top --once --replay` renders.
+    record_frame(
+        &mut pipeline,
+        &mut journal,
+        &mut recorder,
+        started.elapsed(),
+    );
+    let frames = recorder.frames();
+    drop(recorder);
     println!(
         "fed {packets} packets in {:.1?}, scraped the Prometheus endpoint {scrapes} times",
         started.elapsed()
@@ -107,7 +148,9 @@ fn main() {
     println!("\nsampled mid-run series:\n{sample}\n");
 
     // ── The journal narrates what the fleet went through. ──────────────
-    let events = pipeline.telemetry().drain_events();
+    // (Accumulated across the recorder's per-frame drains: every event
+    // is both in the NDJSON artifact and asserted on here.)
+    let events = journal;
     println!("event journal ({} events, oldest first):", events.len());
     for e in &events {
         println!("  {e}");
@@ -144,5 +187,18 @@ fn main() {
     assert_eq!(live.unaccounted(), 0, "identity holds through the chaos");
     println!("{fleet}");
     println!("telemetry plane agreed with the joined fleet exactly");
+
+    // ── The recording reads back as a replayable artifact. ─────────────
+    let recorded = read_recording(&recording).expect("recording parses back");
+    assert_eq!(recorded.len() as u64, frames, "every frame survived");
+    assert!(
+        recorded.last().expect("non-empty").snapshot.fleet.restarts >= 1,
+        "the closing frame captured the chaos"
+    );
+    println!(
+        "recorded {frames} scrape frames; watch the failover with:\n  \
+         cargo run --release --bin nitro -- top --replay {}",
+        recording.display()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -11,16 +11,26 @@
 //! run is deterministic for a given `--seed` (default 42).
 
 use nitrosketch::core::{Mode, NitroSketch};
+use nitrosketch::metrics::scrape::{ScrapeRecorder, ScrapeSnapshot};
 use nitrosketch::prelude::*;
 use nitrosketch::sketches::{KarySketch, RowSketch};
+use nitrosketch::switch::console::{
+    render_recording_once, replay_recording, run_live, ConsoleApp, LiveOptions,
+};
 use nitrosketch::switch::cost::CostModel;
 use nitrosketch::switch::faults::FaultInjector;
 use nitrosketch::switch::nic::{NicSim, PacketRecord};
 use nitrosketch::switch::ovs::RunReport;
-use nitrosketch::switch::{Collector, ControlLink, EpochReport};
+use nitrosketch::switch::{
+    spawn_sharded, CheckpointStore, Collector, ControlLink, EpochReport, PipelineConfig,
+    ReplicaConfig, StoreConfig, SupervisorConfig, ThreadFaultPlan,
+};
 use nitrosketch::traffic::{pcap, take_records, UniformFlows};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -28,24 +38,31 @@ fn usage() -> ExitCode {
          nitro gen       --workload <caida|dc|ddos|minsize|uniform> --packets N --out FILE.pcap [--seed S] [--flows F]\n  \
          nitro run       --workload ... --packets N [--sketch <countsketch|countmin|kary>] [--p P] [--topk K]\n                  [--drop-chance X] [--corrupt-chance X] [--seed S] [--flows F]\n  \
          nitro monitor   --epochs K --epoch-packets N [--workload ...] [--p P] [--seed S] [--flows F]\n  \
+         nitro top       [--replay FILE] [--once] [--width N] [--speed X]\n                  \
+         [--shards N] [--workload ...] [--packets N] [--p P] [--seed S] [--flows F]\n                  \
+         [--refresh-ms MS] [--duration-s S] [--chaos] [--record FILE]\n  \
          nitro calibrate"
     );
     ExitCode::from(2)
 }
 
-/// Minimal `--key value` parser.
+/// Minimal `--key value` parser. A `--key` directly followed by another
+/// `--key` (or the end of the line) is a bare flag and reads as `true`.
 struct Args(HashMap<String, String>);
 
 impl Args {
     fn parse(raw: &[String]) -> Result<Self, String> {
         let mut map = HashMap::new();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(k) = it.next() {
             let key = k
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --key, got {k}"))?;
-            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            map.insert(key.to_string(), v.clone());
+            let v = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), v);
         }
         Ok(Self(map))
     }
@@ -55,6 +72,10 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
         }
+    }
+
+    fn optional(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -272,6 +293,184 @@ fn cmd_monitor(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `nitro top` — the operator console. Three modes:
+///
+/// - `--replay FILE`: animate a recorded scrape stream (NDJSON from a
+///   `ScrapeRecorder`); `--speed` scales the recorded pacing.
+/// - `--replay FILE --once`: render the recording's final frame as plain
+///   text and exit — no TTY, byte-identical (the golden-frame mode).
+/// - no `--replay`: spin up an in-process sharded pipeline fed by a
+///   workload generator and live-attach to its telemetry plane;
+///   `--chaos` arms a mid-run shard panic so the failover is watchable,
+///   `--record FILE` tees every scrape into a replayable recording.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let width: usize = args.get("width", 100)?;
+    let once: bool = args.get("once", false)?;
+
+    if let Some(path) = args.optional("replay") {
+        if once {
+            let frame = render_recording_once(path, width).map_err(|e| e.to_string())?;
+            print!("{frame}");
+            return Ok(());
+        }
+        let speed: f64 = args.get("speed", 1.0)?;
+        let mut out = std::io::stdout();
+        let frames = replay_recording(path, width, speed, &mut out).map_err(|e| e.to_string())?;
+        println!();
+        eprintln!("replayed {frames} frames from {path}");
+        return Ok(());
+    }
+
+    // ── live mode: an in-process fleet under the console ───────────────
+    let shards: usize = args.get("shards", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let flows: u64 = args.get("flows", 100_000)?;
+    let p: f64 = args.get("p", 1.0)?;
+    let packets: usize = args.get("packets", 400_000)?;
+    let refresh_ms: u64 = args.get("refresh-ms", 200)?;
+    let duration_s: u64 = args.get("duration-s", 0)?;
+    let chaos: bool = args.get("chaos", false)?;
+    let wname: String = args.get("workload", "caida".to_string())?;
+    let records = workload(&wname, seed, flows, packets)?;
+
+    let dir = std::env::temp_dir().join(format!("nitro-top-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        CheckpointStore::create(&dir, shards, StoreConfig::default()).map_err(|e| e.to_string())?;
+    let mut config = PipelineConfig {
+        shards,
+        supervisor: SupervisorConfig {
+            ring_capacity: 1 << 16,
+            checkpoint_every: 20_000,
+            ..Default::default()
+        },
+        store: Some(store),
+        replicate: Some(ReplicaConfig::default()),
+        ..Default::default()
+    };
+    if chaos {
+        // Arm a mid-run panic on one shard; with a standby warm the
+        // coordinator promotes it and the console shows the failover.
+        config.supervisor.max_restarts = 0;
+        let plan = ThreadFaultPlan::new();
+        plan.panic_after(packets as u64 / shards as u64 / 2);
+        config.fault_plans = vec![(1 % shards, plan)];
+    }
+    let factory = move |i: usize| {
+        NitroSketch::new(
+            CountSketch::new(5, 1 << 14, seed ^ 0x70),
+            Mode::Fixed { p },
+            seed + i as u64,
+        )
+        .with_topk(64)
+    };
+    let (mut tap, mut pipeline) = spawn_sharded(factory, config).map_err(|e| e.to_string())?;
+
+    let started = Instant::now();
+    let mut recorder = match args.optional("record") {
+        Some(path) => Some(ScrapeRecorder::create(path).map_err(|e| e.to_string())?),
+        None => None,
+    };
+
+    if once {
+        // One-shot live frame: feed synchronously, let the fleet drain,
+        // scrape twice so rates exist, render plain, exit.
+        let mut app = ConsoleApp::new();
+        let mut tick = |app: &mut ConsoleApp| -> Result<(), String> {
+            let ts = started.elapsed().as_millis() as u64;
+            let json = pipeline.scrape_json();
+            let events: Vec<String> = pipeline
+                .telemetry()
+                .drain_events()
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            if let Some(rec) = &mut recorder {
+                rec.append(ts, &json, &events).map_err(|e| e.to_string())?;
+            }
+            app.push(
+                ts,
+                ScrapeSnapshot::parse(&json).map_err(|e| e.to_string())?,
+                events,
+            );
+            Ok(())
+        };
+        tick(&mut app)?;
+        for r in &records {
+            tap.offer(r.tuple.flow_key(), r.ts_ns);
+        }
+        drop(tap);
+        std::thread::sleep(Duration::from_millis(150));
+        tick(&mut app)?;
+        print!("{}", app.draw(width).to_plain());
+        let _ = std::fs::remove_dir_all(&dir);
+        return Ok(());
+    }
+
+    // Feeder thread: cycle the workload through the dispatcher until the
+    // console loop says stop.
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let r = &records[i % records.len()];
+                tap.offer(r.tuple.flow_key(), r.ts_ns);
+                i += 1;
+                if i.is_multiple_of(1024) {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let opts = LiveOptions {
+        width,
+        refresh: Duration::from_millis(refresh_ms.max(10)),
+        duration: (duration_s > 0).then(|| Duration::from_secs(duration_s)),
+    };
+    let mut out = std::io::stdout();
+    let live = run_live(
+        || {
+            // Coordinator duty: a failed shard with a warm standby is
+            // promoted at the next epoch rotation — drive one so the
+            // console shows the failover instead of a dead row.
+            if !pipeline.failed_shards().is_empty() {
+                let _ = pipeline.epoch_view();
+            }
+            let ts = started.elapsed().as_millis() as u64;
+            let json = pipeline.scrape_json();
+            let events: Vec<String> = pipeline
+                .telemetry()
+                .drain_events()
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            if let Some(rec) = &mut recorder {
+                rec.append(ts, &json, &events).map_err(|e| e.to_string())?;
+            }
+            Ok((ts, json, events))
+        },
+        opts,
+        &mut out,
+    );
+    stop.store(true, Ordering::Relaxed);
+    let _ = feeder.join();
+    let frames = live.map_err(|e| e.to_string())?;
+    println!();
+    eprintln!(
+        "drew {frames} frames over {:.1}s ({} promotions)",
+        started.elapsed().as_secs_f64(),
+        pipeline.promotions()
+    );
+    if let Some(rec) = &recorder {
+        eprintln!("recorded {} scrape frames", rec.frames());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 fn cmd_calibrate() -> Result<(), String> {
     let m = CostModel::calibrate();
     println!("per-operation costs on this machine:");
@@ -308,6 +507,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "run" => cmd_run(&args),
         "monitor" => cmd_monitor(&args),
+        "top" => cmd_top(&args),
         "calibrate" => cmd_calibrate(),
         _ => {
             return usage();
